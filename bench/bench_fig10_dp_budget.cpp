@@ -1,0 +1,52 @@
+// Figure 10: LDP under several privacy budgets vs DINAR vs no defense
+// (Purchase100). Paper: epsilon = 0.05 finally reaches 50% AUC but
+// collapses accuracy to 13%; DINAR reaches the same protection at
+// no-defense-level accuracy.
+#include "harness/experiment.h"
+
+namespace dinar::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  const double scale = parse_scale(argc, argv);
+  print_header("Figure 10 — LDP privacy budgets vs DINAR (Purchase100)",
+               "Figure 10, §5.10");
+
+  PreparedCase prepared = prepare_case(get_case("purchase100", scale));
+  print_table_header("defense", {"accuracy%", "attackAUC%"});
+
+  const ExperimentResult none =
+      run_experiment(prepared, make_bundle("none", prepared, {}));
+  print_table_row("no defense",
+                  {100.0 * none.personalized_accuracy, 100.0 * none.local_attack_auc});
+
+  for (double eps : {0.05, 0.2, 1.0, 2.2}) {
+    privacy::BaselineDefenseConfig cfg;
+    cfg.dp.epsilon = eps;
+    // Milder sensitivity proxy than the Figure 6 default: at this model
+    // scale it spreads the epsilon sweep across the utility range the
+    // paper's Figure 10 shows (eps=0.05 destroys accuracy, eps=2.2 stays
+    // near baseline while leaking more).
+    cfg.dp.sensitivity = 0.01;
+    fl::DefenseBundle bundle = make_bundle("ldp", prepared, cfg);
+    bundle.name = "ldp(eps=" + std::to_string(eps).substr(0, 4) + ")";
+    const ExperimentResult r = run_experiment(prepared, bundle);
+    print_table_row(bundle.name,
+                    {100.0 * r.personalized_accuracy, 100.0 * r.local_attack_auc});
+  }
+
+  const ExperimentResult dinar =
+      run_experiment(prepared, make_bundle("dinar", prepared, {}));
+  print_table_row("dinar",
+                  {100.0 * dinar.personalized_accuracy, 100.0 * dinar.local_attack_auc});
+
+  std::printf("\npaper: smaller epsilon => better privacy but collapsing accuracy "
+              "(13%% at eps=0.05); DINAR keeps near-baseline accuracy at the "
+              "50%% optimum.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dinar::bench
+
+int main(int argc, char** argv) { return dinar::bench::run(argc, argv); }

@@ -1,0 +1,68 @@
+// Figure 4 (CelebA, 8-parameter-layer CNN):
+//  (a) per-layer member/non-member divergence of the unprotected model;
+//  (b) local-model attack AUC when DINAR-style obfuscation is applied to
+//      exactly one layer l, for every l.
+// Paper's reading: obfuscating the single most-leaking layer already
+// drives the attack to the 50% optimum; obfuscating a low-leakage layer
+// does not protect the model.
+#include "core/sensitivity.h"
+#include "harness/experiment.h"
+
+namespace dinar::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  const double scale = parse_scale(argc, argv);
+  print_header("Figure 4 — fine-grained protection per layer (CelebA)",
+               "Figure 4, §5.4");
+
+  PreparedCase prepared = prepare_case(get_case("celeba", scale));
+  const DatasetCase& spec = prepared.spec;
+
+  // (a) divergence profile of the unprotected trained model.
+  fl::SimulationConfig cfg;
+  cfg.rounds = spec.rounds;
+  cfg.train = fl::TrainConfig{spec.local_epochs, spec.batch_size};
+  cfg.learning_rate = spec.learning_rate;
+  cfg.seed = spec.seed + 7;
+  fl::FederatedSimulation base(spec.model_factory, prepared.split, cfg,
+                               fl::DefenseBundle{});
+  base.run();
+  data::Dataset members;
+  for (fl::FlClient& c : base.clients())
+    members = members.empty() ? c.train_data()
+                              : data::Dataset::concat(members, c.train_data());
+  nn::Model global = base.global_model();
+  core::SensitivityConfig sens;
+  sens.seed = spec.seed ^ 0xF46;
+  const auto divergences =
+      core::analyze_layer_sensitivity(global, members, base.test_data(), sens);
+
+  const ExperimentResult unprotected =
+      run_experiment(prepared, make_bundle("none", prepared, {}));
+
+  // (b) obfuscate exactly one layer at a time.
+  std::printf("\n(a) divergence per layer + (b) local attack AUC when only that "
+              "layer is obfuscated\n\n");
+  print_table_header("layer", {"divergence", "AUC(ours)%", "AUC(none)%"});
+  const std::size_t num_layers = divergences.size();
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    fl::DefenseBundle bundle = core::make_dinar_bundle({l}, spec.seed ^ 0xF47);
+    bundle.name = "dinar[" + std::to_string(l) + "]";
+    const ExperimentResult r = run_experiment(prepared, bundle);
+    print_table_row("layer " + std::to_string(l),
+                    {divergences[l].divergence * 1000.0, 100.0 * r.local_attack_auc,
+                     100.0 * unprotected.local_attack_auc});
+  }
+  std::printf("(divergence scaled x1000)\n");
+  std::printf("\npaper: obfuscating the most-leaking layer alone reaches the 50%% "
+              "optimum; other layers leave the model exposed. Measured argmax "
+              "divergence at layer %zu.\n",
+              core::most_sensitive_layer(divergences));
+  return 0;
+}
+
+}  // namespace
+}  // namespace dinar::bench
+
+int main(int argc, char** argv) { return dinar::bench::run(argc, argv); }

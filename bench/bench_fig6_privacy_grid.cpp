@@ -1,0 +1,64 @@
+// Figure 6: attack AUC against the global model and the local models, for
+// six datasets x seven defense scenarios. The paper's reported values are
+// printed beside the measured ones; the reproduction target is the shape
+// (DINAR at the 50% optimum on both surfaces, SA protecting only local
+// models, DP variants inconsistent), not absolute numbers.
+#include <cstring>
+
+#include "harness/experiment.h"
+
+namespace dinar::bench {
+namespace {
+
+const std::vector<std::string> kDefenses = {"none", "wdp", "ldp", "cdp",
+                                            "gc",   "sa",  "dinar"};
+
+struct PaperRow {
+  const char* dataset;
+  // AUC percentages in defense order above.
+  double global_auc[7];
+  double local_auc[7];
+};
+
+// Values read off paper Figure 6 (a)-(l).
+const PaperRow kPaper[] = {
+    {"purchase100", {76, 59, 50, 50, 50, 75, 50}, {78, 75, 50, 50, 55, 50, 50}},
+    {"cifar10", {64, 58, 52, 54, 60, 66, 50}, {66, 63, 55, 56, 60, 50, 50}},
+    {"cifar100", {63, 54, 62, 57, 55, 61, 50}, {64, 64, 61, 52, 58, 50, 50}},
+    {"speechcommands", {57, 56, 52, 50, 50, 57, 50}, {58, 56, 51, 50, 55, 50, 50}},
+    {"celeba", {62, 51, 52, 52, 52, 61, 50}, {57, 52, 52, 54, 52, 50, 50}},
+    {"gtsrb", {53, 52, 52, 52, 50, 51, 50}, {53, 53, 52, 52, 52, 50, 50}},
+};
+
+int run(int argc, char** argv) {
+  const double scale = parse_scale(argc, argv);
+  std::string only;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--only=", 7) == 0) only = argv[i] + 7;
+
+  print_header("Figure 6 — privacy evaluation (attack AUC %, optimum = 50)",
+               "Figure 6, §5.5");
+
+  for (const PaperRow& row : kPaper) {
+    if (!only.empty() && only != row.dataset) continue;
+    PreparedCase prepared = prepare_case(get_case(row.dataset, scale));
+
+    std::printf("\n--- %s (model: %s, protected layer p = %zu) ---\n", row.dataset,
+                prepared.spec.paper_model.c_str(), prepared.dinar_layer);
+    print_table_header("defense",
+                       {"glob(paper)", "glob(ours)", "loc(paper)", "loc(ours)"});
+    for (std::size_t d = 0; d < kDefenses.size(); ++d) {
+      const ExperimentResult r = run_experiment(
+          prepared, make_bundle(kDefenses[d], prepared, {}));
+      print_table_row(kDefenses[d],
+                      {row.global_auc[d], 100.0 * r.global_attack_auc,
+                       row.local_auc[d], 100.0 * r.local_attack_auc});
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dinar::bench
+
+int main(int argc, char** argv) { return dinar::bench::run(argc, argv); }

@@ -1,0 +1,42 @@
+// Figure 8: privacy leakage vs utility under non-IID client distributions
+// (GTSRB), Dirichlet alpha in {0.8, 2, 5, inf}. Paper: for every method
+// except DINAR, leakage grows as data becomes closer to IID (the shadow
+// attack learns better), while DINAR stays at 50% regardless; accuracy
+// rises with alpha for all methods.
+#include <cmath>
+
+#include "harness/experiment.h"
+
+namespace dinar::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  const double scale = parse_scale(argc, argv);
+  print_header("Figure 8 — non-IID settings, Dirichlet alpha sweep (GTSRB)",
+               "Figure 8, §5.8");
+
+  const double alphas[] = {0.8, 2.0, 5.0, std::numeric_limits<double>::infinity()};
+  for (double alpha : alphas) {
+    PreparedCase prepared = prepare_case(get_case("gtsrb", scale), alpha);
+    if (std::isinf(alpha))
+      std::printf("\n--- alpha = inf (IID) ---\n");
+    else
+      std::printf("\n--- alpha = %.1f ---\n", alpha);
+    print_table_header("defense", {"accuracy%", "attackAUC%"});
+    for (const char* defense : {"none", "wdp", "cdp", "ldp", "dinar"}) {
+      const ExperimentResult r =
+          run_experiment(prepared, make_bundle(defense, prepared, {}));
+      print_table_row(defense,
+                      {100.0 * r.personalized_accuracy, 100.0 * r.local_attack_auc});
+    }
+  }
+  std::printf("\npaper: DINAR's AUC is independent of alpha (50%%); other "
+              "defenses leak more as the distribution approaches IID; utility "
+              "rises with alpha everywhere, DINAR highest among defenses.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dinar::bench
+
+int main(int argc, char** argv) { return dinar::bench::run(argc, argv); }

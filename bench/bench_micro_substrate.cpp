@@ -1,0 +1,123 @@
+// Engineering microbenchmarks (google-benchmark) for the substrate hot
+// paths: tensor math, layer forward/backward, serialization, FedAvg
+// aggregation, obfuscation and the sensitivity statistics. Not a paper
+// artifact; used to keep the simulator fast enough for the experiment
+// suite.
+#include <benchmark/benchmark.h>
+
+#include "core/obfuscation.h"
+#include "fl/server.h"
+#include "nn/loss.h"
+#include "nn/model_zoo.h"
+#include "util/stats.h"
+
+namespace dinar {
+namespace {
+
+void BM_Matmul(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::gaussian({n, n}, rng);
+  Tensor b = Tensor::gaussian({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_DenseForwardBackward(benchmark::State& state) {
+  Rng rng(2);
+  nn::Model m = nn::make_fcnn6(600, 100, 256, rng);
+  Tensor x = Tensor::gaussian({64, 600}, rng);
+  std::vector<int> labels(64, 3);
+  for (auto _ : state) {
+    Tensor y = m.forward(x, true);
+    nn::LossResult loss = nn::softmax_cross_entropy(y, labels);
+    m.zero_grad();
+    m.backward(loss.grad_logits);
+    benchmark::DoNotOptimize(loss.mean_loss);
+  }
+}
+BENCHMARK(BM_DenseForwardBackward);
+
+void BM_ConvForwardBackward(benchmark::State& state) {
+  Rng rng(3);
+  nn::Model m = nn::make_resnet_small(3, 12, 10, rng);
+  Tensor x = Tensor::gaussian({16, 3, 12, 12}, rng);
+  std::vector<int> labels(16, 1);
+  for (auto _ : state) {
+    Tensor y = m.forward(x, true);
+    nn::LossResult loss = nn::softmax_cross_entropy(y, labels);
+    m.zero_grad();
+    m.backward(loss.grad_logits);
+    benchmark::DoNotOptimize(loss.mean_loss);
+  }
+}
+BENCHMARK(BM_ConvForwardBackward);
+
+void BM_ModelUpdateSerde(benchmark::State& state) {
+  Rng rng(4);
+  nn::Model m = nn::make_fcnn6(600, 100, 256, rng);
+  fl::ModelUpdateMsg msg;
+  msg.client_id = 1;
+  msg.num_samples = 100;
+  msg.params = m.parameters();
+  for (auto _ : state) {
+    auto bytes = msg.serialize();
+    fl::ModelUpdateMsg back = fl::ModelUpdateMsg::deserialize(bytes);
+    benchmark::DoNotOptimize(back.params.data());
+    state.SetBytesProcessed(state.bytes_processed() +
+                            static_cast<std::int64_t>(bytes.size()));
+  }
+}
+BENCHMARK(BM_ModelUpdateSerde);
+
+void BM_FedAvgAggregate(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  Rng rng(5);
+  nn::Model m = nn::make_fcnn6(600, 100, 256, rng);
+  std::vector<fl::ModelUpdateMsg> updates(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    updates[static_cast<std::size_t>(c)].client_id = c;
+    updates[static_cast<std::size_t>(c)].num_samples = 100 + c;
+    updates[static_cast<std::size_t>(c)].params = m.parameters();
+  }
+  for (auto _ : state) {
+    fl::FlServer server(m.parameters(), std::make_unique<fl::NoServerDefense>());
+    server.aggregate(updates);
+    benchmark::DoNotOptimize(server.global_params().data());
+  }
+}
+BENCHMARK(BM_FedAvgAggregate)->Arg(5)->Arg(20);
+
+void BM_ObfuscateLayer(benchmark::State& state) {
+  Rng rng(6);
+  nn::Model m = nn::make_fcnn6(600, 100, 256, rng);
+  Rng orng(7);
+  for (auto _ : state) {
+    nn::ParamList snapshot = m.parameters();
+    core::obfuscate_layer_in_snapshot(m, snapshot, 4, orng);
+    benchmark::DoNotOptimize(snapshot.data());
+  }
+}
+BENCHMARK(BM_ObfuscateLayer);
+
+void BM_JsDivergenceSamples(benchmark::State& state) {
+  Rng rng(8);
+  std::vector<float> a(100000), b(100000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<float>(rng.gaussian());
+    b[i] = static_cast<float>(rng.gaussian(0.3, 1.1));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(js_divergence_samples(a, b));
+  }
+}
+BENCHMARK(BM_JsDivergenceSamples);
+
+}  // namespace
+}  // namespace dinar
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Banking consortium scenario (paper §1: fraud detection in banking
+// systems): ten banks train a shared customer-classification model on
+// Purchase100-style transaction profiles. Two of the banks are
+// compromised and behave Byzantine during DINAR's initialization vote —
+// the broadcast majority vote must still converge on the honest
+// proposal, and the subsequent protected training must hold the attack
+// at the 50% optimum.
+//
+// Run: ./banking_consortium [--fast]
+#include <cstdio>
+#include <cstring>
+
+#include "attack/evaluation.h"
+#include "core/dinar.h"
+#include "data/synthetic.h"
+#include "util/logging.h"
+
+using namespace dinar;
+
+int main(int argc, char** argv) {
+  Logger::instance().set_level(LogLevel::kWarn);
+  const bool fast = argc > 1 && std::strcmp(argv[1], "--fast") == 0;
+
+  std::printf("Banking consortium: 10 banks, 2 Byzantine during the vote\n");
+  std::printf("=========================================================\n");
+
+  Rng rng(23);
+  data::TabularSpec spec;
+  spec.num_samples = fast ? 1500 : 3000;
+  spec.num_features = 600;
+  spec.num_classes = 50;  // paper's Purchase100 has 100; halved for the 3k-sample demo
+  spec.label_noise = 0.2;
+  data::Dataset profiles = data::make_tabular(spec, rng);
+
+  data::FlSplitConfig split_cfg;
+  split_cfg.num_clients = 10;
+  data::FlSplit split = data::make_fl_split(profiles, split_cfg, rng);
+
+  nn::ModelFactory model = nn::fcnn6_factory(600, 50, 256);
+
+  // Initialization with injected Byzantine voters.
+  core::DinarInitConfig init_cfg;
+  init_cfg.byzantine_clients = {3, 7};
+  core::DinarInitResult init =
+      core::run_dinar_initialization(model, split.client_train, split.test, init_cfg);
+
+  std::printf("proposals:");
+  for (std::size_t i = 0; i < init.proposals.size(); ++i)
+    std::printf(" %zu%s", init.proposals[i],
+                (i == 3 || i == 7) ? "(byz)" : "");
+  std::printf("\nvote tally (node 0):");
+  for (const auto& [layer, count] : init.consensus.tally)
+    std::printf(" layer%zu:%d", layer, count);
+  std::printf("\nagreed layer: %zu (honest agreement: %s)\n\n", init.agreed_layer,
+              init.consensus.honest_agreement ? "yes" : "NO");
+
+  // Protected federated training.
+  fl::SimulationConfig cfg;
+  cfg.rounds = fast ? 6 : 12;
+  cfg.train = fl::TrainConfig{3, 64};
+  cfg.learning_rate = 1e-2;
+  fl::FederatedSimulation sim(model, split, cfg,
+                              core::make_dinar_bundle({init.agreed_layer}));
+  sim.run();
+
+  // Attack mounted by a compromised aggregation service.
+  attack::MiaConfig mia_cfg;
+  mia_cfg.shadow_train = fl::TrainConfig{fast ? 10 : 20, 64};
+  mia_cfg.learning_rate = 1e-2;
+  attack::ShadowMia mia(model, split.attacker_prior, mia_cfg);
+  mia.fit();
+  attack::PrivacyReport privacy = attack::evaluate_privacy(sim, mia);
+
+  std::printf("personalized accuracy: %.1f%%\n",
+              100.0 * sim.history().back().personalized_test_accuracy);
+  std::printf("attack AUC: global %.1f%%, local %.1f%% (optimum 50%%)\n",
+              100.0 * privacy.global_attack_auc,
+              100.0 * privacy.mean_local_attack_auc);
+  std::printf("uplink traffic: %.2f MiB over %d rounds\n",
+              static_cast<double>(sim.transport().stats().bytes_up) / (1024.0 * 1024.0),
+              cfg.rounds);
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Cross-silo healthcare scenario (the paper's motivating deployment,
+// §1/§2.1): a handful of hospitals jointly train a diagnosis classifier
+// on Texas100-style discharge records. Hospitals have *non-IID* patient
+// mixes (Dirichlet label skew), and a curious FL server must not be able
+// to tell whether a given patient record was part of any hospital's
+// training set.
+//
+// The example contrasts three deployments — no defense, LDP, DINAR —
+// and reports utility, privacy and the per-round cost of each.
+//
+// Run: ./hospital_cross_silo [--fast]
+#include <cstdio>
+#include <cstring>
+
+#include "attack/evaluation.h"
+#include "core/dinar.h"
+#include "data/synthetic.h"
+#include "privacy/defense_catalog.h"
+#include "util/logging.h"
+
+using namespace dinar;
+
+namespace {
+
+struct Outcome {
+  double accuracy;
+  double local_auc;
+  double client_seconds;
+};
+
+Outcome deploy(const char* label, const fl::DefenseBundle& bundle,
+               const nn::ModelFactory& model, const data::FlSplit& split,
+               attack::ShadowMia& mia, int rounds) {
+  fl::SimulationConfig cfg;
+  cfg.rounds = rounds;
+  cfg.train = fl::TrainConfig{3, 64};
+  cfg.learning_rate = 1e-2;
+  fl::FederatedSimulation sim(model, split, cfg, bundle);
+  sim.run();
+  attack::PrivacyReport privacy = attack::evaluate_privacy(sim, mia);
+  Outcome out{sim.history().back().personalized_test_accuracy,
+              privacy.mean_local_attack_auc,
+              sim.mean_client_train_seconds() + sim.mean_client_defense_seconds()};
+  std::printf("%-12s accuracy %5.1f%%   attack AUC %5.1f%%   client time %.2fs\n",
+              label, 100.0 * out.accuracy, 100.0 * out.local_auc, out.client_seconds);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Logger::instance().set_level(LogLevel::kWarn);
+  const bool fast = argc > 1 && std::strcmp(argv[1], "--fast") == 0;
+
+  std::printf("Cross-silo FL across 4 hospitals, non-IID patient mixes\n");
+  std::printf("=======================================================\n");
+
+  // Texas100-style sparse binary records.
+  Rng rng(11);
+  data::TabularSpec spec;
+  spec.num_samples = fast ? 1200 : 2400;
+  spec.num_features = 512;
+  spec.num_classes = 50;
+  spec.template_density = 0.1;
+  spec.label_noise = 0.2;
+  data::Dataset records = data::make_tabular(spec, rng);
+
+  data::FlSplitConfig split_cfg;
+  split_cfg.num_clients = 4;
+  split_cfg.dirichlet_alpha = 1.0;  // skewed specialities per hospital
+  data::FlSplit split = data::make_fl_split(records, split_cfg, rng);
+  for (std::size_t h = 0; h < split.client_train.size(); ++h)
+    std::printf("hospital %zu: %lld records\n", h,
+                static_cast<long long>(split.client_train[h].size()));
+
+  nn::ModelFactory model = nn::fcnn6_factory(512, 50, 256);
+
+  // DINAR preliminary phase across the hospitals.
+  core::DinarInitConfig init_cfg;
+  core::DinarInitResult init =
+      core::run_dinar_initialization(model, split.client_train, split.test, init_cfg);
+  std::printf("hospitals agreed to obfuscate layer %zu\n\n", init.agreed_layer);
+
+  // The attack a curious aggregation server could mount.
+  attack::MiaConfig mia_cfg;
+  mia_cfg.shadow_train = fl::TrainConfig{fast ? 10 : 18, 64};
+  mia_cfg.learning_rate = 1e-2;
+  attack::ShadowMia mia(model, split.attacker_prior, mia_cfg);
+  mia.fit();
+
+  const int rounds = fast ? 5 : 10;
+  privacy::BaselineDefenseConfig baseline_cfg;
+  baseline_cfg.num_clients = 4;
+  Outcome none = deploy("no defense", fl::DefenseBundle{}, model, split, mia, rounds);
+  deploy("ldp", privacy::make_baseline_bundle("ldp", baseline_cfg), model, split, mia,
+         rounds);
+  Outcome dinar = deploy("dinar", core::make_dinar_bundle({init.agreed_layer}), model,
+                         split, mia, rounds);
+
+  std::printf("\nDINAR kept %.1f of %.1f accuracy points while pushing the "
+              "server-side attack to %.1f%% AUC.\n",
+              100.0 * dinar.accuracy, 100.0 * none.accuracy, 100.0 * dinar.local_auc);
+  return 0;
+}

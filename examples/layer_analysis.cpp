@@ -1,0 +1,94 @@
+// Layer-sensitivity profiler: a standalone tool exposing DINAR's §3
+// analysis. For each of the library's four model families it trains a
+// model to overfit a synthetic workload, then prints the per-layer
+// member/non-member gradient divergence profile and the layer DINAR
+// would protect. Useful when adapting DINAR to a new architecture.
+//
+// Run: ./layer_analysis [--fast]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/sensitivity.h"
+#include "data/synthetic.h"
+#include "fl/trainer.h"
+#include "nn/model_zoo.h"
+#include "opt/optimizers.h"
+#include "util/logging.h"
+
+using namespace dinar;
+
+namespace {
+
+void profile(const std::string& family, nn::Model model, const data::Dataset& members,
+             const data::Dataset& non_members, int epochs) {
+  Rng rng(31);
+  auto optimizer = opt::make_optimizer("adagrad", 1e-2);
+  fl::train_local(model, members, *optimizer, fl::TrainConfig{epochs, 64}, rng);
+  const fl::EvalStats train = fl::evaluate(model, members);
+  const fl::EvalStats test = fl::evaluate(model, non_members);
+
+  core::SensitivityConfig cfg;
+  const auto layers = core::analyze_layer_sensitivity(model, members, non_members, cfg);
+  const std::size_t top = core::most_sensitive_layer(layers);
+
+  std::printf("\n%s  (train acc %.0f%%, test acc %.0f%% -> generalization gap "
+              "%.0f points)\n",
+              family.c_str(), 100.0 * train.accuracy, 100.0 * test.accuracy,
+              100.0 * (train.accuracy - test.accuracy));
+  double max_div = 1e-12;
+  for (const auto& l : layers) max_div = std::max(max_div, l.divergence);
+  for (const auto& l : layers) {
+    const int bar = static_cast<int>(40.0 * l.divergence / max_div);
+    std::printf("  [%2zu] %-28s %8.5f |%s%s\n", l.layer_index,
+                l.layer_name.substr(0, 28).c_str(), l.divergence,
+                std::string(static_cast<std::size_t>(bar), '#').c_str(),
+                l.layer_index == top ? " <== protect" : "");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Logger::instance().set_level(LogLevel::kWarn);
+  const bool fast = argc > 1 && std::strcmp(argv[1], "--fast") == 0;
+  const std::int64_t n = fast ? 300 : 600;
+  const int epochs = fast ? 10 : 20;
+
+  Rng rng(37);
+
+  {
+    data::TabularSpec spec;
+    spec.num_samples = 2 * n;
+    spec.num_features = 600;
+    spec.num_classes = 50;
+    spec.label_noise = 0.2;
+    data::Dataset d = data::make_tabular(spec, rng);
+    profile("FCNN-6 / tabular (Purchase100-style)",
+            nn::make_fcnn6(600, 50, 256, rng), d.take(n), d.drop(n), epochs);
+  }
+  {
+    data::ImageSpec spec;
+    spec.num_samples = 2 * n;
+    spec.num_classes = 10;
+    spec.label_noise = 0.2;
+    data::Dataset d = data::make_images(spec, rng);
+    profile("ResNetSmall / images (Cifar-style)",
+            nn::make_resnet_small(3, 12, 10, rng), d.take(n), d.drop(n), epochs);
+    profile("VggSmall / images (GTSRB-style)",
+            nn::make_vgg_small(3, 12, 10, 4, rng), d.take(n), d.drop(n), epochs);
+  }
+  {
+    data::AudioSpec spec;
+    spec.num_samples = 2 * n;
+    spec.num_classes = 12;
+    spec.label_noise = 0.2;
+    data::Dataset d = data::make_audio(spec, rng);
+    profile("M5Audio / waveforms (SpeechCommands-style)",
+            nn::make_m5_audio(512, 12, rng), d.take(n), d.drop(n), epochs);
+  }
+  std::printf("\nThe paper (Figure 1) reports the penultimate layer dominating "
+              "across architectures; DINAR protects whichever layer the vote "
+              "selects.\n");
+  return 0;
+}

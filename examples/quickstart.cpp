@@ -1,0 +1,68 @@
+// Quickstart: protect a federated model against membership-inference
+// attacks with DINAR in ~60 lines.
+//
+//   1. build a dataset and split it across FL clients;
+//   2. run DINAR's preliminary phase (per-client layer-sensitivity
+//      analysis + Byzantine-tolerant vote on the layer to obfuscate);
+//   3. run federated training with the DINAR client middleware;
+//   4. check utility (accuracy) and privacy (attack AUC).
+//
+// Run: ./quickstart
+#include <cstdio>
+
+#include "attack/evaluation.h"
+#include "core/dinar.h"
+#include "data/synthetic.h"
+#include "util/logging.h"
+
+using namespace dinar;
+
+int main() {
+  Logger::instance().set_level(LogLevel::kWarn);
+
+  // 1. A Purchase100-style tabular dataset, split per the paper's layout:
+  //    half for the attacker, then 80/20 train/test, train sharded over
+  //    five clients.
+  Rng rng(7);
+  data::TabularSpec spec;
+  spec.num_samples = 2000;
+  spec.num_features = 200;
+  spec.num_classes = 20;
+  spec.label_noise = 0.2;  // drives memorization, hence MIA risk
+  data::Dataset dataset = data::make_tabular(spec, rng);
+
+  data::FlSplitConfig split_cfg;
+  split_cfg.num_clients = 5;
+  data::FlSplit split = data::make_fl_split(dataset, split_cfg, rng);
+
+  // 2. DINAR initialization: clients agree on the most privacy-sensitive
+  //    layer of the model they are about to train.
+  nn::ModelFactory model = nn::fcnn6_factory(200, 20, 128);
+  core::DinarInitConfig init_cfg;
+  core::DinarInitResult init =
+      core::run_dinar_initialization(model, split.client_train, split.test, init_cfg);
+  std::printf("consensus: obfuscate layer %zu of %zu\n", init.agreed_layer,
+              init.client_sensitivities.front().size());
+
+  // 3. Federated training with DINAR as the client-side defense.
+  fl::SimulationConfig fl_cfg;
+  fl_cfg.rounds = 10;
+  fl_cfg.train = fl::TrainConfig{3, 64};
+  fl_cfg.learning_rate = 1e-2;
+  fl::FederatedSimulation sim(model, split, fl_cfg,
+                              core::make_dinar_bundle({init.agreed_layer}));
+  sim.run();
+  std::printf("personalized accuracy: %.1f%%\n",
+              100.0 * sim.history().back().personalized_test_accuracy);
+
+  // 4. Attack it: shadow-model MIA with the attacker's half of the data.
+  attack::MiaConfig mia_cfg;
+  mia_cfg.shadow_train = fl::TrainConfig{20, 64};
+  mia_cfg.learning_rate = 1e-2;
+  attack::ShadowMia mia(model, split.attacker_prior, mia_cfg);
+  mia.fit();
+  attack::PrivacyReport report = attack::evaluate_privacy(sim, mia);
+  std::printf("attack AUC: global %.1f%%, local %.1f%%  (50%% = optimal privacy)\n",
+              100.0 * report.global_attack_auc, 100.0 * report.mean_local_attack_auc);
+  return 0;
+}

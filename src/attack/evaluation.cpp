@@ -1,0 +1,41 @@
+#include "attack/evaluation.h"
+
+#include "util/logging.h"
+
+namespace dinar::attack {
+
+PrivacyReport evaluate_privacy(fl::FederatedSimulation& sim, ShadowMia& mia,
+                               std::int64_t max_members_global) {
+  PrivacyReport report;
+
+  // Member pool for the global attack: all clients' training data.
+  data::Dataset all_members;
+  for (fl::FlClient& client : sim.clients()) {
+    all_members = all_members.empty()
+                      ? client.train_data()
+                      : data::Dataset::concat(all_members, client.train_data());
+  }
+  if (all_members.size() > max_members_global)
+    all_members = all_members.take(max_members_global);
+
+  nn::Model global = sim.global_model();
+  report.global_attack_auc = mia.attack_auc(global, all_members, sim.test_data());
+
+  // Local surface: attack each upload the server saw in the last round
+  // (with client sampling, non-participants shipped nothing to attack).
+  const std::vector<std::size_t> participants = sim.last_participants();
+  double local_sum = 0.0;
+  for (std::size_t i : participants) {
+    nn::Model view = sim.server_view_of_client(i);
+    local_sum += mia.attack_auc(view, sim.clients()[i].train_data(), sim.test_data());
+  }
+  report.mean_local_attack_auc =
+      participants.empty() ? 0.5
+                           : local_sum / static_cast<double>(participants.size());
+
+  DINAR_INFO << "privacy: global AUC " << report.global_attack_auc << ", mean local AUC "
+             << report.mean_local_attack_auc;
+  return report;
+}
+
+}  // namespace dinar::attack

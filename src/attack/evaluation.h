@@ -1,0 +1,24 @@
+// Privacy evaluation drivers matching the paper's two attack surfaces
+// (§2.2, Appendix A):
+//  - global-model attack: a client-side adversary attacks the broadcast
+//    global model; members are (a sample of) all clients' training data;
+//  - local-model attack: a server-side adversary attacks each client's
+//    uploaded model as received on the wire; the reported metric is the
+//    mean attack AUC over clients.
+#pragma once
+
+#include "attack/mia.h"
+#include "fl/simulation.h"
+
+namespace dinar::attack {
+
+struct PrivacyReport {
+  double global_attack_auc = 0.5;
+  double mean_local_attack_auc = 0.5;
+};
+
+// Runs both attacks against the simulation's final state.
+PrivacyReport evaluate_privacy(fl::FederatedSimulation& sim, ShadowMia& mia,
+                               std::int64_t max_members_global = 2000);
+
+}  // namespace dinar::attack

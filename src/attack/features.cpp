@@ -1,0 +1,52 @@
+#include "attack/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/loss.h"
+#include "util/error.h"
+
+namespace dinar::attack {
+
+std::vector<FeatureRow> extract_membership_features(nn::Model& model,
+                                                    const data::Dataset& dataset,
+                                                    std::int64_t batch_size) {
+  std::vector<FeatureRow> rows;
+  rows.reserve(static_cast<std::size_t>(dataset.size()));
+  Rng no_shuffle(0);
+  data::BatchIterator batches(dataset, batch_size, no_shuffle, /*shuffle=*/false);
+  data::BatchIterator::Batch batch;
+  while (batches.next(batch)) {
+    Tensor logits = model.forward(batch.features, /*train=*/false);
+    Tensor probs = nn::softmax(logits);
+    const std::int64_t b = probs.dim(0), c = probs.dim(1);
+    for (std::int64_t i = 0; i < b; ++i) {
+      const float* row = probs.data() + i * c;
+      const int label = batch.labels[static_cast<std::size_t>(i)];
+
+      // Top-3 confidences (partial sort of a copy).
+      std::vector<float> sorted(row, row + c);
+      const std::int64_t k = std::min<std::int64_t>(3, c);
+      std::partial_sort(sorted.begin(), sorted.begin() + k, sorted.end(),
+                        std::greater<float>());
+
+      double entropy = 0.0;
+      for (std::int64_t j = 0; j < c; ++j)
+        if (row[j] > 0.0f) entropy -= static_cast<double>(row[j]) * std::log(row[j]);
+
+      const double p_label = std::max<double>(row[label], 1e-12);
+      FeatureRow f{};
+      f[0] = -std::log(p_label);                       // loss
+      f[1] = entropy;                                  // prediction entropy
+      f[2] = sorted[0];                                // top-1 confidence
+      f[3] = k > 1 ? sorted[1] : 0.0;                  // top-2
+      f[4] = k > 2 ? sorted[2] : 0.0;                  // top-3
+      const float* arg = std::max_element(row, row + c);
+      f[5] = (arg - row) == label ? 1.0 : 0.0;         // correctness
+      rows.push_back(f);
+    }
+  }
+  return rows;
+}
+
+}  // namespace dinar::attack

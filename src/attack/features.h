@@ -1,0 +1,30 @@
+// Membership-feature extraction.
+//
+// The MIA of Shokri et al. [41] (the attack the paper evaluates against,
+// §5.5) classifies a sample as member/non-member from the target model's
+// prediction behaviour on it. Each sample is summarized by a fixed
+// feature vector:
+//   [ per-sample loss, prediction entropy, top-1/2/3 confidence,
+//     correctness indicator ]
+// — the standard confidence+loss attack surface.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/model.h"
+
+namespace dinar::attack {
+
+inline constexpr std::size_t kNumMembershipFeatures = 6;
+
+using FeatureRow = std::array<double, kNumMembershipFeatures>;
+
+// Runs the model over the dataset (inference mode) and extracts one
+// feature row per sample.
+std::vector<FeatureRow> extract_membership_features(nn::Model& model,
+                                                    const data::Dataset& dataset,
+                                                    std::int64_t batch_size = 256);
+
+}  // namespace dinar::attack

@@ -1,0 +1,92 @@
+#include "attack/mia.h"
+
+#include <algorithm>
+
+#include "opt/optimizers.h"
+#include "util/error.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace dinar::attack {
+namespace {
+
+// Subsamples a dataset to at most `n` rows (seeded).
+data::Dataset cap(const data::Dataset& d, std::int64_t n, Rng& rng) {
+  if (d.size() <= n) return d;
+  std::vector<std::size_t> idx = rng.permutation(static_cast<std::size_t>(d.size()));
+  idx.resize(static_cast<std::size_t>(n));
+  return d.subset(idx);
+}
+
+}  // namespace
+
+ShadowMia::ShadowMia(nn::ModelFactory factory, data::Dataset attacker_prior,
+                     MiaConfig config)
+    : factory_(std::move(factory)), prior_(std::move(attacker_prior)), config_(config),
+      rng_(config.seed) {
+  DINAR_CHECK(prior_.size() >= 64, "attacker prior too small for shadow training");
+  DINAR_CHECK(config_.num_shadows >= 1, "need at least one shadow model");
+}
+
+void ShadowMia::fit() {
+  std::vector<FeatureRow> features;
+  std::vector<bool> labels;
+
+  for (int s = 0; s < config_.num_shadows; ++s) {
+    Rng shadow_rng = rng_.fork(static_cast<std::uint64_t>(s) + 1);
+
+    // Random half of the prior is this shadow's training set (members).
+    data::Dataset shuffled =
+        prior_.subset(shadow_rng.permutation(static_cast<std::size_t>(prior_.size())));
+    const std::int64_t half = prior_.size() / 2;
+    data::Dataset shadow_members = shuffled.take(half);
+    data::Dataset shadow_non_members = shuffled.drop(half);
+
+    nn::Model shadow = factory_(shadow_rng);
+    auto optimizer = opt::make_optimizer(config_.optimizer, config_.learning_rate);
+    fl::train_local(shadow, shadow_members, *optimizer, config_.shadow_train, shadow_rng);
+
+    data::Dataset member_rows = cap(shadow_members, config_.max_rows_per_shadow,
+                                    shadow_rng);
+    data::Dataset non_member_rows = cap(shadow_non_members, config_.max_rows_per_shadow,
+                                        shadow_rng);
+    for (const FeatureRow& f : extract_membership_features(shadow, member_rows)) {
+      features.push_back(f);
+      labels.push_back(true);
+    }
+    for (const FeatureRow& f : extract_membership_features(shadow, non_member_rows)) {
+      features.push_back(f);
+      labels.push_back(false);
+    }
+    DINAR_DEBUG << "shadow " << s << " trained; feature pool " << features.size();
+  }
+
+  attack_model_.fit(features, labels, config_.attack_fit);
+}
+
+double ShadowMia::attack_auc(nn::Model& target, const data::Dataset& members,
+                             const data::Dataset& non_members) {
+  DINAR_CHECK(fitted(), "ShadowMia::fit must run before attack_auc");
+  DINAR_CHECK(!members.empty() && !non_members.empty(),
+              "attack needs both member and non-member pools");
+
+  // Balance the pools so AUC is not skewed by class imbalance.
+  Rng balance_rng = rng_.fork(0xBA1A);
+  const std::int64_t n = std::min(members.size(), non_members.size());
+  data::Dataset m = cap(members, n, balance_rng);
+  data::Dataset nm = cap(non_members, n, balance_rng);
+
+  std::vector<double> scores;
+  std::vector<bool> labels;
+  for (const FeatureRow& f : extract_membership_features(target, m)) {
+    scores.push_back(attack_model_.score(f));
+    labels.push_back(true);
+  }
+  for (const FeatureRow& f : extract_membership_features(target, nm)) {
+    scores.push_back(attack_model_.score(f));
+    labels.push_back(false);
+  }
+  return roc_auc(scores, labels);
+}
+
+}  // namespace dinar::attack

@@ -1,0 +1,57 @@
+// Shadow-model membership-inference attack (Shokri et al. [41]), the
+// attack used throughout the paper's evaluation.
+//
+// The attacker holds half of the dataset as prior knowledge (§5.1). fit()
+// trains `num_shadows` shadow models of the target architecture, each on
+// a random half of the prior (members) with the other half as
+// non-members, then trains the logistic attack model on the shadows'
+// membership features. attack_auc() scores a target model on known
+// member/non-member pools and reports ROC-AUC — 50% is the optimal
+// (blind-attacker) defense outcome, higher means leakage.
+#pragma once
+
+#include "attack/attack_model.h"
+#include "data/dataset.h"
+#include "fl/trainer.h"
+#include "nn/model_zoo.h"
+
+namespace dinar::attack {
+
+struct MiaConfig {
+  int num_shadows = 3;
+  // Shadow training should roughly match the target's per-client effort so
+  // shadow models exhibit a comparable generalization gap.
+  fl::TrainConfig shadow_train{/*epochs=*/8, /*batch_size=*/64};
+  std::string optimizer = "adagrad";
+  double learning_rate = 1e-3;
+  LogisticAttackModel::FitConfig attack_fit{};
+  // Cap on member/non-member rows per shadow (keeps feature extraction
+  // bounded on large priors).
+  std::int64_t max_rows_per_shadow = 2000;
+  std::uint64_t seed = 1234;
+};
+
+class ShadowMia {
+ public:
+  ShadowMia(nn::ModelFactory factory, data::Dataset attacker_prior, MiaConfig config);
+
+  // Trains shadow models and the attack classifier.
+  void fit();
+  bool fitted() const { return attack_model_.trained(); }
+
+  // ROC-AUC of the attack against `target` using balanced member /
+  // non-member pools (subsampled to the smaller of the two).
+  double attack_auc(nn::Model& target, const data::Dataset& members,
+                    const data::Dataset& non_members);
+
+  const LogisticAttackModel& attack_model() const { return attack_model_; }
+
+ private:
+  nn::ModelFactory factory_;
+  data::Dataset prior_;
+  MiaConfig config_;
+  LogisticAttackModel attack_model_;
+  Rng rng_;
+};
+
+}  // namespace dinar::attack

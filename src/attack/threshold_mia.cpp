@@ -1,0 +1,78 @@
+#include "attack/threshold_mia.h"
+
+#include "nn/loss.h"
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace dinar::attack {
+namespace {
+
+std::vector<double> per_sample_losses(nn::Model& model, const data::Dataset& pool) {
+  std::vector<double> losses;
+  losses.reserve(static_cast<std::size_t>(pool.size()));
+  Rng no_shuffle(0);
+  data::BatchIterator batches(pool, 256, no_shuffle, /*shuffle=*/false);
+  data::BatchIterator::Batch batch;
+  while (batches.next(batch)) {
+    Tensor logits = model.forward(batch.features, /*train=*/false);
+    for (double l : nn::per_sample_cross_entropy(logits, batch.labels))
+      losses.push_back(l);
+  }
+  return losses;
+}
+
+data::Dataset balance(const data::Dataset& d, std::int64_t n, Rng& rng) {
+  if (d.size() <= n) return d;
+  std::vector<std::size_t> idx = rng.permutation(static_cast<std::size_t>(d.size()));
+  idx.resize(static_cast<std::size_t>(n));
+  return d.subset(idx);
+}
+
+}  // namespace
+
+ThresholdAttackResult loss_threshold_attack(nn::Model& target,
+                                            const data::Dataset& members,
+                                            const data::Dataset& non_members,
+                                            std::uint64_t seed) {
+  DINAR_CHECK(!members.empty() && !non_members.empty(),
+              "threshold attack needs both pools");
+  Rng rng(seed);
+  const std::int64_t n = std::min(members.size(), non_members.size());
+  data::Dataset m = balance(members, n, rng);
+  data::Dataset nm = balance(non_members, n, rng);
+
+  const std::vector<double> member_losses = per_sample_losses(target, m);
+  const std::vector<double> non_member_losses = per_sample_losses(target, nm);
+
+  ThresholdAttackResult result;
+  result.mean_member_loss = mean(member_losses);
+  result.mean_non_member_loss = mean(non_member_losses);
+
+  // Score = -loss: members (low loss) should rank above non-members.
+  std::vector<double> scores;
+  std::vector<bool> labels;
+  scores.reserve(member_losses.size() + non_member_losses.size());
+  for (double l : member_losses) {
+    scores.push_back(-l);
+    labels.push_back(true);
+  }
+  for (double l : non_member_losses) {
+    scores.push_back(-l);
+    labels.push_back(false);
+  }
+  result.auc = roc_auc(scores, labels);
+
+  // Yeom's calibrated rule: classify "member" iff loss < mean member loss.
+  result.threshold = result.mean_member_loss;
+  std::size_t correct = 0;
+  for (double l : member_losses)
+    if (l < result.threshold) ++correct;
+  for (double l : non_member_losses)
+    if (l >= result.threshold) ++correct;
+  result.accuracy_at_threshold =
+      static_cast<double>(correct) /
+      static_cast<double>(member_losses.size() + non_member_losses.size());
+  return result;
+}
+
+}  // namespace dinar::attack

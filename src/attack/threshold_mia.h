@@ -1,0 +1,32 @@
+// Loss-threshold membership-inference attack (Yeom et al. style).
+//
+// A simpler, shadow-free MIA used as a second attack surface when
+// evaluating defenses (the paper's future-work direction of testing
+// resilience against other attack families): the attacker scores each
+// sample by the negated per-sample loss — members of an overfit model
+// have systematically lower loss — and the ROC-AUC over member /
+// non-member pools measures leakage directly, with the classical
+// calibrated variant thresholding at the mean training loss.
+#pragma once
+
+#include "data/dataset.h"
+#include "nn/model.h"
+
+namespace dinar::attack {
+
+struct ThresholdAttackResult {
+  double auc = 0.5;             // ROC-AUC of -loss as the membership score
+  double threshold = 0.0;       // calibrated loss threshold (mean member loss)
+  double accuracy_at_threshold = 0.5;  // balanced accuracy of the thresholded rule
+  double mean_member_loss = 0.0;
+  double mean_non_member_loss = 0.0;
+};
+
+// Runs the attack against `target`. Pools are balanced by subsampling the
+// larger one (seeded by `seed`).
+ThresholdAttackResult loss_threshold_attack(nn::Model& target,
+                                            const data::Dataset& members,
+                                            const data::Dataset& non_members,
+                                            std::uint64_t seed = 0xA77AC);
+
+}  // namespace dinar::attack

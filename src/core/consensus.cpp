@@ -1,0 +1,80 @@
+#include "core/consensus.h"
+
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace dinar::core {
+
+VotingNode::VotingNode(int id, std::size_t proposal, bool byzantine)
+    : id_(id), proposal_(proposal), byzantine_(byzantine) {}
+
+std::size_t VotingNode::cast_vote(std::size_t num_layers, Rng& rng) const {
+  if (byzantine_) return static_cast<std::size_t>(rng.uniform_index(num_layers));
+  return proposal_;
+}
+
+void VotingNode::receive_vote(int /*from*/, std::size_t vote) { ++tally_[vote]; }
+
+std::size_t VotingNode::decide() const {
+  DINAR_CHECK(!tally_.empty(), "node " << id_ << " decided without votes");
+  std::size_t best = tally_.begin()->first;
+  int best_count = tally_.begin()->second;
+  for (const auto& [layer, count] : tally_) {
+    if (count > best_count) {  // std::map iterates keys ascending, so the
+      best = layer;            // first maximum is the lowest index.
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+ConsensusResult run_layer_consensus(const std::vector<std::size_t>& proposals,
+                                    const std::vector<bool>& byzantine,
+                                    std::size_t num_layers, Rng& rng) {
+  DINAR_CHECK(!proposals.empty(), "consensus needs at least one voter");
+  DINAR_CHECK(proposals.size() == byzantine.size(), "proposal/fault flag mismatch");
+  DINAR_CHECK(num_layers > 0, "consensus over zero layers");
+
+  std::vector<VotingNode> nodes;
+  nodes.reserve(proposals.size());
+  bool any_honest = false;
+  for (std::size_t i = 0; i < proposals.size(); ++i) {
+    DINAR_CHECK(proposals[i] < num_layers, "proposal out of range");
+    nodes.emplace_back(static_cast<int>(i), proposals[i], byzantine[i]);
+    any_honest = any_honest || !byzantine[i];
+  }
+  DINAR_CHECK(any_honest, "consensus requires at least one honest node");
+
+  // Broadcast: every node sends one vote to every node (including itself,
+  // which is how DMVR counts self-votes). A Byzantine sender may send a
+  // different arbitrary vote to each receiver.
+  for (VotingNode& sender : nodes) {
+    for (VotingNode& receiver : nodes) {
+      receiver.receive_vote(sender.id(), sender.cast_vote(num_layers, rng));
+    }
+  }
+
+  ConsensusResult result;
+  result.node_decisions.reserve(nodes.size());
+  for (const VotingNode& node : nodes) result.node_decisions.push_back(node.decide());
+  result.tally = nodes.front().tally();
+
+  // The agreed value is the honest nodes' common decision. Byzantine
+  // receivers may "decide" anything; they are bound by the protocol's
+  // outcome regardless (§4.1: all clients obfuscate the chosen layer).
+  bool first = true;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (byzantine[i]) continue;
+    if (first) {
+      result.agreed_layer = result.node_decisions[i];
+      first = false;
+    } else if (result.node_decisions[i] != result.agreed_layer) {
+      result.honest_agreement = false;
+    }
+  }
+  DINAR_INFO << "consensus decided layer " << result.agreed_layer
+             << (result.honest_agreement ? "" : " (honest nodes disagreed!)");
+  return result;
+}
+
+}  // namespace dinar::core

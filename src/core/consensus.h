@@ -1,0 +1,57 @@
+// Byzantine-tolerant agreement on the layer to obfuscate (paper §4.1).
+//
+// Broadcast distributed voting in the style of DMVR [39] as used by [2]:
+// every client broadcasts its locally-measured most-sensitive layer index
+// to all peers; each node tallies all received votes and decides the
+// value with the majority (deterministic lowest-index tie-break, so all
+// honest nodes decide identically). With fewer than half the voters
+// Byzantine, the honest majority's common proposal wins.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dinar::core {
+
+// One participant in the vote. Byzantine nodes broadcast an arbitrary
+// (randomized) index instead of their proposal and may vote
+// inconsistently between peers.
+class VotingNode {
+ public:
+  VotingNode(int id, std::size_t proposal, bool byzantine = false);
+
+  int id() const { return id_; }
+  bool byzantine() const { return byzantine_; }
+
+  // The vote this node sends to a given peer.
+  std::size_t cast_vote(std::size_t num_layers, Rng& rng) const;
+  void receive_vote(int from, std::size_t vote);
+
+  // Majority decision over received votes (lowest index wins ties).
+  std::size_t decide() const;
+  const std::map<std::size_t, int>& tally() const { return tally_; }
+
+ private:
+  int id_;
+  std::size_t proposal_;
+  bool byzantine_;
+  std::map<std::size_t, int> tally_;
+};
+
+struct ConsensusResult {
+  std::size_t agreed_layer = 0;
+  bool honest_agreement = true;               // all honest nodes decided alike
+  std::vector<std::size_t> node_decisions;    // per node
+  std::map<std::size_t, int> tally;           // as seen by node 0
+};
+
+// Runs the full broadcast round. `byzantine[i]` marks node i as faulty;
+// requires at least one honest node.
+ConsensusResult run_layer_consensus(const std::vector<std::size_t>& proposals,
+                                    const std::vector<bool>& byzantine,
+                                    std::size_t num_layers, Rng& rng);
+
+}  // namespace dinar::core

@@ -1,0 +1,71 @@
+#include "core/dinar.h"
+
+#include <algorithm>
+
+#include "fl/trainer.h"
+#include "opt/optimizers.h"
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace dinar::core {
+
+DinarInitResult run_dinar_initialization(const nn::ModelFactory& factory,
+                                         const std::vector<data::Dataset>& client_train,
+                                         const data::Dataset& non_members,
+                                         const DinarInitConfig& config) {
+  DINAR_CHECK(!client_train.empty(), "initialization needs clients");
+  DINAR_CHECK(!non_members.empty(), "initialization needs non-member data");
+
+  Rng rng(config.seed);
+  DinarInitResult result;
+  result.proposals.reserve(client_train.size());
+  result.client_sensitivities.reserve(client_train.size());
+
+  std::size_t num_layers = 0;
+  for (std::size_t i = 0; i < client_train.size(); ++i) {
+    Rng client_rng = rng.fork(i + 1);
+    // Warm-up: a locally trained model exhibiting a real generalization
+    // gap — an untrained model leaks nothing and would make the
+    // measurement meaningless.
+    nn::Model model = factory(client_rng);
+    auto optimizer = opt::make_optimizer(config.optimizer, config.learning_rate);
+    fl::train_local(model, client_train[i], *optimizer, config.warmup, client_rng);
+
+    SensitivityConfig sens = config.sensitivity;
+    sens.seed = client_rng.next_u64();
+    std::vector<LayerSensitivity> layers =
+        analyze_layer_sensitivity(model, client_train[i], non_members, sens);
+    num_layers = layers.size();
+    result.proposals.push_back(most_sensitive_layer(layers));
+    result.client_sensitivities.push_back(std::move(layers));
+    DINAR_DEBUG << "client " << i << " proposes layer " << result.proposals.back();
+  }
+
+  std::vector<bool> byzantine(client_train.size(), false);
+  for (int idx : config.byzantine_clients) {
+    DINAR_CHECK(idx >= 0 && static_cast<std::size_t>(idx) < byzantine.size(),
+                "byzantine client index out of range");
+    byzantine[static_cast<std::size_t>(idx)] = true;
+  }
+
+  Rng vote_rng = rng.fork(0xB0BE);
+  result.consensus =
+      run_layer_consensus(result.proposals, byzantine, num_layers, vote_rng);
+  result.agreed_layer = result.consensus.agreed_layer;
+  DINAR_INFO << "DINAR initialization agreed on layer " << result.agreed_layer;
+  return result;
+}
+
+fl::DefenseBundle make_dinar_bundle(std::vector<std::size_t> layers,
+                                    std::uint64_t seed,
+                                    ObfuscationStrategy strategy) {
+  fl::DefenseBundle bundle;
+  bundle.name = "dinar";
+  bundle.make_client = [layers = std::move(layers), seed, strategy](int client_id) {
+    return std::make_unique<DinarDefense>(
+        layers, Rng(seed).fork(static_cast<std::uint64_t>(client_id)), strategy);
+  };
+  return bundle;
+}
+
+}  // namespace dinar::core

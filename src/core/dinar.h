@@ -1,0 +1,53 @@
+// DINAR middleware entry points.
+//
+// DinarInitializer implements the paper's preliminary phase (§4.1): every
+// client trains a short warm-up model on its own shard, measures each
+// layer's member/non-member gradient divergence, proposes its most
+// sensitive layer, and the Byzantine-tolerant broadcast vote fixes the
+// common index p. make_dinar_bundle() then equips an FL simulation with
+// DinarDefense clients protecting that layer.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/consensus.h"
+#include "core/dinar_defense.h"
+#include "core/sensitivity.h"
+#include "fl/simulation.h"
+
+namespace dinar::core {
+
+struct DinarInitConfig {
+  // Warm-up local training before measuring sensitivities.
+  fl::TrainConfig warmup{/*epochs=*/4, /*batch_size=*/64};
+  std::string optimizer = "adagrad";
+  double learning_rate = 1e-3;
+  SensitivityConfig sensitivity{};
+  // Indices of clients that behave Byzantine during the vote.
+  std::vector<int> byzantine_clients;
+  std::uint64_t seed = 17;
+};
+
+struct DinarInitResult {
+  std::size_t agreed_layer = 0;
+  ConsensusResult consensus;
+  // Per-client proposals and full per-layer measurements (Figure 1 data).
+  std::vector<std::size_t> proposals;
+  std::vector<std::vector<LayerSensitivity>> client_sensitivities;
+};
+
+// Runs the preliminary phase over the clients' shards. `non_members`
+// supplies each client's D^n pool (data not used for training).
+DinarInitResult run_dinar_initialization(const nn::ModelFactory& factory,
+                                         const std::vector<data::Dataset>& client_train,
+                                         const data::Dataset& non_members,
+                                         const DinarInitConfig& config);
+
+// Defense bundle protecting `layers` on every client (usually the single
+// index produced by run_dinar_initialization).
+fl::DefenseBundle make_dinar_bundle(
+    std::vector<std::size_t> layers, std::uint64_t seed = 29,
+    ObfuscationStrategy strategy = ObfuscationStrategy::kScaledUniform);
+
+}  // namespace dinar::core

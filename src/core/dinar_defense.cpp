@@ -1,0 +1,57 @@
+#include "core/dinar_defense.h"
+
+#include <algorithm>
+
+#include "core/obfuscation.h"
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace dinar::core {
+
+DinarDefense::DinarDefense(std::vector<std::size_t> protected_layers, Rng rng,
+                           ObfuscationStrategy strategy)
+    : protected_layers_(std::move(protected_layers)), strategy_(strategy), rng_(rng) {
+  DINAR_CHECK(!protected_layers_.empty(), "DINAR needs at least one protected layer");
+  std::sort(protected_layers_.begin(), protected_layers_.end());
+  DINAR_CHECK(std::adjacent_find(protected_layers_.begin(), protected_layers_.end()) ==
+                  protected_layers_.end(),
+              "duplicate protected layer");
+}
+
+void DinarDefense::initialize(nn::Model& model, int client_id) {
+  client_id_ = client_id;
+  const std::size_t num_layers = model.num_param_layers();
+  for (std::size_t p : protected_layers_)
+    DINAR_CHECK(p < num_layers,
+                "protected layer " << p << " out of range (model has " << num_layers
+                                   << " parameterized layers)");
+  // Seed theta_p^* with the initial weights so the very first download
+  // has something to restore (a no-op while global == initial).
+  stored_private_.clear();
+  for (std::size_t p : protected_layers_)
+    stored_private_.push_back(model.layer_parameters(p));
+  DINAR_DEBUG << "DINAR client " << client_id << " protecting "
+              << protected_layers_.size() << " layer(s)";
+}
+
+void DinarDefense::on_download(nn::Model& model, const nn::ParamList& global_params) {
+  // Model Personalization: take every layer from the global model except
+  // the protected ones, which are restored from theta_p^*.
+  model.set_parameters(global_params);
+  for (std::size_t i = 0; i < protected_layers_.size(); ++i)
+    model.set_layer_parameters(protected_layers_[i], stored_private_[i]);
+}
+
+nn::ParamList DinarDefense::before_upload(nn::Model& model, nn::ParamList params,
+                                          std::int64_t /*num_samples*/,
+                                          bool& /*pre_weighted*/) {
+  // Model Obfuscation: persist the trained private layers, then randomize
+  // them in the outgoing snapshot only.
+  for (std::size_t i = 0; i < protected_layers_.size(); ++i) {
+    stored_private_[i] = model.layer_parameters(protected_layers_[i]);
+    obfuscate_layer_in_snapshot(model, params, protected_layers_[i], rng_, strategy_);
+  }
+  return params;
+}
+
+}  // namespace dinar::core

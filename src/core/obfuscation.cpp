@@ -1,0 +1,42 @@
+#include "core/obfuscation.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace dinar::core {
+
+void obfuscate_tensor(Tensor& t, Rng& rng) {
+  RunningStat stat;
+  for (float v : t.values()) stat.add(v);
+  // Fallback scale for degenerate (all-zero) tensors.
+  const double spread = stat.stddev() > 1e-8 ? 3.0 * stat.stddev() : 0.1;
+  for (float& v : t.values())
+    v = static_cast<float>(rng.uniform(-spread, spread));
+}
+
+void obfuscate_tensor_with(Tensor& t, ObfuscationStrategy strategy, Rng& rng) {
+  switch (strategy) {
+    case ObfuscationStrategy::kScaledUniform:
+      obfuscate_tensor(t, rng);
+      return;
+    case ObfuscationStrategy::kZeros:
+      t.zero();
+      return;
+    case ObfuscationStrategy::kLargeGaussian:
+      for (float& v : t.values()) v = static_cast<float>(rng.gaussian(0.0, 1.0));
+      return;
+  }
+}
+
+void obfuscate_layer_in_snapshot(nn::Model& model, nn::ParamList& snapshot,
+                                 std::size_t layer_index, Rng& rng,
+                                 ObfuscationStrategy strategy) {
+  const auto [begin, end] = model.layer_param_span(layer_index);
+  DINAR_CHECK(end <= snapshot.size(), "snapshot smaller than model parameters");
+  for (std::size_t i = begin; i < end; ++i)
+    obfuscate_tensor_with(snapshot[i], strategy, rng);
+}
+
+}  // namespace dinar::core

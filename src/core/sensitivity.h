@@ -1,0 +1,43 @@
+// Per-layer privacy-sensitivity analysis (paper §3 and §4.1).
+//
+// For each parameterized layer, the analyzer compares the distribution of
+// that layer's per-sample gradient norms when the model predicts on
+// *member* data against the distribution on *non-member* data, measuring
+// the gap with the Jensen-Shannon divergence. Memorized (member) samples
+// produce near-zero gradients while fresh samples do not, and the gap
+// concentrates in the layers nearest the loss; the layer with the largest
+// divergence leaks the most membership information and is DINAR's
+// obfuscation target (empirically a late / penultimate layer — Figure 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/model.h"
+
+namespace dinar::core {
+
+struct LayerSensitivity {
+  std::size_t layer_index = 0;
+  std::string layer_name;
+  double divergence = 0.0;  // JS divergence in [0, ln 2]
+};
+
+struct SensitivityConfig {
+  // Number of single-sample predictions drawn from each pool; each yields
+  // one per-layer gradient-norm observation.
+  int samples_per_pool = 192;
+  int histogram_bins = 16;
+  std::uint64_t seed = 99;
+};
+
+// Computes one LayerSensitivity per parameterized layer of `model`.
+std::vector<LayerSensitivity> analyze_layer_sensitivity(
+    nn::Model& model, const data::Dataset& members, const data::Dataset& non_members,
+    const SensitivityConfig& config = {});
+
+// Index of the layer with the maximum divergence.
+std::size_t most_sensitive_layer(const std::vector<LayerSensitivity>& sensitivities);
+
+}  // namespace dinar::core

@@ -1,0 +1,102 @@
+#include "data/dataset.h"
+
+#include <cstring>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace dinar::data {
+
+Dataset::Dataset(Tensor features, std::vector<int> labels, int num_classes)
+    : features_(std::move(features)), labels_(std::move(labels)),
+      num_classes_(num_classes) {
+  DINAR_CHECK(features_.rank() >= 2, "dataset features must be [N, ...]");
+  DINAR_CHECK(features_.dim(0) == static_cast<std::int64_t>(labels_.size()),
+              "feature/label count mismatch: " << features_.dim(0) << " vs "
+                                               << labels_.size());
+  DINAR_CHECK(num_classes_ > 0, "dataset needs a positive class count");
+  sample_shape_.assign(features_.shape().begin() + 1, features_.shape().end());
+  sample_numel_ = shape_numel(sample_shape_);
+  for (int label : labels_)
+    DINAR_CHECK(label >= 0 && label < num_classes_, "label out of range");
+}
+
+Tensor Dataset::gather_features(std::span<const std::size_t> indices) const {
+  Shape out_shape;
+  out_shape.push_back(static_cast<std::int64_t>(indices.size()));
+  out_shape.insert(out_shape.end(), sample_shape_.begin(), sample_shape_.end());
+  Tensor out(out_shape);
+  const float* src = features_.data();
+  float* dst = out.data();
+  const std::size_t row = static_cast<std::size_t>(sample_numel_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    DINAR_CHECK(indices[i] < labels_.size(), "gather index out of range");
+    std::memcpy(dst + i * row, src + indices[i] * row, row * sizeof(float));
+  }
+  return out;
+}
+
+std::vector<int> Dataset::gather_labels(std::span<const std::size_t> indices) const {
+  std::vector<int> out(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) out[i] = labels_[indices[i]];
+  return out;
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  return Dataset(gather_features(indices), gather_labels(indices), num_classes_);
+}
+
+Dataset Dataset::take(std::int64_t n) const {
+  DINAR_CHECK(n >= 0 && n <= size(), "take out of range");
+  std::vector<std::size_t> idx(static_cast<std::size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+  return subset(idx);
+}
+
+Dataset Dataset::drop(std::int64_t n) const {
+  DINAR_CHECK(n >= 0 && n <= size(), "drop out of range");
+  std::vector<std::size_t> idx(static_cast<std::size_t>(size() - n));
+  std::iota(idx.begin(), idx.end(), static_cast<std::size_t>(n));
+  return subset(idx);
+}
+
+Dataset Dataset::concat(const Dataset& a, const Dataset& b) {
+  DINAR_CHECK(a.sample_shape() == b.sample_shape(), "concat: sample shape mismatch");
+  DINAR_CHECK(a.num_classes() == b.num_classes(), "concat: class count mismatch");
+  Shape shape = a.features().shape();
+  shape[0] = a.size() + b.size();
+  Tensor features(shape);
+  std::memcpy(features.data(), a.features().data(),
+              static_cast<std::size_t>(a.features().numel()) * sizeof(float));
+  std::memcpy(features.data() + a.features().numel(), b.features().data(),
+              static_cast<std::size_t>(b.features().numel()) * sizeof(float));
+  std::vector<int> labels = a.labels();
+  labels.insert(labels.end(), b.labels().begin(), b.labels().end());
+  return Dataset(std::move(features), std::move(labels), a.num_classes());
+}
+
+BatchIterator::BatchIterator(const Dataset& dataset, std::int64_t batch_size, Rng& rng,
+                             bool shuffle)
+    : dataset_(dataset), batch_size_(batch_size) {
+  DINAR_CHECK(batch_size > 0, "batch size must be positive");
+  order_.resize(static_cast<std::size_t>(dataset.size()));
+  std::iota(order_.begin(), order_.end(), 0);
+  if (shuffle) rng.shuffle(order_);
+}
+
+bool BatchIterator::next(Batch& out) {
+  if (cursor_ >= order_.size()) return false;
+  const std::size_t end = std::min(cursor_ + static_cast<std::size_t>(batch_size_),
+                                   order_.size());
+  std::span<const std::size_t> idx(order_.data() + cursor_, end - cursor_);
+  out.features = dataset_.gather_features(idx);
+  out.labels = dataset_.gather_labels(idx);
+  cursor_ = end;
+  return true;
+}
+
+std::int64_t BatchIterator::num_batches() const {
+  return (dataset_.size() + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace dinar::data

@@ -1,0 +1,76 @@
+// In-memory labelled dataset.
+//
+// Features are one contiguous tensor [N, sample_shape...]; labels are
+// class indices. Subsetting and batching gather rows by index, which is
+// how the FL splitter (per-client shards), the batcher (shuffled
+// minibatches) and the attack (member/non-member pools) all slice data.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace dinar::data {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(Tensor features, std::vector<int> labels, int num_classes);
+
+  std::int64_t size() const { return static_cast<std::int64_t>(labels_.size()); }
+  bool empty() const { return labels_.empty(); }
+  int num_classes() const { return num_classes_; }
+  // Per-sample shape (no batch dimension).
+  const Shape& sample_shape() const { return sample_shape_; }
+  std::int64_t sample_numel() const { return sample_numel_; }
+
+  const Tensor& features() const { return features_; }
+  const std::vector<int>& labels() const { return labels_; }
+
+  // Gathers rows into a batch tensor [|indices|, sample_shape...].
+  Tensor gather_features(std::span<const std::size_t> indices) const;
+  std::vector<int> gather_labels(std::span<const std::size_t> indices) const;
+
+  Dataset subset(std::span<const std::size_t> indices) const;
+  // First n / remaining size-n split helpers.
+  Dataset take(std::int64_t n) const;
+  Dataset drop(std::int64_t n) const;
+
+  // Concatenates two datasets with identical sample shape and class count.
+  static Dataset concat(const Dataset& a, const Dataset& b);
+
+ private:
+  Tensor features_;
+  std::vector<int> labels_;
+  int num_classes_ = 0;
+  Shape sample_shape_;
+  std::int64_t sample_numel_ = 0;
+};
+
+// Minibatch view: indices are shuffled with `rng` at construction; call
+// next() until it returns false.
+class BatchIterator {
+ public:
+  BatchIterator(const Dataset& dataset, std::int64_t batch_size, Rng& rng,
+                bool shuffle = true);
+
+  struct Batch {
+    Tensor features;
+    std::vector<int> labels;
+  };
+
+  // Fills `out` with the next minibatch; false when the epoch is done.
+  bool next(Batch& out);
+  std::int64_t num_batches() const;
+
+ private:
+  const Dataset& dataset_;
+  std::int64_t batch_size_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace dinar::data

@@ -1,0 +1,77 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace dinar::data {
+
+std::vector<std::vector<std::size_t>> iid_partition(std::int64_t num_samples,
+                                                    int num_clients, Rng& rng) {
+  DINAR_CHECK(num_clients > 0, "need at least one client");
+  DINAR_CHECK(num_samples >= num_clients, "fewer samples than clients");
+  std::vector<std::size_t> order = rng.permutation(static_cast<std::size_t>(num_samples));
+  std::vector<std::vector<std::size_t>> parts(static_cast<std::size_t>(num_clients));
+  for (std::size_t i = 0; i < order.size(); ++i)
+    parts[i % static_cast<std::size_t>(num_clients)].push_back(order[i]);
+  return parts;
+}
+
+std::vector<std::vector<std::size_t>> dirichlet_partition(
+    const std::vector<int>& labels, int num_classes, int num_clients, double alpha,
+    Rng& rng, std::int64_t min_per_client) {
+  DINAR_CHECK(num_clients > 0, "need at least one client");
+  if (!(alpha > 0.0) || std::isinf(alpha))
+    return iid_partition(static_cast<std::int64_t>(labels.size()), num_clients, rng);
+
+  // Group sample indices by class.
+  std::vector<std::vector<std::size_t>> by_class(static_cast<std::size_t>(num_classes));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    DINAR_CHECK(labels[i] >= 0 && labels[i] < num_classes, "label out of range");
+    by_class[static_cast<std::size_t>(labels[i])].push_back(i);
+  }
+
+  constexpr int kMaxAttempts = 64;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    std::vector<std::vector<std::size_t>> parts(static_cast<std::size_t>(num_clients));
+    for (auto& cls : by_class) {
+      if (cls.empty()) continue;
+      rng.shuffle(cls);
+      const std::vector<double> props = rng.dirichlet(alpha, num_clients);
+      // Convert proportions to cumulative cut points over this class.
+      std::size_t start = 0;
+      double cum = 0.0;
+      for (int c = 0; c < num_clients; ++c) {
+        cum += props[static_cast<std::size_t>(c)];
+        const std::size_t end =
+            (c == num_clients - 1)
+                ? cls.size()
+                : std::min(cls.size(),
+                           static_cast<std::size_t>(std::llround(
+                               cum * static_cast<double>(cls.size()))));
+        for (std::size_t i = start; i < end; ++i)
+          parts[static_cast<std::size_t>(c)].push_back(cls[i]);
+        start = end;
+      }
+    }
+    const bool ok = std::all_of(parts.begin(), parts.end(), [&](const auto& p) {
+      return static_cast<std::int64_t>(p.size()) >= min_per_client;
+    });
+    if (ok) return parts;
+  }
+  // Heavily skewed draws kept starving a client; degrade to IID rather
+  // than return an unusable split.
+  return iid_partition(static_cast<std::int64_t>(labels.size()), num_clients, rng);
+}
+
+std::vector<Dataset> apply_partition(const Dataset& dataset,
+                                     const std::vector<std::vector<std::size_t>>& parts) {
+  std::vector<Dataset> out;
+  out.reserve(parts.size());
+  for (const auto& indices : parts) out.push_back(dataset.subset(indices));
+  return out;
+}
+
+}  // namespace dinar::data

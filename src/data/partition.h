@@ -1,0 +1,30 @@
+// Client data partitioners.
+//
+// IID: a shuffled equal split. Non-IID: Dirichlet(alpha) label-skew
+// partitioning (paper §5.8) — for each class, the class's samples are
+// divided among clients with proportions drawn from Dirichlet(alpha);
+// smaller alpha means more skew, alpha = infinity degenerates to IID.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace dinar::data {
+
+// Equal-size disjoint shards after a seeded shuffle.
+std::vector<std::vector<std::size_t>> iid_partition(std::int64_t num_samples,
+                                                    int num_clients, Rng& rng);
+
+// Dirichlet label-skew shards. alpha <= 0 or +inf falls back to IID.
+// Every client is guaranteed at least `min_per_client` samples (re-drawn
+// otherwise, up to a bounded number of attempts).
+std::vector<std::vector<std::size_t>> dirichlet_partition(
+    const std::vector<int>& labels, int num_classes, int num_clients, double alpha,
+    Rng& rng, std::int64_t min_per_client = 16);
+
+// Applies an index partition to a dataset.
+std::vector<Dataset> apply_partition(const Dataset& dataset,
+                                     const std::vector<std::vector<std::size_t>>& parts);
+
+}  // namespace dinar::data

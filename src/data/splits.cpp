@@ -1,0 +1,38 @@
+#include "data/splits.h"
+
+#include "util/error.h"
+
+namespace dinar::data {
+
+FlSplit make_fl_split(const Dataset& full, const FlSplitConfig& config, Rng& rng) {
+  DINAR_CHECK(config.num_clients > 0, "need at least one client");
+  DINAR_CHECK(config.attacker_fraction > 0.0 && config.attacker_fraction < 1.0,
+              "attacker fraction must be in (0,1)");
+  DINAR_CHECK(config.train_fraction > 0.0 && config.train_fraction < 1.0,
+              "train fraction must be in (0,1)");
+
+  // Shuffle once so all three pools are exchangeable draws.
+  Dataset shuffled = full.subset(rng.permutation(static_cast<std::size_t>(full.size())));
+
+  const std::int64_t n_attacker =
+      static_cast<std::int64_t>(config.attacker_fraction * static_cast<double>(full.size()));
+  Dataset attacker = shuffled.take(n_attacker);
+  Dataset rest = shuffled.drop(n_attacker);
+
+  const std::int64_t n_train =
+      static_cast<std::int64_t>(config.train_fraction * static_cast<double>(rest.size()));
+  Dataset train = rest.take(n_train);
+  Dataset test = rest.drop(n_train);
+
+  std::vector<std::vector<std::size_t>> parts = dirichlet_partition(
+      train.labels(), train.num_classes(), config.num_clients, config.dirichlet_alpha,
+      rng);
+
+  FlSplit split;
+  split.attacker_prior = std::move(attacker);
+  split.client_train = apply_partition(train, parts);
+  split.test = std::move(test);
+  return split;
+}
+
+}  // namespace dinar::data

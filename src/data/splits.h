@@ -1,0 +1,34 @@
+// The paper's experimental data layout (§5.1, §5.3):
+//   - half of the dataset is the attacker's prior knowledge (shadow pool);
+//   - the other half splits 80% train / 20% test;
+//   - training data is divided into disjoint per-client shards
+//     (IID or Dirichlet non-IID).
+// Members (attack positives) are client training samples; non-members
+// (attack negatives) come from the test split.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/partition.h"
+
+namespace dinar::data {
+
+struct FlSplitConfig {
+  int num_clients = 5;
+  double attacker_fraction = 0.5;
+  double train_fraction = 0.8;  // of the non-attacker half
+  // Dirichlet alpha for client shards; +inf (default) = IID.
+  double dirichlet_alpha = std::numeric_limits<double>::infinity();
+};
+
+struct FlSplit {
+  Dataset attacker_prior;            // shadow-model pool
+  std::vector<Dataset> client_train; // per-client member data
+  Dataset test;                      // non-member pool / utility metric
+};
+
+FlSplit make_fl_split(const Dataset& full, const FlSplitConfig& config, Rng& rng);
+
+}  // namespace dinar::data

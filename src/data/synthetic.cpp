@@ -1,0 +1,139 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace dinar::data {
+namespace {
+
+int noisy_label(int true_label, int num_classes, double label_noise, Rng& rng) {
+  if (label_noise > 0.0 && rng.bernoulli(label_noise))
+    return static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(num_classes)));
+  return true_label;
+}
+
+}  // namespace
+
+Dataset make_tabular(const TabularSpec& spec, Rng& rng) {
+  DINAR_CHECK(spec.num_samples > 0 && spec.num_features > 0 && spec.num_classes > 0,
+              "invalid tabular spec");
+  // Per-class Bernoulli bit templates.
+  std::vector<std::vector<float>> templates(static_cast<std::size_t>(spec.num_classes));
+  for (auto& t : templates) {
+    t.resize(static_cast<std::size_t>(spec.num_features));
+    for (float& bit : t) bit = rng.bernoulli(spec.template_density) ? 1.0f : 0.0f;
+  }
+
+  Tensor features({spec.num_samples, spec.num_features});
+  std::vector<int> labels(static_cast<std::size_t>(spec.num_samples));
+  float* p = features.data();
+  for (std::int64_t i = 0; i < spec.num_samples; ++i) {
+    const int cls =
+        static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(spec.num_classes)));
+    const std::vector<float>& t = templates[static_cast<std::size_t>(cls)];
+    float* row = p + i * spec.num_features;
+    for (std::int64_t j = 0; j < spec.num_features; ++j) {
+      const bool flip = rng.bernoulli(spec.flip_prob);
+      row[j] = flip ? 1.0f - t[static_cast<std::size_t>(j)]
+                    : t[static_cast<std::size_t>(j)];
+    }
+    labels[static_cast<std::size_t>(i)] =
+        noisy_label(cls, spec.num_classes, spec.label_noise, rng);
+  }
+  return Dataset(std::move(features), std::move(labels), spec.num_classes);
+}
+
+Dataset make_images(const ImageSpec& spec, Rng& rng) {
+  DINAR_CHECK(spec.num_samples > 0 && spec.channels > 0 && spec.image_size > 0 &&
+                  spec.num_classes > 0,
+              "invalid image spec");
+  const std::int64_t c = spec.channels, s = spec.image_size;
+  const std::int64_t pix = c * s * s;
+
+  // Per-class smooth prototypes: each channel is a mixture of 4 random
+  // low-frequency plane waves, giving visually distinct but learnable
+  // class structure.
+  std::vector<std::vector<float>> protos(static_cast<std::size_t>(spec.num_classes));
+  for (auto& proto : protos) {
+    proto.assign(static_cast<std::size_t>(pix), 0.0f);
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (int k = 0; k < 4; ++k) {
+        const double fx = rng.uniform(0.5, 2.5);
+        const double fy = rng.uniform(0.5, 2.5);
+        const double phase = rng.uniform(0.0, 2.0 * M_PI);
+        const double amp = rng.uniform(0.3, 0.8);
+        for (std::int64_t y = 0; y < s; ++y)
+          for (std::int64_t x = 0; x < s; ++x)
+            proto[static_cast<std::size_t>((ch * s + y) * s + x)] +=
+                static_cast<float>(amp *
+                                   std::sin(2.0 * M_PI *
+                                                (fx * static_cast<double>(x) +
+                                                 fy * static_cast<double>(y)) /
+                                                static_cast<double>(s) +
+                                            phase));
+      }
+    }
+  }
+
+  Shape shape{spec.num_samples, c, s, s};
+  Tensor features(shape);
+  std::vector<int> labels(static_cast<std::size_t>(spec.num_samples));
+  float* p = features.data();
+  for (std::int64_t i = 0; i < spec.num_samples; ++i) {
+    const int cls =
+        static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(spec.num_classes)));
+    const std::vector<float>& proto = protos[static_cast<std::size_t>(cls)];
+    float* img = p + i * pix;
+    for (std::int64_t j = 0; j < pix; ++j)
+      img[j] = proto[static_cast<std::size_t>(j)] +
+               static_cast<float>(rng.gaussian(0.0, spec.sample_noise));
+    labels[static_cast<std::size_t>(i)] =
+        noisy_label(cls, spec.num_classes, spec.label_noise, rng);
+  }
+  return Dataset(std::move(features), std::move(labels), spec.num_classes);
+}
+
+Dataset make_audio(const AudioSpec& spec, Rng& rng) {
+  DINAR_CHECK(spec.num_samples > 0 && spec.length > 0 && spec.num_classes > 0 &&
+                  spec.tones_per_class > 0,
+              "invalid audio spec");
+  struct Tone {
+    double freq, amp;
+  };
+  std::vector<std::vector<Tone>> class_tones(static_cast<std::size_t>(spec.num_classes));
+  for (auto& tones : class_tones) {
+    tones.resize(static_cast<std::size_t>(spec.tones_per_class));
+    for (Tone& t : tones) {
+      t.freq = rng.uniform(2.0, 40.0);
+      t.amp = rng.uniform(0.3, 1.0);
+    }
+  }
+
+  Tensor features({spec.num_samples, 1, spec.length});
+  std::vector<int> labels(static_cast<std::size_t>(spec.num_samples));
+  float* p = features.data();
+  for (std::int64_t i = 0; i < spec.num_samples; ++i) {
+    const int cls =
+        static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(spec.num_classes)));
+    float* wave = p + i * spec.length;
+    // Random phase per sample: class identity lives in the spectrum, not
+    // the raw alignment, like spoken-word utterances.
+    for (std::int64_t t = 0; t < spec.length; ++t) wave[t] = 0.0f;
+    for (const Tone& tone : class_tones[static_cast<std::size_t>(cls)]) {
+      const double phase = rng.uniform(0.0, 2.0 * M_PI);
+      for (std::int64_t t = 0; t < spec.length; ++t)
+        wave[t] += static_cast<float>(
+            tone.amp * std::sin(2.0 * M_PI * tone.freq * static_cast<double>(t) /
+                                    static_cast<double>(spec.length) +
+                                phase));
+    }
+    for (std::int64_t t = 0; t < spec.length; ++t)
+      wave[t] += static_cast<float>(rng.gaussian(0.0, spec.sample_noise));
+    labels[static_cast<std::size_t>(i)] =
+        noisy_label(cls, spec.num_classes, spec.label_noise, rng);
+  }
+  return Dataset(std::move(features), std::move(labels), spec.num_classes);
+}
+
+}  // namespace dinar::data

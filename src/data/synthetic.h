@@ -1,0 +1,57 @@
+// Synthetic dataset generators standing in for the paper's six datasets
+// (DESIGN.md §1 documents each substitution).
+//
+// Every generator follows the same recipe: a per-class latent prototype
+// plus per-sample perturbation, plus a configurable label-noise rate.
+// Label noise is the memorization driver — a model that fits noisy labels
+// must memorize individual samples, which opens exactly the
+// member/non-member generalization gap that membership-inference attacks
+// (and hence the paper's entire evaluation) rely on.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace dinar::data {
+
+struct TabularSpec {
+  std::int64_t num_samples = 4000;
+  std::int64_t num_features = 600;
+  int num_classes = 100;
+  double template_density = 0.2;  // P(template bit = 1)
+  double flip_prob = 0.08;        // per-bit sample noise
+  double label_noise = 0.2;       // P(label replaced by a uniform class)
+};
+
+// Sparse binary rows from per-class Bernoulli templates — the
+// Purchase100 / Texas100 analogue.
+Dataset make_tabular(const TabularSpec& spec, Rng& rng);
+
+struct ImageSpec {
+  std::int64_t num_samples = 3000;
+  std::int64_t channels = 3;
+  std::int64_t image_size = 12;
+  int num_classes = 10;
+  double sample_noise = 0.35;  // stddev of per-sample additive noise
+  double label_noise = 0.2;
+};
+
+// Smooth per-class prototype images (low-frequency sinusoid mixtures)
+// plus Gaussian pixel noise — the Cifar / GTSRB / CelebA analogue.
+Dataset make_images(const ImageSpec& spec, Rng& rng);
+
+struct AudioSpec {
+  std::int64_t num_samples = 3000;
+  std::int64_t length = 512;
+  int num_classes = 36;
+  int tones_per_class = 3;
+  double sample_noise = 0.3;
+  double label_noise = 0.2;
+};
+
+// Class-dependent multi-sine waveforms with random phase — the Speech
+// Commands analogue (raw 1-D input for the conv1d path).
+Dataset make_audio(const AudioSpec& spec, Rng& rng);
+
+}  // namespace dinar::data

@@ -1,0 +1,44 @@
+#include "fl/client.h"
+
+#include "util/error.h"
+
+namespace dinar::fl {
+
+FlClient::FlClient(int id, data::Dataset train_data, nn::Model model,
+                   std::unique_ptr<opt::Optimizer> optimizer,
+                   std::unique_ptr<ClientDefense> defense, TrainConfig train_config,
+                   Rng rng)
+    : id_(id), train_data_(std::move(train_data)), model_(std::move(model)),
+      optimizer_(std::move(optimizer)), defense_(std::move(defense)),
+      train_config_(train_config), rng_(rng) {
+  DINAR_CHECK(!train_data_.empty(), "client " << id << " has no training data");
+  DINAR_CHECK(optimizer_ != nullptr && defense_ != nullptr,
+              "client needs an optimizer and a defense");
+  defense_->initialize(model_, id_);
+}
+
+void FlClient::receive_global(const GlobalModelMsg& msg) {
+  round_ = msg.round;
+  ScopedTimer timing(defense_timer_);
+  defense_->on_download(model_, msg.params);
+}
+
+ModelUpdateMsg FlClient::train_round() {
+  {
+    ScopedTimer timing(train_timer_);
+    last_stats_ = train_local(model_, train_data_, *optimizer_, train_config_, rng_);
+  }
+
+  ModelUpdateMsg msg;
+  msg.client_id = id_;
+  msg.round = round_;
+  msg.num_samples = num_samples();
+  {
+    ScopedTimer timing(defense_timer_);
+    msg.params = defense_->before_upload(model_, model_.parameters(), num_samples(),
+                                         msg.pre_weighted);
+  }
+  return msg;
+}
+
+}  // namespace dinar::fl

@@ -1,0 +1,59 @@
+// FL client: local training wrapped by defense middleware.
+//
+// Per round (paper §2.1 + Algorithm 1's host process):
+//   1. receive_global(): the defense installs the global model — the
+//      default installs it verbatim, DINAR personalizes;
+//   2. train_round(): local epochs with the client's optimizer;
+//   3. the defense's before_upload() transforms the outgoing parameters
+//      (obfuscation / noise / compression / masking);
+//   4. the update message is produced for the transport.
+#pragma once
+
+#include <memory>
+
+#include "data/dataset.h"
+#include "fl/defense.h"
+#include "fl/message.h"
+#include "fl/trainer.h"
+#include "util/timer.h"
+
+namespace dinar::fl {
+
+class FlClient {
+ public:
+  FlClient(int id, data::Dataset train_data, nn::Model model,
+           std::unique_ptr<opt::Optimizer> optimizer,
+           std::unique_ptr<ClientDefense> defense, TrainConfig train_config, Rng rng);
+
+  int id() const { return id_; }
+  std::int64_t num_samples() const { return train_data_.size(); }
+  const data::Dataset& train_data() const { return train_data_; }
+  // The personalized model the client would use for predictions.
+  nn::Model& model() { return model_; }
+  ClientDefense& defense() { return *defense_; }
+
+  void receive_global(const GlobalModelMsg& msg);
+
+  // Local training + defense; returns the update to upload.
+  ModelUpdateMsg train_round();
+
+  TrainStats last_train_stats() const { return last_stats_; }
+  // Table 3 client-side metrics.
+  const CumulativeTimer& train_timer() const { return train_timer_; }
+  const CumulativeTimer& defense_timer() const { return defense_timer_; }
+
+ private:
+  int id_;
+  data::Dataset train_data_;
+  nn::Model model_;
+  std::unique_ptr<opt::Optimizer> optimizer_;
+  std::unique_ptr<ClientDefense> defense_;
+  TrainConfig train_config_;
+  Rng rng_;
+  std::int64_t round_ = 0;
+  TrainStats last_stats_;
+  CumulativeTimer train_timer_;
+  CumulativeTimer defense_timer_;
+};
+
+}  // namespace dinar::fl

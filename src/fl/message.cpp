@@ -1,0 +1,54 @@
+#include "fl/message.h"
+
+#include "util/error.h"
+#include "util/serde.h"
+
+namespace dinar::fl {
+namespace {
+constexpr std::uint32_t kGlobalMsgMagic = 0x474D4F44;  // "GMOD"
+constexpr std::uint32_t kUpdateMsgMagic = 0x55504454;  // "UPDT"
+}  // namespace
+
+std::vector<std::uint8_t> GlobalModelMsg::serialize() const {
+  BinaryWriter w;
+  w.write_u32(kGlobalMsgMagic);
+  w.write_i64(round);
+  nn::write_param_list(w, params);
+  return w.take();
+}
+
+GlobalModelMsg GlobalModelMsg::deserialize(const std::vector<std::uint8_t>& bytes) {
+  BinaryReader r(bytes);
+  DINAR_CHECK(r.read_u32() == kGlobalMsgMagic, "not a global-model message");
+  GlobalModelMsg msg;
+  msg.round = r.read_i64();
+  msg.params = nn::read_param_list(r);
+  DINAR_CHECK(r.exhausted(), "trailing bytes in global-model message");
+  return msg;
+}
+
+std::vector<std::uint8_t> ModelUpdateMsg::serialize() const {
+  BinaryWriter w;
+  w.write_u32(kUpdateMsgMagic);
+  w.write_u32(static_cast<std::uint32_t>(client_id));
+  w.write_i64(round);
+  w.write_i64(num_samples);
+  w.write_u8(pre_weighted ? 1 : 0);
+  nn::write_param_list(w, params);
+  return w.take();
+}
+
+ModelUpdateMsg ModelUpdateMsg::deserialize(const std::vector<std::uint8_t>& bytes) {
+  BinaryReader r(bytes);
+  DINAR_CHECK(r.read_u32() == kUpdateMsgMagic, "not a model-update message");
+  ModelUpdateMsg msg;
+  msg.client_id = static_cast<std::int32_t>(r.read_u32());
+  msg.round = r.read_i64();
+  msg.num_samples = r.read_i64();
+  msg.pre_weighted = r.read_u8() != 0;
+  msg.params = nn::read_param_list(r);
+  DINAR_CHECK(r.exhausted(), "trailing bytes in model-update message");
+  return msg;
+}
+
+}  // namespace dinar::fl

@@ -1,0 +1,37 @@
+// FL wire messages.
+//
+// Two message kinds cross the transport each round: the server's global
+// model broadcast and each client's model update. Updates carry the
+// client's sample count (FedAvg weight) and a `pre_weighted` flag used by
+// secure aggregation, whose pairwise masks only cancel under an unweighted
+// sum — SA clients pre-multiply their parameters by their own weight so
+// the server can sum blindly and divide by the total weight.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace dinar::fl {
+
+struct GlobalModelMsg {
+  std::int64_t round = 0;
+  nn::ParamList params;
+
+  std::vector<std::uint8_t> serialize() const;
+  static GlobalModelMsg deserialize(const std::vector<std::uint8_t>& bytes);
+};
+
+struct ModelUpdateMsg {
+  std::int32_t client_id = 0;
+  std::int64_t round = 0;
+  std::int64_t num_samples = 0;
+  bool pre_weighted = false;
+  nn::ParamList params;
+
+  std::vector<std::uint8_t> serialize() const;
+  static ModelUpdateMsg deserialize(const std::vector<std::uint8_t>& bytes);
+};
+
+}  // namespace dinar::fl

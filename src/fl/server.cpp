@@ -1,0 +1,50 @@
+#include "fl/server.h"
+
+#include "util/error.h"
+
+namespace dinar::fl {
+
+FlServer::FlServer(nn::ParamList initial_params, std::unique_ptr<ServerDefense> defense)
+    : global_(std::move(initial_params)), defense_(std::move(defense)) {
+  DINAR_CHECK(!global_.empty(), "server needs a non-empty initial model");
+  DINAR_CHECK(defense_ != nullptr, "server defense must not be null");
+}
+
+GlobalModelMsg FlServer::broadcast() const {
+  GlobalModelMsg msg;
+  msg.round = round_;
+  msg.params = global_;
+  return msg;
+}
+
+void FlServer::aggregate(const std::vector<ModelUpdateMsg>& updates) {
+  DINAR_CHECK(!updates.empty(), "aggregate called with no updates");
+  ScopedTimer timing(agg_timer_);
+
+  const bool pre_weighted = updates.front().pre_weighted;
+  double total_weight = 0.0;
+  for (const ModelUpdateMsg& u : updates) {
+    DINAR_CHECK(u.pre_weighted == pre_weighted,
+                "round mixes pre-weighted and raw updates");
+    DINAR_CHECK(u.num_samples > 0, "update from client " << u.client_id
+                                                         << " has no samples");
+    DINAR_CHECK(nn::param_list_same_shape(u.params, global_),
+                "update from client " << u.client_id << " has wrong structure");
+    total_weight += static_cast<double>(u.num_samples);
+  }
+
+  nn::ParamList sum;
+  sum.reserve(global_.size());
+  for (const Tensor& t : global_) sum.emplace_back(t.shape());
+  for (const ModelUpdateMsg& u : updates) {
+    const float w = pre_weighted ? 1.0f : static_cast<float>(u.num_samples);
+    nn::param_list_add_scaled(sum, u.params, w);
+  }
+  nn::param_list_scale(sum, static_cast<float>(1.0 / total_weight));
+
+  defense_->after_aggregate(sum);
+  global_ = std::move(sum);
+  ++round_;
+}
+
+}  // namespace dinar::fl

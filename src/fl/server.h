@@ -1,0 +1,41 @@
+// FL server: FedAvg aggregation with a pluggable server-side defense.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fl/defense.h"
+#include "fl/message.h"
+#include "util/timer.h"
+
+namespace dinar::fl {
+
+class FlServer {
+ public:
+  FlServer(nn::ParamList initial_params, std::unique_ptr<ServerDefense> defense);
+
+  const nn::ParamList& global_params() const { return global_; }
+  std::int64_t round() const { return round_; }
+
+  // Builds this round's broadcast message.
+  GlobalModelMsg broadcast() const;
+
+  // FedAvg over this round's updates:
+  //   global = sum_i w_i * theta_i / sum_i w_i
+  // where w_i is the client's sample count, and theta_i arrives either raw
+  // or pre-weighted (secure aggregation). A round must not mix the two
+  // conventions. Runs the server defense afterwards and advances the round.
+  void aggregate(const std::vector<ModelUpdateMsg>& updates);
+
+  // Wall-clock spent inside aggregate() (Table 3's server-side metric).
+  const CumulativeTimer& aggregation_timer() const { return agg_timer_; }
+  ServerDefense& defense() { return *defense_; }
+
+ private:
+  nn::ParamList global_;
+  std::unique_ptr<ServerDefense> defense_;
+  std::int64_t round_ = 0;
+  CumulativeTimer agg_timer_;
+};
+
+}  // namespace dinar::fl

@@ -1,0 +1,149 @@
+#include "fl/simulation.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace dinar::fl {
+
+FederatedSimulation::FederatedSimulation(nn::ModelFactory model_factory,
+                                         data::FlSplit split, SimulationConfig config,
+                                         DefenseBundle defenses)
+    : model_factory_(std::move(model_factory)), split_(std::move(split)),
+      config_(config), rng_(config.seed) {
+  DINAR_CHECK(!split_.client_train.empty(), "split has no clients");
+  DINAR_CHECK(config_.rounds > 0, "need at least one round");
+
+  // All participants start from the same initial model (standard FL).
+  Rng init_rng = rng_.fork(0xC0FFEE);
+  nn::Model initial = model_factory_(init_rng);
+  server_ = std::make_unique<FlServer>(initial.parameters(), defenses.make_server());
+
+  clients_.reserve(split_.client_train.size());
+  for (std::size_t i = 0; i < split_.client_train.size(); ++i) {
+    const int id = static_cast<int>(i);
+    clients_.emplace_back(id, split_.client_train[i], nn::Model(initial),
+                          opt::make_optimizer(config_.optimizer, config_.learning_rate),
+                          defenses.make_client(id), config_.train,
+                          rng_.fork(1000 + i));
+  }
+}
+
+void FederatedSimulation::run() {
+  for (int r = 0; r < config_.rounds; ++r) {
+    run_round();
+    const bool last = (r == config_.rounds - 1);
+    if (last || (config_.eval_every > 0 && (r + 1) % config_.eval_every == 0)) {
+      history_.push_back(evaluate_now());
+      const RoundRecord& rec = history_.back();
+      DINAR_INFO << "round " << rec.round << ": global acc "
+                 << rec.global_test_accuracy << ", personalized acc "
+                 << rec.personalized_test_accuracy;
+    }
+  }
+}
+
+void FederatedSimulation::run_round() {
+  // Client selection (paper §2.1): the server picks a fraction of the
+  // registered clients for this round.
+  std::vector<std::size_t> participants;
+  if (config_.client_fraction >= 1.0) {
+    participants.resize(clients_.size());
+    for (std::size_t i = 0; i < clients_.size(); ++i) participants[i] = i;
+  } else {
+    const std::size_t k = std::max<std::size_t>(
+        1, static_cast<std::size_t>(config_.client_fraction *
+                                    static_cast<double>(clients_.size())));
+    std::vector<std::size_t> order = rng_.permutation(clients_.size());
+    participants.assign(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k));
+    std::sort(participants.begin(), participants.end());
+  }
+
+  // Broadcast: one serialized payload per selected client.
+  const GlobalModelMsg broadcast = server_->broadcast();
+  const std::vector<std::uint8_t> bytes = broadcast.serialize();
+  for (std::size_t i : participants) {
+    const std::vector<std::uint8_t> delivered = transport_.downlink(bytes);
+    clients_[i].receive_global(GlobalModelMsg::deserialize(delivered));
+  }
+
+  // Local training + uplink.
+  std::vector<ModelUpdateMsg> updates;
+  updates.reserve(participants.size());
+  for (std::size_t i : participants) {
+    ModelUpdateMsg update = clients_[i].train_round();
+    const std::vector<std::uint8_t> delivered = transport_.uplink(update.serialize());
+    updates.push_back(ModelUpdateMsg::deserialize(delivered));
+  }
+
+  server_->aggregate(updates);
+  last_updates_ = std::move(updates);
+}
+
+nn::Model FederatedSimulation::global_model() {
+  Rng tmp_rng = rng_.fork(0x61);
+  nn::Model m = model_factory_(tmp_rng);
+  m.set_parameters(server_->global_params());
+  return m;
+}
+
+std::vector<std::size_t> FederatedSimulation::last_participants() const {
+  std::vector<std::size_t> out;
+  out.reserve(last_updates_.size());
+  for (const ModelUpdateMsg& u : last_updates_)
+    out.push_back(static_cast<std::size_t>(u.client_id));
+  return out;
+}
+
+nn::Model FederatedSimulation::server_view_of_client(std::size_t i) {
+  const ModelUpdateMsg* found = nullptr;
+  for (const ModelUpdateMsg& u : last_updates_)
+    if (static_cast<std::size_t>(u.client_id) == i) found = &u;
+  DINAR_CHECK(found != nullptr, "client " << i << " did not upload last round");
+  const ModelUpdateMsg& u = *found;
+  Rng tmp_rng = rng_.fork(0xA7 + i);
+  nn::Model m = model_factory_(tmp_rng);
+  nn::ParamList params = u.params;
+  if (u.pre_weighted)
+    nn::param_list_scale(params, 1.0f / static_cast<float>(u.num_samples));
+  m.set_parameters(params);
+  return m;
+}
+
+RoundRecord FederatedSimulation::evaluate_now() {
+  RoundRecord rec;
+  rec.round = server_->round();
+
+  nn::Model global = global_model();
+  const EvalStats global_stats = evaluate(global, split_.test);
+  rec.global_test_accuracy = global_stats.accuracy;
+  rec.global_test_loss = global_stats.mean_loss;
+
+  double personalized = 0.0, train_acc = 0.0;
+  for (FlClient& client : clients_) {
+    personalized += evaluate(client.model(), split_.test).accuracy;
+    train_acc += client.last_train_stats().accuracy;
+  }
+  rec.personalized_test_accuracy = personalized / static_cast<double>(clients_.size());
+  rec.mean_client_train_accuracy = train_acc / static_cast<double>(clients_.size());
+  return rec;
+}
+
+double FederatedSimulation::mean_client_train_seconds() const {
+  double s = 0.0;
+  for (const FlClient& c : clients_) s += c.train_timer().total_seconds();
+  return s / static_cast<double>(clients_.size());
+}
+
+double FederatedSimulation::mean_client_defense_seconds() const {
+  double s = 0.0;
+  for (const FlClient& c : clients_) s += c.defense_timer().total_seconds();
+  return s / static_cast<double>(clients_.size());
+}
+
+double FederatedSimulation::server_aggregation_seconds() const {
+  return server_->aggregation_timer().total_seconds();
+}
+
+}  // namespace dinar::fl

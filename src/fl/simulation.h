@@ -1,0 +1,107 @@
+// Federated-learning round orchestrator.
+//
+// Wires server, clients, transport and defenses into the classical FedAvg
+// loop (paper §2.1): broadcast -> local training -> upload -> aggregate.
+// Every payload crosses the byte transport, so the simulation measures the
+// same client-side / server-side costs a deployment would (Table 3), and
+// the stored per-client uploads are exactly the attacker's server-side
+// view (used by the local-model MIA of Figure 6).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/splits.h"
+#include "fl/client.h"
+#include "fl/server.h"
+#include "fl/transport.h"
+#include "nn/model_zoo.h"
+#include "opt/optimizers.h"
+
+namespace dinar::fl {
+
+// Factories that equip each participant with its defense; the default
+// bundle is the paper's "no defense" baseline.
+struct DefenseBundle {
+  std::string name = "none";
+  std::function<std::unique_ptr<ClientDefense>(int client_id)> make_client =
+      [](int) { return std::make_unique<NoClientDefense>(); };
+  std::function<std::unique_ptr<ServerDefense>()> make_server =
+      [] { return std::make_unique<NoServerDefense>(); };
+};
+
+struct SimulationConfig {
+  int rounds = 20;
+  TrainConfig train{/*epochs=*/2, /*batch_size=*/64};
+  double learning_rate = 1e-3;  // paper §5.3
+  std::string optimizer = "adagrad";
+  std::uint64_t seed = 42;
+  // Fraction of clients the server selects each round (paper §2.1: "the FL
+  // server selects N participating clients"); 1.0 = all clients.
+  double client_fraction = 1.0;
+  // Evaluate global/personalized accuracy every k rounds (0 = only at the
+  // end); evaluation is pure measurement and never feeds back into training.
+  int eval_every = 0;
+};
+
+struct RoundRecord {
+  std::int64_t round = 0;
+  double global_test_accuracy = 0.0;
+  double global_test_loss = 0.0;
+  double personalized_test_accuracy = 0.0;
+  double mean_client_train_accuracy = 0.0;
+};
+
+class FederatedSimulation {
+ public:
+  FederatedSimulation(nn::ModelFactory model_factory, data::FlSplit split,
+                      SimulationConfig config, DefenseBundle defenses);
+
+  // Runs all configured rounds.
+  void run();
+  // Runs a single round (exposed for tests and incremental experiments).
+  void run_round();
+
+  // -- results & attacker views ------------------------------------------
+  FlServer& server() { return *server_; }
+  std::vector<FlClient>& clients() { return clients_; }
+  Transport& transport() { return transport_; }
+  const std::vector<RoundRecord>& history() const { return history_; }
+  const data::Dataset& test_data() const { return split_.test; }
+  const data::FlSplit& split() const { return split_; }
+  const SimulationConfig& config() const { return config_; }
+
+  // A model carrying the current global parameters (the client-side
+  // attacker's view).
+  nn::Model global_model();
+  // The server-side attacker's view of client i's latest upload: its
+  // parameters as they crossed the wire (un-pre-weighted if needed).
+  // Requires client i to have participated in the last round.
+  nn::Model server_view_of_client(std::size_t i);
+  // Clients that uploaded in the most recent round, by index.
+  std::vector<std::size_t> last_participants() const;
+  // Fresh model of the simulation's architecture (for shadow training).
+  nn::Model fresh_model(Rng& rng) { return model_factory_(rng); }
+  const nn::ModelFactory& model_factory() const { return model_factory_; }
+
+  // Metrics (computed on demand).
+  RoundRecord evaluate_now();
+  double mean_client_train_seconds() const;
+  double mean_client_defense_seconds() const;
+  double server_aggregation_seconds() const;
+
+ private:
+  nn::ModelFactory model_factory_;
+  data::FlSplit split_;
+  SimulationConfig config_;
+  Transport transport_;
+  std::unique_ptr<FlServer> server_;
+  std::vector<FlClient> clients_;
+  std::vector<ModelUpdateMsg> last_updates_;
+  std::vector<RoundRecord> history_;
+  Rng rng_;
+};
+
+}  // namespace dinar::fl

@@ -1,0 +1,70 @@
+#include "fl/trainer.h"
+
+#include "nn/loss.h"
+#include "util/error.h"
+
+namespace dinar::fl {
+
+TrainStats train_local(nn::Model& model, const data::Dataset& dataset,
+                       opt::Optimizer& optimizer, const TrainConfig& config, Rng& rng) {
+  DINAR_CHECK(!dataset.empty(), "cannot train on an empty dataset");
+  optimizer.reset();
+
+  TrainStats stats;
+  double loss_sum = 0.0;
+  double correct_weighted = 0.0;
+  std::int64_t last_epoch_samples = 0;
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    const bool last_epoch = (epoch == config.epochs - 1);
+    data::BatchIterator batches(dataset, config.batch_size, rng);
+    data::BatchIterator::Batch batch;
+    if (last_epoch) {
+      correct_weighted = 0.0;
+      last_epoch_samples = 0;
+    }
+    while (batches.next(batch)) {
+      Tensor logits = model.forward(batch.features, /*train=*/true);
+      nn::LossResult loss = nn::softmax_cross_entropy(logits, batch.labels);
+      model.zero_grad();
+      model.backward(loss.grad_logits);
+      optimizer.step(model);
+      loss_sum += loss.mean_loss;
+      ++stats.steps;
+      if (last_epoch) {
+        correct_weighted += nn::accuracy(logits, batch.labels) *
+                            static_cast<double>(batch.labels.size());
+        last_epoch_samples += static_cast<std::int64_t>(batch.labels.size());
+      }
+    }
+  }
+  stats.mean_loss = stats.steps > 0 ? loss_sum / static_cast<double>(stats.steps) : 0.0;
+  stats.accuracy = last_epoch_samples > 0
+                       ? correct_weighted / static_cast<double>(last_epoch_samples)
+                       : 0.0;
+  return stats;
+}
+
+EvalStats evaluate(nn::Model& model, const data::Dataset& dataset,
+                   std::int64_t batch_size) {
+  EvalStats stats;
+  if (dataset.empty()) return stats;
+  Rng no_shuffle_rng(0);
+  data::BatchIterator batches(dataset, batch_size, no_shuffle_rng, /*shuffle=*/false);
+  data::BatchIterator::Batch batch;
+  double loss_sum = 0.0;
+  double correct = 0.0;
+  std::int64_t samples = 0;
+  while (batches.next(batch)) {
+    Tensor logits = model.forward(batch.features, /*train=*/false);
+    const std::vector<double> losses = nn::per_sample_cross_entropy(logits, batch.labels);
+    for (double l : losses) loss_sum += l;
+    correct += nn::accuracy(logits, batch.labels) * static_cast<double>(batch.labels.size());
+    samples += static_cast<std::int64_t>(batch.labels.size());
+  }
+  stats.mean_loss = loss_sum / static_cast<double>(samples);
+  stats.accuracy = correct / static_cast<double>(samples);
+  return stats;
+}
+
+}  // namespace dinar::fl

@@ -1,0 +1,40 @@
+// Local training and evaluation driver shared by FL clients, the
+// sensitivity analyzer (which needs gradients from trained models) and the
+// attack's shadow models.
+#pragma once
+
+#include <memory>
+
+#include "data/dataset.h"
+#include "nn/model.h"
+#include "opt/optimizer.h"
+
+namespace dinar::fl {
+
+struct TrainConfig {
+  int epochs = 1;
+  std::int64_t batch_size = 64;
+};
+
+struct TrainStats {
+  double mean_loss = 0.0;
+  double accuracy = 0.0;     // on the training data, last epoch
+  std::int64_t steps = 0;
+};
+
+// Runs `config.epochs` epochs of minibatch SGD-family training. The
+// optimizer's accumulated state is reset first (Algorithm 1 line 8 resets
+// G at the start of each round).
+TrainStats train_local(nn::Model& model, const data::Dataset& dataset,
+                       opt::Optimizer& optimizer, const TrainConfig& config, Rng& rng);
+
+struct EvalStats {
+  double mean_loss = 0.0;
+  double accuracy = 0.0;
+};
+
+// Full-dataset evaluation in inference mode (no gradient caching).
+EvalStats evaluate(nn::Model& model, const data::Dataset& dataset,
+                   std::int64_t batch_size = 256);
+
+}  // namespace dinar::fl

@@ -1,0 +1,28 @@
+#include "fl/transport.h"
+
+namespace dinar::fl {
+
+std::vector<std::uint8_t> Transport::uplink(std::vector<std::uint8_t> payload) {
+  account(payload.size(), /*up=*/true);
+  return payload;
+}
+
+std::vector<std::uint8_t> Transport::downlink(std::vector<std::uint8_t> payload) {
+  account(payload.size(), /*up=*/false);
+  return payload;
+}
+
+void Transport::account(std::size_t bytes, bool up) {
+  if (up) {
+    ++stats_.messages_up;
+    stats_.bytes_up += bytes;
+  } else {
+    ++stats_.messages_down;
+    stats_.bytes_down += bytes;
+  }
+  if (bandwidth_ > 0.0)
+    stats_.simulated_latency_seconds +=
+        per_message_ + static_cast<double>(bytes) / bandwidth_;
+}
+
+}  // namespace dinar::fl

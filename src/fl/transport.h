@@ -1,0 +1,46 @@
+// In-memory byte transport between the FL server and its clients.
+//
+// Messages really are serialized into byte buffers on send and parsed on
+// receive, so (a) traffic accounting reflects genuine payload sizes and
+// (b) nothing can leak between endpoints except through bytes — the same
+// isolation a socket would give. A pluggable per-byte latency model lets
+// cost experiments include simulated network time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dinar::fl {
+
+struct TransportStats {
+  std::uint64_t messages_up = 0;      // client -> server
+  std::uint64_t messages_down = 0;    // server -> client
+  std::uint64_t bytes_up = 0;
+  std::uint64_t bytes_down = 0;
+  double simulated_latency_seconds = 0.0;
+};
+
+class Transport {
+ public:
+  // bandwidth_bytes_per_sec <= 0 disables latency simulation.
+  explicit Transport(double bandwidth_bytes_per_sec = 0.0,
+                     double per_message_latency_seconds = 0.0)
+      : bandwidth_(bandwidth_bytes_per_sec), per_message_(per_message_latency_seconds) {}
+
+  // Ships a payload client -> server; returns the delivered bytes.
+  std::vector<std::uint8_t> uplink(std::vector<std::uint8_t> payload);
+  // Ships a payload server -> client.
+  std::vector<std::uint8_t> downlink(std::vector<std::uint8_t> payload);
+
+  const TransportStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = TransportStats{}; }
+
+ private:
+  void account(std::size_t bytes, bool up);
+
+  double bandwidth_;
+  double per_message_;
+  TransportStats stats_;
+};
+
+}  // namespace dinar::fl

@@ -1,0 +1,30 @@
+// Stateless (parameter-free) activation layers.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace dinar::nn {
+
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "relu"; }
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  Tensor cached_input_;
+};
+
+class Tanh : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "tanh"; }
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  Tensor cached_output_;
+};
+
+}  // namespace dinar::nn

@@ -1,0 +1,105 @@
+#include "nn/conv1d.h"
+
+#include "util/error.h"
+
+namespace dinar::nn {
+
+Conv1d::Conv1d(std::int64_t in_channels, std::int64_t out_channels, std::int64_t kernel,
+               std::int64_t stride, std::int64_t padding, Rng& rng)
+    : in_ch_(in_channels), out_ch_(out_channels), kernel_(kernel), stride_(stride),
+      padding_(padding),
+      weight_(Tensor::kaiming({out_channels, in_channels, kernel},
+                              in_channels * kernel, rng)),
+      bias_(Tensor::kaiming({out_channels}, in_channels * kernel, rng)),
+      grad_weight_({out_channels, in_channels, kernel}), grad_bias_({out_channels}) {
+  DINAR_CHECK(stride >= 1 && kernel >= 1 && padding >= 0, "invalid conv1d geometry");
+}
+
+Tensor Conv1d::forward(const Tensor& x, bool train) {
+  DINAR_CHECK(x.rank() == 3 && x.dim(1) == in_ch_,
+              name() << " got input " << shape_to_string(x.shape()));
+  if (train) cached_input_ = x;
+  const std::int64_t b = x.dim(0), l = x.dim(2);
+  const std::int64_t ol = out_size(l);
+  DINAR_CHECK(ol >= 1, name() << ": input too short");
+  Tensor y({b, out_ch_, ol});
+  const float* px = x.data();
+  const float* pw = weight_.data();
+  const float* pb = bias_.data();
+  float* py = y.data();
+
+  for (std::int64_t n = 0; n < b; ++n) {
+    for (std::int64_t oc = 0; oc < out_ch_; ++oc) {
+      for (std::int64_t i = 0; i < ol; ++i) {
+        double acc = pb[oc];
+        for (std::int64_t ic = 0; ic < in_ch_; ++ic) {
+          const float* xrow = px + (n * in_ch_ + ic) * l;
+          const float* wrow = pw + (oc * in_ch_ + ic) * kernel_;
+          for (std::int64_t k = 0; k < kernel_; ++k) {
+            const std::int64_t ii = i * stride_ + k - padding_;
+            if (ii < 0 || ii >= l) continue;
+            acc += static_cast<double>(xrow[ii]) * wrow[k];
+          }
+        }
+        py[(n * out_ch_ + oc) * ol + i] = static_cast<float>(acc);
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv1d::backward(const Tensor& grad_out) {
+  DINAR_CHECK(!cached_input_.empty(), "Conv1d::backward without cached forward");
+  const Tensor& x = cached_input_;
+  const std::int64_t b = x.dim(0), l = x.dim(2);
+  const std::int64_t ol = out_size(l);
+  DINAR_CHECK(grad_out.rank() == 3 && grad_out.dim(1) == out_ch_ && grad_out.dim(2) == ol,
+              "Conv1d backward shape mismatch");
+
+  Tensor dx({b, in_ch_, l});
+  const float* px = x.data();
+  const float* pw = weight_.data();
+  const float* pg = grad_out.data();
+  float* pdx = dx.data();
+  float* pdw = grad_weight_.data();
+  float* pdb = grad_bias_.data();
+
+  for (std::int64_t n = 0; n < b; ++n) {
+    for (std::int64_t oc = 0; oc < out_ch_; ++oc) {
+      for (std::int64_t i = 0; i < ol; ++i) {
+        const float g = pg[(n * out_ch_ + oc) * ol + i];
+        if (g == 0.0f) continue;
+        pdb[oc] += g;
+        for (std::int64_t ic = 0; ic < in_ch_; ++ic) {
+          const float* xrow = px + (n * in_ch_ + ic) * l;
+          float* dxrow = pdx + (n * in_ch_ + ic) * l;
+          const float* wrow = pw + (oc * in_ch_ + ic) * kernel_;
+          float* dwrow = pdw + (oc * in_ch_ + ic) * kernel_;
+          for (std::int64_t k = 0; k < kernel_; ++k) {
+            const std::int64_t ii = i * stride_ + k - padding_;
+            if (ii < 0 || ii >= l) continue;
+            dwrow[k] += g * xrow[ii];
+            dxrow[ii] += g * wrow[k];
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+std::string Conv1d::name() const {
+  return "conv1d(" + std::to_string(in_ch_) + "->" + std::to_string(out_ch_) + ",k" +
+         std::to_string(kernel_) + ",s" + std::to_string(stride_) + ",p" +
+         std::to_string(padding_) + ")";
+}
+
+std::vector<ParamGroup> Conv1d::param_groups() {
+  return {ParamGroup{name(), {&weight_, &bias_}, {&grad_weight_, &grad_bias_}}};
+}
+
+std::unique_ptr<Layer> Conv1d::clone() const {
+  return std::unique_ptr<Layer>(new Conv1d(*this));
+}
+
+}  // namespace dinar::nn

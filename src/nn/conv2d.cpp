@@ -1,0 +1,119 @@
+#include "nn/conv2d.h"
+
+#include "util/error.h"
+
+namespace dinar::nn {
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels, std::int64_t kernel,
+               std::int64_t stride, std::int64_t padding, Rng& rng)
+    : in_ch_(in_channels), out_ch_(out_channels), kernel_(kernel), stride_(stride),
+      padding_(padding),
+      weight_(Tensor::kaiming({out_channels, in_channels, kernel, kernel},
+                              in_channels * kernel * kernel, rng)),
+      bias_(Tensor::kaiming({out_channels}, in_channels * kernel * kernel, rng)),
+      grad_weight_({out_channels, in_channels, kernel, kernel}),
+      grad_bias_({out_channels}) {
+  DINAR_CHECK(stride >= 1 && kernel >= 1 && padding >= 0, "invalid conv2d geometry");
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool train) {
+  DINAR_CHECK(x.rank() == 4 && x.dim(1) == in_ch_,
+              name() << " got input " << shape_to_string(x.shape()));
+  if (train) cached_input_ = x;
+  const std::int64_t b = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::int64_t oh = out_size(h), ow = out_size(w);
+  DINAR_CHECK(oh >= 1 && ow >= 1, name() << ": input spatially too small");
+  Tensor y({b, out_ch_, oh, ow});
+  const float* px = x.data();
+  const float* pw = weight_.data();
+  const float* pb = bias_.data();
+  float* py = y.data();
+
+  for (std::int64_t n = 0; n < b; ++n) {
+    for (std::int64_t oc = 0; oc < out_ch_; ++oc) {
+      for (std::int64_t i = 0; i < oh; ++i) {
+        for (std::int64_t j = 0; j < ow; ++j) {
+          double acc = pb[oc];
+          for (std::int64_t ic = 0; ic < in_ch_; ++ic) {
+            for (std::int64_t ki = 0; ki < kernel_; ++ki) {
+              const std::int64_t ii = i * stride_ + ki - padding_;
+              if (ii < 0 || ii >= h) continue;
+              const float* xrow = px + ((n * in_ch_ + ic) * h + ii) * w;
+              const float* wrow = pw + ((oc * in_ch_ + ic) * kernel_ + ki) * kernel_;
+              for (std::int64_t kj = 0; kj < kernel_; ++kj) {
+                const std::int64_t jj = j * stride_ + kj - padding_;
+                if (jj < 0 || jj >= w) continue;
+                acc += static_cast<double>(xrow[jj]) * wrow[kj];
+              }
+            }
+          }
+          py[((n * out_ch_ + oc) * oh + i) * ow + j] = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  DINAR_CHECK(!cached_input_.empty(), "Conv2d::backward without cached forward");
+  const Tensor& x = cached_input_;
+  const std::int64_t b = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::int64_t oh = out_size(h), ow = out_size(w);
+  DINAR_CHECK(grad_out.rank() == 4 && grad_out.dim(1) == out_ch_ &&
+                  grad_out.dim(2) == oh && grad_out.dim(3) == ow,
+              "Conv2d backward shape mismatch");
+
+  Tensor dx({b, in_ch_, h, w});
+  const float* px = x.data();
+  const float* pw = weight_.data();
+  const float* pg = grad_out.data();
+  float* pdx = dx.data();
+  float* pdw = grad_weight_.data();
+  float* pdb = grad_bias_.data();
+
+  for (std::int64_t n = 0; n < b; ++n) {
+    for (std::int64_t oc = 0; oc < out_ch_; ++oc) {
+      for (std::int64_t i = 0; i < oh; ++i) {
+        for (std::int64_t j = 0; j < ow; ++j) {
+          const float g = pg[((n * out_ch_ + oc) * oh + i) * ow + j];
+          if (g == 0.0f) continue;
+          pdb[oc] += g;
+          for (std::int64_t ic = 0; ic < in_ch_; ++ic) {
+            for (std::int64_t ki = 0; ki < kernel_; ++ki) {
+              const std::int64_t ii = i * stride_ + ki - padding_;
+              if (ii < 0 || ii >= h) continue;
+              const float* xrow = px + ((n * in_ch_ + ic) * h + ii) * w;
+              float* dxrow = pdx + ((n * in_ch_ + ic) * h + ii) * w;
+              const float* wrow = pw + ((oc * in_ch_ + ic) * kernel_ + ki) * kernel_;
+              float* dwrow = pdw + ((oc * in_ch_ + ic) * kernel_ + ki) * kernel_;
+              for (std::int64_t kj = 0; kj < kernel_; ++kj) {
+                const std::int64_t jj = j * stride_ + kj - padding_;
+                if (jj < 0 || jj >= w) continue;
+                dwrow[kj] += g * xrow[jj];
+                dxrow[jj] += g * wrow[kj];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+std::string Conv2d::name() const {
+  return "conv2d(" + std::to_string(in_ch_) + "->" + std::to_string(out_ch_) + ",k" +
+         std::to_string(kernel_) + ",s" + std::to_string(stride_) + ",p" +
+         std::to_string(padding_) + ")";
+}
+
+std::vector<ParamGroup> Conv2d::param_groups() {
+  return {ParamGroup{name(), {&weight_, &bias_}, {&grad_weight_, &grad_bias_}}};
+}
+
+std::unique_ptr<Layer> Conv2d::clone() const {
+  return std::unique_ptr<Layer>(new Conv2d(*this));
+}
+
+}  // namespace dinar::nn

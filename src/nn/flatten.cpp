@@ -1,0 +1,21 @@
+#include "nn/flatten.h"
+
+#include "util/error.h"
+
+namespace dinar::nn {
+
+Tensor Flatten::forward(const Tensor& x, bool train) {
+  DINAR_CHECK(x.rank() >= 2, "Flatten expects a batched input");
+  if (train) cached_shape_ = x.shape();
+  const std::int64_t batch = x.dim(0);
+  return x.reshaped({batch, x.numel() / batch});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  DINAR_CHECK(!cached_shape_.empty(), "Flatten::backward without cached forward");
+  return grad_out.reshaped(cached_shape_);
+}
+
+std::unique_ptr<Layer> Flatten::clone() const { return std::make_unique<Flatten>(*this); }
+
+}  // namespace dinar::nn

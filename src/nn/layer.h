@@ -1,0 +1,58 @@
+// Layer abstraction for the neural-network substrate.
+//
+// Layers are stateful (they cache whatever the backward pass needs), own
+// their parameters and gradients, and are composed by nn::Model. The unit
+// DINAR reasons about — "the p-th layer" in Algorithm 1 — is the
+// *parameterized* layer: every layer exposes its parameter groups, and
+// composite layers (residual blocks) expose one group per inner
+// parameterized layer so sensitivity analysis and obfuscation see the same
+// granularity the paper's per-layer figures use.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dinar::nn {
+
+// One parameterized layer's tensors (weights + bias, typically) and their
+// gradients, by pointer into the owning layer.
+struct ParamGroup {
+  std::string name;
+  std::vector<Tensor*> params;
+  std::vector<Tensor*> grads;
+
+  std::int64_t numel() const {
+    std::int64_t n = 0;
+    for (const Tensor* p : params) n += p->numel();
+    return n;
+  }
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  // Computes the layer output; when `train` is true the layer caches the
+  // activations backward() needs. Gradients accumulate into the grad
+  // tensors (callers zero them via Model::zero_grad between steps).
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+
+  // Given dL/d(output), accumulates parameter gradients and returns
+  // dL/d(input). Must follow a forward(x, /*train=*/true) call.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  virtual std::string name() const = 0;
+
+  // Parameter groups of this layer; empty for stateless layers. Composite
+  // layers return one group per inner parameterized layer.
+  virtual std::vector<ParamGroup> param_groups() { return {}; }
+
+  // Deep copy including current parameter values (used to replicate the
+  // initial model across FL clients).
+  virtual std::unique_ptr<Layer> clone() const = 0;
+};
+
+}  // namespace dinar::nn

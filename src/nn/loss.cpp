@@ -1,0 +1,90 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace dinar::nn {
+
+Tensor softmax(const Tensor& logits) {
+  DINAR_CHECK(logits.rank() == 2, "softmax expects [B, C]");
+  const std::int64_t b = logits.dim(0), c = logits.dim(1);
+  Tensor out = logits;
+  float* p = out.data();
+  for (std::int64_t i = 0; i < b; ++i) {
+    float* row = p + i * c;
+    const float mx = *std::max_element(row, row + c);
+    double sum = 0.0;
+    for (std::int64_t j = 0; j < c; ++j) {
+      row[j] = std::exp(row[j] - mx);
+      sum += row[j];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (std::int64_t j = 0; j < c; ++j) row[j] *= inv;
+  }
+  return out;
+}
+
+std::vector<double> per_sample_cross_entropy(const Tensor& logits,
+                                             const std::vector<int>& labels) {
+  DINAR_CHECK(logits.rank() == 2, "per_sample_cross_entropy expects [B, C]");
+  const std::int64_t b = logits.dim(0), c = logits.dim(1);
+  DINAR_CHECK(static_cast<std::int64_t>(labels.size()) == b, "label count mismatch");
+  Tensor probs = softmax(logits);
+  std::vector<double> losses(static_cast<std::size_t>(b));
+  for (std::int64_t i = 0; i < b; ++i) {
+    DINAR_CHECK(labels[i] >= 0 && labels[i] < c, "label out of range");
+    const double p = std::max<double>(probs.at(i, labels[i]), 1e-12);
+    losses[static_cast<std::size_t>(i)] = -std::log(p);
+  }
+  return losses;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels) {
+  DINAR_CHECK(logits.rank() == 2, "softmax_cross_entropy expects [B, C]");
+  const std::int64_t b = logits.dim(0), c = logits.dim(1);
+  DINAR_CHECK(static_cast<std::int64_t>(labels.size()) == b, "label count mismatch");
+  Tensor probs = softmax(logits);
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < b; ++i) {
+    DINAR_CHECK(labels[i] >= 0 && labels[i] < c, "label out of range");
+    loss -= std::log(std::max<double>(probs.at(i, labels[i]), 1e-12));
+  }
+  loss /= static_cast<double>(b);
+
+  // d/dlogits of mean CE = (softmax - onehot) / B.
+  Tensor grad = std::move(probs);
+  const float inv_b = 1.0f / static_cast<float>(b);
+  float* pg = grad.data();
+  for (std::int64_t i = 0; i < b; ++i) {
+    pg[i * c + labels[i]] -= 1.0f;
+    for (std::int64_t j = 0; j < c; ++j) pg[i * c + j] *= inv_b;
+  }
+  return LossResult{loss, std::move(grad)};
+}
+
+std::vector<int> predict_classes(const Tensor& logits) {
+  DINAR_CHECK(logits.rank() == 2, "predict_classes expects [B, C]");
+  const std::int64_t b = logits.dim(0), c = logits.dim(1);
+  std::vector<int> out(static_cast<std::size_t>(b));
+  const float* p = logits.data();
+  for (std::int64_t i = 0; i < b; ++i) {
+    const float* row = p + i * c;
+    out[static_cast<std::size_t>(i)] =
+        static_cast<int>(std::max_element(row, row + c) - row);
+  }
+  return out;
+}
+
+double accuracy(const Tensor& logits, const std::vector<int>& labels) {
+  const std::vector<int> pred = predict_classes(logits);
+  DINAR_CHECK(pred.size() == labels.size(), "accuracy label count mismatch");
+  if (pred.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i)
+    if (pred[i] == labels[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(pred.size());
+}
+
+}  // namespace dinar::nn

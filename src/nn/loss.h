@@ -1,0 +1,34 @@
+// Softmax cross-entropy loss and the probability utilities the attack
+// pipeline shares (MIA features are built from per-sample losses and
+// softmax confidence vectors).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dinar::nn {
+
+// Row-wise numerically-stable softmax of logits [B, C].
+Tensor softmax(const Tensor& logits);
+
+// Per-sample cross-entropy -log p[label] from logits [B, C].
+std::vector<double> per_sample_cross_entropy(const Tensor& logits,
+                                             const std::vector<int>& labels);
+
+struct LossResult {
+  double mean_loss = 0.0;
+  Tensor grad_logits;  // dL/dlogits for L = mean over batch
+};
+
+// Mean cross-entropy and its gradient w.r.t. the logits.
+LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels);
+
+// argmax class per row.
+std::vector<int> predict_classes(const Tensor& logits);
+
+// Fraction of rows whose argmax equals the label.
+double accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace dinar::nn

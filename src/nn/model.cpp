@@ -1,0 +1,198 @@
+#include "nn/model.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "tensor/tensor_serde.h"
+#include "util/error.h"
+
+namespace dinar::nn {
+
+namespace {
+constexpr std::uint32_t kModelMagic = 0x444E4152;  // "DNAR"
+constexpr std::uint32_t kModelVersion = 1;
+}  // namespace
+
+void param_list_add(ParamList& a, const ParamList& b) {
+  DINAR_CHECK(a.size() == b.size(), "param list length mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+}
+
+void param_list_scale(ParamList& a, float s) {
+  for (Tensor& t : a) t *= s;
+}
+
+void param_list_add_scaled(ParamList& a, const ParamList& b, float s) {
+  DINAR_CHECK(a.size() == b.size(), "param list length mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i].add_scaled(b[i], s);
+}
+
+std::int64_t param_list_numel(const ParamList& a) {
+  std::int64_t n = 0;
+  for (const Tensor& t : a) n += t.numel();
+  return n;
+}
+
+double param_list_l2_norm(const ParamList& a) {
+  double s = 0.0;
+  for (const Tensor& t : a) s += t.squared_l2_norm();
+  return std::sqrt(s);
+}
+
+bool param_list_same_shape(const ParamList& a, const ParamList& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!a[i].same_shape(b[i])) return false;
+  return true;
+}
+
+void write_param_list(BinaryWriter& w, const ParamList& params) {
+  w.write_u64(params.size());
+  for (const Tensor& t : params) write_tensor(w, t);
+}
+
+ParamList read_param_list(BinaryReader& r) {
+  const std::uint64_t n = r.read_u64();
+  ParamList out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(read_tensor(r));
+  return out;
+}
+
+Model::Model(const Model& other) {
+  layers_.reserve(other.layers_.size());
+  for (const auto& l : other.layers_) layers_.push_back(l->clone());
+}
+
+Model& Model::operator=(const Model& other) {
+  if (this == &other) return *this;
+  layers_.clear();
+  layers_.reserve(other.layers_.size());
+  for (const auto& l : other.layers_) layers_.push_back(l->clone());
+  return *this;
+}
+
+Model& Model::add(std::unique_ptr<Layer> layer) {
+  DINAR_CHECK(layer != nullptr, "cannot add a null layer");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Model::forward(const Tensor& x, bool train) {
+  Tensor h = x;
+  for (auto& layer : layers_) h = layer->forward(h, train);
+  return h;
+}
+
+Tensor Model::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+  return g;
+}
+
+void Model::zero_grad() {
+  for (auto& layer : layers_)
+    for (ParamGroup& group : layer->param_groups())
+      for (Tensor* grad : group.grads) grad->zero();
+}
+
+std::vector<ParamGroup> Model::param_layers() {
+  std::vector<ParamGroup> groups;
+  for (auto& layer : layers_)
+    for (ParamGroup& g : layer->param_groups()) groups.push_back(std::move(g));
+  return groups;
+}
+
+std::size_t Model::num_param_layers() { return param_layers().size(); }
+
+std::int64_t Model::num_parameters() {
+  std::int64_t n = 0;
+  for (const ParamGroup& g : param_layers()) n += g.numel();
+  return n;
+}
+
+ParamList Model::parameters() {
+  ParamList out;
+  for (const ParamGroup& g : param_layers())
+    for (const Tensor* p : g.params) out.push_back(*p);
+  return out;
+}
+
+void Model::set_parameters(const ParamList& params) {
+  std::size_t i = 0;
+  for (const ParamGroup& g : param_layers()) {
+    for (Tensor* p : g.params) {
+      DINAR_CHECK(i < params.size(), "set_parameters: too few tensors");
+      DINAR_CHECK(p->same_shape(params[i]),
+                  "set_parameters: shape mismatch at tensor " << i);
+      *p = params[i];
+      ++i;
+    }
+  }
+  DINAR_CHECK(i == params.size(), "set_parameters: " << params.size() - i
+                                                     << " extra tensors");
+}
+
+ParamList Model::gradients() {
+  ParamList out;
+  for (const ParamGroup& g : param_layers())
+    for (const Tensor* grad : g.grads) out.push_back(*grad);
+  return out;
+}
+
+ParamList Model::layer_parameters(std::size_t layer_index) {
+  std::vector<ParamGroup> groups = param_layers();
+  DINAR_CHECK(layer_index < groups.size(),
+              "layer index " << layer_index << " out of " << groups.size());
+  ParamList out;
+  for (const Tensor* p : groups[layer_index].params) out.push_back(*p);
+  return out;
+}
+
+void Model::set_layer_parameters(std::size_t layer_index, const ParamList& params) {
+  std::vector<ParamGroup> groups = param_layers();
+  DINAR_CHECK(layer_index < groups.size(),
+              "layer index " << layer_index << " out of " << groups.size());
+  ParamGroup& g = groups[layer_index];
+  DINAR_CHECK(params.size() == g.params.size(),
+              "layer " << layer_index << ": tensor count mismatch");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    DINAR_CHECK(g.params[i]->same_shape(params[i]),
+                "layer " << layer_index << ": shape mismatch at tensor " << i);
+    *g.params[i] = params[i];
+  }
+}
+
+std::pair<std::size_t, std::size_t> Model::layer_param_span(std::size_t layer_index) {
+  std::vector<ParamGroup> groups = param_layers();
+  DINAR_CHECK(layer_index < groups.size(),
+              "layer index " << layer_index << " out of " << groups.size());
+  std::size_t begin = 0;
+  for (std::size_t l = 0; l < layer_index; ++l) begin += groups[l].params.size();
+  return {begin, begin + groups[layer_index].params.size()};
+}
+
+void Model::save(BinaryWriter& w) {
+  w.write_u32(kModelMagic);
+  w.write_u32(kModelVersion);
+  write_param_list(w, parameters());
+}
+
+void Model::load(BinaryReader& r) {
+  DINAR_CHECK(r.read_u32() == kModelMagic, "not a DINAR model checkpoint");
+  const std::uint32_t version = r.read_u32();
+  DINAR_CHECK(version == kModelVersion, "unsupported checkpoint version " << version);
+  set_parameters(read_param_list(r));
+}
+
+std::string Model::summary() {
+  std::ostringstream os;
+  os << "Model with " << layers_.size() << " layers, " << num_param_layers()
+     << " parameterized, " << num_parameters() << " parameters\n";
+  std::size_t idx = 0;
+  for (const ParamGroup& g : param_layers())
+    os << "  [" << idx++ << "] " << g.name << " (" << g.numel() << " params)\n";
+  return os.str();
+}
+
+}  // namespace dinar::nn

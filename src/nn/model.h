@@ -1,0 +1,90 @@
+// Sequential neural-network model with a layer-indexed parameter registry.
+//
+// The registry is DINAR's pivot: Algorithm 1's "layer p" is an index into
+// param_layers(), and every consumer — FedAvg aggregation, the sensitivity
+// analyzer, the obfuscator, personalization, DP noise — addresses
+// parameters through the same indexing, so "obfuscate layer p" and
+// "restore layer p" are guaranteed to touch the same tensors.
+//
+// Parameters snapshot to/from ParamList (a flat, ordered list of tensors),
+// which is also the FL wire format.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+#include "util/serde.h"
+
+namespace dinar::nn {
+
+// Ordered snapshot of every parameter tensor of a model.
+using ParamList = std::vector<Tensor>;
+
+// a += b, elementwise across the list (shape-checked).
+void param_list_add(ParamList& a, const ParamList& b);
+// a *= s.
+void param_list_scale(ParamList& a, float s);
+// a += s * b.
+void param_list_add_scaled(ParamList& a, const ParamList& b, float s);
+// Total element count.
+std::int64_t param_list_numel(const ParamList& a);
+// sqrt(sum of squared entries) across the whole list.
+double param_list_l2_norm(const ParamList& a);
+// Structural equality of shapes (not values).
+bool param_list_same_shape(const ParamList& a, const ParamList& b);
+
+void write_param_list(BinaryWriter& w, const ParamList& params);
+ParamList read_param_list(BinaryReader& r);
+
+class Model {
+ public:
+  Model() = default;
+  Model(Model&&) = default;
+  Model& operator=(Model&&) = default;
+  Model(const Model& other);
+  Model& operator=(const Model& other);
+
+  // Appends a layer; returns *this for builder-style chaining.
+  Model& add(std::unique_ptr<Layer> layer);
+
+  Tensor forward(const Tensor& x, bool train = false);
+  // Backpropagates dL/d(output); parameter gradients accumulate.
+  // Returns dL/d(input).
+  Tensor backward(const Tensor& grad_output);
+  void zero_grad();
+
+  // One parameterized-layer view per paper "layer", in forward order.
+  // Pointers remain valid while the model is alive and unmodified.
+  std::vector<ParamGroup> param_layers();
+  std::size_t num_param_layers();
+  std::int64_t num_parameters();
+  std::size_t num_layers() const { return layers_.size(); }
+
+  // Snapshot of all parameter values, ordered by layer then tensor.
+  ParamList parameters();
+  // Overwrites all parameters from a snapshot (shape-checked).
+  void set_parameters(const ParamList& params);
+  // Snapshot of all gradients (same ordering as parameters()).
+  ParamList gradients();
+
+  // Snapshot / restore of one parameterized layer (DINAR's private-layer
+  // store and obfuscator work through these).
+  ParamList layer_parameters(std::size_t layer_index);
+  void set_layer_parameters(std::size_t layer_index, const ParamList& params);
+  // Positions of layer `layer_index`'s tensors inside the flat ParamList.
+  std::pair<std::size_t, std::size_t> layer_param_span(std::size_t layer_index);
+
+  // Checkpoint serialization (magic + version + parameter payload).
+  void save(BinaryWriter& w);
+  void load(BinaryReader& r);
+
+  std::string summary();
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace dinar::nn

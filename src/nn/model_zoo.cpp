@@ -1,0 +1,108 @@
+#include "nn/model_zoo.h"
+
+#include <algorithm>
+
+#include "nn/activations.h"
+#include "nn/conv1d.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/flatten.h"
+#include "nn/pooling.h"
+#include "nn/residual.h"
+#include "util/error.h"
+
+namespace dinar::nn {
+
+Model make_fcnn6(std::int64_t in_features, std::int64_t classes, std::int64_t width,
+                 Rng& rng) {
+  DINAR_CHECK(width >= 32, "fcnn6 width too small");
+  Model m;
+  std::int64_t in = in_features;
+  std::int64_t w = width;
+  // Five hidden Tanh layers with halving widths, then the classifier:
+  // the paper's 4096/2048/1024/512/256/128 FCNN shape at CPU scale.
+  for (int i = 0; i < 5; ++i) {
+    m.add(std::make_unique<Dense>(in, w, rng)).add(std::make_unique<Tanh>());
+    in = w;
+    w = std::max<std::int64_t>(w / 2, 16);
+  }
+  m.add(std::make_unique<Dense>(in, classes, rng));
+  return m;
+}
+
+Model make_vgg_small(std::int64_t in_channels, std::int64_t image_size,
+                     std::int64_t classes, std::int64_t conv_blocks, Rng& rng) {
+  DINAR_CHECK(conv_blocks >= 1 && conv_blocks <= 8, "conv_blocks out of range");
+  Model m;
+  std::int64_t ch = in_channels;
+  std::int64_t out_ch = 8;
+  std::int64_t size = image_size;
+  for (std::int64_t b = 0; b < conv_blocks; ++b) {
+    m.add(std::make_unique<Conv2d>(ch, out_ch, 3, 1, 1, rng))
+        .add(std::make_unique<ReLU>());
+    ch = out_ch;
+    // Pool after every second block while the map stays poolable.
+    if (b % 2 == 1 && size >= 2) {
+      m.add(std::make_unique<MaxPool2d>(2));
+      size /= 2;
+      out_ch = std::min<std::int64_t>(out_ch * 2, 32);
+    }
+  }
+  m.add(std::make_unique<Flatten>());
+  const std::int64_t flat = ch * size * size;
+  const std::int64_t hidden = std::max<std::int64_t>(flat / 3, 32);
+  m.add(std::make_unique<Dense>(flat, hidden, rng)).add(std::make_unique<ReLU>());
+  m.add(std::make_unique<Dense>(hidden, classes, rng));
+  return m;
+}
+
+Model make_resnet_small(std::int64_t in_channels, std::int64_t image_size,
+                        std::int64_t classes, Rng& rng) {
+  DINAR_CHECK(image_size >= 8, "resnet_small needs image_size >= 8");
+  Model m;
+  m.add(std::make_unique<Conv2d>(in_channels, 8, 3, 1, 1, rng))
+      .add(std::make_unique<ReLU>());
+  m.add(std::make_unique<ResidualBlock>(8, 8, 1, rng));
+  m.add(std::make_unique<ResidualBlock>(8, 16, 2, rng));
+  m.add(std::make_unique<ResidualBlock>(16, 32, 2, rng));
+  m.add(std::make_unique<GlobalAvgPool2d>());
+  m.add(std::make_unique<Dense>(32, classes, rng));
+  return m;
+}
+
+Model make_m5_audio(std::int64_t length, std::int64_t classes, Rng& rng) {
+  DINAR_CHECK(length >= 128, "m5_audio needs length >= 128");
+  Model m;
+  m.add(std::make_unique<Conv1d>(1, 8, 16, 4, 0, rng)).add(std::make_unique<ReLU>());
+  m.add(std::make_unique<MaxPool1d>(4));
+  m.add(std::make_unique<Conv1d>(8, 16, 3, 1, 1, rng)).add(std::make_unique<ReLU>());
+  m.add(std::make_unique<MaxPool1d>(4));
+  m.add(std::make_unique<Conv1d>(16, 32, 3, 1, 1, rng)).add(std::make_unique<ReLU>());
+  m.add(std::make_unique<Conv1d>(32, 32, 3, 1, 1, rng)).add(std::make_unique<ReLU>());
+  m.add(std::make_unique<GlobalAvgPool1d>());
+  m.add(std::make_unique<Dense>(32, classes, rng));
+  return m;
+}
+
+ModelFactory fcnn6_factory(std::int64_t in_features, std::int64_t classes,
+                           std::int64_t width) {
+  return [=](Rng& rng) { return make_fcnn6(in_features, classes, width, rng); };
+}
+
+ModelFactory vgg_small_factory(std::int64_t in_channels, std::int64_t image_size,
+                               std::int64_t classes, std::int64_t conv_blocks) {
+  return [=](Rng& rng) {
+    return make_vgg_small(in_channels, image_size, classes, conv_blocks, rng);
+  };
+}
+
+ModelFactory resnet_small_factory(std::int64_t in_channels, std::int64_t image_size,
+                                  std::int64_t classes) {
+  return [=](Rng& rng) { return make_resnet_small(in_channels, image_size, classes, rng); };
+}
+
+ModelFactory m5_audio_factory(std::int64_t length, std::int64_t classes) {
+  return [=](Rng& rng) { return make_m5_audio(length, classes, rng); };
+}
+
+}  // namespace dinar::nn

@@ -1,0 +1,53 @@
+// Model zoo: scaled-down counterparts of the paper's four architectures
+// (Table 2), each a builder keyed by input geometry and class count.
+//
+// | Paper model      | Zoo model    | Used with                      |
+// |------------------|--------------|--------------------------------|
+// | ResNet20         | ResNetSmall  | Cifar-10 / Cifar-100 analogues |
+// | VGG11            | VggSmall     | GTSRB / CelebA analogues       |
+// | M18 (1-D CNN)    | M5Audio      | Speech Commands analogue       |
+// | 6-layer FCNN     | Fcnn6        | Purchase100 / Texas100         |
+//
+// A ModelFactory is a reusable recipe: FL clients clone the server's
+// initial model, but the MIA shadow-model attack needs *fresh* models of
+// the same architecture, so builders are first-class values.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "nn/model.h"
+
+namespace dinar::nn {
+
+using ModelFactory = std::function<Model(Rng&)>;
+
+// 6-layer fully-connected Tanh network (paper §5.1, Purchase100/Texas100):
+// in -> h1 -> h2 -> h3 -> h4 -> h5 -> classes, layer widths shrinking by
+// powers of two from `width`.
+Model make_fcnn6(std::int64_t in_features, std::int64_t classes, std::int64_t width,
+                 Rng& rng);
+
+// VGG-style CNN over [C, H, W] images: `conv_blocks` conv+ReLU stages with
+// 2x2 max-pool every second stage, then a dense classifier head.
+Model make_vgg_small(std::int64_t in_channels, std::int64_t image_size,
+                     std::int64_t classes, std::int64_t conv_blocks, Rng& rng);
+
+// ResNet-style CNN: stem conv, three residual stages, global average pool,
+// linear head.
+Model make_resnet_small(std::int64_t in_channels, std::int64_t image_size,
+                        std::int64_t classes, Rng& rng);
+
+// Deep-narrow 1-D CNN over raw waveforms [1, L] (M5 family).
+Model make_m5_audio(std::int64_t length, std::int64_t classes, Rng& rng);
+
+// Factory wrappers capturing the hyper-parameters.
+ModelFactory fcnn6_factory(std::int64_t in_features, std::int64_t classes,
+                           std::int64_t width);
+ModelFactory vgg_small_factory(std::int64_t in_channels, std::int64_t image_size,
+                               std::int64_t classes, std::int64_t conv_blocks);
+ModelFactory resnet_small_factory(std::int64_t in_channels, std::int64_t image_size,
+                                  std::int64_t classes);
+ModelFactory m5_audio_factory(std::int64_t length, std::int64_t classes);
+
+}  // namespace dinar::nn

@@ -1,0 +1,43 @@
+// Optimizer interface.
+//
+// DINAR's Algorithm 1 trains with Adagrad-style adaptive gradient descent
+// and resets the accumulated statistics at the start of every FL round
+// (line 8: G <- 0); the trainer therefore calls reset() per round. The
+// ablation of paper Figure 11 swaps in Adam / AdaMax / ADGD through this
+// interface.
+//
+// Optimizer state is held as flat tensor lists aligned with
+// Model::parameters() ordering and is lazily (re)initialized when the
+// parameter structure changes.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/model.h"
+
+namespace dinar::opt {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  // Applies one update using the model's currently accumulated gradients.
+  virtual void step(nn::Model& model) = 0;
+
+  // Clears accumulated state (start of an FL round in Algorithm 1).
+  virtual void reset() = 0;
+
+  virtual std::string name() const = 0;
+
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+ protected:
+  explicit Optimizer(double lr) : lr_(lr) {}
+  double lr_;
+};
+
+using OptimizerFactory = std::function<std::unique_ptr<Optimizer>()>;
+
+}  // namespace dinar::opt

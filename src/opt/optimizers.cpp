@@ -1,0 +1,221 @@
+#include "opt/optimizers.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace dinar::opt {
+namespace {
+
+// Collects aligned (param, grad) tensor pointers from the model.
+struct Slots {
+  std::vector<Tensor*> params;
+  std::vector<Tensor*> grads;
+};
+
+Slots collect(nn::Model& model) {
+  Slots s;
+  for (nn::ParamGroup& g : model.param_layers()) {
+    for (Tensor* p : g.params) s.params.push_back(p);
+    for (Tensor* gr : g.grads) s.grads.push_back(gr);
+  }
+  DINAR_CHECK(s.params.size() == s.grads.size(), "param/grad count mismatch");
+  return s;
+}
+
+// Lazily (re)initializes a state list to zeros matching the params.
+void ensure_state(nn::ParamList& state, const std::vector<Tensor*>& params) {
+  bool ok = state.size() == params.size();
+  for (std::size_t i = 0; ok && i < state.size(); ++i)
+    ok = state[i].same_shape(*params[i]);
+  if (ok) return;
+  state.clear();
+  state.reserve(params.size());
+  for (const Tensor* p : params) state.emplace_back(p->shape());
+}
+
+}  // namespace
+
+Sgd::Sgd(double lr, double momentum) : Optimizer(lr), momentum_(momentum) {}
+
+void Sgd::step(nn::Model& model) {
+  Slots s = collect(model);
+  if (momentum_ == 0.0) {
+    for (std::size_t i = 0; i < s.params.size(); ++i)
+      s.params[i]->add_scaled(*s.grads[i], static_cast<float>(-lr_));
+    return;
+  }
+  ensure_state(velocity_, s.params);
+  for (std::size_t i = 0; i < s.params.size(); ++i) {
+    velocity_[i] *= static_cast<float>(momentum_);
+    velocity_[i].add_scaled(*s.grads[i], 1.0f);
+    s.params[i]->add_scaled(velocity_[i], static_cast<float>(-lr_));
+  }
+}
+
+void Sgd::reset() { velocity_.clear(); }
+
+Adagrad::Adagrad(double lr, double eps) : Optimizer(lr), eps_(eps) {}
+
+void Adagrad::step(nn::Model& model) {
+  Slots s = collect(model);
+  ensure_state(accum_, s.params);
+  for (std::size_t i = 0; i < s.params.size(); ++i) {
+    float* g = s.grads[i]->data();
+    float* a = accum_[i].data();
+    float* p = s.params[i]->data();
+    const std::int64_t n = s.params[i]->numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      a[j] += g[j] * g[j];
+      // Paper's exact form: eps inside the square root.
+      p[j] -= static_cast<float>(lr_) * g[j] /
+              std::sqrt(a[j] + static_cast<float>(eps_));
+    }
+  }
+}
+
+void Adagrad::reset() { accum_.clear(); }
+
+Adam::Adam(double lr, double beta1, double beta2, double eps)
+    : Optimizer(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+void Adam::step(nn::Model& model) {
+  Slots s = collect(model);
+  ensure_state(m_, s.params);
+  ensure_state(v_, s.params);
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < s.params.size(); ++i) {
+    float* g = s.grads[i]->data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    float* p = s.params[i]->data();
+    const std::int64_t n = s.params[i]->numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      m[j] = static_cast<float>(beta1_) * m[j] + static_cast<float>(1.0 - beta1_) * g[j];
+      v[j] = static_cast<float>(beta2_) * v[j] +
+             static_cast<float>(1.0 - beta2_) * g[j] * g[j];
+      const double mhat = m[j] / bc1;
+      const double vhat = v[j] / bc2;
+      p[j] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    }
+  }
+}
+
+void Adam::reset() {
+  m_.clear();
+  v_.clear();
+  t_ = 0;
+}
+
+AdaMax::AdaMax(double lr, double beta1, double beta2, double eps)
+    : Optimizer(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+void AdaMax::step(nn::Model& model) {
+  Slots s = collect(model);
+  ensure_state(m_, s.params);
+  ensure_state(u_, s.params);
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < s.params.size(); ++i) {
+    float* g = s.grads[i]->data();
+    float* m = m_[i].data();
+    float* u = u_[i].data();
+    float* p = s.params[i]->data();
+    const std::int64_t n = s.params[i]->numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      m[j] = static_cast<float>(beta1_) * m[j] + static_cast<float>(1.0 - beta1_) * g[j];
+      u[j] = std::max(static_cast<float>(beta2_) * u[j], std::fabs(g[j]));
+      p[j] -= static_cast<float>(lr_ / bc1 * m[j] / (u[j] + eps_));
+    }
+  }
+}
+
+void AdaMax::reset() {
+  m_.clear();
+  u_.clear();
+  t_ = 0;
+}
+
+RmsProp::RmsProp(double lr, double decay, double eps)
+    : Optimizer(lr), decay_(decay), eps_(eps) {}
+
+void RmsProp::step(nn::Model& model) {
+  Slots s = collect(model);
+  ensure_state(accum_, s.params);
+  for (std::size_t i = 0; i < s.params.size(); ++i) {
+    float* g = s.grads[i]->data();
+    float* a = accum_[i].data();
+    float* p = s.params[i]->data();
+    const std::int64_t n = s.params[i]->numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      a[j] = static_cast<float>(decay_) * a[j] +
+             static_cast<float>(1.0 - decay_) * g[j] * g[j];
+      p[j] -= static_cast<float>(lr_) * g[j] /
+              (std::sqrt(a[j]) + static_cast<float>(eps_));
+    }
+  }
+}
+
+void RmsProp::reset() { accum_.clear(); }
+
+Adgd::Adgd(double lr) : Optimizer(lr), lambda_prev_(lr) {}
+
+void Adgd::step(nn::Model& model) {
+  Slots s = collect(model);
+  nn::ParamList params = model.parameters();
+  nn::ParamList grads = model.gradients();
+
+  double lambda = lambda_prev_;
+  if (has_prev_) {
+    double dx2 = 0.0, dg2 = 0.0;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      const float* p = params[i].data();
+      const float* pp = prev_params_[i].data();
+      const float* g = grads[i].data();
+      const float* pg = prev_grads_[i].data();
+      const std::int64_t n = params[i].numel();
+      for (std::int64_t j = 0; j < n; ++j) {
+        const double dp = static_cast<double>(p[j]) - pp[j];
+        const double dg = static_cast<double>(g[j]) - pg[j];
+        dx2 += dp * dp;
+        dg2 += dg * dg;
+      }
+    }
+    const double growth = std::sqrt(1.0 + theta_prev_) * lambda_prev_;
+    const double curvature =
+        dg2 > 0.0 ? std::sqrt(dx2) / (2.0 * std::sqrt(dg2)) : growth;
+    lambda = std::min(growth, curvature);
+    if (!(lambda > 0.0) || !std::isfinite(lambda)) lambda = lambda_prev_;
+    theta_prev_ = lambda / lambda_prev_;
+  }
+
+  for (std::size_t i = 0; i < s.params.size(); ++i)
+    s.params[i]->add_scaled(*s.grads[i], static_cast<float>(-lambda));
+
+  prev_params_ = std::move(params);
+  prev_grads_ = std::move(grads);
+  lambda_prev_ = lambda;
+  has_prev_ = true;
+}
+
+void Adgd::reset() {
+  prev_params_.clear();
+  prev_grads_.clear();
+  lambda_prev_ = lr_;
+  theta_prev_ = 1.0;
+  has_prev_ = false;
+}
+
+std::unique_ptr<Optimizer> make_optimizer(const std::string& name, double lr) {
+  if (name == "sgd") return std::make_unique<Sgd>(lr);
+  if (name == "adagrad") return std::make_unique<Adagrad>(lr);
+  if (name == "adam") return std::make_unique<Adam>(lr);
+  if (name == "adamax") return std::make_unique<AdaMax>(lr);
+  if (name == "rmsprop") return std::make_unique<RmsProp>(lr);
+  if (name == "adgd") return std::make_unique<Adgd>(lr);
+  throw Error("unknown optimizer: " + name);
+}
+
+}  // namespace dinar::opt

@@ -1,0 +1,100 @@
+// Concrete optimizers.
+//
+// Adagrad is the one Algorithm 1 specifies (including the paper's 1e-5
+// term inside the square root); SGD is the FL baseline; Adam, AdaMax,
+// RMSProp and ADGD are the Figure 11 ablation alternatives.
+#pragma once
+
+#include <vector>
+
+#include "opt/optimizer.h"
+
+namespace dinar::opt {
+
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.0);
+  void step(nn::Model& model) override;
+  void reset() override;
+  std::string name() const override { return "sgd"; }
+
+ private:
+  double momentum_;
+  nn::ParamList velocity_;
+};
+
+// Algorithm 1, lines 13-14:  G += g^2;  theta -= lr * g / sqrt(G + 1e-5).
+class Adagrad : public Optimizer {
+ public:
+  explicit Adagrad(double lr, double eps = 1e-5);
+  void step(nn::Model& model) override;
+  void reset() override;
+  std::string name() const override { return "adagrad"; }
+
+ private:
+  double eps_;
+  nn::ParamList accum_;  // G
+};
+
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8);
+  void step(nn::Model& model) override;
+  void reset() override;
+  std::string name() const override { return "adam"; }
+
+ private:
+  double beta1_, beta2_, eps_;
+  std::int64_t t_ = 0;
+  nn::ParamList m_, v_;
+};
+
+// Adam variant with an infinity-norm second moment (Kingma & Ba, §7).
+class AdaMax : public Optimizer {
+ public:
+  explicit AdaMax(double lr, double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8);
+  void step(nn::Model& model) override;
+  void reset() override;
+  std::string name() const override { return "adamax"; }
+
+ private:
+  double beta1_, beta2_, eps_;
+  std::int64_t t_ = 0;
+  nn::ParamList m_, u_;
+};
+
+class RmsProp : public Optimizer {
+ public:
+  explicit RmsProp(double lr, double decay = 0.9, double eps = 1e-8);
+  void step(nn::Model& model) override;
+  void reset() override;
+  std::string name() const override { return "rmsprop"; }
+
+ private:
+  double decay_, eps_;
+  nn::ParamList accum_;
+};
+
+// Adaptive Gradient Descent without Descent (Malitsky & Mishchenko 2020):
+// the step size adapts from local curvature estimates
+//   lambda_k = min( sqrt(1 + theta_{k-1}) * lambda_{k-1},
+//                   ||x_k - x_{k-1}|| / (2 ||g_k - g_{k-1}||) ).
+class Adgd : public Optimizer {
+ public:
+  explicit Adgd(double lr);
+  void step(nn::Model& model) override;
+  void reset() override;
+  std::string name() const override { return "adgd"; }
+
+ private:
+  double lambda_prev_;
+  // Malitsky-Mishchenko use theta_0 = +inf; with minibatch gradients that
+  // lets the first growth bound explode, so we start conservatively at 1.
+  double theta_prev_ = 1.0;
+  bool has_prev_ = false;
+  nn::ParamList prev_params_, prev_grads_;
+};
+
+std::unique_ptr<Optimizer> make_optimizer(const std::string& name, double lr);
+
+}  // namespace dinar::opt

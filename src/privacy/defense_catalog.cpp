@@ -1,0 +1,64 @@
+#include "privacy/defense_catalog.h"
+
+#include "privacy/gradient_compression.h"
+#include "privacy/secure_aggregation.h"
+#include "util/error.h"
+
+namespace dinar::privacy {
+
+fl::DefenseBundle make_baseline_bundle(const std::string& name,
+                                       const BaselineDefenseConfig& config) {
+  fl::DefenseBundle bundle;
+  bundle.name = name;
+
+  if (name == "none") return bundle;
+
+  if (name == "ldp") {
+    const DpParams dp = config.dp;
+    const std::uint64_t seed = config.seed;
+    bundle.make_client = [dp, seed](int client_id) {
+      return std::make_unique<LdpDefense>(dp, Rng(seed).fork(static_cast<std::uint64_t>(client_id)));
+    };
+    return bundle;
+  }
+
+  if (name == "cdp") {
+    const DpParams dp = config.dp;
+    const std::uint64_t seed = config.seed;
+    bundle.make_server = [dp, seed] {
+      return std::make_unique<CdpDefense>(dp, Rng(seed).fork(0x5e37e3));
+    };
+    return bundle;
+  }
+
+  if (name == "wdp") {
+    const double bound = config.wdp_norm_bound, sigma = config.wdp_sigma;
+    const std::uint64_t seed = config.seed;
+    bundle.make_client = [bound, sigma, seed](int client_id) {
+      return std::make_unique<WdpDefense>(
+          bound, sigma, Rng(seed).fork(0x7D0 + static_cast<std::uint64_t>(client_id)));
+    };
+    return bundle;
+  }
+
+  if (name == "gc") {
+    const double keep = config.gc_keep_ratio;
+    bundle.make_client = [keep](int) {
+      return std::make_unique<GradientCompressionDefense>(keep);
+    };
+    return bundle;
+  }
+
+  if (name == "sa") {
+    auto group = std::make_shared<SecureAggregationGroup>(config.num_clients, config.seed,
+                                                          config.sa_mask_stddev);
+    bundle.make_client = [group](int client_id) {
+      return std::make_unique<SecureAggregationDefense>(group, client_id);
+    };
+    return bundle;
+  }
+
+  throw Error("unknown baseline defense: " + name);
+}
+
+}  // namespace dinar::privacy

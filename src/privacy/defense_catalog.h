@@ -1,0 +1,27 @@
+// Factory for the paper's baseline defense bundles (§5.2): none, LDP,
+// CDP, WDP, GC, SA. DINAR's own bundle lives in core/dinar_defense.h;
+// the experiment harness composes both catalogs.
+#pragma once
+
+#include <string>
+
+#include "fl/simulation.h"
+#include "privacy/dp.h"
+
+namespace dinar::privacy {
+
+struct BaselineDefenseConfig {
+  DpParams dp;                   // LDP / CDP budget (paper: eps 2.2, delta 1e-5)
+  double wdp_norm_bound = 5.0;   // paper §5.2
+  double wdp_sigma = 0.025;      // paper §5.2
+  double gc_keep_ratio = 0.05;
+  double sa_mask_stddev = 1000.0;
+  int num_clients = 5;           // SA needs the group size up front
+  std::uint64_t seed = 7;
+};
+
+// name in {"none", "ldp", "cdp", "wdp", "gc", "sa"}; throws on others.
+fl::DefenseBundle make_baseline_bundle(const std::string& name,
+                                       const BaselineDefenseConfig& config);
+
+}  // namespace dinar::privacy

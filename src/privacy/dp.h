@@ -1,0 +1,77 @@
+// Differential-privacy baseline defenses (paper §5.2):
+//
+//  - LDP: each client clips its outgoing parameters to an L2 bound and
+//    adds Gaussian noise calibrated to (epsilon, delta) before upload.
+//  - CDP: the server adds the same calibrated noise to the aggregate
+//    before broadcast.
+//  - WDP ("weak DP", Sun et al. [43]): norm bounding plus fixed
+//    low-magnitude Gaussian noise (paper settings: bound 5, sigma 0.025).
+//
+// Noise is calibrated with the classical Gaussian-mechanism bound
+//   sigma = sensitivity * sqrt(2 ln(1.25/delta)) / epsilon.
+#pragma once
+
+#include <memory>
+
+#include "fl/defense.h"
+#include "util/rng.h"
+
+namespace dinar::privacy {
+
+struct DpParams {
+  double epsilon = 2.2;    // paper §5.2
+  double delta = 1e-5;     // paper §5.2
+  double clip_norm = 5.0;  // L2 bound applied before noising
+  // Per-coordinate sensitivity proxy; scales the Gaussian-mechanism sigma.
+  double sensitivity = 0.05;
+
+  double sigma() const;
+};
+
+// Clips a parameter list to `clip_norm` (global L2) in place.
+void clip_l2(nn::ParamList& params, double clip_norm);
+// Adds iid N(0, sigma^2) to every coordinate.
+void add_gaussian_noise(nn::ParamList& params, double sigma, Rng& rng);
+
+class LdpDefense final : public fl::ClientDefense {
+ public:
+  LdpDefense(DpParams params, Rng rng) : params_(params), rng_(rng) {}
+
+  std::string name() const override { return "ldp"; }
+  nn::ParamList before_upload(nn::Model& model, nn::ParamList params,
+                              std::int64_t num_samples, bool& pre_weighted) override;
+
+ private:
+  DpParams params_;
+  Rng rng_;
+};
+
+class CdpDefense final : public fl::ServerDefense {
+ public:
+  CdpDefense(DpParams params, Rng rng) : params_(params), rng_(rng) {}
+
+  std::string name() const override { return "cdp"; }
+  void after_aggregate(nn::ParamList& params) override;
+
+ private:
+  DpParams params_;
+  Rng rng_;
+};
+
+class WdpDefense final : public fl::ClientDefense {
+ public:
+  // Paper settings: norm bound 5, sigma 0.025.
+  WdpDefense(double norm_bound, double sigma, Rng rng)
+      : norm_bound_(norm_bound), sigma_(sigma), rng_(rng) {}
+
+  std::string name() const override { return "wdp"; }
+  nn::ParamList before_upload(nn::Model& model, nn::ParamList params,
+                              std::int64_t num_samples, bool& pre_weighted) override;
+
+ private:
+  double norm_bound_;
+  double sigma_;
+  Rng rng_;
+};
+
+}  // namespace dinar::privacy

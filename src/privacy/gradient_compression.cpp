@@ -1,0 +1,58 @@
+#include "privacy/gradient_compression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+
+namespace dinar::privacy {
+
+GradientCompressionDefense::GradientCompressionDefense(double keep_ratio)
+    : keep_ratio_(keep_ratio) {
+  DINAR_CHECK(keep_ratio > 0.0 && keep_ratio <= 1.0, "keep ratio must be in (0,1]");
+}
+
+void GradientCompressionDefense::on_download(nn::Model& model,
+                                             const nn::ParamList& global_params) {
+  reference_ = global_params;
+  model.set_parameters(global_params);
+}
+
+nn::ParamList GradientCompressionDefense::before_upload(nn::Model& /*model*/,
+                                                        nn::ParamList params,
+                                                        std::int64_t /*num_samples*/,
+                                                        bool& /*pre_weighted*/) {
+  DINAR_CHECK(!reference_.empty(), "GC upload before any download");
+  DINAR_CHECK(nn::param_list_same_shape(params, reference_),
+              "GC reference/update structure mismatch");
+
+  // Magnitudes of the update delta across all tensors.
+  std::vector<float> magnitudes;
+  magnitudes.reserve(static_cast<std::size_t>(nn::param_list_numel(params)));
+  for (std::size_t t = 0; t < params.size(); ++t) {
+    const float* p = params[t].data();
+    const float* r = reference_[t].data();
+    for (std::int64_t i = 0; i < params[t].numel(); ++i)
+      magnitudes.push_back(std::fabs(p[i] - r[i]));
+  }
+  if (magnitudes.empty()) return params;
+
+  const std::size_t keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(keep_ratio_ * static_cast<double>(magnitudes.size())));
+  std::vector<float> sorted = magnitudes;
+  std::nth_element(sorted.begin(), sorted.end() - static_cast<std::ptrdiff_t>(keep),
+                   sorted.end());
+  const float threshold = sorted[sorted.size() - keep];
+
+  // Below-threshold coordinates revert to the reference (delta dropped).
+  for (std::size_t t = 0; t < params.size(); ++t) {
+    float* p = params[t].data();
+    const float* r = reference_[t].data();
+    for (std::int64_t i = 0; i < params[t].numel(); ++i)
+      if (std::fabs(p[i] - r[i]) < threshold) p[i] = r[i];
+  }
+  return params;
+}
+
+}  // namespace dinar::privacy

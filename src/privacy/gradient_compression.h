@@ -1,0 +1,28 @@
+// Gradient-compression defense (paper §5.2, baseline GC [7]).
+//
+// The client uploads the received global model plus only the top-k
+// largest-magnitude coordinates of its local update delta; the rest are
+// dropped. Less information in the update means less membership signal
+// for the attacker — and, as the paper observes, less utility.
+#pragma once
+
+#include "fl/defense.h"
+
+namespace dinar::privacy {
+
+class GradientCompressionDefense final : public fl::ClientDefense {
+ public:
+  // keep_ratio: fraction of delta coordinates transmitted (e.g. 0.1).
+  explicit GradientCompressionDefense(double keep_ratio);
+
+  std::string name() const override { return "gc"; }
+  void on_download(nn::Model& model, const nn::ParamList& global_params) override;
+  nn::ParamList before_upload(nn::Model& model, nn::ParamList params,
+                              std::int64_t num_samples, bool& pre_weighted) override;
+
+ private:
+  double keep_ratio_;
+  nn::ParamList reference_;  // global model received this round
+};
+
+}  // namespace dinar::privacy

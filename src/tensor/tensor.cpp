@@ -1,0 +1,266 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/memory_tracker.h"
+
+namespace dinar {
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+std::int64_t shape_numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (std::int64_t d : shape) {
+    DINAR_CHECK(d >= 0, "negative dimension in shape " << shape_to_string(shape));
+    n *= d;
+  }
+  return n;
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), numel_(shape_numel(shape_)),
+      data_(static_cast<std::size_t>(numel_), 0.0f) {
+  track_alloc();
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), numel_(shape_numel(shape_)), data_(std::move(values)) {
+  DINAR_CHECK(static_cast<std::int64_t>(data_.size()) == numel_,
+              "value count " << data_.size() << " does not match shape "
+                             << shape_to_string(shape_));
+  track_alloc();
+}
+
+Tensor::Tensor(const Tensor& other)
+    : shape_(other.shape_), numel_(other.numel_), data_(other.data_) {
+  track_alloc();
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  track_release();
+  shape_ = other.shape_;
+  numel_ = other.numel_;
+  data_ = other.data_;
+  track_alloc();
+  return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : shape_(std::move(other.shape_)), numel_(other.numel_),
+      data_(std::move(other.data_)) {
+  other.numel_ = 0;
+  other.shape_.clear();
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this == &other) return *this;
+  track_release();
+  shape_ = std::move(other.shape_);
+  numel_ = other.numel_;
+  data_ = std::move(other.data_);
+  other.numel_ = 0;
+  other.shape_.clear();
+  return *this;
+}
+
+Tensor::~Tensor() { track_release(); }
+
+void Tensor::track_alloc() {
+  if (!data_.empty()) MemoryTracker::instance().allocate(data_.size() * sizeof(float));
+}
+
+void Tensor::track_release() {
+  if (!data_.empty()) MemoryTracker::instance().release(data_.size() * sizeof(float));
+}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::gaussian(Shape shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = static_cast<float>(rng.gaussian(0.0, stddev));
+  return t;
+}
+
+Tensor Tensor::kaiming(Shape shape, std::int64_t fan_in, Rng& rng) {
+  DINAR_CHECK(fan_in > 0, "kaiming init requires positive fan_in");
+  const float bound = std::sqrt(1.0f / static_cast<float>(fan_in));
+  return uniform(std::move(shape), rng, -bound, bound);
+}
+
+std::int64_t Tensor::dim(std::size_t i) const {
+  DINAR_CHECK(i < shape_.size(), "dim " << i << " out of rank " << shape_.size());
+  return shape_[i];
+}
+
+float& Tensor::at(std::int64_t r, std::int64_t c) {
+  return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+}
+
+float Tensor::at(std::int64_t r, std::int64_t c) const {
+  return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  DINAR_CHECK(shape_numel(new_shape) == numel_,
+              "reshape " << shape_to_string(shape_) << " -> "
+                         << shape_to_string(new_shape) << " changes numel");
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  DINAR_CHECK(same_shape(other), "+= shape mismatch " << shape_to_string(shape_)
+                                                      << " vs "
+                                                      << shape_to_string(other.shape_));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  DINAR_CHECK(same_shape(other), "-= shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float scalar) {
+  for (float& v : data_) v *= scalar;
+  return *this;
+}
+
+void Tensor::add_scaled(const Tensor& x, float a) {
+  DINAR_CHECK(same_shape(x), "add_scaled shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += a * x.data_[i];
+}
+
+void Tensor::add_product(const Tensor& x, const Tensor& y) {
+  DINAR_CHECK(same_shape(x) && same_shape(y), "add_product shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += x.data_[i] * y.data_[i];
+}
+
+double Tensor::sum() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+double Tensor::squared_l2_norm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return s;
+}
+
+double Tensor::l2_norm() const { return std::sqrt(squared_l2_norm()); }
+
+float Tensor::max_abs() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out += b;
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out -= b;
+  return out;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out = a;
+  out *= s;
+  return out;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  DINAR_CHECK(a.rank() == 2 && b.rank() == 2, "matmul requires rank-2 tensors");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  DINAR_CHECK(b.dim(0) == k, "matmul inner dimension mismatch: "
+                                 << shape_to_string(a.shape()) << " x "
+                                 << shape_to_string(b.shape()));
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // i-k-j loop order: unit-stride inner loop over both b and out.
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* orow = po + i * n;
+      for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  DINAR_CHECK(a.rank() == 2 && b.rank() == 2, "matmul_tn requires rank-2 tensors");
+  const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  DINAR_CHECK(b.dim(0) == k, "matmul_tn inner dimension mismatch");
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = po + i * n;
+      for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  DINAR_CHECK(a.rank() == 2 && b.rank() == 2, "matmul_nt requires rank-2 tensors");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  DINAR_CHECK(b.dim(1) == k, "matmul_nt inner dimension mismatch");
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      double acc = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk) acc += static_cast<double>(arow[kk]) * brow[kk];
+      po[i * n + j] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+}  // namespace dinar

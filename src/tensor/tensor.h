@@ -1,0 +1,108 @@
+// Dense row-major float32 tensor.
+//
+// This is the numeric substrate under dinar::nn. Design goals, in order:
+// correctness, determinism, and being small enough to audit — not peak
+// FLOPs. Storage is a contiguous std::vector<float>; shapes are explicit
+// and checked on every op. All allocations are reported to MemoryTracker
+// so the cost experiments can observe per-defense memory footprints.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dinar {
+
+using Shape = std::vector<std::int64_t>;
+
+std::string shape_to_string(const Shape& shape);
+std::int64_t shape_numel(const Shape& shape);
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape);  // zero-initialized
+  Tensor(Shape shape, std::vector<float> values);
+
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(Tensor&& other) noexcept;
+  ~Tensor();
+
+  static Tensor zeros(Shape shape);
+  static Tensor full(Shape shape, float value);
+  // U(lo, hi) entries.
+  static Tensor uniform(Shape shape, Rng& rng, float lo = -1.0f, float hi = 1.0f);
+  // N(0, stddev) entries.
+  static Tensor gaussian(Shape shape, Rng& rng, float stddev = 1.0f);
+  // Kaiming-uniform fan-in initialization (what our Dense/Conv layers use).
+  static Tensor kaiming(Shape shape, std::int64_t fan_in, Rng& rng);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t dim(std::size_t i) const;
+  std::size_t rank() const { return shape_.size(); }
+  std::int64_t numel() const { return numel_; }
+  bool empty() const { return numel_ == 0; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> values() { return {data_.data(), data_.size()}; }
+  std::span<const float> values() const { return {data_.data(), data_.size()}; }
+
+  float& at(std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float at(std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+  // 2-D accessor: row-major [rows, cols].
+  float& at(std::int64_t r, std::int64_t c);
+  float at(std::int64_t r, std::int64_t c) const;
+
+  // Returns a tensor with the same data and a new shape (same numel).
+  Tensor reshaped(Shape new_shape) const;
+
+  void fill(float value);
+  void zero() { fill(0.0f); }
+
+  // In-place arithmetic; shapes must match exactly.
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(float scalar);
+  // Fused a*x + this (axpy); shape-checked.
+  void add_scaled(const Tensor& x, float a);
+  // Elementwise product accumulate: this += x ⊙ y.
+  void add_product(const Tensor& x, const Tensor& y);
+
+  double sum() const;
+  double squared_l2_norm() const;
+  double l2_norm() const;
+  float max_abs() const;
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  void track_alloc();
+  void track_release();
+
+  Shape shape_;
+  std::int64_t numel_ = 0;
+  std::vector<float> data_;
+};
+
+// out = a + b (shape-checked).
+Tensor add(const Tensor& a, const Tensor& b);
+// out = a - b.
+Tensor sub(const Tensor& a, const Tensor& b);
+// out = a * s.
+Tensor scale(const Tensor& a, float s);
+
+// Matrix product: a is [m, k], b is [k, n] -> [m, n].
+Tensor matmul(const Tensor& a, const Tensor& b);
+// a^T b where a is [k, m], b is [k, n] -> [m, n] (used in backward passes).
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+// a b^T where a is [m, k], b is [n, k] -> [m, n].
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+}  // namespace dinar

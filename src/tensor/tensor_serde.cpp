@@ -1,0 +1,17 @@
+#include "tensor/tensor_serde.h"
+
+namespace dinar {
+
+void write_tensor(BinaryWriter& w, const Tensor& t) {
+  w.write_i64_vector(t.shape());
+  w.write_f32_span(t.data(), static_cast<std::size_t>(t.numel()));
+}
+
+Tensor read_tensor(BinaryReader& r) {
+  Shape shape = r.read_i64_vector();
+  std::vector<float> values;
+  r.read_f32_span(values);
+  return Tensor(std::move(shape), std::move(values));
+}
+
+}  // namespace dinar

@@ -1,0 +1,17 @@
+// Tensor (de)serialization over the util binary codec.
+//
+// Wire layout: rank-prefixed i64 shape vector followed by the raw f32
+// payload. Model updates shipped over the FL transport are sequences of
+// these records; the byte counts the transport reports therefore reflect
+// exactly what a networked deployment would transfer.
+#pragma once
+
+#include "tensor/tensor.h"
+#include "util/serde.h"
+
+namespace dinar {
+
+void write_tensor(BinaryWriter& w, const Tensor& t);
+Tensor read_tensor(BinaryReader& r);
+
+}  // namespace dinar

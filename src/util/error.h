@@ -1,0 +1,45 @@
+// Error handling primitives for the DINAR library.
+//
+// All recoverable failures throw dinar::Error (derived from std::runtime_error)
+// carrying a formatted message. Internal invariant violations use DINAR_CHECK,
+// which throws in all build types: in a middleware that manipulates model
+// parameters, silently corrupting a tensor is strictly worse than aborting a
+// round.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dinar {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "DINAR_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace dinar
+
+// Checks `cond`; on failure throws dinar::Error with file/line context.
+// Usage: DINAR_CHECK(a.size() == b.size(), "size mismatch " << a.size());
+#define DINAR_CHECK(cond, ...)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream dinar_check_os_;                                   \
+      __VA_OPT__(dinar_check_os_ << __VA_ARGS__;)                           \
+      ::dinar::detail::throw_check_failure(#cond, __FILE__, __LINE__,       \
+                                           dinar_check_os_.str());          \
+    }                                                                       \
+  } while (false)

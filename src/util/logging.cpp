@@ -1,0 +1,17 @@
+#include "util/logging.h"
+
+namespace dinar {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostream& os = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
+  os << msg << '\n';
+}
+
+}  // namespace dinar

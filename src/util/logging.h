@@ -1,0 +1,76 @@
+// Minimal leveled logger.
+//
+// The FL runtime logs round progress, consensus decisions and defense
+// activity at Info; per-batch detail goes to Debug. Benches lower the level
+// to Warn so experiment tables stay clean.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace dinar {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void write(LogLevel level, const std::string& msg);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kInfo;
+  std::mutex mu_;
+};
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* tag) : level_(level) { os_ << tag; }
+  ~LogLine() { Logger::instance().write(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+struct LogSink {
+  // Swallows a disabled log line without evaluating nothing extra.
+  template <typename T>
+  LogSink& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace detail
+
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(Logger::instance().level());
+}
+
+}  // namespace dinar
+
+#define DINAR_LOG_AT(level, tag)                     \
+  if (!::dinar::log_enabled(level)) {                \
+  } else                                             \
+    ::dinar::detail::LogLine(level, tag)
+
+#define DINAR_DEBUG DINAR_LOG_AT(::dinar::LogLevel::kDebug, "[debug] ")
+#define DINAR_INFO DINAR_LOG_AT(::dinar::LogLevel::kInfo, "[info] ")
+#define DINAR_WARN DINAR_LOG_AT(::dinar::LogLevel::kWarn, "[warn] ")
+#define DINAR_ERROR DINAR_LOG_AT(::dinar::LogLevel::kError, "[error] ")

@@ -1,0 +1,26 @@
+#include "util/memory_tracker.h"
+
+namespace dinar {
+
+MemoryTracker& MemoryTracker::instance() {
+  static MemoryTracker tracker;
+  return tracker;
+}
+
+void MemoryTracker::allocate(std::size_t bytes) {
+  const std::uint64_t now = live_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryTracker::release(std::size_t bytes) {
+  live_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void MemoryTracker::reset_peak() {
+  peak_.store(live_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+}
+
+}  // namespace dinar

@@ -1,0 +1,35 @@
+// Peak-memory accounting for the cost experiments (paper Table 3 reports
+// peak GPU memory per defense; our substrate is CPU, so we track the peak
+// of live tensor bytes instead — the analogous quantity, since the paper's
+// overheads come from extra parameter-sized buffers held by each defense).
+//
+// Tensors register their allocations here. Thread-safe via atomics; the
+// peak is maintained with a CAS loop.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace dinar {
+
+class MemoryTracker {
+ public:
+  static MemoryTracker& instance();
+
+  void allocate(std::size_t bytes);
+  void release(std::size_t bytes);
+
+  std::uint64_t live_bytes() const { return live_.load(std::memory_order_relaxed); }
+  std::uint64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
+
+  // Restarts peak tracking from the current live size (used between
+  // Table 3 scenarios so each defense reports its own peak).
+  void reset_peak();
+
+ private:
+  MemoryTracker() = default;
+  std::atomic<std::uint64_t> live_{0};
+  std::atomic<std::uint64_t> peak_{0};
+};
+
+}  // namespace dinar

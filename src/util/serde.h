@@ -1,0 +1,120 @@
+// Binary serialization primitives.
+//
+// FL messages (model updates, votes, aggregated models) are serialized to
+// byte buffers before crossing the transport, so the runtime measures real
+// payload sizes and defenses such as secure aggregation operate on the same
+// bytes a networked deployment would ship. Format: little-endian, no
+// padding, length-prefixed containers. A four-byte magic + version header
+// guards model checkpoints.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace dinar {
+
+class BinaryWriter {
+ public:
+  void write_u8(std::uint8_t v) { append(&v, sizeof v); }
+  void write_u32(std::uint32_t v) { append(&v, sizeof v); }
+  void write_u64(std::uint64_t v) { append(&v, sizeof v); }
+  void write_i64(std::int64_t v) { append(&v, sizeof v); }
+  void write_f32(float v) { append(&v, sizeof v); }
+  void write_f64(double v) { append(&v, sizeof v); }
+
+  void write_bytes(const void* data, std::size_t n) { append(data, n); }
+
+  void write_string(const std::string& s) {
+    write_u64(s.size());
+    append(s.data(), s.size());
+  }
+
+  void write_f32_span(const float* data, std::size_t n) {
+    write_u64(n);
+    append(data, n * sizeof(float));
+  }
+
+  void write_i64_vector(const std::vector<std::int64_t>& v) {
+    write_u64(v.size());
+    append(v.data(), v.size() * sizeof(std::int64_t));
+  }
+
+  const std::vector<std::uint8_t>& buffer() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  void append(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+class BinaryReader {
+ public:
+  BinaryReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+  explicit BinaryReader(const std::vector<std::uint8_t>& buf)
+      : BinaryReader(buf.data(), buf.size()) {}
+
+  std::uint8_t read_u8() { return read_pod<std::uint8_t>(); }
+  std::uint32_t read_u32() { return read_pod<std::uint32_t>(); }
+  std::uint64_t read_u64() { return read_pod<std::uint64_t>(); }
+  std::int64_t read_i64() { return read_pod<std::int64_t>(); }
+  float read_f32() { return read_pod<float>(); }
+  double read_f64() { return read_pod<double>(); }
+
+  std::string read_string() {
+    const std::uint64_t n = read_u64();
+    require(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  void read_f32_span(std::vector<float>& out) {
+    const std::uint64_t n = read_u64();
+    require(n * sizeof(float));
+    out.resize(n);
+    std::memcpy(out.data(), data_ + pos_, n * sizeof(float));
+    pos_ += n * sizeof(float);
+  }
+
+  std::vector<std::int64_t> read_i64_vector() {
+    const std::uint64_t n = read_u64();
+    require(n * sizeof(std::int64_t));
+    std::vector<std::int64_t> v(n);
+    std::memcpy(v.data(), data_ + pos_, n * sizeof(std::int64_t));
+    pos_ += n * sizeof(std::int64_t);
+    return v;
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  template <typename T>
+  T read_pod() {
+    require(sizeof(T));
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  void require(std::uint64_t n) {
+    DINAR_CHECK(pos_ + n <= size_,
+                "serde underrun: need " << n << " bytes, have " << (size_ - pos_));
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dinar

@@ -1,0 +1,157 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace dinar {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_ + other.n_);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / n;
+  mean_ += delta * static_cast<double>(other.n_) / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStat::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi) {
+  DINAR_CHECK(bins > 0, "histogram needs at least one bin");
+  DINAR_CHECK(hi > lo, "histogram range must be non-empty");
+  counts_.assign(static_cast<std::size_t>(bins), 0);
+}
+
+void Histogram::add(double x) {
+  const int b = static_cast<int>((x - lo_) / (hi_ - lo_) * bins());
+  const int clamped = std::clamp(b, 0, bins() - 1);
+  ++counts_[static_cast<std::size_t>(clamped)];
+  ++total_;
+}
+
+void Histogram::add_all(const std::vector<float>& xs) {
+  for (float x : xs) add(x);
+}
+
+void Histogram::add_all(const std::vector<double>& xs) {
+  for (double x : xs) add(x);
+}
+
+std::vector<double> Histogram::pmf() const {
+  std::vector<double> p(counts_.size());
+  if (total_ == 0) {
+    std::fill(p.begin(), p.end(), 1.0 / static_cast<double>(counts_.size()));
+    return p;
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    p[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  return p;
+}
+
+double kl_divergence(const std::vector<double>& p, const std::vector<double>& q,
+                     double eps) {
+  DINAR_CHECK(p.size() == q.size(), "KL divergence: dimension mismatch");
+  double kl = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] <= 0.0) continue;
+    kl += p[i] * std::log(p[i] / std::max(q[i], eps));
+  }
+  return kl;
+}
+
+double js_divergence(const std::vector<double>& p, const std::vector<double>& q) {
+  DINAR_CHECK(p.size() == q.size(), "JS divergence: dimension mismatch");
+  std::vector<double> m(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) m[i] = 0.5 * (p[i] + q[i]);
+  return 0.5 * kl_divergence(p, m) + 0.5 * kl_divergence(q, m);
+}
+
+double js_divergence_samples(const std::vector<float>& a, const std::vector<float>& b,
+                             int bins) {
+  if (a.empty() || b.empty()) return 0.0;
+  auto [amin, amax] = std::minmax_element(a.begin(), a.end());
+  auto [bmin, bmax] = std::minmax_element(b.begin(), b.end());
+  double lo = std::min<double>(*amin, *bmin);
+  double hi = std::max<double>(*amax, *bmax);
+  if (hi <= lo) hi = lo + 1e-9;
+  Histogram ha(lo, hi, bins), hb(lo, hi, bins);
+  ha.add_all(a);
+  hb.add_all(b);
+  return js_divergence(ha.pmf(), hb.pmf());
+}
+
+double roc_auc(const std::vector<double>& scores, const std::vector<bool>& labels) {
+  DINAR_CHECK(scores.size() == labels.size(), "roc_auc: size mismatch");
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return scores[i] < scores[j]; });
+
+  // Mann-Whitney U with midranks for ties.
+  std::vector<double> ranks(scores.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double midrank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = midrank;
+    i = j + 1;
+  }
+
+  double rank_sum_pos = 0.0;
+  std::size_t n_pos = 0;
+  for (std::size_t k = 0; k < labels.size(); ++k) {
+    if (labels[k]) {
+      rank_sum_pos += ranks[k];
+      ++n_pos;
+    }
+  }
+  const std::size_t n_neg = labels.size() - n_pos;
+  if (n_pos == 0 || n_neg == 0) return 0.5;
+  const double u = rank_sum_pos - static_cast<double>(n_pos) *
+                                      (static_cast<double>(n_pos) + 1.0) / 2.0;
+  return u / (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+}
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+}  // namespace dinar

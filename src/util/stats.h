@@ -1,0 +1,80 @@
+// Statistical primitives shared by the sensitivity analyzer, the attack
+// evaluator and the experiment harness: running moments, fixed-bin
+// histograms, and the Jensen-Shannon divergence the paper uses as its
+// per-layer generalization-gap measure (§3, Figure 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dinar {
+
+// Welford single-pass mean/variance accumulator.
+class RunningStat {
+ public:
+  void add(double x);
+  void merge(const RunningStat& other);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  // Population variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Equal-width histogram over [lo, hi]; out-of-range samples clamp into the
+// edge bins so no probability mass is dropped when distributions have tails.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins);
+
+  void add(double x);
+  void add_all(const std::vector<float>& xs);
+  void add_all(const std::vector<double>& xs);
+
+  std::uint64_t total() const { return total_; }
+  int bins() const { return static_cast<int>(counts_.size()); }
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+  // Normalized probability mass function; uniform if the histogram is empty.
+  std::vector<double> pmf() const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+// Kullback-Leibler divergence KL(p || q), natural log; p and q must be
+// same-length probability vectors. Terms with p[i] == 0 contribute zero;
+// q is smoothed with `eps` to keep the divergence finite.
+double kl_divergence(const std::vector<double>& p, const std::vector<double>& q,
+                     double eps = 1e-12);
+
+// Jensen-Shannon divergence: 0.5*KL(p||m) + 0.5*KL(q||m), m = (p+q)/2.
+// Symmetric, bounded in [0, ln 2]. The paper computes this between the
+// per-layer gradient distributions of member and non-member samples.
+double js_divergence(const std::vector<double>& p, const std::vector<double>& q);
+
+// Convenience: JS divergence between two samples, binned over their joint
+// range with `bins` equal-width bins.
+double js_divergence_samples(const std::vector<float>& a, const std::vector<float>& b,
+                             int bins = 64);
+
+// Area under the ROC curve for binary scores: P(score_pos > score_neg) with
+// tie correction (Mann-Whitney U). `labels[i]` true means positive (member).
+double roc_auc(const std::vector<double>& scores, const std::vector<bool>& labels);
+
+double mean(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+
+}  // namespace dinar

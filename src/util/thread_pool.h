@@ -1,0 +1,46 @@
+// Fixed-size thread pool.
+//
+// The FL orchestrator uses it to run client local-training in parallel
+// (cross-silo clients are independent machines); each task carries its own
+// Rng stream so results are identical regardless of scheduling. On a
+// single-core host the pool degrades to sequential execution.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dinar {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads = std::thread::hardware_concurrency());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  // Schedules `fn` and returns a future for its completion/exception.
+  std::future<void> submit(std::function<void()> fn);
+
+  // Runs fn(i) for i in [0, n) across the pool and waits; the first thrown
+  // exception is rethrown on the caller's thread.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace dinar

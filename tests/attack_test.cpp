@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attack/evaluation.h"
+#include "attack/mia.h"
+#include "util/stats.h"
+#include "test_helpers.h"
+#include "util/error.h"
+
+namespace dinar::attack {
+namespace {
+
+using dinar::testing::make_tiny_mlp;
+using dinar::testing::make_tiny_tabular;
+using dinar::testing::tiny_mlp_factory;
+using dinar::testing::make_wide_mlp;
+using dinar::testing::wide_mlp_factory;
+
+// --------------------------------------------------------------- features --
+
+TEST(FeatureTest, OneRowPerSampleWithSaneValues) {
+  Rng rng(1);
+  nn::Model model = make_tiny_mlp(32, 4, rng);
+  data::Dataset d = make_tiny_tabular(50, 4, rng);
+  const std::vector<FeatureRow> rows = extract_membership_features(model, d);
+  ASSERT_EQ(rows.size(), 50u);
+  for (const FeatureRow& f : rows) {
+    EXPECT_GE(f[0], 0.0);                      // loss
+    EXPECT_GE(f[1], 0.0);                      // entropy
+    EXPECT_LE(f[1], std::log(4.0) + 1e-6);     // entropy <= log C
+    EXPECT_GE(f[2], f[3]);                     // sorted confidences
+    EXPECT_GE(f[3], f[4]);
+    EXPECT_GE(f[2], 0.25 - 1e-6);              // top-1 >= 1/C
+    EXPECT_TRUE(f[5] == 0.0 || f[5] == 1.0);   // correctness flag
+  }
+}
+
+TEST(FeatureTest, SharperLogitsLowerEntropy) {
+  Rng rng(2);
+  nn::Model model = make_tiny_mlp(32, 4, rng);
+  data::Dataset d = make_tiny_tabular(30, 4, rng);
+  double entropy_before = 0.0;
+  for (const FeatureRow& f : extract_membership_features(model, d))
+    entropy_before += f[1];
+
+  // Scale the classifier head up to sharpen predictions.
+  nn::ParamList params = model.parameters();
+  params[4] *= 50.0f;
+  params[5] *= 50.0f;
+  model.set_parameters(params);
+  double entropy_after = 0.0;
+  for (const FeatureRow& f : extract_membership_features(model, d))
+    entropy_after += f[1];
+  EXPECT_LT(entropy_after, entropy_before * 0.9);
+}
+
+// ------------------------------------------------------------ attack model --
+
+TEST(AttackModelTest, LearnsLinearlySeparableFeatures) {
+  Rng rng(3);
+  std::vector<FeatureRow> features;
+  std::vector<bool> labels;
+  for (int i = 0; i < 400; ++i) {
+    const bool member = i % 2 == 0;
+    FeatureRow f{};
+    f[0] = member ? rng.gaussian(0.5, 0.2) : rng.gaussian(2.0, 0.4);  // loss gap
+    f[2] = member ? rng.gaussian(0.9, 0.05) : rng.gaussian(0.5, 0.1);
+    features.push_back(f);
+    labels.push_back(member);
+  }
+  LogisticAttackModel m;
+  m.fit(features, labels);
+  ASSERT_TRUE(m.trained());
+
+  std::vector<double> scores;
+  std::vector<bool> truth;
+  for (int i = 0; i < 200; ++i) {
+    const bool member = i % 2 == 0;
+    FeatureRow f{};
+    f[0] = member ? rng.gaussian(0.5, 0.2) : rng.gaussian(2.0, 0.4);
+    f[2] = member ? rng.gaussian(0.9, 0.05) : rng.gaussian(0.5, 0.1);
+    scores.push_back(m.score(f));
+    truth.push_back(member);
+  }
+  EXPECT_GT(roc_auc(scores, truth), 0.95);
+}
+
+TEST(AttackModelTest, ScoreIsProbability) {
+  LogisticAttackModel m;
+  std::vector<FeatureRow> f(10);
+  std::vector<bool> l(10, false);
+  l[0] = l[1] = l[2] = true;
+  m.fit(f, l);
+  for (const FeatureRow& row : f) {
+    const double s = m.score(row);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(AttackModelTest, UntrainedScoreThrows) {
+  LogisticAttackModel m;
+  EXPECT_THROW(m.score(FeatureRow{}), Error);
+}
+
+TEST(AttackModelTest, EmptyFitThrows) {
+  LogisticAttackModel m;
+  EXPECT_THROW(m.fit({}, {}), Error);
+}
+
+// -------------------------------------------------------------- shadow MIA --
+
+MiaConfig fast_mia_config() {
+  MiaConfig cfg;
+  cfg.num_shadows = 2;
+  // Shadows must overfit like the target does, or their member/non-member
+  // features carry no signal for the attack model to learn.
+  cfg.shadow_train = fl::TrainConfig{30, 32};
+  cfg.learning_rate = 1e-2;
+  cfg.max_rows_per_shadow = 400;
+  return cfg;
+}
+
+TEST(ShadowMiaTest, RandomModelYieldsChanceAuc) {
+  Rng rng(4);
+  data::Dataset full = make_tiny_tabular(800, 8, rng);
+  data::Dataset prior = full.take(400);
+  data::Dataset members = full.drop(400).take(200);
+  data::Dataset non_members = full.drop(600);
+
+  ShadowMia mia(wide_mlp_factory(32, 8), prior, fast_mia_config());
+  mia.fit();
+
+  Rng fresh(999);
+  nn::Model random_model = make_wide_mlp(32, 8, fresh);
+  const double auc = mia.attack_auc(random_model, members, non_members);
+  EXPECT_NEAR(auc, 0.5, 0.12);  // untrained model leaks nothing
+}
+
+TEST(ShadowMiaTest, OverfitModelIsVulnerable) {
+  Rng rng(5);
+  data::Dataset full = make_tiny_tabular(900, 8, rng);
+  data::Dataset prior = full.take(400);
+  data::Dataset members = full.drop(400).take(150);
+  data::Dataset non_members = full.drop(700);
+
+  // Overfit a model hard on the member pool.
+  Rng train_rng(6);
+  nn::Model target = make_wide_mlp(32, 8, train_rng);
+  auto optimizer = opt::make_optimizer("adagrad", 1e-2);
+  fl::train_local(target, members, *optimizer, fl::TrainConfig{40, 32}, train_rng);
+
+  ShadowMia mia(wide_mlp_factory(32, 8), prior, fast_mia_config());
+  mia.fit();
+  const double auc = mia.attack_auc(target, members, non_members);
+  EXPECT_GT(auc, 0.6);
+}
+
+TEST(ShadowMiaTest, RequiresFitBeforeAttack) {
+  Rng rng(7);
+  data::Dataset prior = make_tiny_tabular(200, 4, rng);
+  ShadowMia mia(tiny_mlp_factory(32, 4), prior, fast_mia_config());
+  Rng m(8);
+  nn::Model target = make_tiny_mlp(32, 4, m);
+  data::Dataset d = make_tiny_tabular(50, 4, rng);
+  EXPECT_THROW(mia.attack_auc(target, d, d), Error);
+}
+
+TEST(ShadowMiaTest, TinyPriorRejected) {
+  Rng rng(9);
+  data::Dataset prior = make_tiny_tabular(20, 4, rng);
+  EXPECT_THROW(ShadowMia(tiny_mlp_factory(32, 4), prior, fast_mia_config()), Error);
+}
+
+}  // namespace
+}  // namespace dinar::attack

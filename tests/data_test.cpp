@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include <numeric>
+#include <set>
+
+#include "data/partition.h"
+#include "data/splits.h"
+#include "data/synthetic.h"
+#include "util/error.h"
+
+namespace dinar::data {
+namespace {
+
+Dataset small_dataset() {
+  Tensor features({6, 2}, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11});
+  return Dataset(std::move(features), {0, 1, 0, 1, 0, 1}, 2);
+}
+
+// ---------------------------------------------------------------- dataset --
+
+TEST(DatasetTest, BasicAccessors) {
+  Dataset d = small_dataset();
+  EXPECT_EQ(d.size(), 6);
+  EXPECT_EQ(d.num_classes(), 2);
+  EXPECT_EQ(d.sample_shape(), (Shape{2}));
+  EXPECT_EQ(d.sample_numel(), 2);
+}
+
+TEST(DatasetTest, ValidatesConstruction) {
+  EXPECT_THROW(Dataset(Tensor({3, 2}), {0, 1}, 2), Error);       // count mismatch
+  EXPECT_THROW(Dataset(Tensor({2, 2}), {0, 5}, 2), Error);       // label range
+  EXPECT_THROW(Dataset(Tensor({2, 2}), {0, 1}, 0), Error);       // classes
+  EXPECT_THROW(Dataset(Tensor({4}), {0, 1, 0, 1}, 2), Error);    // rank 1
+}
+
+TEST(DatasetTest, GatherPreservesRows) {
+  Dataset d = small_dataset();
+  const std::vector<std::size_t> idx{4, 0};
+  Tensor f = d.gather_features(idx);
+  ASSERT_EQ(f.shape(), (Shape{2, 2}));
+  EXPECT_EQ(f.at(0, 0), 8.0f);
+  EXPECT_EQ(f.at(1, 1), 1.0f);
+  EXPECT_EQ(d.gather_labels(idx), (std::vector<int>{0, 0}));
+}
+
+TEST(DatasetTest, GatherOutOfRangeThrows) {
+  Dataset d = small_dataset();
+  const std::vector<std::size_t> idx{99};
+  EXPECT_THROW(d.gather_features(idx), Error);
+}
+
+TEST(DatasetTest, TakeDropPartition) {
+  Dataset d = small_dataset();
+  Dataset head = d.take(2), tail = d.drop(2);
+  EXPECT_EQ(head.size(), 2);
+  EXPECT_EQ(tail.size(), 4);
+  EXPECT_EQ(head.features().at(0, 0), 0.0f);
+  EXPECT_EQ(tail.features().at(0, 0), 4.0f);
+  EXPECT_THROW(d.take(7), Error);
+}
+
+TEST(DatasetTest, ConcatRestoresWhole) {
+  Dataset d = small_dataset();
+  Dataset whole = Dataset::concat(d.take(2), d.drop(2));
+  EXPECT_EQ(whole.size(), 6);
+  EXPECT_EQ(whole.features().at(5, 1), 11.0f);
+  EXPECT_EQ(whole.labels(), d.labels());
+}
+
+TEST(DatasetTest, ConcatRejectsMismatchedShapes) {
+  Dataset d = small_dataset();
+  Dataset other(Tensor({2, 3}), {0, 1}, 2);
+  EXPECT_THROW(Dataset::concat(d, other), Error);
+}
+
+// ----------------------------------------------------------------- batches --
+
+TEST(BatchIteratorTest, CoversEverySampleExactlyOnce) {
+  Dataset d = small_dataset();
+  Rng rng(1);
+  BatchIterator it(d, 4, rng);
+  BatchIterator::Batch batch;
+  std::multiset<float> seen;
+  std::int64_t total = 0;
+  while (it.next(batch)) {
+    total += static_cast<std::int64_t>(batch.labels.size());
+    for (std::int64_t i = 0; i < batch.features.dim(0); ++i)
+      seen.insert(batch.features.at(i, 0));
+  }
+  EXPECT_EQ(total, 6);
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(it.num_batches(), 2);
+}
+
+TEST(BatchIteratorTest, NoShuffleKeepsOrder) {
+  Dataset d = small_dataset();
+  Rng rng(1);
+  BatchIterator it(d, 3, rng, /*shuffle=*/false);
+  BatchIterator::Batch batch;
+  ASSERT_TRUE(it.next(batch));
+  EXPECT_EQ(batch.features.at(0, 0), 0.0f);
+  EXPECT_EQ(batch.features.at(2, 0), 4.0f);
+}
+
+TEST(BatchIteratorTest, ShuffleIsSeedDeterministic) {
+  Dataset d = small_dataset();
+  Rng r1(9), r2(9);
+  BatchIterator a(d, 6, r1), b(d, 6, r2);
+  BatchIterator::Batch ba, bb;
+  ASSERT_TRUE(a.next(ba));
+  ASSERT_TRUE(b.next(bb));
+  for (std::int64_t i = 0; i < 6; ++i)
+    EXPECT_EQ(ba.features.at(i, 0), bb.features.at(i, 0));
+}
+
+// --------------------------------------------------------------- synthetic --
+
+TEST(SyntheticTest, TabularShapeAndDeterminism) {
+  TabularSpec spec;
+  spec.num_samples = 200;
+  spec.num_features = 50;
+  spec.num_classes = 10;
+  Rng r1(5), r2(5);
+  Dataset a = make_tabular(spec, r1), b = make_tabular(spec, r2);
+  EXPECT_EQ(a.size(), 200);
+  EXPECT_EQ(a.sample_shape(), (Shape{50}));
+  EXPECT_EQ(a.labels(), b.labels());
+  for (float v : a.features().values()) EXPECT_TRUE(v == 0.0f || v == 1.0f);
+}
+
+TEST(SyntheticTest, TabularClassesAreLearnableStructure) {
+  // Rows of the same class share most template bits: intra-class Hamming
+  // distance must be clearly below inter-class distance.
+  TabularSpec spec;
+  spec.num_samples = 300;
+  spec.num_features = 100;
+  spec.num_classes = 4;
+  spec.label_noise = 0.0;
+  Rng rng(6);
+  Dataset d = make_tabular(spec, rng);
+  double intra = 0.0, inter = 0.0;
+  int n_intra = 0, n_inter = 0;
+  for (std::int64_t i = 0; i < 60; ++i) {
+    for (std::int64_t j = i + 1; j < 60; ++j) {
+      double dist = 0.0;
+      for (std::int64_t k = 0; k < 100; ++k)
+        dist += std::fabs(d.features().at(i * 100 + k) - d.features().at(j * 100 + k));
+      if (d.labels()[static_cast<std::size_t>(i)] ==
+          d.labels()[static_cast<std::size_t>(j)]) {
+        intra += dist;
+        ++n_intra;
+      } else {
+        inter += dist;
+        ++n_inter;
+      }
+    }
+  }
+  ASSERT_GT(n_intra, 0);
+  ASSERT_GT(n_inter, 0);
+  EXPECT_LT(intra / n_intra, 0.7 * inter / n_inter);
+}
+
+TEST(SyntheticTest, ImagesShapeAndRange) {
+  ImageSpec spec;
+  spec.num_samples = 50;
+  spec.channels = 3;
+  spec.image_size = 8;
+  spec.num_classes = 5;
+  Rng rng(7);
+  Dataset d = make_images(spec, rng);
+  EXPECT_EQ(d.sample_shape(), (Shape{3, 8, 8}));
+  for (int label : d.labels()) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 5);
+  }
+}
+
+TEST(SyntheticTest, AudioShape) {
+  AudioSpec spec;
+  spec.num_samples = 20;
+  spec.length = 256;
+  spec.num_classes = 6;
+  Rng rng(8);
+  Dataset d = make_audio(spec, rng);
+  EXPECT_EQ(d.sample_shape(), (Shape{1, 256}));
+}
+
+TEST(SyntheticTest, LabelNoiseRateApproximatelyRespected) {
+  TabularSpec clean, noisy;
+  clean.num_samples = noisy.num_samples = 3000;
+  clean.num_features = noisy.num_features = 20;
+  clean.num_classes = noisy.num_classes = 10;
+  clean.label_noise = 0.0;
+  noisy.label_noise = 0.5;
+  Rng r1(9), r2(9);
+  Dataset a = make_tabular(clean, r1), b = make_tabular(noisy, r2);
+  // Same RNG seed → same underlying class draws; count label changes.
+  // (The draw sequences diverge once noise consumes extra randomness, so
+  // just check the noisy set has a roughly uniform marginal.)
+  std::vector<int> counts(10, 0);
+  for (int l : b.labels()) ++counts[static_cast<std::size_t>(l)];
+  for (int c : counts) EXPECT_GT(c, 3000 / 10 / 3);
+  (void)a;
+}
+
+TEST(SyntheticTest, InvalidSpecsThrow) {
+  Rng rng(1);
+  TabularSpec bad;
+  bad.num_samples = 0;
+  EXPECT_THROW(make_tabular(bad, rng), Error);
+  ImageSpec bad_img;
+  bad_img.num_classes = 0;
+  EXPECT_THROW(make_images(bad_img, rng), Error);
+}
+
+// --------------------------------------------------------------- partition --
+
+TEST(PartitionTest, IidIsDisjointAndComplete) {
+  Rng rng(10);
+  auto parts = iid_partition(100, 7, rng);
+  ASSERT_EQ(parts.size(), 7u);
+  std::set<std::size_t> all;
+  for (const auto& p : parts) {
+    EXPECT_GE(p.size(), 14u);
+    all.insert(p.begin(), p.end());
+  }
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(PartitionTest, DirichletIsDisjointAndComplete) {
+  Rng rng(11);
+  std::vector<int> labels;
+  for (int i = 0; i < 400; ++i) labels.push_back(i % 8);
+  auto parts = dirichlet_partition(labels, 8, 4, 0.5, rng, /*min_per_client=*/4);
+  std::set<std::size_t> all;
+  std::size_t total = 0;
+  for (const auto& p : parts) {
+    total += p.size();
+    all.insert(p.begin(), p.end());
+  }
+  EXPECT_EQ(total, 400u);
+  EXPECT_EQ(all.size(), 400u);
+}
+
+TEST(PartitionTest, SmallAlphaSkewsLabelDistributions) {
+  Rng rng(12);
+  std::vector<int> labels;
+  for (int i = 0; i < 2000; ++i) labels.push_back(i % 10);
+
+  auto count_imbalance = [&](double alpha) {
+    Rng local(12);
+    auto parts = dirichlet_partition(labels, 10, 5, alpha, local, 4);
+    // Mean (over clients) of the max class share within the client.
+    double sum_max_share = 0.0;
+    for (const auto& p : parts) {
+      std::vector<int> c(10, 0);
+      for (std::size_t idx : p) ++c[static_cast<std::size_t>(labels[idx])];
+      sum_max_share += static_cast<double>(*std::max_element(c.begin(), c.end())) /
+                       static_cast<double>(p.size());
+    }
+    return sum_max_share / static_cast<double>(parts.size());
+  };
+  EXPECT_GT(count_imbalance(0.2), count_imbalance(50.0));
+}
+
+TEST(PartitionTest, InfiniteAlphaFallsBackToIid) {
+  Rng rng(13);
+  std::vector<int> labels(60, 0);
+  auto parts = dirichlet_partition(labels, 1, 3,
+                                   std::numeric_limits<double>::infinity(), rng, 1);
+  for (const auto& p : parts) EXPECT_EQ(p.size(), 20u);
+}
+
+TEST(PartitionTest, MinPerClientHonored) {
+  Rng rng(14);
+  std::vector<int> labels;
+  for (int i = 0; i < 500; ++i) labels.push_back(i % 5);
+  auto parts = dirichlet_partition(labels, 5, 5, 0.1, rng, /*min_per_client=*/10);
+  for (const auto& p : parts) EXPECT_GE(p.size(), 10u);
+}
+
+TEST(PartitionTest, ApplyPartitionSubsets) {
+  Dataset d = small_dataset();
+  std::vector<std::vector<std::size_t>> parts{{0, 1}, {2, 3, 4, 5}};
+  auto shards = apply_partition(d, parts);
+  ASSERT_EQ(shards.size(), 2u);
+  EXPECT_EQ(shards[0].size(), 2);
+  EXPECT_EQ(shards[1].size(), 4);
+}
+
+// ------------------------------------------------------------------ splits --
+
+TEST(SplitsTest, PaperLayoutProportions) {
+  TabularSpec spec;
+  spec.num_samples = 1000;
+  spec.num_features = 20;
+  spec.num_classes = 5;
+  Rng rng(15);
+  Dataset full = make_tabular(spec, rng);
+
+  FlSplitConfig cfg;
+  cfg.num_clients = 5;
+  FlSplit split = make_fl_split(full, cfg, rng);
+
+  EXPECT_EQ(split.attacker_prior.size(), 500);
+  std::int64_t train_total = 0;
+  for (const Dataset& c : split.client_train) train_total += c.size();
+  EXPECT_EQ(train_total, 400);
+  EXPECT_EQ(split.test.size(), 100);
+  EXPECT_EQ(split.client_train.size(), 5u);
+}
+
+TEST(SplitsTest, DeterministicForSeed) {
+  TabularSpec spec;
+  spec.num_samples = 300;
+  spec.num_features = 10;
+  spec.num_classes = 3;
+  Rng g1(16), g2(16);
+  Dataset full1 = make_tabular(spec, g1);
+  Dataset full2 = make_tabular(spec, g2);
+  Rng s1(17), s2(17);
+  FlSplit a = make_fl_split(full1, FlSplitConfig{}, s1);
+  FlSplit b = make_fl_split(full2, FlSplitConfig{}, s2);
+  EXPECT_EQ(a.test.labels(), b.test.labels());
+  EXPECT_EQ(a.client_train[0].labels(), b.client_train[0].labels());
+}
+
+TEST(SplitsTest, RejectsBadConfig) {
+  Dataset d = small_dataset();
+  Rng rng(18);
+  FlSplitConfig cfg;
+  cfg.attacker_fraction = 1.5;
+  EXPECT_THROW(make_fl_split(d, cfg, rng), Error);
+}
+
+}  // namespace
+}  // namespace dinar::data

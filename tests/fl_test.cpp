@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fl/simulation.h"
+#include "test_helpers.h"
+#include "util/error.h"
+
+namespace dinar::fl {
+namespace {
+
+using dinar::testing::make_easy_dataset;
+using dinar::testing::make_tiny_mlp;
+using dinar::testing::tiny_mlp_factory;
+
+nn::ParamList small_params(Rng& rng) {
+  nn::ParamList p;
+  p.push_back(Tensor::gaussian({3, 2}, rng));
+  p.push_back(Tensor::gaussian({2}, rng));
+  return p;
+}
+
+// --------------------------------------------------------------- messages --
+
+TEST(MessageTest, GlobalModelRoundTrip) {
+  Rng rng(1);
+  GlobalModelMsg msg;
+  msg.round = 12;
+  msg.params = small_params(rng);
+  const auto bytes = msg.serialize();
+  GlobalModelMsg back = GlobalModelMsg::deserialize(bytes);
+  EXPECT_EQ(back.round, 12);
+  ASSERT_TRUE(nn::param_list_same_shape(back.params, msg.params));
+  EXPECT_EQ(back.params[0].at(3), msg.params[0].at(3));
+}
+
+TEST(MessageTest, ModelUpdateRoundTrip) {
+  Rng rng(2);
+  ModelUpdateMsg msg;
+  msg.client_id = 3;
+  msg.round = 7;
+  msg.num_samples = 480;
+  msg.pre_weighted = true;
+  msg.params = small_params(rng);
+  ModelUpdateMsg back = ModelUpdateMsg::deserialize(msg.serialize());
+  EXPECT_EQ(back.client_id, 3);
+  EXPECT_EQ(back.round, 7);
+  EXPECT_EQ(back.num_samples, 480);
+  EXPECT_TRUE(back.pre_weighted);
+  EXPECT_EQ(back.params[1].at(0), msg.params[1].at(0));
+}
+
+TEST(MessageTest, WrongMagicRejected) {
+  Rng rng(3);
+  GlobalModelMsg g;
+  g.params = small_params(rng);
+  const auto bytes = g.serialize();
+  EXPECT_THROW(ModelUpdateMsg::deserialize(bytes), Error);
+}
+
+TEST(MessageTest, TruncatedPayloadRejected) {
+  Rng rng(4);
+  GlobalModelMsg g;
+  g.params = small_params(rng);
+  auto bytes = g.serialize();
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(GlobalModelMsg::deserialize(bytes), Error);
+}
+
+// -------------------------------------------------------------- transport --
+
+TEST(TransportTest, CountsBytesAndMessages) {
+  Transport t;
+  const std::vector<std::uint8_t> payload(100, 0xAB);
+  auto up = t.uplink(payload);
+  auto down = t.downlink(payload);
+  EXPECT_EQ(up.size(), 100u);
+  EXPECT_EQ(down.size(), 100u);
+  EXPECT_EQ(t.stats().messages_up, 1u);
+  EXPECT_EQ(t.stats().messages_down, 1u);
+  EXPECT_EQ(t.stats().bytes_up, 100u);
+  EXPECT_EQ(t.stats().bytes_down, 100u);
+  t.reset_stats();
+  EXPECT_EQ(t.stats().bytes_up, 0u);
+}
+
+TEST(TransportTest, LatencyModelAccumulates) {
+  Transport t(/*bandwidth_bytes_per_sec=*/1000.0, /*per_message=*/0.01);
+  t.uplink(std::vector<std::uint8_t>(500, 0));
+  EXPECT_NEAR(t.stats().simulated_latency_seconds, 0.01 + 0.5, 1e-9);
+}
+
+// ---------------------------------------------------------------- trainer --
+
+TEST(TrainerTest, ReducesLossOnEasyData) {
+  Rng rng(5);
+  nn::Model model = make_tiny_mlp(2, 2, rng);
+  data::Dataset d = make_easy_dataset(256, rng);
+  auto opt = opt::make_optimizer("adagrad", 0.05);
+  Rng train_rng(6);
+  const EvalStats before = evaluate(model, d);
+  TrainConfig cfg{/*epochs=*/5, /*batch_size=*/32};
+  TrainStats stats = train_local(model, d, *opt, cfg, train_rng);
+  const EvalStats after = evaluate(model, d);
+  EXPECT_LT(after.mean_loss, before.mean_loss);
+  EXPECT_GT(after.accuracy, 0.9);
+  EXPECT_EQ(stats.steps, 5 * 8);
+}
+
+TEST(TrainerTest, EmptyDatasetThrows) {
+  Rng rng(7);
+  nn::Model model = make_tiny_mlp(2, 2, rng);
+  auto opt = opt::make_optimizer("sgd", 0.1);
+  data::Dataset empty;
+  Rng train_rng(8);
+  EXPECT_THROW(train_local(model, empty, *opt, TrainConfig{}, train_rng), Error);
+}
+
+TEST(TrainerTest, EvaluateMatchesManualLoss) {
+  Rng rng(9);
+  nn::Model model = make_tiny_mlp(2, 2, rng);
+  data::Dataset d = make_easy_dataset(64, rng);
+  const EvalStats stats = evaluate(model, d);
+  EXPECT_GT(stats.mean_loss, 0.0);
+  EXPECT_GE(stats.accuracy, 0.0);
+  EXPECT_LE(stats.accuracy, 1.0);
+}
+
+// ----------------------------------------------------------------- server --
+
+TEST(ServerTest, FedAvgIsWeightedMean) {
+  nn::ParamList init;
+  init.push_back(Tensor({2}, {0.0f, 0.0f}));
+  FlServer server(init, std::make_unique<NoServerDefense>());
+
+  ModelUpdateMsg a, b;
+  a.client_id = 0;
+  a.num_samples = 1;
+  a.params.push_back(Tensor({2}, {1.0f, 2.0f}));
+  b.client_id = 1;
+  b.num_samples = 3;
+  b.params.push_back(Tensor({2}, {5.0f, 6.0f}));
+
+  server.aggregate({a, b});
+  // (1*1 + 3*5)/4 = 4, (1*2 + 3*6)/4 = 5.
+  EXPECT_NEAR(server.global_params()[0].at(0), 4.0f, 1e-6);
+  EXPECT_NEAR(server.global_params()[0].at(1), 5.0f, 1e-6);
+  EXPECT_EQ(server.round(), 1);
+}
+
+TEST(ServerTest, PreWeightedSumDividedByTotalWeight) {
+  nn::ParamList init;
+  init.push_back(Tensor({1}, {0.0f}));
+  FlServer server(init, std::make_unique<NoServerDefense>());
+
+  ModelUpdateMsg a, b;
+  a.num_samples = 2;
+  a.pre_weighted = true;
+  a.params.push_back(Tensor({1}, {8.0f}));  // = 2 * 4
+  b.num_samples = 2;
+  b.pre_weighted = true;
+  b.params.push_back(Tensor({1}, {4.0f}));  // = 2 * 2
+  server.aggregate({a, b});
+  EXPECT_NEAR(server.global_params()[0].at(0), 3.0f, 1e-6);
+}
+
+TEST(ServerTest, MixedWeightConventionRejected) {
+  nn::ParamList init;
+  init.push_back(Tensor({1}));
+  FlServer server(init, std::make_unique<NoServerDefense>());
+  ModelUpdateMsg a, b;
+  a.num_samples = b.num_samples = 1;
+  a.params.push_back(Tensor({1}));
+  b.params.push_back(Tensor({1}));
+  b.pre_weighted = true;
+  EXPECT_THROW(server.aggregate({a, b}), Error);
+}
+
+TEST(ServerTest, StructureMismatchRejected) {
+  nn::ParamList init;
+  init.push_back(Tensor({2}));
+  FlServer server(init, std::make_unique<NoServerDefense>());
+  ModelUpdateMsg a;
+  a.num_samples = 1;
+  a.params.push_back(Tensor({3}));
+  EXPECT_THROW(server.aggregate({a}), Error);
+}
+
+TEST(ServerTest, EmptyAggregationRejected) {
+  nn::ParamList init;
+  init.push_back(Tensor({1}));
+  FlServer server(init, std::make_unique<NoServerDefense>());
+  EXPECT_THROW(server.aggregate({}), Error);
+}
+
+TEST(ServerTest, BroadcastCarriesRound) {
+  nn::ParamList init;
+  init.push_back(Tensor({1}));
+  FlServer server(init, std::make_unique<NoServerDefense>());
+  EXPECT_EQ(server.broadcast().round, 0);
+  ModelUpdateMsg a;
+  a.num_samples = 1;
+  a.params.push_back(Tensor({1}));
+  server.aggregate({a});
+  EXPECT_EQ(server.broadcast().round, 1);
+}
+
+// ------------------------------------------------------------- simulation --
+
+data::FlSplit easy_split(int clients, std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  data::Dataset full = make_easy_dataset(n, rng);
+  data::FlSplitConfig cfg;
+  cfg.num_clients = clients;
+  return data::make_fl_split(full, cfg, rng);
+}
+
+TEST(SimulationTest, LearnsEasyTask) {
+  SimulationConfig cfg;
+  cfg.rounds = 8;
+  cfg.train = TrainConfig{2, 32};
+  cfg.learning_rate = 0.05;
+  FederatedSimulation sim(tiny_mlp_factory(2, 2), easy_split(3, 600, 20), cfg,
+                          DefenseBundle{});
+  sim.run();
+  ASSERT_FALSE(sim.history().empty());
+  EXPECT_GT(sim.history().back().global_test_accuracy, 0.85);
+  EXPECT_GT(sim.history().back().personalized_test_accuracy, 0.85);
+}
+
+TEST(SimulationTest, DeterministicForSameSeed) {
+  SimulationConfig cfg;
+  cfg.rounds = 3;
+  cfg.train = TrainConfig{1, 32};
+  cfg.seed = 77;
+  FederatedSimulation a(tiny_mlp_factory(2, 2), easy_split(2, 200, 21), cfg,
+                        DefenseBundle{});
+  FederatedSimulation b(tiny_mlp_factory(2, 2), easy_split(2, 200, 21), cfg,
+                        DefenseBundle{});
+  a.run();
+  b.run();
+  const nn::ParamList pa = a.server().global_params();
+  const nn::ParamList pb = b.server().global_params();
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    for (std::int64_t j = 0; j < pa[i].numel(); ++j)
+      EXPECT_EQ(pa[i].at(j), pb[i].at(j));
+}
+
+TEST(SimulationTest, TransportSeesTrafficEveryRound) {
+  SimulationConfig cfg;
+  cfg.rounds = 2;
+  cfg.train = TrainConfig{1, 32};
+  FederatedSimulation sim(tiny_mlp_factory(2, 2), easy_split(3, 200, 22), cfg,
+                          DefenseBundle{});
+  sim.run();
+  // Per round: 3 downlinks + 3 uplinks.
+  EXPECT_EQ(sim.transport().stats().messages_down, 6u);
+  EXPECT_EQ(sim.transport().stats().messages_up, 6u);
+  EXPECT_GT(sim.transport().stats().bytes_up, 0u);
+}
+
+TEST(SimulationTest, ServerViewMatchesUploadedParams) {
+  SimulationConfig cfg;
+  cfg.rounds = 1;
+  cfg.train = TrainConfig{1, 32};
+  FederatedSimulation sim(tiny_mlp_factory(2, 2), easy_split(2, 200, 23), cfg,
+                          DefenseBundle{});
+  sim.run();
+  // With no defense, the server's view of a client equals the client model.
+  nn::Model view = sim.server_view_of_client(0);
+  nn::ParamList vp = view.parameters();
+  nn::ParamList cp = sim.clients()[0].model().parameters();
+  for (std::size_t i = 0; i < vp.size(); ++i)
+    for (std::int64_t j = 0; j < vp[i].numel(); ++j)
+      EXPECT_EQ(vp[i].at(j), cp[i].at(j));
+}
+
+TEST(SimulationTest, EvalEveryRecordsHistory) {
+  SimulationConfig cfg;
+  cfg.rounds = 4;
+  cfg.train = TrainConfig{1, 32};
+  cfg.eval_every = 2;
+  FederatedSimulation sim(tiny_mlp_factory(2, 2), easy_split(2, 200, 24), cfg,
+                          DefenseBundle{});
+  sim.run();
+  EXPECT_EQ(sim.history().size(), 2u);  // rounds 2 and 4 (final included once)
+}
+
+TEST(SimulationTest, TimersAccumulate) {
+  SimulationConfig cfg;
+  cfg.rounds = 2;
+  cfg.train = TrainConfig{1, 32};
+  FederatedSimulation sim(tiny_mlp_factory(2, 2), easy_split(2, 200, 25), cfg,
+                          DefenseBundle{});
+  sim.run();
+  EXPECT_GT(sim.mean_client_train_seconds(), 0.0);
+  EXPECT_GT(sim.server_aggregation_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace dinar::fl

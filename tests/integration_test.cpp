@@ -1,0 +1,169 @@
+// End-to-end integration tests: the full DINAR pipeline against the
+// no-defense baseline, and defense interoperation inside the FL loop.
+// Scaled-down versions of the paper's §5.5/§5.7 experiments.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attack/evaluation.h"
+#include "core/dinar.h"
+#include "privacy/defense_catalog.h"
+#include "test_helpers.h"
+
+namespace dinar {
+namespace {
+
+using dinar::testing::make_tiny_tabular;
+using dinar::testing::wide_mlp_factory;
+
+struct Scenario {
+  fl::FederatedSimulation sim;
+  data::Dataset attacker_prior;
+};
+
+// A small but overfit-prone FL task: few samples per client, label noise.
+Scenario run_scenario(const fl::DefenseBundle& bundle, std::uint64_t seed) {
+  Rng rng(seed);
+  data::TabularSpec spec;
+  spec.num_samples = 1200;
+  spec.num_features = 32;
+  spec.num_classes = 8;
+  spec.label_noise = 0.25;
+  data::Dataset full = data::make_tabular(spec, rng);
+
+  data::FlSplitConfig split_cfg;
+  split_cfg.num_clients = 3;
+  data::FlSplit split = data::make_fl_split(full, split_cfg, rng);
+  data::Dataset prior = split.attacker_prior;
+
+  fl::SimulationConfig cfg;
+  cfg.rounds = 10;
+  cfg.train = fl::TrainConfig{5, 32};
+  cfg.learning_rate = 1e-2;
+  cfg.seed = seed;
+  fl::FederatedSimulation sim(wide_mlp_factory(32, 8), std::move(split), cfg, bundle);
+  sim.run();
+  return Scenario{std::move(sim), std::move(prior)};
+}
+
+attack::MiaConfig integration_mia_config() {
+  attack::MiaConfig cfg;
+  cfg.num_shadows = 2;
+  cfg.shadow_train = fl::TrainConfig{40, 32};
+  cfg.learning_rate = 1e-2;
+  cfg.max_rows_per_shadow = 300;
+  return cfg;
+}
+
+TEST(IntegrationTest, DinarPreservesUtility) {
+  Scenario none = run_scenario(fl::DefenseBundle{}, 42);
+
+  core::DinarInitConfig init_cfg;
+  init_cfg.warmup = fl::TrainConfig{6, 32};
+  Rng rng(43);
+  std::vector<data::Dataset> shards;
+  for (fl::FlClient& c : none.sim.clients()) shards.push_back(c.train_data());
+  core::DinarInitResult init = core::run_dinar_initialization(
+      wide_mlp_factory(32, 8), shards, none.sim.test_data(), init_cfg);
+
+  Scenario dinar = run_scenario(core::make_dinar_bundle({init.agreed_layer}), 42);
+
+  const double acc_none = none.sim.history().back().personalized_test_accuracy;
+  const double acc_dinar = dinar.sim.history().back().personalized_test_accuracy;
+  // Paper: accuracy drop below one point; allow a small-model margin here.
+  EXPECT_GT(acc_dinar, acc_none - 0.08);
+}
+
+TEST(IntegrationTest, DinarProtectsGlobalAndLocalModels) {
+  Scenario none = run_scenario(fl::DefenseBundle{}, 50);
+  Scenario dinar = run_scenario(core::make_dinar_bundle({2}), 50);
+
+  attack::ShadowMia mia(wide_mlp_factory(32, 8), none.attacker_prior,
+                        integration_mia_config());
+  mia.fit();
+
+  attack::PrivacyReport none_report = attack::evaluate_privacy(none.sim, mia);
+  attack::PrivacyReport dinar_report = attack::evaluate_privacy(dinar.sim, mia);
+
+  // No defense must leak more than DINAR on both surfaces; DINAR should sit
+  // near the optimal 50%.
+  EXPECT_GT(none_report.global_attack_auc, 0.54);
+  EXPECT_LT(dinar_report.global_attack_auc, none_report.global_attack_auc);
+  EXPECT_NEAR(dinar_report.global_attack_auc, 0.5, 0.08);
+  EXPECT_NEAR(dinar_report.mean_local_attack_auc, 0.5, 0.08);
+}
+
+TEST(IntegrationTest, SecureAggregationMatchesPlainAggregate) {
+  privacy::BaselineDefenseConfig cfg;
+  cfg.num_clients = 3;
+  Scenario plain = run_scenario(fl::DefenseBundle{}, 60);
+  Scenario sa = run_scenario(privacy::make_baseline_bundle("sa", cfg), 60);
+
+  // Same seeds and data: the SA masks cancel, so the aggregated global
+  // model must match the no-defense run up to float accumulation error.
+  const nn::ParamList a = plain.sim.server().global_params();
+  const nn::ParamList b = sa.sim.server().global_params();
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::int64_t j = 0; j < a[i].numel(); ++j)
+      max_diff = std::max(max_diff,
+                          std::fabs(static_cast<double>(a[i].at(j)) - b[i].at(j)));
+  EXPECT_LT(max_diff, 5e-2);
+}
+
+TEST(IntegrationTest, SecureAggregationHidesLocalModels) {
+  privacy::BaselineDefenseConfig cfg;
+  cfg.num_clients = 3;
+  Scenario sa = run_scenario(privacy::make_baseline_bundle("sa", cfg), 61);
+
+  attack::ShadowMia mia(wide_mlp_factory(32, 8), sa.attacker_prior,
+                        integration_mia_config());
+  mia.fit();
+  attack::PrivacyReport report = attack::evaluate_privacy(sa.sim, mia);
+  // The server-side attacker sees masked uploads: chance-level AUC.
+  EXPECT_NEAR(report.mean_local_attack_auc, 0.5, 0.1);
+}
+
+TEST(IntegrationTest, LdpDegradesUtilityMoreThanDinar) {
+  privacy::BaselineDefenseConfig cfg;
+  cfg.dp.epsilon = 0.2;  // aggressive budget -> heavy noise
+  Scenario ldp = run_scenario(privacy::make_baseline_bundle("ldp", cfg), 70);
+  Scenario dinar = run_scenario(core::make_dinar_bundle({2}), 70);
+
+  EXPECT_LT(ldp.sim.history().back().personalized_test_accuracy,
+            dinar.sim.history().back().personalized_test_accuracy);
+}
+
+TEST(IntegrationTest, EveryDefenseRunsInsideTheLoop) {
+  privacy::BaselineDefenseConfig cfg;
+  cfg.num_clients = 3;
+  for (const char* name : {"none", "ldp", "cdp", "wdp", "gc", "sa"}) {
+    Scenario s = run_scenario(privacy::make_baseline_bundle(name, cfg), 80);
+    EXPECT_FALSE(s.sim.history().empty()) << name;
+    const double acc = s.sim.history().back().personalized_test_accuracy;
+    EXPECT_GE(acc, 0.0) << name;
+    EXPECT_LE(acc, 1.0) << name;
+  }
+}
+
+TEST(IntegrationTest, DinarClientsKeepPersonalizedLayersDistinct) {
+  Scenario dinar = run_scenario(core::make_dinar_bundle({2}), 90);
+  // Each client's private layer evolved on its own data; after the run the
+  // personalized layers must differ across clients while shared layers
+  // come from the same global broadcast.
+  nn::ParamList l0 = dinar.sim.clients()[0].model().layer_parameters(2);
+  nn::ParamList l1 = dinar.sim.clients()[1].model().layer_parameters(2);
+  bool identical = true;
+  for (std::int64_t j = 0; j < l0[0].numel(); ++j)
+    if (l0[0].at(j) != l1[0].at(j)) identical = false;
+  EXPECT_FALSE(identical);
+
+  nn::ParamList s0 = dinar.sim.clients()[0].model().layer_parameters(0);
+  nn::ParamList s1 = dinar.sim.clients()[1].model().layer_parameters(0);
+  // Shared layers were last overwritten by the same broadcast, then locally
+  // trained — they may differ, but must at least have the same shape.
+  EXPECT_TRUE(nn::param_list_same_shape(s0, s1));
+}
+
+}  // namespace
+}  // namespace dinar

@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "gradcheck.h"
+#include "nn/loss.h"
+#include "nn/model_zoo.h"
+#include "test_helpers.h"
+#include "util/error.h"
+
+namespace dinar::nn {
+namespace {
+
+using dinar::testing::make_tiny_mlp;
+
+// ----------------------------------------------------------------- model --
+
+TEST(ModelTest, ParamLayerEnumeration) {
+  Rng rng(1);
+  Model m = make_tiny_mlp(4, 3, rng);
+  EXPECT_EQ(m.num_layers(), 5u);        // 3 dense + 2 tanh
+  EXPECT_EQ(m.num_param_layers(), 3u);  // only dense layers carry params
+  EXPECT_EQ(m.num_parameters(), (4 * 16 + 16) + (16 * 8 + 8) + (8 * 3 + 3));
+}
+
+TEST(ModelTest, ParametersRoundTrip) {
+  Rng rng(2);
+  Model m = make_tiny_mlp(4, 3, rng);
+  ParamList params = m.parameters();
+  ASSERT_EQ(params.size(), 6u);  // weight+bias per dense layer
+
+  // Zero the model, then restore.
+  for (ParamGroup& g : m.param_layers())
+    for (Tensor* p : g.params) p->zero();
+  m.set_parameters(params);
+  ParamList back = m.parameters();
+  for (std::size_t i = 0; i < params.size(); ++i)
+    for (std::int64_t j = 0; j < params[i].numel(); ++j)
+      EXPECT_EQ(back[i].at(j), params[i].at(j));
+}
+
+TEST(ModelTest, SetParametersValidatesStructure) {
+  Rng rng(3);
+  Model m = make_tiny_mlp(4, 3, rng);
+  ParamList params = m.parameters();
+  params.pop_back();
+  EXPECT_THROW(m.set_parameters(params), Error);
+
+  ParamList wrong_shape = m.parameters();
+  wrong_shape[0] = Tensor({2, 2});
+  EXPECT_THROW(m.set_parameters(wrong_shape), Error);
+}
+
+TEST(ModelTest, LayerParameterAccess) {
+  Rng rng(4);
+  Model m = make_tiny_mlp(4, 3, rng);
+  ParamList layer1 = m.layer_parameters(1);
+  ASSERT_EQ(layer1.size(), 2u);
+  EXPECT_EQ(layer1[0].shape(), (Shape{16, 8}));
+
+  ParamList replacement = layer1;
+  replacement[0].fill(0.25f);
+  replacement[1].fill(-0.5f);
+  m.set_layer_parameters(1, replacement);
+  ParamList back = m.layer_parameters(1);
+  EXPECT_EQ(back[0].at(0), 0.25f);
+  EXPECT_EQ(back[1].at(0), -0.5f);
+
+  // Other layers untouched.
+  EXPECT_NE(m.layer_parameters(0)[0].at(0), 0.25f);
+  EXPECT_THROW(m.layer_parameters(9), Error);
+}
+
+TEST(ModelTest, LayerParamSpanMatchesFlatOrder) {
+  Rng rng(5);
+  Model m = make_tiny_mlp(4, 3, rng);
+  const auto [begin, end] = m.layer_param_span(1);
+  EXPECT_EQ(begin, 2u);
+  EXPECT_EQ(end, 4u);
+  ParamList flat = m.parameters();
+  ParamList layer = m.layer_parameters(1);
+  EXPECT_TRUE(flat[begin].same_shape(layer[0]));
+  EXPECT_EQ(flat[begin].at(0), layer[0].at(0));
+}
+
+TEST(ModelTest, CopyIsDeep) {
+  Rng rng(6);
+  Model m = make_tiny_mlp(4, 3, rng);
+  Model copy = m;
+  copy.param_layers()[0].params[0]->fill(9.0f);
+  EXPECT_NE(m.parameters()[0].at(0), 9.0f);
+  EXPECT_EQ(copy.parameters()[0].at(0), 9.0f);
+}
+
+TEST(ModelTest, SaveLoadRoundTrip) {
+  Rng rng(7);
+  Model m = make_tiny_mlp(4, 3, rng);
+  BinaryWriter w;
+  m.save(w);
+
+  Rng rng2(999);
+  Model other = make_tiny_mlp(4, 3, rng2);
+  BinaryReader r(w.buffer());
+  other.load(r);
+  ParamList a = m.parameters(), b = other.parameters();
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::int64_t j = 0; j < a[i].numel(); ++j) EXPECT_EQ(a[i].at(j), b[i].at(j));
+}
+
+TEST(ModelTest, LoadRejectsGarbage) {
+  Rng rng(8);
+  Model m = make_tiny_mlp(4, 3, rng);
+  BinaryWriter w;
+  w.write_u32(0xDEADBEEF);
+  w.write_u32(1);
+  BinaryReader r(w.buffer());
+  EXPECT_THROW(m.load(r), Error);
+}
+
+TEST(ModelTest, ZeroGradClearsAccumulation) {
+  Rng rng(9);
+  Model m = make_tiny_mlp(4, 3, rng);
+  Tensor x = Tensor::gaussian({2, 4}, rng);
+  Tensor y = m.forward(x, true);
+  m.backward(Tensor::full(y.shape(), 1.0f));
+  double norm_before = 0.0;
+  for (const Tensor& g : m.gradients()) norm_before += g.squared_l2_norm();
+  EXPECT_GT(norm_before, 0.0);
+  m.zero_grad();
+  for (const Tensor& g : m.gradients()) EXPECT_EQ(g.squared_l2_norm(), 0.0);
+}
+
+TEST(ModelTest, SummaryMentionsLayers) {
+  Rng rng(10);
+  Model m = make_tiny_mlp(4, 3, rng);
+  const std::string s = m.summary();
+  EXPECT_NE(s.find("dense"), std::string::npos);
+  EXPECT_NE(s.find("3 parameterized"), std::string::npos);
+}
+
+// ------------------------------------------------------------ param lists --
+
+TEST(ParamListTest, Arithmetic) {
+  ParamList a, b;
+  a.emplace_back(Shape{2}, std::vector<float>{1, 2});
+  b.emplace_back(Shape{2}, std::vector<float>{10, 20});
+  param_list_add(a, b);
+  EXPECT_EQ(a[0].at(1), 22.0f);
+  param_list_scale(a, 0.5f);
+  EXPECT_EQ(a[0].at(0), 5.5f);
+  param_list_add_scaled(a, b, 0.1f);
+  EXPECT_NEAR(a[0].at(0), 6.5f, 1e-6);
+  EXPECT_EQ(param_list_numel(a), 2);
+  EXPECT_TRUE(param_list_same_shape(a, b));
+}
+
+TEST(ParamListTest, NormAndShapeChecks) {
+  ParamList a;
+  a.emplace_back(Shape{2}, std::vector<float>{3, 4});
+  EXPECT_DOUBLE_EQ(param_list_l2_norm(a), 5.0);
+  ParamList b;
+  b.emplace_back(Shape{3});
+  EXPECT_FALSE(param_list_same_shape(a, b));
+  EXPECT_THROW(param_list_add(a, b), Error);
+}
+
+TEST(ParamListTest, SerdeRoundTrip) {
+  Rng rng(11);
+  ParamList a;
+  a.push_back(Tensor::gaussian({3, 4}, rng));
+  a.push_back(Tensor::gaussian({7}, rng));
+  BinaryWriter w;
+  write_param_list(w, a);
+  BinaryReader r(w.buffer());
+  ParamList b = read_param_list(r);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_TRUE(param_list_same_shape(a, b));
+  EXPECT_EQ(b[0].at(5), a[0].at(5));
+}
+
+// ------------------------------------------------------------------ loss --
+
+TEST(LossTest, SoftmaxRowsSumToOne) {
+  Tensor logits({2, 3}, {1.0f, 2.0f, 3.0f, -5.0f, 0.0f, 5.0f});
+  Tensor p = softmax(logits);
+  for (std::int64_t i = 0; i < 2; ++i) {
+    double sum = 0.0;
+    for (std::int64_t j = 0; j < 3; ++j) {
+      EXPECT_GT(p.at(i, j), 0.0f);
+      sum += p.at(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+}
+
+TEST(LossTest, SoftmaxIsShiftInvariantAndStable) {
+  Tensor a({1, 3}, {1.0f, 2.0f, 3.0f});
+  Tensor b({1, 3}, {1001.0f, 1002.0f, 1003.0f});
+  Tensor pa = softmax(a), pb = softmax(b);
+  for (std::int64_t j = 0; j < 3; ++j) EXPECT_NEAR(pa.at(j), pb.at(j), 1e-6);
+}
+
+TEST(LossTest, CrossEntropyOfPerfectPredictionIsSmall) {
+  Tensor logits({1, 3}, {100.0f, 0.0f, 0.0f});
+  const LossResult r = softmax_cross_entropy(logits, {0});
+  EXPECT_LT(r.mean_loss, 1e-6);
+}
+
+TEST(LossTest, UniformLogitsGiveLogC) {
+  Tensor logits({1, 4});
+  const LossResult r = softmax_cross_entropy(logits, {2});
+  EXPECT_NEAR(r.mean_loss, std::log(4.0), 1e-6);
+}
+
+TEST(LossTest, GradientMatchesSoftmaxMinusOnehot) {
+  Tensor logits({1, 3}, {0.5f, -0.5f, 1.5f});
+  Tensor p = softmax(logits);
+  const LossResult r = softmax_cross_entropy(logits, {1});
+  EXPECT_NEAR(r.grad_logits.at(0), p.at(0), 1e-6);
+  EXPECT_NEAR(r.grad_logits.at(1), p.at(1) - 1.0f, 1e-6);
+  EXPECT_NEAR(r.grad_logits.at(2), p.at(2), 1e-6);
+}
+
+TEST(LossTest, GradientSumsToZeroPerRow) {
+  Rng rng(12);
+  Tensor logits = Tensor::gaussian({4, 5}, rng);
+  const LossResult r = softmax_cross_entropy(logits, {0, 1, 2, 3});
+  for (std::int64_t i = 0; i < 4; ++i) {
+    double s = 0.0;
+    for (std::int64_t j = 0; j < 5; ++j) s += r.grad_logits.at(i, j);
+    EXPECT_NEAR(s, 0.0, 1e-6);
+  }
+}
+
+TEST(LossTest, PerSampleLossesMatchMean) {
+  Rng rng(13);
+  Tensor logits = Tensor::gaussian({6, 4}, rng);
+  const std::vector<int> labels{0, 1, 2, 3, 0, 1};
+  const std::vector<double> per = per_sample_cross_entropy(logits, labels);
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  double mean = 0.0;
+  for (double l : per) mean += l;
+  mean /= 6.0;
+  EXPECT_NEAR(mean, r.mean_loss, 1e-9);
+}
+
+TEST(LossTest, LabelOutOfRangeThrows) {
+  Tensor logits({1, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {3}), Error);
+  EXPECT_THROW(softmax_cross_entropy(logits, {-1}), Error);
+}
+
+TEST(LossTest, AccuracyAndPrediction) {
+  Tensor logits({3, 2}, {2.0f, 1.0f, 0.0f, 3.0f, 5.0f, 4.0f});
+  EXPECT_EQ(predict_classes(logits), (std::vector<int>{0, 1, 0}));
+  EXPECT_NEAR(accuracy(logits, {0, 1, 1}), 2.0 / 3.0, 1e-9);
+}
+
+// ------------------------------------------------------------- model zoo --
+
+TEST(ModelZooTest, Fcnn6HasSixParamLayers) {
+  Rng rng(14);
+  Model m = make_fcnn6(64, 100, 128, rng);
+  EXPECT_EQ(m.num_param_layers(), 6u);
+  Tensor x = Tensor::gaussian({2, 64}, rng);
+  EXPECT_EQ(m.forward(x, false).shape(), (Shape{2, 100}));
+}
+
+TEST(ModelZooTest, VggSmallGeometry) {
+  Rng rng(15);
+  Model m = make_vgg_small(3, 12, 43, 4, rng);
+  EXPECT_EQ(m.num_param_layers(), 6u);  // 4 conv + 2 dense
+  Tensor x = Tensor::gaussian({2, 3, 12, 12}, rng);
+  EXPECT_EQ(m.forward(x, false).shape(), (Shape{2, 43}));
+}
+
+TEST(ModelZooTest, VggSmallMoreBlocks) {
+  Rng rng(16);
+  Model m = make_vgg_small(3, 12, 32, 6, rng);
+  EXPECT_EQ(m.num_param_layers(), 8u);  // CelebA-style deeper variant
+  Tensor x = Tensor::gaussian({1, 3, 12, 12}, rng);
+  EXPECT_EQ(m.forward(x, false).shape(), (Shape{1, 32}));
+}
+
+TEST(ModelZooTest, ResNetSmallGeometry) {
+  Rng rng(17);
+  Model m = make_resnet_small(3, 12, 10, rng);
+  Tensor x = Tensor::gaussian({2, 3, 12, 12}, rng);
+  EXPECT_EQ(m.forward(x, false).shape(), (Shape{2, 10}));
+  // stem + (2 + 3 + 3 resblock convs) + head.
+  EXPECT_EQ(m.num_param_layers(), 10u);
+}
+
+TEST(ModelZooTest, M5AudioGeometry) {
+  Rng rng(18);
+  Model m = make_m5_audio(512, 36, rng);
+  Tensor x = Tensor::gaussian({2, 1, 512}, rng);
+  EXPECT_EQ(m.forward(x, false).shape(), (Shape{2, 36}));
+  EXPECT_EQ(m.num_param_layers(), 5u);
+}
+
+TEST(ModelZooTest, FactoriesProduceFreshIndependentModels) {
+  ModelFactory f = fcnn6_factory(16, 4, 64);
+  Rng r1(1), r2(1), r3(2);
+  Model a = f(r1), b = f(r2), c = f(r3);
+  EXPECT_EQ(a.parameters()[0].at(0), b.parameters()[0].at(0));  // same seed
+  EXPECT_NE(a.parameters()[0].at(0), c.parameters()[0].at(0));  // different seed
+}
+
+TEST(ModelZooTest, EndToEndGradientsThroughSmallCnn) {
+  Rng rng(19);
+  Model m = make_vgg_small(1, 8, 3, 2, rng);
+  Tensor x = Tensor::gaussian({1, 1, 8, 8}, rng);
+  dinar::testing::expect_gradients_match(m, x, /*eps=*/5e-3, /*tol=*/8e-2);
+}
+
+}  // namespace
+}  // namespace dinar::nn

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include <memory>
+
+#include "nn/dense.h"
+#include "nn/loss.h"
+#include "opt/optimizers.h"
+#include "test_helpers.h"
+#include "util/error.h"
+
+namespace dinar::opt {
+namespace {
+
+using dinar::testing::make_easy_dataset;
+using dinar::testing::make_tiny_mlp;
+
+// One training step on a fixed batch; returns the loss before the step.
+double step_once(nn::Model& model, Optimizer& optimizer, const Tensor& x,
+                 const std::vector<int>& labels) {
+  Tensor logits = model.forward(x, true);
+  nn::LossResult loss = nn::softmax_cross_entropy(logits, labels);
+  model.zero_grad();
+  model.backward(loss.grad_logits);
+  optimizer.step(model);
+  return loss.mean_loss;
+}
+
+double current_loss(nn::Model& model, const Tensor& x, const std::vector<int>& labels) {
+  Tensor logits = model.forward(x, false);
+  return nn::softmax_cross_entropy(logits, labels).mean_loss;
+}
+
+// Every optimizer must make progress on a small fixed batch.
+class OptimizerDescentTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(OptimizerDescentTest, ReducesLossOnFixedBatch) {
+  Rng rng(100);
+  nn::Model model = make_tiny_mlp(2, 2, rng);
+  data::Dataset d = make_easy_dataset(64, rng);
+  Tensor x = d.features();
+  const std::vector<int>& labels = d.labels();
+
+  auto optimizer = make_optimizer(GetParam(), 0.05);
+  const double initial = current_loss(model, x, labels);
+  for (int i = 0; i < 40; ++i) step_once(model, *optimizer, x, labels);
+  const double final_loss = current_loss(model, x, labels);
+  EXPECT_LT(final_loss, initial * 0.8) << GetParam();
+}
+
+TEST_P(OptimizerDescentTest, ParametersStayFinite) {
+  Rng rng(101);
+  nn::Model model = make_tiny_mlp(2, 2, rng);
+  data::Dataset d = make_easy_dataset(32, rng);
+  auto optimizer = make_optimizer(GetParam(), 0.05);
+  for (int i = 0; i < 30; ++i) step_once(model, *optimizer, d.features(), d.labels());
+  for (const Tensor& p : model.parameters())
+    for (float v : p.values()) EXPECT_TRUE(std::isfinite(v)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOptimizers, OptimizerDescentTest,
+                         ::testing::Values("sgd", "adagrad", "adam", "adamax",
+                                           "rmsprop", "adgd"));
+
+TEST(OptimizerFactoryTest, UnknownNameThrows) {
+  EXPECT_THROW(make_optimizer("bogus", 0.1), Error);
+}
+
+TEST(OptimizerFactoryTest, NamesRoundTrip) {
+  for (const char* name : {"sgd", "adagrad", "adam", "adamax", "rmsprop", "adgd"})
+    EXPECT_EQ(make_optimizer(name, 0.1)->name(), name);
+}
+
+TEST(AdagradTest, MatchesAlgorithmOneUpdateRule) {
+  // Single parameter layer, single known gradient: after one step,
+  //   G = g^2,  theta = theta0 - lr * g / sqrt(G + 1e-5).
+  Rng rng(102);
+  nn::Model model;
+  model.add(std::make_unique<nn::Dense>(1, 1, rng));
+  nn::ParamGroup group = model.param_layers()[0];
+  group.params[0]->fill(1.0f);  // weight
+  group.params[1]->fill(0.0f);  // bias
+
+  // Forward y = w*x with x=2 => dL/dw for L = y (grad_out 1) is 2.
+  Tensor x({1, 1}, {2.0f});
+  model.forward(x, true);
+  model.zero_grad();
+  model.backward(Tensor({1, 1}, {1.0f}));
+
+  Adagrad opt(0.1);
+  opt.step(model);
+  const float g = 2.0f;
+  const float expected = 1.0f - 0.1f * g / std::sqrt(g * g + 1e-5f);
+  EXPECT_NEAR(model.parameters()[0].at(0), expected, 1e-6);
+}
+
+TEST(AdagradTest, AccumulationShrinksSteps) {
+  // With a constant gradient the Adagrad step decays like 1/sqrt(t).
+  Rng rng(103);
+  nn::Model model;
+  model.add(std::make_unique<nn::Dense>(1, 1, rng));
+  model.param_layers()[0].params[0]->fill(0.0f);
+  model.param_layers()[0].params[1]->fill(0.0f);
+
+  Adagrad opt(0.1);
+  Tensor x({1, 1}, {1.0f});
+  std::vector<float> steps;
+  float prev = 0.0f;
+  for (int t = 0; t < 4; ++t) {
+    model.forward(x, true);
+    model.zero_grad();
+    model.backward(Tensor({1, 1}, {1.0f}));
+    opt.step(model);
+    const float now = model.parameters()[0].at(0);
+    steps.push_back(std::fabs(now - prev));
+    prev = now;
+  }
+  EXPECT_GT(steps[0], steps[1]);
+  EXPECT_GT(steps[1], steps[2]);
+  EXPECT_GT(steps[2], steps[3]);
+}
+
+TEST(AdagradTest, ResetClearsAccumulator) {
+  Rng rng(104);
+  nn::Model model;
+  model.add(std::make_unique<nn::Dense>(1, 1, rng));
+  model.param_layers()[0].params[0]->fill(0.0f);
+  model.param_layers()[0].params[1]->fill(0.0f);
+
+  Adagrad opt(0.1);
+  Tensor x({1, 1}, {1.0f});
+  // Two steps, then reset: the next step must be as large as a first step.
+  auto do_step = [&] {
+    model.forward(x, true);
+    model.zero_grad();
+    model.backward(Tensor({1, 1}, {1.0f}));
+    const float before = model.parameters()[0].at(0);
+    opt.step(model);
+    return std::fabs(model.parameters()[0].at(0) - before);
+  };
+  const float first = do_step();
+  do_step();
+  opt.reset();
+  const float after_reset = do_step();
+  EXPECT_NEAR(after_reset, first, 1e-6);
+}
+
+TEST(SgdTest, PlainStepIsLrTimesGrad) {
+  Rng rng(105);
+  nn::Model model;
+  model.add(std::make_unique<nn::Dense>(1, 1, rng));
+  model.param_layers()[0].params[0]->fill(1.0f);
+  model.param_layers()[0].params[1]->fill(0.0f);
+  Tensor x({1, 1}, {3.0f});
+  model.forward(x, true);
+  model.zero_grad();
+  model.backward(Tensor({1, 1}, {1.0f}));
+  Sgd opt(0.01);
+  opt.step(model);
+  EXPECT_NEAR(model.parameters()[0].at(0), 1.0f - 0.01f * 3.0f, 1e-6);
+}
+
+TEST(SgdTest, MomentumAcceleratesConstantGradient) {
+  Rng rng(106);
+  nn::Model plain_model;
+  plain_model.add(std::make_unique<nn::Dense>(1, 1, rng));
+  nn::Model momentum_model = plain_model;
+
+  auto run = [](nn::Model& m, Sgd& opt) {
+    Tensor x({1, 1}, {1.0f});
+    float start = m.parameters()[0].at(0);
+    for (int i = 0; i < 5; ++i) {
+      m.forward(x, true);
+      m.zero_grad();
+      m.backward(Tensor({1, 1}, {1.0f}));
+      opt.step(m);
+    }
+    return std::fabs(m.parameters()[0].at(0) - start);
+  };
+  Sgd plain(0.01), with_momentum(0.01, 0.9);
+  const float d_plain = run(plain_model, plain);
+  const float d_momentum = run(momentum_model, with_momentum);
+  EXPECT_GT(d_momentum, d_plain * 1.5);
+}
+
+TEST(AdamTest, FirstStepMagnitudeIsLr) {
+  // Adam's bias-corrected first step is ~lr regardless of gradient scale.
+  Rng rng(107);
+  nn::Model model;
+  model.add(std::make_unique<nn::Dense>(1, 1, rng));
+  model.param_layers()[0].params[0]->fill(0.0f);
+  model.param_layers()[0].params[1]->fill(0.0f);
+  Tensor x({1, 1}, {100.0f});  // large gradient
+  model.forward(x, true);
+  model.zero_grad();
+  model.backward(Tensor({1, 1}, {1.0f}));
+  Adam opt(0.001);
+  opt.step(model);
+  EXPECT_NEAR(std::fabs(model.parameters()[0].at(0)), 0.001f, 1e-5);
+}
+
+TEST(AdgdTest, AdaptsStepSizeWithoutBlowup) {
+  Rng rng(108);
+  nn::Model model = make_tiny_mlp(2, 2, rng);
+  data::Dataset d = make_easy_dataset(64, rng);
+  Adgd opt(0.01);
+  double last = 0.0;
+  for (int i = 0; i < 30; ++i)
+    last = step_once(model, opt, d.features(), d.labels());
+  EXPECT_TRUE(std::isfinite(last));
+  EXPECT_LT(last, 1.0);
+}
+
+TEST(OptimizerTest, LearningRateAccessors) {
+  Adagrad opt(0.5);
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 0.5);
+  opt.set_learning_rate(0.25);
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 0.25);
+}
+
+TEST(OptimizerTest, StateRebindsAfterStructureChange) {
+  // Using the same optimizer on a second, differently-shaped model must
+  // not corrupt state (state reinitializes on shape mismatch).
+  Rng rng(109);
+  nn::Model a = make_tiny_mlp(2, 2, rng);
+  nn::Model b;
+  b.add(std::make_unique<nn::Dense>(3, 2, rng));
+  Adagrad opt(0.1);
+  data::Dataset d = make_easy_dataset(16, rng);
+  step_once(a, opt, d.features(), d.labels());
+
+  Tensor x({1, 3}, {1.0f, 2.0f, 3.0f});
+  b.forward(x, true);
+  b.zero_grad();
+  b.backward(Tensor({1, 2}, {1.0f, -1.0f}));
+  EXPECT_NO_THROW(opt.step(b));
+}
+
+}  // namespace
+}  // namespace dinar::opt

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "privacy/defense_catalog.h"
+#include "privacy/dp.h"
+#include "privacy/gradient_compression.h"
+#include "privacy/secure_aggregation.h"
+#include "test_helpers.h"
+#include "util/error.h"
+
+namespace dinar::privacy {
+namespace {
+
+using dinar::testing::make_tiny_mlp;
+
+nn::ParamList sample_params(std::uint64_t seed, float scale = 1.0f) {
+  Rng rng(seed);
+  nn::ParamList p;
+  p.push_back(Tensor::gaussian({8, 4}, rng, scale));
+  p.push_back(Tensor::gaussian({4}, rng, scale));
+  return p;
+}
+
+// --------------------------------------------------------------------- dp --
+
+TEST(DpParamsTest, SigmaMatchesGaussianMechanism) {
+  DpParams p;
+  p.epsilon = 2.2;
+  p.delta = 1e-5;
+  p.sensitivity = 0.02;
+  const double expected = 0.02 * std::sqrt(2.0 * std::log(1.25 / 1e-5)) / 2.2;
+  EXPECT_NEAR(p.sigma(), expected, 1e-12);
+}
+
+TEST(DpParamsTest, SmallerEpsilonMeansMoreNoise) {
+  DpParams lo, hi;
+  lo.epsilon = 0.05;
+  hi.epsilon = 2.2;
+  EXPECT_GT(lo.sigma(), hi.sigma());
+}
+
+TEST(DpParamsTest, InvalidBudgetThrows) {
+  DpParams p;
+  p.epsilon = 0.0;
+  EXPECT_THROW(p.sigma(), Error);
+}
+
+TEST(ClipTest, NormAboveBoundIsScaledDown) {
+  nn::ParamList p = sample_params(1, 10.0f);
+  ASSERT_GT(nn::param_list_l2_norm(p), 5.0);
+  clip_l2(p, 5.0);
+  EXPECT_NEAR(nn::param_list_l2_norm(p), 5.0, 1e-4);
+}
+
+TEST(ClipTest, NormBelowBoundUntouched) {
+  nn::ParamList p = sample_params(2, 0.01f);
+  const double before = nn::param_list_l2_norm(p);
+  clip_l2(p, 5.0);
+  EXPECT_DOUBLE_EQ(nn::param_list_l2_norm(p), before);
+}
+
+TEST(NoiseTest, GaussianNoiseHasRequestedScale) {
+  nn::ParamList p;
+  p.push_back(Tensor({20000}));
+  Rng rng(3);
+  add_gaussian_noise(p, 0.5, rng);
+  double sq = 0.0;
+  for (float v : p[0].values()) sq += static_cast<double>(v) * v;
+  EXPECT_NEAR(std::sqrt(sq / 20000.0), 0.5, 0.02);
+}
+
+TEST(NoiseTest, ZeroSigmaIsNoop) {
+  nn::ParamList p = sample_params(4);
+  nn::ParamList orig = p;
+  Rng rng(5);
+  add_gaussian_noise(p, 0.0, rng);
+  EXPECT_EQ(p[0].at(0), orig[0].at(0));
+}
+
+TEST(LdpDefenseTest, PerturbsUpload) {
+  Rng rng(6);
+  nn::Model model = make_tiny_mlp(4, 2, rng);
+  DpParams dp;
+  LdpDefense defense(dp, Rng(7));
+  bool pre_weighted = false;
+  nn::ParamList before = model.parameters();
+  nn::ParamList after = defense.before_upload(model, model.parameters(), 100, pre_weighted);
+  EXPECT_FALSE(pre_weighted);
+  ASSERT_TRUE(nn::param_list_same_shape(before, after));
+  double diff = 0.0;
+  for (std::size_t i = 0; i < before.size(); ++i)
+    for (std::int64_t j = 0; j < before[i].numel(); ++j)
+      diff += std::fabs(before[i].at(j) - after[i].at(j));
+  EXPECT_GT(diff, 0.0);
+  // The live model must be untouched (defense transforms the copy).
+  nn::ParamList still = model.parameters();
+  EXPECT_EQ(still[0].at(0), before[0].at(0));
+}
+
+TEST(WdpDefenseTest, UsesFixedSigmaAndBound) {
+  Rng rng(8);
+  nn::Model model = make_tiny_mlp(4, 2, rng);
+  WdpDefense defense(5.0, 0.025, Rng(9));
+  bool pw = false;
+  nn::ParamList out = defense.before_upload(model, model.parameters(), 10, pw);
+  EXPECT_LE(nn::param_list_l2_norm(out),
+            5.0 + 0.025 * std::sqrt(static_cast<double>(nn::param_list_numel(out))) * 4);
+}
+
+TEST(CdpDefenseTest, PerturbsAggregate) {
+  DpParams dp;
+  CdpDefense defense(dp, Rng(10));
+  nn::ParamList p = sample_params(11);
+  nn::ParamList orig = p;
+  defense.after_aggregate(p);
+  double diff = 0.0;
+  for (std::int64_t j = 0; j < p[0].numel(); ++j)
+    diff += std::fabs(p[0].at(j) - orig[0].at(j));
+  EXPECT_GT(diff, 0.0);
+}
+
+// --------------------------------------------------------------------- gc --
+
+TEST(GcDefenseTest, KeepsTopFractionOfDelta) {
+  Rng rng(12);
+  nn::Model model = make_tiny_mlp(4, 2, rng);
+  GradientCompressionDefense defense(0.25);
+
+  nn::ParamList reference = model.parameters();
+  defense.on_download(model, reference);
+
+  // Perturb the model so the delta is dense.
+  nn::ParamList perturbed = reference;
+  Rng noise_rng(13);
+  for (Tensor& t : perturbed)
+    for (float& v : t.values()) v += static_cast<float>(noise_rng.gaussian(0.0, 0.1));
+  model.set_parameters(perturbed);
+
+  bool pw = false;
+  nn::ParamList out = defense.before_upload(model, model.parameters(), 10, pw);
+
+  std::int64_t changed = 0, total = 0;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    for (std::int64_t j = 0; j < out[i].numel(); ++j) {
+      total += 1;
+      if (out[i].at(j) != reference[i].at(j)) ++changed;
+    }
+  const double kept = static_cast<double>(changed) / static_cast<double>(total);
+  EXPECT_NEAR(kept, 0.25, 0.05);
+}
+
+TEST(GcDefenseTest, UploadBeforeDownloadThrows) {
+  Rng rng(14);
+  nn::Model model = make_tiny_mlp(4, 2, rng);
+  GradientCompressionDefense defense(0.1);
+  bool pw = false;
+  EXPECT_THROW(defense.before_upload(model, model.parameters(), 10, pw), Error);
+}
+
+TEST(GcDefenseTest, InvalidRatioRejected) {
+  EXPECT_THROW(GradientCompressionDefense(0.0), Error);
+  EXPECT_THROW(GradientCompressionDefense(1.5), Error);
+}
+
+// --------------------------------------------------------------------- sa --
+
+TEST(SaGroupTest, PairSeedsSymmetricAndDistinct) {
+  SecureAggregationGroup group(5, 42);
+  EXPECT_EQ(group.pair_seed(1, 3), group.pair_seed(3, 1));
+  EXPECT_NE(group.pair_seed(0, 1), group.pair_seed(0, 2));
+  EXPECT_NE(group.pair_seed(0, 1), group.pair_seed(1, 2));
+  EXPECT_THROW(group.pair_seed(2, 2), Error);
+  EXPECT_THROW(group.pair_seed(0, 9), Error);
+}
+
+TEST(SaGroupTest, NeedsTwoClients) {
+  EXPECT_THROW(SecureAggregationGroup(1, 1), Error);
+}
+
+// Property: masks cancel in the sum for any group size.
+class SaCancellationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SaCancellationTest, MaskedSumEqualsPlainSum) {
+  const int n = GetParam();
+  auto group = std::make_shared<SecureAggregationGroup>(n, 99);
+  Rng rng(15);
+  nn::Model model = make_tiny_mlp(4, 2, rng);
+
+  nn::ParamList plain_sum, masked_sum;
+  for (const Tensor& t : model.parameters()) {
+    plain_sum.emplace_back(t.shape());
+    masked_sum.emplace_back(t.shape());
+  }
+
+  for (int c = 0; c < n; ++c) {
+    SecureAggregationDefense defense(group, c);
+    nn::ParamList params = sample_params(100 + static_cast<std::uint64_t>(c), 0.05f);
+    // plain contribution: weight * params
+    nn::ParamList weighted = params;
+    nn::param_list_scale(weighted, 10.0f);
+    // adapt shapes: use the sample params directly for both sums
+    if (c == 0) {
+      plain_sum.clear();
+      masked_sum.clear();
+      for (const Tensor& t : params) {
+        plain_sum.emplace_back(t.shape());
+        masked_sum.emplace_back(t.shape());
+      }
+    }
+    nn::param_list_add(plain_sum, weighted);
+    bool pw = false;
+    nn::ParamList masked = defense.before_upload(model, std::move(params), 10, pw);
+    EXPECT_TRUE(pw);
+    nn::param_list_add(masked_sum, masked);
+  }
+
+  for (std::size_t i = 0; i < plain_sum.size(); ++i)
+    for (std::int64_t j = 0; j < plain_sum[i].numel(); ++j)
+      EXPECT_NEAR(masked_sum[i].at(j), plain_sum[i].at(j), 5e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, SaCancellationTest, ::testing::Values(2, 3, 5, 8));
+
+TEST(SaDefenseTest, IndividualUploadIsMasked) {
+  auto group = std::make_shared<SecureAggregationGroup>(3, 7);
+  Rng rng(16);
+  nn::Model model = make_tiny_mlp(4, 2, rng);
+  SecureAggregationDefense defense(group, 0);
+  nn::ParamList params = model.parameters();
+  bool pw = false;
+  nn::ParamList masked = defense.before_upload(model, model.parameters(), 10, pw);
+  // Masked values should be dominated by the stddev-1 masks, far from the
+  // raw small weights.
+  double dist = 0.0;
+  std::int64_t n = 0;
+  for (std::size_t i = 0; i < params.size(); ++i)
+    for (std::int64_t j = 0; j < params[i].numel(); ++j) {
+      dist += std::fabs(masked[i].at(j) - params[i].at(j) * 10.0f);
+      ++n;
+    }
+  EXPECT_GT(dist / static_cast<double>(n), 0.3);
+}
+
+TEST(SaDefenseTest, RoundsUseFreshMasks) {
+  auto group = std::make_shared<SecureAggregationGroup>(2, 8);
+  Rng rng(17);
+  nn::Model model = make_tiny_mlp(4, 2, rng);
+  SecureAggregationDefense defense(group, 0);
+  bool pw = false;
+  nn::ParamList r1 = defense.before_upload(model, model.parameters(), 10, pw);
+  nn::ParamList r2 = defense.before_upload(model, model.parameters(), 10, pw);
+  EXPECT_NE(r1[0].at(0), r2[0].at(0));
+}
+
+// ---------------------------------------------------------------- catalog --
+
+TEST(DefenseCatalogTest, AllBaselineNamesConstruct) {
+  BaselineDefenseConfig cfg;
+  for (const char* name : {"none", "ldp", "cdp", "wdp", "gc", "sa"}) {
+    fl::DefenseBundle bundle = make_baseline_bundle(name, cfg);
+    EXPECT_EQ(bundle.name, name);
+    auto client = bundle.make_client(0);
+    auto server = bundle.make_server();
+    ASSERT_NE(client, nullptr);
+    ASSERT_NE(server, nullptr);
+  }
+}
+
+TEST(DefenseCatalogTest, UnknownNameThrows) {
+  EXPECT_THROW(make_baseline_bundle("quantum", BaselineDefenseConfig{}), Error);
+}
+
+TEST(DefenseCatalogTest, BundleDefensesCarryExpectedNames) {
+  BaselineDefenseConfig cfg;
+  EXPECT_EQ(make_baseline_bundle("ldp", cfg).make_client(0)->name(), "ldp");
+  EXPECT_EQ(make_baseline_bundle("cdp", cfg).make_server()->name(), "cdp");
+  EXPECT_EQ(make_baseline_bundle("sa", cfg).make_client(1)->name(), "sa");
+  EXPECT_EQ(make_baseline_bundle("gc", cfg).make_client(0)->name(), "gc");
+}
+
+}  // namespace
+}  // namespace dinar::privacy

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/tensor.h"
+#include "tensor/tensor_serde.h"
+#include "util/error.h"
+
+namespace dinar {
+namespace {
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.rank(), 2u);
+  for (float v : t.values()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(TensorTest, ConstructFromValues) {
+  Tensor t({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+  EXPECT_EQ(t.at(3), 4.0f);
+}
+
+TEST(TensorTest, ValueCountMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, {1.0f, 2.0f}), Error);
+}
+
+TEST(TensorTest, NegativeDimensionThrows) {
+  EXPECT_THROW(Tensor({-1, 4}), Error);
+}
+
+TEST(TensorTest, CopyIsDeep) {
+  Tensor a({2}, {1, 2});
+  Tensor b = a;
+  b.at(0) = 99.0f;
+  EXPECT_EQ(a.at(0), 1.0f);
+}
+
+TEST(TensorTest, MoveLeavesSourceEmpty) {
+  Tensor a({2}, {1, 2});
+  Tensor b = std::move(a);
+  EXPECT_EQ(b.numel(), 2);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): asserting post-move state
+}
+
+TEST(TensorTest, FillAndZero) {
+  Tensor t({3});
+  t.fill(2.5f);
+  for (float v : t.values()) EXPECT_EQ(v, 2.5f);
+  t.zero();
+  for (float v : t.values()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(TensorTest, ElementwiseArithmetic) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {10, 20, 30});
+  a += b;
+  EXPECT_EQ(a.at(2), 33.0f);
+  a -= b;
+  EXPECT_EQ(a.at(2), 3.0f);
+  a *= 2.0f;
+  EXPECT_EQ(a.at(0), 2.0f);
+}
+
+TEST(TensorTest, ShapeMismatchThrows) {
+  Tensor a({3}), b({4});
+  EXPECT_THROW(a += b, Error);
+  EXPECT_THROW(a -= b, Error);
+  EXPECT_THROW(a.add_scaled(b, 1.0f), Error);
+}
+
+TEST(TensorTest, AddScaled) {
+  Tensor a({2}, {1, 1});
+  Tensor b({2}, {2, 4});
+  a.add_scaled(b, 0.5f);
+  EXPECT_EQ(a.at(0), 2.0f);
+  EXPECT_EQ(a.at(1), 3.0f);
+}
+
+TEST(TensorTest, AddProduct) {
+  Tensor a({2}, {0, 0});
+  Tensor x({2}, {2, 3});
+  Tensor y({2}, {4, 5});
+  a.add_product(x, y);
+  EXPECT_EQ(a.at(0), 8.0f);
+  EXPECT_EQ(a.at(1), 15.0f);
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor t({4}, {1, -2, 3, -4});
+  EXPECT_DOUBLE_EQ(t.sum(), -2.0);
+  EXPECT_DOUBLE_EQ(t.squared_l2_norm(), 30.0);
+  EXPECT_DOUBLE_EQ(t.l2_norm(), std::sqrt(30.0));
+  EXPECT_EQ(t.max_abs(), 4.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.at(2, 1), 6.0f);
+  EXPECT_THROW(t.reshaped({4, 2}), Error);
+}
+
+TEST(TensorTest, FreeFunctions) {
+  Tensor a({2}, {1, 2}), b({2}, {3, 4});
+  EXPECT_EQ(add(a, b).at(1), 6.0f);
+  EXPECT_EQ(sub(b, a).at(0), 2.0f);
+  EXPECT_EQ(scale(a, 3.0f).at(1), 6.0f);
+}
+
+TEST(TensorTest, RandomInitializersRespectBounds) {
+  Rng rng(5);
+  Tensor u = Tensor::uniform({1000}, rng, -0.5f, 0.5f);
+  for (float v : u.values()) {
+    EXPECT_GE(v, -0.5f);
+    EXPECT_LT(v, 0.5f);
+  }
+  Tensor k = Tensor::kaiming({1000}, 16, rng);
+  const float bound = std::sqrt(1.0f / 16.0f);
+  for (float v : k.values()) {
+    EXPECT_GE(v, -bound);
+    EXPECT_LE(v, bound);
+  }
+}
+
+TEST(TensorTest, GaussianInitializerMoments) {
+  Rng rng(5);
+  Tensor g = Tensor::gaussian({20000}, rng, 2.0f);
+  double sum = 0.0, sq = 0.0;
+  for (float v : g.values()) {
+    sum += v;
+    sq += static_cast<double>(v) * v;
+  }
+  const double mean = sum / 20000.0;
+  EXPECT_NEAR(mean, 0.0, 0.1);
+  EXPECT_NEAR(std::sqrt(sq / 20000.0 - mean * mean), 2.0, 0.1);
+}
+
+TEST(MatmulTest, HandComputed) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = matmul(a, b);
+  EXPECT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(MatmulTest, InnerDimensionMismatchThrows) {
+  Tensor a({2, 3}), b({2, 2});
+  EXPECT_THROW(matmul(a, b), Error);
+}
+
+// Property sweep: matmul_tn(a, b) == matmul(a^T, b) and
+// matmul_nt(a, b) == matmul(a, b^T) over random shapes.
+class MatmulVariantTest : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+Tensor transpose2d(const Tensor& t) {
+  Tensor out({t.dim(1), t.dim(0)});
+  for (std::int64_t i = 0; i < t.dim(0); ++i)
+    for (std::int64_t j = 0; j < t.dim(1); ++j) out.at(j, i) = t.at(i, j);
+  return out;
+}
+
+TEST_P(MatmulVariantTest, TnMatchesExplicitTranspose) {
+  auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 100 + k * 10 + n));
+  Tensor a = Tensor::gaussian({k, m}, rng);
+  Tensor b = Tensor::gaussian({k, n}, rng);
+  Tensor got = matmul_tn(a, b);
+  Tensor want = matmul(transpose2d(a), b);
+  ASSERT_TRUE(got.same_shape(want));
+  for (std::int64_t i = 0; i < got.numel(); ++i)
+    EXPECT_NEAR(got.at(i), want.at(i), 1e-4);
+}
+
+TEST_P(MatmulVariantTest, NtMatchesExplicitTranspose) {
+  auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 100 + k * 10 + n) + 1);
+  Tensor a = Tensor::gaussian({m, k}, rng);
+  Tensor b = Tensor::gaussian({n, k}, rng);
+  Tensor got = matmul_nt(a, b);
+  Tensor want = matmul(a, transpose2d(b));
+  ASSERT_TRUE(got.same_shape(want));
+  for (std::int64_t i = 0; i < got.numel(); ++i)
+    EXPECT_NEAR(got.at(i), want.at(i), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatmulVariantTest,
+                         ::testing::Values(std::make_tuple(1, 1, 1),
+                                           std::make_tuple(2, 3, 4),
+                                           std::make_tuple(5, 1, 7),
+                                           std::make_tuple(8, 8, 8),
+                                           std::make_tuple(3, 17, 2)));
+
+// Serde round-trips over a sweep of shapes.
+class TensorSerdeTest : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(TensorSerdeTest, RoundTripPreservesEverything) {
+  Rng rng(77);
+  Tensor t = Tensor::gaussian(GetParam(), rng);
+  BinaryWriter w;
+  write_tensor(w, t);
+  BinaryReader r(w.buffer());
+  Tensor back = read_tensor(r);
+  ASSERT_EQ(back.shape(), t.shape());
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(back.at(i), t.at(i));
+  EXPECT_TRUE(r.exhausted());
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TensorSerdeTest,
+                         ::testing::Values(Shape{1}, Shape{16}, Shape{3, 4},
+                                           Shape{2, 3, 5}, Shape{2, 1, 4, 4},
+                                           Shape{0}));
+
+TEST(ShapeTest, NumelAndToString) {
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24);
+  EXPECT_EQ(shape_numel({}), 1);
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+}
+
+}  // namespace
+}  // namespace dinar

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Appends the measured bench tables to EXPERIMENTS.md.
+
+Reads bench_output.txt (produced by running every binary in build/bench/),
+strips the runtime [info] log lines, and appends each experiment's printed
+table verbatim under a fenced code block, in paper-artifact order.
+"""
+import re
+import sys
+
+ORDER = [
+    ("bench_fig1_layer_divergence", "Figure 1 — per-layer divergence"),
+    ("bench_fig3_loss_distributions", "Figure 3 — loss distributions"),
+    ("bench_fig4_single_layer_protection", "Figure 4 — single-layer protection"),
+    ("bench_fig5_multi_layer", "Figure 5 — multi-layer obfuscation"),
+    ("bench_fig6_privacy_grid", "Figure 6 — privacy grid"),
+    ("bench_table3_overheads", "Table 3 — overheads"),
+    ("bench_fig7_tradeoff", "Figure 7 — privacy/utility trade-off"),
+    ("bench_fig8_noniid", "Figure 8 — non-IID settings"),
+    ("bench_fig9_clients", "Figure 9 — number of clients"),
+    ("bench_fig10_dp_budget", "Figure 10 — DP budgets"),
+    ("bench_fig11_ablation", "Figure 11 — optimizer ablation"),
+    ("bench_ablation_obfuscation", "Extra ablation — obfuscation strategy"),
+    ("bench_micro_substrate", "Microbenchmarks (engineering)"),
+]
+
+
+def main(bench_path: str, out_path: str) -> None:
+    text = open(bench_path).read()
+    sections = {}
+    for match in re.finditer(
+        r"### RUNNING \S*/(bench_\w+)\n(.*?)### DONE", text, re.S
+    ):
+        name, body = match.group(1), match.group(2)
+        lines = [l for l in body.splitlines() if not l.startswith("[info]")]
+        sections[name] = "\n".join(lines).strip()
+
+    with open(out_path, "a") as out:
+        for name, title in ORDER:
+            if name not in sections:
+                continue
+            out.write(f"\n### {title}\n\n```\n{sections[name]}\n```\n")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt",
+         sys.argv[2] if len(sys.argv) > 2 else "EXPERIMENTS.md")
