@@ -18,6 +18,11 @@ FlClient::FlClient(int id, data::Dataset train_data, nn::Model model,
 }
 
 void FlClient::receive_global(const GlobalModelMsg& msg) {
+  // A delayed or replayed broadcast from an earlier round must not roll the
+  // client back; re-delivery of the current round (protocol retries) is fine.
+  DINAR_CHECK(msg.round >= round_, "client " << id_ << ": stale global model for round "
+                                             << msg.round << ", already at round "
+                                             << round_);
   round_ = msg.round;
   ScopedTimer timing(defense_timer_);
   defense_->on_download(model_, msg.params);

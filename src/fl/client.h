@@ -26,6 +26,8 @@ class FlClient {
            std::unique_ptr<ClientDefense> defense, TrainConfig train_config, Rng rng);
 
   int id() const { return id_; }
+  // Round of the most recently installed global model.
+  std::int64_t round() const { return round_; }
   std::int64_t num_samples() const { return train_data_.size(); }
   const data::Dataset& train_data() const { return train_data_; }
   // The personalized model the client would use for predictions.

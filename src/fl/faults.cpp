@@ -1,0 +1,94 @@
+#include "fl/faults.h"
+
+#include "util/error.h"
+
+namespace dinar::fl {
+
+bool FaultConfig::any() const {
+  return drop_up > 0.0 || drop_down > 0.0 || duplicate_up > 0.0 ||
+         duplicate_down > 0.0 || corrupt_up > 0.0 || corrupt_down > 0.0 ||
+         delay_prob > 0.0 || !crash_at_round.empty() || !straggler_factor.empty();
+}
+
+namespace {
+
+void check_probability(double p, const char* name) {
+  DINAR_CHECK(p >= 0.0 && p <= 1.0, "fault probability " << name << " = " << p
+                                                         << " outside [0, 1]");
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultConfig config)
+    : config_(std::move(config)), base_rng_(config_.seed), rng_(config_.seed) {
+  check_probability(config_.drop_up, "drop_up");
+  check_probability(config_.drop_down, "drop_down");
+  check_probability(config_.duplicate_up, "duplicate_up");
+  check_probability(config_.duplicate_down, "duplicate_down");
+  check_probability(config_.corrupt_up, "corrupt_up");
+  check_probability(config_.corrupt_down, "corrupt_down");
+  check_probability(config_.delay_prob, "delay_prob");
+  DINAR_CHECK(config_.delay_max_seconds >= 0.0, "negative delay_max_seconds");
+  for (const auto& [client, factor] : config_.straggler_factor)
+    DINAR_CHECK(factor >= 1.0, "straggler factor for client " << client
+                                                              << " must be >= 1");
+  begin_round(0);
+}
+
+void FaultInjector::begin_round(std::int64_t round) {
+  round_ = round;
+  rng_ = base_rng_.fork(0xF417ULL + static_cast<std::uint64_t>(round));
+}
+
+bool FaultInjector::is_crashed(int client_id) const {
+  const auto it = config_.crash_at_round.find(client_id);
+  return it != config_.crash_at_round.end() && round_ >= it->second;
+}
+
+double FaultInjector::straggler_factor(int client_id) const {
+  const auto it = config_.straggler_factor.find(client_id);
+  return it == config_.straggler_factor.end() ? 1.0 : it->second;
+}
+
+FaultedDelivery FaultInjector::apply(LinkDir dir, std::vector<std::uint8_t> payload) {
+  const bool up = dir == LinkDir::kUp;
+  FaultedDelivery delivery;
+
+  if (rng_.bernoulli(up ? config_.drop_up : config_.drop_down)) {
+    ++(up ? stats_.drops_up : stats_.drops_down);
+    return delivery;
+  }
+
+  delivery.copies.push_back(std::move(payload));
+  if (rng_.bernoulli(up ? config_.duplicate_up : config_.duplicate_down)) {
+    ++(up ? stats_.duplicates_up : stats_.duplicates_down);
+    delivery.copies.push_back(delivery.copies.front());
+  }
+
+  const double p_corrupt = up ? config_.corrupt_up : config_.corrupt_down;
+  for (std::vector<std::uint8_t>& copy : delivery.copies) {
+    if (!copy.empty() && rng_.bernoulli(p_corrupt)) {
+      ++(up ? stats_.corruptions_up : stats_.corruptions_down);
+      corrupt_bytes(copy);
+    }
+  }
+
+  if (rng_.bernoulli(config_.delay_prob)) {
+    ++stats_.delays_injected;
+    delivery.extra_delay_seconds = rng_.uniform(0.0, config_.delay_max_seconds);
+    stats_.injected_delay_seconds += delivery.extra_delay_seconds;
+  }
+  return delivery;
+}
+
+void FaultInjector::corrupt_bytes(std::vector<std::uint8_t>& payload) {
+  // Flip 1-4 bytes at random positions; the xor mask is drawn from
+  // [1, 255] so every flip genuinely changes the byte.
+  const std::uint64_t flips = 1 + rng_.uniform_index(4);
+  for (std::uint64_t f = 0; f < flips; ++f) {
+    const std::size_t pos = static_cast<std::size_t>(rng_.uniform_index(payload.size()));
+    payload[pos] ^= static_cast<std::uint8_t>(1 + rng_.uniform_index(255));
+  }
+}
+
+}  // namespace dinar::fl

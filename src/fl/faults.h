@@ -1,0 +1,102 @@
+// Fault injection for the FL transport.
+//
+// Real middleware deployments see client crashes, dropped / duplicated /
+// corrupted messages, and stragglers; the paper's round protocol (§2.1)
+// assumes none of these. FaultInjector sits between a payload and its
+// delivery: seeded, per-direction probabilities decide each message's fate
+// (drop, duplicate, byte corruption, extra delay), per-client schedules
+// model permanent crashes and straggler slowdowns, and every injected
+// fault is counted in FaultStats so experiments can report exactly what
+// the round protocol survived.
+//
+// Determinism: the fault stream is re-seeded per round from (seed, round),
+// so a checkpoint-resumed simulation replays the identical fault schedule
+// for the rounds it re-runs — independent of how many random draws
+// happened before the crash.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dinar::fl {
+
+enum class LinkDir { kUp, kDown };  // up = client -> server
+
+struct FaultConfig {
+  // Per-message fault probabilities in [0, 1], independent per direction.
+  double drop_up = 0.0;
+  double drop_down = 0.0;
+  double duplicate_up = 0.0;
+  double duplicate_down = 0.0;
+  double corrupt_up = 0.0;
+  double corrupt_down = 0.0;
+  // With probability delay_prob a delivered message gains U(0, delay_max)
+  // seconds of simulated one-way delay.
+  double delay_prob = 0.0;
+  double delay_max_seconds = 0.0;
+  // client id -> first round at which the client is permanently down.
+  std::map<int, std::int64_t> crash_at_round;
+  // client id -> multiplier (> 1) on that client's simulated link latency.
+  std::map<int, double> straggler_factor;
+  std::uint64_t seed = 0xFA017;
+
+  // True if any fault can ever fire under this configuration.
+  bool any() const;
+};
+
+struct FaultStats {
+  std::uint64_t drops_up = 0;
+  std::uint64_t drops_down = 0;
+  std::uint64_t duplicates_up = 0;
+  std::uint64_t duplicates_down = 0;
+  std::uint64_t corruptions_up = 0;
+  std::uint64_t corruptions_down = 0;
+  std::uint64_t crashed_contacts = 0;  // messages suppressed by a crash
+  std::uint64_t delays_injected = 0;
+  double injected_delay_seconds = 0.0;
+};
+
+// One message's fate after injection: zero copies = dropped, two = the
+// original plus a duplicate; each copy may have corrupted bytes.
+struct FaultedDelivery {
+  std::vector<std::vector<std::uint8_t>> copies;
+  double extra_delay_seconds = 0.0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig config);
+
+  // Forks the per-round random stream; must be called at every round start.
+  void begin_round(std::int64_t round);
+  std::int64_t round() const { return round_; }
+
+  // True if the client's crash schedule says it is down this round.
+  bool is_crashed(int client_id) const;
+  // Book-keeping for a contact the simulation suppressed due to a crash.
+  void record_crashed_contact() { ++stats_.crashed_contacts; }
+
+  // Latency multiplier for this client's messages (1.0 = no slowdown).
+  double straggler_factor(int client_id) const;
+
+  // Applies drop / duplicate / corrupt / delay to one outgoing message.
+  FaultedDelivery apply(LinkDir dir, std::vector<std::uint8_t> payload);
+
+  const FaultConfig& config() const { return config_; }
+  const FaultStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = FaultStats{}; }
+
+ private:
+  void corrupt_bytes(std::vector<std::uint8_t>& payload);
+
+  FaultConfig config_;
+  Rng base_rng_;
+  Rng rng_;
+  std::int64_t round_ = 0;
+  FaultStats stats_;
+};
+
+}  // namespace dinar::fl

@@ -7,6 +7,24 @@ namespace dinar::fl {
 namespace {
 constexpr std::uint32_t kGlobalMsgMagic = 0x474D4F44;  // "GMOD"
 constexpr std::uint32_t kUpdateMsgMagic = 0x55504454;  // "UPDT"
+
+// Runs one field's decode; a failure is rethrown naming the message type
+// and the offending field, which the server's quarantine path records to
+// classify corrupt updates.
+template <typename Fn>
+auto read_field(const char* msg_type, const char* field, Fn&& fn) {
+  try {
+    return fn();
+  } catch (const Error& e) {
+    throw Error(std::string(msg_type) + ": bad field '" + field + "': " + e.what());
+  }
+}
+
+void check_exhausted(const char* msg_type, const BinaryReader& r) {
+  DINAR_CHECK(r.exhausted(), msg_type << ": " << r.remaining()
+                                      << " trailing bytes after field 'params'");
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> GlobalModelMsg::serialize() const {
@@ -19,11 +37,14 @@ std::vector<std::uint8_t> GlobalModelMsg::serialize() const {
 
 GlobalModelMsg GlobalModelMsg::deserialize(const std::vector<std::uint8_t>& bytes) {
   BinaryReader r(bytes);
-  DINAR_CHECK(r.read_u32() == kGlobalMsgMagic, "not a global-model message");
+  const std::uint32_t magic =
+      read_field("GlobalModelMsg", "magic", [&] { return r.read_u32(); });
+  DINAR_CHECK(magic == kGlobalMsgMagic, "not a global-model message");
   GlobalModelMsg msg;
-  msg.round = r.read_i64();
-  msg.params = nn::read_param_list(r);
-  DINAR_CHECK(r.exhausted(), "trailing bytes in global-model message");
+  msg.round = read_field("GlobalModelMsg", "round", [&] { return r.read_i64(); });
+  msg.params =
+      read_field("GlobalModelMsg", "params", [&] { return nn::read_param_list(r); });
+  check_exhausted("GlobalModelMsg", r);
   return msg;
 }
 
@@ -40,14 +61,20 @@ std::vector<std::uint8_t> ModelUpdateMsg::serialize() const {
 
 ModelUpdateMsg ModelUpdateMsg::deserialize(const std::vector<std::uint8_t>& bytes) {
   BinaryReader r(bytes);
-  DINAR_CHECK(r.read_u32() == kUpdateMsgMagic, "not a model-update message");
+  const std::uint32_t magic =
+      read_field("ModelUpdateMsg", "magic", [&] { return r.read_u32(); });
+  DINAR_CHECK(magic == kUpdateMsgMagic, "not a model-update message");
   ModelUpdateMsg msg;
-  msg.client_id = static_cast<std::int32_t>(r.read_u32());
-  msg.round = r.read_i64();
-  msg.num_samples = r.read_i64();
-  msg.pre_weighted = r.read_u8() != 0;
-  msg.params = nn::read_param_list(r);
-  DINAR_CHECK(r.exhausted(), "trailing bytes in model-update message");
+  msg.client_id = static_cast<std::int32_t>(
+      read_field("ModelUpdateMsg", "client_id", [&] { return r.read_u32(); }));
+  msg.round = read_field("ModelUpdateMsg", "round", [&] { return r.read_i64(); });
+  msg.num_samples =
+      read_field("ModelUpdateMsg", "num_samples", [&] { return r.read_i64(); });
+  msg.pre_weighted =
+      read_field("ModelUpdateMsg", "pre_weighted", [&] { return r.read_u8(); }) != 0;
+  msg.params =
+      read_field("ModelUpdateMsg", "params", [&] { return nn::read_param_list(r); });
+  check_exhausted("ModelUpdateMsg", r);
   return msg;
 }
 

@@ -1,8 +1,34 @@
 #include "fl/server.h"
 
+#include <cmath>
+#include <sstream>
+
 #include "util/error.h"
 
 namespace dinar::fl {
+namespace {
+
+// Returns the index of the first tensor containing a NaN/Inf entry, or -1.
+std::int64_t first_non_finite_tensor(const nn::ParamList& params) {
+  for (std::size_t i = 0; i < params.size(); ++i)
+    for (const float v : params[i].values())
+      if (!std::isfinite(v)) return static_cast<std::int64_t>(i);
+  return -1;
+}
+
+}  // namespace
+
+const char* to_string(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kWrongRound: return "wrong-round";
+    case RejectReason::kStructureMismatch: return "structure-mismatch";
+    case RejectReason::kNonFinite: return "non-finite";
+    case RejectReason::kNoSamples: return "no-samples";
+    case RejectReason::kMixedWeighting: return "mixed-weighting";
+    case RejectReason::kDuplicateClient: return "duplicate-client";
+  }
+  return "unknown";
+}
 
 FlServer::FlServer(nn::ParamList initial_params, std::unique_ptr<ServerDefense> defense)
     : global_(std::move(initial_params)), defense_(std::move(defense)) {
@@ -22,7 +48,6 @@ void FlServer::aggregate(const std::vector<ModelUpdateMsg>& updates) {
   ScopedTimer timing(agg_timer_);
 
   const bool pre_weighted = updates.front().pre_weighted;
-  double total_weight = 0.0;
   for (const ModelUpdateMsg& u : updates) {
     DINAR_CHECK(u.pre_weighted == pre_weighted,
                 "round mixes pre-weighted and raw updates");
@@ -30,8 +55,104 @@ void FlServer::aggregate(const std::vector<ModelUpdateMsg>& updates) {
                                                          << " has no samples");
     DINAR_CHECK(nn::param_list_same_shape(u.params, global_),
                 "update from client " << u.client_id << " has wrong structure");
-    total_weight += static_cast<double>(u.num_samples);
   }
+  apply_fedavg(updates);
+}
+
+UpdateVerdict FlServer::validate_update(const ModelUpdateMsg& update,
+                                        const std::unordered_set<int>& accepted_ids,
+                                        std::optional<bool> weighting) const {
+  const auto reject = [&](RejectReason reason, const std::string& detail) {
+    UpdateVerdict v;
+    v.accepted = false;
+    v.reason = reason;
+    v.detail = std::string(to_string(reason)) + ": " + detail;
+    return v;
+  };
+
+  if (update.round != round_) {
+    std::ostringstream os;
+    os << "client " << update.client_id << " sent round " << update.round
+       << ", server is at round " << round_;
+    return reject(RejectReason::kWrongRound, os.str());
+  }
+  if (accepted_ids.count(update.client_id) != 0) {
+    std::ostringstream os;
+    os << "client " << update.client_id << " already accepted this round";
+    return reject(RejectReason::kDuplicateClient, os.str());
+  }
+  if (!nn::param_list_same_shape(update.params, global_)) {
+    std::ostringstream os;
+    os << "client " << update.client_id << " sent " << update.params.size()
+       << " tensors, global model has " << global_.size()
+       << " (or a shape differs)";
+    return reject(RejectReason::kStructureMismatch, os.str());
+  }
+  if (const std::int64_t bad = first_non_finite_tensor(update.params); bad >= 0) {
+    std::ostringstream os;
+    os << "client " << update.client_id << " param tensor " << bad
+       << " contains NaN/Inf";
+    return reject(RejectReason::kNonFinite, os.str());
+  }
+  if (update.num_samples <= 0) {
+    std::ostringstream os;
+    os << "client " << update.client_id << " reports " << update.num_samples
+       << " samples";
+    return reject(RejectReason::kNoSamples, os.str());
+  }
+  if (weighting.has_value() && update.pre_weighted != *weighting) {
+    std::ostringstream os;
+    os << "client " << update.client_id << " sent a "
+       << (update.pre_weighted ? "pre-weighted" : "raw")
+       << " update into a " << (*weighting ? "pre-weighted" : "raw") << " round";
+    return reject(RejectReason::kMixedWeighting, os.str());
+  }
+  return UpdateVerdict{};
+}
+
+AggregateOutcome FlServer::try_aggregate(const std::vector<ModelUpdateMsg>& updates,
+                                         std::size_t min_valid) {
+  AggregateOutcome outcome;
+  std::vector<ModelUpdateMsg> valid;
+  std::unordered_set<int> accepted_ids;
+  std::optional<bool> weighting;
+  for (const ModelUpdateMsg& u : updates) {
+    const UpdateVerdict verdict = validate_update(u, accepted_ids, weighting);
+    if (verdict.accepted) {
+      accepted_ids.insert(u.client_id);
+      weighting = u.pre_weighted;
+      outcome.accepted.push_back(u.client_id);
+      valid.push_back(u);
+    } else {
+      outcome.quarantined.push_back({u.client_id, verdict.reason, verdict.detail});
+    }
+  }
+  if (valid.size() >= std::max<std::size_t>(1, min_valid)) {
+    aggregate_validated(valid);
+    outcome.aggregated = true;
+  }
+  return outcome;
+}
+
+void FlServer::aggregate_validated(const std::vector<ModelUpdateMsg>& updates) {
+  DINAR_CHECK(!updates.empty(), "aggregate_validated called with no updates");
+  ScopedTimer timing(agg_timer_);
+  apply_fedavg(updates);
+}
+
+void FlServer::restore(std::int64_t round, nn::ParamList params) {
+  DINAR_CHECK(round >= 0, "checkpoint carries negative round " << round);
+  DINAR_CHECK(nn::param_list_same_shape(params, global_),
+              "checkpoint parameters do not match the server's model structure");
+  global_ = std::move(params);
+  round_ = round;
+}
+
+void FlServer::apply_fedavg(const std::vector<ModelUpdateMsg>& updates) {
+  const bool pre_weighted = updates.front().pre_weighted;
+  double total_weight = 0.0;
+  for (const ModelUpdateMsg& u : updates)
+    total_weight += static_cast<double>(u.num_samples);
 
   nn::ParamList sum;
   sum.reserve(global_.size());

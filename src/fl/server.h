@@ -1,7 +1,22 @@
 // FL server: FedAvg aggregation with a pluggable server-side defense.
+//
+// Two aggregation paths:
+//  - aggregate(): the strict seed path — any malformed update throws and
+//    aborts the round (used by trusted in-process experiments);
+//  - validate_update() / try_aggregate() / carry_forward(): the hardened
+//    path behind the fault-tolerant round protocol. Every incoming update
+//    is checked (round match, structure match against the global model,
+//    NaN/Inf scan, positive sample count, consistent weighting convention,
+//    duplicate-client rejection) and invalid ones are quarantined with a
+//    reason instead of throwing; aggregation proceeds once a quorum of
+//    valid updates is available, and a round with no quorum carries the
+//    previous global model forward as a degraded-but-live round.
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "fl/defense.h"
@@ -9,6 +24,34 @@
 #include "util/timer.h"
 
 namespace dinar::fl {
+
+// Why the hardened path refused an update.
+enum class RejectReason {
+  kWrongRound,
+  kStructureMismatch,
+  kNonFinite,
+  kNoSamples,
+  kMixedWeighting,
+  kDuplicateClient,
+};
+const char* to_string(RejectReason reason);
+
+struct UpdateVerdict {
+  bool accepted = true;
+  RejectReason reason = RejectReason::kWrongRound;
+  std::string detail;  // human-readable, names the offending field/tensor
+};
+
+struct AggregateOutcome {
+  struct Rejection {
+    int client_id = 0;
+    RejectReason reason = RejectReason::kWrongRound;
+    std::string detail;
+  };
+  std::vector<int> accepted;
+  std::vector<Rejection> quarantined;
+  bool aggregated = false;  // quorum met; the global model advanced
+};
 
 class FlServer {
  public:
@@ -27,11 +70,39 @@ class FlServer {
   // conventions. Runs the server defense afterwards and advances the round.
   void aggregate(const std::vector<ModelUpdateMsg>& updates);
 
+  // -- hardened path -------------------------------------------------------
+  // Checks one update against the current round and global model.
+  // `accepted_ids` are clients already accepted this round (duplicate
+  // rejection); `weighting` is the convention locked in by the first
+  // accepted update (nullopt until then).
+  UpdateVerdict validate_update(const ModelUpdateMsg& update,
+                                const std::unordered_set<int>& accepted_ids,
+                                std::optional<bool> weighting) const;
+
+  // Validates every update, quarantining invalid ones; aggregates and
+  // advances the round iff at least max(1, min_valid) updates survive.
+  AggregateOutcome try_aggregate(const std::vector<ModelUpdateMsg>& updates,
+                                 std::size_t min_valid);
+
+  // Aggregates updates the caller has already validated (they must all
+  // pass validate_update against the current round). Advances the round.
+  void aggregate_validated(const std::vector<ModelUpdateMsg>& updates);
+
+  // Degraded round: the previous global model survives unchanged and the
+  // round counter advances, keeping the federation live.
+  void carry_forward() { ++round_; }
+
+  // Checkpoint resume: installs a saved global model and round counter.
+  void restore(std::int64_t round, nn::ParamList params);
+
   // Wall-clock spent inside aggregate() (Table 3's server-side metric).
   const CumulativeTimer& aggregation_timer() const { return agg_timer_; }
   ServerDefense& defense() { return *defense_; }
 
  private:
+  // Shared FedAvg core; assumes updates are structurally valid.
+  void apply_fedavg(const std::vector<ModelUpdateMsg>& updates);
+
   nn::ParamList global_;
   std::unique_ptr<ServerDefense> defense_;
   std::int64_t round_ = 0;

@@ -1,11 +1,22 @@
 #include "fl/simulation.h"
 
 #include <algorithm>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <optional>
+#include <unordered_set>
 
 #include "util/error.h"
 #include "util/logging.h"
 
 namespace dinar::fl {
+namespace {
+
+constexpr std::uint32_t kCheckpointMagic = 0x44434B50;  // "DCKP"
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+}  // namespace
 
 FederatedSimulation::FederatedSimulation(nn::ModelFactory model_factory,
                                          data::FlSplit split, SimulationConfig config,
@@ -14,6 +25,8 @@ FederatedSimulation::FederatedSimulation(nn::ModelFactory model_factory,
       config_(config), rng_(config.seed) {
   DINAR_CHECK(!split_.client_train.empty(), "split has no clients");
   DINAR_CHECK(config_.rounds > 0, "need at least one round");
+  DINAR_CHECK(config_.max_retries >= 0, "negative max_retries");
+  if (config_.faults.any()) transport_.enable_faults(config_.faults);
 
   // All participants start from the same initial model (standard FL).
   Rng init_rng = rng_.fork(0xC0FFEE);
@@ -31,10 +44,11 @@ FederatedSimulation::FederatedSimulation(nn::ModelFactory model_factory,
 }
 
 void FederatedSimulation::run() {
-  for (int r = 0; r < config_.rounds; ++r) {
+  while (server_->round() < config_.rounds) {
     run_round();
-    const bool last = (r == config_.rounds - 1);
-    if (last || (config_.eval_every > 0 && (r + 1) % config_.eval_every == 0)) {
+    const std::int64_t r = server_->round();
+    const bool last = r >= config_.rounds;
+    if (last || (config_.eval_every > 0 && r % config_.eval_every == 0)) {
       history_.push_back(evaluate_now());
       const RoundRecord& rec = history_.back();
       DINAR_INFO << "round " << rec.round << ": global acc "
@@ -44,41 +58,204 @@ void FederatedSimulation::run() {
   }
 }
 
-void FederatedSimulation::run_round() {
+std::vector<std::size_t> FederatedSimulation::select_participants(std::int64_t round) {
   // Client selection (paper §2.1): the server picks a fraction of the
-  // registered clients for this round.
+  // registered clients for this round. The stream is forked from
+  // (seed, round) rather than drawn sequentially, so a checkpoint-resumed
+  // run re-selects the identical participant sets.
   std::vector<std::size_t> participants;
   if (config_.client_fraction >= 1.0) {
     participants.resize(clients_.size());
     for (std::size_t i = 0; i < clients_.size(); ++i) participants[i] = i;
   } else {
+    Rng select_rng = rng_.fork(0x5E1EC7ULL + static_cast<std::uint64_t>(round));
     const std::size_t k = std::max<std::size_t>(
         1, static_cast<std::size_t>(config_.client_fraction *
                                     static_cast<double>(clients_.size())));
-    std::vector<std::size_t> order = rng_.permutation(clients_.size());
+    std::vector<std::size_t> order = select_rng.permutation(clients_.size());
     participants.assign(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k));
     std::sort(participants.begin(), participants.end());
   }
+  return participants;
+}
 
-  // Broadcast: one serialized payload per selected client.
-  const GlobalModelMsg broadcast = server_->broadcast();
-  const std::vector<std::uint8_t> bytes = broadcast.serialize();
+const RoundOutcome& FederatedSimulation::run_round() {
+  const std::int64_t round = server_->round();
+  FaultInjector* faults = transport_.faults();
+  if (faults != nullptr) faults->begin_round(round);
+
+  RoundOutcome out;
+  out.round = round;
+
+  const std::vector<std::size_t> participants = select_participants(round);
+  out.selected.reserve(participants.size());
+  for (std::size_t i : participants) out.selected.push_back(static_cast<int>(i));
+
+  // Crashed clients are unreachable for the whole round.
+  std::vector<std::size_t> pending;
   for (std::size_t i : participants) {
-    const std::vector<std::uint8_t> delivered = transport_.downlink(bytes);
-    clients_[i].receive_global(GlobalModelMsg::deserialize(delivered));
+    if (faults != nullptr && faults->is_crashed(static_cast<int>(i))) {
+      faults->record_crashed_contact();
+      out.crashed.push_back(static_cast<int>(i));
+    } else {
+      pending.push_back(i);
+    }
   }
 
-  // Local training + uplink.
-  std::vector<ModelUpdateMsg> updates;
-  updates.reserve(participants.size());
-  for (std::size_t i : participants) {
-    ModelUpdateMsg update = clients_[i].train_round();
-    const std::vector<std::uint8_t> delivered = transport_.uplink(update.serialize());
-    updates.push_back(ModelUpdateMsg::deserialize(delivered));
+  const std::size_t live = pending.size();
+  const std::size_t quorum =
+      config_.min_clients == 0 ? live : std::min(config_.min_clients, live);
+
+  const GlobalModelMsg broadcast_msg = server_->broadcast();
+  const std::vector<std::uint8_t> broadcast_bytes = broadcast_msg.serialize();
+
+  std::vector<ModelUpdateMsg> accepted;
+  std::unordered_set<int> accepted_ids;
+  std::optional<bool> weighting;
+  // Last failure mode per still-pending client: 'd' = no intact broadcast,
+  // 'u' = no upload copy arrived, 'q' = arrived but quarantined.
+  std::map<std::size_t, char> fail_mode;
+
+  const double round_start_clock = transport_.stats().simulated_latency_seconds;
+  const int max_attempts = 1 + config_.max_retries;
+  for (int attempt = 0; attempt < max_attempts && !pending.empty(); ++attempt) {
+    if (attempt > 0) {
+      out.retries_used = attempt;
+      transport_.add_latency(config_.retry_backoff_seconds * attempt);
+    }
+    std::vector<std::size_t> still_pending;
+    for (std::size_t i : pending) {
+      const int id = static_cast<int>(i);
+
+      // ---- downlink: the client needs one intact copy of the broadcast.
+      bool got_global = false;
+      for (const auto& copy : transport_.ship(LinkDir::kDown, id, broadcast_bytes)) {
+        try {
+          clients_[i].receive_global(
+              GlobalModelMsg::deserialize(Transport::open(copy)));
+          got_global = true;
+          break;  // further copies are duplicates of the same broadcast
+        } catch (const Error&) {
+          // Corrupted broadcast copy: the client discards it and waits for
+          // the next retry.
+        }
+      }
+      if (!got_global) {
+        fail_mode[i] = 'd';
+        still_pending.push_back(i);
+        continue;
+      }
+
+      // ---- local training + uplink.
+      ModelUpdateMsg update = clients_[i].train_round();
+      bool update_accepted = false;
+      bool any_arrived = false;
+      for (const auto& copy : transport_.ship(LinkDir::kUp, id, update.serialize())) {
+        ModelUpdateMsg parsed;
+        try {
+          parsed = ModelUpdateMsg::deserialize(Transport::open(copy));
+        } catch (const Error& e) {
+          any_arrived = true;
+          out.quarantined.push_back({id, std::string("corrupt: ") + e.what()});
+          continue;
+        }
+        any_arrived = true;
+        const UpdateVerdict verdict =
+            server_->validate_update(parsed, accepted_ids, weighting);
+        if (verdict.accepted) {
+          weighting = parsed.pre_weighted;
+          accepted_ids.insert(parsed.client_id);
+          accepted.push_back(std::move(parsed));
+          update_accepted = true;
+        } else {
+          out.quarantined.push_back({id, verdict.detail});
+        }
+      }
+      if (update_accepted) {
+        fail_mode.erase(i);
+      } else {
+        fail_mode[i] = any_arrived ? 'q' : 'u';
+        still_pending.push_back(i);
+      }
+    }
+    pending = std::move(still_pending);
+    if (accepted.size() >= quorum) break;
+    if (config_.round_deadline_seconds > 0.0 &&
+        transport_.stats().simulated_latency_seconds - round_start_clock >=
+            config_.round_deadline_seconds)
+      break;
   }
 
-  server_->aggregate(updates);
-  last_updates_ = std::move(updates);
+  for (std::size_t i : pending) {
+    const char mode = fail_mode.count(i) != 0 ? fail_mode[i] : 'u';
+    if (mode == 'd') out.missed_broadcast.push_back(static_cast<int>(i));
+    else if (mode == 'u') out.lost_update.push_back(static_cast<int>(i));
+    // 'q': already listed under quarantined.
+  }
+
+  out.accepted.reserve(accepted.size());
+  for (const ModelUpdateMsg& u : accepted) out.accepted.push_back(u.client_id);
+  out.quorum_met = !accepted.empty() && accepted.size() >= quorum;
+  if (out.quorum_met) {
+    server_->aggregate_validated(accepted);
+    last_updates_ = std::move(accepted);
+  } else {
+    // Degraded-but-live round: no quorum of valid updates arrived within
+    // the retry budget, so the previous global model survives unchanged.
+    server_->carry_forward();
+    out.carried_forward = true;
+    last_updates_.clear();
+    DINAR_INFO << "round " << round << " carried forward: " << accepted.size()
+               << "/" << quorum << " valid updates after " << out.retries_used
+               << " retries";
+  }
+  round_log_.push_back(std::move(out));
+  return round_log_.back();
+}
+
+void FederatedSimulation::save_checkpoint(BinaryWriter& w) const {
+  w.write_u32(kCheckpointMagic);
+  w.write_u32(kCheckpointVersion);
+  w.write_i64(server_->round());
+  nn::write_param_list(w, server_->global_params());
+}
+
+void FederatedSimulation::save_checkpoint(const std::string& path) const {
+  BinaryWriter w;
+  save_checkpoint(w);
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  DINAR_CHECK(f.good(), "cannot open checkpoint file " << path);
+  f.write(reinterpret_cast<const char*>(w.buffer().data()),
+          static_cast<std::streamsize>(w.size()));
+  DINAR_CHECK(f.good(), "failed writing checkpoint file " << path);
+}
+
+void FederatedSimulation::restore_checkpoint(BinaryReader& r) {
+  DINAR_CHECK(r.read_u32() == kCheckpointMagic, "not a simulation checkpoint");
+  const std::uint32_t version = r.read_u32();
+  DINAR_CHECK(version == kCheckpointVersion,
+              "unsupported checkpoint version " << version);
+  const std::int64_t round = r.read_i64();
+  nn::ParamList params = nn::read_param_list(r);
+  DINAR_CHECK(r.exhausted(), "trailing bytes in simulation checkpoint");
+  DINAR_CHECK(round <= config_.rounds, "checkpoint round " << round
+                                                           << " exceeds configured "
+                                                           << config_.rounds);
+  for (const FlClient& c : clients_)
+    DINAR_CHECK(c.round() <= round,
+                "client " << c.id() << " is already past checkpoint round " << round
+                          << "; restore into a freshly constructed simulation");
+  server_->restore(round, std::move(params));
+  last_updates_.clear();
+}
+
+void FederatedSimulation::restore_checkpoint(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  DINAR_CHECK(f.good(), "cannot open checkpoint file " << path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                                  std::istreambuf_iterator<char>());
+  BinaryReader r(bytes);
+  restore_checkpoint(r);
 }
 
 nn::Model FederatedSimulation::global_model() {

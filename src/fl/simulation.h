@@ -6,6 +6,19 @@
 // same client-side / server-side costs a deployment would (Table 3), and
 // the stored per-client uploads are exactly the attacker's server-side
 // view (used by the local-model MIA of Figure 6).
+//
+// Fault-tolerant round protocol: when SimulationConfig::faults injects
+// crashes / drops / corruption, each round retries the broadcast+upload
+// exchange (bounded by max_retries, with simulated backoff) for clients
+// whose update has not arrived, quarantines invalid or corrupted updates
+// instead of aborting, aggregates once `min_clients` valid updates are in,
+// and — if quorum never materializes — carries the previous global model
+// forward as a degraded-but-live round. Every round appends a RoundOutcome
+// describing who crashed, who dropped, who was quarantined and why, and
+// how many retries were spent. Checkpoint/resume persists the global model
+// and round counter; all per-round randomness (selection, faults) is
+// forked from (seed, round), so a resumed run replays the remaining rounds
+// deterministically.
 #pragma once
 
 #include <functional>
@@ -44,6 +57,22 @@ struct SimulationConfig {
   // Evaluate global/personalized accuracy every k rounds (0 = only at the
   // end); evaluation is pure measurement and never feeds back into training.
   int eval_every = 0;
+
+  // -- fault-tolerant round protocol --------------------------------------
+  // Injected transport/client faults; the all-zero default is fault-free.
+  FaultConfig faults;
+  // Quorum: aggregate once this many valid updates arrived (0 = every
+  // selected client must answer, the strict seed behavior).
+  std::size_t min_clients = 0;
+  // Re-broadcast attempts (beyond the first) for clients whose update has
+  // not been accepted; each retry adds `retry_backoff_seconds * attempt`
+  // of simulated time.
+  int max_retries = 2;
+  double retry_backoff_seconds = 0.0;
+  // Simulated per-round time budget; once the transport clock has advanced
+  // this far past the round start, no more retries are attempted (0 = no
+  // deadline).
+  double round_deadline_seconds = 0.0;
 };
 
 struct RoundRecord {
@@ -54,21 +83,58 @@ struct RoundRecord {
   double mean_client_train_accuracy = 0.0;
 };
 
+// Per-round event log of the fault-tolerant protocol: who was selected,
+// who never answered and why, what was quarantined, and whether the round
+// aggregated a quorum or carried the previous model forward.
+struct RoundOutcome {
+  std::int64_t round = 0;
+  std::vector<int> selected;
+  std::vector<int> crashed;           // selected but down all round
+  std::vector<int> missed_broadcast;  // no intact global model ever arrived
+  std::vector<int> lost_update;       // trained, but no upload copy arrived
+  struct Rejection {
+    int client_id = 0;
+    std::string reason;  // "corrupt: ..." or a server RejectReason detail
+  };
+  std::vector<Rejection> quarantined;
+  std::vector<int> accepted;  // clients whose update entered the aggregate
+  int retries_used = 0;
+  bool quorum_met = false;
+  bool carried_forward = false;  // degraded round: previous global kept
+};
+
 class FederatedSimulation {
  public:
   FederatedSimulation(nn::ModelFactory model_factory, data::FlSplit split,
                       SimulationConfig config, DefenseBundle defenses);
 
-  // Runs all configured rounds.
+  // Runs every remaining round (config.rounds minus any already completed,
+  // e.g. after restore_checkpoint()).
   void run();
-  // Runs a single round (exposed for tests and incremental experiments).
-  void run_round();
+  // Runs a single round (exposed for tests and incremental experiments);
+  // returns its event log entry.
+  const RoundOutcome& run_round();
+
+  // -- checkpoint / resume ------------------------------------------------
+  // Persists the global model + round counter (magic + version header).
+  void save_checkpoint(BinaryWriter& w) const;
+  void save_checkpoint(const std::string& path) const;
+  // Restores a checkpoint into a freshly constructed simulation of the
+  // same architecture; run() then completes the remaining rounds. The
+  // per-round fault/selection schedules replay identically, so any two
+  // restarts from the same checkpoint are bit-identical. Client-local
+  // state (optimizer accumulators, training RNG streams) is NOT part of
+  // the checkpoint and restarts fresh — a resumed run is reproducible,
+  // not byte-equal to the uninterrupted one.
+  void restore_checkpoint(BinaryReader& r);
+  void restore_checkpoint(const std::string& path);
 
   // -- results & attacker views ------------------------------------------
   FlServer& server() { return *server_; }
   std::vector<FlClient>& clients() { return clients_; }
   Transport& transport() { return transport_; }
   const std::vector<RoundRecord>& history() const { return history_; }
+  const std::vector<RoundOutcome>& round_log() const { return round_log_; }
   const data::Dataset& test_data() const { return split_.test; }
   const data::FlSplit& split() const { return split_; }
   const SimulationConfig& config() const { return config_; }
@@ -93,6 +159,8 @@ class FederatedSimulation {
   double server_aggregation_seconds() const;
 
  private:
+  std::vector<std::size_t> select_participants(std::int64_t round);
+
   nn::ModelFactory model_factory_;
   data::FlSplit split_;
   SimulationConfig config_;
@@ -101,6 +169,7 @@ class FederatedSimulation {
   std::vector<FlClient> clients_;
   std::vector<ModelUpdateMsg> last_updates_;
   std::vector<RoundRecord> history_;
+  std::vector<RoundOutcome> round_log_;
   Rng rng_;
 };
 

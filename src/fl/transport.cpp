@@ -1,6 +1,26 @@
 #include "fl/transport.h"
 
+#include <cstring>
+
+#include "util/error.h"
+
 namespace dinar::fl {
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0x4446524D;  // "DFRM"
+constexpr std::size_t kFrameHeaderBytes =
+    sizeof(std::uint32_t) + 2 * sizeof(std::uint64_t);
+
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
 
 std::vector<std::uint8_t> Transport::uplink(std::vector<std::uint8_t> payload) {
   account(payload.size(), /*up=*/true);
@@ -10,6 +30,78 @@ std::vector<std::uint8_t> Transport::uplink(std::vector<std::uint8_t> payload) {
 std::vector<std::uint8_t> Transport::downlink(std::vector<std::uint8_t> payload) {
   account(payload.size(), /*up=*/false);
   return payload;
+}
+
+void Transport::enable_faults(const FaultConfig& config) {
+  injector_ = std::make_unique<FaultInjector>(config);
+}
+
+std::vector<std::uint8_t> Transport::frame(const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> framed(kFrameHeaderBytes + payload.size());
+  const std::uint64_t length = payload.size();
+  const std::uint64_t checksum = fnv1a64(payload.data(), payload.size());
+  std::memcpy(framed.data(), &kFrameMagic, sizeof kFrameMagic);
+  std::memcpy(framed.data() + sizeof kFrameMagic, &length, sizeof length);
+  std::memcpy(framed.data() + sizeof kFrameMagic + sizeof length, &checksum,
+              sizeof checksum);
+  if (!payload.empty())
+    std::memcpy(framed.data() + kFrameHeaderBytes, payload.data(), payload.size());
+  return framed;
+}
+
+std::vector<std::uint8_t> Transport::open(const std::vector<std::uint8_t>& framed) {
+  DINAR_CHECK(framed.size() >= kFrameHeaderBytes,
+              "transport frame: " << framed.size() << " bytes is shorter than the "
+                                  << kFrameHeaderBytes << "-byte header");
+  std::uint32_t magic = 0;
+  std::uint64_t length = 0, checksum = 0;
+  std::memcpy(&magic, framed.data(), sizeof magic);
+  std::memcpy(&length, framed.data() + sizeof magic, sizeof length);
+  std::memcpy(&checksum, framed.data() + sizeof magic + sizeof length,
+              sizeof checksum);
+  DINAR_CHECK(magic == kFrameMagic, "transport frame: bad magic");
+  DINAR_CHECK(length == framed.size() - kFrameHeaderBytes,
+              "transport frame: length field " << length << " does not match "
+                                               << framed.size() - kFrameHeaderBytes
+                                               << " payload bytes");
+  const std::uint8_t* payload = framed.data() + kFrameHeaderBytes;
+  DINAR_CHECK(fnv1a64(payload, length) == checksum,
+              "transport frame: checksum mismatch (payload corrupted in flight)");
+  return std::vector<std::uint8_t>(payload, payload + length);
+}
+
+std::vector<std::vector<std::uint8_t>> Transport::ship(
+    LinkDir dir, int client_id, const std::vector<std::uint8_t>& payload) {
+  const bool up = dir == LinkDir::kUp;
+  const std::size_t payload_bytes = payload.size();
+
+  std::vector<std::vector<std::uint8_t>> copies;
+  double latency_factor = 1.0;
+  if (injector_ != nullptr) {
+    FaultedDelivery delivery = injector_->apply(dir, frame(payload));
+    copies = std::move(delivery.copies);
+    stats_.simulated_latency_seconds += delivery.extra_delay_seconds;
+    latency_factor = injector_->straggler_factor(client_id);
+  } else {
+    copies.push_back(frame(payload));
+  }
+
+  for (const std::vector<std::uint8_t>& copy : copies) {
+    if (up) {
+      ++stats_.messages_up;
+      stats_.bytes_up += payload_bytes;
+      stats_.frame_bytes_up += copy.size() - payload_bytes;
+    } else {
+      ++stats_.messages_down;
+      stats_.bytes_down += payload_bytes;
+      stats_.frame_bytes_down += copy.size() - payload_bytes;
+    }
+    if (bandwidth_ > 0.0)
+      stats_.simulated_latency_seconds +=
+          latency_factor *
+          (per_message_ + static_cast<double>(copy.size()) / bandwidth_);
+  }
+  return copies;
 }
 
 void Transport::account(std::size_t bytes, bool up) {

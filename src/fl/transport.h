@@ -5,18 +5,31 @@
 // (b) nothing can leak between endpoints except through bytes — the same
 // isolation a socket would give. A pluggable per-byte latency model lets
 // cost experiments include simulated network time.
+//
+// The fault-tolerant round protocol uses the framed path: ship() wraps the
+// payload in a checksummed frame (magic + length + FNV-1a 64), routes it
+// through an optional FaultInjector (drop / duplicate / corrupt / delay /
+// straggler slowdown), and open() verifies the frame on receive — so any
+// in-flight corruption is detected instead of silently aggregated.
+// bytes_up/bytes_down keep counting pure payload bytes (the quantity the
+// cost experiments report); frame overhead is accounted separately.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
+
+#include "fl/faults.h"
 
 namespace dinar::fl {
 
 struct TransportStats {
-  std::uint64_t messages_up = 0;      // client -> server
+  std::uint64_t messages_up = 0;      // client -> server (delivered copies)
   std::uint64_t messages_down = 0;    // server -> client
-  std::uint64_t bytes_up = 0;
+  std::uint64_t bytes_up = 0;         // payload bytes, excluding frames
   std::uint64_t bytes_down = 0;
+  std::uint64_t frame_bytes_up = 0;   // checksum-frame overhead
+  std::uint64_t frame_bytes_down = 0;
   double simulated_latency_seconds = 0.0;
 };
 
@@ -28,9 +41,32 @@ class Transport {
       : bandwidth_(bandwidth_bytes_per_sec), per_message_(per_message_latency_seconds) {}
 
   // Ships a payload client -> server; returns the delivered bytes.
+  // Fault-free, unframed legacy path (kept for byte-exact cost accounting).
   std::vector<std::uint8_t> uplink(std::vector<std::uint8_t> payload);
   // Ships a payload server -> client.
   std::vector<std::uint8_t> downlink(std::vector<std::uint8_t> payload);
+
+  // -- fault-tolerant framed path ----------------------------------------
+  // Attaches a fault injector; subsequent ship() calls suffer its faults.
+  void enable_faults(const FaultConfig& config);
+  // The attached injector, or nullptr when running fault-free.
+  FaultInjector* faults() { return injector_.get(); }
+  const FaultInjector* faults() const { return injector_.get(); }
+
+  // Frames the payload, applies faults (if enabled), and accounts every
+  // delivered copy. Returns the framed copies that arrived (possibly none
+  // — dropped — or two — duplicated).
+  std::vector<std::vector<std::uint8_t>> ship(LinkDir dir, int client_id,
+                                              const std::vector<std::uint8_t>& payload);
+
+  // Wraps a payload in [magic | u64 length | u64 FNV-1a checksum | bytes].
+  static std::vector<std::uint8_t> frame(const std::vector<std::uint8_t>& payload);
+  // Verifies and strips a frame; throws dinar::Error on a bad magic,
+  // length, or checksum (the message was corrupted in flight).
+  static std::vector<std::uint8_t> open(const std::vector<std::uint8_t>& framed);
+
+  // Adds simulated wall-clock (retry backoff, deadline waits).
+  void add_latency(double seconds) { stats_.simulated_latency_seconds += seconds; }
 
   const TransportStats& stats() const { return stats_; }
   void reset_stats() { stats_ = TransportStats{}; }
@@ -41,6 +77,7 @@ class Transport {
   double bandwidth_;
   double per_message_;
   TransportStats stats_;
+  std::unique_ptr<FaultInjector> injector_;
 };
 
 }  // namespace dinar::fl

@@ -52,7 +52,9 @@ void write_param_list(BinaryWriter& w, const ParamList& params) {
 }
 
 ParamList read_param_list(BinaryReader& r) {
-  const std::uint64_t n = r.read_u64();
+  // Each tensor record is at least 8 bytes (its rank prefix), so bounding
+  // the count by remaining/8 rejects corrupted prefixes before reserve().
+  const std::uint64_t n = r.read_length(8);
   ParamList out;
   out.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) out.push_back(read_tensor(r));

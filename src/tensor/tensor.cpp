@@ -1,6 +1,7 @@
 #include "tensor/tensor.h"
 
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <sstream>
 
@@ -24,6 +25,10 @@ std::int64_t shape_numel(const Shape& shape) {
   std::int64_t n = 1;
   for (std::int64_t d : shape) {
     DINAR_CHECK(d >= 0, "negative dimension in shape " << shape_to_string(shape));
+    // Deserialized shapes are attacker-controlled; a checked multiply keeps
+    // a corrupted shape from tripping signed-overflow UB.
+    DINAR_CHECK(d == 0 || n <= std::numeric_limits<std::int64_t>::max() / d,
+                "shape " << shape_to_string(shape) << " overflows element count");
     n *= d;
   }
   return n;

@@ -49,6 +49,7 @@ class BinaryWriter {
 
  private:
   void append(const void* data, std::size_t n) {
+    if (n == 0) return;  // empty spans may come with a null pointer
     const auto* p = static_cast<const std::uint8_t*>(data);
     buf_.insert(buf_.end(), p, p + n);
   }
@@ -70,32 +71,42 @@ class BinaryReader {
   double read_f64() { return read_pod<double>(); }
 
   std::string read_string() {
-    const std::uint64_t n = read_u64();
-    require(n);
+    const std::uint64_t n = read_length(1);
     std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
     pos_ += n;
     return s;
   }
 
   void read_f32_span(std::vector<float>& out) {
-    const std::uint64_t n = read_u64();
-    require(n * sizeof(float));
+    const std::uint64_t n = read_length(sizeof(float));
     out.resize(n);
-    std::memcpy(out.data(), data_ + pos_, n * sizeof(float));
+    if (n != 0) std::memcpy(out.data(), data_ + pos_, n * sizeof(float));
     pos_ += n * sizeof(float);
   }
 
   std::vector<std::int64_t> read_i64_vector() {
-    const std::uint64_t n = read_u64();
-    require(n * sizeof(std::int64_t));
+    const std::uint64_t n = read_length(sizeof(std::int64_t));
     std::vector<std::int64_t> v(n);
-    std::memcpy(v.data(), data_ + pos_, n * sizeof(std::int64_t));
+    if (n != 0) std::memcpy(v.data(), data_ + pos_, n * sizeof(std::int64_t));
     pos_ += n * sizeof(std::int64_t);
     return v;
   }
 
   std::size_t remaining() const { return size_ - pos_; }
   bool exhausted() const { return pos_ == size_; }
+
+  // Reads a u64 element count and checks it against the remaining buffer
+  // *before* the caller allocates, so a corrupted length prefix throws
+  // dinar::Error instead of attempting a multi-GB resize. The division
+  // keeps `n * elem_size` from overflowing.
+  std::uint64_t read_length(std::uint64_t elem_size) {
+    const std::uint64_t n = read_u64();
+    DINAR_CHECK(n <= (size_ - pos_) / elem_size,
+                "serde length prefix " << n << " (" << elem_size
+                                       << "-byte elements) exceeds the "
+                                       << (size_ - pos_) << " remaining bytes");
+    return n;
+  }
 
  private:
   template <typename T>
@@ -107,8 +118,10 @@ class BinaryReader {
     return v;
   }
 
+  // Overflow-safe: `pos_ + n` is never formed, so an attacker-controlled n
+  // near 2^64 cannot wrap past the bounds check.
   void require(std::uint64_t n) {
-    DINAR_CHECK(pos_ + n <= size_,
+    DINAR_CHECK(n <= size_ - pos_,
                 "serde underrun: need " << n << " bytes, have " << (size_ - pos_));
   }
 

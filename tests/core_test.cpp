@@ -131,6 +131,45 @@ TEST(ConsensusTest, OutOfRangeProposalRejected) {
   EXPECT_THROW(run_layer_consensus({7}, {false}, 4, rng), Error);
 }
 
+// At exactly half Byzantine the honest majority disappears: Byzantine
+// voters send different random votes to different peers, so honest nodes
+// can tally different winners. The protocol must report the disagreement
+// (honest_agreement = false) rather than hide it; observing it flag at
+// least once over many seeds proves the detector is wired through.
+TEST(ConsensusTest, ExactlyHalfByzantineIsDetectedAsDisagreement) {
+  const std::vector<std::size_t> proposals{3, 3, 0, 0};
+  const std::vector<bool> byzantine{false, false, true, true};
+  int disagreements = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(seed);
+    ConsensusResult r = run_layer_consensus(proposals, byzantine, 4, rng);
+    if (!r.honest_agreement) ++disagreements;
+    // Node decisions are always reported for every voter, agreed or not.
+    EXPECT_EQ(r.node_decisions.size(), 4u);
+  }
+  EXPECT_GT(disagreements, 0);
+}
+
+TEST(ConsensusTest, SingleHonestNodeDecidesItsOwnProposal) {
+  Rng rng(10);
+  ConsensusResult r = run_layer_consensus({2}, {false}, 4, rng);
+  EXPECT_EQ(r.agreed_layer, 2u);
+  EXPECT_TRUE(r.honest_agreement);
+  EXPECT_EQ(r.node_decisions, std::vector<std::size_t>{2});
+}
+
+// The lowest-index tie-break must not depend on the RNG: an all-honest
+// tied vote decides identically under every seed.
+TEST(ConsensusTest, TieBreakIsSeedIndependent) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed);
+    ConsensusResult r =
+        run_layer_consensus({5, 5, 2, 2}, std::vector<bool>(4, false), 6, rng);
+    EXPECT_EQ(r.agreed_layer, 2u) << "seed " << seed;
+    EXPECT_TRUE(r.honest_agreement);
+  }
+}
+
 TEST(VotingNodeTest, HonestVoteIsProposal) {
   Rng rng(10);
   VotingNode node(0, 3);

@@ -1,0 +1,505 @@
+// Fault-injection framework + fault-tolerant round protocol tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "fl/simulation.h"
+#include "test_helpers.h"
+#include "util/error.h"
+
+namespace dinar::fl {
+namespace {
+
+using dinar::testing::make_easy_dataset;
+using dinar::testing::tiny_mlp_factory;
+
+data::FlSplit easy_split(int clients, std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  data::Dataset full = make_easy_dataset(n, rng);
+  data::FlSplitConfig cfg;
+  cfg.num_clients = clients;
+  return data::make_fl_split(full, cfg, rng);
+}
+
+// ---------------------------------------------------------- fault injector --
+
+TEST(FaultInjectorTest, NoFaultsDeliversOneIntactCopy) {
+  FaultInjector inj(FaultConfig{});
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4};
+  FaultedDelivery d = inj.apply(LinkDir::kUp, payload);
+  ASSERT_EQ(d.copies.size(), 1u);
+  EXPECT_EQ(d.copies[0], payload);
+  EXPECT_EQ(d.extra_delay_seconds, 0.0);
+}
+
+TEST(FaultInjectorTest, CertainDropDeliversNothing) {
+  FaultConfig cfg;
+  cfg.drop_up = 1.0;
+  FaultInjector inj(cfg);
+  EXPECT_TRUE(inj.apply(LinkDir::kUp, {1, 2, 3}).copies.empty());
+  // The downlink direction is independent.
+  EXPECT_EQ(inj.apply(LinkDir::kDown, {1, 2, 3}).copies.size(), 1u);
+  EXPECT_EQ(inj.stats().drops_up, 1u);
+  EXPECT_EQ(inj.stats().drops_down, 0u);
+}
+
+TEST(FaultInjectorTest, CertainDuplicationDeliversTwoCopies) {
+  FaultConfig cfg;
+  cfg.duplicate_down = 1.0;
+  FaultInjector inj(cfg);
+  const std::vector<std::uint8_t> payload{9, 9, 9};
+  FaultedDelivery d = inj.apply(LinkDir::kDown, payload);
+  ASSERT_EQ(d.copies.size(), 2u);
+  EXPECT_EQ(d.copies[0], payload);
+  EXPECT_EQ(d.copies[1], payload);
+  EXPECT_EQ(inj.stats().duplicates_down, 1u);
+}
+
+TEST(FaultInjectorTest, CertainCorruptionChangesBytes) {
+  FaultConfig cfg;
+  cfg.corrupt_up = 1.0;
+  FaultInjector inj(cfg);
+  const std::vector<std::uint8_t> payload(64, 0x55);
+  FaultedDelivery d = inj.apply(LinkDir::kUp, payload);
+  ASSERT_EQ(d.copies.size(), 1u);
+  EXPECT_NE(d.copies[0], payload);
+  EXPECT_EQ(d.copies[0].size(), payload.size());
+  EXPECT_EQ(inj.stats().corruptions_up, 1u);
+}
+
+TEST(FaultInjectorTest, CrashScheduleIsPermanentFromitsRound) {
+  FaultConfig cfg;
+  cfg.crash_at_round[3] = 2;
+  FaultInjector inj(cfg);
+  inj.begin_round(0);
+  EXPECT_FALSE(inj.is_crashed(3));
+  inj.begin_round(2);
+  EXPECT_TRUE(inj.is_crashed(3));
+  inj.begin_round(7);
+  EXPECT_TRUE(inj.is_crashed(3));
+  EXPECT_FALSE(inj.is_crashed(0));
+}
+
+TEST(FaultInjectorTest, PerRoundStreamIsDeterministic) {
+  FaultConfig cfg;
+  cfg.drop_up = 0.5;
+  cfg.corrupt_up = 0.3;
+  cfg.seed = 99;
+  FaultInjector a(cfg), b(cfg);
+  // b burns unrelated draws in round 1, then both replay round 2: the fate
+  // sequences must match because the stream is forked from (seed, round).
+  b.begin_round(1);
+  for (int i = 0; i < 17; ++i) b.apply(LinkDir::kUp, {1, 2, 3, 4});
+  a.begin_round(2);
+  b.begin_round(2);
+  for (int i = 0; i < 32; ++i) {
+    FaultedDelivery da = a.apply(LinkDir::kUp, {1, 2, 3, 4});
+    FaultedDelivery db = b.apply(LinkDir::kUp, {1, 2, 3, 4});
+    EXPECT_EQ(da.copies, db.copies);
+  }
+}
+
+TEST(FaultInjectorTest, RejectsBadProbabilities) {
+  FaultConfig cfg;
+  cfg.drop_up = 1.5;
+  EXPECT_THROW(FaultInjector{cfg}, Error);
+  FaultConfig slow;
+  slow.straggler_factor[0] = 0.5;  // a speedup is not a straggler
+  EXPECT_THROW(FaultInjector{slow}, Error);
+}
+
+// ------------------------------------------------------------ frame + ship --
+
+TEST(TransportFrameTest, RoundTripPreservesPayload) {
+  const std::vector<std::uint8_t> payload{0, 1, 2, 250, 251, 252};
+  EXPECT_EQ(Transport::open(Transport::frame(payload)), payload);
+  EXPECT_EQ(Transport::open(Transport::frame({})), std::vector<std::uint8_t>{});
+}
+
+TEST(TransportFrameTest, AnySingleByteFlipIsDetected) {
+  const std::vector<std::uint8_t> payload{7, 7, 7, 7, 7, 7, 7, 7};
+  const std::vector<std::uint8_t> framed = Transport::frame(payload);
+  for (std::size_t pos = 0; pos < framed.size(); ++pos) {
+    std::vector<std::uint8_t> bad = framed;
+    bad[pos] ^= 0xFF;
+    EXPECT_THROW(Transport::open(bad), Error) << "flip at byte " << pos;
+  }
+}
+
+TEST(TransportFrameTest, TruncatedFrameRejected) {
+  std::vector<std::uint8_t> framed = Transport::frame({1, 2, 3});
+  framed.resize(framed.size() - 1);
+  EXPECT_THROW(Transport::open(framed), Error);
+  framed.resize(4);
+  EXPECT_THROW(Transport::open(framed), Error);
+}
+
+TEST(TransportShipTest, FaultFreeShipDeliversOneOpenableCopy) {
+  Transport t;
+  const std::vector<std::uint8_t> payload(100, 0xAB);
+  auto copies = t.ship(LinkDir::kUp, 0, payload);
+  ASSERT_EQ(copies.size(), 1u);
+  EXPECT_EQ(Transport::open(copies[0]), payload);
+  // Payload and frame overhead are accounted separately.
+  EXPECT_EQ(t.stats().messages_up, 1u);
+  EXPECT_EQ(t.stats().bytes_up, 100u);
+  EXPECT_EQ(t.stats().frame_bytes_up, copies[0].size() - 100u);
+}
+
+TEST(TransportShipTest, DropsAndDuplicatesAreAccounted) {
+  Transport t;
+  FaultConfig cfg;
+  cfg.drop_up = 1.0;
+  cfg.duplicate_down = 1.0;
+  t.enable_faults(cfg);
+  EXPECT_TRUE(t.ship(LinkDir::kUp, 0, {1, 2, 3}).empty());
+  EXPECT_EQ(t.ship(LinkDir::kDown, 0, {1, 2, 3}).size(), 2u);
+  EXPECT_EQ(t.stats().messages_up, 0u);    // dropped copies never arrive
+  EXPECT_EQ(t.stats().messages_down, 2u);  // the duplicate is real traffic
+  EXPECT_EQ(t.faults()->stats().drops_up, 1u);
+  EXPECT_EQ(t.faults()->stats().duplicates_down, 1u);
+}
+
+TEST(TransportShipTest, StragglerFactorScalesSimulatedLatency) {
+  FaultConfig cfg;
+  cfg.straggler_factor[0] = 2.0;
+
+  Transport fast(/*bandwidth_bytes_per_sec=*/1000.0, /*per_message=*/0.01);
+  fast.enable_faults(cfg);
+  fast.ship(LinkDir::kUp, /*client_id=*/1, std::vector<std::uint8_t>(80, 0));
+  const double base = fast.stats().simulated_latency_seconds;
+  EXPECT_GT(base, 0.0);
+
+  Transport slow(1000.0, 0.01);
+  slow.enable_faults(cfg);
+  slow.ship(LinkDir::kUp, /*client_id=*/0, std::vector<std::uint8_t>(80, 0));
+  EXPECT_NEAR(slow.stats().simulated_latency_seconds, 2.0 * base, 1e-12);
+}
+
+// --------------------------------------------------------- server hardening --
+
+nn::ParamList unit_params(float value = 0.0f) {
+  nn::ParamList p;
+  p.push_back(Tensor({2}, {value, value}));
+  return p;
+}
+
+ModelUpdateMsg make_update(int client, float value, std::int64_t samples = 1) {
+  ModelUpdateMsg u;
+  u.client_id = client;
+  u.num_samples = samples;
+  u.params = unit_params(value);
+  return u;
+}
+
+TEST(ServerValidationTest, RejectsEachFaultClassWithNamedReason) {
+  FlServer server(unit_params(), std::make_unique<NoServerDefense>());
+  const std::unordered_set<int> none;
+
+  ModelUpdateMsg wrong_round = make_update(1, 1.0f);
+  wrong_round.round = 5;
+  UpdateVerdict v = server.validate_update(wrong_round, none, std::nullopt);
+  EXPECT_FALSE(v.accepted);
+  EXPECT_EQ(v.reason, RejectReason::kWrongRound);
+  EXPECT_NE(v.detail.find("round"), std::string::npos);
+
+  ModelUpdateMsg dup = make_update(3, 1.0f);
+  v = server.validate_update(dup, {3}, std::nullopt);
+  EXPECT_EQ(v.reason, RejectReason::kDuplicateClient);
+
+  ModelUpdateMsg bad_shape = make_update(1, 1.0f);
+  bad_shape.params[0] = Tensor({3});
+  v = server.validate_update(bad_shape, none, std::nullopt);
+  EXPECT_EQ(v.reason, RejectReason::kStructureMismatch);
+
+  ModelUpdateMsg nan_update = make_update(1, 1.0f);
+  nan_update.params[0].at(1) = std::numeric_limits<float>::quiet_NaN();
+  v = server.validate_update(nan_update, none, std::nullopt);
+  EXPECT_EQ(v.reason, RejectReason::kNonFinite);
+  EXPECT_NE(v.detail.find("tensor 0"), std::string::npos);
+
+  ModelUpdateMsg empty = make_update(1, 1.0f, /*samples=*/0);
+  v = server.validate_update(empty, none, std::nullopt);
+  EXPECT_EQ(v.reason, RejectReason::kNoSamples);
+
+  ModelUpdateMsg mixed = make_update(1, 1.0f);
+  mixed.pre_weighted = true;
+  v = server.validate_update(mixed, none, /*weighting=*/false);
+  EXPECT_EQ(v.reason, RejectReason::kMixedWeighting);
+
+  EXPECT_TRUE(server.validate_update(make_update(1, 1.0f), none, std::nullopt).accepted);
+}
+
+TEST(ServerValidationTest, TryAggregateQuarantinesAndAveragesTheRest) {
+  FlServer server(unit_params(), std::make_unique<NoServerDefense>());
+  ModelUpdateMsg nan_update = make_update(2, 1.0f);
+  nan_update.params[0].at(0) = std::numeric_limits<float>::infinity();
+  AggregateOutcome out = server.try_aggregate(
+      {make_update(0, 2.0f), nan_update, make_update(1, 4.0f)}, /*min_valid=*/2);
+  EXPECT_TRUE(out.aggregated);
+  EXPECT_EQ(out.accepted, (std::vector<int>{0, 1}));
+  ASSERT_EQ(out.quarantined.size(), 1u);
+  EXPECT_EQ(out.quarantined[0].client_id, 2);
+  EXPECT_EQ(out.quarantined[0].reason, RejectReason::kNonFinite);
+  EXPECT_EQ(server.round(), 1);
+  EXPECT_NEAR(server.global_params()[0].at(0), 3.0f, 1e-6);  // mean of 2 and 4
+}
+
+TEST(ServerValidationTest, BelowQuorumLeavesGlobalUntouched) {
+  FlServer server(unit_params(7.0f), std::make_unique<NoServerDefense>());
+  AggregateOutcome out =
+      server.try_aggregate({make_update(0, 1.0f)}, /*min_valid=*/2);
+  EXPECT_FALSE(out.aggregated);
+  EXPECT_EQ(server.round(), 0);
+  EXPECT_EQ(server.global_params()[0].at(0), 7.0f);
+}
+
+TEST(ServerValidationTest, CarryForwardAdvancesRoundOnly) {
+  FlServer server(unit_params(7.0f), std::make_unique<NoServerDefense>());
+  server.carry_forward();
+  EXPECT_EQ(server.round(), 1);
+  EXPECT_EQ(server.global_params()[0].at(0), 7.0f);
+}
+
+TEST(ServerValidationTest, RestoreInstallsCheckpointState) {
+  FlServer server(unit_params(), std::make_unique<NoServerDefense>());
+  server.restore(4, unit_params(3.0f));
+  EXPECT_EQ(server.round(), 4);
+  EXPECT_EQ(server.global_params()[0].at(0), 3.0f);
+  nn::ParamList wrong;
+  wrong.push_back(Tensor({5}));
+  EXPECT_THROW(server.restore(1, wrong), Error);
+  EXPECT_THROW(server.restore(-1, unit_params()), Error);
+}
+
+// ----------------------------------------------- fault-tolerant simulation --
+
+SimulationConfig faulty_config(int rounds) {
+  SimulationConfig cfg;
+  cfg.rounds = rounds;
+  cfg.train = TrainConfig{1, 32};
+  cfg.learning_rate = 0.05;
+  cfg.seed = 4242;
+  cfg.min_clients = 3;
+  cfg.max_retries = 3;
+  return cfg;
+}
+
+// Acceptance scenario: 10 clients, 30% drop, 5% corruption, one permanently
+// crashed client. All rounds must complete via quorum aggregation, every
+// corrupted update must be quarantined, and the final accuracy must stay
+// within 5 points of the zero-fault baseline under the same seed.
+TEST(FaultSimulationTest, SurvivesDropCorruptionAndCrash) {
+  const int kRounds = 6;
+  const int kCrashed = 7;
+
+  SimulationConfig faulty = faulty_config(kRounds);
+  faulty.faults.drop_up = 0.3;
+  faulty.faults.drop_down = 0.3;
+  faulty.faults.corrupt_up = 0.05;
+  faulty.faults.corrupt_down = 0.05;
+  faulty.faults.crash_at_round[kCrashed] = 0;
+  // Seed chosen so the short run actually draws uplink corruptions (the
+  // test asserts every one of them lands in quarantine).
+  faulty.faults.seed = 3;
+  FederatedSimulation sim(tiny_mlp_factory(2, 2), easy_split(10, 2000, 31), faulty,
+                          DefenseBundle{});
+  sim.run();
+
+  SimulationConfig clean = faulty_config(kRounds);
+  FederatedSimulation baseline(tiny_mlp_factory(2, 2), easy_split(10, 2000, 31),
+                               clean, DefenseBundle{});
+  baseline.run();
+
+  // Every configured round completed, each through quorum aggregation.
+  EXPECT_EQ(sim.server().round(), kRounds);
+  ASSERT_EQ(sim.round_log().size(), static_cast<std::size_t>(kRounds));
+  std::size_t quarantined_corrupt = 0;
+  for (const RoundOutcome& out : sim.round_log()) {
+    EXPECT_TRUE(out.quorum_met) << "round " << out.round;
+    EXPECT_FALSE(out.carried_forward);
+    EXPECT_GE(out.accepted.size(), faulty.min_clients);
+    // The crashed client is logged every round and never aggregated.
+    EXPECT_NE(std::find(out.crashed.begin(), out.crashed.end(), kCrashed),
+              out.crashed.end());
+    EXPECT_EQ(std::find(out.accepted.begin(), out.accepted.end(), kCrashed),
+              out.accepted.end());
+    for (const RoundOutcome::Rejection& rej : out.quarantined)
+      if (rej.reason.rfind("corrupt: ", 0) == 0) ++quarantined_corrupt;
+  }
+
+  // Every corrupted update that reached the server was quarantined: the
+  // injector's uplink-corruption count matches the quarantine log exactly.
+  const FaultStats& fstats = sim.transport().faults()->stats();
+  EXPECT_GT(fstats.corruptions_up, 0u);
+  EXPECT_GT(fstats.drops_up + fstats.drops_down, 0u);
+  EXPECT_EQ(quarantined_corrupt, fstats.corruptions_up);
+
+  // Degraded-but-live training: within 5 accuracy points of the zero-fault
+  // baseline under the same seed.
+  ASSERT_FALSE(sim.history().empty());
+  const double faulty_acc = sim.history().back().global_test_accuracy;
+  const double clean_acc = baseline.history().back().global_test_accuracy;
+  EXPECT_GT(clean_acc, 0.85);
+  EXPECT_GT(faulty_acc, clean_acc - 0.05);
+}
+
+TEST(FaultSimulationTest, TotalBlackoutCarriesEveryRoundForward) {
+  SimulationConfig cfg = faulty_config(2);
+  cfg.min_clients = 1;
+  cfg.max_retries = 1;
+  cfg.faults.drop_up = 1.0;
+  FederatedSimulation sim(tiny_mlp_factory(2, 2), easy_split(3, 300, 32), cfg,
+                          DefenseBundle{});
+  const nn::ParamList initial = sim.server().global_params();
+  sim.run();
+  EXPECT_EQ(sim.server().round(), 2);
+  for (const RoundOutcome& out : sim.round_log()) {
+    EXPECT_TRUE(out.carried_forward);
+    EXPECT_FALSE(out.quorum_met);
+    EXPECT_EQ(out.lost_update.size(), 3u);
+    EXPECT_EQ(out.retries_used, 1);
+  }
+  // The global model survived unchanged — degraded but live.
+  const nn::ParamList& after = sim.server().global_params();
+  for (std::size_t i = 0; i < initial.size(); ++i)
+    for (std::int64_t j = 0; j < initial[i].numel(); ++j)
+      EXPECT_EQ(initial[i].at(j), after[i].at(j));
+}
+
+TEST(FaultSimulationTest, RoundDeadlineBoundsRetries) {
+  SimulationConfig cfg = faulty_config(1);
+  cfg.min_clients = 1;
+  cfg.max_retries = 10;
+  cfg.retry_backoff_seconds = 1.0;
+  cfg.round_deadline_seconds = 1.5;
+  cfg.faults.drop_up = 1.0;
+  FederatedSimulation sim(tiny_mlp_factory(2, 2), easy_split(2, 200, 33), cfg,
+                          DefenseBundle{});
+  const RoundOutcome& out = sim.run_round();
+  EXPECT_TRUE(out.carried_forward);
+  // Backoff accumulates 1s then 2s of simulated time; the 1.5s deadline
+  // fires long before the 10-retry budget.
+  EXPECT_EQ(out.retries_used, 2);
+}
+
+TEST(FaultSimulationTest, ZeroFaultProtocolMatchesSeedBehavior) {
+  SimulationConfig cfg;
+  cfg.rounds = 2;
+  cfg.train = TrainConfig{1, 32};
+  FederatedSimulation sim(tiny_mlp_factory(2, 2), easy_split(3, 200, 34), cfg,
+                          DefenseBundle{});
+  sim.run();
+  for (const RoundOutcome& out : sim.round_log()) {
+    EXPECT_TRUE(out.quorum_met);
+    EXPECT_EQ(out.accepted.size(), 3u);
+    EXPECT_EQ(out.retries_used, 0);
+    EXPECT_TRUE(out.quarantined.empty());
+    EXPECT_TRUE(out.crashed.empty());
+  }
+}
+
+// ------------------------------------------------------ checkpoint / resume --
+
+TEST(CheckpointTest, ResumedRunsAreDeterministic) {
+  SimulationConfig cfg = faulty_config(6);
+  cfg.client_fraction = 0.6;  // exercise per-round selection forking
+  cfg.min_clients = 2;
+  cfg.faults.drop_up = 0.2;
+  cfg.faults.corrupt_up = 0.05;
+
+  // Run half the rounds, then checkpoint (as a crashed run would have).
+  FederatedSimulation first(tiny_mlp_factory(2, 2), easy_split(5, 600, 35), cfg,
+                            DefenseBundle{});
+  for (int r = 0; r < 3; ++r) first.run_round();
+  BinaryWriter w;
+  first.save_checkpoint(w);
+  const std::vector<std::uint8_t> checkpoint = w.buffer();
+
+  // Two fresh processes restore the same checkpoint and finish the run.
+  auto resume = [&] {
+    FederatedSimulation sim(tiny_mlp_factory(2, 2), easy_split(5, 600, 35), cfg,
+                            DefenseBundle{});
+    BinaryReader r(checkpoint);
+    sim.restore_checkpoint(r);
+    EXPECT_EQ(sim.server().round(), 3);
+    sim.run();
+    EXPECT_EQ(sim.server().round(), 6);
+    EXPECT_EQ(sim.round_log().size(), 3u);  // only rounds 3..5 re-ran
+    return sim.server().global_params();
+  };
+  const nn::ParamList a = resume();
+  const nn::ParamList b = resume();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::int64_t j = 0; j < a[i].numel(); ++j)
+      EXPECT_EQ(a[i].at(j), b[i].at(j));
+}
+
+TEST(CheckpointTest, FileRoundTripRestoresRoundAndModel) {
+  SimulationConfig cfg;
+  cfg.rounds = 4;
+  cfg.train = TrainConfig{1, 32};
+  FederatedSimulation sim(tiny_mlp_factory(2, 2), easy_split(2, 200, 36), cfg,
+                          DefenseBundle{});
+  sim.run_round();
+  sim.run_round();
+  const std::string path = ::testing::TempDir() + "dinar_ckpt.bin";
+  sim.save_checkpoint(path);
+
+  FederatedSimulation fresh(tiny_mlp_factory(2, 2), easy_split(2, 200, 36), cfg,
+                            DefenseBundle{});
+  fresh.restore_checkpoint(path);
+  EXPECT_EQ(fresh.server().round(), 2);
+  const nn::ParamList& a = sim.server().global_params();
+  const nn::ParamList& b = fresh.server().global_params();
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::int64_t j = 0; j < a[i].numel(); ++j)
+      EXPECT_EQ(a[i].at(j), b[i].at(j));
+}
+
+TEST(CheckpointTest, CorruptedCheckpointRejected) {
+  SimulationConfig cfg;
+  cfg.rounds = 2;
+  cfg.train = TrainConfig{1, 32};
+  FederatedSimulation sim(tiny_mlp_factory(2, 2), easy_split(2, 200, 37), cfg,
+                          DefenseBundle{});
+  BinaryWriter w;
+  sim.save_checkpoint(w);
+  std::vector<std::uint8_t> bytes = w.take();
+
+  std::vector<std::uint8_t> truncated(bytes.begin(), bytes.begin() + 10);
+  BinaryReader rt(truncated);
+  EXPECT_THROW(sim.restore_checkpoint(rt), Error);
+
+  std::vector<std::uint8_t> trailing = bytes;
+  trailing.push_back(0);
+  BinaryReader rx(trailing);
+  EXPECT_THROW(sim.restore_checkpoint(rx), Error);
+
+  std::vector<std::uint8_t> bad_magic = bytes;
+  bad_magic[0] ^= 0xFF;
+  BinaryReader rm(bad_magic);
+  EXPECT_THROW(sim.restore_checkpoint(rm), Error);
+}
+
+// A rolled-back restore into a simulation whose clients already advanced
+// past the checkpoint round is refused (restore into a fresh process).
+TEST(CheckpointTest, BackwardRestoreIntoLiveSimulationRejected) {
+  SimulationConfig cfg;
+  cfg.rounds = 4;
+  cfg.train = TrainConfig{1, 32};
+  FederatedSimulation sim(tiny_mlp_factory(2, 2), easy_split(2, 200, 38), cfg,
+                          DefenseBundle{});
+  BinaryWriter w;
+  sim.save_checkpoint(w);  // round 0
+  sim.run_round();
+  sim.run_round();
+  BinaryReader r(w.buffer());
+  EXPECT_THROW(sim.restore_checkpoint(r), Error);
+}
+
+}  // namespace
+}  // namespace dinar::fl

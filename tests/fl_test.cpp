@@ -67,6 +67,51 @@ TEST(MessageTest, TruncatedPayloadRejected) {
   EXPECT_THROW(GlobalModelMsg::deserialize(bytes), Error);
 }
 
+TEST(MessageTest, TruncationErrorNamesOffendingField) {
+  Rng rng(4);
+  GlobalModelMsg g;
+  g.round = 3;
+  g.params = small_params(rng);
+  auto bytes = g.serialize();
+
+  // Cut inside the round field (magic is 4 bytes, round 8).
+  auto mid_round = bytes;
+  mid_round.resize(6);
+  try {
+    GlobalModelMsg::deserialize(mid_round);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("'round'"), std::string::npos) << e.what();
+  }
+
+  // Cut inside the parameter list.
+  auto mid_params = bytes;
+  mid_params.resize(bytes.size() / 2);
+  try {
+    GlobalModelMsg::deserialize(mid_params);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("'params'"), std::string::npos) << e.what();
+  }
+}
+
+TEST(MessageTest, TrailingBytesRejected) {
+  Rng rng(5);
+  ModelUpdateMsg msg;
+  msg.client_id = 1;
+  msg.num_samples = 10;
+  msg.params = small_params(rng);
+  auto bytes = msg.serialize();
+  bytes.push_back(0x00);
+  try {
+    ModelUpdateMsg::deserialize(bytes);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("trailing bytes"), std::string::npos)
+        << e.what();
+  }
+}
+
 // -------------------------------------------------------------- transport --
 
 TEST(TransportTest, CountsBytesAndMessages) {
@@ -88,6 +133,45 @@ TEST(TransportTest, LatencyModelAccumulates) {
   Transport t(/*bandwidth_bytes_per_sec=*/1000.0, /*per_message=*/0.01);
   t.uplink(std::vector<std::uint8_t>(500, 0));
   EXPECT_NEAR(t.stats().simulated_latency_seconds, 0.01 + 0.5, 1e-9);
+}
+
+TEST(TransportTest, ZeroBandwidthDisablesLatencySimulation) {
+  Transport t;  // bandwidth 0 = latency model off
+  t.uplink(std::vector<std::uint8_t>(4096, 0));
+  t.ship(LinkDir::kDown, 0, std::vector<std::uint8_t>(4096, 0));
+  EXPECT_EQ(t.stats().simulated_latency_seconds, 0.0);
+}
+
+TEST(TransportTest, ResetStatsClearsEveryCounter) {
+  Transport t(/*bandwidth_bytes_per_sec=*/1000.0, /*per_message=*/0.01);
+  t.uplink(std::vector<std::uint8_t>(64, 0));
+  t.ship(LinkDir::kUp, 0, std::vector<std::uint8_t>(64, 0));
+  t.ship(LinkDir::kDown, 0, std::vector<std::uint8_t>(64, 0));
+  t.add_latency(1.0);
+  t.reset_stats();
+  const TransportStats& s = t.stats();
+  EXPECT_EQ(s.messages_up, 0u);
+  EXPECT_EQ(s.messages_down, 0u);
+  EXPECT_EQ(s.bytes_up, 0u);
+  EXPECT_EQ(s.bytes_down, 0u);
+  EXPECT_EQ(s.frame_bytes_up, 0u);
+  EXPECT_EQ(s.frame_bytes_down, 0u);
+  EXPECT_EQ(s.simulated_latency_seconds, 0.0);
+}
+
+TEST(TransportTest, UplinkAndDownlinkAccountSymmetrically) {
+  Transport t;
+  const std::vector<std::uint8_t> payload(321, 0x5C);
+  t.uplink(payload);
+  t.downlink(payload);
+  t.ship(LinkDir::kUp, 0, payload);
+  t.ship(LinkDir::kDown, 0, payload);
+  const TransportStats& s = t.stats();
+  EXPECT_EQ(s.bytes_up, s.bytes_down);
+  EXPECT_EQ(s.messages_up, s.messages_down);
+  EXPECT_EQ(s.frame_bytes_up, s.frame_bytes_down);
+  EXPECT_GT(s.frame_bytes_up, 0u);
+  EXPECT_EQ(s.bytes_up, 2u * payload.size());  // frames excluded from payload count
 }
 
 // ---------------------------------------------------------------- trainer --

@@ -390,6 +390,40 @@ TEST(SerdeTest, CorruptLengthThrows) {
   EXPECT_THROW(r.read_f32_span(out), Error);
 }
 
+// A corrupted length prefix must throw before any allocation happens: a
+// multi-GB resize on attacker bytes is itself a denial of service.
+TEST(SerdeTest, HugeLengthPrefixThrowsBeforeAllocating) {
+  const auto with_prefix = [](std::uint64_t n) {
+    BinaryWriter w;
+    w.write_u64(n);
+    w.write_u32(0);  // a few real bytes so the buffer is not empty
+    return w.take();
+  };
+
+  const std::vector<std::uint8_t> huge = with_prefix(1ULL << 40);
+  BinaryReader rs(huge);
+  EXPECT_THROW(rs.read_string(), Error);
+  BinaryReader rf(huge);
+  std::vector<float> floats;
+  EXPECT_THROW(rf.read_f32_span(floats), Error);
+  EXPECT_TRUE(floats.empty());
+  BinaryReader ri(huge);
+  EXPECT_THROW(ri.read_i64_vector(), Error);
+}
+
+// n * elem_size near 2^64 must not wrap around the bounds check.
+TEST(SerdeTest, OverflowingLengthPrefixThrows) {
+  BinaryWriter w;
+  w.write_u64(0x4000000000000000ULL);  // * 8 bytes/elem wraps to 0
+  w.write_u64(0);
+  const std::vector<std::uint8_t> bytes = w.take();
+  BinaryReader r(bytes);
+  EXPECT_THROW(r.read_i64_vector(), Error);
+  // The same guard protects the generic byte reads.
+  BinaryReader r2(bytes);
+  EXPECT_THROW(r2.read_length(sizeof(double)), Error);
+}
+
 // ---------------------------------------------------------------- timer --
 
 TEST(TimerTest, CumulativeAccumulates) {
