@@ -5,6 +5,10 @@
 // quarantined updates). The paper's federation assumes reliable clients;
 // this bench measures how far quorum aggregation stretches that assumption
 // before utility degrades.
+//
+// `--smoke` swaps in the small synthetic case and a 2x2 sweep so CI can
+// exercise the full bench path in seconds. Either way the sweep is also
+// written to BENCH_FAULTS.json for machine consumption.
 #include "harness/experiment.h"
 
 namespace dinar::bench {
@@ -51,15 +55,24 @@ SweepResult run_faulty(const DatasetCase& spec, double drop_rate) {
 
 int run(int argc, char** argv) {
   const double scale = parse_scale(argc, argv);
+  const bool smoke = parse_flag(argc, argv, "--smoke");
   print_header("Fault tolerance — dropout sweep over FL client counts "
                "(Purchase100)",
                "robustness companion to Figure 9, §5.9");
 
+  const std::vector<int> client_counts = smoke ? std::vector<int>{5}
+                                               : std::vector<int>{5, 10, 15, 20};
+  const std::vector<double> drop_rates =
+      smoke ? std::vector<double>{0.0, 0.3}
+            : std::vector<double>{0.0, 0.1, 0.3, 0.5};
+
+  BenchJson json("faults");
   print_table_header("clients", {"drop%", "acc%", "carried", "retries",
                                  "quarantined"});
-  for (int clients : {5, 10, 15, 20}) {
-    for (double drop : {0.0, 0.1, 0.3, 0.5}) {
-      DatasetCase spec = get_case("purchase100", scale);
+  for (int clients : client_counts) {
+    for (double drop : drop_rates) {
+      DatasetCase spec =
+          smoke ? small_mlp_case(scale) : get_case("purchase100", scale);
       spec.num_clients = clients;
       const SweepResult r = run_faulty(spec, drop);
       print_table_row(std::to_string(clients),
@@ -67,11 +80,20 @@ int run(int argc, char** argv) {
                        static_cast<double>(r.carried_forward),
                        static_cast<double>(r.retries),
                        static_cast<double>(r.quarantined)});
+      json.begin_row()
+          .field("case", spec.name)
+          .field("clients", static_cast<std::int64_t>(clients))
+          .field("drop_rate", drop)
+          .field("accuracy", r.accuracy)
+          .field("carried_forward", static_cast<std::int64_t>(r.carried_forward))
+          .field("retries", static_cast<std::int64_t>(r.retries))
+          .field("quarantined", static_cast<std::int64_t>(r.quarantined));
     }
   }
   std::printf("\nexpected: accuracy holds near the zero-drop baseline while a "
               "quorum still forms each round; carried-forward rounds appear "
               "only once drop+crash outpaces min_clients (= clients/3).\n");
+  json.write();
   return 0;
 }
 

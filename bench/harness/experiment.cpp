@@ -1,11 +1,15 @@
 #include "experiment.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 
 #include "data/synthetic.h"
+#include "util/error.h"
 #include "util/logging.h"
 #include "util/memory_tracker.h"
 
@@ -177,6 +181,29 @@ std::vector<std::string> all_case_names() {
           "gtsrb",       "celeba",   "speechcommands"};
 }
 
+DatasetCase small_mlp_case(double scale) {
+  DatasetCase c;
+  c.name = "synthetic-small";
+  c.paper_model = "narrow FCNN";
+  c.seed = 2024;
+  const std::int64_t samples = scaled(1600, scale, 320);
+  c.make_data = [samples](Rng& rng) {
+    data::TabularSpec spec;
+    spec.num_samples = samples;
+    spec.num_features = 64;
+    spec.num_classes = 8;
+    spec.label_noise = 0.05;
+    return data::make_tabular(spec, rng);
+  };
+  c.model_factory = nn::fcnn6_factory(64, 8, 32);
+  c.num_clients = 10;
+  c.rounds = static_cast<int>(scaled(8, scale, 3));
+  c.local_epochs = 2;
+  c.learning_rate = 2e-2;
+  c.mia = default_mia(8, 1e-2, 48);
+  return c;
+}
+
 PreparedCase prepare_case(const DatasetCase& spec, double dirichlet_alpha, bool fit_mia) {
   PreparedCase prepared;
   prepared.spec = spec;
@@ -265,6 +292,103 @@ double parse_scale(int argc, char** argv) {
   }
   if (!(scale > 0.0) || scale > 4.0) scale = 1.0;
   return scale;
+}
+
+bool parse_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  return false;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BenchJson::BenchJson(std::string bench_name) : name_(std::move(bench_name)) {
+  DINAR_CHECK(!name_.empty(), "BenchJson needs a bench name");
+}
+
+BenchJson& BenchJson::begin_row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+BenchJson& BenchJson::field(const std::string& key, double value) {
+  DINAR_CHECK(!rows_.empty(), "BenchJson::field before begin_row");
+  char buf[64];
+  if (std::isfinite(value)) {
+    std::snprintf(buf, sizeof(buf), "%.10g", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "null");  // JSON has no NaN/Inf
+  }
+  rows_.back().emplace_back(key, buf);
+  return *this;
+}
+
+BenchJson& BenchJson::field(const std::string& key, std::int64_t value) {
+  DINAR_CHECK(!rows_.empty(), "BenchJson::field before begin_row");
+  rows_.back().emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+BenchJson& BenchJson::field(const std::string& key, const std::string& value) {
+  DINAR_CHECK(!rows_.empty(), "BenchJson::field before begin_row");
+  rows_.back().emplace_back(key, "\"" + json_escape(value) + "\"");
+  return *this;
+}
+
+std::string BenchJson::path() const {
+  std::string upper = name_;
+  for (char& ch : upper) ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+  return "BENCH_" + upper + ".json";
+}
+
+std::string BenchJson::to_string() const {
+  std::string out = "{\n  \"bench\": \"" + json_escape(name_) + "\",\n  \"rows\": [";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {";
+    for (std::size_t j = 0; j < rows_[i].size(); ++j) {
+      if (j != 0) out += ", ";
+      out += "\"" + json_escape(rows_[i][j].first) + "\": " + rows_[i][j].second;
+    }
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+void BenchJson::write() const {
+  const std::string file = path();
+  std::ofstream out(file, std::ios::trunc);
+  DINAR_CHECK(out.good(), "cannot open " << file << " for writing");
+  out << to_string();
+  out.flush();
+  DINAR_CHECK(out.good(), "failed writing " << file);
+  std::printf("\nmachine-readable results: %s (%zu rows)\n", file.c_str(),
+              rows_.size());
 }
 
 void print_header(const std::string& title, const std::string& paper_ref) {

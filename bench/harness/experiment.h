@@ -44,6 +44,12 @@ struct DatasetCase {
 DatasetCase get_case(const std::string& name, double scale = 1.0);
 std::vector<std::string> all_case_names();
 
+// A deliberately small tabular case (64 features, 8 classes, narrow FCNN)
+// for robustness sweeps and CI smoke runs, where the paper-scale cases are
+// needlessly heavy. Not part of all_case_names(): the figure benches
+// iterate that list and must keep reproducing the paper's six datasets.
+DatasetCase small_mlp_case(double scale = 1.0);
+
 // A case with its data realized and the MIA fitted — reused across all
 // defenses of one experiment.
 struct PreparedCase {
@@ -89,6 +95,34 @@ ExperimentResult run_experiment(const PreparedCase& prepared,
 // Parses a bench binary's command line: supports `--scale=<f>` (default
 // from DINAR_BENCH_SCALE env or 1.0) and `--quick` (= --scale=0.35).
 double parse_scale(int argc, char** argv);
+
+// True if `flag` (e.g. "--smoke") appears on the command line.
+bool parse_flag(int argc, char** argv, const char* flag);
+
+// Machine-readable companion to the printed tables: collects rows of named
+// values and writes them as a JSON array to BENCH_<NAME>.json (next to the
+// working directory the bench ran in), so successive runs can be tracked
+// as a trajectory instead of scraping stdout.
+class BenchJson {
+ public:
+  // `bench_name` is lower-case, e.g. "faults" -> BENCH_FAULTS.json.
+  explicit BenchJson(std::string bench_name);
+
+  BenchJson& begin_row();
+  BenchJson& field(const std::string& key, double value);
+  BenchJson& field(const std::string& key, std::int64_t value);
+  BenchJson& field(const std::string& key, const std::string& value);
+
+  std::string path() const;
+  std::string to_string() const;
+  // Writes the file and prints its path; throws dinar::Error on I/O failure.
+  void write() const;
+
+ private:
+  std::string name_;
+  // Rows of (key, already-JSON-encoded value), in insertion order.
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
 
 void print_header(const std::string& title, const std::string& paper_ref);
 

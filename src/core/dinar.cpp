@@ -61,6 +61,10 @@ fl::DefenseBundle make_dinar_bundle(std::vector<std::size_t> layers,
                                     ObfuscationStrategy strategy) {
   fl::DefenseBundle bundle;
   bundle.name = "dinar";
+  // Advertise the obfuscated layers so layer-aware robust aggregation can
+  // exclude them from outlier scoring: honest DINAR uploads carry random
+  // values there by design and must not be quarantined for it.
+  bundle.obfuscated_layers = layers;
   bundle.make_client = [layers = std::move(layers), seed, strategy](int client_id) {
     return std::make_unique<DinarDefense>(
         layers, Rng(seed).fork(static_cast<std::uint64_t>(client_id)), strategy);

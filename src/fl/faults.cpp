@@ -91,4 +91,128 @@ void FaultInjector::corrupt_bytes(std::vector<std::uint8_t>& payload) {
   }
 }
 
+FaultStats fault_stats_delta(const FaultStats& now, const FaultStats& before) {
+  FaultStats d;
+  d.drops_up = now.drops_up - before.drops_up;
+  d.drops_down = now.drops_down - before.drops_down;
+  d.duplicates_up = now.duplicates_up - before.duplicates_up;
+  d.duplicates_down = now.duplicates_down - before.duplicates_down;
+  d.corruptions_up = now.corruptions_up - before.corruptions_up;
+  d.corruptions_down = now.corruptions_down - before.corruptions_down;
+  d.crashed_contacts = now.crashed_contacts - before.crashed_contacts;
+  d.delays_injected = now.delays_injected - before.delays_injected;
+  d.injected_delay_seconds = now.injected_delay_seconds - before.injected_delay_seconds;
+  return d;
+}
+
+// -- Byzantine (adversarial) clients ----------------------------------------
+
+const char* to_string(AttackType type) {
+  switch (type) {
+    case AttackType::kSignFlip: return "sign-flip";
+    case AttackType::kModelReplacement: return "model-replacement";
+    case AttackType::kGaussianNoise: return "gaussian-noise";
+    case AttackType::kColluding: return "colluding";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Distinct, order-free fork streams per (round, client) and per round.
+std::uint64_t attack_stream(std::int64_t round, int client_id) {
+  return 0xADF00000ULL + static_cast<std::uint64_t>(round) * 100003ULL +
+         static_cast<std::uint64_t>(client_id);
+}
+std::uint64_t collusion_stream(std::int64_t round) {
+  return 0xC011DE00ULL + static_cast<std::uint64_t>(round);
+}
+
+}  // namespace
+
+AdversaryEngine::AdversaryEngine(AdversaryConfig config)
+    : config_(std::move(config)), base_rng_(config_.seed) {
+  DINAR_CHECK(config_.active_from_round >= 0, "negative adversary active_from_round");
+  DINAR_CHECK(config_.sign_flip_scale > 0.0, "sign_flip_scale must be positive");
+  DINAR_CHECK(config_.replacement_scale > 0.0, "replacement_scale must be positive");
+  DINAR_CHECK(config_.noise_std >= 0.0, "negative noise_std");
+  for (const auto& [client, type] : config_.attackers)
+    DINAR_CHECK(client >= 0, "negative attacker client id " << client
+                                                            << " (" << to_string(type)
+                                                            << ")");
+}
+
+bool AdversaryEngine::is_attacker(int client_id) const {
+  return round_ >= config_.active_from_round &&
+         config_.attackers.count(client_id) != 0;
+}
+
+void AdversaryEngine::corrupt_update(const nn::ParamList& global,
+                                     ModelUpdateMsg& update) {
+  DINAR_CHECK(is_attacker(update.client_id),
+              "corrupt_update called for honest client " << update.client_id);
+  DINAR_CHECK(nn::param_list_same_shape(update.params, global),
+              "attacker " << update.client_id << " update shape differs from global");
+  const AttackType type = config_.attackers.at(update.client_id);
+
+  switch (type) {
+    case AttackType::kSignFlip:
+      // Invert the client's own delta: the aggregate is pushed backwards
+      // along an honest descent direction.
+      for (std::size_t t = 0; t < global.size(); ++t) {
+        const auto vg = global[t].values();
+        auto vu = update.params[t].values();
+        for (std::size_t j = 0; j < vu.size(); ++j)
+          vu[j] = static_cast<float>(
+              static_cast<double>(vg[j]) -
+              config_.sign_flip_scale *
+                  (static_cast<double>(vu[j]) - static_cast<double>(vg[j])));
+      }
+      ++stats_.sign_flips;
+      break;
+
+    case AttackType::kModelReplacement:
+      // Boost the own delta so a weighted mean is dominated by it (the
+      // classic model-replacement / scaling backdoor vehicle).
+      for (std::size_t t = 0; t < global.size(); ++t) {
+        const auto vg = global[t].values();
+        auto vu = update.params[t].values();
+        for (std::size_t j = 0; j < vu.size(); ++j)
+          vu[j] = static_cast<float>(
+              static_cast<double>(vg[j]) +
+              config_.replacement_scale *
+                  (static_cast<double>(vu[j]) - static_cast<double>(vg[j])));
+      }
+      ++stats_.replacements;
+      break;
+
+    case AttackType::kGaussianNoise: {
+      Rng rng = base_rng_.fork(attack_stream(round_, update.client_id));
+      for (Tensor& t : update.params)
+        for (float& v : t.values())
+          v = static_cast<float>(static_cast<double>(v) +
+                                 rng.gaussian(0.0, config_.noise_std));
+      ++stats_.noise_injections;
+      break;
+    }
+
+    case AttackType::kColluding: {
+      // Every colluder regenerates the identical round target from the
+      // same (seed, round) stream, so their uploads mutually support each
+      // other in distance-based scoring (the scenario Krum is weakest in).
+      Rng rng = base_rng_.fork(collusion_stream(round_));
+      for (std::size_t t = 0; t < global.size(); ++t) {
+        const auto vg = global[t].values();
+        auto vu = update.params[t].values();
+        for (std::size_t j = 0; j < vu.size(); ++j)
+          vu[j] = static_cast<float>(static_cast<double>(vg[j]) +
+                                     config_.replacement_scale * rng.gaussian());
+      }
+      ++stats_.colluding_uploads;
+      break;
+    }
+  }
+  ++stats_.corrupted_updates;
+}
+
 }  // namespace dinar::fl

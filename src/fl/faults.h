@@ -13,12 +13,21 @@
 // so a checkpoint-resumed simulation replays the identical fault schedule
 // for the rounds it re-runs — independent of how many random draws
 // happened before the crash.
+//
+// Beyond benign faults, AdversaryEngine models *Byzantine* clients: they
+// follow the protocol (well-formed, finite, correctly-framed updates) but
+// upload adversarially crafted parameters — sign-flipping, model
+// replacement, Gaussian poisoning, or collusion on a shared malicious
+// target. Attacks are scheduled per (seed, round, client) exactly like
+// transport faults, so a checkpoint-resumed run replays the identical
+// attack trace.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <vector>
 
+#include "fl/message.h"
 #include "util/rng.h"
 
 namespace dinar::fl {
@@ -59,6 +68,10 @@ struct FaultStats {
   double injected_delay_seconds = 0.0;
 };
 
+// Counter-wise difference now - before; both must come from the same
+// injector (the round protocol uses this to report per-round deltas).
+FaultStats fault_stats_delta(const FaultStats& now, const FaultStats& before);
+
 // One message's fate after injection: zero copies = dropped, two = the
 // original plus a duplicate; each copy may have corrupted bytes.
 struct FaultedDelivery {
@@ -97,6 +110,71 @@ class FaultInjector {
   Rng rng_;
   std::int64_t round_ = 0;
   FaultStats stats_;
+};
+
+// -- Byzantine (adversarial) clients ----------------------------------------
+
+enum class AttackType {
+  kSignFlip,          // theta_mal = g - s * (theta - g): inverts the descent step
+  kModelReplacement,  // theta_mal = g + s * (theta - g): boosts its own delta
+  kGaussianNoise,     // theta_mal = theta + N(0, noise_std): poisons gradually
+  kColluding,         // all colluders upload one identical crafted model
+};
+const char* to_string(AttackType type);
+
+struct AdversaryConfig {
+  // client id -> attack behavior; absent clients are honest.
+  std::map<int, AttackType> attackers;
+  // First round the attackers act; before it they behave honestly (a
+  // sleeper schedule exercises mid-run detection).
+  std::int64_t active_from_round = 0;
+  // Delta multiplier for sign-flip attacks.
+  double sign_flip_scale = 1.0;
+  // Delta multiplier for model replacement and the colluders' target.
+  double replacement_scale = 10.0;
+  // Per-coordinate noise stddev for Gaussian poisoning.
+  double noise_std = 1.0;
+  std::uint64_t seed = 0xBAD5EED;
+
+  bool any() const { return !attackers.empty(); }
+};
+
+struct AttackStats {
+  std::uint64_t corrupted_updates = 0;
+  std::uint64_t sign_flips = 0;
+  std::uint64_t replacements = 0;
+  std::uint64_t noise_injections = 0;
+  std::uint64_t colluding_uploads = 0;
+};
+
+// Turns an honest client's trained update into its Byzantine payload. All
+// randomness is forked from (seed, round, client), so the attack trace is
+// independent of call order and replays identically after a resume.
+class AdversaryEngine {
+ public:
+  explicit AdversaryEngine(AdversaryConfig config);
+
+  // Must be called at every round start (mirrors FaultInjector).
+  void begin_round(std::int64_t round) { round_ = round; }
+  std::int64_t round() const { return round_; }
+
+  // True if this client attacks in the current round.
+  bool is_attacker(int client_id) const;
+
+  // Replaces `update.params` with the attack payload; `global` is the
+  // round's broadcast model the attacker also received. The update stays
+  // well-formed (finite, right shapes) — that is the point: Byzantine
+  // updates pass every validity check and must be caught statistically.
+  void corrupt_update(const nn::ParamList& global, ModelUpdateMsg& update);
+
+  const AdversaryConfig& config() const { return config_; }
+  const AttackStats& stats() const { return stats_; }
+
+ private:
+  AdversaryConfig config_;
+  Rng base_rng_;
+  std::int64_t round_ = 0;
+  AttackStats stats_;
 };
 
 }  // namespace dinar::fl

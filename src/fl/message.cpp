@@ -65,8 +65,12 @@ ModelUpdateMsg ModelUpdateMsg::deserialize(const std::vector<std::uint8_t>& byte
       read_field("ModelUpdateMsg", "magic", [&] { return r.read_u32(); });
   DINAR_CHECK(magic == kUpdateMsgMagic, "not a model-update message");
   ModelUpdateMsg msg;
-  msg.client_id = static_cast<std::int32_t>(
-      read_field("ModelUpdateMsg", "client_id", [&] { return r.read_u32(); }));
+  const std::uint32_t raw_client =
+      read_field("ModelUpdateMsg", "client_id", [&] { return r.read_u32(); });
+  DINAR_CHECK(raw_client <= 0x7FFFFFFFu,
+              "ModelUpdateMsg: bad field 'client_id': " << raw_client
+                                                        << " overflows int32");
+  msg.client_id = static_cast<std::int32_t>(raw_client);
   msg.round = read_field("ModelUpdateMsg", "round", [&] { return r.read_i64(); });
   msg.num_samples =
       read_field("ModelUpdateMsg", "num_samples", [&] { return r.read_i64(); });

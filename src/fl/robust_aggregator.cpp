@@ -1,0 +1,403 @@
+#include "fl/robust_aggregator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace dinar::fl {
+namespace {
+
+// Marks the ParamList positions excluded from scoring (obfuscated layers).
+std::vector<bool> excluded_mask(const RobustConfig& config, std::size_t num_tensors) {
+  std::vector<bool> mask(num_tensors, false);
+  for (const std::size_t t : config.excluded_tensors) {
+    DINAR_CHECK(t < num_tensors, "excluded tensor index " << t
+                                                          << " out of range (model has "
+                                                          << num_tensors << " tensors)");
+    mask[t] = true;
+  }
+  return mask;
+}
+
+void require_raw_updates(const std::vector<ModelUpdateMsg>& updates, const char* name) {
+  for (const ModelUpdateMsg& u : updates)
+    DINAR_CHECK(!u.pre_weighted,
+                name << " cannot score pre-weighted (secure-aggregation) updates; "
+                        "client "
+                     << u.client_id << " sent one");
+}
+
+// Squared L2 distance over the scored (non-excluded) coordinates.
+double scored_sq_distance(const nn::ParamList& a, const nn::ParamList& b,
+                          const std::vector<bool>& excluded) {
+  double s = 0.0;
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    if (excluded[t]) continue;
+    const auto va = a[t].values(), vb = b[t].values();
+    for (std::size_t j = 0; j < va.size(); ++j) {
+      const double d = static_cast<double>(va[j]) - static_cast<double>(vb[j]);
+      s += d * d;
+    }
+  }
+  return s;
+}
+
+double median_of(std::vector<double> v) {
+  DINAR_CHECK(!v.empty(), "median of an empty set");
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  double m = v[mid];
+  if (v.size() % 2 == 0) {
+    const double lower =
+        *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+    m = 0.5 * (m + lower);
+  }
+  return m;
+}
+
+// Sample-weighted FedAvg of `members`' raw parameters for tensor `t`.
+Tensor weighted_mean_tensor(const std::vector<ModelUpdateMsg>& updates,
+                            const std::vector<std::size_t>& members, std::size_t t) {
+  double total = 0.0;
+  for (const std::size_t i : members) total += static_cast<double>(updates[i].num_samples);
+  Tensor out(updates[members.front()].params[t].shape());
+  auto vo = out.values();
+  for (const std::size_t i : members) {
+    const double w = static_cast<double>(updates[i].num_samples) / total;
+    const auto vi = updates[i].params[t].values();
+    for (std::size_t j = 0; j < vo.size(); ++j)
+      vo[j] += static_cast<float>(w * static_cast<double>(vi[j]));
+  }
+  return out;
+}
+
+// Plain FedAvg over a member subset, all tensors (Krum's final average and
+// the excluded-tensor fallback both reduce to this).
+nn::ParamList weighted_mean_params(const std::vector<ModelUpdateMsg>& updates,
+                                   const std::vector<std::size_t>& members) {
+  nn::ParamList out;
+  out.reserve(updates.front().params.size());
+  for (std::size_t t = 0; t < updates.front().params.size(); ++t)
+    out.push_back(weighted_mean_tensor(updates, members, t));
+  return out;
+}
+
+std::vector<std::size_t> all_indices(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  return idx;
+}
+
+// The seed's FedAvg, wrapped in the aggregator interface. The only
+// strategy that accepts pre-weighted updates (it never scores clients).
+class FedAvgAggregator final : public RobustAggregator {
+ public:
+  std::string name() const override { return "fedavg"; }
+
+  RobustAggregateResult aggregate(const std::vector<ModelUpdateMsg>& updates,
+                                  const nn::ParamList& /*global*/) override {
+    const bool pre_weighted = updates.front().pre_weighted;
+    double total = 0.0;
+    for (const ModelUpdateMsg& u : updates) total += static_cast<double>(u.num_samples);
+
+    RobustAggregateResult result;
+    result.params.reserve(updates.front().params.size());
+    for (const Tensor& t : updates.front().params) result.params.emplace_back(t.shape());
+    for (const ModelUpdateMsg& u : updates) {
+      const float w = pre_weighted ? 1.0f : static_cast<float>(u.num_samples);
+      nn::param_list_add_scaled(result.params, u.params, w);
+    }
+    nn::param_list_scale(result.params, static_cast<float>(1.0 / total));
+    return result;
+  }
+};
+
+// Shared screen for the coordinate-wise strategies: clients far from the
+// coordinate-wise median (on scored tensors) are excluded up front.
+class CoordinateWiseAggregator : public RobustAggregator {
+ public:
+  explicit CoordinateWiseAggregator(RobustConfig config) : config_(std::move(config)) {}
+
+  RobustAggregateResult aggregate(const std::vector<ModelUpdateMsg>& updates,
+                                  const nn::ParamList& /*global*/) override {
+    require_raw_updates(updates, name().c_str());
+    const std::size_t n = updates.size();
+    const std::vector<bool> excluded = excluded_mask(config_, updates.front().params.size());
+
+    RobustAggregateResult result;
+    std::vector<std::size_t> survivors = all_indices(n);
+    if (n >= 3) {
+      const nn::ParamList center = coordinate_median(updates, survivors, excluded);
+      std::vector<double> dist(n, 0.0);
+      for (std::size_t i = 0; i < n; ++i)
+        dist[i] = std::sqrt(scored_sq_distance(updates[i].params, center, excluded));
+      const double med = median_of(dist);
+      const double threshold = config_.outlier_threshold * med;
+      survivors.clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (dist[i] > threshold && dist[i] > 0.0) {
+          std::ostringstream os;
+          os << name() << "-outlier: distance to coordinate-wise median " << dist[i]
+             << " exceeds " << config_.outlier_threshold << " x median distance " << med;
+          result.flags.push_back({updates[i].client_id, os.str(), /*excluded=*/true});
+        } else {
+          survivors.push_back(i);
+        }
+      }
+      // The screen keeps at least the median half of the cohort, so
+      // `survivors` is never empty here.
+    }
+
+    result.params.reserve(updates.front().params.size());
+    for (std::size_t t = 0; t < updates.front().params.size(); ++t) {
+      if (excluded[t]) {
+        // Obfuscation noise: a robust statistic is meaningless, a plain
+        // average keeps the broadcast well-formed.
+        result.params.push_back(weighted_mean_tensor(updates, survivors, t));
+      } else {
+        result.params.push_back(robust_statistic(updates, survivors, t));
+      }
+    }
+    return result;
+  }
+
+ protected:
+  // Per-coordinate robust statistic over the surviving clients.
+  virtual Tensor robust_statistic(const std::vector<ModelUpdateMsg>& updates,
+                                  const std::vector<std::size_t>& members,
+                                  std::size_t t) const = 0;
+
+  static nn::ParamList coordinate_median(const std::vector<ModelUpdateMsg>& updates,
+                                         const std::vector<std::size_t>& members,
+                                         const std::vector<bool>& excluded) {
+    nn::ParamList out;
+    out.reserve(updates.front().params.size());
+    std::vector<double> column;
+    for (std::size_t t = 0; t < updates.front().params.size(); ++t) {
+      Tensor med(updates.front().params[t].shape());
+      if (!excluded[t]) {
+        auto vo = med.values();
+        for (std::size_t j = 0; j < vo.size(); ++j) {
+          column.clear();
+          for (const std::size_t i : members)
+            column.push_back(static_cast<double>(updates[i].params[t].values()[j]));
+          vo[j] = static_cast<float>(median_of(column));
+        }
+      }
+      out.push_back(std::move(med));
+    }
+    return out;
+  }
+
+  RobustConfig config_;
+};
+
+class MedianAggregator final : public CoordinateWiseAggregator {
+ public:
+  using CoordinateWiseAggregator::CoordinateWiseAggregator;
+  std::string name() const override { return "median"; }
+
+ protected:
+  Tensor robust_statistic(const std::vector<ModelUpdateMsg>& updates,
+                          const std::vector<std::size_t>& members,
+                          std::size_t t) const override {
+    Tensor out(updates.front().params[t].shape());
+    auto vo = out.values();
+    std::vector<double> column;
+    for (std::size_t j = 0; j < vo.size(); ++j) {
+      column.clear();
+      for (const std::size_t i : members)
+        column.push_back(static_cast<double>(updates[i].params[t].values()[j]));
+      vo[j] = static_cast<float>(median_of(column));
+    }
+    return out;
+  }
+};
+
+class TrimmedMeanAggregator final : public CoordinateWiseAggregator {
+ public:
+  using CoordinateWiseAggregator::CoordinateWiseAggregator;
+  std::string name() const override { return "trimmed_mean"; }
+
+ protected:
+  Tensor robust_statistic(const std::vector<ModelUpdateMsg>& updates,
+                          const std::vector<std::size_t>& members,
+                          std::size_t t) const override {
+    const std::size_t m = members.size();
+    const std::size_t k = std::min(
+        static_cast<std::size_t>(config_.trim_fraction * static_cast<double>(m)),
+        m > 0 ? (m - 1) / 2 : 0);
+    Tensor out(updates.front().params[t].shape());
+    auto vo = out.values();
+    std::vector<double> column(m);
+    for (std::size_t j = 0; j < vo.size(); ++j) {
+      for (std::size_t c = 0; c < m; ++c)
+        column[c] = static_cast<double>(updates[members[c]].params[t].values()[j]);
+      std::sort(column.begin(), column.end());
+      double sum = 0.0;
+      for (std::size_t c = k; c < m - k; ++c) sum += column[c];
+      vo[j] = static_cast<float>(sum / static_cast<double>(m - 2 * k));
+    }
+    return out;
+  }
+};
+
+// FedAvg over deltas with per-update norm clipping: the clip bound is
+// self-calibrating (clip_multiplier x the median scored-delta norm), so a
+// model-replacement update's influence collapses to an honest client's.
+class NormClipAggregator final : public RobustAggregator {
+ public:
+  explicit NormClipAggregator(RobustConfig config) : config_(std::move(config)) {}
+  std::string name() const override { return "norm_clip"; }
+
+  RobustAggregateResult aggregate(const std::vector<ModelUpdateMsg>& updates,
+                                  const nn::ParamList& global) override {
+    require_raw_updates(updates, "norm_clip");
+    const std::size_t n = updates.size();
+    const std::vector<bool> excluded = excluded_mask(config_, global.size());
+
+    std::vector<double> norms(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      norms[i] = std::sqrt(scored_sq_distance(updates[i].params, global, excluded));
+    const double bound = config_.clip_multiplier * median_of(norms);
+
+    RobustAggregateResult result;
+    double total = 0.0;
+    for (const ModelUpdateMsg& u : updates) total += static_cast<double>(u.num_samples);
+
+    std::vector<double> scale(n, 1.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (norms[i] > bound && norms[i] > 0.0) {
+        scale[i] = bound / norms[i];
+        std::ostringstream os;
+        os << "norm-clipped: delta norm " << norms[i] << " -> " << bound;
+        result.flags.push_back({updates[i].client_id, os.str(), /*excluded=*/false});
+      }
+    }
+
+    result.params.reserve(global.size());
+    const std::vector<std::size_t> everyone = all_indices(n);
+    for (std::size_t t = 0; t < global.size(); ++t) {
+      if (excluded[t]) {
+        result.params.push_back(weighted_mean_tensor(updates, everyone, t));
+        continue;
+      }
+      Tensor out(global[t]);
+      auto vo = out.values();
+      const auto vg = global[t].values();
+      for (std::size_t i = 0; i < n; ++i) {
+        const double w = static_cast<double>(updates[i].num_samples) / total * scale[i];
+        const auto vi = updates[i].params[t].values();
+        for (std::size_t j = 0; j < vo.size(); ++j)
+          vo[j] += static_cast<float>(w * (static_cast<double>(vi[j]) -
+                                           static_cast<double>(vg[j])));
+      }
+      result.params.push_back(std::move(out));
+    }
+    return result;
+  }
+
+ private:
+  RobustConfig config_;
+};
+
+// Krum / Multi-Krum (Blanchard et al., NeurIPS '17): each update is scored
+// by the sum of squared distances to its n - f - 2 nearest peers; the m
+// best-scored updates are averaged, the rest excluded.
+class KrumAggregator final : public RobustAggregator {
+ public:
+  KrumAggregator(RobustConfig config, bool multi)
+      : config_(std::move(config)), multi_(multi) {}
+  std::string name() const override { return multi_ ? "multi_krum" : "krum"; }
+
+  RobustAggregateResult aggregate(const std::vector<ModelUpdateMsg>& updates,
+                                  const nn::ParamList& global) override {
+    require_raw_updates(updates, name().c_str());
+    const std::size_t n = updates.size();
+    const std::vector<bool> excluded = excluded_mask(config_, global.size());
+    const std::size_t f =
+        std::min(config_.assumed_byzantine, n >= 3 ? n - 3 : std::size_t{0});
+    const std::size_t neighbors =
+        std::max<std::size_t>(1, std::min(n - 1, n >= f + 2 ? n - f - 2 : 1));
+
+    std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j)
+        d[i][j] = d[j][i] =
+            scored_sq_distance(updates[i].params, updates[j].params, excluded);
+
+    std::vector<std::pair<double, std::size_t>> scored(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<double> row;
+      row.reserve(n - 1);
+      for (std::size_t j = 0; j < n; ++j)
+        if (j != i) row.push_back(d[i][j]);
+      std::sort(row.begin(), row.end());
+      double score = 0.0;
+      for (std::size_t k = 0; k < std::min(neighbors, row.size()); ++k) score += row[k];
+      scored[i] = {score, i};
+    }
+    // Tie-break on the index so equal scores select deterministically.
+    std::sort(scored.begin(), scored.end());
+
+    std::size_t m = 1;
+    if (multi_) {
+      m = config_.multi_krum_select != 0 ? config_.multi_krum_select : n - f;
+      m = std::max<std::size_t>(1, std::min(m, n));
+    }
+
+    RobustAggregateResult result;
+    std::vector<std::size_t> selected;
+    for (std::size_t rank = 0; rank < n; ++rank) {
+      const auto [score, i] = scored[rank];
+      if (rank < m) {
+        selected.push_back(i);
+      } else {
+        std::ostringstream os;
+        os << "krum-rank: " << rank + 1 << "/" << n << " (score " << score
+           << ", worst selected " << scored[m - 1].first << ")";
+        result.flags.push_back({updates[i].client_id, os.str(), /*excluded=*/true});
+      }
+    }
+    std::sort(selected.begin(), selected.end());
+    result.params = weighted_mean_params(updates, selected);
+    return result;
+  }
+
+ private:
+  RobustConfig config_;
+  bool multi_;
+};
+
+}  // namespace
+
+std::unique_ptr<RobustAggregator> make_robust_aggregator(const RobustConfig& config) {
+  DINAR_CHECK(config.trim_fraction >= 0.0 && config.trim_fraction < 0.5,
+              "robust.trim_fraction = " << config.trim_fraction
+                                        << " outside [0, 0.5)");
+  DINAR_CHECK(config.outlier_threshold >= 1.0,
+              "robust.outlier_threshold = " << config.outlier_threshold
+                                            << " must be >= 1 (the screen must keep "
+                                               "the median half of the cohort)");
+  DINAR_CHECK(config.clip_multiplier > 0.0,
+              "robust.clip_multiplier = " << config.clip_multiplier
+                                          << " must be positive");
+  if (config.method == "fedavg") return std::make_unique<FedAvgAggregator>();
+  if (config.method == "median") return std::make_unique<MedianAggregator>(config);
+  if (config.method == "trimmed_mean")
+    return std::make_unique<TrimmedMeanAggregator>(config);
+  if (config.method == "norm_clip") return std::make_unique<NormClipAggregator>(config);
+  if (config.method == "krum") return std::make_unique<KrumAggregator>(config, false);
+  if (config.method == "multi_krum")
+    return std::make_unique<KrumAggregator>(config, true);
+  throw Error("unknown robust aggregation method: " + config.method);
+}
+
+std::vector<std::string> robust_aggregator_names() {
+  return {"fedavg", "median", "trimmed_mean", "norm_clip", "krum", "multi_krum"};
+}
+
+}  // namespace dinar::fl

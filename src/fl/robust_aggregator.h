@@ -1,0 +1,89 @@
+// Byzantine-robust aggregation strategies.
+//
+// FedAvg trusts every well-formed update: a single sign-flipping or
+// model-replacement client steers the global model arbitrarily. The
+// aggregators here bound that influence — coordinate-wise median, trimmed
+// mean, norm-clipped FedAvg, and Krum / Multi-Krum selection — and report,
+// per client, whether the update was excluded, down-weighted or clipped and
+// why, so RoundOutcome can attribute repair work to specific clients.
+//
+// All of them are *layer-aware*: `RobustConfig::excluded_tensors` names
+// ParamList positions (normally the DINAR-obfuscated sensitive layer) that
+// are excluded from every distance / norm / outlier computation. Honest
+// DINAR clients legitimately upload random values there (Algorithm 1's
+// model obfuscation), so a naive outlier filter would quarantine exactly
+// the clients it is meant to protect. Excluded tensors are still averaged
+// (plain weighted FedAvg) so the broadcast keeps its structure; their
+// content is obfuscation noise that personalization discards anyway.
+//
+// Robust aggregation needs to see individual updates, so it is incompatible
+// with secure aggregation's pre-weighted masked sums; every strategy except
+// plain FedAvg rejects pre_weighted updates.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fl/message.h"
+
+namespace dinar::fl {
+
+struct RobustConfig {
+  // fedavg | median | trimmed_mean | norm_clip | krum | multi_krum
+  std::string method = "fedavg";
+  // Fraction of clients trimmed from *each* end per coordinate
+  // (trimmed_mean); must lie in [0, 0.5).
+  double trim_fraction = 0.2;
+  // median / trimmed_mean outlier screen: a client whose distance to the
+  // coordinate-wise median exceeds `outlier_threshold` x the median of all
+  // client distances is excluded before the statistic is taken. Must be
+  // >= 1 so the screen can never flag more than half the cohort.
+  double outlier_threshold = 4.0;
+  // norm_clip: per-update delta norms are clipped to
+  // `clip_multiplier` x median(delta norms); must be > 0.
+  double clip_multiplier = 2.0;
+  // krum / multi_krum: the number f of Byzantine clients the scoring
+  // assumes; clamped so every client keeps >= 1 scored neighbor.
+  std::size_t assumed_byzantine = 0;
+  // multi_krum: how many best-scored updates are averaged (0 = n - f).
+  std::size_t multi_krum_select = 0;
+  // When true the simulation appends the defense bundle's obfuscated
+  // layers to `excluded_tensors`; false reproduces the naive filter (used
+  // by the regression test proving the naive filter quarantines honest
+  // DINAR updates).
+  bool layer_aware = true;
+  // ParamList indices excluded from all scoring (see header comment).
+  std::vector<std::size_t> excluded_tensors;
+};
+
+// One client's treatment by the aggregator, beyond plain acceptance.
+struct AggregatorFlag {
+  int client_id = 0;
+  std::string reason;     // e.g. "median-outlier: ...", "krum-rank: ..."
+  bool excluded = false;  // true: the update did not enter the aggregate
+};
+
+struct RobustAggregateResult {
+  nn::ParamList params;
+  std::vector<AggregatorFlag> flags;
+};
+
+class RobustAggregator {
+ public:
+  virtual ~RobustAggregator() = default;
+  virtual std::string name() const = 0;
+
+  // Aggregates validated updates (non-empty, structurally consistent with
+  // `global`). `global` is the pre-round model — several strategies work
+  // on deltas theta_i - global rather than raw parameters.
+  virtual RobustAggregateResult aggregate(const std::vector<ModelUpdateMsg>& updates,
+                                          const nn::ParamList& global) = 0;
+};
+
+// Factory over RobustConfig::method; throws dinar::Error on an unknown
+// method or out-of-range parameter.
+std::unique_ptr<RobustAggregator> make_robust_aggregator(const RobustConfig& config);
+std::vector<std::string> robust_aggregator_names();
+
+}  // namespace dinar::fl

@@ -31,9 +31,15 @@ const char* to_string(RejectReason reason) {
 }
 
 FlServer::FlServer(nn::ParamList initial_params, std::unique_ptr<ServerDefense> defense)
-    : global_(std::move(initial_params)), defense_(std::move(defense)) {
+    : global_(std::move(initial_params)), defense_(std::move(defense)),
+      aggregator_(make_robust_aggregator(RobustConfig{})) {
   DINAR_CHECK(!global_.empty(), "server needs a non-empty initial model");
   DINAR_CHECK(defense_ != nullptr, "server defense must not be null");
+}
+
+void FlServer::set_aggregator(std::unique_ptr<RobustAggregator> aggregator) {
+  DINAR_CHECK(aggregator != nullptr, "aggregator must not be null");
+  aggregator_ = std::move(aggregator);
 }
 
 GlobalModelMsg FlServer::broadcast() const {
@@ -56,7 +62,7 @@ void FlServer::aggregate(const std::vector<ModelUpdateMsg>& updates) {
     DINAR_CHECK(nn::param_list_same_shape(u.params, global_),
                 "update from client " << u.client_id << " has wrong structure");
   }
-  apply_fedavg(updates);
+  apply_aggregate(updates);
 }
 
 UpdateVerdict FlServer::validate_update(const ModelUpdateMsg& update,
@@ -128,16 +134,17 @@ AggregateOutcome FlServer::try_aggregate(const std::vector<ModelUpdateMsg>& upda
     }
   }
   if (valid.size() >= std::max<std::size_t>(1, min_valid)) {
-    aggregate_validated(valid);
+    outcome.aggregator_flags = aggregate_validated(valid);
     outcome.aggregated = true;
   }
   return outcome;
 }
 
-void FlServer::aggregate_validated(const std::vector<ModelUpdateMsg>& updates) {
+std::vector<AggregatorFlag> FlServer::aggregate_validated(
+    const std::vector<ModelUpdateMsg>& updates) {
   DINAR_CHECK(!updates.empty(), "aggregate_validated called with no updates");
   ScopedTimer timing(agg_timer_);
-  apply_fedavg(updates);
+  return apply_aggregate(updates);
 }
 
 void FlServer::restore(std::int64_t round, nn::ParamList params) {
@@ -148,24 +155,13 @@ void FlServer::restore(std::int64_t round, nn::ParamList params) {
   round_ = round;
 }
 
-void FlServer::apply_fedavg(const std::vector<ModelUpdateMsg>& updates) {
-  const bool pre_weighted = updates.front().pre_weighted;
-  double total_weight = 0.0;
-  for (const ModelUpdateMsg& u : updates)
-    total_weight += static_cast<double>(u.num_samples);
-
-  nn::ParamList sum;
-  sum.reserve(global_.size());
-  for (const Tensor& t : global_) sum.emplace_back(t.shape());
-  for (const ModelUpdateMsg& u : updates) {
-    const float w = pre_weighted ? 1.0f : static_cast<float>(u.num_samples);
-    nn::param_list_add_scaled(sum, u.params, w);
-  }
-  nn::param_list_scale(sum, static_cast<float>(1.0 / total_weight));
-
-  defense_->after_aggregate(sum);
-  global_ = std::move(sum);
+std::vector<AggregatorFlag> FlServer::apply_aggregate(
+    const std::vector<ModelUpdateMsg>& updates) {
+  RobustAggregateResult result = aggregator_->aggregate(updates, global_);
+  defense_->after_aggregate(result.params);
+  global_ = std::move(result.params);
   ++round_;
+  return std::move(result.flags);
 }
 
 }  // namespace dinar::fl

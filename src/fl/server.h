@@ -11,6 +11,12 @@
 //    reason instead of throwing; aggregation proceeds once a quorum of
 //    valid updates is available, and a round with no quorum carries the
 //    previous global model forward as a degraded-but-live round.
+//
+// Aggregation itself is pluggable (set_aggregator): the default is the
+// seed's plain FedAvg; Byzantine-robust strategies (coordinate-wise
+// median, trimmed mean, norm-clipped FedAvg, Krum / Multi-Krum) bound the
+// influence of adversarial but well-formed updates and report per-client
+// flags that the round protocol surfaces in RoundOutcome.
 #pragma once
 
 #include <memory>
@@ -21,6 +27,7 @@
 
 #include "fl/defense.h"
 #include "fl/message.h"
+#include "fl/robust_aggregator.h"
 #include "util/timer.h"
 
 namespace dinar::fl {
@@ -50,6 +57,9 @@ struct AggregateOutcome {
   };
   std::vector<int> accepted;
   std::vector<Rejection> quarantined;
+  // Per-client aggregator treatment (Krum exclusion, norm clipping,
+  // outlier-screen quarantine) for the updates that passed validation.
+  std::vector<AggregatorFlag> aggregator_flags;
   bool aggregated = false;  // quorum met; the global model advanced
 };
 
@@ -86,7 +96,14 @@ class FlServer {
 
   // Aggregates updates the caller has already validated (they must all
   // pass validate_update against the current round). Advances the round.
-  void aggregate_validated(const std::vector<ModelUpdateMsg>& updates);
+  // Returns the aggregator's per-client flags (empty under plain FedAvg).
+  std::vector<AggregatorFlag> aggregate_validated(
+      const std::vector<ModelUpdateMsg>& updates);
+
+  // Installs a Byzantine-robust aggregation strategy; the default is the
+  // seed's plain FedAvg. Takes effect from the next aggregation.
+  void set_aggregator(std::unique_ptr<RobustAggregator> aggregator);
+  const RobustAggregator& aggregator() const { return *aggregator_; }
 
   // Degraded round: the previous global model survives unchanged and the
   // round counter advances, keeping the federation live.
@@ -100,11 +117,14 @@ class FlServer {
   ServerDefense& defense() { return *defense_; }
 
  private:
-  // Shared FedAvg core; assumes updates are structurally valid.
-  void apply_fedavg(const std::vector<ModelUpdateMsg>& updates);
+  // Shared aggregation core; assumes updates are structurally valid.
+  // Returns the aggregator's per-client flags.
+  std::vector<AggregatorFlag> apply_aggregate(
+      const std::vector<ModelUpdateMsg>& updates);
 
   nn::ParamList global_;
   std::unique_ptr<ServerDefense> defense_;
+  std::unique_ptr<RobustAggregator> aggregator_;
   std::int64_t round_ = 0;
   CumulativeTimer agg_timer_;
 };

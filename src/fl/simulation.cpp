@@ -4,6 +4,7 @@
 #include <fstream>
 #include <iterator>
 #include <map>
+#include <numeric>
 #include <optional>
 #include <unordered_set>
 
@@ -18,20 +19,43 @@ constexpr std::uint32_t kCheckpointVersion = 1;
 
 }  // namespace
 
+bool ChurnConfig::present(int client_id, std::int64_t round) const {
+  if (const auto it = join_at_round.find(client_id);
+      it != join_at_round.end() && round < it->second)
+    return false;
+  if (const auto it = away.find(client_id); it != away.end())
+    for (const auto& [leave, rejoin] : it->second)
+      if (round >= leave && (rejoin < 0 || round < rejoin)) return false;
+  return true;
+}
+
 FederatedSimulation::FederatedSimulation(nn::ModelFactory model_factory,
                                          data::FlSplit split, SimulationConfig config,
                                          DefenseBundle defenses)
     : model_factory_(std::move(model_factory)), split_(std::move(split)),
       config_(config), rng_(config.seed) {
-  DINAR_CHECK(!split_.client_train.empty(), "split has no clients");
-  DINAR_CHECK(config_.rounds > 0, "need at least one round");
-  DINAR_CHECK(config_.max_retries >= 0, "negative max_retries");
+  validate_config();
   if (config_.faults.any()) transport_.enable_faults(config_.faults);
+  if (config_.adversaries.any())
+    adversary_ = std::make_unique<AdversaryEngine>(config_.adversaries);
 
   // All participants start from the same initial model (standard FL).
   Rng init_rng = rng_.fork(0xC0FFEE);
   nn::Model initial = model_factory_(init_rng);
   server_ = std::make_unique<FlServer>(initial.parameters(), defenses.make_server());
+
+  // Layer-aware Byzantine robustness: the tensors of the defense's
+  // obfuscated layers are excluded from outlier / distance scoring, so an
+  // honest DINAR client's randomized sensitive layer can never get it
+  // quarantined as an attacker.
+  RobustConfig robust = config_.robust;
+  if (robust.layer_aware) {
+    for (const std::size_t p : defenses.obfuscated_layers) {
+      const auto [begin, end] = initial.layer_param_span(p);
+      for (std::size_t t = begin; t < end; ++t) robust.excluded_tensors.push_back(t);
+    }
+  }
+  server_->set_aggregator(make_robust_aggregator(robust));
 
   clients_.reserve(split_.client_train.size());
   for (std::size_t i = 0; i < split_.client_train.size(); ++i) {
@@ -41,6 +65,71 @@ FederatedSimulation::FederatedSimulation(nn::ModelFactory model_factory,
                           defenses.make_client(id), config_.train,
                           rng_.fork(1000 + i));
   }
+}
+
+void FederatedSimulation::validate_config() const {
+  const std::size_t num_clients = split_.client_train.size();
+  DINAR_CHECK(num_clients > 0, "split has no clients");
+  DINAR_CHECK(config_.rounds > 0,
+              "SimulationConfig.rounds = " << config_.rounds << " — need at least one");
+  DINAR_CHECK(config_.client_fraction > 0.0 && config_.client_fraction <= 1.0,
+              "SimulationConfig.client_fraction = " << config_.client_fraction
+                                                    << " outside (0, 1]");
+  DINAR_CHECK(config_.min_clients <= num_clients,
+              "SimulationConfig.min_clients = " << config_.min_clients
+                                                << " exceeds the roster of "
+                                                << num_clients << " clients");
+  DINAR_CHECK(config_.max_retries >= 0,
+              "SimulationConfig.max_retries = " << config_.max_retries
+                                                << " is negative");
+  DINAR_CHECK(config_.retry_backoff_seconds >= 0.0,
+              "SimulationConfig.retry_backoff_seconds = "
+                  << config_.retry_backoff_seconds << " is negative");
+  DINAR_CHECK(config_.round_deadline_seconds >= 0.0,
+              "SimulationConfig.round_deadline_seconds = "
+                  << config_.round_deadline_seconds << " is negative");
+  DINAR_CHECK(config_.eval_every >= 0,
+              "SimulationConfig.eval_every = " << config_.eval_every
+                                               << " is negative");
+
+  const auto check_id = [&](int id, const char* what) {
+    DINAR_CHECK(id >= 0 && static_cast<std::size_t>(id) < num_clients,
+                "SimulationConfig." << what << " names client " << id
+                                    << ", but the roster has " << num_clients
+                                    << " clients");
+  };
+  for (const auto& [id, round] : config_.churn.join_at_round) {
+    check_id(id, "churn.join_at_round");
+    DINAR_CHECK(round >= 0, "churn.join_at_round for client "
+                                << id << " is negative (" << round << ")");
+  }
+  for (const auto& [id, intervals] : config_.churn.away) {
+    check_id(id, "churn.away");
+    std::int64_t prev_end = -1;
+    for (const auto& [leave, rejoin] : intervals) {
+      DINAR_CHECK(leave >= 0, "churn.away for client " << id << " leaves at negative "
+                                                       << "round " << leave);
+      DINAR_CHECK(rejoin == -1 || rejoin > leave,
+                  "churn.away for client " << id << " has interval [" << leave << ", "
+                                           << rejoin << ") — rejoin must follow leave "
+                                           << "(or be -1 for a permanent departure)");
+      DINAR_CHECK(prev_end >= 0 ? leave >= prev_end : true,
+                  "churn.away intervals for client " << id
+                                                     << " overlap or are unsorted");
+      DINAR_CHECK(prev_end != -2, "churn.away for client "
+                                      << id
+                                      << " has intervals after a permanent departure");
+      prev_end = rejoin == -1 ? -2 : rejoin;
+    }
+    // A founding member must not be scheduled away before it joins.
+    const auto jit = config_.churn.join_at_round.find(id);
+    const std::int64_t join = jit == config_.churn.join_at_round.end() ? 0 : jit->second;
+    DINAR_CHECK(intervals.empty() || intervals.front().first >= join,
+                "churn.away for client " << id << " starts before its join round "
+                                         << join);
+  }
+  for (const auto& entry : config_.adversaries.attackers)
+    check_id(entry.first, "adversaries.attackers");
 }
 
 void FederatedSimulation::run() {
@@ -58,24 +147,34 @@ void FederatedSimulation::run() {
   }
 }
 
+std::vector<std::size_t> FederatedSimulation::roster_at(std::int64_t round) const {
+  std::vector<std::size_t> roster;
+  roster.reserve(clients_.size());
+  for (std::size_t i = 0; i < clients_.size(); ++i)
+    if (!config_.churn.any() || config_.churn.present(static_cast<int>(i), round))
+      roster.push_back(i);
+  return roster;
+}
+
 std::vector<std::size_t> FederatedSimulation::select_participants(std::int64_t round) {
   // Client selection (paper §2.1): the server picks a fraction of the
-  // registered clients for this round. The stream is forked from
-  // (seed, round) rather than drawn sequentially, so a checkpoint-resumed
-  // run re-selects the identical participant sets.
+  // *current* roster for this round. The stream is forked from
+  // (seed, round) rather than drawn sequentially, and the roster is a pure
+  // function of (churn config, round), so a checkpoint-resumed run
+  // re-selects the identical participant sets even as clients join and
+  // leave.
+  std::vector<std::size_t> roster = roster_at(round);
+  if (config_.client_fraction >= 1.0 || roster.size() <= 1) return roster;
+
+  Rng select_rng = rng_.fork(0x5E1EC7ULL + static_cast<std::uint64_t>(round));
+  const std::size_t k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config_.client_fraction *
+                                  static_cast<double>(roster.size())));
+  std::vector<std::size_t> order = select_rng.permutation(roster.size());
   std::vector<std::size_t> participants;
-  if (config_.client_fraction >= 1.0) {
-    participants.resize(clients_.size());
-    for (std::size_t i = 0; i < clients_.size(); ++i) participants[i] = i;
-  } else {
-    Rng select_rng = rng_.fork(0x5E1EC7ULL + static_cast<std::uint64_t>(round));
-    const std::size_t k = std::max<std::size_t>(
-        1, static_cast<std::size_t>(config_.client_fraction *
-                                    static_cast<double>(clients_.size())));
-    std::vector<std::size_t> order = select_rng.permutation(clients_.size());
-    participants.assign(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k));
-    std::sort(participants.begin(), participants.end());
-  }
+  participants.reserve(k);
+  for (std::size_t j = 0; j < k; ++j) participants.push_back(roster[order[j]]);
+  std::sort(participants.begin(), participants.end());
   return participants;
 }
 
@@ -83,9 +182,25 @@ const RoundOutcome& FederatedSimulation::run_round() {
   const std::int64_t round = server_->round();
   FaultInjector* faults = transport_.faults();
   if (faults != nullptr) faults->begin_round(round);
+  if (adversary_ != nullptr) adversary_->begin_round(round);
+  const FaultStats fault_before = faults != nullptr ? faults->stats() : FaultStats{};
 
   RoundOutcome out;
   out.round = round;
+  out.aggregator = server_->aggregator().name();
+
+  // Membership churn bookkeeping: who entered / left the roster at this
+  // round boundary (a pure function of config, so it replays after resume).
+  out.roster_size = roster_at(round).size();
+  if (config_.churn.any() && round > 0) {
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+      const int id = static_cast<int>(i);
+      const bool now = config_.churn.present(id, round);
+      const bool before = config_.churn.present(id, round - 1);
+      if (now && !before) out.joined.push_back(id);
+      if (!now && before) out.departed.push_back(id);
+    }
+  }
 
   const std::vector<std::size_t> participants = select_participants(round);
   out.selected.reserve(participants.size());
@@ -148,6 +263,16 @@ const RoundOutcome& FederatedSimulation::run_round() {
 
       // ---- local training + uplink.
       ModelUpdateMsg update = clients_[i].train_round();
+      // Byzantine clients train honestly, then swap in the attack payload
+      // (they know the broadcast model like everyone else). The payload is
+      // well-formed on purpose: it must be caught by robust aggregation,
+      // not by the validity checks.
+      if (adversary_ != nullptr && adversary_->is_attacker(id)) {
+        adversary_->corrupt_update(broadcast_msg.params, update);
+        if (std::find(out.attackers.begin(), out.attackers.end(), id) ==
+            out.attackers.end())
+          out.attackers.push_back(id);
+      }
       bool update_accepted = false;
       bool any_arrived = false;
       for (const auto& copy : transport_.ship(LinkDir::kUp, id, update.serialize())) {
@@ -197,7 +322,7 @@ const RoundOutcome& FederatedSimulation::run_round() {
   for (const ModelUpdateMsg& u : accepted) out.accepted.push_back(u.client_id);
   out.quorum_met = !accepted.empty() && accepted.size() >= quorum;
   if (out.quorum_met) {
-    server_->aggregate_validated(accepted);
+    out.aggregator_flags = server_->aggregate_validated(accepted);
     last_updates_ = std::move(accepted);
   } else {
     // Degraded-but-live round: no quorum of valid updates arrived within
@@ -209,6 +334,8 @@ const RoundOutcome& FederatedSimulation::run_round() {
                << "/" << quorum << " valid updates after " << out.retries_used
                << " retries";
   }
+  if (faults != nullptr)
+    out.fault_delta = fault_stats_delta(faults->stats(), fault_before);
   round_log_.push_back(std::move(out));
   return round_log_.back();
 }
@@ -297,13 +424,22 @@ RoundRecord FederatedSimulation::evaluate_now() {
   rec.global_test_accuracy = global_stats.accuracy;
   rec.global_test_loss = global_stats.mean_loss;
 
-  double personalized = 0.0, train_acc = 0.0;
-  for (FlClient& client : clients_) {
-    personalized += evaluate(client.model(), split_.test).accuracy;
-    train_acc += client.last_train_stats().accuracy;
+  // Under churn, personalized metrics average over the clients that were
+  // in the federation for the last completed round; clients that have not
+  // joined yet still hold the initial model and would poison the mean.
+  std::vector<std::size_t> active =
+      roster_at(std::max<std::int64_t>(0, server_->round() - 1));
+  if (active.empty()) {
+    active.resize(clients_.size());
+    std::iota(active.begin(), active.end(), std::size_t{0});
   }
-  rec.personalized_test_accuracy = personalized / static_cast<double>(clients_.size());
-  rec.mean_client_train_accuracy = train_acc / static_cast<double>(clients_.size());
+  double personalized = 0.0, train_acc = 0.0;
+  for (const std::size_t i : active) {
+    personalized += evaluate(clients_[i].model(), split_.test).accuracy;
+    train_acc += clients_[i].last_train_stats().accuracy;
+  }
+  rec.personalized_test_accuracy = personalized / static_cast<double>(active.size());
+  rec.mean_client_train_accuracy = train_acc / static_cast<double>(active.size());
   return rec;
 }
 

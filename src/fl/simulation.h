@@ -16,9 +16,23 @@
 // forward as a degraded-but-live round. Every round appends a RoundOutcome
 // describing who crashed, who dropped, who was quarantined and why, and
 // how many retries were spent. Checkpoint/resume persists the global model
-// and round counter; all per-round randomness (selection, faults) is
-// forked from (seed, round), so a resumed run replays the remaining rounds
-// deterministically.
+// and round counter; all per-round randomness (selection, faults, attacks)
+// is forked from (seed, round), so a resumed run replays the remaining
+// rounds deterministically.
+//
+// Byzantine robustness: SimulationConfig::adversaries schedules clients
+// that upload well-formed but adversarial updates (sign-flip, model
+// replacement, noise, collusion), and SimulationConfig::robust selects the
+// server's aggregation strategy (median / trimmed mean / norm-clip /
+// Krum). Aggregation is layer-aware: the defense bundle's obfuscated
+// layers are excluded from outlier scoring so DINAR's legitimate
+// randomization is never mistaken for an attack.
+//
+// Membership churn: SimulationConfig::churn lets clients join mid-run
+// (initialized from the current global model via their first broadcast),
+// leave, and rejoin with their personalized state carried across the
+// absence. Presence is a pure function of (config, round), keeping
+// selection deterministic and checkpoint-resume exact under churn.
 #pragma once
 
 #include <functional>
@@ -43,6 +57,33 @@ struct DefenseBundle {
       [](int) { return std::make_unique<NoClientDefense>(); };
   std::function<std::unique_ptr<ServerDefense>()> make_server =
       [] { return std::make_unique<NoServerDefense>(); };
+  // Param-layer indices the client defense legitimately randomizes
+  // (DINAR's obfuscated sensitive layer). Layer-aware robust aggregation
+  // excludes these layers' tensors from outlier scoring so honest
+  // obfuscated updates are never quarantined.
+  std::vector<std::size_t> obfuscated_layers;
+};
+
+// Dynamic membership: clients may join mid-run, leave, and rejoin. A
+// client's FlClient state (personalized model, DINAR private layer, the
+// optimizer) is carried across absences, so a rejoining client resumes
+// with its own personalized layer while picking up the current global
+// model from the next broadcast. Presence is a pure function of
+// (config, round), so selection stays deterministic under churn and a
+// checkpoint-resumed run recomputes the identical roster per round.
+struct ChurnConfig {
+  // client id -> first round the client is part of the federation
+  // (absent entry = founding member, present from round 0). A joining
+  // client is initialized from the current global model via its first
+  // broadcast.
+  std::map<int, std::int64_t> join_at_round;
+  // client id -> absence intervals [leave, rejoin); rejoin == -1 means the
+  // client never returns. Intervals must be sorted and non-overlapping.
+  std::map<int, std::vector<std::pair<std::int64_t, std::int64_t>>> away;
+
+  bool any() const { return !join_at_round.empty() || !away.empty(); }
+  // True if the client is part of the roster in `round`.
+  bool present(int client_id, std::int64_t round) const;
 };
 
 struct SimulationConfig {
@@ -73,6 +114,17 @@ struct SimulationConfig {
   // this far past the round start, no more retries are attempted (0 = no
   // deadline).
   double round_deadline_seconds = 0.0;
+
+  // -- Byzantine robustness ------------------------------------------------
+  // Server-side aggregation strategy (robust.method) and its parameters;
+  // the default is plain FedAvg. When robust.layer_aware is true the
+  // defense bundle's obfuscated layers are excluded from outlier scoring.
+  RobustConfig robust;
+  // Adversarial clients; the empty default is all-honest.
+  AdversaryConfig adversaries;
+
+  // -- membership churn ----------------------------------------------------
+  ChurnConfig churn;
 };
 
 struct RoundRecord {
@@ -97,10 +149,27 @@ struct RoundOutcome {
     std::string reason;  // "corrupt: ..." or a server RejectReason detail
   };
   std::vector<Rejection> quarantined;
-  std::vector<int> accepted;  // clients whose update entered the aggregate
+  std::vector<int> accepted;  // clients whose update passed validation
   int retries_used = 0;
   bool quorum_met = false;
   bool carried_forward = false;  // degraded round: previous global kept
+
+  // -- Byzantine robustness ------------------------------------------------
+  std::vector<int> attackers;  // selected clients that attacked this round
+  std::string aggregator;      // strategy that produced the aggregate
+  // Aggregator treatment of validated updates: Krum exclusions, outlier
+  // quarantines, norm clips — each with a per-client reason.
+  std::vector<AggregatorFlag> aggregator_flags;
+
+  // -- membership churn ----------------------------------------------------
+  std::size_t roster_size = 0;  // clients in the federation this round
+  std::vector<int> joined;      // entered the roster at this round
+  std::vector<int> departed;    // left the roster at this round
+
+  // -- per-round fault-injection deltas ------------------------------------
+  // What the FaultInjector did *this round* (run-level totals stay
+  // available via Transport::faults()->stats()).
+  FaultStats fault_delta;
 };
 
 class FederatedSimulation {
@@ -158,7 +227,14 @@ class FederatedSimulation {
   double mean_client_defense_seconds() const;
   double server_aggregation_seconds() const;
 
+  // The adversary engine, or nullptr when every client is honest.
+  AdversaryEngine* adversaries() { return adversary_.get(); }
+
+  // Clients in the federation at `round` (a pure function of config).
+  std::vector<std::size_t> roster_at(std::int64_t round) const;
+
  private:
+  void validate_config() const;
   std::vector<std::size_t> select_participants(std::int64_t round);
 
   nn::ModelFactory model_factory_;
@@ -166,6 +242,7 @@ class FederatedSimulation {
   SimulationConfig config_;
   Transport transport_;
   std::unique_ptr<FlServer> server_;
+  std::unique_ptr<AdversaryEngine> adversary_;
   std::vector<FlClient> clients_;
   std::vector<ModelUpdateMsg> last_updates_;
   std::vector<RoundRecord> history_;
