@@ -10,7 +10,8 @@
 // Expected shape: plain FedAvg degrades sharply at 30% attackers, while
 // Multi-Krum and trimmed mean stay within ~2 accuracy points of their
 // clean baseline. Results also land in BENCH_BYZANTINE.json; `--smoke`
-// shrinks the sweep to a CI-sized 2x2.
+// shrinks the sweep to a CI-sized 2x2, and `--threads N` sizes the
+// simulation's execution context (identical results, less wall-clock).
 #include <algorithm>
 #include <cstdio>
 
@@ -36,7 +37,8 @@ std::vector<int> pick_attackers(int num_clients, double fraction) {
 }
 
 ByzResult run_byzantine(const DatasetCase& spec, const std::string& method,
-                        fl::AttackType attack, double fraction) {
+                        fl::AttackType attack, double fraction,
+                        unsigned threads) {
   Rng rng(spec.seed);
   const data::Dataset full = spec.make_data(rng);
   data::FlSplitConfig split_cfg;
@@ -57,6 +59,7 @@ ByzResult run_byzantine(const DatasetCase& spec, const std::string& method,
   for (const int id : attackers) cfg.adversaries.attackers[id] = attack;
   cfg.adversaries.sign_flip_scale = 4.0;
   cfg.adversaries.replacement_scale = 10.0;
+  cfg.exec.threads = threads;
 
   fl::FederatedSimulation sim(spec.model_factory, std::move(split), cfg,
                               fl::DefenseBundle{});
@@ -79,6 +82,7 @@ ByzResult run_byzantine(const DatasetCase& spec, const std::string& method,
 int run(int argc, char** argv) {
   const double scale = parse_scale(argc, argv);
   const bool smoke = parse_flag(argc, argv, "--smoke");
+  const unsigned threads = parse_threads(argc, argv);
   print_header("Byzantine robustness — attacker fraction x aggregator sweep",
                "robustness extension beyond the paper's honest-client model");
 
@@ -104,7 +108,7 @@ int run(int argc, char** argv) {
     // information even with no attacker, so each strategy is judged
     // against its own clean run.
     const ByzResult clean =
-        run_byzantine(spec, method, fl::AttackType::kSignFlip, 0.0);
+        run_byzantine(spec, method, fl::AttackType::kSignFlip, 0.0, threads);
     std::printf("%-24s%13s%13.1f%13.1f%13.1f%13zu%13zu\n", method.c_str(),
                 "none", 0.0, 100.0 * clean.accuracy, 0.0, clean.attacker_flags,
                 clean.honest_flags);
@@ -122,7 +126,7 @@ int run(int argc, char** argv) {
     for (const auto& [attack_name, attack] : attacks) {
       if (smoke && attack == fl::AttackType::kModelReplacement) continue;
       for (const double fraction : fractions) {
-        const ByzResult r = run_byzantine(spec, method, attack, fraction);
+        const ByzResult r = run_byzantine(spec, method, attack, fraction, threads);
         const double delta = 100.0 * (r.accuracy - clean.accuracy);
         std::printf("%-24s%13s%13.1f%13.1f%13.1f%13zu%13zu\n", method.c_str(),
                     attack_name.c_str(), 100.0 * fraction, 100.0 * r.accuracy,

@@ -7,7 +7,8 @@
 // before utility degrades.
 //
 // `--smoke` swaps in the small synthetic case and a 2x2 sweep so CI can
-// exercise the full bench path in seconds. Either way the sweep is also
+// exercise the full bench path in seconds; `--threads N` sizes the
+// simulation's execution context (results are identical, only faster). Either way the sweep is also
 // written to BENCH_FAULTS.json for machine consumption.
 #include "harness/experiment.h"
 
@@ -21,7 +22,8 @@ struct SweepResult {
   std::size_t quarantined = 0;
 };
 
-SweepResult run_faulty(const DatasetCase& spec, double drop_rate) {
+SweepResult run_faulty(const DatasetCase& spec, double drop_rate,
+                       unsigned threads) {
   Rng rng(spec.seed);
   const data::Dataset full = spec.make_data(rng);
   data::FlSplitConfig split_cfg;
@@ -38,6 +40,7 @@ SweepResult run_faulty(const DatasetCase& spec, double drop_rate) {
   cfg.faults.corrupt_up = drop_rate > 0.0 ? 0.02 : 0.0;
   cfg.min_clients = static_cast<std::size_t>(std::max(1, spec.num_clients / 3));
   cfg.max_retries = 2;
+  cfg.exec.threads = threads;
 
   fl::FederatedSimulation sim(spec.model_factory, std::move(split), cfg,
                               fl::DefenseBundle{});
@@ -56,6 +59,7 @@ SweepResult run_faulty(const DatasetCase& spec, double drop_rate) {
 int run(int argc, char** argv) {
   const double scale = parse_scale(argc, argv);
   const bool smoke = parse_flag(argc, argv, "--smoke");
+  const unsigned threads = parse_threads(argc, argv);
   print_header("Fault tolerance — dropout sweep over FL client counts "
                "(Purchase100)",
                "robustness companion to Figure 9, §5.9");
@@ -74,7 +78,7 @@ int run(int argc, char** argv) {
       DatasetCase spec =
           smoke ? small_mlp_case(scale) : get_case("purchase100", scale);
       spec.num_clients = clients;
-      const SweepResult r = run_faulty(spec, drop);
+      const SweepResult r = run_faulty(spec, drop, threads);
       print_table_row(std::to_string(clients),
                       {100.0 * drop, 100.0 * r.accuracy,
                        static_cast<double>(r.carried_forward),

@@ -300,6 +300,17 @@ bool parse_flag(int argc, char** argv, const char* flag) {
   return false;
 }
 
+unsigned parse_threads(int argc, char** argv) {
+  unsigned threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0)
+      threads = static_cast<unsigned>(std::atoi(argv[i] + 10));
+    else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = static_cast<unsigned>(std::atoi(argv[i + 1]));
+  }
+  return threads;
+}
+
 namespace {
 
 std::string json_escape(const std::string& s) {

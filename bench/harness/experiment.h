@@ -99,6 +99,11 @@ double parse_scale(int argc, char** argv);
 // True if `flag` (e.g. "--smoke") appears on the command line.
 bool parse_flag(int argc, char** argv, const char* flag);
 
+// Parses `--threads=N` / `--threads N` (default 1 = sequential; 0 = all
+// hardware threads). Feeds SimulationConfig::exec.threads — results are
+// bit-identical for any value, only wall-clock changes.
+unsigned parse_threads(int argc, char** argv);
+
 // Machine-readable companion to the printed tables: collects rows of named
 // values and writes them as a JSON array to BENCH_<NAME>.json (next to the
 // working directory the bench ran in), so successive runs can be tracked

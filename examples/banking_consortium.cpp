@@ -8,6 +8,7 @@
 //
 // Run: ./banking_consortium [--fast]
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "attack/evaluation.h"
@@ -19,7 +20,15 @@ using namespace dinar;
 
 int main(int argc, char** argv) {
   Logger::instance().set_level(LogLevel::kWarn);
-  const bool fast = argc > 1 && std::strcmp(argv[1], "--fast") == 0;
+  bool fast = false;
+  unsigned threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+    else if (std::strncmp(argv[i], "--threads=", 10) == 0)
+      threads = static_cast<unsigned>(std::atoi(argv[i] + 10));
+    else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = static_cast<unsigned>(std::atoi(argv[i + 1]));
+  }
 
   std::printf("Banking consortium: 10 banks, 2 Byzantine during the vote\n");
   std::printf("=========================================================\n");
@@ -59,6 +68,7 @@ int main(int argc, char** argv) {
   cfg.rounds = fast ? 6 : 12;
   cfg.train = fl::TrainConfig{3, 64};
   cfg.learning_rate = 1e-2;
+  cfg.exec.threads = threads;
   fl::FederatedSimulation sim(model, split, cfg,
                               core::make_dinar_bundle({init.agreed_layer}));
   sim.run();

@@ -10,6 +10,7 @@
 //
 // Run: ./hospital_cross_silo [--fast]
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "attack/evaluation.h"
@@ -30,11 +31,12 @@ struct Outcome {
 
 Outcome deploy(const char* label, const fl::DefenseBundle& bundle,
                const nn::ModelFactory& model, const data::FlSplit& split,
-               attack::ShadowMia& mia, int rounds) {
+               attack::ShadowMia& mia, int rounds, unsigned threads) {
   fl::SimulationConfig cfg;
   cfg.rounds = rounds;
   cfg.train = fl::TrainConfig{3, 64};
   cfg.learning_rate = 1e-2;
+  cfg.exec.threads = threads;
   fl::FederatedSimulation sim(model, split, cfg, bundle);
   sim.run();
   attack::PrivacyReport privacy = attack::evaluate_privacy(sim, mia);
@@ -50,7 +52,15 @@ Outcome deploy(const char* label, const fl::DefenseBundle& bundle,
 
 int main(int argc, char** argv) {
   Logger::instance().set_level(LogLevel::kWarn);
-  const bool fast = argc > 1 && std::strcmp(argv[1], "--fast") == 0;
+  bool fast = false;
+  unsigned threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+    else if (std::strncmp(argv[i], "--threads=", 10) == 0)
+      threads = static_cast<unsigned>(std::atoi(argv[i] + 10));
+    else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = static_cast<unsigned>(std::atoi(argv[i + 1]));
+  }
 
   std::printf("Cross-silo FL across 4 hospitals, non-IID patient mixes\n");
   std::printf("=======================================================\n");
@@ -91,11 +101,12 @@ int main(int argc, char** argv) {
   const int rounds = fast ? 5 : 10;
   privacy::BaselineDefenseConfig baseline_cfg;
   baseline_cfg.num_clients = 4;
-  Outcome none = deploy("no defense", fl::DefenseBundle{}, model, split, mia, rounds);
+  Outcome none =
+      deploy("no defense", fl::DefenseBundle{}, model, split, mia, rounds, threads);
   deploy("ldp", privacy::make_baseline_bundle("ldp", baseline_cfg), model, split, mia,
-         rounds);
+         rounds, threads);
   Outcome dinar = deploy("dinar", core::make_dinar_bundle({init.agreed_layer}), model,
-                         split, mia, rounds);
+                         split, mia, rounds, threads);
 
   std::printf("\nDINAR kept %.1f of %.1f accuracy points while pushing the "
               "server-side attack to %.1f%% AUC.\n",

@@ -7,8 +7,14 @@
 //   3. run federated training with the DINAR client middleware;
 //   4. check utility (accuracy) and privacy (attack AUC).
 //
-// Run: ./quickstart
+// Run: ./quickstart [--threads N]
+//
+// `--threads N` sizes the simulation's execution context: selected
+// clients train concurrently and the tensor kernels tile across the
+// same pool, with bit-identical results to the sequential run.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "attack/evaluation.h"
 #include "core/dinar.h"
@@ -17,8 +23,15 @@
 
 using namespace dinar;
 
-int main() {
+int main(int argc, char** argv) {
   Logger::instance().set_level(LogLevel::kWarn);
+  unsigned threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0)
+      threads = static_cast<unsigned>(std::atoi(argv[i] + 10));
+    else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = static_cast<unsigned>(std::atoi(argv[i + 1]));
+  }
 
   // 1. A Purchase100-style tabular dataset, split per the paper's layout:
   //    half for the attacker, then 80/20 train/test, train sharded over
@@ -49,6 +62,7 @@ int main() {
   fl_cfg.rounds = 10;
   fl_cfg.train = fl::TrainConfig{3, 64};
   fl_cfg.learning_rate = 1e-2;
+  fl_cfg.exec.threads = threads;
   fl::FederatedSimulation sim(model, split, fl_cfg,
                               core::make_dinar_bundle({init.agreed_layer}));
   sim.run();

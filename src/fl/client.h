@@ -34,6 +34,13 @@ class FlClient {
   nn::Model& model() { return model_; }
   ClientDefense& defense() { return *defense_; }
 
+  // Installs the shared execution context on the client's model so local
+  // training uses the blocked parallel kernels. The context must outlive
+  // the client; pass nullptr to fall back to sequential kernels.
+  void set_execution_context(const ExecutionContext* exec) {
+    model_.set_execution_context(exec);
+  }
+
   void receive_global(const GlobalModelMsg& msg);
 
   // Local training + defense; returns the update to upload.

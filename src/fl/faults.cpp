@@ -17,10 +17,34 @@ void check_probability(double p, const char* name) {
                                                          << " outside [0, 1]");
 }
 
+// Order-free fork stream for one message's fault draws. Mixing odd
+// multipliers per component keeps distinct (client, dir, seq) triples on
+// distinct streams; client -1 (the legacy entry point) lands on its own
+// family of streams.
+std::uint64_t message_stream(int client_id, LinkDir dir, std::uint64_t seq) {
+  std::uint64_t h = 0xFA17BA5EULL;
+  h ^= static_cast<std::uint64_t>(client_id + 2) * 0x9E3779B97F4A7C15ULL;
+  h ^= (dir == LinkDir::kUp ? 0x5BD1E995ULL : 0xC2B2AE3D27D4EB4FULL);
+  h ^= (seq + 1) * 0x94D049BB133111EBULL;
+  return h;
+}
+
 }  // namespace
 
+void FaultStats::merge(const FaultStats& other) {
+  drops_up += other.drops_up;
+  drops_down += other.drops_down;
+  duplicates_up += other.duplicates_up;
+  duplicates_down += other.duplicates_down;
+  corruptions_up += other.corruptions_up;
+  corruptions_down += other.corruptions_down;
+  crashed_contacts += other.crashed_contacts;
+  delays_injected += other.delays_injected;
+  injected_delay_seconds += other.injected_delay_seconds;
+}
+
 FaultInjector::FaultInjector(FaultConfig config)
-    : config_(std::move(config)), base_rng_(config_.seed), rng_(config_.seed) {
+    : config_(std::move(config)), base_rng_(config_.seed), round_rng_(config_.seed) {
   check_probability(config_.drop_up, "drop_up");
   check_probability(config_.drop_down, "drop_down");
   check_probability(config_.duplicate_up, "duplicate_up");
@@ -37,7 +61,14 @@ FaultInjector::FaultInjector(FaultConfig config)
 
 void FaultInjector::begin_round(std::int64_t round) {
   round_ = round;
-  rng_ = base_rng_.fork(0xF417ULL + static_cast<std::uint64_t>(round));
+  round_rng_ = base_rng_.fork(0xF417ULL + static_cast<std::uint64_t>(round));
+  std::lock_guard<std::mutex> lock(mu_);
+  seq_.clear();
+}
+
+std::uint64_t FaultInjector::next_seq(LinkDir dir, int client_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_[{client_id, dir == LinkDir::kUp ? 1 : 0}]++;
 }
 
 bool FaultInjector::is_crashed(int client_id) const {
@@ -50,44 +81,59 @@ double FaultInjector::straggler_factor(int client_id) const {
   return it == config_.straggler_factor.end() ? 1.0 : it->second;
 }
 
-FaultedDelivery FaultInjector::apply(LinkDir dir, std::vector<std::uint8_t> payload) {
+FaultedDelivery FaultInjector::apply(LinkDir dir, int client_id,
+                                     std::vector<std::uint8_t> payload,
+                                     FaultStats* sink) {
   const bool up = dir == LinkDir::kUp;
+  Rng rng = round_rng_.fork(message_stream(client_id, dir, next_seq(dir, client_id)));
+  FaultStats local;
   FaultedDelivery delivery;
 
-  if (rng_.bernoulli(up ? config_.drop_up : config_.drop_down)) {
-    ++(up ? stats_.drops_up : stats_.drops_down);
+  const auto commit = [&] {
+    if (sink != nullptr) {
+      sink->merge(local);
+    } else {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.merge(local);
+    }
+  };
+
+  if (rng.bernoulli(up ? config_.drop_up : config_.drop_down)) {
+    ++(up ? local.drops_up : local.drops_down);
+    commit();
     return delivery;
   }
 
   delivery.copies.push_back(std::move(payload));
-  if (rng_.bernoulli(up ? config_.duplicate_up : config_.duplicate_down)) {
-    ++(up ? stats_.duplicates_up : stats_.duplicates_down);
+  if (rng.bernoulli(up ? config_.duplicate_up : config_.duplicate_down)) {
+    ++(up ? local.duplicates_up : local.duplicates_down);
     delivery.copies.push_back(delivery.copies.front());
   }
 
   const double p_corrupt = up ? config_.corrupt_up : config_.corrupt_down;
   for (std::vector<std::uint8_t>& copy : delivery.copies) {
-    if (!copy.empty() && rng_.bernoulli(p_corrupt)) {
-      ++(up ? stats_.corruptions_up : stats_.corruptions_down);
-      corrupt_bytes(copy);
+    if (!copy.empty() && rng.bernoulli(p_corrupt)) {
+      ++(up ? local.corruptions_up : local.corruptions_down);
+      corrupt_bytes(copy, rng);
     }
   }
 
-  if (rng_.bernoulli(config_.delay_prob)) {
-    ++stats_.delays_injected;
-    delivery.extra_delay_seconds = rng_.uniform(0.0, config_.delay_max_seconds);
-    stats_.injected_delay_seconds += delivery.extra_delay_seconds;
+  if (rng.bernoulli(config_.delay_prob)) {
+    ++local.delays_injected;
+    delivery.extra_delay_seconds = rng.uniform(0.0, config_.delay_max_seconds);
+    local.injected_delay_seconds += delivery.extra_delay_seconds;
   }
+  commit();
   return delivery;
 }
 
-void FaultInjector::corrupt_bytes(std::vector<std::uint8_t>& payload) {
+void FaultInjector::corrupt_bytes(std::vector<std::uint8_t>& payload, Rng& rng) {
   // Flip 1-4 bytes at random positions; the xor mask is drawn from
   // [1, 255] so every flip genuinely changes the byte.
-  const std::uint64_t flips = 1 + rng_.uniform_index(4);
+  const std::uint64_t flips = 1 + rng.uniform_index(4);
   for (std::uint64_t f = 0; f < flips; ++f) {
-    const std::size_t pos = static_cast<std::size_t>(rng_.uniform_index(payload.size()));
-    payload[pos] ^= static_cast<std::uint8_t>(1 + rng_.uniform_index(255));
+    const std::size_t pos = static_cast<std::size_t>(rng.uniform_index(payload.size()));
+    payload[pos] ^= static_cast<std::uint8_t>(1 + rng.uniform_index(255));
   }
 }
 
@@ -168,7 +214,7 @@ void AdversaryEngine::corrupt_update(const nn::ParamList& global,
               config_.sign_flip_scale *
                   (static_cast<double>(vu[j]) - static_cast<double>(vg[j])));
       }
-      ++stats_.sign_flips;
+      record(AttackType::kSignFlip);
       break;
 
     case AttackType::kModelReplacement:
@@ -183,7 +229,7 @@ void AdversaryEngine::corrupt_update(const nn::ParamList& global,
               config_.replacement_scale *
                   (static_cast<double>(vu[j]) - static_cast<double>(vg[j])));
       }
-      ++stats_.replacements;
+      record(AttackType::kModelReplacement);
       break;
 
     case AttackType::kGaussianNoise: {
@@ -192,7 +238,7 @@ void AdversaryEngine::corrupt_update(const nn::ParamList& global,
         for (float& v : t.values())
           v = static_cast<float>(static_cast<double>(v) +
                                  rng.gaussian(0.0, config_.noise_std));
-      ++stats_.noise_injections;
+      record(AttackType::kGaussianNoise);
       break;
     }
 
@@ -208,9 +254,19 @@ void AdversaryEngine::corrupt_update(const nn::ParamList& global,
           vu[j] = static_cast<float>(static_cast<double>(vg[j]) +
                                      config_.replacement_scale * rng.gaussian());
       }
-      ++stats_.colluding_uploads;
+      record(AttackType::kColluding);
       break;
     }
+  }
+}
+
+void AdversaryEngine::record(AttackType type) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (type) {
+    case AttackType::kSignFlip: ++stats_.sign_flips; break;
+    case AttackType::kModelReplacement: ++stats_.replacements; break;
+    case AttackType::kGaussianNoise: ++stats_.noise_injections; break;
+    case AttackType::kColluding: ++stats_.colluding_uploads; break;
   }
   ++stats_.corrupted_updates;
 }

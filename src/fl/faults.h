@@ -9,10 +9,14 @@
 // fault is counted in FaultStats so experiments can report exactly what
 // the round protocol survived.
 //
-// Determinism: the fault stream is re-seeded per round from (seed, round),
-// so a checkpoint-resumed simulation replays the identical fault schedule
-// for the rounds it re-runs — independent of how many random draws
-// happened before the crash.
+// Determinism: every message's fault draws come from a stream forked from
+// (seed, round, client, direction, per-client sequence number), so the
+// fate of client A's messages is independent of whether client B shipped
+// before or after it. That makes the injector safe under the parallel
+// round protocol — concurrent per-client exchanges draw the identical
+// faults the sequential path would — and a checkpoint-resumed simulation
+// replays the identical fault schedule for the rounds it re-runs,
+// independent of how many random draws happened before the crash.
 //
 // Beyond benign faults, AdversaryEngine models *Byzantine* clients: they
 // follow the protocol (well-formed, finite, correctly-framed updates) but
@@ -25,6 +29,8 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "fl/message.h"
@@ -66,6 +72,10 @@ struct FaultStats {
   std::uint64_t crashed_contacts = 0;  // messages suppressed by a crash
   std::uint64_t delays_injected = 0;
   double injected_delay_seconds = 0.0;
+
+  // Counter-wise accumulate (the parallel round protocol collects stats
+  // per exchange and merges them in deterministic client order).
+  void merge(const FaultStats& other);
 };
 
 // Counter-wise difference now - before; both must come from the same
@@ -96,20 +106,41 @@ class FaultInjector {
   double straggler_factor(int client_id) const;
 
   // Applies drop / duplicate / corrupt / delay to one outgoing message.
-  FaultedDelivery apply(LinkDir dir, std::vector<std::uint8_t> payload);
+  // All draws come from a stream keyed by (round, client_id, dir, seq)
+  // where seq counts this client's messages on this link within the
+  // round — so concurrent callers working on different clients obtain
+  // exactly the faults the sequential schedule would. When `sink` is
+  // non-null the fault counters go there instead of the injector's
+  // cumulative stats; the caller later folds them back via merge_stats()
+  // in deterministic order. Thread-safe.
+  FaultedDelivery apply(LinkDir dir, int client_id, std::vector<std::uint8_t> payload,
+                        FaultStats* sink = nullptr);
+
+  // Legacy single-stream entry point (keyed as client -1, accounting
+  // directly into stats()).
+  FaultedDelivery apply(LinkDir dir, std::vector<std::uint8_t> payload) {
+    return apply(dir, /*client_id=*/-1, std::move(payload), nullptr);
+  }
+
+  // Folds deferred per-exchange counters back into the cumulative stats.
+  void merge_stats(const FaultStats& delta) { stats_.merge(delta); }
 
   const FaultConfig& config() const { return config_; }
   const FaultStats& stats() const { return stats_; }
   void reset_stats() { stats_ = FaultStats{}; }
 
  private:
-  void corrupt_bytes(std::vector<std::uint8_t>& payload);
+  static void corrupt_bytes(std::vector<std::uint8_t>& payload, Rng& rng);
+  std::uint64_t next_seq(LinkDir dir, int client_id);
 
   FaultConfig config_;
   Rng base_rng_;
-  Rng rng_;
+  Rng round_rng_;  // forked per round; per-message streams fork from it
   std::int64_t round_ = 0;
   FaultStats stats_;
+  // (client_id, dir) -> messages shipped this round; guarded by mu_.
+  std::map<std::pair<int, int>, std::uint64_t> seq_;
+  std::mutex mu_;
 };
 
 // -- Byzantine (adversarial) clients ----------------------------------------
@@ -165,16 +196,22 @@ class AdversaryEngine {
   // round's broadcast model the attacker also received. The update stays
   // well-formed (finite, right shapes) — that is the point: Byzantine
   // updates pass every validity check and must be caught statistically.
+  // Thread-safe: all randomness is keyed by (round, client) and the stats
+  // counters are mutex-guarded, so concurrent per-client exchanges
+  // produce the identical attack trace in any order.
   void corrupt_update(const nn::ParamList& global, ModelUpdateMsg& update);
 
   const AdversaryConfig& config() const { return config_; }
   const AttackStats& stats() const { return stats_; }
 
  private:
+  void record(AttackType type);
+
   AdversaryConfig config_;
   Rng base_rng_;
   std::int64_t round_ = 0;
   AttackStats stats_;
+  std::mutex mu_;  // guards stats_ during parallel rounds
 };
 
 }  // namespace dinar::fl

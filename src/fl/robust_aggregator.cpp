@@ -6,9 +6,26 @@
 #include <sstream>
 
 #include "util/error.h"
+#include "util/execution_context.h"
 
 namespace dinar::fl {
 namespace {
+
+// Runs fn over [0, n) — chunked across the context's pool, or inline when
+// the context is null. Every index is handled by exactly one chunk, so any
+// per-coordinate computation below is bit-identical for any thread count.
+void run_range(const ExecutionContext* exec, std::size_t n, std::size_t grain,
+               const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (exec != nullptr)
+    exec->parallel_for(static_cast<std::int64_t>(n), fn, grain);
+  else
+    fn(0, static_cast<std::int64_t>(n));
+}
+
+// Per-coordinate loops cost ~members ops each; keep chunks near 16k ops.
+std::size_t coord_grain(std::size_t members) {
+  return std::max<std::size_t>(std::size_t{64}, 16384 / std::max<std::size_t>(1, members));
+}
 
 // Marks the ParamList positions excluded from scoring (obfuscated layers).
 std::vector<bool> excluded_mask(const RobustConfig& config, std::size_t num_tensors) {
@@ -59,29 +76,37 @@ double median_of(std::vector<double> v) {
 }
 
 // Sample-weighted FedAvg of `members`' raw parameters for tensor `t`.
+// Per coordinate the members accumulate in ascending member order
+// regardless of chunking, so the float sums match the sequential path.
 Tensor weighted_mean_tensor(const std::vector<ModelUpdateMsg>& updates,
-                            const std::vector<std::size_t>& members, std::size_t t) {
+                            const std::vector<std::size_t>& members, std::size_t t,
+                            const ExecutionContext* exec) {
   double total = 0.0;
   for (const std::size_t i : members) total += static_cast<double>(updates[i].num_samples);
   Tensor out(updates[members.front()].params[t].shape());
   auto vo = out.values();
-  for (const std::size_t i : members) {
-    const double w = static_cast<double>(updates[i].num_samples) / total;
-    const auto vi = updates[i].params[t].values();
-    for (std::size_t j = 0; j < vo.size(); ++j)
-      vo[j] += static_cast<float>(w * static_cast<double>(vi[j]));
-  }
+  run_range(exec, vo.size(), coord_grain(members.size()),
+            [&](std::int64_t j0, std::int64_t j1) {
+              for (const std::size_t i : members) {
+                const double w = static_cast<double>(updates[i].num_samples) / total;
+                const auto vi = updates[i].params[t].values();
+                for (std::int64_t j = j0; j < j1; ++j)
+                  vo[static_cast<std::size_t>(j)] += static_cast<float>(
+                      w * static_cast<double>(vi[static_cast<std::size_t>(j)]));
+              }
+            });
   return out;
 }
 
 // Plain FedAvg over a member subset, all tensors (Krum's final average and
 // the excluded-tensor fallback both reduce to this).
 nn::ParamList weighted_mean_params(const std::vector<ModelUpdateMsg>& updates,
-                                   const std::vector<std::size_t>& members) {
+                                   const std::vector<std::size_t>& members,
+                                   const ExecutionContext* exec) {
   nn::ParamList out;
   out.reserve(updates.front().params.size());
   for (std::size_t t = 0; t < updates.front().params.size(); ++t)
-    out.push_back(weighted_mean_tensor(updates, members, t));
+    out.push_back(weighted_mean_tensor(updates, members, t, exec));
   return out;
 }
 
@@ -130,10 +155,13 @@ class CoordinateWiseAggregator : public RobustAggregator {
     RobustAggregateResult result;
     std::vector<std::size_t> survivors = all_indices(n);
     if (n >= 3) {
-      const nn::ParamList center = coordinate_median(updates, survivors, excluded);
+      const nn::ParamList center = coordinate_median(updates, survivors, excluded, exec_);
       std::vector<double> dist(n, 0.0);
-      for (std::size_t i = 0; i < n; ++i)
-        dist[i] = std::sqrt(scored_sq_distance(updates[i].params, center, excluded));
+      run_range(exec_, n, 1, [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i)
+          dist[static_cast<std::size_t>(i)] = std::sqrt(scored_sq_distance(
+              updates[static_cast<std::size_t>(i)].params, center, excluded));
+      });
       const double med = median_of(dist);
       const double threshold = config_.outlier_threshold * med;
       survivors.clear();
@@ -156,7 +184,7 @@ class CoordinateWiseAggregator : public RobustAggregator {
       if (excluded[t]) {
         // Obfuscation noise: a robust statistic is meaningless, a plain
         // average keeps the broadcast well-formed.
-        result.params.push_back(weighted_mean_tensor(updates, survivors, t));
+        result.params.push_back(weighted_mean_tensor(updates, survivors, t, exec_));
       } else {
         result.params.push_back(robust_statistic(updates, survivors, t));
       }
@@ -172,20 +200,26 @@ class CoordinateWiseAggregator : public RobustAggregator {
 
   static nn::ParamList coordinate_median(const std::vector<ModelUpdateMsg>& updates,
                                          const std::vector<std::size_t>& members,
-                                         const std::vector<bool>& excluded) {
+                                         const std::vector<bool>& excluded,
+                                         const ExecutionContext* exec) {
     nn::ParamList out;
     out.reserve(updates.front().params.size());
-    std::vector<double> column;
     for (std::size_t t = 0; t < updates.front().params.size(); ++t) {
       Tensor med(updates.front().params[t].shape());
       if (!excluded[t]) {
         auto vo = med.values();
-        for (std::size_t j = 0; j < vo.size(); ++j) {
-          column.clear();
-          for (const std::size_t i : members)
-            column.push_back(static_cast<double>(updates[i].params[t].values()[j]));
-          vo[j] = static_cast<float>(median_of(column));
-        }
+        run_range(exec, vo.size(), coord_grain(members.size()),
+                  [&](std::int64_t j0, std::int64_t j1) {
+                    std::vector<double> column;
+                    column.reserve(members.size());
+                    for (std::int64_t j = j0; j < j1; ++j) {
+                      column.clear();
+                      for (const std::size_t i : members)
+                        column.push_back(static_cast<double>(
+                            updates[i].params[t].values()[static_cast<std::size_t>(j)]));
+                      vo[static_cast<std::size_t>(j)] = static_cast<float>(median_of(column));
+                    }
+                  });
       }
       out.push_back(std::move(med));
     }
@@ -206,13 +240,18 @@ class MedianAggregator final : public CoordinateWiseAggregator {
                           std::size_t t) const override {
     Tensor out(updates.front().params[t].shape());
     auto vo = out.values();
-    std::vector<double> column;
-    for (std::size_t j = 0; j < vo.size(); ++j) {
-      column.clear();
-      for (const std::size_t i : members)
-        column.push_back(static_cast<double>(updates[i].params[t].values()[j]));
-      vo[j] = static_cast<float>(median_of(column));
-    }
+    run_range(exec_, vo.size(), coord_grain(members.size()),
+              [&](std::int64_t j0, std::int64_t j1) {
+                std::vector<double> column;
+                column.reserve(members.size());
+                for (std::int64_t j = j0; j < j1; ++j) {
+                  column.clear();
+                  for (const std::size_t i : members)
+                    column.push_back(static_cast<double>(
+                        updates[i].params[t].values()[static_cast<std::size_t>(j)]));
+                  vo[static_cast<std::size_t>(j)] = static_cast<float>(median_of(column));
+                }
+              });
     return out;
   }
 };
@@ -232,15 +271,19 @@ class TrimmedMeanAggregator final : public CoordinateWiseAggregator {
         m > 0 ? (m - 1) / 2 : 0);
     Tensor out(updates.front().params[t].shape());
     auto vo = out.values();
-    std::vector<double> column(m);
-    for (std::size_t j = 0; j < vo.size(); ++j) {
-      for (std::size_t c = 0; c < m; ++c)
-        column[c] = static_cast<double>(updates[members[c]].params[t].values()[j]);
-      std::sort(column.begin(), column.end());
-      double sum = 0.0;
-      for (std::size_t c = k; c < m - k; ++c) sum += column[c];
-      vo[j] = static_cast<float>(sum / static_cast<double>(m - 2 * k));
-    }
+    run_range(exec_, vo.size(), coord_grain(m), [&](std::int64_t j0, std::int64_t j1) {
+      std::vector<double> column(m);
+      for (std::int64_t j = j0; j < j1; ++j) {
+        for (std::size_t c = 0; c < m; ++c)
+          column[c] = static_cast<double>(
+              updates[members[c]].params[t].values()[static_cast<std::size_t>(j)]);
+        std::sort(column.begin(), column.end());
+        double sum = 0.0;
+        for (std::size_t c = k; c < m - k; ++c) sum += column[c];
+        vo[static_cast<std::size_t>(j)] =
+            static_cast<float>(sum / static_cast<double>(m - 2 * k));
+      }
+    });
     return out;
   }
 };
@@ -260,8 +303,11 @@ class NormClipAggregator final : public RobustAggregator {
     const std::vector<bool> excluded = excluded_mask(config_, global.size());
 
     std::vector<double> norms(n, 0.0);
-    for (std::size_t i = 0; i < n; ++i)
-      norms[i] = std::sqrt(scored_sq_distance(updates[i].params, global, excluded));
+    run_range(exec_, n, 1, [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i)
+        norms[static_cast<std::size_t>(i)] = std::sqrt(scored_sq_distance(
+            updates[static_cast<std::size_t>(i)].params, global, excluded));
+    });
     const double bound = config_.clip_multiplier * median_of(norms);
 
     RobustAggregateResult result;
@@ -282,19 +328,24 @@ class NormClipAggregator final : public RobustAggregator {
     const std::vector<std::size_t> everyone = all_indices(n);
     for (std::size_t t = 0; t < global.size(); ++t) {
       if (excluded[t]) {
-        result.params.push_back(weighted_mean_tensor(updates, everyone, t));
+        result.params.push_back(weighted_mean_tensor(updates, everyone, t, exec_));
         continue;
       }
       Tensor out(global[t]);
       auto vo = out.values();
       const auto vg = global[t].values();
-      for (std::size_t i = 0; i < n; ++i) {
-        const double w = static_cast<double>(updates[i].num_samples) / total * scale[i];
-        const auto vi = updates[i].params[t].values();
-        for (std::size_t j = 0; j < vo.size(); ++j)
-          vo[j] += static_cast<float>(w * (static_cast<double>(vi[j]) -
-                                           static_cast<double>(vg[j])));
-      }
+      // Per coordinate the clients accumulate in ascending order no matter
+      // how the coordinates are chunked — matches the sequential sums.
+      run_range(exec_, vo.size(), coord_grain(n), [&](std::int64_t j0, std::int64_t j1) {
+        for (std::size_t i = 0; i < n; ++i) {
+          const double w = static_cast<double>(updates[i].num_samples) / total * scale[i];
+          const auto vi = updates[i].params[t].values();
+          for (std::int64_t j = j0; j < j1; ++j)
+            vo[static_cast<std::size_t>(j)] += static_cast<float>(
+                w * (static_cast<double>(vi[static_cast<std::size_t>(j)]) -
+                     static_cast<double>(vg[static_cast<std::size_t>(j)])));
+        }
+      });
       result.params.push_back(std::move(out));
     }
     return result;
@@ -324,10 +375,16 @@ class KrumAggregator final : public RobustAggregator {
         std::max<std::size_t>(1, std::min(n - 1, n >= f + 2 ? n - f - 2 : 1));
 
     std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+    // Each task owns whole rows (the upper triangle of them), so no two
+    // tasks write the same cell; the mirror fills the lower triangle after.
+    run_range(exec_, n, 1, [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i)
+        for (std::size_t j = static_cast<std::size_t>(i) + 1; j < n; ++j)
+          d[static_cast<std::size_t>(i)][j] = scored_sq_distance(
+              updates[static_cast<std::size_t>(i)].params, updates[j].params, excluded);
+    });
     for (std::size_t i = 0; i < n; ++i)
-      for (std::size_t j = i + 1; j < n; ++j)
-        d[i][j] = d[j][i] =
-            scored_sq_distance(updates[i].params, updates[j].params, excluded);
+      for (std::size_t j = i + 1; j < n; ++j) d[j][i] = d[i][j];
 
     std::vector<std::pair<double, std::size_t>> scored(n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -363,7 +420,7 @@ class KrumAggregator final : public RobustAggregator {
       }
     }
     std::sort(selected.begin(), selected.end());
-    result.params = weighted_mean_params(updates, selected);
+    result.params = weighted_mean_params(updates, selected, exec_);
     return result;
   }
 

@@ -27,6 +27,10 @@
 
 #include "fl/message.h"
 
+namespace dinar {
+class ExecutionContext;
+}
+
 namespace dinar::fl {
 
 struct RobustConfig {
@@ -79,6 +83,15 @@ class RobustAggregator {
   // on deltas theta_i - global rather than raw parameters.
   virtual RobustAggregateResult aggregate(const std::vector<ModelUpdateMsg>& updates,
                                           const nn::ParamList& global) = 0;
+
+  // Shared execution context for the per-coordinate / pairwise-distance
+  // loops; nullptr (the default) runs them sequentially. Results are
+  // bit-identical for any thread count — every coordinate is computed
+  // wholly within one chunk, in the sequential order.
+  void set_execution_context(const ExecutionContext* exec) { exec_ = exec; }
+
+ protected:
+  const ExecutionContext* exec_ = nullptr;
 };
 
 // Factory over RobustConfig::method; throws dinar::Error on an unknown

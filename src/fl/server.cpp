@@ -40,6 +40,12 @@ FlServer::FlServer(nn::ParamList initial_params, std::unique_ptr<ServerDefense> 
 void FlServer::set_aggregator(std::unique_ptr<RobustAggregator> aggregator) {
   DINAR_CHECK(aggregator != nullptr, "aggregator must not be null");
   aggregator_ = std::move(aggregator);
+  aggregator_->set_execution_context(exec_);
+}
+
+void FlServer::set_execution_context(const ExecutionContext* exec) {
+  exec_ = exec;
+  if (aggregator_ != nullptr) aggregator_->set_execution_context(exec_);
 }
 
 GlobalModelMsg FlServer::broadcast() const {

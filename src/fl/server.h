@@ -101,9 +101,14 @@ class FlServer {
       const std::vector<ModelUpdateMsg>& updates);
 
   // Installs a Byzantine-robust aggregation strategy; the default is the
-  // seed's plain FedAvg. Takes effect from the next aggregation.
+  // seed's plain FedAvg. Takes effect from the next aggregation. The
+  // server's execution context (if set) is applied to the new aggregator.
   void set_aggregator(std::unique_ptr<RobustAggregator> aggregator);
   const RobustAggregator& aggregator() const { return *aggregator_; }
+
+  // Shares the execution context with the aggregator so its coordinate
+  // loops parallelize; must outlive the server. nullptr = sequential.
+  void set_execution_context(const ExecutionContext* exec);
 
   // Degraded round: the previous global model survives unchanged and the
   // round counter advances, keeping the federation live.
@@ -125,6 +130,7 @@ class FlServer {
   nn::ParamList global_;
   std::unique_ptr<ServerDefense> defense_;
   std::unique_ptr<RobustAggregator> aggregator_;
+  const ExecutionContext* exec_ = nullptr;
   std::int64_t round_ = 0;
   CumulativeTimer agg_timer_;
 };

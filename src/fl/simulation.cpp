@@ -33,7 +33,8 @@ FederatedSimulation::FederatedSimulation(nn::ModelFactory model_factory,
                                          data::FlSplit split, SimulationConfig config,
                                          DefenseBundle defenses)
     : model_factory_(std::move(model_factory)), split_(std::move(split)),
-      config_(config), rng_(config.seed) {
+      config_(config), exec_(std::make_unique<ExecutionContext>(config.exec)),
+      rng_(config.seed) {
   validate_config();
   if (config_.faults.any()) transport_.enable_faults(config_.faults);
   if (config_.adversaries.any())
@@ -65,6 +66,11 @@ FederatedSimulation::FederatedSimulation(nn::ModelFactory model_factory,
                           defenses.make_client(id), config_.train,
                           rng_.fork(1000 + i));
   }
+
+  // One shared context for everything compute-bound: client kernels and the
+  // server's aggregator loops all draw from the same pool.
+  server_->set_execution_context(exec_.get());
+  for (FlClient& c : clients_) c.set_execution_context(exec_.get());
 }
 
 void FederatedSimulation::validate_config() const {
@@ -238,28 +244,42 @@ const RoundOutcome& FederatedSimulation::run_round() {
       out.retries_used = attempt;
       transport_.add_latency(config_.retry_backoff_seconds * attempt);
     }
-    std::vector<std::size_t> still_pending;
-    for (std::size_t i : pending) {
+    // ---- phase A: every pending client's exchange runs as an isolated
+    // task — downlink, local training, attack, uplink. All randomness is
+    // keyed by (seed, round, client), and all transport/fault accounting
+    // is deferred into the per-client receipt, so the tasks touch no
+    // shared mutable state and their schedule cannot affect the outcome.
+    struct Arrival {
+      bool ok = false;
+      ModelUpdateMsg msg;          // parsed update when ok
+      std::string corrupt_reason;  // frame/parse failure when !ok
+    };
+    struct Exchange {
+      bool got_global = false;
+      bool attacked = false;
+      std::vector<Arrival> arrivals;
+      ShipReceipt receipt;
+    };
+    std::vector<Exchange> exchanges(pending.size());
+    exec_->for_each_task(pending.size(), [&](std::size_t idx) {
+      const std::size_t i = pending[idx];
       const int id = static_cast<int>(i);
+      Exchange& ex = exchanges[idx];
 
       // ---- downlink: the client needs one intact copy of the broadcast.
-      bool got_global = false;
-      for (const auto& copy : transport_.ship(LinkDir::kDown, id, broadcast_bytes)) {
+      for (const auto& copy :
+           transport_.ship(LinkDir::kDown, id, broadcast_bytes, &ex.receipt)) {
         try {
           clients_[i].receive_global(
               GlobalModelMsg::deserialize(Transport::open(copy)));
-          got_global = true;
+          ex.got_global = true;
           break;  // further copies are duplicates of the same broadcast
         } catch (const Error&) {
           // Corrupted broadcast copy: the client discards it and waits for
           // the next retry.
         }
       }
-      if (!got_global) {
-        fail_mode[i] = 'd';
-        still_pending.push_back(i);
-        continue;
-      }
+      if (!ex.got_global) return;
 
       // ---- local training + uplink.
       ModelUpdateMsg update = clients_[i].train_round();
@@ -269,28 +289,53 @@ const RoundOutcome& FederatedSimulation::run_round() {
       // not by the validity checks.
       if (adversary_ != nullptr && adversary_->is_attacker(id)) {
         adversary_->corrupt_update(broadcast_msg.params, update);
-        if (std::find(out.attackers.begin(), out.attackers.end(), id) ==
-            out.attackers.end())
-          out.attackers.push_back(id);
+        ex.attacked = true;
       }
-      bool update_accepted = false;
-      bool any_arrived = false;
-      for (const auto& copy : transport_.ship(LinkDir::kUp, id, update.serialize())) {
-        ModelUpdateMsg parsed;
+      for (const auto& copy :
+           transport_.ship(LinkDir::kUp, id, update.serialize(), &ex.receipt)) {
+        Arrival arrival;
         try {
-          parsed = ModelUpdateMsg::deserialize(Transport::open(copy));
+          arrival.msg = ModelUpdateMsg::deserialize(Transport::open(copy));
+          arrival.ok = true;
         } catch (const Error& e) {
-          any_arrived = true;
-          out.quarantined.push_back({id, std::string("corrupt: ") + e.what()});
+          arrival.corrupt_reason = std::string("corrupt: ") + e.what();
+        }
+        ex.arrivals.push_back(std::move(arrival));
+      }
+    });
+
+    // ---- phase B: replay the deferred receipts and run every
+    // order-sensitive step (stats sums, validation, acceptance) strictly
+    // in ascending client-id order — identical for any thread count.
+    std::vector<std::size_t> still_pending;
+    for (std::size_t idx = 0; idx < pending.size(); ++idx) {
+      const std::size_t i = pending[idx];
+      const int id = static_cast<int>(i);
+      Exchange& ex = exchanges[idx];
+      transport_.commit(ex.receipt);
+
+      if (!ex.got_global) {
+        fail_mode[i] = 'd';
+        still_pending.push_back(i);
+        continue;
+      }
+      if (ex.attacked && std::find(out.attackers.begin(), out.attackers.end(), id) ==
+                             out.attackers.end())
+        out.attackers.push_back(id);
+
+      bool update_accepted = false;
+      const bool any_arrived = !ex.arrivals.empty();
+      for (Arrival& arrival : ex.arrivals) {
+        if (!arrival.ok) {
+          out.quarantined.push_back({id, arrival.corrupt_reason});
           continue;
         }
-        any_arrived = true;
         const UpdateVerdict verdict =
-            server_->validate_update(parsed, accepted_ids, weighting);
+            server_->validate_update(arrival.msg, accepted_ids, weighting);
         if (verdict.accepted) {
-          weighting = parsed.pre_weighted;
-          accepted_ids.insert(parsed.client_id);
-          accepted.push_back(std::move(parsed));
+          weighting = arrival.msg.pre_weighted;
+          accepted_ids.insert(arrival.msg.client_id);
+          accepted.push_back(std::move(arrival.msg));
           update_accepted = true;
         } else {
           out.quarantined.push_back({id, verdict.detail});
@@ -420,6 +465,7 @@ RoundRecord FederatedSimulation::evaluate_now() {
   rec.round = server_->round();
 
   nn::Model global = global_model();
+  global.set_execution_context(exec_.get());
   const EvalStats global_stats = evaluate(global, split_.test);
   rec.global_test_accuracy = global_stats.accuracy;
   rec.global_test_loss = global_stats.mean_loss;
@@ -433,10 +479,17 @@ RoundRecord FederatedSimulation::evaluate_now() {
     active.resize(clients_.size());
     std::iota(active.begin(), active.end(), std::size_t{0});
   }
+  // Per-client evaluations are independent, so they fan out across the
+  // pool; the accuracy sums are then taken sequentially in index order
+  // (double addition is order-dependent).
+  std::vector<double> client_acc(active.size(), 0.0);
+  exec_->for_each_task(active.size(), [&](std::size_t a) {
+    client_acc[a] = evaluate(clients_[active[a]].model(), split_.test).accuracy;
+  });
   double personalized = 0.0, train_acc = 0.0;
-  for (const std::size_t i : active) {
-    personalized += evaluate(clients_[i].model(), split_.test).accuracy;
-    train_acc += clients_[i].last_train_stats().accuracy;
+  for (std::size_t a = 0; a < active.size(); ++a) {
+    personalized += client_acc[a];
+    train_acc += clients_[active[a]].last_train_stats().accuracy;
   }
   rec.personalized_test_accuracy = personalized / static_cast<double>(active.size());
   rec.mean_client_train_accuracy = train_acc / static_cast<double>(active.size());

@@ -28,6 +28,19 @@
 // layers are excluded from outlier scoring so DINAR's legitimate
 // randomization is never mistaken for an attack.
 //
+// Parallel execution: SimulationConfig::exec sizes a shared
+// ExecutionContext that the simulation threads through every compute
+// consumer — the selected clients' local training runs concurrently (one
+// task per client), the tensor kernels tile across the same pool, and the
+// robust aggregators parallelize their coordinate loops. The round
+// protocol is phased so results are bit-identical for any thread count:
+// phase A runs each client's exchange (broadcast receipt, training,
+// attack, upload) as an isolated task with all randomness keyed by
+// (seed, round, client) and all stats deferred into per-client receipts;
+// phase B replays the receipts, validations and aggregation sequentially
+// in ascending client-id order, which pins down every order-dependent
+// floating-point sum.
+//
 // Membership churn: SimulationConfig::churn lets clients join mid-run
 // (initialized from the current global model via their first broadcast),
 // leave, and rejoin with their personalized state carried across the
@@ -46,6 +59,7 @@
 #include "fl/transport.h"
 #include "nn/model_zoo.h"
 #include "opt/optimizers.h"
+#include "util/execution_context.h"
 
 namespace dinar::fl {
 
@@ -125,6 +139,14 @@ struct SimulationConfig {
 
   // -- membership churn ----------------------------------------------------
   ChurnConfig churn;
+
+  // -- parallel execution ---------------------------------------------------
+  // Sizes the simulation's ExecutionContext (thread count, chunk grain).
+  // The default single thread reproduces the sequential path exactly; any
+  // other thread count produces bit-identical results (see header
+  // comment). There is no global pool — each simulation owns its context
+  // and passes it explicitly to clients, kernels and aggregators.
+  ExecConfig exec;
 };
 
 struct RoundRecord {
@@ -202,6 +224,8 @@ class FederatedSimulation {
   FlServer& server() { return *server_; }
   std::vector<FlClient>& clients() { return clients_; }
   Transport& transport() { return transport_; }
+  // The simulation's execution context (always non-null after construction).
+  const ExecutionContext& execution_context() const { return *exec_; }
   const std::vector<RoundRecord>& history() const { return history_; }
   const std::vector<RoundOutcome>& round_log() const { return round_log_; }
   const data::Dataset& test_data() const { return split_.test; }
@@ -240,6 +264,9 @@ class FederatedSimulation {
   nn::ModelFactory model_factory_;
   data::FlSplit split_;
   SimulationConfig config_;
+  // Owns the thread pool; declared before the clients/server so it
+  // outlives every component holding a pointer to it.
+  std::unique_ptr<ExecutionContext> exec_;
   Transport transport_;
   std::unique_ptr<FlServer> server_;
   std::unique_ptr<AdversaryEngine> adversary_;

@@ -22,6 +22,16 @@ std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n) {
 
 }  // namespace
 
+void TransportStats::merge(const TransportStats& other) {
+  messages_up += other.messages_up;
+  messages_down += other.messages_down;
+  bytes_up += other.bytes_up;
+  bytes_down += other.bytes_down;
+  frame_bytes_up += other.frame_bytes_up;
+  frame_bytes_down += other.frame_bytes_down;
+  simulated_latency_seconds += other.simulated_latency_seconds;
+}
+
 std::vector<std::uint8_t> Transport::uplink(std::vector<std::uint8_t> payload) {
   account(payload.size(), /*up=*/true);
   return payload;
@@ -71,16 +81,20 @@ std::vector<std::uint8_t> Transport::open(const std::vector<std::uint8_t>& frame
 }
 
 std::vector<std::vector<std::uint8_t>> Transport::ship(
-    LinkDir dir, int client_id, const std::vector<std::uint8_t>& payload) {
+    LinkDir dir, int client_id, const std::vector<std::uint8_t>& payload,
+    ShipReceipt* receipt) {
   const bool up = dir == LinkDir::kUp;
   const std::size_t payload_bytes = payload.size();
+  TransportStats& acc = receipt != nullptr ? receipt->transport : stats_;
 
   std::vector<std::vector<std::uint8_t>> copies;
   double latency_factor = 1.0;
   if (injector_ != nullptr) {
-    FaultedDelivery delivery = injector_->apply(dir, frame(payload));
+    FaultedDelivery delivery = injector_->apply(
+        dir, client_id, frame(payload),
+        receipt != nullptr ? &receipt->faults : nullptr);
     copies = std::move(delivery.copies);
-    stats_.simulated_latency_seconds += delivery.extra_delay_seconds;
+    acc.simulated_latency_seconds += delivery.extra_delay_seconds;
     latency_factor = injector_->straggler_factor(client_id);
   } else {
     copies.push_back(frame(payload));
@@ -88,20 +102,25 @@ std::vector<std::vector<std::uint8_t>> Transport::ship(
 
   for (const std::vector<std::uint8_t>& copy : copies) {
     if (up) {
-      ++stats_.messages_up;
-      stats_.bytes_up += payload_bytes;
-      stats_.frame_bytes_up += copy.size() - payload_bytes;
+      ++acc.messages_up;
+      acc.bytes_up += payload_bytes;
+      acc.frame_bytes_up += copy.size() - payload_bytes;
     } else {
-      ++stats_.messages_down;
-      stats_.bytes_down += payload_bytes;
-      stats_.frame_bytes_down += copy.size() - payload_bytes;
+      ++acc.messages_down;
+      acc.bytes_down += payload_bytes;
+      acc.frame_bytes_down += copy.size() - payload_bytes;
     }
     if (bandwidth_ > 0.0)
-      stats_.simulated_latency_seconds +=
+      acc.simulated_latency_seconds +=
           latency_factor *
           (per_message_ + static_cast<double>(copy.size()) / bandwidth_);
   }
   return copies;
+}
+
+void Transport::commit(const ShipReceipt& receipt) {
+  stats_.merge(receipt.transport);
+  if (injector_ != nullptr) injector_->merge_stats(receipt.faults);
 }
 
 void Transport::account(std::size_t bytes, bool up) {

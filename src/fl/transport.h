@@ -31,6 +31,19 @@ struct TransportStats {
   std::uint64_t frame_bytes_up = 0;   // checksum-frame overhead
   std::uint64_t frame_bytes_down = 0;
   double simulated_latency_seconds = 0.0;
+
+  // Counter-wise accumulate (used when folding deferred receipts back in).
+  void merge(const TransportStats& other);
+};
+
+// Deferred accounting for one client's exchange. The parallel round
+// protocol ships with a receipt so concurrent exchanges never race on the
+// shared stats, then the coordinator commit()s receipts in deterministic
+// client-id order — double-precision latency sums come out bit-identical
+// for any thread count.
+struct ShipReceipt {
+  TransportStats transport;
+  FaultStats faults;
 };
 
 class Transport {
@@ -55,9 +68,18 @@ class Transport {
 
   // Frames the payload, applies faults (if enabled), and accounts every
   // delivered copy. Returns the framed copies that arrived (possibly none
-  // — dropped — or two — duplicated).
+  // — dropped — or two — duplicated). With `receipt == nullptr` the
+  // accounting lands directly in stats() (legacy sequential path). With a
+  // receipt, all accounting is deferred into it and the caller must later
+  // commit() it — this is the thread-safe path: concurrent ship() calls
+  // for different clients touch no shared mutable state.
   std::vector<std::vector<std::uint8_t>> ship(LinkDir dir, int client_id,
-                                              const std::vector<std::uint8_t>& payload);
+                                              const std::vector<std::uint8_t>& payload,
+                                              ShipReceipt* receipt = nullptr);
+
+  // Folds a deferred receipt into stats() (and the injector's fault
+  // stats). Call in deterministic order, from one thread.
+  void commit(const ShipReceipt& receipt);
 
   // Wraps a payload in [magic | u64 length | u64 FNV-1a checksum | bytes].
   static std::vector<std::uint8_t> frame(const std::vector<std::uint8_t>& payload);

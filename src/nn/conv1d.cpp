@@ -1,5 +1,6 @@
 #include "nn/conv1d.h"
 
+#include "nn/conv_kernels.h"
 #include "util/error.h"
 
 namespace dinar::nn {
@@ -18,34 +19,22 @@ Conv1d::Conv1d(std::int64_t in_channels, std::int64_t out_channels, std::int64_t
 Tensor Conv1d::forward(const Tensor& x, bool train) {
   DINAR_CHECK(x.rank() == 3 && x.dim(1) == in_ch_,
               name() << " got input " << shape_to_string(x.shape()));
-  if (train) cached_input_ = x;
   const std::int64_t b = x.dim(0), l = x.dim(2);
   const std::int64_t ol = out_size(l);
   DINAR_CHECK(ol >= 1, name() << ": input too short");
-  Tensor y({b, out_ch_, ol});
-  const float* px = x.data();
-  const float* pw = weight_.data();
-  const float* pb = bias_.data();
-  float* py = y.data();
 
-  for (std::int64_t n = 0; n < b; ++n) {
-    for (std::int64_t oc = 0; oc < out_ch_; ++oc) {
-      for (std::int64_t i = 0; i < ol; ++i) {
-        double acc = pb[oc];
-        for (std::int64_t ic = 0; ic < in_ch_; ++ic) {
-          const float* xrow = px + (n * in_ch_ + ic) * l;
-          const float* wrow = pw + (oc * in_ch_ + ic) * kernel_;
-          for (std::int64_t k = 0; k < kernel_; ++k) {
-            const std::int64_t ii = i * stride_ + k - padding_;
-            if (ii < 0 || ii >= l) continue;
-            acc += static_cast<double>(xrow[ii]) * wrow[k];
-          }
-        }
-        py[(n * out_ch_ + oc) * ol + i] = static_cast<float>(acc);
-      }
-    }
+  // A 1-D convolution is the height-1 special case of the 2-D im2col path:
+  // [B, C, L] is viewed as [B, C, 1, L] with a (1, K) kernel.
+  Tensor cols = im2col2d(x.reshaped({b, in_ch_, 1, l}), 1, kernel_, stride_, 0,
+                         padding_, 1, ol, exec_);
+  if (train) {
+    cached_input_ = x;
+    cached_cols_ = cols;
   }
-  return y;
+  const Tensor wmat = weight_.reshaped({out_ch_, in_ch_ * kernel_});
+  const Tensor rows = gemm(Trans::kN, Trans::kT, cols, wmat, exec_);
+  return scatter_output_rows2d(rows, bias_, b, 1, ol, exec_)
+      .reshaped({b, out_ch_, ol});
 }
 
 Tensor Conv1d::backward(const Tensor& grad_out) {
@@ -56,36 +45,17 @@ Tensor Conv1d::backward(const Tensor& grad_out) {
   DINAR_CHECK(grad_out.rank() == 3 && grad_out.dim(1) == out_ch_ && grad_out.dim(2) == ol,
               "Conv1d backward shape mismatch");
 
-  Tensor dx({b, in_ch_, l});
-  const float* px = x.data();
-  const float* pw = weight_.data();
-  const float* pg = grad_out.data();
-  float* pdx = dx.data();
-  float* pdw = grad_weight_.data();
-  float* pdb = grad_bias_.data();
+  const Tensor gmat =
+      gather_grad_rows2d(grad_out.reshaped({b, out_ch_, 1, ol}), exec_);
+  grad_weight_ +=
+      gemm(Trans::kT, Trans::kN, gmat, cached_cols_, exec_).reshaped(weight_.shape());
+  accumulate_bias_grad(gmat, grad_bias_, exec_);
 
-  for (std::int64_t n = 0; n < b; ++n) {
-    for (std::int64_t oc = 0; oc < out_ch_; ++oc) {
-      for (std::int64_t i = 0; i < ol; ++i) {
-        const float g = pg[(n * out_ch_ + oc) * ol + i];
-        if (g == 0.0f) continue;
-        pdb[oc] += g;
-        for (std::int64_t ic = 0; ic < in_ch_; ++ic) {
-          const float* xrow = px + (n * in_ch_ + ic) * l;
-          float* dxrow = pdx + (n * in_ch_ + ic) * l;
-          const float* wrow = pw + (oc * in_ch_ + ic) * kernel_;
-          float* dwrow = pdw + (oc * in_ch_ + ic) * kernel_;
-          for (std::int64_t k = 0; k < kernel_; ++k) {
-            const std::int64_t ii = i * stride_ + k - padding_;
-            if (ii < 0 || ii >= l) continue;
-            dwrow[k] += g * xrow[ii];
-            dxrow[ii] += g * wrow[k];
-          }
-        }
-      }
-    }
-  }
-  return dx;
+  const Tensor wmat = weight_.reshaped({out_ch_, in_ch_ * kernel_});
+  const Tensor dcols = gemm(Trans::kN, Trans::kN, gmat, wmat, exec_);
+  Tensor dx4({b, in_ch_, 1, l});
+  col2im2d(dcols, dx4, 1, kernel_, stride_, 0, padding_, 1, ol, exec_);
+  return dx4.reshaped({b, in_ch_, l});
 }
 
 std::string Conv1d::name() const {

@@ -30,6 +30,7 @@ class Conv1d : public Layer {
   Tensor grad_weight_;
   Tensor grad_bias_;
   Tensor cached_input_;
+  Tensor cached_cols_;  // im2col of cached_input_, reused by backward
 };
 
 }  // namespace dinar::nn

@@ -1,5 +1,6 @@
 #include "nn/conv2d.h"
 
+#include "nn/conv_kernels.h"
 #include "util/error.h"
 
 namespace dinar::nn {
@@ -19,40 +20,21 @@ Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels, std::int64_t
 Tensor Conv2d::forward(const Tensor& x, bool train) {
   DINAR_CHECK(x.rank() == 4 && x.dim(1) == in_ch_,
               name() << " got input " << shape_to_string(x.shape()));
-  if (train) cached_input_ = x;
   const std::int64_t b = x.dim(0), h = x.dim(2), w = x.dim(3);
   const std::int64_t oh = out_size(h), ow = out_size(w);
   DINAR_CHECK(oh >= 1 && ow >= 1, name() << ": input spatially too small");
-  Tensor y({b, out_ch_, oh, ow});
-  const float* px = x.data();
-  const float* pw = weight_.data();
-  const float* pb = bias_.data();
-  float* py = y.data();
 
-  for (std::int64_t n = 0; n < b; ++n) {
-    for (std::int64_t oc = 0; oc < out_ch_; ++oc) {
-      for (std::int64_t i = 0; i < oh; ++i) {
-        for (std::int64_t j = 0; j < ow; ++j) {
-          double acc = pb[oc];
-          for (std::int64_t ic = 0; ic < in_ch_; ++ic) {
-            for (std::int64_t ki = 0; ki < kernel_; ++ki) {
-              const std::int64_t ii = i * stride_ + ki - padding_;
-              if (ii < 0 || ii >= h) continue;
-              const float* xrow = px + ((n * in_ch_ + ic) * h + ii) * w;
-              const float* wrow = pw + ((oc * in_ch_ + ic) * kernel_ + ki) * kernel_;
-              for (std::int64_t kj = 0; kj < kernel_; ++kj) {
-                const std::int64_t jj = j * stride_ + kj - padding_;
-                if (jj < 0 || jj >= w) continue;
-                acc += static_cast<double>(xrow[jj]) * wrow[kj];
-              }
-            }
-          }
-          py[((n * out_ch_ + oc) * oh + i) * ow + j] = static_cast<float>(acc);
-        }
-      }
-    }
+  // im2col lowering: one gemm against the [OC, IC*K*K] weight view instead
+  // of the former per-output scalar loops (see nn/conv_kernels.h).
+  Tensor cols = im2col2d(x, kernel_, kernel_, stride_, padding_, padding_, oh, ow,
+                         exec_);
+  if (train) {
+    cached_input_ = x;
+    cached_cols_ = cols;  // reused by backward's weight-gradient gemm
   }
-  return y;
+  const Tensor wmat = weight_.reshaped({out_ch_, in_ch_ * kernel_ * kernel_});
+  const Tensor rows = gemm(Trans::kN, Trans::kT, cols, wmat, exec_);
+  return scatter_output_rows2d(rows, bias_, b, oh, ow, exec_);
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {
@@ -64,41 +46,15 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
                   grad_out.dim(2) == oh && grad_out.dim(3) == ow,
               "Conv2d backward shape mismatch");
 
-  Tensor dx({b, in_ch_, h, w});
-  const float* px = x.data();
-  const float* pw = weight_.data();
-  const float* pg = grad_out.data();
-  float* pdx = dx.data();
-  float* pdw = grad_weight_.data();
-  float* pdb = grad_bias_.data();
+  const Tensor gmat = gather_grad_rows2d(grad_out, exec_);  // [B*OH*OW, OC]
+  grad_weight_ +=
+      gemm(Trans::kT, Trans::kN, gmat, cached_cols_, exec_).reshaped(weight_.shape());
+  accumulate_bias_grad(gmat, grad_bias_, exec_);
 
-  for (std::int64_t n = 0; n < b; ++n) {
-    for (std::int64_t oc = 0; oc < out_ch_; ++oc) {
-      for (std::int64_t i = 0; i < oh; ++i) {
-        for (std::int64_t j = 0; j < ow; ++j) {
-          const float g = pg[((n * out_ch_ + oc) * oh + i) * ow + j];
-          if (g == 0.0f) continue;
-          pdb[oc] += g;
-          for (std::int64_t ic = 0; ic < in_ch_; ++ic) {
-            for (std::int64_t ki = 0; ki < kernel_; ++ki) {
-              const std::int64_t ii = i * stride_ + ki - padding_;
-              if (ii < 0 || ii >= h) continue;
-              const float* xrow = px + ((n * in_ch_ + ic) * h + ii) * w;
-              float* dxrow = pdx + ((n * in_ch_ + ic) * h + ii) * w;
-              const float* wrow = pw + ((oc * in_ch_ + ic) * kernel_ + ki) * kernel_;
-              float* dwrow = pdw + ((oc * in_ch_ + ic) * kernel_ + ki) * kernel_;
-              for (std::int64_t kj = 0; kj < kernel_; ++kj) {
-                const std::int64_t jj = j * stride_ + kj - padding_;
-                if (jj < 0 || jj >= w) continue;
-                dwrow[kj] += g * xrow[jj];
-                dxrow[jj] += g * wrow[kj];
-              }
-            }
-          }
-        }
-      }
-    }
-  }
+  const Tensor wmat = weight_.reshaped({out_ch_, in_ch_ * kernel_ * kernel_});
+  const Tensor dcols = gemm(Trans::kN, Trans::kN, gmat, wmat, exec_);
+  Tensor dx({b, in_ch_, h, w});
+  col2im2d(dcols, dx, kernel_, kernel_, stride_, padding_, padding_, oh, ow, exec_);
   return dx;
 }
 

@@ -33,6 +33,7 @@ class Conv2d : public Layer {
   Tensor grad_weight_;
   Tensor grad_bias_;
   Tensor cached_input_;
+  Tensor cached_cols_;  // im2col of cached_input_, reused by backward
 };
 
 }  // namespace dinar::nn

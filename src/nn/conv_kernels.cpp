@@ -1,0 +1,162 @@
+#include "nn/conv_kernels.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/execution_context.h"
+
+namespace dinar::nn {
+namespace {
+
+// Rows per parallel chunk for a given per-row workload.
+std::size_t grain_for(std::int64_t per_row_work) {
+  return static_cast<std::size_t>(
+      std::max<std::int64_t>(1, 16384 / std::max<std::int64_t>(1, per_row_work)));
+}
+
+void run_rows(std::int64_t n, const ExecutionContext* exec, std::size_t grain,
+              const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (exec != nullptr)
+    exec->parallel_for(n, fn, grain);
+  else
+    fn(0, n);
+}
+
+}  // namespace
+
+Tensor im2col2d(const Tensor& x, std::int64_t kernel_h, std::int64_t kernel_w,
+                std::int64_t stride, std::int64_t padding_h, std::int64_t padding_w,
+                std::int64_t oh, std::int64_t ow, const ExecutionContext* exec) {
+  DINAR_CHECK(x.rank() == 4, "im2col2d expects [B, C, H, W]");
+  const std::int64_t b = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::int64_t rows = b * oh * ow;
+  const std::int64_t ck = c * kernel_h * kernel_w;
+  Tensor cols({rows, ck});
+  const float* px = x.data();
+  float* pc = cols.data();
+
+  run_rows(rows, exec, grain_for(ck), [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const std::int64_t n = r / (oh * ow);
+      const std::int64_t oy = (r / ow) % oh;
+      const std::int64_t ox = r % ow;
+      float* crow = pc + r * ck;
+      for (std::int64_t ic = 0; ic < c; ++ic) {
+        for (std::int64_t ky = 0; ky < kernel_h; ++ky) {
+          const std::int64_t iy = oy * stride + ky - padding_h;
+          for (std::int64_t kx = 0; kx < kernel_w; ++kx) {
+            const std::int64_t ix = ox * stride + kx - padding_w;
+            const bool inside = iy >= 0 && iy < h && ix >= 0 && ix < w;
+            *crow++ = inside ? px[((n * c + ic) * h + iy) * w + ix] : 0.0f;
+          }
+        }
+      }
+    }
+  });
+  return cols;
+}
+
+void col2im2d(const Tensor& dcols, Tensor& dx, std::int64_t kernel_h,
+              std::int64_t kernel_w, std::int64_t stride, std::int64_t padding_h,
+              std::int64_t padding_w, std::int64_t oh, std::int64_t ow,
+              const ExecutionContext* exec) {
+  DINAR_CHECK(dx.rank() == 4, "col2im2d expects a [B, C, H, W] destination");
+  const std::int64_t b = dx.dim(0), c = dx.dim(1), h = dx.dim(2), w = dx.dim(3);
+  const std::int64_t ck = c * kernel_h * kernel_w;
+  DINAR_CHECK(dcols.rank() == 2 && dcols.dim(0) == b * oh * ow && dcols.dim(1) == ck,
+              "col2im2d: dcols shape " << shape_to_string(dcols.shape())
+                                       << " does not match the destination");
+  const float* pc = dcols.data();
+  float* pdx = dx.data();
+
+  // Patches overlap within an image, so the scatter-add parallelizes over
+  // whole images; each image's rows accumulate sequentially in ascending
+  // (oy, ox) order.
+  run_rows(b, exec, 1, [&](std::int64_t n0, std::int64_t n1) {
+    for (std::int64_t n = n0; n < n1; ++n) {
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          const float* crow = pc + ((n * oh + oy) * ow + ox) * ck;
+          for (std::int64_t ic = 0; ic < c; ++ic) {
+            for (std::int64_t ky = 0; ky < kernel_h; ++ky) {
+              const std::int64_t iy = oy * stride + ky - padding_h;
+              for (std::int64_t kx = 0; kx < kernel_w; ++kx) {
+                const std::int64_t ix = ox * stride + kx - padding_w;
+                const float v = *crow++;
+                if (v == 0.0f) continue;
+                if (iy >= 0 && iy < h && ix >= 0 && ix < w)
+                  pdx[((n * c + ic) * h + iy) * w + ix] += v;
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+Tensor gather_grad_rows2d(const Tensor& grad_out, const ExecutionContext* exec) {
+  DINAR_CHECK(grad_out.rank() == 4, "gather_grad_rows2d expects [B, OC, OH, OW]");
+  const std::int64_t b = grad_out.dim(0), oc = grad_out.dim(1);
+  const std::int64_t oh = grad_out.dim(2), ow = grad_out.dim(3);
+  const std::int64_t rows = b * oh * ow;
+  Tensor out({rows, oc});
+  const float* pg = grad_out.data();
+  float* po = out.data();
+
+  run_rows(rows, exec, grain_for(oc), [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const std::int64_t n = r / (oh * ow);
+      const std::int64_t pos = r % (oh * ow);
+      float* orow = po + r * oc;
+      for (std::int64_t ch = 0; ch < oc; ++ch)
+        orow[ch] = pg[(n * oc + ch) * oh * ow + pos];
+    }
+  });
+  return out;
+}
+
+Tensor scatter_output_rows2d(const Tensor& rows, const Tensor& bias, std::int64_t b,
+                             std::int64_t oh, std::int64_t ow,
+                             const ExecutionContext* exec) {
+  DINAR_CHECK(rows.rank() == 2 && rows.dim(0) == b * oh * ow,
+              "scatter_output_rows2d: row count mismatch");
+  const std::int64_t oc = rows.dim(1);
+  Tensor y({b, oc, oh, ow});
+  const float* pr = rows.data();
+  const float* pb = bias.data();
+  float* py = y.data();
+
+  run_rows(b * oh * ow, exec, grain_for(oc), [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const std::int64_t n = r / (oh * ow);
+      const std::int64_t pos = r % (oh * ow);
+      const float* rrow = pr + r * oc;
+      for (std::int64_t ch = 0; ch < oc; ++ch)
+        py[(n * oc + ch) * oh * ow + pos] = rrow[ch] + pb[ch];
+    }
+  });
+  return y;
+}
+
+void accumulate_bias_grad(const Tensor& grad_rows, Tensor& grad_bias,
+                          const ExecutionContext* exec) {
+  DINAR_CHECK(grad_rows.rank() == 2 && grad_rows.dim(1) == grad_bias.numel(),
+              "accumulate_bias_grad shape mismatch");
+  const std::int64_t rows = grad_rows.dim(0), oc = grad_rows.dim(1);
+  const float* pg = grad_rows.data();
+  float* pdb = grad_bias.data();
+
+  // Parallel over channels: each channel's column sum accumulates in
+  // ascending row order regardless of the chunking.
+  run_rows(oc, exec, grain_for(rows), [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t ch = c0; ch < c1; ++ch) {
+      for (std::int64_t r = 0; r < rows; ++r) {
+        const float g = pg[r * oc + ch];
+        if (g != 0.0f) pdb[ch] += g;
+      }
+    }
+  });
+}
+
+}  // namespace dinar::nn

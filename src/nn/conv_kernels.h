@@ -1,0 +1,50 @@
+// im2col lowering for the convolution layers.
+//
+// Convolutions are computed as one gemm over a patch matrix instead of the
+// former per-output scalar loops: forward is cols x W^T, the weight
+// gradient is g^T x cols, and the input gradient is g x W scattered back
+// through col2im. Padding positions are materialized as zeros, which
+// contribute exactly nothing to the double-accumulated dot products, so
+// the lowered forward matches the direct algorithm's sums term for term.
+//
+// All routines parallelize over disjoint output rows (or images, for the
+// scatter-add in col2im) via the optional ExecutionContext, so results are
+// bit-identical for every thread count.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace dinar::nn {
+
+// [B, C, H, W] -> [B*OH*OW, C*KH*KW]: row r = (b, oy, ox) holds the input
+// patch under output position (oy, ox), columns ordered (c, ky, kx) — the
+// same traversal order as the weight tensor's [OC, C, KH, KW] rows.
+Tensor im2col2d(const Tensor& x, std::int64_t kernel_h, std::int64_t kernel_w,
+                std::int64_t stride, std::int64_t padding_h, std::int64_t padding_w,
+                std::int64_t oh, std::int64_t ow, const ExecutionContext* exec);
+
+// Scatter-add transpose of im2col2d: accumulates dcols rows back into the
+// [B, C, H, W] gradient. Parallel over images only — patches overlap
+// within an image, so each image's scatter stays sequential (and therefore
+// deterministic).
+void col2im2d(const Tensor& dcols, Tensor& dx, std::int64_t kernel_h,
+              std::int64_t kernel_w, std::int64_t stride, std::int64_t padding_h,
+              std::int64_t padding_w, std::int64_t oh, std::int64_t ow,
+              const ExecutionContext* exec);
+
+// [B, OC, OH, OW] -> [B*OH*OW, OC]: gathers the gradient into gemm layout
+// (row r = (b, oy, ox)).
+Tensor gather_grad_rows2d(const Tensor& grad_out, const ExecutionContext* exec);
+
+// [B*OH*OW, OC] -> [B, OC, OH, OW]: scatters gemm output rows into the
+// activation layout, adding the per-channel bias.
+Tensor scatter_output_rows2d(const Tensor& rows, const Tensor& bias, std::int64_t b,
+                             std::int64_t oh, std::int64_t ow,
+                             const ExecutionContext* exec);
+
+// Per-output-channel column sums of a [R, OC] gradient matrix, accumulated
+// into grad_bias in ascending row order (the direct kernels' db order).
+void accumulate_bias_grad(const Tensor& grad_rows, Tensor& grad_bias,
+                          const ExecutionContext* exec);
+
+}  // namespace dinar::nn

@@ -15,7 +15,7 @@ Tensor Dense::forward(const Tensor& x, bool train) {
               "Dense(" << in_ << "," << out_ << ") got input "
                        << shape_to_string(x.shape()));
   if (train) cached_input_ = x;
-  Tensor y = matmul(x, weight_);
+  Tensor y = gemm(Trans::kN, Trans::kN, x, weight_, exec_);
   const std::int64_t batch = y.dim(0);
   float* py = y.data();
   const float* pb = bias_.data();
@@ -29,13 +29,13 @@ Tensor Dense::backward(const Tensor& grad_out) {
   DINAR_CHECK(grad_out.rank() == 2 && grad_out.dim(1) == out_,
               "Dense backward shape mismatch");
   // dW = x^T g, db = sum over batch, dx = g W^T.
-  grad_weight_ += matmul_tn(cached_input_, grad_out);
+  grad_weight_ += gemm(Trans::kT, Trans::kN, cached_input_, grad_out, exec_);
   const std::int64_t batch = grad_out.dim(0);
   const float* pg = grad_out.data();
   float* pdb = grad_bias_.data();
   for (std::int64_t i = 0; i < batch; ++i)
     for (std::int64_t j = 0; j < out_; ++j) pdb[j] += pg[i * out_ + j];
-  return matmul_nt(grad_out, weight_);
+  return gemm(Trans::kN, Trans::kT, grad_out, weight_, exec_);
 }
 
 std::string Dense::name() const {

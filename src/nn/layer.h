@@ -35,6 +35,14 @@ class Layer {
  public:
   virtual ~Layer() = default;
 
+  // Installs the execution context the layer's kernels may parallelize on
+  // (null = sequential). The caller owns the context and must keep it alive
+  // while the layer computes; composite layers propagate it to their inner
+  // layers. Kernels are bit-identical with and without a context, so this
+  // is purely a performance knob.
+  virtual void set_execution_context(const ExecutionContext* exec) { exec_ = exec; }
+  const ExecutionContext* execution_context() const { return exec_; }
+
   // Computes the layer output; when `train` is true the layer caches the
   // activations backward() needs. Gradients accumulate into the grad
   // tensors (callers zero them via Model::zero_grad between steps).
@@ -53,6 +61,9 @@ class Layer {
   // Deep copy including current parameter values (used to replicate the
   // initial model across FL clients).
   virtual std::unique_ptr<Layer> clone() const = 0;
+
+ protected:
+  const ExecutionContext* exec_ = nullptr;  // not owned
 };
 
 }  // namespace dinar::nn

@@ -64,6 +64,8 @@ ParamList read_param_list(BinaryReader& r) {
 Model::Model(const Model& other) {
   layers_.reserve(other.layers_.size());
   for (const auto& l : other.layers_) layers_.push_back(l->clone());
+  // A copy never inherits the source's execution context (see header).
+  set_execution_context(nullptr);
 }
 
 Model& Model::operator=(const Model& other) {
@@ -71,13 +73,20 @@ Model& Model::operator=(const Model& other) {
   layers_.clear();
   layers_.reserve(other.layers_.size());
   for (const auto& l : other.layers_) layers_.push_back(l->clone());
+  set_execution_context(nullptr);
   return *this;
 }
 
 Model& Model::add(std::unique_ptr<Layer> layer) {
   DINAR_CHECK(layer != nullptr, "cannot add a null layer");
+  layer->set_execution_context(exec_);
   layers_.push_back(std::move(layer));
   return *this;
+}
+
+void Model::set_execution_context(const ExecutionContext* exec) {
+  exec_ = exec;
+  for (auto& layer : layers_) layer->set_execution_context(exec);
 }
 
 Tensor Model::forward(const Tensor& x, bool train) {

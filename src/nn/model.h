@@ -47,8 +47,17 @@ class Model {
   Model(const Model& other);
   Model& operator=(const Model& other);
 
-  // Appends a layer; returns *this for builder-style chaining.
+  // Appends a layer; returns *this for builder-style chaining. The layer
+  // inherits the model's execution context.
   Model& add(std::unique_ptr<Layer> layer);
+
+  // Installs the execution context every layer's kernels parallelize on
+  // (null = sequential). Not owned: the caller keeps it alive while the
+  // model computes. Copies of a model deliberately do NOT inherit the
+  // context — a model that escapes the simulation (attacker views, shadow
+  // models) must not hold a pointer into its lifetime.
+  void set_execution_context(const ExecutionContext* exec);
+  const ExecutionContext* execution_context() const { return exec_; }
 
   Tensor forward(const Tensor& x, bool train = false);
   // Backpropagates dL/d(output); parameter gradients accumulate.
@@ -85,6 +94,7 @@ class Model {
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
+  const ExecutionContext* exec_ = nullptr;  // not owned
 };
 
 }  // namespace dinar::nn

@@ -57,6 +57,13 @@ std::vector<ParamGroup> ResidualBlock::param_groups() {
   return groups;
 }
 
+void ResidualBlock::set_execution_context(const ExecutionContext* exec) {
+  Layer::set_execution_context(exec);
+  for (Layer* inner :
+       {conv1_.get(), relu_mid_.get(), conv2_.get(), proj_.get(), relu_out_.get()})
+    if (inner != nullptr) inner->set_execution_context(exec);
+}
+
 std::unique_ptr<Layer> ResidualBlock::clone() const {
   auto copy = std::unique_ptr<ResidualBlock>(new ResidualBlock());
   copy->conv1_ = conv1_->clone();
@@ -67,6 +74,7 @@ std::unique_ptr<Layer> ResidualBlock::clone() const {
   copy->in_ch_ = in_ch_;
   copy->out_ch_ = out_ch_;
   copy->stride_ = stride_;
+  copy->set_execution_context(exec_);
   return copy;
 }
 

@@ -23,6 +23,8 @@ class ResidualBlock : public Layer {
   std::string name() const override;
   std::vector<ParamGroup> param_groups() override;
   std::unique_ptr<Layer> clone() const override;
+  // Propagates the context to the inner convolutions.
+  void set_execution_context(const ExecutionContext* exec) override;
 
  private:
   ResidualBlock() = default;

@@ -1,11 +1,13 @@
 #include "tensor/tensor.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <numeric>
 #include <sstream>
 
 #include "util/error.h"
+#include "util/execution_context.h"
 #include "util/memory_tracker.h"
 
 namespace dinar {
@@ -204,68 +206,111 @@ Tensor scale(const Tensor& a, float s) {
   return out;
 }
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
-  DINAR_CHECK(a.rank() == 2 && b.rank() == 2, "matmul requires rank-2 tensors");
-  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  DINAR_CHECK(b.dim(0) == k, "matmul inner dimension mismatch: "
-                                 << shape_to_string(a.shape()) << " x "
-                                 << shape_to_string(b.shape()));
-  Tensor out({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  // i-k-j loop order: unit-stride inner loop over both b and out.
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float av = pa[i * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      float* orow = po + i * n;
-      for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
-  return out;
+namespace {
+
+// Cache tiles for the axpy-form kernels (kN/kT x kN): the B sub-panel of
+// kTileK x kTileJ floats (64 KiB) stays resident while every row of the
+// chunk streams over it. Tiling only regroups the j loop; each output
+// element still accumulates in ascending-k order, so tiled and untiled
+// results are bit-identical.
+constexpr std::int64_t kTileJ = 256;
+constexpr std::int64_t kTileK = 64;
+
+// Rows per parallel chunk, sized so a chunk is worth a pool dispatch.
+std::size_t row_grain(std::int64_t k, std::int64_t n) {
+  const std::int64_t per_row = std::max<std::int64_t>(1, k * n);
+  return static_cast<std::size_t>(std::max<std::int64_t>(1, 32768 / per_row));
 }
 
-Tensor matmul_tn(const Tensor& a, const Tensor& b) {
-  DINAR_CHECK(a.rank() == 2 && b.rank() == 2, "matmul_tn requires rank-2 tensors");
-  const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
-  DINAR_CHECK(b.dim(0) == k, "matmul_tn inner dimension mismatch");
-  Tensor out({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  for (std::int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* orow = po + i * n;
-      for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+// op(a) rows x b columns where b is used as stored ([k, n]). `a_row_stride`
+// and `a_k_stride` express op(a)'s element layout, so kN ([m, k], strides
+// k/1) and kT ([k, m], strides 1/m) share one kernel. Accumulation is a
+// float axpy over j in ascending-k order with the seed kernels'
+// skip-zero-multiplier fast path.
+void gemm_axpy_rows(std::int64_t r0, std::int64_t r1, std::int64_t k, std::int64_t n,
+                    const float* pa, std::int64_t a_row_stride, std::int64_t a_k_stride,
+                    const float* pb, float* po) {
+  for (std::int64_t jb = 0; jb < n; jb += kTileJ) {
+    const std::int64_t je = std::min(n, jb + kTileJ);
+    for (std::int64_t kb = 0; kb < k; kb += kTileK) {
+      const std::int64_t ke = std::min(k, kb + kTileK);
+      for (std::int64_t i = r0; i < r1; ++i) {
+        const float* arow = pa + i * a_row_stride;
+        float* orow = po + i * n;
+        for (std::int64_t kk = kb; kk < ke; ++kk) {
+          const float av = arow[kk * a_k_stride];
+          if (av == 0.0f) continue;
+          const float* brow = pb + kk * n;
+          for (std::int64_t j = jb; j < je; ++j) orow[j] += av * brow[j];
+        }
+      }
     }
   }
-  return out;
 }
 
-Tensor matmul_nt(const Tensor& a, const Tensor& b) {
-  DINAR_CHECK(a.rank() == 2 && b.rank() == 2, "matmul_nt requires rank-2 tensors");
-  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
-  DINAR_CHECK(b.dim(1) == k, "matmul_nt inner dimension mismatch");
-  Tensor out({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
+// op(a) rows x b^T rows (b stored [n, k]): a dot product per output
+// element, double-accumulated in ascending-k order (the seed matmul_nt
+// numerics).
+void gemm_dot_rows(std::int64_t r0, std::int64_t r1, std::int64_t k, std::int64_t n,
+                   const float* pa, std::int64_t a_row_stride, std::int64_t a_k_stride,
+                   const float* pb, float* po) {
+  for (std::int64_t i = r0; i < r1; ++i) {
+    const float* arow = pa + i * a_row_stride;
+    float* orow = po + i * n;
     for (std::int64_t j = 0; j < n; ++j) {
       const float* brow = pb + j * k;
       double acc = 0.0;
-      for (std::int64_t kk = 0; kk < k; ++kk) acc += static_cast<double>(arow[kk]) * brow[kk];
-      po[i * n + j] = static_cast<float>(acc);
+      for (std::int64_t kk = 0; kk < k; ++kk)
+        acc += static_cast<double>(arow[kk * a_k_stride]) * brow[kk];
+      orow[j] = static_cast<float>(acc);
     }
   }
+}
+
+}  // namespace
+
+Tensor gemm(Trans trans_a, Trans trans_b, const Tensor& a, const Tensor& b,
+            const ExecutionContext* exec) {
+  DINAR_CHECK(a.rank() == 2 && b.rank() == 2, "gemm requires rank-2 tensors");
+  const std::int64_t m = trans_a == Trans::kN ? a.dim(0) : a.dim(1);
+  const std::int64_t k = trans_a == Trans::kN ? a.dim(1) : a.dim(0);
+  const std::int64_t n = trans_b == Trans::kN ? b.dim(1) : b.dim(0);
+  const std::int64_t kb = trans_b == Trans::kN ? b.dim(0) : b.dim(1);
+  DINAR_CHECK(kb == k, "gemm inner dimension mismatch: "
+                           << (trans_a == Trans::kT ? "T " : "") << shape_to_string(a.shape())
+                           << " x " << (trans_b == Trans::kT ? "T " : "")
+                           << shape_to_string(b.shape()));
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // op(a)'s strides: rows of the logical [m, k] operand.
+  const std::int64_t a_row_stride = trans_a == Trans::kN ? k : 1;
+  const std::int64_t a_k_stride = trans_a == Trans::kN ? 1 : m;
+
+  const auto rows = [&](std::int64_t r0, std::int64_t r1) {
+    if (trans_b == Trans::kN)
+      gemm_axpy_rows(r0, r1, k, n, pa, a_row_stride, a_k_stride, pb, po);
+    else
+      gemm_dot_rows(r0, r1, k, n, pa, a_row_stride, a_k_stride, pb, po);
+  };
+  if (exec != nullptr)
+    exec->parallel_for(m, rows, row_grain(k, n));
+  else
+    rows(0, m);
   return out;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  return gemm(Trans::kN, Trans::kN, a, b);
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  return gemm(Trans::kT, Trans::kN, a, b);
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  return gemm(Trans::kN, Trans::kT, a, b);
 }
 
 }  // namespace dinar

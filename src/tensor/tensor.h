@@ -17,6 +17,8 @@
 
 namespace dinar {
 
+class ExecutionContext;  // util/execution_context.h
+
 using Shape = std::vector<std::int64_t>;
 
 std::string shape_to_string(const Shape& shape);
@@ -98,6 +100,22 @@ Tensor sub(const Tensor& a, const Tensor& b);
 // out = a * s.
 Tensor scale(const Tensor& a, float s);
 
+// Operand orientation for gemm: kN uses the tensor as stored, kT uses its
+// transpose (without materializing it).
+enum class Trans : std::uint8_t { kN, kT };
+
+// General matrix multiply: op(a) op(b) -> [m, n], where op is identity
+// (kN) or transpose (kT). This is the single compute entry point that
+// replaced the matmul / matmul_tn / matmul_nt trio: the kernel is blocked
+// for cache reuse and, when `exec` is non-null, parallelized over row
+// chunks via ExecutionContext::parallel_for. Every output element is
+// accumulated by exactly one chunk in a fixed k-order, so results are
+// bit-identical for every thread count (and to `exec == nullptr`).
+Tensor gemm(Trans trans_a, Trans trans_b, const Tensor& a, const Tensor& b,
+            const ExecutionContext* exec = nullptr);
+
+// Deprecated wrappers around gemm(), kept for one PR so out-of-tree
+// callers can migrate; new code must call gemm() directly.
 // Matrix product: a is [m, k], b is [k, n] -> [m, n].
 Tensor matmul(const Tensor& a, const Tensor& b);
 // a^T b where a is [k, m], b is [k, n] -> [m, n] (used in backward passes).

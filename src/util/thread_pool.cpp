@@ -3,6 +3,13 @@
 #include <algorithm>
 
 namespace dinar {
+namespace {
+
+thread_local bool t_on_worker_thread = false;
+
+}  // namespace
+
+bool ThreadPool::on_worker_thread() { return t_on_worker_thread; }
 
 ThreadPool::ThreadPool(unsigned threads) {
   const unsigned n = std::max(1u, threads);
@@ -19,35 +26,65 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-std::future<void> ThreadPool::submit(std::function<void()> fn) {
-  std::packaged_task<void()> task(std::move(fn));
-  std::future<void> fut = task.get_future();
+void ThreadPool::enqueue(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    tasks_.push(std::move(task));
+    tasks_.push(std::move(fn));
   }
   cv_.notify_one();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> fn) {
+  auto promise = std::make_shared<std::promise<void>>();
+  std::future<void> fut = promise->get_future();
+  enqueue([promise, fn = std::move(fn)] {
+    try {
+      fn();
+      promise->set_value();
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  });
   return fut;
 }
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
-  std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) futures.push_back(submit([&fn, i] { fn(i); }));
-  std::exception_ptr first_error;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
+  if (n == 0) return;
+  // Shared completion state: a counter the caller waits on, plus one
+  // exception slot per index so errors survive the task's stack unwinding
+  // and are rethrown deterministically (lowest index first).
+  struct Sync {
+    std::mutex mu;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::vector<std::exception_ptr> errors;
+  };
+  auto sync = std::make_shared<Sync>();
+  sync->remaining = n;
+  sync->errors.resize(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    enqueue([sync, &fn, i] {
+      try {
+        fn(i);
+      } catch (...) {
+        sync->errors[i] = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(sync->mu);
+      if (--sync->remaining == 0) sync->done.notify_all();
+    });
   }
-  if (first_error) std::rethrow_exception(first_error);
+
+  std::unique_lock<std::mutex> lock(sync->mu);
+  sync->done.wait(lock, [&] { return sync->remaining == 0; });
+  for (const std::exception_ptr& e : sync->errors)
+    if (e) std::rethrow_exception(e);
 }
 
 void ThreadPool::worker_loop() {
+  t_on_worker_thread = true;
   while (true) {
-    std::packaged_task<void()> task;
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
@@ -55,7 +92,7 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();  // Exceptions are captured in the packaged_task's future.
+    task();
   }
 }
 

@@ -1,8 +1,8 @@
 // Fixed-size thread pool.
 //
-// The FL orchestrator uses it to run client local-training in parallel
-// (cross-silo clients are independent machines); each task carries its own
-// Rng stream so results are identical regardless of scheduling. On a
+// The parallel execution engine (util/execution_context.h) wraps this pool;
+// nothing else should reach it directly. Each FL client task carries its
+// own Rng stream so results are identical regardless of scheduling. On a
 // single-core host the pool degrades to sequential execution.
 #pragma once
 
@@ -26,18 +26,26 @@ class ThreadPool {
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
+  // True when called from inside a pool worker thread (any pool). Used to
+  // run nested parallel sections inline instead of deadlocking on a
+  // saturated queue.
+  static bool on_worker_thread();
+
   // Schedules `fn` and returns a future for its completion/exception.
   std::future<void> submit(std::function<void()> fn);
 
-  // Runs fn(i) for i in [0, n) across the pool and waits; the first thrown
-  // exception is rethrown on the caller's thread.
+  // Runs fn(i) for i in [0, n) across the pool and waits. Worker exceptions
+  // are captured per index and the lowest-index one is rethrown on the
+  // caller's thread, so the error surfaced is deterministic — not whichever
+  // task happened to fail first under this schedule.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
   void worker_loop();
+  void enqueue(std::function<void()> fn);
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
+  std::queue<std::function<void()>> tasks_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;

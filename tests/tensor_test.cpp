@@ -153,6 +153,43 @@ TEST(MatmulTest, InnerDimensionMismatchThrows) {
   EXPECT_THROW(matmul(a, b), Error);
 }
 
+// The matmul trio are thin deprecated wrappers over gemm(); the unified
+// API must agree with them exactly (they call the same kernels).
+TEST(GemmTest, WrappersAreExactAliases) {
+  Rng rng(77);
+  Tensor a = Tensor::gaussian({9, 13}, rng);
+  Tensor b = Tensor::gaussian({13, 5}, rng);
+  Tensor a_t = Tensor::gaussian({13, 9}, rng);
+  Tensor b_t = Tensor::gaussian({5, 13}, rng);
+
+  const auto expect_same = [](const Tensor& x, const Tensor& y) {
+    ASSERT_TRUE(x.same_shape(y));
+    for (std::int64_t i = 0; i < x.numel(); ++i) EXPECT_EQ(x.at(i), y.at(i));
+  };
+  expect_same(gemm(Trans::kN, Trans::kN, a, b), matmul(a, b));
+  expect_same(gemm(Trans::kT, Trans::kN, a_t, b), matmul_tn(a_t, b));
+  expect_same(gemm(Trans::kN, Trans::kT, a, b_t), matmul_nt(a, b_t));
+}
+
+TEST(GemmTest, DoubleTransposeHandComputed) {
+  // gemm(kT, kT, a, b) = a^T b^T — the one combination the legacy trio
+  // never offered.
+  Tensor a({3, 2}, {1, 4, 2, 5, 3, 6});        // a^T = [[1,2,3],[4,5,6]]
+  Tensor b({2, 3}, {7, 9, 11, 8, 10, 12});     // b^T = [[7,8],[9,10],[11,12]]
+  Tensor c = gemm(Trans::kT, Trans::kT, a, b);
+  EXPECT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(GemmTest, InnerDimensionMismatchThrows) {
+  Tensor a({2, 3}), b({2, 2});
+  EXPECT_THROW(gemm(Trans::kN, Trans::kN, a, b), Error);
+  // a^T is 3x2, so a 3-row b no longer lines up.
+  EXPECT_THROW(gemm(Trans::kT, Trans::kN, a, Tensor({3, 3})), Error);
+}
+
 // Property sweep: matmul_tn(a, b) == matmul(a^T, b) and
 // matmul_nt(a, b) == matmul(a, b^T) over random shapes.
 class MatmulVariantTest : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
