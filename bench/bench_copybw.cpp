@@ -1,0 +1,178 @@
+// Copy-bandwidth bench for the parameter data model: counts per-round heap
+// allocations and bulk parameter copies on the exchange+aggregate hot path
+// (snapshot -> serialize -> deserialize -> FedAvg) under the contiguous
+// FlatParams arena versus the deprecated per-tensor ParamList pipeline it
+// replaced. Writes BENCH_COPYBW.json; `--smoke` doubles as the CI
+// allocation-regression gate (fails unless the flat path stays >= 5x
+// cheaper in allocations than the tensor-list baseline).
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "fl/server.h"
+#include "harness/experiment.h"
+#include "nn/model_zoo.h"
+#include "util/memory_tracker.h"
+
+namespace dinar::bench {
+namespace {
+
+struct RoundCost {
+  double allocs_per_round = 0.0;
+  double alloc_bytes_per_round = 0.0;
+  double copied_bytes_per_round = 0.0;
+  double wire_bytes_per_round = 0.0;
+};
+
+struct TrackerMark {
+  std::uint64_t events;
+  std::uint64_t bytes;
+  std::uint64_t copied;
+};
+
+TrackerMark mark() {
+  const MemoryTracker& t = MemoryTracker::instance();
+  return {t.alloc_events(), t.allocated_bytes_total(), t.copied_bytes_total()};
+}
+
+// One round on the FlatParams path: every client snapshots the model into a
+// flat arena, frames it as a v2 update, the server decodes and FedAvgs.
+RoundCost run_flat(nn::Model& model, int clients, int rounds) {
+  fl::FlServer server(model.parameters(), std::make_unique<fl::NoServerDefense>());
+  RoundCost cost;
+  for (int r = 0; r < rounds; ++r) {
+    const TrackerMark before = mark();
+    std::vector<fl::ModelUpdateMsg> inbox;
+    for (int c = 0; c < clients; ++c) {
+      fl::ModelUpdateMsg u;
+      u.client_id = c;
+      u.round = server.round();
+      u.num_samples = 100 + c;
+      u.params = model.parameters();  // one arena allocation
+      const auto bytes = u.serialize();
+      cost.wire_bytes_per_round += static_cast<double>(bytes.size());
+      inbox.push_back(fl::ModelUpdateMsg::deserialize(bytes));
+    }
+    server.aggregate(inbox);
+    const TrackerMark after = mark();
+    cost.allocs_per_round += static_cast<double>(after.events - before.events);
+    cost.alloc_bytes_per_round += static_cast<double>(after.bytes - before.bytes);
+    cost.copied_bytes_per_round += static_cast<double>(after.copied - before.copied);
+  }
+  cost.allocs_per_round /= rounds;
+  cost.alloc_bytes_per_round /= rounds;
+  cost.copied_bytes_per_round /= rounds;
+  cost.wire_bytes_per_round /= rounds;
+  return cost;
+}
+
+// The same round on the pre-flat pipeline, reconstructed from the shim:
+// per-tensor snapshots, per-tensor wire records, per-tensor FedAvg loops.
+RoundCost run_param_list(nn::Model& model, int clients, int rounds) {
+  RoundCost cost;
+  for (int r = 0; r < rounds; ++r) {
+    const TrackerMark before = mark();
+    std::vector<nn::ParamList> inbox;
+    std::vector<std::int64_t> weights;
+    double wire = 0.0;
+    for (int c = 0; c < clients; ++c) {
+      const nn::ParamList snapshot = model.parameters().to_param_list();
+      BinaryWriter w;
+      nn::write_param_list(w, snapshot);
+      wire += static_cast<double>(w.size());
+      BinaryReader reader(w.buffer());
+      inbox.push_back(nn::read_param_list(reader));
+      weights.push_back(100 + c);
+    }
+    std::int64_t total = 0;
+    for (const std::int64_t s : weights) total += s;
+    nn::ParamList global = inbox[0];
+    nn::param_list_scale(global, static_cast<float>(weights[0]) / total);
+    for (int c = 1; c < clients; ++c)
+      nn::param_list_add_scaled(global, inbox[static_cast<std::size_t>(c)],
+                                static_cast<float>(weights[static_cast<std::size_t>(c)]) / total);
+    const TrackerMark after = mark();
+    cost.allocs_per_round += static_cast<double>(after.events - before.events);
+    cost.alloc_bytes_per_round += static_cast<double>(after.bytes - before.bytes);
+    cost.copied_bytes_per_round += static_cast<double>(after.copied - before.copied);
+    cost.wire_bytes_per_round += wire;
+  }
+  cost.allocs_per_round /= rounds;
+  cost.alloc_bytes_per_round /= rounds;
+  cost.copied_bytes_per_round /= rounds;
+  cost.wire_bytes_per_round /= rounds;
+  return cost;
+}
+
+void add_row(BenchJson& json, const char* path, int clients, const RoundCost& c) {
+  json.begin_row()
+      .field("path", std::string(path))
+      .field("clients", static_cast<std::int64_t>(clients))
+      .field("allocs_per_round", c.allocs_per_round)
+      .field("alloc_bytes_per_round", c.alloc_bytes_per_round)
+      .field("copied_bytes_per_round", c.copied_bytes_per_round)
+      .field("wire_bytes_per_round", c.wire_bytes_per_round);
+}
+
+int run(int argc, char** argv) {
+  const bool smoke = parse_flag(argc, argv, "--smoke");
+  print_header("Parameter copy/alloc bandwidth — FlatParams vs ParamList",
+               "engineering companion to Table 3's cost metrics");
+
+  Rng rng(29);
+  // The paper's 6-layer FCNN shape; --smoke shrinks width, not structure,
+  // so the per-tensor overhead being measured keeps its 12 wire records.
+  nn::Model model = smoke ? nn::make_fcnn6(20, 10, 32, rng)
+                          : nn::make_fcnn6(600, 100, 256, rng);
+  const int rounds = smoke ? 2 : 5;
+  const std::vector<int> client_counts = smoke ? std::vector<int>{5}
+                                               : std::vector<int>{5, 20};
+
+  BenchJson json("copybw");
+  print_table_header("path", {"clients", "allocs/rd", "MB alloc/rd",
+                              "MB copied/rd", "MB wire/rd"});
+  bool gate_ok = true;
+  for (const int clients : client_counts) {
+    const RoundCost flat = run_flat(model, clients, rounds);
+    const RoundCost baseline = run_param_list(model, clients, rounds);
+    const double mb = 1.0 / (1024.0 * 1024.0);
+    print_table_row("flat", {static_cast<double>(clients), flat.allocs_per_round,
+                             flat.alloc_bytes_per_round * mb,
+                             flat.copied_bytes_per_round * mb,
+                             flat.wire_bytes_per_round * mb});
+    print_table_row("param_list",
+                    {static_cast<double>(clients), baseline.allocs_per_round,
+                     baseline.alloc_bytes_per_round * mb,
+                     baseline.copied_bytes_per_round * mb,
+                     baseline.wire_bytes_per_round * mb});
+    add_row(json, "flat", clients, flat);
+    add_row(json, "param_list", clients, baseline);
+
+    const double ratio =
+        flat.allocs_per_round > 0.0
+            ? baseline.allocs_per_round / flat.allocs_per_round
+            : 0.0;
+    std::printf("  alloc ratio (param_list / flat) at %d clients: %.1fx\n",
+                clients, ratio);
+    json.begin_row()
+        .field("path", std::string("ratio"))
+        .field("clients", static_cast<std::int64_t>(clients))
+        .field("alloc_ratio", ratio);
+    if (ratio < 5.0) gate_ok = false;
+  }
+  json.write();
+
+  if (!gate_ok) {
+    std::fprintf(stderr,
+                 "FAIL: flat path is less than 5x cheaper in per-round heap "
+                 "allocations than the ParamList baseline\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dinar::bench
+
+int main(int argc, char** argv) { return dinar::bench::run(argc, argv); }

@@ -20,7 +20,7 @@ void BM_Matmul(benchmark::State& state) {
   Tensor a = Tensor::gaussian({n, n}, rng);
   Tensor b = Tensor::gaussian({n, n}, rng);
   for (auto _ : state) {
-    Tensor c = matmul(a, b);
+    Tensor c = gemm(Trans::kN, Trans::kN, a, b);
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
@@ -67,7 +67,7 @@ void BM_ModelUpdateSerde(benchmark::State& state) {
   for (auto _ : state) {
     auto bytes = msg.serialize();
     fl::ModelUpdateMsg back = fl::ModelUpdateMsg::deserialize(bytes);
-    benchmark::DoNotOptimize(back.params.data());
+    benchmark::DoNotOptimize(back.params.as_span().data());
     state.SetBytesProcessed(state.bytes_processed() +
                             static_cast<std::int64_t>(bytes.size()));
   }
@@ -87,7 +87,7 @@ void BM_FedAvgAggregate(benchmark::State& state) {
   for (auto _ : state) {
     fl::FlServer server(m.parameters(), std::make_unique<fl::NoServerDefense>());
     server.aggregate(updates);
-    benchmark::DoNotOptimize(server.global_params().data());
+    benchmark::DoNotOptimize(server.global_params().as_span().data());
   }
 }
 BENCHMARK(BM_FedAvgAggregate)->Arg(5)->Arg(20);
@@ -97,9 +97,9 @@ void BM_ObfuscateLayer(benchmark::State& state) {
   nn::Model m = nn::make_fcnn6(600, 100, 256, rng);
   Rng orng(7);
   for (auto _ : state) {
-    nn::ParamList snapshot = m.parameters();
+    nn::FlatParams snapshot = m.parameters();
     core::obfuscate_layer_in_snapshot(m, snapshot, 4, orng);
-    benchmark::DoNotOptimize(snapshot.data());
+    benchmark::DoNotOptimize(snapshot.as_span().data());
   }
 }
 BENCHMARK(BM_ObfuscateLayer);

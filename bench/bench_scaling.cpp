@@ -21,17 +21,15 @@
 namespace dinar::bench {
 namespace {
 
-std::uint64_t param_hash(const nn::ParamList& params) {
+std::uint64_t param_hash(const nn::FlatParams& params) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const Tensor& t : params) {
-    for (const float v : t.values()) {
-      std::uint32_t bits = 0;
-      static_assert(sizeof bits == sizeof v);
-      std::memcpy(&bits, &v, sizeof bits);
-      for (int b = 0; b < 32; b += 8) {
-        h ^= (bits >> b) & 0xFF;
-        h *= 0x100000001b3ULL;
-      }
+  for (const float v : params.as_span()) {
+    std::uint32_t bits = 0;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    for (int b = 0; b < 32; b += 8) {
+      h ^= (bits >> b) & 0xFF;
+      h *= 0x100000001b3ULL;
     }
   }
   return h;

@@ -34,7 +34,7 @@ void DinarDefense::initialize(nn::Model& model, int client_id) {
               << protected_layers_.size() << " layer(s)";
 }
 
-void DinarDefense::on_download(nn::Model& model, const nn::ParamList& global_params) {
+void DinarDefense::on_download(nn::Model& model, const nn::FlatParams& global_params) {
   // Model Personalization: take every layer from the global model except
   // the protected ones, which are restored from theta_p^*.
   model.set_parameters(global_params);
@@ -42,15 +42,19 @@ void DinarDefense::on_download(nn::Model& model, const nn::ParamList& global_par
     model.set_layer_parameters(protected_layers_[i], stored_private_[i]);
 }
 
-nn::ParamList DinarDefense::before_upload(nn::Model& model, nn::ParamList params,
-                                          std::int64_t /*num_samples*/,
-                                          bool& /*pre_weighted*/) {
+nn::FlatParams DinarDefense::before_upload(nn::Model& model, nn::FlatParams params,
+                                           std::int64_t /*num_samples*/,
+                                           bool& /*pre_weighted*/) {
   // Model Obfuscation: persist the trained private layers, then randomize
   // them in the outgoing snapshot only.
   for (std::size_t i = 0; i < protected_layers_.size(); ++i) {
     stored_private_[i] = model.layer_parameters(protected_layers_[i]);
     obfuscate_layer_in_snapshot(model, params, protected_layers_[i], rng_, strategy_);
   }
+  // Tag the obfuscated entries in the outgoing index so downstream
+  // consumers (wire format, robust aggregation) can see which spans carry
+  // no information.
+  params.reset_index(params.index()->with_obfuscated(protected_layers_));
   return params;
 }
 

@@ -28,16 +28,16 @@ class DinarDefense final : public fl::ClientDefense {
 
   std::string name() const override { return "dinar"; }
   void initialize(nn::Model& model, int client_id) override;
-  void on_download(nn::Model& model, const nn::ParamList& global_params) override;
-  nn::ParamList before_upload(nn::Model& model, nn::ParamList params,
-                              std::int64_t num_samples, bool& pre_weighted) override;
+  void on_download(nn::Model& model, const nn::FlatParams& global_params) override;
+  nn::FlatParams before_upload(nn::Model& model, nn::FlatParams params,
+                               std::int64_t num_samples, bool& pre_weighted) override;
 
   const std::vector<std::size_t>& protected_layers() const { return protected_layers_; }
 
  private:
   std::vector<std::size_t> protected_layers_;
   // theta_p^* per protected layer, aligned with protected_layers_.
-  std::vector<nn::ParamList> stored_private_;
+  std::vector<nn::FlatParams> stored_private_;
   ObfuscationStrategy strategy_;
   Rng rng_;
   int client_id_ = -1;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "nn/model.h"
@@ -24,18 +25,26 @@ namespace dinar::core {
 //    outs the obfuscation and pollutes the aggregate scale.
 enum class ObfuscationStrategy { kScaledUniform, kZeros, kLargeGaussian };
 
-// Randomizes one tensor in place, scale-matched to its current contents.
-void obfuscate_tensor(Tensor& t, Rng& rng);
+// Randomizes one value span in place, scale-matched to its current
+// contents. Spans map 1:1 to layer-index entries, so statistics stay at
+// the original per-tensor granularity.
+void obfuscate_span(std::span<float> values, Rng& rng);
 
 // Strategy-selected variant.
+void obfuscate_span_with(std::span<float> values, ObfuscationStrategy strategy,
+                         Rng& rng);
+
+// Tensor conveniences (ablation benches and tests obfuscate lone tensors).
+void obfuscate_tensor(Tensor& t, Rng& rng);
 void obfuscate_tensor_with(Tensor& t, ObfuscationStrategy strategy, Rng& rng);
 
-// Randomizes the tensors of layer `layer_index` inside a flat parameter
+// Randomizes the entries of layer `layer_index` inside a flat parameter
 // snapshot laid out like `model`'s parameters() (used by the defense's
 // before_upload, which transforms the outgoing copy, never the live
-// model).
+// model). Each entry is randomized separately so the draw sequence
+// matches the old per-tensor implementation.
 void obfuscate_layer_in_snapshot(
-    nn::Model& model, nn::ParamList& snapshot, std::size_t layer_index, Rng& rng,
+    nn::Model& model, nn::FlatParams& snapshot, std::size_t layer_index, Rng& rng,
     ObfuscationStrategy strategy = ObfuscationStrategy::kScaledUniform);
 
 }  // namespace dinar::core

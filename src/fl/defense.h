@@ -28,16 +28,17 @@ class ClientDefense {
 
   // The global model arrived. Default behaviour installs it verbatim;
   // DINAR overrides to keep the client's private layer (personalization).
-  virtual void on_download(nn::Model& model, const nn::ParamList& global_params) {
+  virtual void on_download(nn::Model& model, const nn::FlatParams& global_params) {
     model.set_parameters(global_params);
   }
 
   // Local training finished; transform what gets uploaded. `params` is a
-  // snapshot of the trained model. Returns the payload parameters and may
-  // set `pre_weighted` (see message.h).
-  virtual nn::ParamList before_upload(nn::Model& /*model*/, nn::ParamList params,
-                                      std::int64_t /*num_samples*/,
-                                      bool& /*pre_weighted*/) {
+  // flat snapshot of the trained model; defenses mutate layer/arena spans
+  // in place. Returns the payload parameters and may set `pre_weighted`
+  // (see message.h).
+  virtual nn::FlatParams before_upload(nn::Model& /*model*/, nn::FlatParams params,
+                                       std::int64_t /*num_samples*/,
+                                       bool& /*pre_weighted*/) {
     return params;
   }
 };
@@ -48,7 +49,7 @@ class ServerDefense {
   virtual std::string name() const = 0;
 
   // Aggregation produced `params`; mutate before broadcast (CDP noise).
-  virtual void after_aggregate(nn::ParamList& /*params*/) {}
+  virtual void after_aggregate(nn::FlatParams& /*params*/) {}
 };
 
 // Pass-through defenses: the paper's "no defense" baseline.

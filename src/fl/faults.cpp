@@ -193,51 +193,46 @@ bool AdversaryEngine::is_attacker(int client_id) const {
          config_.attackers.count(client_id) != 0;
 }
 
-void AdversaryEngine::corrupt_update(const nn::ParamList& global,
+void AdversaryEngine::corrupt_update(const nn::FlatParams& global,
                                      ModelUpdateMsg& update) {
   DINAR_CHECK(is_attacker(update.client_id),
               "corrupt_update called for honest client " << update.client_id);
-  DINAR_CHECK(nn::param_list_same_shape(update.params, global),
+  DINAR_CHECK(update.params.same_layout(global),
               "attacker " << update.client_id << " update shape differs from global");
   const AttackType type = config_.attackers.at(update.client_id);
+  const std::span<const float> vg = global.as_span();
+  const std::span<float> vu = update.params.as_span();
 
   switch (type) {
     case AttackType::kSignFlip:
       // Invert the client's own delta: the aggregate is pushed backwards
       // along an honest descent direction.
-      for (std::size_t t = 0; t < global.size(); ++t) {
-        const auto vg = global[t].values();
-        auto vu = update.params[t].values();
-        for (std::size_t j = 0; j < vu.size(); ++j)
-          vu[j] = static_cast<float>(
-              static_cast<double>(vg[j]) -
-              config_.sign_flip_scale *
-                  (static_cast<double>(vu[j]) - static_cast<double>(vg[j])));
-      }
+      for (std::size_t j = 0; j < vu.size(); ++j)
+        vu[j] = static_cast<float>(
+            static_cast<double>(vg[j]) -
+            config_.sign_flip_scale *
+                (static_cast<double>(vu[j]) - static_cast<double>(vg[j])));
       record(AttackType::kSignFlip);
       break;
 
     case AttackType::kModelReplacement:
       // Boost the own delta so a weighted mean is dominated by it (the
       // classic model-replacement / scaling backdoor vehicle).
-      for (std::size_t t = 0; t < global.size(); ++t) {
-        const auto vg = global[t].values();
-        auto vu = update.params[t].values();
-        for (std::size_t j = 0; j < vu.size(); ++j)
-          vu[j] = static_cast<float>(
-              static_cast<double>(vg[j]) +
-              config_.replacement_scale *
-                  (static_cast<double>(vu[j]) - static_cast<double>(vg[j])));
-      }
+      for (std::size_t j = 0; j < vu.size(); ++j)
+        vu[j] = static_cast<float>(
+            static_cast<double>(vg[j]) +
+            config_.replacement_scale *
+                (static_cast<double>(vu[j]) - static_cast<double>(vg[j])));
       record(AttackType::kModelReplacement);
       break;
 
     case AttackType::kGaussianNoise: {
+      // One draw per coordinate in arena order — the same order the old
+      // per-tensor loop consumed the stream in.
       Rng rng = base_rng_.fork(attack_stream(round_, update.client_id));
-      for (Tensor& t : update.params)
-        for (float& v : t.values())
-          v = static_cast<float>(static_cast<double>(v) +
-                                 rng.gaussian(0.0, config_.noise_std));
+      for (float& v : vu)
+        v = static_cast<float>(static_cast<double>(v) +
+                               rng.gaussian(0.0, config_.noise_std));
       record(AttackType::kGaussianNoise);
       break;
     }
@@ -247,13 +242,9 @@ void AdversaryEngine::corrupt_update(const nn::ParamList& global,
       // same (seed, round) stream, so their uploads mutually support each
       // other in distance-based scoring (the scenario Krum is weakest in).
       Rng rng = base_rng_.fork(collusion_stream(round_));
-      for (std::size_t t = 0; t < global.size(); ++t) {
-        const auto vg = global[t].values();
-        auto vu = update.params[t].values();
-        for (std::size_t j = 0; j < vu.size(); ++j)
-          vu[j] = static_cast<float>(static_cast<double>(vg[j]) +
-                                     config_.replacement_scale * rng.gaussian());
-      }
+      for (std::size_t j = 0; j < vu.size(); ++j)
+        vu[j] = static_cast<float>(static_cast<double>(vg[j]) +
+                                   config_.replacement_scale * rng.gaussian());
       record(AttackType::kColluding);
       break;
     }

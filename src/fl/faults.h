@@ -199,7 +199,7 @@ class AdversaryEngine {
   // Thread-safe: all randomness is keyed by (round, client) and the stats
   // counters are mutex-guarded, so concurrent per-client exchanges
   // produce the identical attack trace in any order.
-  void corrupt_update(const nn::ParamList& global, ModelUpdateMsg& update);
+  void corrupt_update(const nn::FlatParams& global, ModelUpdateMsg& update);
 
   const AdversaryConfig& config() const { return config_; }
   const AttackStats& stats() const { return stats_; }

@@ -5,8 +5,14 @@
 
 namespace dinar::fl {
 namespace {
-constexpr std::uint32_t kGlobalMsgMagic = 0x474D4F44;  // "GMOD"
-constexpr std::uint32_t kUpdateMsgMagic = 0x55504454;  // "UPDT"
+// Legacy v1 per-kind magics (tensor-list payload, pre-FlatParams).
+constexpr std::uint32_t kGlobalMsgMagicV1 = 0x474D4F44;  // "GMOD"
+constexpr std::uint32_t kUpdateMsgMagicV1 = 0x55504454;  // "UPDT"
+// v2 frames share one magic; the kind byte distinguishes the messages.
+constexpr std::uint32_t kFlatMsgMagic = 0x4D524644;  // "DFRM"
+constexpr std::uint32_t kFlatMsgVersion = 2;
+constexpr std::uint8_t kKindGlobal = 0;
+constexpr std::uint8_t kKindUpdate = 1;
 
 // Runs one field's decode; a failure is rethrown naming the message type
 // and the offending field, which the server's quarantine path records to
@@ -25,13 +31,28 @@ void check_exhausted(const char* msg_type, const BinaryReader& r) {
                                       << " trailing bytes after field 'params'");
 }
 
+// Reads the v2 header after the DFRM magic; checks version and kind.
+void read_flat_header(const char* msg_type, BinaryReader& r,
+                      std::uint8_t expected_kind) {
+  const std::uint8_t kind =
+      read_field(msg_type, "kind", [&] { return r.read_u8(); });
+  DINAR_CHECK(kind == expected_kind,
+              msg_type << ": bad field 'kind': " << static_cast<int>(kind));
+  const std::uint32_t version =
+      read_field(msg_type, "version", [&] { return r.read_u32(); });
+  DINAR_CHECK(version == kFlatMsgVersion,
+              msg_type << ": unsupported format version " << version);
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> GlobalModelMsg::serialize() const {
   BinaryWriter w;
-  w.write_u32(kGlobalMsgMagic);
+  w.write_u32(kFlatMsgMagic);
+  w.write_u8(kKindGlobal);
+  w.write_u32(kFlatMsgVersion);
   w.write_i64(round);
-  nn::write_param_list(w, params);
+  nn::write_flat_params(w, params);
   return w.take();
 }
 
@@ -39,23 +60,33 @@ GlobalModelMsg GlobalModelMsg::deserialize(const std::vector<std::uint8_t>& byte
   BinaryReader r(bytes);
   const std::uint32_t magic =
       read_field("GlobalModelMsg", "magic", [&] { return r.read_u32(); });
-  DINAR_CHECK(magic == kGlobalMsgMagic, "not a global-model message");
   GlobalModelMsg msg;
-  msg.round = read_field("GlobalModelMsg", "round", [&] { return r.read_i64(); });
-  msg.params =
-      read_field("GlobalModelMsg", "params", [&] { return nn::read_param_list(r); });
+  if (magic == kGlobalMsgMagicV1) {  // legacy tensor-list frame
+    msg.round = read_field("GlobalModelMsg", "round", [&] { return r.read_i64(); });
+    msg.params = read_field("GlobalModelMsg", "params", [&] {
+      return nn::FlatParams::from_param_list(nn::read_param_list(r));
+    });
+  } else {
+    DINAR_CHECK(magic == kFlatMsgMagic, "not a global-model message");
+    read_flat_header("GlobalModelMsg", r, kKindGlobal);
+    msg.round = read_field("GlobalModelMsg", "round", [&] { return r.read_i64(); });
+    msg.params = read_field("GlobalModelMsg", "params",
+                            [&] { return nn::read_flat_params(r); });
+  }
   check_exhausted("GlobalModelMsg", r);
   return msg;
 }
 
 std::vector<std::uint8_t> ModelUpdateMsg::serialize() const {
   BinaryWriter w;
-  w.write_u32(kUpdateMsgMagic);
+  w.write_u32(kFlatMsgMagic);
+  w.write_u8(kKindUpdate);
+  w.write_u32(kFlatMsgVersion);
   w.write_u32(static_cast<std::uint32_t>(client_id));
   w.write_i64(round);
   w.write_i64(num_samples);
   w.write_u8(pre_weighted ? 1 : 0);
-  nn::write_param_list(w, params);
+  nn::write_flat_params(w, params);
   return w.take();
 }
 
@@ -63,8 +94,12 @@ ModelUpdateMsg ModelUpdateMsg::deserialize(const std::vector<std::uint8_t>& byte
   BinaryReader r(bytes);
   const std::uint32_t magic =
       read_field("ModelUpdateMsg", "magic", [&] { return r.read_u32(); });
-  DINAR_CHECK(magic == kUpdateMsgMagic, "not a model-update message");
   ModelUpdateMsg msg;
+  const bool legacy = magic == kUpdateMsgMagicV1;
+  if (!legacy) {
+    DINAR_CHECK(magic == kFlatMsgMagic, "not a model-update message");
+    read_flat_header("ModelUpdateMsg", r, kKindUpdate);
+  }
   const std::uint32_t raw_client =
       read_field("ModelUpdateMsg", "client_id", [&] { return r.read_u32(); });
   DINAR_CHECK(raw_client <= 0x7FFFFFFFu,
@@ -76,8 +111,10 @@ ModelUpdateMsg ModelUpdateMsg::deserialize(const std::vector<std::uint8_t>& byte
       read_field("ModelUpdateMsg", "num_samples", [&] { return r.read_i64(); });
   msg.pre_weighted =
       read_field("ModelUpdateMsg", "pre_weighted", [&] { return r.read_u8(); }) != 0;
-  msg.params =
-      read_field("ModelUpdateMsg", "params", [&] { return nn::read_param_list(r); });
+  msg.params = read_field("ModelUpdateMsg", "params", [&] {
+    return legacy ? nn::FlatParams::from_param_list(nn::read_param_list(r))
+                  : nn::read_flat_params(r);
+  });
   check_exhausted("ModelUpdateMsg", r);
   return msg;
 }

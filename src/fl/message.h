@@ -6,6 +6,13 @@
 // secure aggregation, whose pairwise masks only cancel under an unweighted
 // sum — SA clients pre-multiply their parameters by their own weight so
 // the server can sum blindly and divide by the total weight.
+//
+// Wire format DFRM v2: shared magic + kind + version header, then the
+// message fields, then the parameters as a FlatParams index header plus
+// one contiguous f32 payload — serialization is a single bulk write of the
+// arena. deserialize() also accepts the pre-FlatParams v1 frames (per-kind
+// magic + tensor list); those decode into a snapshot with a synthesized
+// one-entry-per-layer index.
 #pragma once
 
 #include <cstdint>
@@ -17,7 +24,7 @@ namespace dinar::fl {
 
 struct GlobalModelMsg {
   std::int64_t round = 0;
-  nn::ParamList params;
+  nn::FlatParams params;
 
   std::vector<std::uint8_t> serialize() const;
   static GlobalModelMsg deserialize(const std::vector<std::uint8_t>& bytes);
@@ -28,7 +35,7 @@ struct ModelUpdateMsg {
   std::int64_t round = 0;
   std::int64_t num_samples = 0;
   bool pre_weighted = false;
-  nn::ParamList params;
+  nn::FlatParams params;
 
   std::vector<std::uint8_t> serialize() const;
   static ModelUpdateMsg deserialize(const std::vector<std::uint8_t>& bytes);

@@ -27,13 +27,13 @@ std::size_t coord_grain(std::size_t members) {
   return std::max<std::size_t>(std::size_t{64}, 16384 / std::max<std::size_t>(1, members));
 }
 
-// Marks the ParamList positions excluded from scoring (obfuscated layers).
-std::vector<bool> excluded_mask(const RobustConfig& config, std::size_t num_tensors) {
-  std::vector<bool> mask(num_tensors, false);
+// Marks the layer-index entries excluded from scoring (obfuscated layers).
+std::vector<bool> excluded_mask(const RobustConfig& config, std::size_t num_entries) {
+  std::vector<bool> mask(num_entries, false);
   for (const std::size_t t : config.excluded_tensors) {
-    DINAR_CHECK(t < num_tensors, "excluded tensor index " << t
+    DINAR_CHECK(t < num_entries, "excluded tensor index " << t
                                                           << " out of range (model has "
-                                                          << num_tensors << " tensors)");
+                                                          << num_entries << " entries)");
     mask[t] = true;
   }
   return mask;
@@ -47,15 +47,41 @@ void require_raw_updates(const std::vector<ModelUpdateMsg>& updates, const char*
                      << u.client_id << " sent one");
 }
 
-// Squared L2 distance over the scored (non-excluded) coordinates.
-double scored_sq_distance(const nn::ParamList& a, const nn::ParamList& b,
-                          const std::vector<bool>& excluded) {
+// Maximal contiguous float range of the arena whose entries share one
+// scoring treatment. Merging adjacent same-treatment entries gives the
+// coordinate loops long contiguous spans to stream.
+struct Run {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::int64_t numel() const { return end - begin; }
+};
+
+// Runs of entries whose excluded-ness equals `excluded`, in arena order.
+std::vector<Run> runs_of(const nn::LayerIndex& index,
+                         const std::vector<bool>& excluded_entries, bool excluded) {
+  std::vector<Run> runs;
+  for (std::size_t t = 0; t < index.num_entries(); ++t) {
+    if (excluded_entries[t] != excluded) continue;
+    const nn::LayerEntry& e = index.entry(t);
+    if (e.numel == 0) continue;
+    if (!runs.empty() && runs.back().end == e.offset)
+      runs.back().end = e.offset + e.numel;
+    else
+      runs.push_back({e.offset, e.offset + e.numel});
+  }
+  return runs;
+}
+
+// Squared L2 distance over the scored runs. Double accumulation in
+// ascending arena order — identical to the old per-tensor loop, since runs
+// are merged consecutive entries.
+double scored_sq_distance(std::span<const float> a, std::span<const float> b,
+                          const std::vector<Run>& scored) {
   double s = 0.0;
-  for (std::size_t t = 0; t < a.size(); ++t) {
-    if (excluded[t]) continue;
-    const auto va = a[t].values(), vb = b[t].values();
-    for (std::size_t j = 0; j < va.size(); ++j) {
-      const double d = static_cast<double>(va[j]) - static_cast<double>(vb[j]);
+  for (const Run& run : scored) {
+    for (std::int64_t j = run.begin; j < run.end; ++j) {
+      const double d = static_cast<double>(a[static_cast<std::size_t>(j)]) -
+                       static_cast<double>(b[static_cast<std::size_t>(j)]);
       s += d * d;
     }
   }
@@ -75,38 +101,40 @@ double median_of(std::vector<double> v) {
   return m;
 }
 
-// Sample-weighted FedAvg of `members`' raw parameters for tensor `t`.
-// Per coordinate the members accumulate in ascending member order
-// regardless of chunking, so the float sums match the sequential path.
-Tensor weighted_mean_tensor(const std::vector<ModelUpdateMsg>& updates,
-                            const std::vector<std::size_t>& members, std::size_t t,
-                            const ExecutionContext* exec) {
+double total_weight(const std::vector<ModelUpdateMsg>& updates,
+                    const std::vector<std::size_t>& members) {
   double total = 0.0;
   for (const std::size_t i : members) total += static_cast<double>(updates[i].num_samples);
-  Tensor out(updates[members.front()].params[t].shape());
-  auto vo = out.values();
-  run_range(exec, vo.size(), coord_grain(members.size()),
+  return total;
+}
+
+// Sample-weighted FedAvg of `members`' raw parameters over one run,
+// accumulated into `out` (caller zeroes the range first). Per coordinate
+// the members accumulate in ascending member order regardless of chunking,
+// so the float sums match the sequential path.
+void weighted_mean_run(const std::vector<ModelUpdateMsg>& updates,
+                       const std::vector<std::size_t>& members, Run run,
+                       std::span<float> out, const ExecutionContext* exec) {
+  const double total = total_weight(updates, members);
+  run_range(exec, static_cast<std::size_t>(run.numel()), coord_grain(members.size()),
             [&](std::int64_t j0, std::int64_t j1) {
               for (const std::size_t i : members) {
                 const double w = static_cast<double>(updates[i].num_samples) / total;
-                const auto vi = updates[i].params[t].values();
-                for (std::int64_t j = j0; j < j1; ++j)
-                  vo[static_cast<std::size_t>(j)] += static_cast<float>(
+                const std::span<const float> vi = updates[i].params.as_span();
+                for (std::int64_t j = run.begin + j0; j < run.begin + j1; ++j)
+                  out[static_cast<std::size_t>(j)] += static_cast<float>(
                       w * static_cast<double>(vi[static_cast<std::size_t>(j)]));
               }
             });
-  return out;
 }
 
-// Plain FedAvg over a member subset, all tensors (Krum's final average and
-// the excluded-tensor fallback both reduce to this).
-nn::ParamList weighted_mean_params(const std::vector<ModelUpdateMsg>& updates,
-                                   const std::vector<std::size_t>& members,
-                                   const ExecutionContext* exec) {
-  nn::ParamList out;
-  out.reserve(updates.front().params.size());
-  for (std::size_t t = 0; t < updates.front().params.size(); ++t)
-    out.push_back(weighted_mean_tensor(updates, members, t, exec));
+// Plain FedAvg over a member subset, the whole arena (Krum's final average
+// reduces to this).
+nn::FlatParams weighted_mean_params(const std::vector<ModelUpdateMsg>& updates,
+                                    const std::vector<std::size_t>& members,
+                                    const ExecutionContext* exec) {
+  nn::FlatParams out(updates.front().params.index());
+  weighted_mean_run(updates, members, {0, out.numel()}, out.as_span(), exec);
   return out;
 }
 
@@ -123,44 +151,63 @@ class FedAvgAggregator final : public RobustAggregator {
   std::string name() const override { return "fedavg"; }
 
   RobustAggregateResult aggregate(const std::vector<ModelUpdateMsg>& updates,
-                                  const nn::ParamList& /*global*/) override {
+                                  const nn::FlatParams& /*global*/) override {
     const bool pre_weighted = updates.front().pre_weighted;
     double total = 0.0;
     for (const ModelUpdateMsg& u : updates) total += static_cast<double>(u.num_samples);
 
     RobustAggregateResult result;
-    result.params.reserve(updates.front().params.size());
-    for (const Tensor& t : updates.front().params) result.params.emplace_back(t.shape());
-    for (const ModelUpdateMsg& u : updates) {
-      const float w = pre_weighted ? 1.0f : static_cast<float>(u.num_samples);
-      nn::param_list_add_scaled(result.params, u.params, w);
-    }
-    nn::param_list_scale(result.params, static_cast<float>(1.0 / total));
+    result.params = nn::FlatParams(updates.front().params.index());
+    std::span<float> acc = result.params.as_span();
+    // One contiguous pass per client in ascending order; chunking cannot
+    // change any coordinate's accumulation sequence.
+    run_range(exec_, acc.size(), coord_grain(updates.size()),
+              [&](std::int64_t j0, std::int64_t j1) {
+                for (const ModelUpdateMsg& u : updates) {
+                  const float w =
+                      pre_weighted ? 1.0f : static_cast<float>(u.num_samples);
+                  const std::span<const float> vi = u.params.as_span();
+                  for (std::int64_t j = j0; j < j1; ++j)
+                    acc[static_cast<std::size_t>(j)] +=
+                        w * vi[static_cast<std::size_t>(j)];
+                }
+              });
+    const float inv = static_cast<float>(1.0 / total);
+    run_range(exec_, acc.size(), coord_grain(1),
+              [&](std::int64_t j0, std::int64_t j1) {
+                for (std::int64_t j = j0; j < j1; ++j)
+                  acc[static_cast<std::size_t>(j)] *= inv;
+              });
     return result;
   }
 };
 
 // Shared screen for the coordinate-wise strategies: clients far from the
-// coordinate-wise median (on scored tensors) are excluded up front.
+// coordinate-wise median (on scored runs) are excluded up front.
 class CoordinateWiseAggregator : public RobustAggregator {
  public:
   explicit CoordinateWiseAggregator(RobustConfig config) : config_(std::move(config)) {}
 
   RobustAggregateResult aggregate(const std::vector<ModelUpdateMsg>& updates,
-                                  const nn::ParamList& /*global*/) override {
+                                  const nn::FlatParams& /*global*/) override {
     require_raw_updates(updates, name().c_str());
     const std::size_t n = updates.size();
-    const std::vector<bool> excluded = excluded_mask(config_, updates.front().params.size());
+    const auto& index = *updates.front().params.index();
+    const std::vector<bool> excluded = excluded_mask(config_, index.num_entries());
+    const std::vector<Run> scored = runs_of(index, excluded, /*excluded=*/false);
+    const std::vector<Run> obfuscated = runs_of(index, excluded, /*excluded=*/true);
 
     RobustAggregateResult result;
     std::vector<std::size_t> survivors = all_indices(n);
     if (n >= 3) {
-      const nn::ParamList center = coordinate_median(updates, survivors, excluded, exec_);
+      nn::FlatParams center(updates.front().params.index());
+      coordinate_median_runs(updates, survivors, scored, center.as_span(), exec_);
       std::vector<double> dist(n, 0.0);
       run_range(exec_, n, 1, [&](std::int64_t i0, std::int64_t i1) {
         for (std::int64_t i = i0; i < i1; ++i)
           dist[static_cast<std::size_t>(i)] = std::sqrt(scored_sq_distance(
-              updates[static_cast<std::size_t>(i)].params, center, excluded));
+              updates[static_cast<std::size_t>(i)].params.as_span(),
+              center.as_span(), scored));
       });
       const double med = median_of(dist);
       const double threshold = config_.outlier_threshold * med;
@@ -179,51 +226,44 @@ class CoordinateWiseAggregator : public RobustAggregator {
       // `survivors` is never empty here.
     }
 
-    result.params.reserve(updates.front().params.size());
-    for (std::size_t t = 0; t < updates.front().params.size(); ++t) {
-      if (excluded[t]) {
-        // Obfuscation noise: a robust statistic is meaningless, a plain
-        // average keeps the broadcast well-formed.
-        result.params.push_back(weighted_mean_tensor(updates, survivors, t, exec_));
-      } else {
-        result.params.push_back(robust_statistic(updates, survivors, t));
-      }
+    result.params = nn::FlatParams(updates.front().params.index());
+    for (const Run& run : scored)
+      robust_statistic_run(updates, survivors, run, result.params.as_span());
+    for (const Run& run : obfuscated) {
+      // Obfuscation noise: a robust statistic is meaningless, a plain
+      // average keeps the broadcast well-formed.
+      weighted_mean_run(updates, survivors, run, result.params.as_span(), exec_);
     }
     return result;
   }
 
  protected:
-  // Per-coordinate robust statistic over the surviving clients.
-  virtual Tensor robust_statistic(const std::vector<ModelUpdateMsg>& updates,
-                                  const std::vector<std::size_t>& members,
-                                  std::size_t t) const = 0;
+  // Per-coordinate robust statistic over the surviving clients, written
+  // into the run's slice of the (zero-initialized) output arena.
+  virtual void robust_statistic_run(const std::vector<ModelUpdateMsg>& updates,
+                                    const std::vector<std::size_t>& members, Run run,
+                                    std::span<float> out) const = 0;
 
-  static nn::ParamList coordinate_median(const std::vector<ModelUpdateMsg>& updates,
-                                         const std::vector<std::size_t>& members,
-                                         const std::vector<bool>& excluded,
-                                         const ExecutionContext* exec) {
-    nn::ParamList out;
-    out.reserve(updates.front().params.size());
-    for (std::size_t t = 0; t < updates.front().params.size(); ++t) {
-      Tensor med(updates.front().params[t].shape());
-      if (!excluded[t]) {
-        auto vo = med.values();
-        run_range(exec, vo.size(), coord_grain(members.size()),
-                  [&](std::int64_t j0, std::int64_t j1) {
-                    std::vector<double> column;
-                    column.reserve(members.size());
-                    for (std::int64_t j = j0; j < j1; ++j) {
-                      column.clear();
-                      for (const std::size_t i : members)
-                        column.push_back(static_cast<double>(
-                            updates[i].params[t].values()[static_cast<std::size_t>(j)]));
-                      vo[static_cast<std::size_t>(j)] = static_cast<float>(median_of(column));
-                    }
-                  });
-      }
-      out.push_back(std::move(med));
+  static void coordinate_median_runs(const std::vector<ModelUpdateMsg>& updates,
+                                     const std::vector<std::size_t>& members,
+                                     const std::vector<Run>& runs,
+                                     std::span<float> out,
+                                     const ExecutionContext* exec) {
+    for (const Run& run : runs) {
+      run_range(exec, static_cast<std::size_t>(run.numel()), coord_grain(members.size()),
+                [&](std::int64_t j0, std::int64_t j1) {
+                  std::vector<double> column;
+                  column.reserve(members.size());
+                  for (std::int64_t j = run.begin + j0; j < run.begin + j1; ++j) {
+                    column.clear();
+                    for (const std::size_t i : members)
+                      column.push_back(static_cast<double>(
+                          updates[i].params.as_span()[static_cast<std::size_t>(j)]));
+                    out[static_cast<std::size_t>(j)] =
+                        static_cast<float>(median_of(column));
+                  }
+                });
     }
-    return out;
   }
 
   RobustConfig config_;
@@ -235,24 +275,10 @@ class MedianAggregator final : public CoordinateWiseAggregator {
   std::string name() const override { return "median"; }
 
  protected:
-  Tensor robust_statistic(const std::vector<ModelUpdateMsg>& updates,
-                          const std::vector<std::size_t>& members,
-                          std::size_t t) const override {
-    Tensor out(updates.front().params[t].shape());
-    auto vo = out.values();
-    run_range(exec_, vo.size(), coord_grain(members.size()),
-              [&](std::int64_t j0, std::int64_t j1) {
-                std::vector<double> column;
-                column.reserve(members.size());
-                for (std::int64_t j = j0; j < j1; ++j) {
-                  column.clear();
-                  for (const std::size_t i : members)
-                    column.push_back(static_cast<double>(
-                        updates[i].params[t].values()[static_cast<std::size_t>(j)]));
-                  vo[static_cast<std::size_t>(j)] = static_cast<float>(median_of(column));
-                }
-              });
-    return out;
+  void robust_statistic_run(const std::vector<ModelUpdateMsg>& updates,
+                            const std::vector<std::size_t>& members, Run run,
+                            std::span<float> out) const override {
+    coordinate_median_runs(updates, members, {run}, out, exec_);
   }
 };
 
@@ -262,29 +288,27 @@ class TrimmedMeanAggregator final : public CoordinateWiseAggregator {
   std::string name() const override { return "trimmed_mean"; }
 
  protected:
-  Tensor robust_statistic(const std::vector<ModelUpdateMsg>& updates,
-                          const std::vector<std::size_t>& members,
-                          std::size_t t) const override {
+  void robust_statistic_run(const std::vector<ModelUpdateMsg>& updates,
+                            const std::vector<std::size_t>& members, Run run,
+                            std::span<float> out) const override {
     const std::size_t m = members.size();
     const std::size_t k = std::min(
         static_cast<std::size_t>(config_.trim_fraction * static_cast<double>(m)),
         m > 0 ? (m - 1) / 2 : 0);
-    Tensor out(updates.front().params[t].shape());
-    auto vo = out.values();
-    run_range(exec_, vo.size(), coord_grain(m), [&](std::int64_t j0, std::int64_t j1) {
-      std::vector<double> column(m);
-      for (std::int64_t j = j0; j < j1; ++j) {
-        for (std::size_t c = 0; c < m; ++c)
-          column[c] = static_cast<double>(
-              updates[members[c]].params[t].values()[static_cast<std::size_t>(j)]);
-        std::sort(column.begin(), column.end());
-        double sum = 0.0;
-        for (std::size_t c = k; c < m - k; ++c) sum += column[c];
-        vo[static_cast<std::size_t>(j)] =
-            static_cast<float>(sum / static_cast<double>(m - 2 * k));
-      }
-    });
-    return out;
+    run_range(exec_, static_cast<std::size_t>(run.numel()), coord_grain(m),
+              [&](std::int64_t j0, std::int64_t j1) {
+                std::vector<double> column(m);
+                for (std::int64_t j = run.begin + j0; j < run.begin + j1; ++j) {
+                  for (std::size_t c = 0; c < m; ++c)
+                    column[c] = static_cast<double>(
+                        updates[members[c]].params.as_span()[static_cast<std::size_t>(j)]);
+                  std::sort(column.begin(), column.end());
+                  double sum = 0.0;
+                  for (std::size_t c = k; c < m - k; ++c) sum += column[c];
+                  out[static_cast<std::size_t>(j)] =
+                      static_cast<float>(sum / static_cast<double>(m - 2 * k));
+                }
+              });
   }
 };
 
@@ -297,16 +321,20 @@ class NormClipAggregator final : public RobustAggregator {
   std::string name() const override { return "norm_clip"; }
 
   RobustAggregateResult aggregate(const std::vector<ModelUpdateMsg>& updates,
-                                  const nn::ParamList& global) override {
+                                  const nn::FlatParams& global) override {
     require_raw_updates(updates, "norm_clip");
     const std::size_t n = updates.size();
-    const std::vector<bool> excluded = excluded_mask(config_, global.size());
+    const auto& index = *global.index();
+    const std::vector<bool> excluded = excluded_mask(config_, index.num_entries());
+    const std::vector<Run> scored = runs_of(index, excluded, /*excluded=*/false);
+    const std::vector<Run> obfuscated = runs_of(index, excluded, /*excluded=*/true);
 
     std::vector<double> norms(n, 0.0);
     run_range(exec_, n, 1, [&](std::int64_t i0, std::int64_t i1) {
       for (std::int64_t i = i0; i < i1; ++i)
         norms[static_cast<std::size_t>(i)] = std::sqrt(scored_sq_distance(
-            updates[static_cast<std::size_t>(i)].params, global, excluded));
+            updates[static_cast<std::size_t>(i)].params.as_span(), global.as_span(),
+            scored));
     });
     const double bound = config_.clip_multiplier * median_of(norms);
 
@@ -324,29 +352,31 @@ class NormClipAggregator final : public RobustAggregator {
       }
     }
 
-    result.params.reserve(global.size());
+    result.params = global;  // scored coordinates accumulate clipped deltas
+    std::span<float> vo = result.params.as_span();
+    const std::span<const float> vg = global.as_span();
     const std::vector<std::size_t> everyone = all_indices(n);
-    for (std::size_t t = 0; t < global.size(); ++t) {
-      if (excluded[t]) {
-        result.params.push_back(weighted_mean_tensor(updates, everyone, t, exec_));
-        continue;
-      }
-      Tensor out(global[t]);
-      auto vo = out.values();
-      const auto vg = global[t].values();
+    for (const Run& run : scored) {
       // Per coordinate the clients accumulate in ascending order no matter
       // how the coordinates are chunked — matches the sequential sums.
-      run_range(exec_, vo.size(), coord_grain(n), [&](std::int64_t j0, std::int64_t j1) {
-        for (std::size_t i = 0; i < n; ++i) {
-          const double w = static_cast<double>(updates[i].num_samples) / total * scale[i];
-          const auto vi = updates[i].params[t].values();
-          for (std::int64_t j = j0; j < j1; ++j)
-            vo[static_cast<std::size_t>(j)] += static_cast<float>(
-                w * (static_cast<double>(vi[static_cast<std::size_t>(j)]) -
-                     static_cast<double>(vg[static_cast<std::size_t>(j)])));
-        }
-      });
-      result.params.push_back(std::move(out));
+      run_range(exec_, static_cast<std::size_t>(run.numel()), coord_grain(n),
+                [&](std::int64_t j0, std::int64_t j1) {
+                  for (std::size_t i = 0; i < n; ++i) {
+                    const double w =
+                        static_cast<double>(updates[i].num_samples) / total * scale[i];
+                    const std::span<const float> vi = updates[i].params.as_span();
+                    for (std::int64_t j = run.begin + j0; j < run.begin + j1; ++j)
+                      vo[static_cast<std::size_t>(j)] += static_cast<float>(
+                          w * (static_cast<double>(vi[static_cast<std::size_t>(j)]) -
+                               static_cast<double>(vg[static_cast<std::size_t>(j)])));
+                  }
+                });
+    }
+    for (const Run& run : obfuscated) {
+      // Replace the carried-over global slice with the plain average.
+      for (std::int64_t j = run.begin; j < run.end; ++j)
+        vo[static_cast<std::size_t>(j)] = 0.0f;
+      weighted_mean_run(updates, everyone, run, vo, exec_);
     }
     return result;
   }
@@ -365,10 +395,12 @@ class KrumAggregator final : public RobustAggregator {
   std::string name() const override { return multi_ ? "multi_krum" : "krum"; }
 
   RobustAggregateResult aggregate(const std::vector<ModelUpdateMsg>& updates,
-                                  const nn::ParamList& global) override {
+                                  const nn::FlatParams& global) override {
     require_raw_updates(updates, name().c_str());
     const std::size_t n = updates.size();
-    const std::vector<bool> excluded = excluded_mask(config_, global.size());
+    const auto& index = *global.index();
+    const std::vector<bool> excluded = excluded_mask(config_, index.num_entries());
+    const std::vector<Run> scored = runs_of(index, excluded, /*excluded=*/false);
     const std::size_t f =
         std::min(config_.assumed_byzantine, n >= 3 ? n - 3 : std::size_t{0});
     const std::size_t neighbors =
@@ -381,12 +413,13 @@ class KrumAggregator final : public RobustAggregator {
       for (std::int64_t i = i0; i < i1; ++i)
         for (std::size_t j = static_cast<std::size_t>(i) + 1; j < n; ++j)
           d[static_cast<std::size_t>(i)][j] = scored_sq_distance(
-              updates[static_cast<std::size_t>(i)].params, updates[j].params, excluded);
+              updates[static_cast<std::size_t>(i)].params.as_span(),
+              updates[j].params.as_span(), scored);
     });
     for (std::size_t i = 0; i < n; ++i)
       for (std::size_t j = i + 1; j < n; ++j) d[j][i] = d[i][j];
 
-    std::vector<std::pair<double, std::size_t>> scored(n);
+    std::vector<std::pair<double, std::size_t>> scored_clients(n);
     for (std::size_t i = 0; i < n; ++i) {
       std::vector<double> row;
       row.reserve(n - 1);
@@ -395,10 +428,10 @@ class KrumAggregator final : public RobustAggregator {
       std::sort(row.begin(), row.end());
       double score = 0.0;
       for (std::size_t k = 0; k < std::min(neighbors, row.size()); ++k) score += row[k];
-      scored[i] = {score, i};
+      scored_clients[i] = {score, i};
     }
     // Tie-break on the index so equal scores select deterministically.
-    std::sort(scored.begin(), scored.end());
+    std::sort(scored_clients.begin(), scored_clients.end());
 
     std::size_t m = 1;
     if (multi_) {
@@ -409,13 +442,13 @@ class KrumAggregator final : public RobustAggregator {
     RobustAggregateResult result;
     std::vector<std::size_t> selected;
     for (std::size_t rank = 0; rank < n; ++rank) {
-      const auto [score, i] = scored[rank];
+      const auto [score, i] = scored_clients[rank];
       if (rank < m) {
         selected.push_back(i);
       } else {
         std::ostringstream os;
         os << "krum-rank: " << rank + 1 << "/" << n << " (score " << score
-           << ", worst selected " << scored[m - 1].first << ")";
+           << ", worst selected " << scored_clients[m - 1].first << ")";
         result.flags.push_back({updates[i].client_id, os.str(), /*excluded=*/true});
       }
     }

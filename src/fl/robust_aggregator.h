@@ -8,8 +8,9 @@
 // why, so RoundOutcome can attribute repair work to specific clients.
 //
 // All of them are *layer-aware*: `RobustConfig::excluded_tensors` names
-// ParamList positions (normally the DINAR-obfuscated sensitive layer) that
-// are excluded from every distance / norm / outlier computation. Honest
+// layer-index entry positions (normally the DINAR-obfuscated sensitive
+// layer) that are excluded from every distance / norm / outlier
+// computation. Honest
 // DINAR clients legitimately upload random values there (Algorithm 1's
 // model obfuscation), so a naive outlier filter would quarantine exactly
 // the clients it is meant to protect. Excluded tensors are still averaged
@@ -57,7 +58,8 @@ struct RobustConfig {
   // by the regression test proving the naive filter quarantines honest
   // DINAR updates).
   bool layer_aware = true;
-  // ParamList indices excluded from all scoring (see header comment).
+  // Layer-index entry positions excluded from all scoring (see header
+  // comment).
   std::vector<std::size_t> excluded_tensors;
 };
 
@@ -69,7 +71,7 @@ struct AggregatorFlag {
 };
 
 struct RobustAggregateResult {
-  nn::ParamList params;
+  nn::FlatParams params;
   std::vector<AggregatorFlag> flags;
 };
 
@@ -80,9 +82,10 @@ class RobustAggregator {
 
   // Aggregates validated updates (non-empty, structurally consistent with
   // `global`). `global` is the pre-round model — several strategies work
-  // on deltas theta_i - global rather than raw parameters.
+  // on deltas theta_i - global rather than raw parameters. All loops
+  // stream contiguous arena spans chunked by the execution context.
   virtual RobustAggregateResult aggregate(const std::vector<ModelUpdateMsg>& updates,
-                                          const nn::ParamList& global) = 0;
+                                          const nn::FlatParams& global) = 0;
 
   // Shared execution context for the per-coordinate / pairwise-distance
   // loops; nullptr (the default) runs them sequentially. Results are

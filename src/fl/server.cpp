@@ -6,18 +6,6 @@
 #include "util/error.h"
 
 namespace dinar::fl {
-namespace {
-
-// Returns the index of the first tensor containing a NaN/Inf entry, or -1.
-std::int64_t first_non_finite_tensor(const nn::ParamList& params) {
-  for (std::size_t i = 0; i < params.size(); ++i)
-    for (const float v : params[i].values())
-      if (!std::isfinite(v)) return static_cast<std::int64_t>(i);
-  return -1;
-}
-
-}  // namespace
-
 const char* to_string(RejectReason reason) {
   switch (reason) {
     case RejectReason::kWrongRound: return "wrong-round";
@@ -30,7 +18,7 @@ const char* to_string(RejectReason reason) {
   return "unknown";
 }
 
-FlServer::FlServer(nn::ParamList initial_params, std::unique_ptr<ServerDefense> defense)
+FlServer::FlServer(nn::FlatParams initial_params, std::unique_ptr<ServerDefense> defense)
     : global_(std::move(initial_params)), defense_(std::move(defense)),
       aggregator_(make_robust_aggregator(RobustConfig{})) {
   DINAR_CHECK(!global_.empty(), "server needs a non-empty initial model");
@@ -65,7 +53,7 @@ void FlServer::aggregate(const std::vector<ModelUpdateMsg>& updates) {
                 "round mixes pre-weighted and raw updates");
     DINAR_CHECK(u.num_samples > 0, "update from client " << u.client_id
                                                          << " has no samples");
-    DINAR_CHECK(nn::param_list_same_shape(u.params, global_),
+    DINAR_CHECK(u.params.same_layout(global_),
                 "update from client " << u.client_id << " has wrong structure");
   }
   apply_aggregate(updates);
@@ -93,14 +81,16 @@ UpdateVerdict FlServer::validate_update(const ModelUpdateMsg& update,
     os << "client " << update.client_id << " already accepted this round";
     return reject(RejectReason::kDuplicateClient, os.str());
   }
-  if (!nn::param_list_same_shape(update.params, global_)) {
+  if (!update.params.same_layout(global_)) {
     std::ostringstream os;
-    os << "client " << update.client_id << " sent " << update.params.size()
-       << " tensors, global model has " << global_.size()
+    os << "client " << update.client_id << " sent "
+       << (update.params.index() ? update.params.index()->num_entries() : 0)
+       << " entries, global model has " << global_.index()->num_entries()
        << " (or a shape differs)";
     return reject(RejectReason::kStructureMismatch, os.str());
   }
-  if (const std::int64_t bad = first_non_finite_tensor(update.params); bad >= 0) {
+  if (const std::size_t bad = nn::flat_first_non_finite_entry(update.params);
+      bad < update.params.index()->num_entries()) {
     std::ostringstream os;
     os << "client " << update.client_id << " param tensor " << bad
        << " contains NaN/Inf";
@@ -153,9 +143,9 @@ std::vector<AggregatorFlag> FlServer::aggregate_validated(
   return apply_aggregate(updates);
 }
 
-void FlServer::restore(std::int64_t round, nn::ParamList params) {
+void FlServer::restore(std::int64_t round, nn::FlatParams params) {
   DINAR_CHECK(round >= 0, "checkpoint carries negative round " << round);
-  DINAR_CHECK(nn::param_list_same_shape(params, global_),
+  DINAR_CHECK(params.same_layout(global_),
               "checkpoint parameters do not match the server's model structure");
   global_ = std::move(params);
   round_ = round;

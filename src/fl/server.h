@@ -65,9 +65,9 @@ struct AggregateOutcome {
 
 class FlServer {
  public:
-  FlServer(nn::ParamList initial_params, std::unique_ptr<ServerDefense> defense);
+  FlServer(nn::FlatParams initial_params, std::unique_ptr<ServerDefense> defense);
 
-  const nn::ParamList& global_params() const { return global_; }
+  const nn::FlatParams& global_params() const { return global_; }
   std::int64_t round() const { return round_; }
 
   // Builds this round's broadcast message.
@@ -115,7 +115,7 @@ class FlServer {
   void carry_forward() { ++round_; }
 
   // Checkpoint resume: installs a saved global model and round counter.
-  void restore(std::int64_t round, nn::ParamList params);
+  void restore(std::int64_t round, nn::FlatParams params);
 
   // Wall-clock spent inside aggregate() (Table 3's server-side metric).
   const CumulativeTimer& aggregation_timer() const { return agg_timer_; }
@@ -127,7 +127,7 @@ class FlServer {
   std::vector<AggregatorFlag> apply_aggregate(
       const std::vector<ModelUpdateMsg>& updates);
 
-  nn::ParamList global_;
+  nn::FlatParams global_;
   std::unique_ptr<ServerDefense> defense_;
   std::unique_ptr<RobustAggregator> aggregator_;
   const ExecutionContext* exec_ = nullptr;

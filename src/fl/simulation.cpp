@@ -15,7 +15,9 @@ namespace dinar::fl {
 namespace {
 
 constexpr std::uint32_t kCheckpointMagic = 0x44434B50;  // "DCKP"
-constexpr std::uint32_t kCheckpointVersion = 1;
+// v1: tensor-list payload (pre-FlatParams). v2: flat index + arena payload.
+constexpr std::uint32_t kCheckpointVersionLegacy = 1;
+constexpr std::uint32_t kCheckpointVersion = 2;
 
 }  // namespace
 
@@ -389,7 +391,7 @@ void FederatedSimulation::save_checkpoint(BinaryWriter& w) const {
   w.write_u32(kCheckpointMagic);
   w.write_u32(kCheckpointVersion);
   w.write_i64(server_->round());
-  nn::write_param_list(w, server_->global_params());
+  nn::write_flat_params(w, server_->global_params());
 }
 
 void FederatedSimulation::save_checkpoint(const std::string& path) const {
@@ -405,10 +407,13 @@ void FederatedSimulation::save_checkpoint(const std::string& path) const {
 void FederatedSimulation::restore_checkpoint(BinaryReader& r) {
   DINAR_CHECK(r.read_u32() == kCheckpointMagic, "not a simulation checkpoint");
   const std::uint32_t version = r.read_u32();
-  DINAR_CHECK(version == kCheckpointVersion,
+  DINAR_CHECK(version == kCheckpointVersionLegacy || version == kCheckpointVersion,
               "unsupported checkpoint version " << version);
   const std::int64_t round = r.read_i64();
-  nn::ParamList params = nn::read_param_list(r);
+  nn::FlatParams params =
+      version == kCheckpointVersionLegacy
+          ? nn::FlatParams::from_param_list(nn::read_param_list(r))
+          : nn::read_flat_params(r);
   DINAR_CHECK(r.exhausted(), "trailing bytes in simulation checkpoint");
   DINAR_CHECK(round <= config_.rounds, "checkpoint round " << round
                                                            << " exceeds configured "
@@ -453,9 +458,9 @@ nn::Model FederatedSimulation::server_view_of_client(std::size_t i) {
   const ModelUpdateMsg& u = *found;
   Rng tmp_rng = rng_.fork(0xA7 + i);
   nn::Model m = model_factory_(tmp_rng);
-  nn::ParamList params = u.params;
+  nn::FlatParams params = u.params;
   if (u.pre_weighted)
-    nn::param_list_scale(params, 1.0f / static_cast<float>(u.num_samples));
+    nn::flat_scale(params, 1.0f / static_cast<float>(u.num_samples));
   m.set_parameters(params);
   return m;
 }

@@ -1,65 +1,20 @@
 #include "nn/model.h"
 
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
-#include "tensor/tensor_serde.h"
 #include "util/error.h"
+#include "util/memory_tracker.h"
 
 namespace dinar::nn {
 
 namespace {
 constexpr std::uint32_t kModelMagic = 0x444E4152;  // "DNAR"
-constexpr std::uint32_t kModelVersion = 1;
+// v1: tensor-list payload (pre-FlatParams). v2: flat index + arena payload.
+constexpr std::uint32_t kModelVersionLegacy = 1;
+constexpr std::uint32_t kModelVersion = 2;
 }  // namespace
-
-void param_list_add(ParamList& a, const ParamList& b) {
-  DINAR_CHECK(a.size() == b.size(), "param list length mismatch");
-  for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
-}
-
-void param_list_scale(ParamList& a, float s) {
-  for (Tensor& t : a) t *= s;
-}
-
-void param_list_add_scaled(ParamList& a, const ParamList& b, float s) {
-  DINAR_CHECK(a.size() == b.size(), "param list length mismatch");
-  for (std::size_t i = 0; i < a.size(); ++i) a[i].add_scaled(b[i], s);
-}
-
-std::int64_t param_list_numel(const ParamList& a) {
-  std::int64_t n = 0;
-  for (const Tensor& t : a) n += t.numel();
-  return n;
-}
-
-double param_list_l2_norm(const ParamList& a) {
-  double s = 0.0;
-  for (const Tensor& t : a) s += t.squared_l2_norm();
-  return std::sqrt(s);
-}
-
-bool param_list_same_shape(const ParamList& a, const ParamList& b) {
-  if (a.size() != b.size()) return false;
-  for (std::size_t i = 0; i < a.size(); ++i)
-    if (!a[i].same_shape(b[i])) return false;
-  return true;
-}
-
-void write_param_list(BinaryWriter& w, const ParamList& params) {
-  w.write_u64(params.size());
-  for (const Tensor& t : params) write_tensor(w, t);
-}
-
-ParamList read_param_list(BinaryReader& r) {
-  // Each tensor record is at least 8 bytes (its rank prefix), so bounding
-  // the count by remaining/8 rejects corrupted prefixes before reserve().
-  const std::uint64_t n = r.read_length(8);
-  ParamList out;
-  out.reserve(n);
-  for (std::uint64_t i = 0; i < n; ++i) out.push_back(read_tensor(r));
-  return out;
-}
 
 Model::Model(const Model& other) {
   layers_.reserve(other.layers_.size());
@@ -73,6 +28,10 @@ Model& Model::operator=(const Model& other) {
   layers_.clear();
   layers_.reserve(other.layers_.size());
   for (const auto& l : other.layers_) layers_.push_back(l->clone());
+  registry_valid_ = false;
+  groups_.clear();
+  index_ = nullptr;
+  layer_indices_.clear();
   set_execution_context(nullptr);
   return *this;
 }
@@ -81,6 +40,7 @@ Model& Model::add(std::unique_ptr<Layer> layer) {
   DINAR_CHECK(layer != nullptr, "cannot add a null layer");
   layer->set_execution_context(exec_);
   layers_.push_back(std::move(layer));
+  registry_valid_ = false;
   return *this;
 }
 
@@ -107,93 +67,150 @@ void Model::zero_grad() {
       for (Tensor* grad : group.grads) grad->zero();
 }
 
-std::vector<ParamGroup> Model::param_layers() {
-  std::vector<ParamGroup> groups;
+void Model::ensure_registry() {
+  if (registry_valid_) return;
+  groups_.clear();
+  layer_indices_.clear();
   for (auto& layer : layers_)
-    for (ParamGroup& g : layer->param_groups()) groups.push_back(std::move(g));
-  return groups;
+    for (ParamGroup& g : layer->param_groups()) groups_.push_back(std::move(g));
+
+  std::vector<LayerEntry> entries;
+  for (std::size_t l = 0; l < groups_.size(); ++l) {
+    const ParamGroup& g = groups_[l];
+    for (std::size_t t = 0; t < g.params.size(); ++t) {
+      LayerEntry e;
+      e.name = g.name + "/param" + std::to_string(t);
+      e.layer_id = static_cast<std::uint32_t>(l);
+      e.shape = g.params[t]->shape();
+      entries.push_back(std::move(e));
+    }
+  }
+  index_ = LayerIndex::build(std::move(entries));
+
+  // Single-layer sub-indices for layer_parameters() snapshots.
+  layer_indices_.reserve(groups_.size());
+  for (std::size_t l = 0; l < groups_.size(); ++l) {
+    const auto [first, last] = index_->layer_entry_range(l);
+    std::vector<LayerEntry> sub;
+    sub.reserve(last - first);
+    for (std::size_t i = first; i < last; ++i) {
+      LayerEntry e = index_->entry(i);
+      e.layer_id = 0;
+      sub.push_back(std::move(e));
+    }
+    layer_indices_.push_back(LayerIndex::build(std::move(sub)));
+  }
+  registry_valid_ = true;
+}
+
+const std::vector<ParamGroup>& Model::param_layers() {
+  ensure_registry();
+  return groups_;
 }
 
 std::size_t Model::num_param_layers() { return param_layers().size(); }
 
 std::int64_t Model::num_parameters() {
-  std::int64_t n = 0;
-  for (const ParamGroup& g : param_layers()) n += g.numel();
-  return n;
+  ensure_registry();
+  return index_->total_numel();
 }
 
-ParamList Model::parameters() {
-  ParamList out;
-  for (const ParamGroup& g : param_layers())
-    for (const Tensor* p : g.params) out.push_back(*p);
-  return out;
+std::shared_ptr<const LayerIndex> Model::layer_index() {
+  ensure_registry();
+  return index_;
 }
 
-void Model::set_parameters(const ParamList& params) {
-  std::size_t i = 0;
-  for (const ParamGroup& g : param_layers()) {
-    for (Tensor* p : g.params) {
-      DINAR_CHECK(i < params.size(), "set_parameters: too few tensors");
-      DINAR_CHECK(p->same_shape(params[i]),
-                  "set_parameters: shape mismatch at tensor " << i);
-      *p = params[i];
-      ++i;
+FlatParams Model::snapshot(bool grads) {
+  ensure_registry();
+  std::vector<float> values(static_cast<std::size_t>(index_->total_numel()));
+  std::size_t e = 0;
+  for (const ParamGroup& g : groups_) {
+    for (const Tensor* t : grads ? g.grads : g.params) {
+      const LayerEntry& entry = index_->entry(e++);
+      std::memcpy(values.data() + entry.offset, t->data(),
+                  static_cast<std::size_t>(entry.numel) * sizeof(float));
     }
   }
-  DINAR_CHECK(i == params.size(), "set_parameters: " << params.size() - i
-                                                     << " extra tensors");
+  MemoryTracker::instance().record_copy(values.size() * sizeof(float));
+  return FlatParams(index_, std::move(values));
 }
 
-ParamList Model::gradients() {
-  ParamList out;
-  for (const ParamGroup& g : param_layers())
-    for (const Tensor* grad : g.grads) out.push_back(*grad);
-  return out;
-}
+FlatParams Model::parameters() { return snapshot(/*grads=*/false); }
 
-ParamList Model::layer_parameters(std::size_t layer_index) {
-  std::vector<ParamGroup> groups = param_layers();
-  DINAR_CHECK(layer_index < groups.size(),
-              "layer index " << layer_index << " out of " << groups.size());
-  ParamList out;
-  for (const Tensor* p : groups[layer_index].params) out.push_back(*p);
-  return out;
-}
+FlatParams Model::gradients() { return snapshot(/*grads=*/true); }
 
-void Model::set_layer_parameters(std::size_t layer_index, const ParamList& params) {
-  std::vector<ParamGroup> groups = param_layers();
-  DINAR_CHECK(layer_index < groups.size(),
-              "layer index " << layer_index << " out of " << groups.size());
-  ParamGroup& g = groups[layer_index];
-  DINAR_CHECK(params.size() == g.params.size(),
-              "layer " << layer_index << ": tensor count mismatch");
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    DINAR_CHECK(g.params[i]->same_shape(params[i]),
-                "layer " << layer_index << ": shape mismatch at tensor " << i);
-    *g.params[i] = params[i];
+void Model::set_parameters(const FlatParams& params) {
+  ensure_registry();
+  DINAR_CHECK(params.index() != nullptr, "set_parameters: empty snapshot");
+  DINAR_CHECK(index_->same_layout(*params.index()),
+              "set_parameters: layout mismatch (" << params.numel()
+                  << " elements across " << params.index()->num_entries()
+                  << " entries, model has " << index_->total_numel()
+                  << " across " << index_->num_entries() << ")");
+  std::size_t e = 0;
+  for (const ParamGroup& g : groups_) {
+    for (Tensor* t : g.params) {
+      const std::span<const float> src = params.entry_span(e++);
+      std::memcpy(t->data(), src.data(), src.size() * sizeof(float));
+    }
   }
+  MemoryTracker::instance().record_copy(
+      static_cast<std::size_t>(params.numel()) * sizeof(float));
+}
+
+FlatParams Model::layer_parameters(std::size_t layer_index) {
+  ensure_registry();
+  DINAR_CHECK(layer_index < groups_.size(),
+              "layer index " << layer_index << " out of " << groups_.size());
+  const auto& sub = layer_indices_[layer_index];
+  std::vector<float> values(static_cast<std::size_t>(sub->total_numel()));
+  const ParamGroup& g = groups_[layer_index];
+  for (std::size_t t = 0; t < g.params.size(); ++t) {
+    const LayerEntry& e = sub->entry(t);
+    std::memcpy(values.data() + e.offset, g.params[t]->data(),
+                static_cast<std::size_t>(e.numel) * sizeof(float));
+  }
+  MemoryTracker::instance().record_copy(values.size() * sizeof(float));
+  return FlatParams(sub, std::move(values));
+}
+
+void Model::set_layer_parameters(std::size_t layer_index, const FlatParams& params) {
+  ensure_registry();
+  DINAR_CHECK(layer_index < groups_.size(),
+              "layer index " << layer_index << " out of " << groups_.size());
+  const auto& sub = layer_indices_[layer_index];
+  DINAR_CHECK(params.index() != nullptr && sub->same_layout(*params.index()),
+              "layer " << layer_index << ": snapshot layout mismatch");
+  ParamGroup& g = groups_[layer_index];
+  for (std::size_t t = 0; t < g.params.size(); ++t) {
+    const std::span<const float> src = params.entry_span(t);
+    std::memcpy(g.params[t]->data(), src.data(), src.size() * sizeof(float));
+  }
+  MemoryTracker::instance().record_copy(
+      static_cast<std::size_t>(params.numel()) * sizeof(float));
 }
 
 std::pair<std::size_t, std::size_t> Model::layer_param_span(std::size_t layer_index) {
-  std::vector<ParamGroup> groups = param_layers();
-  DINAR_CHECK(layer_index < groups.size(),
-              "layer index " << layer_index << " out of " << groups.size());
-  std::size_t begin = 0;
-  for (std::size_t l = 0; l < layer_index; ++l) begin += groups[l].params.size();
-  return {begin, begin + groups[layer_index].params.size()};
+  ensure_registry();
+  return index_->layer_entry_range(layer_index);
 }
 
 void Model::save(BinaryWriter& w) {
   w.write_u32(kModelMagic);
   w.write_u32(kModelVersion);
-  write_param_list(w, parameters());
+  write_flat_params(w, parameters());
 }
 
 void Model::load(BinaryReader& r) {
   DINAR_CHECK(r.read_u32() == kModelMagic, "not a DINAR model checkpoint");
   const std::uint32_t version = r.read_u32();
-  DINAR_CHECK(version == kModelVersion, "unsupported checkpoint version " << version);
-  set_parameters(read_param_list(r));
+  if (version == kModelVersionLegacy) {
+    set_parameters(FlatParams::from_param_list(read_param_list(r)));
+  } else {
+    DINAR_CHECK(version == kModelVersion,
+                "unsupported checkpoint version " << version);
+    set_parameters(read_flat_params(r));
+  }
 }
 
 std::string Model::summary() {

@@ -6,8 +6,11 @@
 // parameters through the same indexing, so "obfuscate layer p" and
 // "restore layer p" are guaranteed to touch the same tensors.
 //
-// Parameters snapshot to/from ParamList (a flat, ordered list of tensors),
-// which is also the FL wire format.
+// Parameters snapshot to/from nn::FlatParams: one contiguous arena plus a
+// shared immutable LayerIndex built from the registry. A snapshot costs a
+// single arena allocation; installing one is pure memcpy into the layers'
+// existing storage. The layer index and parameter-group cache are built
+// lazily and invalidated when the layer stack changes (add(), copies).
 #pragma once
 
 #include <functional>
@@ -15,29 +18,11 @@
 #include <string>
 #include <vector>
 
+#include "nn/flat_params.h"
 #include "nn/layer.h"
 #include "util/serde.h"
 
 namespace dinar::nn {
-
-// Ordered snapshot of every parameter tensor of a model.
-using ParamList = std::vector<Tensor>;
-
-// a += b, elementwise across the list (shape-checked).
-void param_list_add(ParamList& a, const ParamList& b);
-// a *= s.
-void param_list_scale(ParamList& a, float s);
-// a += s * b.
-void param_list_add_scaled(ParamList& a, const ParamList& b, float s);
-// Total element count.
-std::int64_t param_list_numel(const ParamList& a);
-// sqrt(sum of squared entries) across the whole list.
-double param_list_l2_norm(const ParamList& a);
-// Structural equality of shapes (not values).
-bool param_list_same_shape(const ParamList& a, const ParamList& b);
-
-void write_param_list(BinaryWriter& w, const ParamList& params);
-ParamList read_param_list(BinaryReader& r);
 
 class Model {
  public:
@@ -67,34 +52,58 @@ class Model {
 
   // One parameterized-layer view per paper "layer", in forward order.
   // Pointers remain valid while the model is alive and unmodified.
-  std::vector<ParamGroup> param_layers();
+  const std::vector<ParamGroup>& param_layers();
   std::size_t num_param_layers();
   std::int64_t num_parameters();
   std::size_t num_layers() const { return layers_.size(); }
 
-  // Snapshot of all parameter values, ordered by layer then tensor.
-  ParamList parameters();
-  // Overwrites all parameters from a snapshot (shape-checked).
-  void set_parameters(const ParamList& params);
-  // Snapshot of all gradients (same ordering as parameters()).
-  ParamList gradients();
+  // Arena layout of this model's parameters (shared, immutable; one
+  // instance per model until the layer stack changes). Every snapshot
+  // produced by parameters()/gradients() shares it.
+  std::shared_ptr<const LayerIndex> layer_index();
+
+  // Snapshot of all parameter values as one contiguous arena, ordered by
+  // layer then tensor (exactly the registry order).
+  FlatParams parameters();
+  // Overwrites all parameters from a snapshot. Layout-checked by shape
+  // sequence (snapshots deserialized from legacy payloads carry a
+  // synthesized index and must still install); pure memcpy, no allocation.
+  void set_parameters(const FlatParams& params);
+  // Snapshot of all gradients (same arena layout as parameters()).
+  FlatParams gradients();
 
   // Snapshot / restore of one parameterized layer (DINAR's private-layer
-  // store and obfuscator work through these).
-  ParamList layer_parameters(std::size_t layer_index);
-  void set_layer_parameters(std::size_t layer_index, const ParamList& params);
-  // Positions of layer `layer_index`'s tensors inside the flat ParamList.
+  // store and obfuscator work through these). The snapshot carries a
+  // single-layer sub-index whose entries keep the original names.
+  FlatParams layer_parameters(std::size_t layer_index);
+  void set_layer_parameters(std::size_t layer_index, const FlatParams& params);
+  // Positions of layer `layer_index`'s entries inside the flat index.
   std::pair<std::size_t, std::size_t> layer_param_span(std::size_t layer_index);
 
   // Checkpoint serialization (magic + version + parameter payload).
+  // Writes the v2 flat format; load() also accepts v1 tensor-list
+  // checkpoints written before the FlatParams refactor.
   void save(BinaryWriter& w);
   void load(BinaryReader& r);
 
   std::string summary();
 
  private:
+  // Rebuilds the group/index caches if the layer stack changed.
+  void ensure_registry();
+  // Copies params (or grads) into a fresh arena sharing layer_index().
+  FlatParams snapshot(bool grads);
+
   std::vector<std::unique_ptr<Layer>> layers_;
   const ExecutionContext* exec_ = nullptr;  // not owned
+
+  // Lazy registry caches; valid while registry_valid_. Group pointers aim
+  // into heap-allocated Layer objects, so moving the model keeps them
+  // valid; copying rebuilds them.
+  bool registry_valid_ = false;
+  std::vector<ParamGroup> groups_;
+  std::shared_ptr<const LayerIndex> index_;
+  std::vector<std::shared_ptr<const LayerIndex>> layer_indices_;
 };
 
 }  // namespace dinar::nn

@@ -15,7 +15,7 @@ struct Slots {
 
 Slots collect(nn::Model& model) {
   Slots s;
-  for (nn::ParamGroup& g : model.param_layers()) {
+  for (const nn::ParamGroup& g : model.param_layers()) {
     for (Tensor* p : g.params) s.params.push_back(p);
     for (Tensor* gr : g.grads) s.grads.push_back(gr);
   }
@@ -23,15 +23,12 @@ Slots collect(nn::Model& model) {
   return s;
 }
 
-// Lazily (re)initializes a state list to zeros matching the params.
-void ensure_state(nn::ParamList& state, const std::vector<Tensor*>& params) {
-  bool ok = state.size() == params.size();
-  for (std::size_t i = 0; ok && i < state.size(); ++i)
-    ok = state[i].same_shape(*params[i]);
-  if (ok) return;
-  state.clear();
-  state.reserve(params.size());
-  for (const Tensor* p : params) state.emplace_back(p->shape());
+// Lazily (re)initializes a state arena to zeros matching the model's
+// parameter layout (one contiguous allocation, shared layer index).
+void ensure_state(nn::FlatParams& state, nn::Model& model) {
+  const auto index = model.layer_index();
+  if (!state.empty() && state.index()->same_layout(*index)) return;
+  state = nn::FlatParams(index);
 }
 
 }  // namespace
@@ -45,24 +42,25 @@ void Sgd::step(nn::Model& model) {
       s.params[i]->add_scaled(*s.grads[i], static_cast<float>(-lr_));
     return;
   }
-  ensure_state(velocity_, s.params);
+  ensure_state(velocity_, model);
   for (std::size_t i = 0; i < s.params.size(); ++i) {
-    velocity_[i] *= static_cast<float>(momentum_);
-    velocity_[i].add_scaled(*s.grads[i], 1.0f);
-    s.params[i]->add_scaled(velocity_[i], static_cast<float>(-lr_));
+    const std::span<float> v = velocity_.entry_span(i);
+    span_scale(v, static_cast<float>(momentum_));
+    span_axpy(v, s.grads[i]->values(), 1.0f);
+    span_axpy(s.params[i]->values(), v, static_cast<float>(-lr_));
   }
 }
 
-void Sgd::reset() { velocity_.clear(); }
+void Sgd::reset() { velocity_ = {}; }
 
 Adagrad::Adagrad(double lr, double eps) : Optimizer(lr), eps_(eps) {}
 
 void Adagrad::step(nn::Model& model) {
   Slots s = collect(model);
-  ensure_state(accum_, s.params);
+  ensure_state(accum_, model);
   for (std::size_t i = 0; i < s.params.size(); ++i) {
     float* g = s.grads[i]->data();
-    float* a = accum_[i].data();
+    float* a = accum_.entry_span(i).data();
     float* p = s.params[i]->data();
     const std::int64_t n = s.params[i]->numel();
     for (std::int64_t j = 0; j < n; ++j) {
@@ -74,22 +72,22 @@ void Adagrad::step(nn::Model& model) {
   }
 }
 
-void Adagrad::reset() { accum_.clear(); }
+void Adagrad::reset() { accum_ = {}; }
 
 Adam::Adam(double lr, double beta1, double beta2, double eps)
     : Optimizer(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
 
 void Adam::step(nn::Model& model) {
   Slots s = collect(model);
-  ensure_state(m_, s.params);
-  ensure_state(v_, s.params);
+  ensure_state(m_, model);
+  ensure_state(v_, model);
   ++t_;
   const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
   const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
   for (std::size_t i = 0; i < s.params.size(); ++i) {
     float* g = s.grads[i]->data();
-    float* m = m_[i].data();
-    float* v = v_[i].data();
+    float* m = m_.entry_span(i).data();
+    float* v = v_.entry_span(i).data();
     float* p = s.params[i]->data();
     const std::int64_t n = s.params[i]->numel();
     for (std::int64_t j = 0; j < n; ++j) {
@@ -104,8 +102,8 @@ void Adam::step(nn::Model& model) {
 }
 
 void Adam::reset() {
-  m_.clear();
-  v_.clear();
+  m_ = {};
+  v_ = {};
   t_ = 0;
 }
 
@@ -114,14 +112,14 @@ AdaMax::AdaMax(double lr, double beta1, double beta2, double eps)
 
 void AdaMax::step(nn::Model& model) {
   Slots s = collect(model);
-  ensure_state(m_, s.params);
-  ensure_state(u_, s.params);
+  ensure_state(m_, model);
+  ensure_state(u_, model);
   ++t_;
   const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
   for (std::size_t i = 0; i < s.params.size(); ++i) {
     float* g = s.grads[i]->data();
-    float* m = m_[i].data();
-    float* u = u_[i].data();
+    float* m = m_.entry_span(i).data();
+    float* u = u_.entry_span(i).data();
     float* p = s.params[i]->data();
     const std::int64_t n = s.params[i]->numel();
     for (std::int64_t j = 0; j < n; ++j) {
@@ -133,8 +131,8 @@ void AdaMax::step(nn::Model& model) {
 }
 
 void AdaMax::reset() {
-  m_.clear();
-  u_.clear();
+  m_ = {};
+  u_ = {};
   t_ = 0;
 }
 
@@ -143,10 +141,10 @@ RmsProp::RmsProp(double lr, double decay, double eps)
 
 void RmsProp::step(nn::Model& model) {
   Slots s = collect(model);
-  ensure_state(accum_, s.params);
+  ensure_state(accum_, model);
   for (std::size_t i = 0; i < s.params.size(); ++i) {
     float* g = s.grads[i]->data();
-    float* a = accum_[i].data();
+    float* a = accum_.entry_span(i).data();
     float* p = s.params[i]->data();
     const std::int64_t n = s.params[i]->numel();
     for (std::int64_t j = 0; j < n; ++j) {
@@ -158,30 +156,29 @@ void RmsProp::step(nn::Model& model) {
   }
 }
 
-void RmsProp::reset() { accum_.clear(); }
+void RmsProp::reset() { accum_ = {}; }
 
 Adgd::Adgd(double lr) : Optimizer(lr), lambda_prev_(lr) {}
 
 void Adgd::step(nn::Model& model) {
   Slots s = collect(model);
-  nn::ParamList params = model.parameters();
-  nn::ParamList grads = model.gradients();
+  nn::FlatParams params = model.parameters();
+  nn::FlatParams grads = model.gradients();
 
   double lambda = lambda_prev_;
   if (has_prev_) {
     double dx2 = 0.0, dg2 = 0.0;
-    for (std::size_t i = 0; i < params.size(); ++i) {
-      const float* p = params[i].data();
-      const float* pp = prev_params_[i].data();
-      const float* g = grads[i].data();
-      const float* pg = prev_grads_[i].data();
-      const std::int64_t n = params[i].numel();
-      for (std::int64_t j = 0; j < n; ++j) {
-        const double dp = static_cast<double>(p[j]) - pp[j];
-        const double dg = static_cast<double>(g[j]) - pg[j];
-        dx2 += dp * dp;
-        dg2 += dg * dg;
-      }
+    // One pass over the arenas in ascending order — the same coordinate
+    // order the old per-tensor loop accumulated in.
+    const std::span<const float> p = params.as_span();
+    const std::span<const float> pp = prev_params_.as_span();
+    const std::span<const float> g = grads.as_span();
+    const std::span<const float> pg = prev_grads_.as_span();
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      const double dp = static_cast<double>(p[j]) - pp[j];
+      const double dg = static_cast<double>(g[j]) - pg[j];
+      dx2 += dp * dp;
+      dg2 += dg * dg;
     }
     const double growth = std::sqrt(1.0 + theta_prev_) * lambda_prev_;
     const double curvature =
@@ -201,8 +198,8 @@ void Adgd::step(nn::Model& model) {
 }
 
 void Adgd::reset() {
-  prev_params_.clear();
-  prev_grads_.clear();
+  prev_params_ = {};
+  prev_grads_ = {};
   lambda_prev_ = lr_;
   theta_prev_ = 1.0;
   has_prev_ = false;

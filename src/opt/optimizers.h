@@ -3,6 +3,11 @@
 // Adagrad is the one Algorithm 1 specifies (including the paper's 1e-5
 // term inside the square root); SGD is the FL baseline; Adam, AdaMax,
 // RMSProp and ADGD are the Figure 11 ablation alternatives.
+//
+// Optimizer state (momenta, squared-gradient accumulators, previous
+// iterates) lives in FlatParams arenas sharing the model's layer index:
+// one allocation per state vector, re-initialized only when the model's
+// parameter layout changes.
 #pragma once
 
 #include <vector>
@@ -20,7 +25,7 @@ class Sgd : public Optimizer {
 
  private:
   double momentum_;
-  nn::ParamList velocity_;
+  nn::FlatParams velocity_;
 };
 
 // Algorithm 1, lines 13-14:  G += g^2;  theta -= lr * g / sqrt(G + 1e-5).
@@ -33,7 +38,7 @@ class Adagrad : public Optimizer {
 
  private:
   double eps_;
-  nn::ParamList accum_;  // G
+  nn::FlatParams accum_;  // G
 };
 
 class Adam : public Optimizer {
@@ -46,7 +51,7 @@ class Adam : public Optimizer {
  private:
   double beta1_, beta2_, eps_;
   std::int64_t t_ = 0;
-  nn::ParamList m_, v_;
+  nn::FlatParams m_, v_;
 };
 
 // Adam variant with an infinity-norm second moment (Kingma & Ba, §7).
@@ -60,7 +65,7 @@ class AdaMax : public Optimizer {
  private:
   double beta1_, beta2_, eps_;
   std::int64_t t_ = 0;
-  nn::ParamList m_, u_;
+  nn::FlatParams m_, u_;
 };
 
 class RmsProp : public Optimizer {
@@ -72,7 +77,7 @@ class RmsProp : public Optimizer {
 
  private:
   double decay_, eps_;
-  nn::ParamList accum_;
+  nn::FlatParams accum_;
 };
 
 // Adaptive Gradient Descent without Descent (Malitsky & Mishchenko 2020):
@@ -92,7 +97,7 @@ class Adgd : public Optimizer {
   // lets the first growth bound explode, so we start conservatively at 1.
   double theta_prev_ = 1.0;
   bool has_prev_ = false;
-  nn::ParamList prev_params_, prev_grads_;
+  nn::FlatParams prev_params_, prev_grads_;
 };
 
 std::unique_ptr<Optimizer> make_optimizer(const std::string& name, double lr);

@@ -11,35 +11,37 @@ double DpParams::sigma() const {
   return sensitivity * std::sqrt(2.0 * std::log(1.25 / delta)) / epsilon;
 }
 
-void clip_l2(nn::ParamList& params, double clip_norm) {
+void clip_l2(nn::FlatParams& params, double clip_norm) {
   DINAR_CHECK(clip_norm > 0.0, "clip norm must be positive");
-  const double norm = nn::param_list_l2_norm(params);
+  const double norm = nn::flat_l2_norm(params);
   if (norm <= clip_norm || norm == 0.0) return;
-  nn::param_list_scale(params, static_cast<float>(clip_norm / norm));
+  nn::flat_scale(params, static_cast<float>(clip_norm / norm));
 }
 
-void add_gaussian_noise(nn::ParamList& params, double sigma, Rng& rng) {
+void add_gaussian_noise(nn::FlatParams& params, double sigma, Rng& rng) {
   if (sigma <= 0.0) return;
-  for (Tensor& t : params)
-    for (float& v : t.values()) v += static_cast<float>(rng.gaussian(0.0, sigma));
+  // One draw per coordinate in arena order — the same order the old
+  // per-tensor loop consumed the stream in.
+  for (float& v : params.as_span())
+    v += static_cast<float>(rng.gaussian(0.0, sigma));
 }
 
-nn::ParamList LdpDefense::before_upload(nn::Model& /*model*/, nn::ParamList params,
-                                        std::int64_t /*num_samples*/,
-                                        bool& /*pre_weighted*/) {
+nn::FlatParams LdpDefense::before_upload(nn::Model& /*model*/, nn::FlatParams params,
+                                         std::int64_t /*num_samples*/,
+                                         bool& /*pre_weighted*/) {
   clip_l2(params, params_.clip_norm);
   add_gaussian_noise(params, params_.sigma(), rng_);
   return params;
 }
 
-void CdpDefense::after_aggregate(nn::ParamList& params) {
+void CdpDefense::after_aggregate(nn::FlatParams& params) {
   clip_l2(params, params_.clip_norm);
   add_gaussian_noise(params, params_.sigma(), rng_);
 }
 
-nn::ParamList WdpDefense::before_upload(nn::Model& /*model*/, nn::ParamList params,
-                                        std::int64_t /*num_samples*/,
-                                        bool& /*pre_weighted*/) {
+nn::FlatParams WdpDefense::before_upload(nn::Model& /*model*/, nn::FlatParams params,
+                                         std::int64_t /*num_samples*/,
+                                         bool& /*pre_weighted*/) {
   clip_l2(params, norm_bound_);
   add_gaussian_noise(params, sigma_, rng_);
   return params;

@@ -28,18 +28,18 @@ struct DpParams {
   double sigma() const;
 };
 
-// Clips a parameter list to `clip_norm` (global L2) in place.
-void clip_l2(nn::ParamList& params, double clip_norm);
-// Adds iid N(0, sigma^2) to every coordinate.
-void add_gaussian_noise(nn::ParamList& params, double sigma, Rng& rng);
+// Clips a flat parameter arena to `clip_norm` (global L2) in place.
+void clip_l2(nn::FlatParams& params, double clip_norm);
+// Adds iid N(0, sigma^2) to every coordinate, drawn in arena order.
+void add_gaussian_noise(nn::FlatParams& params, double sigma, Rng& rng);
 
 class LdpDefense final : public fl::ClientDefense {
  public:
   LdpDefense(DpParams params, Rng rng) : params_(params), rng_(rng) {}
 
   std::string name() const override { return "ldp"; }
-  nn::ParamList before_upload(nn::Model& model, nn::ParamList params,
-                              std::int64_t num_samples, bool& pre_weighted) override;
+  nn::FlatParams before_upload(nn::Model& model, nn::FlatParams params,
+                               std::int64_t num_samples, bool& pre_weighted) override;
 
  private:
   DpParams params_;
@@ -51,7 +51,7 @@ class CdpDefense final : public fl::ServerDefense {
   CdpDefense(DpParams params, Rng rng) : params_(params), rng_(rng) {}
 
   std::string name() const override { return "cdp"; }
-  void after_aggregate(nn::ParamList& params) override;
+  void after_aggregate(nn::FlatParams& params) override;
 
  private:
   DpParams params_;
@@ -65,8 +65,8 @@ class WdpDefense final : public fl::ClientDefense {
       : norm_bound_(norm_bound), sigma_(sigma), rng_(rng) {}
 
   std::string name() const override { return "wdp"; }
-  nn::ParamList before_upload(nn::Model& model, nn::ParamList params,
-                              std::int64_t num_samples, bool& pre_weighted) override;
+  nn::FlatParams before_upload(nn::Model& model, nn::FlatParams params,
+                               std::int64_t num_samples, bool& pre_weighted) override;
 
  private:
   double norm_bound_;

@@ -14,28 +14,26 @@ GradientCompressionDefense::GradientCompressionDefense(double keep_ratio)
 }
 
 void GradientCompressionDefense::on_download(nn::Model& model,
-                                             const nn::ParamList& global_params) {
+                                             const nn::FlatParams& global_params) {
   reference_ = global_params;
   model.set_parameters(global_params);
 }
 
-nn::ParamList GradientCompressionDefense::before_upload(nn::Model& /*model*/,
-                                                        nn::ParamList params,
-                                                        std::int64_t /*num_samples*/,
-                                                        bool& /*pre_weighted*/) {
+nn::FlatParams GradientCompressionDefense::before_upload(nn::Model& /*model*/,
+                                                         nn::FlatParams params,
+                                                         std::int64_t /*num_samples*/,
+                                                         bool& /*pre_weighted*/) {
   DINAR_CHECK(!reference_.empty(), "GC upload before any download");
-  DINAR_CHECK(nn::param_list_same_shape(params, reference_),
+  DINAR_CHECK(params.same_layout(reference_),
               "GC reference/update structure mismatch");
 
-  // Magnitudes of the update delta across all tensors.
+  // Magnitudes of the update delta across the whole arena.
+  const std::span<const float> r = reference_.as_span();
+  const std::span<float> p = params.as_span();
   std::vector<float> magnitudes;
-  magnitudes.reserve(static_cast<std::size_t>(nn::param_list_numel(params)));
-  for (std::size_t t = 0; t < params.size(); ++t) {
-    const float* p = params[t].data();
-    const float* r = reference_[t].data();
-    for (std::int64_t i = 0; i < params[t].numel(); ++i)
-      magnitudes.push_back(std::fabs(p[i] - r[i]));
-  }
+  magnitudes.reserve(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i)
+    magnitudes.push_back(std::fabs(p[i] - r[i]));
   if (magnitudes.empty()) return params;
 
   const std::size_t keep = std::max<std::size_t>(
@@ -46,12 +44,8 @@ nn::ParamList GradientCompressionDefense::before_upload(nn::Model& /*model*/,
   const float threshold = sorted[sorted.size() - keep];
 
   // Below-threshold coordinates revert to the reference (delta dropped).
-  for (std::size_t t = 0; t < params.size(); ++t) {
-    float* p = params[t].data();
-    const float* r = reference_[t].data();
-    for (std::int64_t i = 0; i < params[t].numel(); ++i)
-      if (std::fabs(p[i] - r[i]) < threshold) p[i] = r[i];
-  }
+  for (std::size_t i = 0; i < p.size(); ++i)
+    if (std::fabs(p[i] - r[i]) < threshold) p[i] = r[i];
   return params;
 }
 

@@ -16,13 +16,13 @@ class GradientCompressionDefense final : public fl::ClientDefense {
   explicit GradientCompressionDefense(double keep_ratio);
 
   std::string name() const override { return "gc"; }
-  void on_download(nn::Model& model, const nn::ParamList& global_params) override;
-  nn::ParamList before_upload(nn::Model& model, nn::ParamList params,
-                              std::int64_t num_samples, bool& pre_weighted) override;
+  void on_download(nn::Model& model, const nn::FlatParams& global_params) override;
+  nn::FlatParams before_upload(nn::Model& model, nn::FlatParams params,
+                               std::int64_t num_samples, bool& pre_weighted) override;
 
  private:
   double keep_ratio_;
-  nn::ParamList reference_;  // global model received this round
+  nn::FlatParams reference_;  // global model received this round
 };
 
 }  // namespace dinar::privacy

@@ -37,24 +37,24 @@ SecureAggregationDefense::SecureAggregationDefense(
               "client id outside SA group");
 }
 
-nn::ParamList SecureAggregationDefense::before_upload(nn::Model& /*model*/,
-                                                      nn::ParamList params,
-                                                      std::int64_t num_samples,
-                                                      bool& pre_weighted) {
+nn::FlatParams SecureAggregationDefense::before_upload(nn::Model& /*model*/,
+                                                       nn::FlatParams params,
+                                                       std::int64_t num_samples,
+                                                       bool& pre_weighted) {
   // Pre-weight so the server-side unweighted sum equals FedAvg's numerator.
-  nn::param_list_scale(params, static_cast<float>(num_samples));
+  nn::flat_scale(params, static_cast<float>(num_samples));
   pre_weighted = true;
 
   for (int other = 0; other < group_->num_clients(); ++other) {
     if (other == client_id_) continue;
     // Fresh per-round mask stream from the shared pair seed; both ends of
-    // the pair derive identical masks with opposite signs.
+    // the pair derive identical masks with opposite signs. One draw per
+    // coordinate in arena order — the order the old per-tensor loop used.
     Rng mask_rng(group_->pair_seed(client_id_, other) ^
                  static_cast<std::uint64_t>(round_counter_) * 0x9e3779b97f4a7c15ULL);
     const float sign = client_id_ < other ? 1.0f : -1.0f;
-    for (Tensor& t : params)
-      for (float& v : t.values())
-        v += sign * static_cast<float>(mask_rng.gaussian(0.0, group_->mask_stddev()));
+    for (float& v : params.as_span())
+      v += sign * static_cast<float>(mask_rng.gaussian(0.0, group_->mask_stddev()));
   }
   ++round_counter_;
   return params;

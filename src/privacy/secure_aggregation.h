@@ -47,8 +47,8 @@ class SecureAggregationDefense final : public fl::ClientDefense {
                            int client_id);
 
   std::string name() const override { return "sa"; }
-  nn::ParamList before_upload(nn::Model& model, nn::ParamList params,
-                              std::int64_t num_samples, bool& pre_weighted) override;
+  nn::FlatParams before_upload(nn::Model& model, nn::FlatParams params,
+                               std::int64_t num_samples, bool& pre_weighted) override;
 
  private:
   std::shared_ptr<const SecureAggregationGroup> group_;

@@ -53,6 +53,7 @@ Tensor::Tensor(Shape shape, std::vector<float> values)
 Tensor::Tensor(const Tensor& other)
     : shape_(other.shape_), numel_(other.numel_), data_(other.data_) {
   track_alloc();
+  MemoryTracker::instance().record_copy(data_.size() * sizeof(float));
 }
 
 Tensor& Tensor::operator=(const Tensor& other) {
@@ -62,6 +63,7 @@ Tensor& Tensor::operator=(const Tensor& other) {
   numel_ = other.numel_;
   data_ = other.data_;
   track_alloc();
+  MemoryTracker::instance().record_copy(data_.size() * sizeof(float));
   return *this;
 }
 
@@ -301,16 +303,26 @@ Tensor gemm(Trans trans_a, Trans trans_b, const Tensor& a, const Tensor& b,
   return out;
 }
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
-  return gemm(Trans::kN, Trans::kN, a, b);
+void span_add(std::span<float> a, std::span<const float> b) {
+  DINAR_CHECK(a.size() == b.size(),
+              "span_add length mismatch: " << a.size() << " vs " << b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
 }
 
-Tensor matmul_tn(const Tensor& a, const Tensor& b) {
-  return gemm(Trans::kT, Trans::kN, a, b);
+void span_scale(std::span<float> a, float s) {
+  for (float& v : a) v *= s;
 }
 
-Tensor matmul_nt(const Tensor& a, const Tensor& b) {
-  return gemm(Trans::kN, Trans::kT, a, b);
+void span_axpy(std::span<float> a, std::span<const float> x, float s) {
+  DINAR_CHECK(a.size() == x.size(),
+              "span_axpy length mismatch: " << a.size() << " vs " << x.size());
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += s * x[i];
+}
+
+double span_squared_l2(std::span<const float> a) {
+  double acc = 0.0;
+  for (float v : a) acc += static_cast<double>(v) * static_cast<double>(v);
+  return acc;
 }
 
 }  // namespace dinar

@@ -114,13 +114,22 @@ enum class Trans : std::uint8_t { kN, kT };
 Tensor gemm(Trans trans_a, Trans trans_b, const Tensor& a, const Tensor& b,
             const ExecutionContext* exec = nullptr);
 
-// Deprecated wrappers around gemm(), kept for one PR so out-of-tree
-// callers can migrate; new code must call gemm() directly.
-// Matrix product: a is [m, k], b is [k, n] -> [m, n].
-Tensor matmul(const Tensor& a, const Tensor& b);
-// a^T b where a is [k, m], b is [k, n] -> [m, n] (used in backward passes).
-Tensor matmul_tn(const Tensor& a, const Tensor& b);
-// a b^T where a is [m, k], b is [n, k] -> [m, n].
-Tensor matmul_nt(const Tensor& a, const Tensor& b);
+// -- span kernels ------------------------------------------------------------
+// Elementwise math over raw float ranges. These are the inner loops of the
+// FlatParams parameter space (nn/flat_params.h): whole-model snapshots live
+// in one contiguous arena and every consumer — FedAvg, robust aggregation,
+// DP noise, SA masks — streams these spans instead of walking tensor lists.
+// All of them are length-checked and accumulate in ascending index order,
+// so chunked parallel callers that partition the range get bit-identical
+// results to a single sequential pass.
+
+// a += b.
+void span_add(std::span<float> a, std::span<const float> b);
+// a *= s.
+void span_scale(std::span<float> a, float s);
+// a += s * x (float axpy, the FedAvg accumulation primitive).
+void span_axpy(std::span<float> a, std::span<const float> x, float s);
+// sum of squared entries, double-accumulated in ascending order.
+double span_squared_l2(std::span<const float> a);
 
 }  // namespace dinar

@@ -8,6 +8,8 @@ MemoryTracker& MemoryTracker::instance() {
 }
 
 void MemoryTracker::allocate(std::size_t bytes) {
+  alloc_events_.fetch_add(1, std::memory_order_relaxed);
+  allocated_total_.fetch_add(bytes, std::memory_order_relaxed);
   const std::uint64_t now = live_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
   std::uint64_t peak = peak_.load(std::memory_order_relaxed);
   while (now > peak &&
@@ -17,6 +19,10 @@ void MemoryTracker::allocate(std::size_t bytes) {
 
 void MemoryTracker::release(std::size_t bytes) {
   live_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void MemoryTracker::record_copy(std::size_t bytes) {
+  copied_total_.fetch_add(bytes, std::memory_order_relaxed);
 }
 
 void MemoryTracker::reset_peak() {

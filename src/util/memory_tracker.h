@@ -3,8 +3,11 @@
 // of live tensor bytes instead — the analogous quantity, since the paper's
 // overheads come from extra parameter-sized buffers held by each defense).
 //
-// Tensors register their allocations here. Thread-safe via atomics; the
-// peak is maintained with a CAS loop.
+// Tensors and FlatParams arenas register their allocations here. Beyond
+// the live/peak gauges, the tracker counts discrete allocation events and
+// copied bytes so bench_copybw can report per-round heap-allocation and
+// copy-bandwidth costs of the parameter exchange+aggregate path.
+// Thread-safe via atomics; the peak is maintained with a CAS loop.
 #pragma once
 
 #include <atomic>
@@ -18,9 +21,23 @@ class MemoryTracker {
 
   void allocate(std::size_t bytes);
   void release(std::size_t bytes);
+  // Accounts a bulk parameter copy (snapshot, serde payload, arena clone).
+  void record_copy(std::size_t bytes);
 
   std::uint64_t live_bytes() const { return live_.load(std::memory_order_relaxed); }
   std::uint64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
+  // Number of allocate() calls since process start (monotonic).
+  std::uint64_t alloc_events() const {
+    return alloc_events_.load(std::memory_order_relaxed);
+  }
+  // Total bytes ever passed to allocate() (monotonic).
+  std::uint64_t allocated_bytes_total() const {
+    return allocated_total_.load(std::memory_order_relaxed);
+  }
+  // Total bytes ever passed to record_copy() (monotonic).
+  std::uint64_t copied_bytes_total() const {
+    return copied_total_.load(std::memory_order_relaxed);
+  }
 
   // Restarts peak tracking from the current live size (used between
   // Table 3 scenarios so each defense reports its own peak).
@@ -30,6 +47,9 @@ class MemoryTracker {
   MemoryTracker() = default;
   std::atomic<std::uint64_t> live_{0};
   std::atomic<std::uint64_t> peak_{0};
+  std::atomic<std::uint64_t> alloc_events_{0};
+  std::atomic<std::uint64_t> allocated_total_{0};
+  std::atomic<std::uint64_t> copied_total_{0};
 };
 
 }  // namespace dinar

@@ -45,9 +45,9 @@ TEST(FeatureTest, SharperLogitsLowerEntropy) {
     entropy_before += f[1];
 
   // Scale the classifier head up to sharpen predictions.
-  nn::ParamList params = model.parameters();
-  params[4] *= 50.0f;
-  params[5] *= 50.0f;
+  nn::FlatParams params = model.parameters();
+  for (float& v : params.entry_span(4)) v *= 50.0f;
+  for (float& v : params.entry_span(5)) v *= 50.0f;
   model.set_parameters(params);
   double entropy_after = 0.0;
   for (const FeatureRow& f : extract_membership_features(model, d))

@@ -213,20 +213,20 @@ TEST(ObfuscationTest, ZeroTensorGetsFallbackScale) {
 TEST(ObfuscationTest, SnapshotLayerTargeting) {
   Rng rng(14);
   nn::Model model = make_tiny_mlp(8, 3, rng);
-  nn::ParamList snapshot = model.parameters();
-  nn::ParamList orig = snapshot;
+  nn::FlatParams snapshot = model.parameters();
+  nn::FlatParams orig = snapshot;
   Rng orng(15);
   obfuscate_layer_in_snapshot(model, snapshot, 1, orng);
 
   const auto [begin, end] = model.layer_param_span(1);
-  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+  for (std::size_t i = 0; i < snapshot.index()->num_entries(); ++i) {
     bool changed = false;
-    for (std::int64_t j = 0; j < snapshot[i].numel(); ++j)
-      if (snapshot[i].at(j) != orig[i].at(j)) changed = true;
+    for (std::size_t j = 0; j < snapshot.entry_span(i).size(); ++j)
+      if (snapshot.entry_span(i)[j] != orig.entry_span(i)[j]) changed = true;
     if (i >= begin && i < end)
-      EXPECT_TRUE(changed) << "layer tensor " << i << " should be obfuscated";
+      EXPECT_TRUE(changed) << "layer entry " << i << " should be obfuscated";
     else
-      EXPECT_FALSE(changed) << "tensor " << i << " must be untouched";
+      EXPECT_FALSE(changed) << "entry " << i << " must be untouched";
   }
 }
 
@@ -238,25 +238,26 @@ TEST(DinarDefenseTest, UploadObfuscatesOnlyProtectedLayer) {
   DinarDefense defense({2}, Rng(17));
   defense.initialize(model, 0);
 
-  nn::ParamList live_before = model.parameters();
+  nn::FlatParams live_before = model.parameters();
   bool pw = false;
-  nn::ParamList upload = defense.before_upload(model, model.parameters(), 10, pw);
+  nn::FlatParams upload = defense.before_upload(model, model.parameters(), 10, pw);
   EXPECT_FALSE(pw);
 
   const auto [begin, end] = model.layer_param_span(2);
-  for (std::size_t i = 0; i < upload.size(); ++i) {
+  for (std::size_t i = 0; i < upload.index()->num_entries(); ++i) {
     const bool inside = i >= begin && i < end;
     bool equal = true;
-    for (std::int64_t j = 0; j < upload[i].numel(); ++j)
-      if (upload[i].at(j) != live_before[i].at(j)) equal = false;
+    for (std::size_t j = 0; j < upload.entry_span(i).size(); ++j)
+      if (upload.entry_span(i)[j] != live_before.entry_span(i)[j]) equal = false;
     EXPECT_EQ(equal, !inside);
+    // The outgoing index advertises exactly the obfuscated entries.
+    EXPECT_EQ(upload.index()->entry(i).is_obfuscated, inside);
   }
 
   // Live model untouched by the upload transform.
-  nn::ParamList live_after = model.parameters();
-  for (std::size_t i = 0; i < live_before.size(); ++i)
-    for (std::int64_t j = 0; j < live_before[i].numel(); ++j)
-      EXPECT_EQ(live_after[i].at(j), live_before[i].at(j));
+  nn::FlatParams live_after = model.parameters();
+  for (std::size_t j = 0; j < live_before.as_span().size(); ++j)
+    EXPECT_EQ(live_after.as_span()[j], live_before.as_span()[j]);
 }
 
 TEST(DinarDefenseTest, DownloadRestoresPrivateLayer) {
@@ -267,24 +268,24 @@ TEST(DinarDefenseTest, DownloadRestoresPrivateLayer) {
 
   // Client trains: layer 1 takes distinctive values, then uploads (stores
   // theta_p^*).
-  nn::ParamList trained = model.layer_parameters(1);
-  trained[0].fill(0.77f);
-  trained[1].fill(-0.33f);
+  nn::FlatParams trained = model.layer_parameters(1);
+  for (float& v : trained.entry_span(0)) v = 0.77f;
+  for (float& v : trained.entry_span(1)) v = -0.33f;
   model.set_layer_parameters(1, trained);
   bool pw = false;
   defense.before_upload(model, model.parameters(), 10, pw);
 
   // Server sends back a different global model (all zeros).
-  nn::ParamList global = model.parameters();
-  for (Tensor& t : global) t.zero();
+  nn::FlatParams global = model.parameters();
+  for (float& v : global.as_span()) v = 0.0f;
   defense.on_download(model, global);
 
   // Protected layer restored, everything else zero.
-  nn::ParamList restored = model.layer_parameters(1);
-  EXPECT_EQ(restored[0].at(0), 0.77f);
-  EXPECT_EQ(restored[1].at(0), -0.33f);
-  EXPECT_EQ(model.layer_parameters(0)[0].squared_l2_norm(), 0.0);
-  EXPECT_EQ(model.layer_parameters(2)[0].squared_l2_norm(), 0.0);
+  nn::FlatParams restored = model.layer_parameters(1);
+  EXPECT_EQ(restored.entry_span(0)[0], 0.77f);
+  EXPECT_EQ(restored.entry_span(1)[0], -0.33f);
+  EXPECT_EQ(nn::flat_l2_norm(model.layer_parameters(0)), 0.0);
+  EXPECT_EQ(nn::flat_l2_norm(model.layer_parameters(2)), 0.0);
 }
 
 TEST(DinarDefenseTest, MultiLayerProtection) {
@@ -293,17 +294,17 @@ TEST(DinarDefenseTest, MultiLayerProtection) {
   DinarDefense defense({0, 2}, Rng(21));
   defense.initialize(model, 0);
   bool pw = false;
-  nn::ParamList live = model.parameters();
-  nn::ParamList upload = defense.before_upload(model, model.parameters(), 10, pw);
+  nn::FlatParams live = model.parameters();
+  nn::FlatParams upload = defense.before_upload(model, model.parameters(), 10, pw);
   const auto [b0, e0] = model.layer_param_span(0);
   const auto [b2, e2] = model.layer_param_span(2);
   std::set<std::size_t> protected_slots;
   for (std::size_t i = b0; i < e0; ++i) protected_slots.insert(i);
   for (std::size_t i = b2; i < e2; ++i) protected_slots.insert(i);
-  for (std::size_t i = 0; i < upload.size(); ++i) {
+  for (std::size_t i = 0; i < upload.index()->num_entries(); ++i) {
     bool equal = true;
-    for (std::int64_t j = 0; j < upload[i].numel(); ++j)
-      if (upload[i].at(j) != live[i].at(j)) equal = false;
+    for (std::size_t j = 0; j < upload.entry_span(i).size(); ++j)
+      if (upload.entry_span(i)[j] != live.entry_span(i)[j]) equal = false;
     EXPECT_EQ(equal, protected_slots.count(i) == 0);
   }
 }

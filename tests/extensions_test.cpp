@@ -243,11 +243,11 @@ TEST(ObfuscationStrategyTest, AllStrategiesProtectInFl) {
     // Uploaded layer 2 differs from the client's live layer under every
     // strategy (the private layer never leaves the device).
     nn::Model view = sim.server_view_of_client(0);
-    nn::ParamList uploaded = view.layer_parameters(2);
-    nn::ParamList live = sim.clients()[0].model().layer_parameters(2);
+    nn::FlatParams uploaded = view.layer_parameters(2);
+    nn::FlatParams live = sim.clients()[0].model().layer_parameters(2);
     bool identical = true;
-    for (std::int64_t j = 0; j < uploaded[0].numel(); ++j)
-      if (uploaded[0].at(j) != live[0].at(j)) identical = false;
+    for (std::size_t j = 0; j < uploaded.entry_span(0).size(); ++j)
+      if (uploaded.entry_span(0)[j] != live.entry_span(0)[j]) identical = false;
     EXPECT_FALSE(identical);
   }
 }

@@ -24,10 +24,10 @@ data::FlSplit easy_split(int clients, std::int64_t n, std::uint64_t seed) {
   return data::make_fl_split(full, cfg, rng);
 }
 
-nn::ParamList one_tensor(float value) {
+nn::FlatParams one_tensor(float value) {
   nn::ParamList p;
   p.push_back(Tensor({2}, {value, value}));
-  return p;
+  return nn::FlatParams::from_param_list(p);
 }
 
 ModelUpdateMsg update_of(int client, float value, std::int64_t samples = 1) {
@@ -83,7 +83,7 @@ TEST(RobustAggregatorTest, FedAvgMatchesSampleWeightedMean) {
   auto agg = make_robust_aggregator(RobustConfig{});
   RobustAggregateResult r = agg->aggregate(
       {update_of(0, 2.0f, 1), update_of(1, 4.0f, 3)}, one_tensor(0.0f));
-  EXPECT_NEAR(r.params[0].at(0), 3.5f, 1e-6);  // (2*1 + 4*3) / 4
+  EXPECT_NEAR(r.params.entry_span(0)[0], 3.5f, 1e-6);  // (2*1 + 4*3) / 4
   EXPECT_TRUE(r.flags.empty());
 }
 
@@ -95,7 +95,7 @@ TEST(RobustAggregatorTest, MedianOutvotesAndQuarantinesMinorityOutlier) {
       {update_of(0, 1.0f), update_of(1, 1.0f), update_of(2, 1.0f),
        update_of(3, 1.0f), update_of(4, 100.0f)},
       one_tensor(0.0f));
-  EXPECT_NEAR(r.params[0].at(0), 1.0f, 1e-6);
+  EXPECT_NEAR(r.params.entry_span(0)[0], 1.0f, 1e-6);
   ASSERT_EQ(r.flags.size(), 1u);
   EXPECT_EQ(r.flags[0].client_id, 4);
   EXPECT_TRUE(r.flags[0].excluded);
@@ -112,7 +112,7 @@ TEST(RobustAggregatorTest, TrimmedMeanDropsBothExtremes) {
       {update_of(0, 0.0f), update_of(1, 1.0f), update_of(2, 1.0f),
        update_of(3, 1.0f), update_of(4, 50.0f)},
       one_tensor(0.0f));
-  EXPECT_NEAR(r.params[0].at(0), 1.0f, 1e-6);  // 0 and 50 trimmed per coordinate
+  EXPECT_NEAR(r.params.entry_span(0)[0], 1.0f, 1e-6);  // 0 and 50 trimmed per coordinate
 }
 
 TEST(RobustAggregatorTest, NormClipBoundsLargeDeltas) {
@@ -126,7 +126,7 @@ TEST(RobustAggregatorTest, NormClipBoundsLargeDeltas) {
       {update_of(0, 1.0f), update_of(1, 1.0f), update_of(2, 1.0f),
        update_of(3, 100.0f)},
       one_tensor(0.0f));
-  EXPECT_NEAR(r.params[0].at(0), 1.25f, 1e-5);  // (1 + 1 + 1 + 2) / 4
+  EXPECT_NEAR(r.params.entry_span(0)[0], 1.25f, 1e-5);  // (1 + 1 + 1 + 2) / 4
   ASSERT_EQ(r.flags.size(), 1u);
   EXPECT_EQ(r.flags[0].client_id, 3);
   EXPECT_FALSE(r.flags[0].excluded);  // clipped, not removed
@@ -143,8 +143,8 @@ TEST(RobustAggregatorTest, KrumSelectsInsideTheHonestCluster) {
        update_of(3, 0.99f), update_of(4, 50.0f)},
       one_tensor(0.0f));
   // Krum keeps exactly one update, from inside the cluster.
-  EXPECT_GT(r.params[0].at(0), 0.9f);
-  EXPECT_LT(r.params[0].at(0), 1.1f);
+  EXPECT_GT(r.params.entry_span(0)[0], 0.9f);
+  EXPECT_LT(r.params.entry_span(0)[0], 1.1f);
   EXPECT_EQ(r.flags.size(), 4u);
   EXPECT_TRUE(has_excluded(r.flags, 4));
 }
@@ -158,7 +158,7 @@ TEST(RobustAggregatorTest, MultiKrumExcludesExactlyTheAssumedByzantine) {
       {update_of(0, 1.00f), update_of(1, 1.01f), update_of(2, 1.02f),
        update_of(3, 0.99f), update_of(4, 50.0f)},
       one_tensor(0.0f));
-  EXPECT_NEAR(r.params[0].at(0), 1.005f, 1e-3);  // mean of the 4 honest
+  EXPECT_NEAR(r.params.entry_span(0)[0], 1.005f, 1e-3);  // mean of the 4 honest
   ASSERT_EQ(r.flags.size(), 1u);
   EXPECT_EQ(r.flags[0].client_id, 4);
   EXPECT_TRUE(r.flags[0].excluded);
@@ -186,11 +186,11 @@ TEST(RobustAggregatorTest, RobustMethodsRejectPreWeightedUpdates) {
 
 // -------------------------------------------------- layer-aware regression --
 
-nn::ParamList two_tensors(float a, float b0, float b1) {
+nn::FlatParams two_tensors(float a, float b0, float b1) {
   nn::ParamList p;
   p.push_back(Tensor({2}, {a, a}));
   p.push_back(Tensor({2}, {b0, b1}));
-  return p;
+  return nn::FlatParams::from_param_list(p);
 }
 
 // The DINAR regression: an honest client's obfuscated layer is random by
@@ -215,7 +215,7 @@ TEST(LayerAwareScoringTest, NaiveMedianQuarantinesHonestDinarUpdateLayerAwareDoe
     updates.push_back(std::move(dinar));
     return updates;
   }();
-  const nn::ParamList global = two_tensors(0.0f, 0.0f, 0.0f);
+  const nn::FlatParams global = two_tensors(0.0f, 0.0f, 0.0f);
 
   RobustConfig naive;
   naive.method = "median";
@@ -231,10 +231,10 @@ TEST(LayerAwareScoringTest, NaiveMedianQuarantinesHonestDinarUpdateLayerAwareDoe
   for (const AggregatorFlag& f : result.flags)
     EXPECT_FALSE(f.excluded) << "client " << f.client_id << ": " << f.reason;
   // The scored tensor aggregates over all five clients...
-  EXPECT_NEAR(result.params[0].at(0), 1.02f, 1e-6);
+  EXPECT_NEAR(result.params.entry_span(0)[0], 1.02f, 1e-6);
   // ...and the excluded tensor still averages (it stays obfuscation noise
   // that personalization discards, but the broadcast keeps its structure).
-  EXPECT_NEAR(result.params[1].at(0), 10.0f, 1e-5);
+  EXPECT_NEAR(result.params.entry_span(1)[0], 10.0f, 1e-5);
 }
 
 // End-to-end: a full DINAR federation (every client obfuscates) under
@@ -269,7 +269,7 @@ TEST(AdversaryEngineTest, SignFlipInvertsTheDelta) {
   engine.begin_round(0);
   ModelUpdateMsg u = update_of(3, 1.5f);
   engine.corrupt_update(one_tensor(1.0f), u);  // 1 - 2 * (1.5 - 1) = 0
-  EXPECT_NEAR(u.params[0].at(0), 0.0f, 1e-6);
+  EXPECT_NEAR(u.params.entry_span(0)[0], 0.0f, 1e-6);
   EXPECT_EQ(engine.stats().sign_flips, 1u);
   EXPECT_EQ(engine.stats().corrupted_updates, 1u);
 }
@@ -282,7 +282,7 @@ TEST(AdversaryEngineTest, ModelReplacementBoostsTheDelta) {
   engine.begin_round(0);
   ModelUpdateMsg u = update_of(3, 1.5f);
   engine.corrupt_update(one_tensor(1.0f), u);  // 1 + 10 * (1.5 - 1) = 6
-  EXPECT_NEAR(u.params[0].at(0), 6.0f, 1e-5);
+  EXPECT_NEAR(u.params.entry_span(0)[0], 6.0f, 1e-5);
   EXPECT_EQ(engine.stats().replacements, 1u);
 }
 
@@ -305,8 +305,8 @@ TEST(AdversaryEngineTest, AttackStreamIsDeterministicPerSeedAndRound) {
   ModelUpdateMsg ua = update_of(3, 1.5f), ub = update_of(3, 1.5f);
   a.corrupt_update(one_tensor(1.0f), ua);
   b.corrupt_update(one_tensor(1.0f), ub);
-  for (std::int64_t j = 0; j < ua.params[0].numel(); ++j)
-    EXPECT_EQ(ua.params[0].at(j), ub.params[0].at(j));
+  for (std::size_t j = 0; j < ua.params.as_span().size(); ++j)
+    EXPECT_EQ(ua.params.as_span()[j], ub.params.as_span()[j]);
 }
 
 TEST(AdversaryEngineTest, ColludersUploadOneIdenticalPayload) {
@@ -320,8 +320,8 @@ TEST(AdversaryEngineTest, ColludersUploadOneIdenticalPayload) {
   ModelUpdateMsg first = update_of(5, -3.0f), second = update_of(2, 1.5f);
   engine.corrupt_update(one_tensor(1.0f), first);
   engine.corrupt_update(one_tensor(1.0f), second);
-  for (std::int64_t j = 0; j < first.params[0].numel(); ++j)
-    EXPECT_EQ(first.params[0].at(j), second.params[0].at(j));
+  for (std::size_t j = 0; j < first.params.as_span().size(); ++j)
+    EXPECT_EQ(first.params.as_span()[j], second.params.as_span()[j]);
   EXPECT_EQ(engine.stats().colluding_uploads, 2u);
 }
 
@@ -484,15 +484,14 @@ TEST(ChurnSimulationTest, RejoiningClientCarriesPersonalizedStateAcrossAbsence) 
                           core::make_dinar_bundle({1}, 99));
 
   sim.run_round();  // round 0: everyone participates
-  const nn::ParamList before_absence = sim.clients()[2].model().parameters();
+  const nn::FlatParams before_absence = sim.clients()[2].model().parameters();
 
   sim.run_round();  // rounds 1, 2: client 2 is away — its state must not move
   sim.run_round();
-  const nn::ParamList during = sim.clients()[2].model().parameters();
-  ASSERT_EQ(during.size(), before_absence.size());
-  for (std::size_t t = 0; t < during.size(); ++t)
-    for (std::int64_t j = 0; j < during[t].numel(); ++j)
-      EXPECT_EQ(during[t].at(j), before_absence[t].at(j)) << "tensor " << t;
+  const nn::FlatParams during = sim.clients()[2].model().parameters();
+  ASSERT_EQ(during.numel(), before_absence.numel());
+  for (std::size_t j = 0; j < during.as_span().size(); ++j)
+    EXPECT_EQ(during.as_span()[j], before_absence.as_span()[j]) << "coord " << j;
 
   const RoundOutcome& rejoin = sim.run_round();  // round 3: back in
   EXPECT_EQ(rejoin.joined, (std::vector<int>{2}));
@@ -501,21 +500,20 @@ TEST(ChurnSimulationTest, RejoiningClientCarriesPersonalizedStateAcrossAbsence) 
 
   // It picked up the current global model (its parameters moved again)...
   bool moved = false;
-  const nn::ParamList after = sim.clients()[2].model().parameters();
-  for (std::size_t t = 0; t < after.size() && !moved; ++t)
-    for (std::int64_t j = 0; j < after[t].numel() && !moved; ++j)
-      moved = after[t].at(j) != before_absence[t].at(j);
+  const nn::FlatParams after = sim.clients()[2].model().parameters();
+  for (std::size_t j = 0; j < after.as_span().size() && !moved; ++j)
+    moved = after.as_span()[j] != before_absence.as_span()[j];
   EXPECT_TRUE(moved);
 
   // ...while its DINAR private layer stays personal: the obfuscated layer
   // it trains on differs from the server's aggregate of obfuscation noise.
   nn::Model global = sim.global_model();
   const auto [begin, end] = global.layer_param_span(1);
-  const nn::ParamList& global_params = sim.server().global_params();
+  const nn::FlatParams& global_params = sim.server().global_params();
   bool personal = false;
   for (std::size_t t = begin; t < end && !personal; ++t)
-    for (std::int64_t j = 0; j < after[t].numel() && !personal; ++j)
-      personal = std::abs(after[t].at(j) - global_params[t].at(j)) > 1e-6f;
+    for (std::size_t j = 0; j < after.entry_span(t).size() && !personal; ++j)
+      personal = std::abs(after.entry_span(t)[j] - global_params.entry_span(t)[j]) > 1e-6f;
   EXPECT_TRUE(personal);
 }
 
@@ -551,11 +549,10 @@ TEST(ChurnSimulationTest, CheckpointResumeIsDeterministicUnderChurnAndAttack) {
   FederatedSimulation a = resume();
   FederatedSimulation b = resume();
 
-  const nn::ParamList& pa = a.server().global_params();
-  const nn::ParamList& pb = b.server().global_params();
-  for (std::size_t t = 0; t < pa.size(); ++t)
-    for (std::int64_t j = 0; j < pa[t].numel(); ++j)
-      EXPECT_EQ(pa[t].at(j), pb[t].at(j));
+  const nn::FlatParams& pa = a.server().global_params();
+  const nn::FlatParams& pb = b.server().global_params();
+  for (std::size_t j = 0; j < pa.as_span().size(); ++j)
+    EXPECT_EQ(pa.as_span()[j], pb.as_span()[j]);
 
   // The replayed rounds took identical decisions: same rosters, the same
   // selections, the same attackers, the same aggregator treatment.
@@ -583,23 +580,23 @@ TEST(ServerInterplayTest, RestoreThenQuarantineHeavyRoundThenCarryForward) {
   ModelUpdateMsg stale = update_of(0, 5.0f);  // round 0 != restored round 3
   ModelUpdateMsg poisoned = update_of(1, 5.0f);
   poisoned.round = 3;
-  poisoned.params[0].at(0) = std::numeric_limits<float>::quiet_NaN();
+  poisoned.params.as_span()[0] = std::numeric_limits<float>::quiet_NaN();
   AggregateOutcome out = server.try_aggregate({stale, poisoned}, /*min_valid=*/1);
   EXPECT_FALSE(out.aggregated);
   EXPECT_EQ(out.quarantined.size(), 2u);
   EXPECT_EQ(server.round(), 3);
-  EXPECT_EQ(server.global_params()[0].at(0), 2.0f);
+  EXPECT_EQ(server.global_params().as_span()[0], 2.0f);
 
   server.carry_forward();  // degraded round keeps the restored model
   EXPECT_EQ(server.round(), 4);
-  EXPECT_EQ(server.global_params()[0].at(0), 2.0f);
+  EXPECT_EQ(server.global_params().as_span()[0], 2.0f);
 
   ModelUpdateMsg good = update_of(0, 6.0f);
   good.round = 4;
   out = server.try_aggregate({good}, /*min_valid=*/1);
   EXPECT_TRUE(out.aggregated);
   EXPECT_EQ(server.round(), 5);
-  EXPECT_NEAR(server.global_params()[0].at(0), 6.0f, 1e-6);
+  EXPECT_NEAR(server.global_params().as_span()[0], 6.0f, 1e-6);
 }
 
 // -------------------------------------------------------- config validation --

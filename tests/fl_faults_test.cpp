@@ -180,10 +180,10 @@ TEST(TransportShipTest, StragglerFactorScalesSimulatedLatency) {
 
 // --------------------------------------------------------- server hardening --
 
-nn::ParamList unit_params(float value = 0.0f) {
+nn::FlatParams unit_params(float value = 0.0f) {
   nn::ParamList p;
   p.push_back(Tensor({2}, {value, value}));
-  return p;
+  return nn::FlatParams::from_param_list(p);
 }
 
 ModelUpdateMsg make_update(int client, float value, std::int64_t samples = 1) {
@@ -210,12 +210,16 @@ TEST(ServerValidationTest, RejectsEachFaultClassWithNamedReason) {
   EXPECT_EQ(v.reason, RejectReason::kDuplicateClient);
 
   ModelUpdateMsg bad_shape = make_update(1, 1.0f);
-  bad_shape.params[0] = Tensor({3});
+  {
+    nn::ParamList wrong;
+    wrong.push_back(Tensor({3}));
+    bad_shape.params = nn::FlatParams::from_param_list(wrong);
+  }
   v = server.validate_update(bad_shape, none, std::nullopt);
   EXPECT_EQ(v.reason, RejectReason::kStructureMismatch);
 
   ModelUpdateMsg nan_update = make_update(1, 1.0f);
-  nan_update.params[0].at(1) = std::numeric_limits<float>::quiet_NaN();
+  nan_update.params.as_span()[1] = std::numeric_limits<float>::quiet_NaN();
   v = server.validate_update(nan_update, none, std::nullopt);
   EXPECT_EQ(v.reason, RejectReason::kNonFinite);
   EXPECT_NE(v.detail.find("tensor 0"), std::string::npos);
@@ -235,7 +239,7 @@ TEST(ServerValidationTest, RejectsEachFaultClassWithNamedReason) {
 TEST(ServerValidationTest, TryAggregateQuarantinesAndAveragesTheRest) {
   FlServer server(unit_params(), std::make_unique<NoServerDefense>());
   ModelUpdateMsg nan_update = make_update(2, 1.0f);
-  nan_update.params[0].at(0) = std::numeric_limits<float>::infinity();
+  nan_update.params.as_span()[0] = std::numeric_limits<float>::infinity();
   AggregateOutcome out = server.try_aggregate(
       {make_update(0, 2.0f), nan_update, make_update(1, 4.0f)}, /*min_valid=*/2);
   EXPECT_TRUE(out.aggregated);
@@ -244,7 +248,7 @@ TEST(ServerValidationTest, TryAggregateQuarantinesAndAveragesTheRest) {
   EXPECT_EQ(out.quarantined[0].client_id, 2);
   EXPECT_EQ(out.quarantined[0].reason, RejectReason::kNonFinite);
   EXPECT_EQ(server.round(), 1);
-  EXPECT_NEAR(server.global_params()[0].at(0), 3.0f, 1e-6);  // mean of 2 and 4
+  EXPECT_NEAR(server.global_params().as_span()[0], 3.0f, 1e-6);  // mean of 2 and 4
 }
 
 TEST(ServerValidationTest, BelowQuorumLeavesGlobalUntouched) {
@@ -253,24 +257,24 @@ TEST(ServerValidationTest, BelowQuorumLeavesGlobalUntouched) {
       server.try_aggregate({make_update(0, 1.0f)}, /*min_valid=*/2);
   EXPECT_FALSE(out.aggregated);
   EXPECT_EQ(server.round(), 0);
-  EXPECT_EQ(server.global_params()[0].at(0), 7.0f);
+  EXPECT_EQ(server.global_params().as_span()[0], 7.0f);
 }
 
 TEST(ServerValidationTest, CarryForwardAdvancesRoundOnly) {
   FlServer server(unit_params(7.0f), std::make_unique<NoServerDefense>());
   server.carry_forward();
   EXPECT_EQ(server.round(), 1);
-  EXPECT_EQ(server.global_params()[0].at(0), 7.0f);
+  EXPECT_EQ(server.global_params().as_span()[0], 7.0f);
 }
 
 TEST(ServerValidationTest, RestoreInstallsCheckpointState) {
   FlServer server(unit_params(), std::make_unique<NoServerDefense>());
   server.restore(4, unit_params(3.0f));
   EXPECT_EQ(server.round(), 4);
-  EXPECT_EQ(server.global_params()[0].at(0), 3.0f);
+  EXPECT_EQ(server.global_params().as_span()[0], 3.0f);
   nn::ParamList wrong;
   wrong.push_back(Tensor({5}));
-  EXPECT_THROW(server.restore(1, wrong), Error);
+  EXPECT_THROW(server.restore(1, nn::FlatParams::from_param_list(wrong)), Error);
   EXPECT_THROW(server.restore(-1, unit_params()), Error);
 }
 
@@ -353,7 +357,7 @@ TEST(FaultSimulationTest, TotalBlackoutCarriesEveryRoundForward) {
   cfg.faults.drop_up = 1.0;
   FederatedSimulation sim(tiny_mlp_factory(2, 2), easy_split(3, 300, 32), cfg,
                           DefenseBundle{});
-  const nn::ParamList initial = sim.server().global_params();
+  const nn::FlatParams initial = sim.server().global_params();
   sim.run();
   EXPECT_EQ(sim.server().round(), 2);
   for (const RoundOutcome& out : sim.round_log()) {
@@ -363,10 +367,9 @@ TEST(FaultSimulationTest, TotalBlackoutCarriesEveryRoundForward) {
     EXPECT_EQ(out.retries_used, 1);
   }
   // The global model survived unchanged — degraded but live.
-  const nn::ParamList& after = sim.server().global_params();
-  for (std::size_t i = 0; i < initial.size(); ++i)
-    for (std::int64_t j = 0; j < initial[i].numel(); ++j)
-      EXPECT_EQ(initial[i].at(j), after[i].at(j));
+  const nn::FlatParams& after = sim.server().global_params();
+  for (std::size_t j = 0; j < initial.as_span().size(); ++j)
+    EXPECT_EQ(initial.as_span()[j], after.as_span()[j]);
 }
 
 TEST(FaultSimulationTest, RoundDeadlineBoundsRetries) {
@@ -430,12 +433,11 @@ TEST(CheckpointTest, ResumedRunsAreDeterministic) {
     EXPECT_EQ(sim.round_log().size(), 3u);  // only rounds 3..5 re-ran
     return sim.server().global_params();
   };
-  const nn::ParamList a = resume();
-  const nn::ParamList b = resume();
-  ASSERT_EQ(a.size(), b.size());
-  for (std::size_t i = 0; i < a.size(); ++i)
-    for (std::int64_t j = 0; j < a[i].numel(); ++j)
-      EXPECT_EQ(a[i].at(j), b[i].at(j));
+  const nn::FlatParams a = resume();
+  const nn::FlatParams b = resume();
+  ASSERT_EQ(a.numel(), b.numel());
+  for (std::size_t j = 0; j < a.as_span().size(); ++j)
+    EXPECT_EQ(a.as_span()[j], b.as_span()[j]);
 }
 
 TEST(CheckpointTest, FileRoundTripRestoresRoundAndModel) {
@@ -453,11 +455,10 @@ TEST(CheckpointTest, FileRoundTripRestoresRoundAndModel) {
                             DefenseBundle{});
   fresh.restore_checkpoint(path);
   EXPECT_EQ(fresh.server().round(), 2);
-  const nn::ParamList& a = sim.server().global_params();
-  const nn::ParamList& b = fresh.server().global_params();
-  for (std::size_t i = 0; i < a.size(); ++i)
-    for (std::int64_t j = 0; j < a[i].numel(); ++j)
-      EXPECT_EQ(a[i].at(j), b[i].at(j));
+  const nn::FlatParams& a = sim.server().global_params();
+  const nn::FlatParams& b = fresh.server().global_params();
+  for (std::size_t j = 0; j < a.as_span().size(); ++j)
+    EXPECT_EQ(a.as_span()[j], b.as_span()[j]);
 }
 
 TEST(CheckpointTest, CorruptedCheckpointRejected) {

@@ -224,16 +224,13 @@ std::string dump_outcome(const RoundOutcome& o) {
   return os.str();
 }
 
-void expect_params_bitwise_equal(const nn::ParamList& a, const nn::ParamList& b,
+void expect_params_bitwise_equal(const nn::FlatParams& a, const nn::FlatParams& b,
                                  const char* what) {
-  ASSERT_EQ(a.size(), b.size()) << what;
-  for (std::size_t t = 0; t < a.size(); ++t) {
-    ASSERT_EQ(a[t].shape(), b[t].shape()) << what << " tensor " << t;
-    EXPECT_EQ(std::memcmp(a[t].values().data(), b[t].values().data(),
-                          a[t].values().size() * sizeof(float)),
-              0)
-        << what << " tensor " << t << " differs bitwise";
-  }
+  ASSERT_TRUE(a.same_layout(b)) << what;
+  EXPECT_EQ(std::memcmp(a.as_span().data(), b.as_span().data(),
+                        a.as_span().size() * sizeof(float)),
+            0)
+      << what << " differs bitwise";
 }
 
 // The full gauntlet: drops, duplication, corruption, delays, a crash, a
@@ -272,8 +269,8 @@ SimulationConfig gauntlet_config(unsigned threads) {
 struct GauntletRun {
   std::vector<std::string> outcomes;
   std::vector<RoundRecord> history;
-  nn::ParamList global;
-  std::vector<nn::ParamList> client_params;
+  nn::FlatParams global;
+  std::vector<nn::FlatParams> client_params;
   TransportStats transport;
   FaultStats faults;
 };

@@ -13,11 +13,18 @@ using dinar::testing::make_easy_dataset;
 using dinar::testing::make_tiny_mlp;
 using dinar::testing::tiny_mlp_factory;
 
-nn::ParamList small_params(Rng& rng) {
+nn::FlatParams small_params(Rng& rng) {
   nn::ParamList p;
   p.push_back(Tensor::gaussian({3, 2}, rng));
   p.push_back(Tensor::gaussian({2}, rng));
-  return p;
+  return nn::FlatParams::from_param_list(p);
+}
+
+// Single-tensor flat parameters for hand-computed server arithmetic.
+nn::FlatParams one_tensor(const Tensor& t) {
+  nn::ParamList p;
+  p.push_back(t);
+  return nn::FlatParams::from_param_list(p);
 }
 
 // --------------------------------------------------------------- messages --
@@ -30,8 +37,8 @@ TEST(MessageTest, GlobalModelRoundTrip) {
   const auto bytes = msg.serialize();
   GlobalModelMsg back = GlobalModelMsg::deserialize(bytes);
   EXPECT_EQ(back.round, 12);
-  ASSERT_TRUE(nn::param_list_same_shape(back.params, msg.params));
-  EXPECT_EQ(back.params[0].at(3), msg.params[0].at(3));
+  ASSERT_TRUE(back.params.same_layout(msg.params));
+  EXPECT_EQ(back.params.entry_span(0)[3], msg.params.entry_span(0)[3]);
 }
 
 TEST(MessageTest, ModelUpdateRoundTrip) {
@@ -47,7 +54,7 @@ TEST(MessageTest, ModelUpdateRoundTrip) {
   EXPECT_EQ(back.round, 7);
   EXPECT_EQ(back.num_samples, 480);
   EXPECT_TRUE(back.pre_weighted);
-  EXPECT_EQ(back.params[1].at(0), msg.params[1].at(0));
+  EXPECT_EQ(back.params.entry_span(1)[0], msg.params.entry_span(1)[0]);
 }
 
 TEST(MessageTest, WrongMagicRejected) {
@@ -74,9 +81,10 @@ TEST(MessageTest, TruncationErrorNamesOffendingField) {
   g.params = small_params(rng);
   auto bytes = g.serialize();
 
-  // Cut inside the round field (magic is 4 bytes, round 8).
+  // Cut inside the round field (v2 header: magic 4 + kind 1 + version 4,
+  // then round 8).
   auto mid_round = bytes;
-  mid_round.resize(6);
+  mid_round.resize(11);
   try {
     GlobalModelMsg::deserialize(mid_round);
     FAIL() << "expected Error";
@@ -213,78 +221,68 @@ TEST(TrainerTest, EvaluateMatchesManualLoss) {
 // ----------------------------------------------------------------- server --
 
 TEST(ServerTest, FedAvgIsWeightedMean) {
-  nn::ParamList init;
-  init.push_back(Tensor({2}, {0.0f, 0.0f}));
-  FlServer server(init, std::make_unique<NoServerDefense>());
+  FlServer server(one_tensor(Tensor({2}, {0.0f, 0.0f})),
+                  std::make_unique<NoServerDefense>());
 
   ModelUpdateMsg a, b;
   a.client_id = 0;
   a.num_samples = 1;
-  a.params.push_back(Tensor({2}, {1.0f, 2.0f}));
+  a.params = one_tensor(Tensor({2}, {1.0f, 2.0f}));
   b.client_id = 1;
   b.num_samples = 3;
-  b.params.push_back(Tensor({2}, {5.0f, 6.0f}));
+  b.params = one_tensor(Tensor({2}, {5.0f, 6.0f}));
 
   server.aggregate({a, b});
   // (1*1 + 3*5)/4 = 4, (1*2 + 3*6)/4 = 5.
-  EXPECT_NEAR(server.global_params()[0].at(0), 4.0f, 1e-6);
-  EXPECT_NEAR(server.global_params()[0].at(1), 5.0f, 1e-6);
+  EXPECT_NEAR(server.global_params().as_span()[0], 4.0f, 1e-6);
+  EXPECT_NEAR(server.global_params().as_span()[1], 5.0f, 1e-6);
   EXPECT_EQ(server.round(), 1);
 }
 
 TEST(ServerTest, PreWeightedSumDividedByTotalWeight) {
-  nn::ParamList init;
-  init.push_back(Tensor({1}, {0.0f}));
-  FlServer server(init, std::make_unique<NoServerDefense>());
+  FlServer server(one_tensor(Tensor({1}, {0.0f})),
+                  std::make_unique<NoServerDefense>());
 
   ModelUpdateMsg a, b;
   a.num_samples = 2;
   a.pre_weighted = true;
-  a.params.push_back(Tensor({1}, {8.0f}));  // = 2 * 4
+  a.params = one_tensor(Tensor({1}, {8.0f}));  // = 2 * 4
   b.num_samples = 2;
   b.pre_weighted = true;
-  b.params.push_back(Tensor({1}, {4.0f}));  // = 2 * 2
+  b.params = one_tensor(Tensor({1}, {4.0f}));  // = 2 * 2
   server.aggregate({a, b});
-  EXPECT_NEAR(server.global_params()[0].at(0), 3.0f, 1e-6);
+  EXPECT_NEAR(server.global_params().as_span()[0], 3.0f, 1e-6);
 }
 
 TEST(ServerTest, MixedWeightConventionRejected) {
-  nn::ParamList init;
-  init.push_back(Tensor({1}));
-  FlServer server(init, std::make_unique<NoServerDefense>());
+  FlServer server(one_tensor(Tensor({1})), std::make_unique<NoServerDefense>());
   ModelUpdateMsg a, b;
   a.num_samples = b.num_samples = 1;
-  a.params.push_back(Tensor({1}));
-  b.params.push_back(Tensor({1}));
+  a.params = one_tensor(Tensor({1}));
+  b.params = one_tensor(Tensor({1}));
   b.pre_weighted = true;
   EXPECT_THROW(server.aggregate({a, b}), Error);
 }
 
 TEST(ServerTest, StructureMismatchRejected) {
-  nn::ParamList init;
-  init.push_back(Tensor({2}));
-  FlServer server(init, std::make_unique<NoServerDefense>());
+  FlServer server(one_tensor(Tensor({2})), std::make_unique<NoServerDefense>());
   ModelUpdateMsg a;
   a.num_samples = 1;
-  a.params.push_back(Tensor({3}));
+  a.params = one_tensor(Tensor({3}));
   EXPECT_THROW(server.aggregate({a}), Error);
 }
 
 TEST(ServerTest, EmptyAggregationRejected) {
-  nn::ParamList init;
-  init.push_back(Tensor({1}));
-  FlServer server(init, std::make_unique<NoServerDefense>());
+  FlServer server(one_tensor(Tensor({1})), std::make_unique<NoServerDefense>());
   EXPECT_THROW(server.aggregate({}), Error);
 }
 
 TEST(ServerTest, BroadcastCarriesRound) {
-  nn::ParamList init;
-  init.push_back(Tensor({1}));
-  FlServer server(init, std::make_unique<NoServerDefense>());
+  FlServer server(one_tensor(Tensor({1})), std::make_unique<NoServerDefense>());
   EXPECT_EQ(server.broadcast().round, 0);
   ModelUpdateMsg a;
   a.num_samples = 1;
-  a.params.push_back(Tensor({1}));
+  a.params = one_tensor(Tensor({1}));
   server.aggregate({a});
   EXPECT_EQ(server.broadcast().round, 1);
 }
@@ -323,11 +321,11 @@ TEST(SimulationTest, DeterministicForSameSeed) {
                         DefenseBundle{});
   a.run();
   b.run();
-  const nn::ParamList pa = a.server().global_params();
-  const nn::ParamList pb = b.server().global_params();
-  for (std::size_t i = 0; i < pa.size(); ++i)
-    for (std::int64_t j = 0; j < pa[i].numel(); ++j)
-      EXPECT_EQ(pa[i].at(j), pb[i].at(j));
+  const nn::FlatParams& pa = a.server().global_params();
+  const nn::FlatParams& pb = b.server().global_params();
+  ASSERT_EQ(pa.numel(), pb.numel());
+  for (std::size_t j = 0; j < pa.as_span().size(); ++j)
+    EXPECT_EQ(pa.as_span()[j], pb.as_span()[j]);
 }
 
 TEST(SimulationTest, TransportSeesTrafficEveryRound) {
@@ -352,11 +350,11 @@ TEST(SimulationTest, ServerViewMatchesUploadedParams) {
   sim.run();
   // With no defense, the server's view of a client equals the client model.
   nn::Model view = sim.server_view_of_client(0);
-  nn::ParamList vp = view.parameters();
-  nn::ParamList cp = sim.clients()[0].model().parameters();
-  for (std::size_t i = 0; i < vp.size(); ++i)
-    for (std::int64_t j = 0; j < vp[i].numel(); ++j)
-      EXPECT_EQ(vp[i].at(j), cp[i].at(j));
+  nn::FlatParams vp = view.parameters();
+  nn::FlatParams cp = sim.clients()[0].model().parameters();
+  ASSERT_EQ(vp.numel(), cp.numel());
+  for (std::size_t j = 0; j < vp.as_span().size(); ++j)
+    EXPECT_EQ(vp.as_span()[j], cp.as_span()[j]);
 }
 
 TEST(SimulationTest, EvalEveryRecordsHistory) {

@@ -34,7 +34,7 @@ inline void expect_gradients_match(nn::Model& model, const Tensor& x,
   Tensor dx = model.backward(w);
 
   // Parameter gradients.
-  for (nn::ParamGroup& group : model.param_layers()) {
+  for (const nn::ParamGroup& group : model.param_layers()) {
     for (std::size_t t = 0; t < group.params.size(); ++t) {
       Tensor* param = group.params[t];
       Tensor* grad = group.grads[t];

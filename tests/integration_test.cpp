@@ -101,13 +101,13 @@ TEST(IntegrationTest, SecureAggregationMatchesPlainAggregate) {
 
   // Same seeds and data: the SA masks cancel, so the aggregated global
   // model must match the no-defense run up to float accumulation error.
-  const nn::ParamList a = plain.sim.server().global_params();
-  const nn::ParamList b = sa.sim.server().global_params();
+  const nn::FlatParams& a = plain.sim.server().global_params();
+  const nn::FlatParams& b = sa.sim.server().global_params();
   double max_diff = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i)
-    for (std::int64_t j = 0; j < a[i].numel(); ++j)
-      max_diff = std::max(max_diff,
-                          std::fabs(static_cast<double>(a[i].at(j)) - b[i].at(j)));
+  for (std::size_t j = 0; j < a.as_span().size(); ++j)
+    max_diff = std::max(max_diff,
+                        std::fabs(static_cast<double>(a.as_span()[j]) -
+                                  static_cast<double>(b.as_span()[j])));
   EXPECT_LT(max_diff, 5e-2);
 }
 
@@ -151,18 +151,18 @@ TEST(IntegrationTest, DinarClientsKeepPersonalizedLayersDistinct) {
   // Each client's private layer evolved on its own data; after the run the
   // personalized layers must differ across clients while shared layers
   // come from the same global broadcast.
-  nn::ParamList l0 = dinar.sim.clients()[0].model().layer_parameters(2);
-  nn::ParamList l1 = dinar.sim.clients()[1].model().layer_parameters(2);
+  nn::FlatParams l0 = dinar.sim.clients()[0].model().layer_parameters(2);
+  nn::FlatParams l1 = dinar.sim.clients()[1].model().layer_parameters(2);
   bool identical = true;
-  for (std::int64_t j = 0; j < l0[0].numel(); ++j)
-    if (l0[0].at(j) != l1[0].at(j)) identical = false;
+  for (std::size_t j = 0; j < l0.as_span().size(); ++j)
+    if (l0.as_span()[j] != l1.as_span()[j]) identical = false;
   EXPECT_FALSE(identical);
 
-  nn::ParamList s0 = dinar.sim.clients()[0].model().layer_parameters(0);
-  nn::ParamList s1 = dinar.sim.clients()[1].model().layer_parameters(0);
+  nn::FlatParams s0 = dinar.sim.clients()[0].model().layer_parameters(0);
+  nn::FlatParams s1 = dinar.sim.clients()[1].model().layer_parameters(0);
   // Shared layers were last overwritten by the same broadcast, then locally
   // trained — they may differ, but must at least have the same shape.
-  EXPECT_TRUE(nn::param_list_same_shape(s0, s1));
+  EXPECT_TRUE(s0.same_layout(s1));
 }
 
 }  // namespace

@@ -27,48 +27,49 @@ TEST(ModelTest, ParamLayerEnumeration) {
 TEST(ModelTest, ParametersRoundTrip) {
   Rng rng(2);
   Model m = make_tiny_mlp(4, 3, rng);
-  ParamList params = m.parameters();
-  ASSERT_EQ(params.size(), 6u);  // weight+bias per dense layer
+  FlatParams params = m.parameters();
+  ASSERT_EQ(params.index()->num_entries(), 6u);  // weight+bias per dense layer
 
   // Zero the model, then restore.
-  for (ParamGroup& g : m.param_layers())
+  for (const ParamGroup& g : m.param_layers())
     for (Tensor* p : g.params) p->zero();
   m.set_parameters(params);
-  ParamList back = m.parameters();
-  for (std::size_t i = 0; i < params.size(); ++i)
-    for (std::int64_t j = 0; j < params[i].numel(); ++j)
-      EXPECT_EQ(back[i].at(j), params[i].at(j));
+  FlatParams back = m.parameters();
+  ASSERT_EQ(back.numel(), params.numel());
+  for (std::int64_t j = 0; j < params.numel(); ++j)
+    EXPECT_EQ(back.as_span()[static_cast<std::size_t>(j)],
+              params.as_span()[static_cast<std::size_t>(j)]);
 }
 
 TEST(ModelTest, SetParametersValidatesStructure) {
   Rng rng(3);
   Model m = make_tiny_mlp(4, 3, rng);
-  ParamList params = m.parameters();
+  ParamList params = m.parameters().to_param_list();
   params.pop_back();
-  EXPECT_THROW(m.set_parameters(params), Error);
+  EXPECT_THROW(m.set_parameters(FlatParams::from_param_list(params)), Error);
 
-  ParamList wrong_shape = m.parameters();
+  ParamList wrong_shape = m.parameters().to_param_list();
   wrong_shape[0] = Tensor({2, 2});
-  EXPECT_THROW(m.set_parameters(wrong_shape), Error);
+  EXPECT_THROW(m.set_parameters(FlatParams::from_param_list(wrong_shape)), Error);
 }
 
 TEST(ModelTest, LayerParameterAccess) {
   Rng rng(4);
   Model m = make_tiny_mlp(4, 3, rng);
-  ParamList layer1 = m.layer_parameters(1);
-  ASSERT_EQ(layer1.size(), 2u);
-  EXPECT_EQ(layer1[0].shape(), (Shape{16, 8}));
+  FlatParams layer1 = m.layer_parameters(1);
+  ASSERT_EQ(layer1.index()->num_entries(), 2u);
+  EXPECT_EQ(layer1.index()->entry(0).shape, (Shape{16, 8}));
 
-  ParamList replacement = layer1;
-  replacement[0].fill(0.25f);
-  replacement[1].fill(-0.5f);
+  FlatParams replacement = layer1;
+  for (float& v : replacement.entry_span(0)) v = 0.25f;
+  for (float& v : replacement.entry_span(1)) v = -0.5f;
   m.set_layer_parameters(1, replacement);
-  ParamList back = m.layer_parameters(1);
-  EXPECT_EQ(back[0].at(0), 0.25f);
-  EXPECT_EQ(back[1].at(0), -0.5f);
+  FlatParams back = m.layer_parameters(1);
+  EXPECT_EQ(back.entry_span(0)[0], 0.25f);
+  EXPECT_EQ(back.entry_span(1)[0], -0.5f);
 
   // Other layers untouched.
-  EXPECT_NE(m.layer_parameters(0)[0].at(0), 0.25f);
+  EXPECT_NE(m.layer_parameters(0).entry_span(0)[0], 0.25f);
   EXPECT_THROW(m.layer_parameters(9), Error);
 }
 
@@ -78,10 +79,10 @@ TEST(ModelTest, LayerParamSpanMatchesFlatOrder) {
   const auto [begin, end] = m.layer_param_span(1);
   EXPECT_EQ(begin, 2u);
   EXPECT_EQ(end, 4u);
-  ParamList flat = m.parameters();
-  ParamList layer = m.layer_parameters(1);
-  EXPECT_TRUE(flat[begin].same_shape(layer[0]));
-  EXPECT_EQ(flat[begin].at(0), layer[0].at(0));
+  FlatParams flat = m.parameters();
+  FlatParams layer = m.layer_parameters(1);
+  EXPECT_EQ(flat.index()->entry(begin).shape, layer.index()->entry(0).shape);
+  EXPECT_EQ(flat.entry_span(begin)[0], layer.entry_span(0)[0]);
 }
 
 TEST(ModelTest, CopyIsDeep) {
@@ -89,8 +90,8 @@ TEST(ModelTest, CopyIsDeep) {
   Model m = make_tiny_mlp(4, 3, rng);
   Model copy = m;
   copy.param_layers()[0].params[0]->fill(9.0f);
-  EXPECT_NE(m.parameters()[0].at(0), 9.0f);
-  EXPECT_EQ(copy.parameters()[0].at(0), 9.0f);
+  EXPECT_NE(m.parameters().as_span()[0], 9.0f);
+  EXPECT_EQ(copy.parameters().as_span()[0], 9.0f);
 }
 
 TEST(ModelTest, SaveLoadRoundTrip) {
@@ -103,9 +104,10 @@ TEST(ModelTest, SaveLoadRoundTrip) {
   Model other = make_tiny_mlp(4, 3, rng2);
   BinaryReader r(w.buffer());
   other.load(r);
-  ParamList a = m.parameters(), b = other.parameters();
-  for (std::size_t i = 0; i < a.size(); ++i)
-    for (std::int64_t j = 0; j < a[i].numel(); ++j) EXPECT_EQ(a[i].at(j), b[i].at(j));
+  FlatParams a = m.parameters(), b = other.parameters();
+  ASSERT_EQ(a.numel(), b.numel());
+  for (std::size_t j = 0; j < a.as_span().size(); ++j)
+    EXPECT_EQ(a.as_span()[j], b.as_span()[j]);
 }
 
 TEST(ModelTest, LoadRejectsGarbage) {
@@ -124,11 +126,9 @@ TEST(ModelTest, ZeroGradClearsAccumulation) {
   Tensor x = Tensor::gaussian({2, 4}, rng);
   Tensor y = m.forward(x, true);
   m.backward(Tensor::full(y.shape(), 1.0f));
-  double norm_before = 0.0;
-  for (const Tensor& g : m.gradients()) norm_before += g.squared_l2_norm();
-  EXPECT_GT(norm_before, 0.0);
+  EXPECT_GT(nn::flat_l2_norm(m.gradients()), 0.0);
   m.zero_grad();
-  for (const Tensor& g : m.gradients()) EXPECT_EQ(g.squared_l2_norm(), 0.0);
+  EXPECT_EQ(nn::flat_l2_norm(m.gradients()), 0.0);
 }
 
 TEST(ModelTest, SummaryMentionsLayers) {
@@ -304,8 +304,8 @@ TEST(ModelZooTest, FactoriesProduceFreshIndependentModels) {
   ModelFactory f = fcnn6_factory(16, 4, 64);
   Rng r1(1), r2(1), r3(2);
   Model a = f(r1), b = f(r2), c = f(r3);
-  EXPECT_EQ(a.parameters()[0].at(0), b.parameters()[0].at(0));  // same seed
-  EXPECT_NE(a.parameters()[0].at(0), c.parameters()[0].at(0));  // different seed
+  EXPECT_EQ(a.parameters().as_span()[0], b.parameters().as_span()[0]);  // same seed
+  EXPECT_NE(a.parameters().as_span()[0], c.parameters().as_span()[0]);  // different seed
 }
 
 TEST(ModelZooTest, EndToEndGradientsThroughSmallCnn) {

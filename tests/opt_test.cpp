@@ -54,8 +54,8 @@ TEST_P(OptimizerDescentTest, ParametersStayFinite) {
   data::Dataset d = make_easy_dataset(32, rng);
   auto optimizer = make_optimizer(GetParam(), 0.05);
   for (int i = 0; i < 30; ++i) step_once(model, *optimizer, d.features(), d.labels());
-  for (const Tensor& p : model.parameters())
-    for (float v : p.values()) EXPECT_TRUE(std::isfinite(v)) << GetParam();
+  for (float v : model.parameters().as_span())
+    EXPECT_TRUE(std::isfinite(v)) << GetParam();
 }
 
 INSTANTIATE_TEST_SUITE_P(AllOptimizers, OptimizerDescentTest,
@@ -91,7 +91,7 @@ TEST(AdagradTest, MatchesAlgorithmOneUpdateRule) {
   opt.step(model);
   const float g = 2.0f;
   const float expected = 1.0f - 0.1f * g / std::sqrt(g * g + 1e-5f);
-  EXPECT_NEAR(model.parameters()[0].at(0), expected, 1e-6);
+  EXPECT_NEAR(model.parameters().as_span()[0], expected, 1e-6);
 }
 
 TEST(AdagradTest, AccumulationShrinksSteps) {
@@ -111,7 +111,7 @@ TEST(AdagradTest, AccumulationShrinksSteps) {
     model.zero_grad();
     model.backward(Tensor({1, 1}, {1.0f}));
     opt.step(model);
-    const float now = model.parameters()[0].at(0);
+    const float now = model.parameters().as_span()[0];
     steps.push_back(std::fabs(now - prev));
     prev = now;
   }
@@ -134,9 +134,9 @@ TEST(AdagradTest, ResetClearsAccumulator) {
     model.forward(x, true);
     model.zero_grad();
     model.backward(Tensor({1, 1}, {1.0f}));
-    const float before = model.parameters()[0].at(0);
+    const float before = model.parameters().as_span()[0];
     opt.step(model);
-    return std::fabs(model.parameters()[0].at(0) - before);
+    return std::fabs(model.parameters().as_span()[0] - before);
   };
   const float first = do_step();
   do_step();
@@ -157,7 +157,7 @@ TEST(SgdTest, PlainStepIsLrTimesGrad) {
   model.backward(Tensor({1, 1}, {1.0f}));
   Sgd opt(0.01);
   opt.step(model);
-  EXPECT_NEAR(model.parameters()[0].at(0), 1.0f - 0.01f * 3.0f, 1e-6);
+  EXPECT_NEAR(model.parameters().as_span()[0], 1.0f - 0.01f * 3.0f, 1e-6);
 }
 
 TEST(SgdTest, MomentumAcceleratesConstantGradient) {
@@ -168,14 +168,14 @@ TEST(SgdTest, MomentumAcceleratesConstantGradient) {
 
   auto run = [](nn::Model& m, Sgd& opt) {
     Tensor x({1, 1}, {1.0f});
-    float start = m.parameters()[0].at(0);
+    float start = m.parameters().as_span()[0];
     for (int i = 0; i < 5; ++i) {
       m.forward(x, true);
       m.zero_grad();
       m.backward(Tensor({1, 1}, {1.0f}));
       opt.step(m);
     }
-    return std::fabs(m.parameters()[0].at(0) - start);
+    return std::fabs(m.parameters().as_span()[0] - start);
   };
   Sgd plain(0.01), with_momentum(0.01, 0.9);
   const float d_plain = run(plain_model, plain);
@@ -196,7 +196,7 @@ TEST(AdamTest, FirstStepMagnitudeIsLr) {
   model.backward(Tensor({1, 1}, {1.0f}));
   Adam opt(0.001);
   opt.step(model);
-  EXPECT_NEAR(std::fabs(model.parameters()[0].at(0)), 0.001f, 1e-5);
+  EXPECT_NEAR(std::fabs(model.parameters().as_span()[0]), 0.001f, 1e-5);
 }
 
 TEST(AdgdTest, AdaptsStepSizeWithoutBlowup) {

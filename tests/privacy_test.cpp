@@ -14,12 +14,12 @@ namespace {
 
 using dinar::testing::make_tiny_mlp;
 
-nn::ParamList sample_params(std::uint64_t seed, float scale = 1.0f) {
+nn::FlatParams sample_params(std::uint64_t seed, float scale = 1.0f) {
   Rng rng(seed);
   nn::ParamList p;
   p.push_back(Tensor::gaussian({8, 4}, rng, scale));
   p.push_back(Tensor::gaussian({4}, rng, scale));
-  return p;
+  return nn::FlatParams::from_param_list(p);
 }
 
 // --------------------------------------------------------------------- dp --
@@ -47,35 +47,36 @@ TEST(DpParamsTest, InvalidBudgetThrows) {
 }
 
 TEST(ClipTest, NormAboveBoundIsScaledDown) {
-  nn::ParamList p = sample_params(1, 10.0f);
-  ASSERT_GT(nn::param_list_l2_norm(p), 5.0);
+  nn::FlatParams p = sample_params(1, 10.0f);
+  ASSERT_GT(nn::flat_l2_norm(p), 5.0);
   clip_l2(p, 5.0);
-  EXPECT_NEAR(nn::param_list_l2_norm(p), 5.0, 1e-4);
+  EXPECT_NEAR(nn::flat_l2_norm(p), 5.0, 1e-4);
 }
 
 TEST(ClipTest, NormBelowBoundUntouched) {
-  nn::ParamList p = sample_params(2, 0.01f);
-  const double before = nn::param_list_l2_norm(p);
+  nn::FlatParams p = sample_params(2, 0.01f);
+  const double before = nn::flat_l2_norm(p);
   clip_l2(p, 5.0);
-  EXPECT_DOUBLE_EQ(nn::param_list_l2_norm(p), before);
+  EXPECT_DOUBLE_EQ(nn::flat_l2_norm(p), before);
 }
 
 TEST(NoiseTest, GaussianNoiseHasRequestedScale) {
-  nn::ParamList p;
-  p.push_back(Tensor({20000}));
+  nn::ParamList raw;
+  raw.push_back(Tensor({20000}));
+  nn::FlatParams p = nn::FlatParams::from_param_list(raw);
   Rng rng(3);
   add_gaussian_noise(p, 0.5, rng);
   double sq = 0.0;
-  for (float v : p[0].values()) sq += static_cast<double>(v) * v;
+  for (float v : p.as_span()) sq += static_cast<double>(v) * v;
   EXPECT_NEAR(std::sqrt(sq / 20000.0), 0.5, 0.02);
 }
 
 TEST(NoiseTest, ZeroSigmaIsNoop) {
-  nn::ParamList p = sample_params(4);
-  nn::ParamList orig = p;
+  nn::FlatParams p = sample_params(4);
+  nn::FlatParams orig = p;
   Rng rng(5);
   add_gaussian_noise(p, 0.0, rng);
-  EXPECT_EQ(p[0].at(0), orig[0].at(0));
+  EXPECT_EQ(p.as_span()[0], orig.as_span()[0]);
 }
 
 TEST(LdpDefenseTest, PerturbsUpload) {
@@ -84,18 +85,17 @@ TEST(LdpDefenseTest, PerturbsUpload) {
   DpParams dp;
   LdpDefense defense(dp, Rng(7));
   bool pre_weighted = false;
-  nn::ParamList before = model.parameters();
-  nn::ParamList after = defense.before_upload(model, model.parameters(), 100, pre_weighted);
+  nn::FlatParams before = model.parameters();
+  nn::FlatParams after = defense.before_upload(model, model.parameters(), 100, pre_weighted);
   EXPECT_FALSE(pre_weighted);
-  ASSERT_TRUE(nn::param_list_same_shape(before, after));
+  ASSERT_TRUE(before.same_layout(after));
   double diff = 0.0;
-  for (std::size_t i = 0; i < before.size(); ++i)
-    for (std::int64_t j = 0; j < before[i].numel(); ++j)
-      diff += std::fabs(before[i].at(j) - after[i].at(j));
+  for (std::size_t j = 0; j < before.as_span().size(); ++j)
+    diff += std::fabs(before.as_span()[j] - after.as_span()[j]);
   EXPECT_GT(diff, 0.0);
   // The live model must be untouched (defense transforms the copy).
-  nn::ParamList still = model.parameters();
-  EXPECT_EQ(still[0].at(0), before[0].at(0));
+  nn::FlatParams still = model.parameters();
+  EXPECT_EQ(still.as_span()[0], before.as_span()[0]);
 }
 
 TEST(WdpDefenseTest, UsesFixedSigmaAndBound) {
@@ -103,20 +103,20 @@ TEST(WdpDefenseTest, UsesFixedSigmaAndBound) {
   nn::Model model = make_tiny_mlp(4, 2, rng);
   WdpDefense defense(5.0, 0.025, Rng(9));
   bool pw = false;
-  nn::ParamList out = defense.before_upload(model, model.parameters(), 10, pw);
-  EXPECT_LE(nn::param_list_l2_norm(out),
-            5.0 + 0.025 * std::sqrt(static_cast<double>(nn::param_list_numel(out))) * 4);
+  nn::FlatParams out = defense.before_upload(model, model.parameters(), 10, pw);
+  EXPECT_LE(nn::flat_l2_norm(out),
+            5.0 + 0.025 * std::sqrt(static_cast<double>(out.numel())) * 4);
 }
 
 TEST(CdpDefenseTest, PerturbsAggregate) {
   DpParams dp;
   CdpDefense defense(dp, Rng(10));
-  nn::ParamList p = sample_params(11);
-  nn::ParamList orig = p;
+  nn::FlatParams p = sample_params(11);
+  nn::FlatParams orig = p;
   defense.after_aggregate(p);
   double diff = 0.0;
-  for (std::int64_t j = 0; j < p[0].numel(); ++j)
-    diff += std::fabs(p[0].at(j) - orig[0].at(j));
+  for (std::size_t j = 0; j < p.entry_span(0).size(); ++j)
+    diff += std::fabs(p.entry_span(0)[j] - orig.entry_span(0)[j]);
   EXPECT_GT(diff, 0.0);
 }
 
@@ -127,25 +127,24 @@ TEST(GcDefenseTest, KeepsTopFractionOfDelta) {
   nn::Model model = make_tiny_mlp(4, 2, rng);
   GradientCompressionDefense defense(0.25);
 
-  nn::ParamList reference = model.parameters();
+  nn::FlatParams reference = model.parameters();
   defense.on_download(model, reference);
 
   // Perturb the model so the delta is dense.
-  nn::ParamList perturbed = reference;
+  nn::FlatParams perturbed = reference;
   Rng noise_rng(13);
-  for (Tensor& t : perturbed)
-    for (float& v : t.values()) v += static_cast<float>(noise_rng.gaussian(0.0, 0.1));
+  for (float& v : perturbed.as_span())
+    v += static_cast<float>(noise_rng.gaussian(0.0, 0.1));
   model.set_parameters(perturbed);
 
   bool pw = false;
-  nn::ParamList out = defense.before_upload(model, model.parameters(), 10, pw);
+  nn::FlatParams out = defense.before_upload(model, model.parameters(), 10, pw);
 
   std::int64_t changed = 0, total = 0;
-  for (std::size_t i = 0; i < out.size(); ++i)
-    for (std::int64_t j = 0; j < out[i].numel(); ++j) {
-      total += 1;
-      if (out[i].at(j) != reference[i].at(j)) ++changed;
-    }
+  for (std::size_t j = 0; j < out.as_span().size(); ++j) {
+    total += 1;
+    if (out.as_span()[j] != reference.as_span()[j]) ++changed;
+  }
   const double kept = static_cast<double>(changed) / static_cast<double>(total);
   EXPECT_NEAR(kept, 0.25, 0.05);
 }
@@ -187,37 +186,26 @@ TEST_P(SaCancellationTest, MaskedSumEqualsPlainSum) {
   Rng rng(15);
   nn::Model model = make_tiny_mlp(4, 2, rng);
 
-  nn::ParamList plain_sum, masked_sum;
-  for (const Tensor& t : model.parameters()) {
-    plain_sum.emplace_back(t.shape());
-    masked_sum.emplace_back(t.shape());
-  }
-
+  nn::FlatParams plain_sum, masked_sum;
   for (int c = 0; c < n; ++c) {
     SecureAggregationDefense defense(group, c);
-    nn::ParamList params = sample_params(100 + static_cast<std::uint64_t>(c), 0.05f);
+    nn::FlatParams params = sample_params(100 + static_cast<std::uint64_t>(c), 0.05f);
     // plain contribution: weight * params
-    nn::ParamList weighted = params;
-    nn::param_list_scale(weighted, 10.0f);
-    // adapt shapes: use the sample params directly for both sums
+    nn::FlatParams weighted = params;
+    nn::flat_scale(weighted, 10.0f);
     if (c == 0) {
-      plain_sum.clear();
-      masked_sum.clear();
-      for (const Tensor& t : params) {
-        plain_sum.emplace_back(t.shape());
-        masked_sum.emplace_back(t.shape());
-      }
+      plain_sum = nn::FlatParams(params.index());
+      masked_sum = nn::FlatParams(params.index());
     }
-    nn::param_list_add(plain_sum, weighted);
+    nn::flat_add(plain_sum, weighted);
     bool pw = false;
-    nn::ParamList masked = defense.before_upload(model, std::move(params), 10, pw);
+    nn::FlatParams masked = defense.before_upload(model, std::move(params), 10, pw);
     EXPECT_TRUE(pw);
-    nn::param_list_add(masked_sum, masked);
+    nn::flat_add(masked_sum, masked);
   }
 
-  for (std::size_t i = 0; i < plain_sum.size(); ++i)
-    for (std::int64_t j = 0; j < plain_sum[i].numel(); ++j)
-      EXPECT_NEAR(masked_sum[i].at(j), plain_sum[i].at(j), 5e-2);
+  for (std::size_t j = 0; j < plain_sum.as_span().size(); ++j)
+    EXPECT_NEAR(masked_sum.as_span()[j], plain_sum.as_span()[j], 5e-2);
 }
 
 INSTANTIATE_TEST_SUITE_P(GroupSizes, SaCancellationTest, ::testing::Values(2, 3, 5, 8));
@@ -227,18 +215,17 @@ TEST(SaDefenseTest, IndividualUploadIsMasked) {
   Rng rng(16);
   nn::Model model = make_tiny_mlp(4, 2, rng);
   SecureAggregationDefense defense(group, 0);
-  nn::ParamList params = model.parameters();
+  nn::FlatParams params = model.parameters();
   bool pw = false;
-  nn::ParamList masked = defense.before_upload(model, model.parameters(), 10, pw);
+  nn::FlatParams masked = defense.before_upload(model, model.parameters(), 10, pw);
   // Masked values should be dominated by the stddev-1 masks, far from the
   // raw small weights.
   double dist = 0.0;
   std::int64_t n = 0;
-  for (std::size_t i = 0; i < params.size(); ++i)
-    for (std::int64_t j = 0; j < params[i].numel(); ++j) {
-      dist += std::fabs(masked[i].at(j) - params[i].at(j) * 10.0f);
-      ++n;
-    }
+  for (std::size_t j = 0; j < params.as_span().size(); ++j) {
+    dist += std::fabs(masked.as_span()[j] - params.as_span()[j] * 10.0f);
+    ++n;
+  }
   EXPECT_GT(dist / static_cast<double>(n), 0.3);
 }
 
@@ -248,9 +235,9 @@ TEST(SaDefenseTest, RoundsUseFreshMasks) {
   nn::Model model = make_tiny_mlp(4, 2, rng);
   SecureAggregationDefense defense(group, 0);
   bool pw = false;
-  nn::ParamList r1 = defense.before_upload(model, model.parameters(), 10, pw);
-  nn::ParamList r2 = defense.before_upload(model, model.parameters(), 10, pw);
-  EXPECT_NE(r1[0].at(0), r2[0].at(0));
+  nn::FlatParams r1 = defense.before_upload(model, model.parameters(), 10, pw);
+  nn::FlatParams r2 = defense.before_upload(model, model.parameters(), 10, pw);
+  EXPECT_NE(r1.as_span()[0], r2.as_span()[0]);
 }
 
 // ---------------------------------------------------------------- catalog --

@@ -23,9 +23,10 @@ class FedAvgPropertyTest : public ::testing::TestWithParam<int> {};
 TEST_P(FedAvgPropertyTest, AggregatingIdenticalModelsIsIdentity) {
   const int clients = GetParam();
   Rng rng(static_cast<std::uint64_t>(clients) * 11);
-  nn::ParamList model;
-  model.push_back(Tensor::gaussian({7, 3}, rng));
-  model.push_back(Tensor::gaussian({3}, rng));
+  nn::ParamList raw;
+  raw.push_back(Tensor::gaussian({7, 3}, rng));
+  raw.push_back(Tensor::gaussian({3}, rng));
+  const nn::FlatParams model = nn::FlatParams::from_param_list(raw);
 
   std::vector<fl::ModelUpdateMsg> updates(static_cast<std::size_t>(clients));
   for (int c = 0; c < clients; ++c) {
@@ -35,9 +36,8 @@ TEST_P(FedAvgPropertyTest, AggregatingIdenticalModelsIsIdentity) {
   }
   fl::FlServer server(model, std::make_unique<fl::NoServerDefense>());
   server.aggregate(updates);
-  for (std::size_t i = 0; i < model.size(); ++i)
-    for (std::int64_t j = 0; j < model[i].numel(); ++j)
-      EXPECT_NEAR(server.global_params()[i].at(j), model[i].at(j), 1e-5);
+  for (std::size_t j = 0; j < model.as_span().size(); ++j)
+    EXPECT_NEAR(server.global_params().as_span()[j], model.as_span()[j], 1e-5);
 }
 
 TEST_P(FedAvgPropertyTest, AggregateIsWithinClientEnvelope) {
@@ -49,20 +49,20 @@ TEST_P(FedAvgPropertyTest, AggregateIsWithinClientEnvelope) {
   for (int c = 0; c < clients; ++c) {
     updates[static_cast<std::size_t>(c)].client_id = c;
     updates[static_cast<std::size_t>(c)].num_samples = 1 + c;
-    updates[static_cast<std::size_t>(c)].params.push_back(
-        Tensor::gaussian({50}, rng));
+    updates[static_cast<std::size_t>(c)].params =
+        nn::FlatParams::from_param_list({Tensor::gaussian({50}, rng)});
   }
-  fl::FlServer server(nn::ParamList{Tensor({50})},
+  fl::FlServer server(nn::FlatParams::from_param_list({Tensor({50})}),
                       std::make_unique<fl::NoServerDefense>());
   server.aggregate(updates);
-  for (std::int64_t j = 0; j < 50; ++j) {
-    float lo = updates[0].params[0].at(j), hi = lo;
+  for (std::size_t j = 0; j < 50; ++j) {
+    float lo = updates[0].params.as_span()[j], hi = lo;
     for (const auto& u : updates) {
-      lo = std::min(lo, u.params[0].at(j));
-      hi = std::max(hi, u.params[0].at(j));
+      lo = std::min(lo, u.params.as_span()[j]);
+      hi = std::max(hi, u.params.as_span()[j]);
     }
-    EXPECT_GE(server.global_params()[0].at(j), lo - 1e-6);
-    EXPECT_LE(server.global_params()[0].at(j), hi + 1e-6);
+    EXPECT_GE(server.global_params().as_span()[j], lo - 1e-6);
+    EXPECT_LE(server.global_params().as_span()[j], hi + 1e-6);
   }
 }
 
@@ -94,11 +94,11 @@ TEST_P(DinarRoundsPropertyTest, PrivateLayerNeverLeavesTheClient) {
     sim.run_round();
     for (std::size_t i = 0; i < sim.clients().size(); ++i) {
       nn::Model uploaded = sim.server_view_of_client(i);
-      nn::ParamList up = uploaded.layer_parameters(1);
-      nn::ParamList live = sim.clients()[i].model().layer_parameters(1);
+      nn::FlatParams up = uploaded.layer_parameters(1);
+      nn::FlatParams live = sim.clients()[i].model().layer_parameters(1);
       bool any_diff = false;
-      for (std::int64_t j = 0; j < up[0].numel(); ++j)
-        if (up[0].at(j) != live[0].at(j)) any_diff = true;
+      for (std::size_t j = 0; j < up.entry_span(0).size(); ++j)
+        if (up.entry_span(0)[j] != live.entry_span(0)[j]) any_diff = true;
       EXPECT_TRUE(any_diff) << "round " << r << " client " << i;
     }
   }
@@ -171,11 +171,10 @@ TEST(ModelPropertyTest, CopiedModelsDivergeIndependently) {
   Rng check(2);
   nn::Model fresh = dinar::testing::make_tiny_mlp(2, 2, check);
   (void)fresh;
-  nn::ParamList pa = a.parameters(), pb = b.parameters();
+  nn::FlatParams pa = a.parameters(), pb = b.parameters();
   bool diverged = false;
-  for (std::size_t i = 0; i < pa.size(); ++i)
-    for (std::int64_t j = 0; j < pa[i].numel(); ++j)
-      if (pa[i].at(j) != pb[i].at(j)) diverged = true;
+  for (std::size_t j = 0; j < pa.as_span().size(); ++j)
+    if (pa.as_span()[j] != pb.as_span()[j]) diverged = true;
   EXPECT_TRUE(diverged);
 }
 

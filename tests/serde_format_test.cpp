@@ -1,0 +1,301 @@
+// Wire/checkpoint format-version suite: v2 DFRM frames are bit-exact and
+// self-describing, v1 tensor-list payloads (messages, model checkpoints,
+// simulation checkpoints) still read, and truncation/corruption at every
+// interesting offset dies with a named error instead of garbage state.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "fl/simulation.h"
+#include "nn/flat_params.h"
+#include "nn/model.h"
+#include "tensor/tensor_serde.h"
+#include "test_helpers.h"
+#include "util/error.h"
+#include "util/serde.h"
+
+namespace dinar {
+namespace {
+
+using dinar::testing::make_easy_dataset;
+using dinar::testing::make_tiny_mlp;
+using dinar::testing::tiny_mlp_factory;
+
+// Format constants under test (mirrors of the implementation values: these
+// are the on-disk/on-wire contract, so the test hard-codes them).
+constexpr std::uint32_t kFlatMsgMagic = 0x4D524644;    // "DFRM"
+constexpr std::uint32_t kGlobalMagicV1 = 0x474D4F44;   // "GMOD"
+constexpr std::uint32_t kUpdateMagicV1 = 0x55504454;   // "UPDT"
+constexpr std::uint32_t kCkptMagic = 0x44434B50;       // "DCKP"
+constexpr std::uint32_t kModelMagic = 0x444E4152;      // "DNAR"
+
+nn::FlatParams sample_params(Rng& rng) {
+  nn::ParamList p;
+  p.push_back(Tensor::gaussian({4, 3}, rng));
+  p.push_back(Tensor::gaussian({3}, rng));
+  return nn::FlatParams::from_param_list(p);
+}
+
+void expect_bitwise_equal(const nn::FlatParams& a, const nn::FlatParams& b) {
+  ASSERT_TRUE(a.same_layout(b));
+  EXPECT_EQ(std::memcmp(a.as_span().data(), b.as_span().data(),
+                        a.as_span().size() * sizeof(float)),
+            0);
+}
+
+// ----------------------------------------------------------- v2 framing --
+
+TEST(FormatV2Test, SerializeIsDeterministicAndRoundTripsBitExact) {
+  Rng rng(1);
+  fl::GlobalModelMsg g;
+  g.round = 9;
+  g.params = sample_params(rng);
+  const auto bytes = g.serialize();
+  EXPECT_EQ(bytes, g.serialize());  // byte-stable across calls
+
+  // The frame leads with DFRM + kind + version.
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, bytes.data(), sizeof magic);
+  EXPECT_EQ(magic, kFlatMsgMagic);
+  EXPECT_EQ(bytes[4], 0);  // kind: global
+  std::uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 5, sizeof version);
+  EXPECT_EQ(version, 2u);
+
+  fl::GlobalModelMsg back = fl::GlobalModelMsg::deserialize(bytes);
+  EXPECT_EQ(back.round, 9);
+  expect_bitwise_equal(back.params, g.params);
+  EXPECT_EQ(back.serialize(), bytes);  // decode/encode is the identity
+}
+
+TEST(FormatV2Test, UpdateFrameCarriesKindByteAndAllFields) {
+  Rng rng(2);
+  fl::ModelUpdateMsg u;
+  u.client_id = 42;
+  u.round = 3;
+  u.num_samples = 17;
+  u.pre_weighted = true;
+  u.params = sample_params(rng);
+  const auto bytes = u.serialize();
+  EXPECT_EQ(bytes[4], 1);  // kind: update
+
+  fl::ModelUpdateMsg back = fl::ModelUpdateMsg::deserialize(bytes);
+  EXPECT_EQ(back.client_id, 42);
+  EXPECT_EQ(back.round, 3);
+  EXPECT_EQ(back.num_samples, 17);
+  EXPECT_TRUE(back.pre_weighted);
+  expect_bitwise_equal(back.params, u.params);
+}
+
+TEST(FormatV2Test, ObfuscationTagsSurviveTheWire) {
+  Rng rng(3);
+  nn::FlatParams p = sample_params(rng);
+  p.reset_index(p.index()->with_obfuscated({1}));
+  fl::ModelUpdateMsg u;
+  u.client_id = 1;
+  u.num_samples = 5;
+  u.params = p;
+  fl::ModelUpdateMsg back = fl::ModelUpdateMsg::deserialize(u.serialize());
+  EXPECT_FALSE(back.params.index()->entry(0).is_obfuscated);
+  EXPECT_TRUE(back.params.index()->entry(1).is_obfuscated);
+}
+
+TEST(FormatV2Test, UnsupportedVersionAndWrongKindRejected) {
+  Rng rng(4);
+  fl::GlobalModelMsg g;
+  g.params = sample_params(rng);
+  auto bytes = g.serialize();
+
+  auto future = bytes;
+  future[5] = 99;  // version u32 little-endian low byte
+  try {
+    fl::GlobalModelMsg::deserialize(future);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported format version"),
+              std::string::npos);
+  }
+
+  auto wrong_kind = bytes;
+  wrong_kind[4] = 1;  // update kind inside a global frame
+  try {
+    fl::GlobalModelMsg::deserialize(wrong_kind);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("'kind'"), std::string::npos);
+  }
+}
+
+TEST(FormatV2Test, CorruptEntryFlagsAndShortPayloadRejected) {
+  auto index = nn::LayerIndex::build([] {
+    std::vector<nn::LayerEntry> e(1);
+    e[0].name = "w";
+    e[0].layer_id = 0;
+    e[0].shape = {2};
+    return e;
+  }());
+  nn::FlatParams p(index, {1.0f, 2.0f});
+
+  // Unknown flag bits in an entry header.
+  {
+    BinaryWriter w;
+    w.write_u64(1);
+    w.write_string("w");
+    w.write_u32(0);
+    w.write_u8(7);  // only 0/1 are defined
+    w.write_i64_vector({2});
+    w.write_f32_span(p.as_span().data(), 2);
+    const auto bytes = w.take();
+    BinaryReader r(bytes);
+    EXPECT_THROW(nn::read_flat_params(r), Error);
+  }
+  // Payload float count disagrees with the index.
+  {
+    BinaryWriter w;
+    w.write_u64(1);
+    w.write_string("w");
+    w.write_u32(0);
+    w.write_u8(0);
+    w.write_i64_vector({2});
+    w.write_f32_span(p.as_span().data(), 1);  // one float short
+    const auto bytes = w.take();
+    BinaryReader r(bytes);
+    EXPECT_THROW(nn::read_flat_params(r), Error);
+  }
+  // Truncation at every byte boundary must throw, never crash or succeed.
+  {
+    BinaryWriter w;
+    nn::write_flat_params(w, p);
+    const auto full = w.take();
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+      std::vector<std::uint8_t> part(full.begin(),
+                                     full.begin() + static_cast<long>(cut));
+      BinaryReader r(part);
+      EXPECT_THROW(nn::read_flat_params(r), Error) << "cut at " << cut;
+    }
+  }
+}
+
+// ------------------------------------------------------ v1 read support --
+
+std::vector<std::uint8_t> v1_global_bytes(std::int64_t round,
+                                          const nn::ParamList& params) {
+  BinaryWriter w;
+  w.write_u32(kGlobalMagicV1);
+  w.write_i64(round);
+  nn::write_param_list(w, params);
+  return w.take();
+}
+
+TEST(FormatV1Test, LegacyGlobalFrameStillReads) {
+  Rng rng(5);
+  nn::FlatParams flat = sample_params(rng);
+  const auto bytes = v1_global_bytes(6, flat.to_param_list());
+
+  fl::GlobalModelMsg back = fl::GlobalModelMsg::deserialize(bytes);
+  EXPECT_EQ(back.round, 6);
+  expect_bitwise_equal(back.params, flat);
+  // Re-serializing a legacy-read message emits the v2 frame.
+  std::uint32_t magic = 0;
+  const auto v2 = back.serialize();
+  std::memcpy(&magic, v2.data(), sizeof magic);
+  EXPECT_EQ(magic, kFlatMsgMagic);
+}
+
+TEST(FormatV1Test, LegacyUpdateFrameStillReads) {
+  Rng rng(6);
+  nn::FlatParams flat = sample_params(rng);
+  BinaryWriter w;
+  w.write_u32(kUpdateMagicV1);
+  w.write_u32(11);       // client_id
+  w.write_i64(2);        // round
+  w.write_i64(33);       // num_samples
+  w.write_u8(0);         // pre_weighted
+  nn::write_param_list(w, flat.to_param_list());
+  const auto bytes = w.take();
+
+  fl::ModelUpdateMsg back = fl::ModelUpdateMsg::deserialize(bytes);
+  EXPECT_EQ(back.client_id, 11);
+  EXPECT_EQ(back.round, 2);
+  EXPECT_EQ(back.num_samples, 33);
+  EXPECT_FALSE(back.pre_weighted);
+  expect_bitwise_equal(back.params, flat);
+}
+
+TEST(FormatV1Test, LegacyModelCheckpointLoads) {
+  Rng rng(7);
+  nn::Model m = make_tiny_mlp(2, 2, rng);
+  const nn::FlatParams trained = m.parameters();
+
+  BinaryWriter w;
+  w.write_u32(kModelMagic);
+  w.write_u32(1);  // legacy version
+  nn::write_param_list(w, trained.to_param_list());
+  const auto bytes = w.take();
+
+  Rng rng2(99);
+  nn::Model fresh = make_tiny_mlp(2, 2, rng2);
+  BinaryReader r(bytes);
+  fresh.load(r);
+  expect_bitwise_equal(fresh.parameters(), trained);
+}
+
+fl::FederatedSimulation make_sim(int seed) {
+  fl::SimulationConfig cfg;
+  cfg.rounds = 4;
+  cfg.train = fl::TrainConfig{1, 32};
+  Rng rng(seed);
+  data::Dataset full = make_easy_dataset(200, rng);
+  data::FlSplitConfig split_cfg;
+  split_cfg.num_clients = 2;
+  data::FlSplit split = data::make_fl_split(full, split_cfg, rng);
+  return fl::FederatedSimulation(tiny_mlp_factory(2, 2), std::move(split), cfg,
+                                 fl::DefenseBundle{});
+}
+
+TEST(FormatV1Test, LegacySimulationCheckpointResumes) {
+  fl::FederatedSimulation sim = make_sim(41);
+  sim.run_round();
+  sim.run_round();
+  const nn::FlatParams global = sim.server().global_params();
+
+  // A v1 checkpoint as an old build would have written it.
+  BinaryWriter w;
+  w.write_u32(kCkptMagic);
+  w.write_u32(1);  // legacy version
+  w.write_i64(sim.server().round());
+  nn::write_param_list(w, global.to_param_list());
+  const auto legacy = w.take();
+
+  fl::FederatedSimulation fresh = make_sim(41);
+  BinaryReader r(legacy);
+  fresh.restore_checkpoint(r);
+  EXPECT_EQ(fresh.server().round(), 2);
+  expect_bitwise_equal(fresh.server().global_params(), global);
+
+  // The resumed run completes the remaining rounds.
+  fresh.run();
+  EXPECT_EQ(fresh.server().round(), 4);
+}
+
+TEST(FormatVersionTest, CurrentCheckpointWritesV2) {
+  fl::FederatedSimulation sim = make_sim(42);
+  sim.run_round();
+  BinaryWriter w;
+  sim.save_checkpoint(w);
+  const auto& buf = w.buffer();
+  std::uint32_t magic = 0, version = 0;
+  std::memcpy(&magic, buf.data(), sizeof magic);
+  std::memcpy(&version, buf.data() + 4, sizeof version);
+  EXPECT_EQ(magic, kCkptMagic);
+  EXPECT_EQ(version, 2u);
+
+  auto future = std::vector<std::uint8_t>(buf.begin(), buf.end());
+  future[4] = 9;  // unknown version
+  BinaryReader r(future);
+  fl::FederatedSimulation fresh = make_sim(42);
+  EXPECT_THROW(fresh.restore_checkpoint(r), Error);
+}
+
+}  // namespace
+}  // namespace dinar

@@ -141,7 +141,7 @@ TEST(TensorTest, GaussianInitializerMoments) {
 TEST(MatmulTest, HandComputed) {
   Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
   Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
-  Tensor c = matmul(a, b);
+  Tensor c = gemm(Trans::kN, Trans::kN, a, b);
   EXPECT_EQ(c.at(0, 0), 58.0f);
   EXPECT_EQ(c.at(0, 1), 64.0f);
   EXPECT_EQ(c.at(1, 0), 139.0f);
@@ -150,25 +150,7 @@ TEST(MatmulTest, HandComputed) {
 
 TEST(MatmulTest, InnerDimensionMismatchThrows) {
   Tensor a({2, 3}), b({2, 2});
-  EXPECT_THROW(matmul(a, b), Error);
-}
-
-// The matmul trio are thin deprecated wrappers over gemm(); the unified
-// API must agree with them exactly (they call the same kernels).
-TEST(GemmTest, WrappersAreExactAliases) {
-  Rng rng(77);
-  Tensor a = Tensor::gaussian({9, 13}, rng);
-  Tensor b = Tensor::gaussian({13, 5}, rng);
-  Tensor a_t = Tensor::gaussian({13, 9}, rng);
-  Tensor b_t = Tensor::gaussian({5, 13}, rng);
-
-  const auto expect_same = [](const Tensor& x, const Tensor& y) {
-    ASSERT_TRUE(x.same_shape(y));
-    for (std::int64_t i = 0; i < x.numel(); ++i) EXPECT_EQ(x.at(i), y.at(i));
-  };
-  expect_same(gemm(Trans::kN, Trans::kN, a, b), matmul(a, b));
-  expect_same(gemm(Trans::kT, Trans::kN, a_t, b), matmul_tn(a_t, b));
-  expect_same(gemm(Trans::kN, Trans::kT, a, b_t), matmul_nt(a, b_t));
+  EXPECT_THROW(gemm(Trans::kN, Trans::kN, a, b), Error);
 }
 
 TEST(GemmTest, DoubleTransposeHandComputed) {
@@ -190,8 +172,8 @@ TEST(GemmTest, InnerDimensionMismatchThrows) {
   EXPECT_THROW(gemm(Trans::kT, Trans::kN, a, Tensor({3, 3})), Error);
 }
 
-// Property sweep: matmul_tn(a, b) == matmul(a^T, b) and
-// matmul_nt(a, b) == matmul(a, b^T) over random shapes.
+// Property sweep: gemm(kT, kN, a, b) == gemm(kN, kN, a^T, b) and
+// gemm(kN, kT, a, b) == gemm(kN, kN, a, b^T) over random shapes.
 class MatmulVariantTest : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
 
 Tensor transpose2d(const Tensor& t) {
@@ -206,8 +188,8 @@ TEST_P(MatmulVariantTest, TnMatchesExplicitTranspose) {
   Rng rng(static_cast<std::uint64_t>(m * 100 + k * 10 + n));
   Tensor a = Tensor::gaussian({k, m}, rng);
   Tensor b = Tensor::gaussian({k, n}, rng);
-  Tensor got = matmul_tn(a, b);
-  Tensor want = matmul(transpose2d(a), b);
+  Tensor got = gemm(Trans::kT, Trans::kN, a, b);
+  Tensor want = gemm(Trans::kN, Trans::kN, transpose2d(a), b);
   ASSERT_TRUE(got.same_shape(want));
   for (std::int64_t i = 0; i < got.numel(); ++i)
     EXPECT_NEAR(got.at(i), want.at(i), 1e-4);
@@ -218,8 +200,8 @@ TEST_P(MatmulVariantTest, NtMatchesExplicitTranspose) {
   Rng rng(static_cast<std::uint64_t>(m * 100 + k * 10 + n) + 1);
   Tensor a = Tensor::gaussian({m, k}, rng);
   Tensor b = Tensor::gaussian({n, k}, rng);
-  Tensor got = matmul_nt(a, b);
-  Tensor want = matmul(a, transpose2d(b));
+  Tensor got = gemm(Trans::kN, Trans::kT, a, b);
+  Tensor want = gemm(Trans::kN, Trans::kN, a, transpose2d(b));
   ASSERT_TRUE(got.same_shape(want));
   for (std::int64_t i = 0; i < got.numel(); ++i)
     EXPECT_NEAR(got.at(i), want.at(i), 1e-4);
