@@ -82,8 +82,11 @@ void col2im2d(const Tensor& dcols, Tensor& dx, std::int64_t kernel_h,
               const std::int64_t iy = oy * stride + ky - padding_h;
               for (std::int64_t kx = 0; kx < kernel_w; ++kx) {
                 const std::int64_t ix = ox * stride + kx - padding_w;
+                // No skip-zero shortcut: adding an exact 0.0f must still
+                // happen so IEEE-754 edge values (signed zeros, NaN/Inf
+                // already in dx) behave identically to a SIMD scatter-add
+                // that has no such branch.
                 const float v = *crow++;
-                if (v == 0.0f) continue;
                 if (iy >= 0 && iy < h && ix >= 0 && ix < w)
                   pdx[((n * c + ic) * h + iy) * w + ix] += v;
               }
@@ -151,10 +154,9 @@ void accumulate_bias_grad(const Tensor& grad_rows, Tensor& grad_bias,
   // ascending row order regardless of the chunking.
   run_rows(oc, exec, grain_for(rows), [&](std::int64_t c0, std::int64_t c1) {
     for (std::int64_t ch = c0; ch < c1; ++ch) {
-      for (std::int64_t r = 0; r < rows; ++r) {
-        const float g = pg[r * oc + ch];
-        if (g != 0.0f) pdb[ch] += g;
-      }
+      // Unconditional accumulation (same IEEE-semantics rule as col2im2d's
+      // scatter-add: no value-dependent branches in reduction loops).
+      for (std::int64_t r = 0; r < rows; ++r) pdb[ch] += pg[r * oc + ch];
     }
   });
 }

@@ -1,0 +1,75 @@
+#include "tensor/cpu_features.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/error.h"
+
+namespace dinar {
+namespace {
+
+CpuFeatures detect() {
+  CpuFeatures f;
+#if (defined(__x86_64__) || defined(_M_X64)) && (defined(__GNUC__) || defined(__clang__))
+  __builtin_cpu_init();
+  f.avx2 = __builtin_cpu_supports("avx2") != 0;
+  f.fma = __builtin_cpu_supports("fma") != 0;
+#endif
+  return f;
+}
+
+GemmKernel resolve_active() {
+  const char* env = std::getenv("DINAR_GEMM_KERNEL");
+  if (env != nullptr && *env != '\0') {
+    const std::string v(env);
+    if (v == "scalar") return GemmKernel::kScalar;
+    if (v == "avx2") {
+      DINAR_CHECK(gemm_kernel_available(GemmKernel::kAvx2),
+                  "DINAR_GEMM_KERNEL=avx2 but the AVX2 kernel is unavailable "
+                  "(built with DINAR_SIMD=OFF, or the host lacks AVX2+FMA)");
+      return GemmKernel::kAvx2;
+    }
+    throw Error("unknown DINAR_GEMM_KERNEL value '" + v + "' (expected scalar|avx2)");
+  }
+  return gemm_kernel_available(GemmKernel::kAvx2) ? GemmKernel::kAvx2
+                                                  : GemmKernel::kScalar;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures f = detect();
+  return f;
+}
+
+bool gemm_kernel_available(GemmKernel kernel) {
+  switch (kernel) {
+    case GemmKernel::kScalar:
+      return true;
+    case GemmKernel::kAvx2:
+#if DINAR_GEMM_HAVE_AVX2
+      // The AVX2 TU uses FMA, so both bits are required.
+      return cpu_features().avx2 && cpu_features().fma;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+GemmKernel active_gemm_kernel() {
+  static const GemmKernel k = resolve_active();
+  return k;
+}
+
+const char* gemm_kernel_name(GemmKernel kernel) {
+  switch (kernel) {
+    case GemmKernel::kScalar:
+      return "scalar";
+    case GemmKernel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+}  // namespace dinar

@@ -1,0 +1,48 @@
+// Runtime CPU feature detection and gemm kernel dispatch.
+//
+// The gemm hot path ships several register-blocked microkernels (see
+// tensor/gemm_kernels.h); which one runs is decided once per process, the
+// first time a kernel is needed:
+//
+//   1. `DINAR_GEMM_KERNEL=scalar|avx2` forces a kernel (A/B testing, CI
+//      scalar-oracle legs). Requesting a kernel the build or host cannot
+//      run is an error, not a silent fallback — a CI leg that thinks it
+//      pinned the kernel must never quietly measure a different one.
+//   2. Otherwise the widest kernel that is both compiled in
+//      (DINAR_SIMD=ON and an x86-64 toolchain) and supported by the host
+//      (AVX2 + FMA per cpuid) is selected.
+//
+// Tests and benches can bypass the process-wide choice by passing an
+// explicit kernel to the gemm overload in tensor/tensor.h; availability is
+// still enforced.
+#pragma once
+
+#include <cstdint>
+
+namespace dinar {
+
+struct CpuFeatures {
+  bool avx2 = false;
+  bool fma = false;
+};
+
+// Host capabilities, detected once and cached.
+const CpuFeatures& cpu_features();
+
+// Kernel tiers, narrowest first. A NEON tier slots in here as another
+// enumerator plus one gemm_kernels_neon.cpp TU; the dispatch and packing
+// layers are already width-agnostic (see DESIGN.md §9).
+enum class GemmKernel : std::uint8_t { kScalar, kAvx2 };
+
+// True when `kernel` is compiled into this binary and the host can run it.
+// kScalar is always available.
+bool gemm_kernel_available(GemmKernel kernel);
+
+// The kernel gemm() uses when the caller does not pass one: the
+// DINAR_GEMM_KERNEL override or the widest available tier. Resolved once;
+// throws dinar::Error on an unknown or unavailable override value.
+GemmKernel active_gemm_kernel();
+
+const char* gemm_kernel_name(GemmKernel kernel);
+
+}  // namespace dinar

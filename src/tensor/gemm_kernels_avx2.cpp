@@ -1,0 +1,82 @@
+// AVX2 + FMA tier of the packed-panel gemm microkernel.
+//
+// This TU is compiled with -mavx2 -mfma (see src/tensor/CMakeLists.txt);
+// nothing outside it may be inlined into AVX2 code paths, and callers must
+// consult gemm_kernel_available(GemmKernel::kAvx2) first so the binary
+// still runs on pre-AVX2 hosts.
+//
+// Layout per B panel: 8 ymm accumulators, one per A row; each kk step
+// loads one 8-wide B group and issues 8 broadcast-FMA updates. Accumulation
+// is ascending-kk with a single accumulator per element — the same order as
+// the scalar oracle, differing only by FMA rounding.
+#include "tensor/gemm_kernels.h"
+
+#if DINAR_GEMM_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace dinar::detail {
+
+void gemm_block_avx2(std::int64_t rows, std::int64_t n, std::int64_t k,
+                     const float* apack, const float* bpack, float* c) {
+  static_assert(kGemmMR == 8 && kGemmNR == 8,
+                "AVX2 microkernel is written for an 8x8 register block");
+  for (std::int64_t j0 = 0, bj = 0; j0 < n; j0 += kGemmNR, ++bj) {
+    const float* panel = bpack + bj * k * kGemmNR;
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps();
+    __m256 acc3 = _mm256_setzero_ps();
+    __m256 acc4 = _mm256_setzero_ps();
+    __m256 acc5 = _mm256_setzero_ps();
+    __m256 acc6 = _mm256_setzero_ps();
+    __m256 acc7 = _mm256_setzero_ps();
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const __m256 bv = _mm256_loadu_ps(panel + kk * kGemmNR);
+      const float* av = apack + kk * kGemmMR;
+      acc0 = _mm256_fmadd_ps(_mm256_broadcast_ss(av + 0), bv, acc0);
+      acc1 = _mm256_fmadd_ps(_mm256_broadcast_ss(av + 1), bv, acc1);
+      acc2 = _mm256_fmadd_ps(_mm256_broadcast_ss(av + 2), bv, acc2);
+      acc3 = _mm256_fmadd_ps(_mm256_broadcast_ss(av + 3), bv, acc3);
+      acc4 = _mm256_fmadd_ps(_mm256_broadcast_ss(av + 4), bv, acc4);
+      acc5 = _mm256_fmadd_ps(_mm256_broadcast_ss(av + 5), bv, acc5);
+      acc6 = _mm256_fmadd_ps(_mm256_broadcast_ss(av + 6), bv, acc6);
+      acc7 = _mm256_fmadd_ps(_mm256_broadcast_ss(av + 7), bv, acc7);
+    }
+    const std::int64_t cols = std::min<std::int64_t>(kGemmNR, n - j0);
+    if (cols == kGemmNR) {
+      float* crow = c + j0;
+      if (rows > 0) _mm256_storeu_ps(crow + 0 * n, acc0);
+      if (rows > 1) _mm256_storeu_ps(crow + 1 * n, acc1);
+      if (rows > 2) _mm256_storeu_ps(crow + 2 * n, acc2);
+      if (rows > 3) _mm256_storeu_ps(crow + 3 * n, acc3);
+      if (rows > 4) _mm256_storeu_ps(crow + 4 * n, acc4);
+      if (rows > 5) _mm256_storeu_ps(crow + 5 * n, acc5);
+      if (rows > 6) _mm256_storeu_ps(crow + 6 * n, acc6);
+      if (rows > 7) _mm256_storeu_ps(crow + 7 * n, acc7);
+    } else {
+      // Edge panel: spill the tile and copy only the real columns. The
+      // store path never changes values, so edge elements match full-panel
+      // arithmetic exactly.
+      alignas(32) float tile[kGemmMR][kGemmNR];
+      _mm256_store_ps(tile[0], acc0);
+      _mm256_store_ps(tile[1], acc1);
+      _mm256_store_ps(tile[2], acc2);
+      _mm256_store_ps(tile[3], acc3);
+      _mm256_store_ps(tile[4], acc4);
+      _mm256_store_ps(tile[5], acc5);
+      _mm256_store_ps(tile[6], acc6);
+      _mm256_store_ps(tile[7], acc7);
+      for (std::int64_t r = 0; r < rows; ++r) {
+        float* crow = c + r * n + j0;
+        for (std::int64_t j = 0; j < cols; ++j) crow[j] = tile[r][j];
+      }
+    }
+  }
+}
+
+}  // namespace dinar::detail
+
+#endif  // DINAR_GEMM_HAVE_AVX2

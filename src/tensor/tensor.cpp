@@ -6,6 +6,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "tensor/gemm_kernels.h"
 #include "util/error.h"
 #include "util/execution_context.h"
 #include "util/memory_tracker.h"
@@ -210,69 +211,82 @@ Tensor scale(const Tensor& a, float s) {
 
 namespace {
 
-// Cache tiles for the axpy-form kernels (kN/kT x kN): the B sub-panel of
-// kTileK x kTileJ floats (64 KiB) stays resident while every row of the
-// chunk streams over it. Tiling only regroups the j loop; each output
-// element still accumulates in ascending-k order, so tiled and untiled
-// results are bit-identical.
-constexpr std::int64_t kTileJ = 256;
-constexpr std::int64_t kTileK = 64;
+using detail::kGemmMR;
+using detail::kGemmNR;
 
-// Rows per parallel chunk, sized so a chunk is worth a pool dispatch.
-std::size_t row_grain(std::int64_t k, std::int64_t n) {
-  const std::int64_t per_row = std::max<std::int64_t>(1, k * n);
-  return static_cast<std::size_t>(std::max<std::int64_t>(1, 32768 / per_row));
+// Per-thread packing scratch, reused across gemm calls so the hot loop is
+// allocation-free after warm-up. `bpack` holds the shared packed op(b)
+// (written by the calling thread / packing chunks, read by everyone);
+// `apack` holds one row-block of op(a) and is touched only by the thread
+// executing that block. The vectors only ever grow.
+struct GemmScratch {
+  std::vector<float> bpack;
+  std::vector<float> apack;
+};
+
+GemmScratch& gemm_scratch() {
+  thread_local GemmScratch scratch;
+  return scratch;
 }
 
-// op(a) rows x b columns where b is used as stored ([k, n]). `a_row_stride`
-// and `a_k_stride` express op(a)'s element layout, so kN ([m, k], strides
-// k/1) and kT ([k, m], strides 1/m) share one kernel. Accumulation is a
-// float axpy over j in ascending-k order with the seed kernels'
-// skip-zero-multiplier fast path.
-void gemm_axpy_rows(std::int64_t r0, std::int64_t r1, std::int64_t k, std::int64_t n,
-                    const float* pa, std::int64_t a_row_stride, std::int64_t a_k_stride,
-                    const float* pb, float* po) {
-  for (std::int64_t jb = 0; jb < n; jb += kTileJ) {
-    const std::int64_t je = std::min(n, jb + kTileJ);
-    for (std::int64_t kb = 0; kb < k; kb += kTileK) {
-      const std::int64_t ke = std::min(k, kb + kTileK);
-      for (std::int64_t i = r0; i < r1; ++i) {
-        const float* arow = pa + i * a_row_stride;
-        float* orow = po + i * n;
-        for (std::int64_t kk = kb; kk < ke; ++kk) {
-          const float av = arow[kk * a_k_stride];
-          if (av == 0.0f) continue;
-          const float* brow = pb + kk * n;
-          for (std::int64_t j = jb; j < je; ++j) orow[j] += av * brow[j];
-        }
-      }
-    }
-  }
+float* grown(std::vector<float>& v, std::size_t need) {
+  if (v.size() < need) v.resize(need);
+  return v.data();
 }
 
-// op(a) rows x b^T rows (b stored [n, k]): a dot product per output
-// element, double-accumulated in ascending-k order (the seed matmul_nt
-// numerics).
-void gemm_dot_rows(std::int64_t r0, std::int64_t r1, std::int64_t k, std::int64_t n,
-                   const float* pa, std::int64_t a_row_stride, std::int64_t a_k_stride,
-                   const float* pb, float* po) {
-  for (std::int64_t i = r0; i < r1; ++i) {
-    const float* arow = pa + i * a_row_stride;
-    float* orow = po + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      double acc = 0.0;
-      for (std::int64_t kk = 0; kk < k; ++kk)
-        acc += static_cast<double>(arow[kk * a_k_stride]) * brow[kk];
-      orow[j] = static_cast<float>(acc);
-    }
+// k*n without signed-overflow UB on degenerate or adversarial shapes:
+// saturates instead of wrapping, and maps empty dimensions to 1 so grain
+// math never divides by zero.
+std::int64_t saturating_per_row_work(std::int64_t k, std::int64_t n) {
+  const std::int64_t kk = std::max<std::int64_t>(1, k);
+  const std::int64_t nn = std::max<std::int64_t>(1, n);
+  if (kk > std::numeric_limits<std::int64_t>::max() / nn)
+    return std::numeric_limits<std::int64_t>::max();
+  return kk * nn;
+}
+
+// Row-blocks per parallel chunk, sized so a chunk is worth a pool
+// dispatch. Kernel-aware: the SIMD tiers retire roughly 8x the flops per
+// cycle of the scalar oracle, so they need proportionally more work per
+// chunk before splitting pays — the old flat 32768-flops heuristic
+// over-split the fast kernel into dispatch-bound confetti.
+std::size_t gemm_block_grain(GemmKernel kernel, std::int64_t k, std::int64_t n) {
+  const std::int64_t target_madds =
+      kernel == GemmKernel::kScalar ? 32768 : 262144;
+  const std::int64_t per_row = saturating_per_row_work(k, n);
+  const std::int64_t rows = std::max<std::int64_t>(1, target_madds / per_row);
+  return static_cast<std::size_t>((rows + kGemmMR - 1) / kGemmMR);
+}
+
+// B panels per packing chunk (each panel writes k * kGemmNR floats).
+std::size_t pack_panel_grain(std::int64_t k) {
+  return static_cast<std::size_t>(
+      std::max<std::int64_t>(1, 2048 / std::max<std::int64_t>(1, k)));
+}
+
+detail::GemmBlockFn gemm_block_fn(GemmKernel kernel) {
+  switch (kernel) {
+    case GemmKernel::kScalar:
+      return detail::gemm_block_scalar;
+    case GemmKernel::kAvx2:
+#if DINAR_GEMM_HAVE_AVX2
+      return detail::gemm_block_avx2;
+#else
+      break;
+#endif
   }
+  return detail::gemm_block_scalar;
 }
 
 }  // namespace
 
 Tensor gemm(Trans trans_a, Trans trans_b, const Tensor& a, const Tensor& b,
             const ExecutionContext* exec) {
+  return gemm(trans_a, trans_b, a, b, exec, active_gemm_kernel());
+}
+
+Tensor gemm(Trans trans_a, Trans trans_b, const Tensor& a, const Tensor& b,
+            const ExecutionContext* exec, GemmKernel kernel) {
   DINAR_CHECK(a.rank() == 2 && b.rank() == 2, "gemm requires rank-2 tensors");
   const std::int64_t m = trans_a == Trans::kN ? a.dim(0) : a.dim(1);
   const std::int64_t k = trans_a == Trans::kN ? a.dim(1) : a.dim(0);
@@ -283,23 +297,94 @@ Tensor gemm(Trans trans_a, Trans trans_b, const Tensor& a, const Tensor& b,
                            << " x " << (trans_b == Trans::kT ? "T " : "")
                            << shape_to_string(b.shape()));
   Tensor out({m, n});
+  // Degenerate shapes: an empty output, or an empty reduction axis whose
+  // product is all zeros — the zero-initialized tensor is already correct,
+  // and the packing math below assumes every extent is positive.
+  if (m == 0 || n == 0 || k == 0) return out;
+  DINAR_CHECK(gemm_kernel_available(kernel),
+              "gemm kernel '" << gemm_kernel_name(kernel)
+                              << "' is not available in this build/host");
+  const detail::GemmBlockFn block_fn = gemm_block_fn(kernel);
+
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  // op(a)'s strides: rows of the logical [m, k] operand.
+  // Element (i, kk) of the logical [m, k] operand op(a), and (kk, j) of the
+  // logical [k, n] operand op(b), expressed as strides into the stored data
+  // so all four Trans combinations share the packing code.
   const std::int64_t a_row_stride = trans_a == Trans::kN ? k : 1;
   const std::int64_t a_k_stride = trans_a == Trans::kN ? 1 : m;
+  const std::int64_t b_k_stride = trans_b == Trans::kN ? n : 1;
+  const std::int64_t b_col_stride = trans_b == Trans::kN ? 1 : k;
 
-  const auto rows = [&](std::int64_t r0, std::int64_t r1) {
-    if (trans_b == Trans::kN)
-      gemm_axpy_rows(r0, r1, k, n, pa, a_row_stride, a_k_stride, pb, po);
-    else
-      gemm_dot_rows(r0, r1, k, n, pa, a_row_stride, a_k_stride, pb, po);
+  const std::int64_t mblocks = (m + kGemmMR - 1) / kGemmMR;
+  const std::int64_t npanels = (n + kGemmNR - 1) / kGemmNR;
+
+  // Pack op(b) once into the calling thread's arena: per panel, k groups
+  // of kGemmNR floats, edge columns zero-padded. Panels are disjoint, so
+  // packing parallelizes with deterministic contents.
+  float* bpack = grown(gemm_scratch().bpack,
+                       static_cast<std::size_t>(npanels * k * kGemmNR));
+  const auto pack_b = [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t bj = p0; bj < p1; ++bj) {
+      const std::int64_t j0 = bj * kGemmNR;
+      const std::int64_t cols = std::min<std::int64_t>(kGemmNR, n - j0);
+      float* panel = bpack + bj * k * kGemmNR;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        float* dst = panel + kk * kGemmNR;
+        const float* src = pb + kk * b_k_stride + j0 * b_col_stride;
+        std::int64_t j = 0;
+        for (; j < cols; ++j) dst[j] = src[j * b_col_stride];
+        for (; j < kGemmNR; ++j) dst[j] = 0.0f;
+      }
+    }
   };
   if (exec != nullptr)
-    exec->parallel_for(m, rows, row_grain(k, n));
+    exec->parallel_for(npanels, pack_b, pack_panel_grain(k));
   else
-    rows(0, m);
+    pack_b(0, npanels);
+
+  // Compute parallelizes over whole row-blocks (never raw rows): a chunk
+  // boundary can only fall between blocks, so which rows share a
+  // microkernel call — and therefore every element's operation sequence —
+  // is independent of the thread count. Each executing thread packs the
+  // current A row-block into its own scratch arena right before use.
+  const auto row_blocks = [&](std::int64_t blk0, std::int64_t blk1) {
+    float* apack =
+        grown(gemm_scratch().apack, static_cast<std::size_t>(k * kGemmMR));
+    for (std::int64_t bi = blk0; bi < blk1; ++bi) {
+      const std::int64_t i0 = bi * kGemmMR;
+      const std::int64_t rows = std::min<std::int64_t>(kGemmMR, m - i0);
+      if (a_k_stride == 1) {
+        // op(a) rows are contiguous: stream each row, strided writes into
+        // the L1-resident pack buffer.
+        for (std::int64_t r = 0; r < kGemmMR; ++r) {
+          if (r < rows) {
+            const float* arow = pa + (i0 + r) * a_row_stride;
+            for (std::int64_t kk = 0; kk < k; ++kk)
+              apack[kk * kGemmMR + r] = arow[kk];
+          } else {
+            for (std::int64_t kk = 0; kk < k; ++kk)
+              apack[kk * kGemmMR + r] = 0.0f;
+          }
+        }
+      } else {
+        // Transposed operand: each kk step reads kGemmMR contiguous floats.
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          float* dst = apack + kk * kGemmMR;
+          const float* src = pa + i0 * a_row_stride + kk * a_k_stride;
+          std::int64_t r = 0;
+          for (; r < rows; ++r) dst[r] = src[r * a_row_stride];
+          for (; r < kGemmMR; ++r) dst[r] = 0.0f;
+        }
+      }
+      block_fn(rows, n, k, apack, bpack, po + i0 * n);
+    }
+  };
+  if (exec != nullptr)
+    exec->parallel_for(mblocks, row_blocks, gemm_block_grain(kernel, k, n));
+  else
+    row_blocks(0, mblocks);
   return out;
 }
 

@@ -1,8 +1,10 @@
 // Dense row-major float32 tensor.
 //
 // This is the numeric substrate under dinar::nn. Design goals, in order:
-// correctness, determinism, and being small enough to audit — not peak
-// FLOPs. Storage is a contiguous std::vector<float>; shapes are explicit
+// correctness, determinism, then speed — the gemm hot path runs a
+// runtime-dispatched SIMD microkernel (tensor/cpu_features.h), but only
+// under a numerics contract the scalar oracle can always re-check.
+// Storage is a contiguous std::vector<float>; shapes are explicit
 // and checked on every op. All allocations are reported to MemoryTracker
 // so the cost experiments can observe per-defense memory footprints.
 #pragma once
@@ -13,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "tensor/cpu_features.h"
 #include "util/rng.h"
 
 namespace dinar {
@@ -106,13 +109,24 @@ enum class Trans : std::uint8_t { kN, kT };
 
 // General matrix multiply: op(a) op(b) -> [m, n], where op is identity
 // (kN) or transpose (kT). This is the single compute entry point that
-// replaced the matmul / matmul_tn / matmul_nt trio: the kernel is blocked
-// for cache reuse and, when `exec` is non-null, parallelized over row
-// chunks via ExecutionContext::parallel_for. Every output element is
-// accumulated by exactly one chunk in a fixed k-order, so results are
-// bit-identical for every thread count (and to `exec == nullptr`).
+// replaced the matmul / matmul_tn / matmul_nt trio. Both operands are
+// packed into register-block panels and multiplied by an 8x8 microkernel
+// selected at runtime (tensor/cpu_features.h): AVX2+FMA where the build
+// and host allow it, a structurally identical scalar oracle everywhere
+// else; `DINAR_GEMM_KERNEL=scalar|avx2` pins the choice process-wide.
+// When `exec` is non-null the output is parallelized over whole 8-row
+// blocks via ExecutionContext::parallel_for. Every output element is
+// accumulated by exactly one block in ascending k-order, so for a given
+// kernel results are bit-identical for every thread count (and to
+// `exec == nullptr`); scalar and SIMD kernels agree within a small
+// relative tolerance (FMA rounding only — see DESIGN.md §9).
 Tensor gemm(Trans trans_a, Trans trans_b, const Tensor& a, const Tensor& b,
             const ExecutionContext* exec = nullptr);
+
+// Same, with an explicit kernel tier (tests and benches A/B the tiers
+// in-process; gemm_kernel_available(kernel) must hold).
+Tensor gemm(Trans trans_a, Trans trans_b, const Tensor& a, const Tensor& b,
+            const ExecutionContext* exec, GemmKernel kernel);
 
 // -- span kernels ------------------------------------------------------------
 // Elementwise math over raw float ranges. These are the inner loops of the

@@ -12,6 +12,9 @@ thread_local bool t_on_worker_thread = false;
 bool ThreadPool::on_worker_thread() { return t_on_worker_thread; }
 
 ThreadPool::ThreadPool(unsigned threads) {
+  // hardware_concurrency() may legally return 0 (the header's default
+  // argument forwards it); a pool with zero workers would never drain its
+  // queue, so submit()/parallel_for() would block forever.
   const unsigned n = std::max(1u, threads);
   workers_.reserve(n);
   for (unsigned i = 0; i < n; ++i) workers_.emplace_back([this] { worker_loop(); });

@@ -18,6 +18,9 @@ namespace dinar {
 
 class ThreadPool {
  public:
+  // `threads` is clamped to at least one worker: the default argument
+  // forwards std::thread::hardware_concurrency(), which is allowed to
+  // return 0, and a zero-worker pool would deadlock every submit().
   explicit ThreadPool(unsigned threads = std::thread::hardware_concurrency());
   ~ThreadPool();
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "tensor/tensor.h"
 #include "tensor/tensor_serde.h"
@@ -170,6 +171,46 @@ TEST(GemmTest, InnerDimensionMismatchThrows) {
   EXPECT_THROW(gemm(Trans::kN, Trans::kN, a, b), Error);
   // a^T is 3x2, so a 3-row b no longer lines up.
   EXPECT_THROW(gemm(Trans::kT, Trans::kN, a, Tensor({3, 3})), Error);
+}
+
+// Regression for the removed skip-zero fast path: the scalar kernel used
+// to skip `a == 0.0f` multiplicands, silently dropping the IEEE-754
+// 0 x NaN = NaN and 0 x Inf = NaN products — so a diverging model looked
+// healthy on the scalar path while a SIMD kernel (which has no such
+// branch) reported NaN. All four Trans combinations must poison.
+TEST(GemmTest, ZeroTimesNanPropagatesAllTransCombos) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  Tensor a({1, 2}, {0.0f, 0.0f});         // logical 1x2 row of zeros
+  Tensor at({2, 1}, {0.0f, 0.0f});        // its stored transpose
+  Tensor b({2, 1}, {nan, inf});           // logical 2x1 with NaN and Inf
+  Tensor bt({1, 2}, {nan, inf});          // its stored transpose
+
+  EXPECT_TRUE(std::isnan(gemm(Trans::kN, Trans::kN, a, b).at(0)));
+  EXPECT_TRUE(std::isnan(gemm(Trans::kT, Trans::kN, at, b).at(0)));
+  EXPECT_TRUE(std::isnan(gemm(Trans::kN, Trans::kT, a, bt).at(0)));
+  EXPECT_TRUE(std::isnan(gemm(Trans::kT, Trans::kT, at, bt).at(0)));
+}
+
+TEST(GemmTest, NanInZeroWeightSideAlsoPropagates) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  // NaN on the A side multiplied by a zero B column: same IEEE rule,
+  // opposite operand.
+  Tensor a({1, 1}, {nan});
+  Tensor b({1, 2}, {0.0f, 1.0f});
+  const Tensor out = gemm(Trans::kN, Trans::kN, a, b);
+  EXPECT_TRUE(std::isnan(out.at(0, 0)));
+  EXPECT_TRUE(std::isnan(out.at(0, 1)));
+}
+
+TEST(GemmTest, EmptyReductionYieldsZeros) {
+  // k = 0 is a defined product (all zeros) and must take the
+  // overflow-free grain path rather than dividing by a zero extent.
+  const Tensor z = gemm(Trans::kN, Trans::kN, Tensor({3, 0}), Tensor({0, 2}));
+  ASSERT_EQ(z.shape(), (Shape{3, 2}));
+  for (float v : z.values()) EXPECT_EQ(v, 0.0f);
+  EXPECT_EQ(gemm(Trans::kN, Trans::kN, Tensor({0, 5}), Tensor({5, 4})).numel(), 0);
+  EXPECT_EQ(gemm(Trans::kN, Trans::kN, Tensor({4, 5}), Tensor({5, 0})).numel(), 0);
 }
 
 // Property sweep: gemm(kT, kN, a, b) == gemm(kN, kN, a^T, b) and

@@ -470,6 +470,20 @@ TEST(ThreadPoolTest, SubmitReturnsUsableFuture) {
   EXPECT_TRUE(ran.load());
 }
 
+// Liveness regression: std::thread::hardware_concurrency() — the default
+// constructor argument — may return 0. An unclamped pool would start zero
+// workers and every submit()/parallel_for() would block forever.
+TEST(ThreadPoolTest, ZeroThreadRequestClampsToOneLiveWorker) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+  std::atomic<bool> ran{false};
+  pool.submit([&] { ran = true; }).get();  // would deadlock with 0 workers
+  EXPECT_TRUE(ran.load());
+  std::atomic<int> sum{0};
+  pool.parallel_for(4, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 6);
+}
+
 // ------------------------------------------------------- memory tracker --
 
 TEST(MemoryTrackerTest, TracksLiveAndPeak) {
