@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_obfuscation.dir/bench_ablation_obfuscation.cpp.o"
+  "CMakeFiles/bench_ablation_obfuscation.dir/bench_ablation_obfuscation.cpp.o.d"
+  "bench_ablation_obfuscation"
+  "bench_ablation_obfuscation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_obfuscation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_copybw.dir/bench_copybw.cpp.o"
+  "CMakeFiles/bench_copybw.dir/bench_copybw.cpp.o.d"
+  "bench_copybw"
+  "bench_copybw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_copybw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

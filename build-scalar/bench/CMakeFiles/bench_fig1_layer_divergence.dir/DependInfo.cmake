@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig1_layer_divergence.cpp" "bench/CMakeFiles/bench_fig1_layer_divergence.dir/bench_fig1_layer_divergence.cpp.o" "gcc" "bench/CMakeFiles/bench_fig1_layer_divergence.dir/bench_fig1_layer_divergence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-scalar/bench/CMakeFiles/dinar_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/core/CMakeFiles/dinar_core.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/attack/CMakeFiles/dinar_attack.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/privacy/CMakeFiles/dinar_privacy.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/fl/CMakeFiles/dinar_fl.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/opt/CMakeFiles/dinar_opt.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/nn/CMakeFiles/dinar_nn.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/data/CMakeFiles/dinar_data.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/tensor/CMakeFiles/dinar_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/util/CMakeFiles/dinar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_single_layer_protection.dir/bench_fig4_single_layer_protection.cpp.o"
+  "CMakeFiles/bench_fig4_single_layer_protection.dir/bench_fig4_single_layer_protection.cpp.o.d"
+  "bench_fig4_single_layer_protection"
+  "bench_fig4_single_layer_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_single_layer_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

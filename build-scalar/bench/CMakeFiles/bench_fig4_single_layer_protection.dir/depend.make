@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_single_layer_protection.
+# This may be replaced when dependencies are built.

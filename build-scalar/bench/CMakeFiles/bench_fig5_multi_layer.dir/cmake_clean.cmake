@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_multi_layer.dir/bench_fig5_multi_layer.cpp.o"
+  "CMakeFiles/bench_fig5_multi_layer.dir/bench_fig5_multi_layer.cpp.o.d"
+  "bench_fig5_multi_layer"
+  "bench_fig5_multi_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_multi_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_privacy_grid.dir/bench_fig6_privacy_grid.cpp.o"
+  "CMakeFiles/bench_fig6_privacy_grid.dir/bench_fig6_privacy_grid.cpp.o.d"
+  "bench_fig6_privacy_grid"
+  "bench_fig6_privacy_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_privacy_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_noniid.dir/bench_fig8_noniid.cpp.o"
+  "CMakeFiles/bench_fig8_noniid.dir/bench_fig8_noniid.cpp.o.d"
+  "bench_fig8_noniid"
+  "bench_fig8_noniid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_noniid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dinar_bench_harness.dir/harness/experiment.cpp.o"
+  "CMakeFiles/dinar_bench_harness.dir/harness/experiment.cpp.o.d"
+  "libdinar_bench_harness.a"
+  "libdinar_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dinar_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

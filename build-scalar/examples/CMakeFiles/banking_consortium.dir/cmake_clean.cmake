@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banking_consortium.dir/banking_consortium.cpp.o"
+  "CMakeFiles/banking_consortium.dir/banking_consortium.cpp.o.d"
+  "banking_consortium"
+  "banking_consortium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banking_consortium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

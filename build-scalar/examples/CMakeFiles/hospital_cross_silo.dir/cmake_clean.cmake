@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hospital_cross_silo.dir/hospital_cross_silo.cpp.o"
+  "CMakeFiles/hospital_cross_silo.dir/hospital_cross_silo.cpp.o.d"
+  "hospital_cross_silo"
+  "hospital_cross_silo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hospital_cross_silo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

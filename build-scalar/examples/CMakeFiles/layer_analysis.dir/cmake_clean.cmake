@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layer_analysis.dir/layer_analysis.cpp.o"
+  "CMakeFiles/layer_analysis.dir/layer_analysis.cpp.o.d"
+  "layer_analysis"
+  "layer_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layer_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dinar_attack.dir/attack_model.cpp.o"
+  "CMakeFiles/dinar_attack.dir/attack_model.cpp.o.d"
+  "CMakeFiles/dinar_attack.dir/evaluation.cpp.o"
+  "CMakeFiles/dinar_attack.dir/evaluation.cpp.o.d"
+  "CMakeFiles/dinar_attack.dir/features.cpp.o"
+  "CMakeFiles/dinar_attack.dir/features.cpp.o.d"
+  "CMakeFiles/dinar_attack.dir/mia.cpp.o"
+  "CMakeFiles/dinar_attack.dir/mia.cpp.o.d"
+  "CMakeFiles/dinar_attack.dir/threshold_mia.cpp.o"
+  "CMakeFiles/dinar_attack.dir/threshold_mia.cpp.o.d"
+  "libdinar_attack.a"
+  "libdinar_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dinar_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

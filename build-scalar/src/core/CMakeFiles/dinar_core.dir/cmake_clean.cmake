@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dinar_core.dir/consensus.cpp.o"
+  "CMakeFiles/dinar_core.dir/consensus.cpp.o.d"
+  "CMakeFiles/dinar_core.dir/dinar.cpp.o"
+  "CMakeFiles/dinar_core.dir/dinar.cpp.o.d"
+  "CMakeFiles/dinar_core.dir/dinar_defense.cpp.o"
+  "CMakeFiles/dinar_core.dir/dinar_defense.cpp.o.d"
+  "CMakeFiles/dinar_core.dir/obfuscation.cpp.o"
+  "CMakeFiles/dinar_core.dir/obfuscation.cpp.o.d"
+  "CMakeFiles/dinar_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/dinar_core.dir/sensitivity.cpp.o.d"
+  "libdinar_core.a"
+  "libdinar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dinar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dinar_data.dir/dataset.cpp.o"
+  "CMakeFiles/dinar_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/dinar_data.dir/partition.cpp.o"
+  "CMakeFiles/dinar_data.dir/partition.cpp.o.d"
+  "CMakeFiles/dinar_data.dir/splits.cpp.o"
+  "CMakeFiles/dinar_data.dir/splits.cpp.o.d"
+  "CMakeFiles/dinar_data.dir/synthetic.cpp.o"
+  "CMakeFiles/dinar_data.dir/synthetic.cpp.o.d"
+  "libdinar_data.a"
+  "libdinar_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dinar_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

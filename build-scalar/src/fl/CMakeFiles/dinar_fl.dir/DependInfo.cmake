@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fl/client.cpp" "src/fl/CMakeFiles/dinar_fl.dir/client.cpp.o" "gcc" "src/fl/CMakeFiles/dinar_fl.dir/client.cpp.o.d"
+  "/root/repo/src/fl/faults.cpp" "src/fl/CMakeFiles/dinar_fl.dir/faults.cpp.o" "gcc" "src/fl/CMakeFiles/dinar_fl.dir/faults.cpp.o.d"
+  "/root/repo/src/fl/message.cpp" "src/fl/CMakeFiles/dinar_fl.dir/message.cpp.o" "gcc" "src/fl/CMakeFiles/dinar_fl.dir/message.cpp.o.d"
+  "/root/repo/src/fl/robust_aggregator.cpp" "src/fl/CMakeFiles/dinar_fl.dir/robust_aggregator.cpp.o" "gcc" "src/fl/CMakeFiles/dinar_fl.dir/robust_aggregator.cpp.o.d"
+  "/root/repo/src/fl/server.cpp" "src/fl/CMakeFiles/dinar_fl.dir/server.cpp.o" "gcc" "src/fl/CMakeFiles/dinar_fl.dir/server.cpp.o.d"
+  "/root/repo/src/fl/simulation.cpp" "src/fl/CMakeFiles/dinar_fl.dir/simulation.cpp.o" "gcc" "src/fl/CMakeFiles/dinar_fl.dir/simulation.cpp.o.d"
+  "/root/repo/src/fl/trainer.cpp" "src/fl/CMakeFiles/dinar_fl.dir/trainer.cpp.o" "gcc" "src/fl/CMakeFiles/dinar_fl.dir/trainer.cpp.o.d"
+  "/root/repo/src/fl/transport.cpp" "src/fl/CMakeFiles/dinar_fl.dir/transport.cpp.o" "gcc" "src/fl/CMakeFiles/dinar_fl.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-scalar/src/nn/CMakeFiles/dinar_nn.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/opt/CMakeFiles/dinar_opt.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/data/CMakeFiles/dinar_data.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/tensor/CMakeFiles/dinar_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/util/CMakeFiles/dinar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

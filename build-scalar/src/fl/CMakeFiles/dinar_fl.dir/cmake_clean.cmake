@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dinar_fl.dir/client.cpp.o"
+  "CMakeFiles/dinar_fl.dir/client.cpp.o.d"
+  "CMakeFiles/dinar_fl.dir/faults.cpp.o"
+  "CMakeFiles/dinar_fl.dir/faults.cpp.o.d"
+  "CMakeFiles/dinar_fl.dir/message.cpp.o"
+  "CMakeFiles/dinar_fl.dir/message.cpp.o.d"
+  "CMakeFiles/dinar_fl.dir/robust_aggregator.cpp.o"
+  "CMakeFiles/dinar_fl.dir/robust_aggregator.cpp.o.d"
+  "CMakeFiles/dinar_fl.dir/server.cpp.o"
+  "CMakeFiles/dinar_fl.dir/server.cpp.o.d"
+  "CMakeFiles/dinar_fl.dir/simulation.cpp.o"
+  "CMakeFiles/dinar_fl.dir/simulation.cpp.o.d"
+  "CMakeFiles/dinar_fl.dir/trainer.cpp.o"
+  "CMakeFiles/dinar_fl.dir/trainer.cpp.o.d"
+  "CMakeFiles/dinar_fl.dir/transport.cpp.o"
+  "CMakeFiles/dinar_fl.dir/transport.cpp.o.d"
+  "libdinar_fl.a"
+  "libdinar_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dinar_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/dinar_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/dinar_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/conv1d.cpp" "src/nn/CMakeFiles/dinar_nn.dir/conv1d.cpp.o" "gcc" "src/nn/CMakeFiles/dinar_nn.dir/conv1d.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/dinar_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/dinar_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/conv_kernels.cpp" "src/nn/CMakeFiles/dinar_nn.dir/conv_kernels.cpp.o" "gcc" "src/nn/CMakeFiles/dinar_nn.dir/conv_kernels.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/dinar_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/dinar_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/nn/CMakeFiles/dinar_nn.dir/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/dinar_nn.dir/dropout.cpp.o.d"
+  "/root/repo/src/nn/flat_params.cpp" "src/nn/CMakeFiles/dinar_nn.dir/flat_params.cpp.o" "gcc" "src/nn/CMakeFiles/dinar_nn.dir/flat_params.cpp.o.d"
+  "/root/repo/src/nn/flatten.cpp" "src/nn/CMakeFiles/dinar_nn.dir/flatten.cpp.o" "gcc" "src/nn/CMakeFiles/dinar_nn.dir/flatten.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/dinar_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/dinar_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/dinar_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/dinar_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/model_zoo.cpp" "src/nn/CMakeFiles/dinar_nn.dir/model_zoo.cpp.o" "gcc" "src/nn/CMakeFiles/dinar_nn.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/nn/CMakeFiles/dinar_nn.dir/pooling.cpp.o" "gcc" "src/nn/CMakeFiles/dinar_nn.dir/pooling.cpp.o.d"
+  "/root/repo/src/nn/residual.cpp" "src/nn/CMakeFiles/dinar_nn.dir/residual.cpp.o" "gcc" "src/nn/CMakeFiles/dinar_nn.dir/residual.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-scalar/src/tensor/CMakeFiles/dinar_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/util/CMakeFiles/dinar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

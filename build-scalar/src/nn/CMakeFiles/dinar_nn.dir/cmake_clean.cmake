@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dinar_nn.dir/activations.cpp.o"
+  "CMakeFiles/dinar_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/dinar_nn.dir/conv1d.cpp.o"
+  "CMakeFiles/dinar_nn.dir/conv1d.cpp.o.d"
+  "CMakeFiles/dinar_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/dinar_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/dinar_nn.dir/conv_kernels.cpp.o"
+  "CMakeFiles/dinar_nn.dir/conv_kernels.cpp.o.d"
+  "CMakeFiles/dinar_nn.dir/dense.cpp.o"
+  "CMakeFiles/dinar_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/dinar_nn.dir/dropout.cpp.o"
+  "CMakeFiles/dinar_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/dinar_nn.dir/flat_params.cpp.o"
+  "CMakeFiles/dinar_nn.dir/flat_params.cpp.o.d"
+  "CMakeFiles/dinar_nn.dir/flatten.cpp.o"
+  "CMakeFiles/dinar_nn.dir/flatten.cpp.o.d"
+  "CMakeFiles/dinar_nn.dir/loss.cpp.o"
+  "CMakeFiles/dinar_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/dinar_nn.dir/model.cpp.o"
+  "CMakeFiles/dinar_nn.dir/model.cpp.o.d"
+  "CMakeFiles/dinar_nn.dir/model_zoo.cpp.o"
+  "CMakeFiles/dinar_nn.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/dinar_nn.dir/pooling.cpp.o"
+  "CMakeFiles/dinar_nn.dir/pooling.cpp.o.d"
+  "CMakeFiles/dinar_nn.dir/residual.cpp.o"
+  "CMakeFiles/dinar_nn.dir/residual.cpp.o.d"
+  "libdinar_nn.a"
+  "libdinar_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dinar_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/optimizers.cpp" "src/opt/CMakeFiles/dinar_opt.dir/optimizers.cpp.o" "gcc" "src/opt/CMakeFiles/dinar_opt.dir/optimizers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-scalar/src/nn/CMakeFiles/dinar_nn.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/tensor/CMakeFiles/dinar_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/util/CMakeFiles/dinar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

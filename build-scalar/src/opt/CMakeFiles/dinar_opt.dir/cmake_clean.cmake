@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dinar_opt.dir/optimizers.cpp.o"
+  "CMakeFiles/dinar_opt.dir/optimizers.cpp.o.d"
+  "libdinar_opt.a"
+  "libdinar_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dinar_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdinar_opt.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dinar_privacy.dir/defense_catalog.cpp.o"
+  "CMakeFiles/dinar_privacy.dir/defense_catalog.cpp.o.d"
+  "CMakeFiles/dinar_privacy.dir/dp.cpp.o"
+  "CMakeFiles/dinar_privacy.dir/dp.cpp.o.d"
+  "CMakeFiles/dinar_privacy.dir/gradient_compression.cpp.o"
+  "CMakeFiles/dinar_privacy.dir/gradient_compression.cpp.o.d"
+  "CMakeFiles/dinar_privacy.dir/secure_aggregation.cpp.o"
+  "CMakeFiles/dinar_privacy.dir/secure_aggregation.cpp.o.d"
+  "libdinar_privacy.a"
+  "libdinar_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dinar_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

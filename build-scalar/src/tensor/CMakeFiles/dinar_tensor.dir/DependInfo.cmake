@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/cpu_features.cpp" "src/tensor/CMakeFiles/dinar_tensor.dir/cpu_features.cpp.o" "gcc" "src/tensor/CMakeFiles/dinar_tensor.dir/cpu_features.cpp.o.d"
+  "/root/repo/src/tensor/gemm_kernels_scalar.cpp" "src/tensor/CMakeFiles/dinar_tensor.dir/gemm_kernels_scalar.cpp.o" "gcc" "src/tensor/CMakeFiles/dinar_tensor.dir/gemm_kernels_scalar.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/tensor/CMakeFiles/dinar_tensor.dir/tensor.cpp.o" "gcc" "src/tensor/CMakeFiles/dinar_tensor.dir/tensor.cpp.o.d"
+  "/root/repo/src/tensor/tensor_serde.cpp" "src/tensor/CMakeFiles/dinar_tensor.dir/tensor_serde.cpp.o" "gcc" "src/tensor/CMakeFiles/dinar_tensor.dir/tensor_serde.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-scalar/src/util/CMakeFiles/dinar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dinar_tensor.dir/cpu_features.cpp.o"
+  "CMakeFiles/dinar_tensor.dir/cpu_features.cpp.o.d"
+  "CMakeFiles/dinar_tensor.dir/gemm_kernels_scalar.cpp.o"
+  "CMakeFiles/dinar_tensor.dir/gemm_kernels_scalar.cpp.o.d"
+  "CMakeFiles/dinar_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/dinar_tensor.dir/tensor.cpp.o.d"
+  "CMakeFiles/dinar_tensor.dir/tensor_serde.cpp.o"
+  "CMakeFiles/dinar_tensor.dir/tensor_serde.cpp.o.d"
+  "libdinar_tensor.a"
+  "libdinar_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dinar_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

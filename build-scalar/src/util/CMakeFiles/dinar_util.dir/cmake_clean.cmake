@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dinar_util.dir/execution_context.cpp.o"
+  "CMakeFiles/dinar_util.dir/execution_context.cpp.o.d"
+  "CMakeFiles/dinar_util.dir/logging.cpp.o"
+  "CMakeFiles/dinar_util.dir/logging.cpp.o.d"
+  "CMakeFiles/dinar_util.dir/memory_tracker.cpp.o"
+  "CMakeFiles/dinar_util.dir/memory_tracker.cpp.o.d"
+  "CMakeFiles/dinar_util.dir/rng.cpp.o"
+  "CMakeFiles/dinar_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dinar_util.dir/stats.cpp.o"
+  "CMakeFiles/dinar_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dinar_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/dinar_util.dir/thread_pool.cpp.o.d"
+  "libdinar_util.a"
+  "libdinar_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dinar_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

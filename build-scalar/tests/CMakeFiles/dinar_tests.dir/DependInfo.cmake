@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/attack_test.cpp" "tests/CMakeFiles/dinar_tests.dir/attack_test.cpp.o" "gcc" "tests/CMakeFiles/dinar_tests.dir/attack_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/dinar_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/dinar_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/data_test.cpp" "tests/CMakeFiles/dinar_tests.dir/data_test.cpp.o" "gcc" "tests/CMakeFiles/dinar_tests.dir/data_test.cpp.o.d"
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/dinar_tests.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/dinar_tests.dir/extensions_test.cpp.o.d"
+  "/root/repo/tests/fl_byzantine_test.cpp" "tests/CMakeFiles/dinar_tests.dir/fl_byzantine_test.cpp.o" "gcc" "tests/CMakeFiles/dinar_tests.dir/fl_byzantine_test.cpp.o.d"
+  "/root/repo/tests/fl_faults_test.cpp" "tests/CMakeFiles/dinar_tests.dir/fl_faults_test.cpp.o" "gcc" "tests/CMakeFiles/dinar_tests.dir/fl_faults_test.cpp.o.d"
+  "/root/repo/tests/fl_parallel_test.cpp" "tests/CMakeFiles/dinar_tests.dir/fl_parallel_test.cpp.o" "gcc" "tests/CMakeFiles/dinar_tests.dir/fl_parallel_test.cpp.o.d"
+  "/root/repo/tests/fl_test.cpp" "tests/CMakeFiles/dinar_tests.dir/fl_test.cpp.o" "gcc" "tests/CMakeFiles/dinar_tests.dir/fl_test.cpp.o.d"
+  "/root/repo/tests/flat_params_test.cpp" "tests/CMakeFiles/dinar_tests.dir/flat_params_test.cpp.o" "gcc" "tests/CMakeFiles/dinar_tests.dir/flat_params_test.cpp.o.d"
+  "/root/repo/tests/gemm_kernel_test.cpp" "tests/CMakeFiles/dinar_tests.dir/gemm_kernel_test.cpp.o" "gcc" "tests/CMakeFiles/dinar_tests.dir/gemm_kernel_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/dinar_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/dinar_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/nn_layers_test.cpp" "tests/CMakeFiles/dinar_tests.dir/nn_layers_test.cpp.o" "gcc" "tests/CMakeFiles/dinar_tests.dir/nn_layers_test.cpp.o.d"
+  "/root/repo/tests/nn_model_test.cpp" "tests/CMakeFiles/dinar_tests.dir/nn_model_test.cpp.o" "gcc" "tests/CMakeFiles/dinar_tests.dir/nn_model_test.cpp.o.d"
+  "/root/repo/tests/opt_test.cpp" "tests/CMakeFiles/dinar_tests.dir/opt_test.cpp.o" "gcc" "tests/CMakeFiles/dinar_tests.dir/opt_test.cpp.o.d"
+  "/root/repo/tests/privacy_test.cpp" "tests/CMakeFiles/dinar_tests.dir/privacy_test.cpp.o" "gcc" "tests/CMakeFiles/dinar_tests.dir/privacy_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/dinar_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/dinar_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/serde_format_test.cpp" "tests/CMakeFiles/dinar_tests.dir/serde_format_test.cpp.o" "gcc" "tests/CMakeFiles/dinar_tests.dir/serde_format_test.cpp.o.d"
+  "/root/repo/tests/tensor_test.cpp" "tests/CMakeFiles/dinar_tests.dir/tensor_test.cpp.o" "gcc" "tests/CMakeFiles/dinar_tests.dir/tensor_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/dinar_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/dinar_tests.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-scalar/src/core/CMakeFiles/dinar_core.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/attack/CMakeFiles/dinar_attack.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/privacy/CMakeFiles/dinar_privacy.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/fl/CMakeFiles/dinar_fl.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/opt/CMakeFiles/dinar_opt.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/data/CMakeFiles/dinar_data.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/nn/CMakeFiles/dinar_nn.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/tensor/CMakeFiles/dinar_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/util/CMakeFiles/dinar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

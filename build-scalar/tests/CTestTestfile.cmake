@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-scalar/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-scalar/tests/dinar_tests[1]_include.cmake")
+add_test(fl_parallel_determinism_scalar_kernel "/root/repo/build-scalar/tests/dinar_tests" "--gtest_filter=ParallelDeterminismTest.*:GemmParallelTest.*")
+set_tests_properties(fl_parallel_determinism_scalar_kernel PROPERTIES  ENVIRONMENT "DINAR_GEMM_KERNEL=scalar" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;36;add_test;/root/repo/tests/CMakeLists.txt;0;")
