@@ -58,4 +58,23 @@ nn::FlatParams DinarDefense::before_upload(nn::Model& model, nn::FlatParams para
   return params;
 }
 
+void DinarDefense::save_state(BinaryWriter& w) const {
+  w.write_u64(stored_private_.size());
+  for (const nn::FlatParams& p : stored_private_) nn::write_flat_params(w, p);
+  rng_.save_state(w);
+}
+
+void DinarDefense::restore_state(BinaryReader& r) {
+  const std::uint64_t n = r.read_u64();
+  DINAR_CHECK(n == protected_layers_.size(),
+              "DINAR state holds " << n << " private layers, defense protects "
+                                   << protected_layers_.size());
+  // initialize() ran during reconstruction, so stored_private_ is sized;
+  // overwrite each slot with the persisted theta_p^*.
+  stored_private_.clear();
+  for (std::uint64_t i = 0; i < n; ++i)
+    stored_private_.push_back(nn::read_flat_params(r));
+  rng_.restore_state(r);
+}
+
 }  // namespace dinar::core

@@ -32,6 +32,12 @@ class DinarDefense final : public fl::ClientDefense {
   nn::FlatParams before_upload(nn::Model& model, nn::FlatParams params,
                                std::int64_t num_samples, bool& pre_weighted) override;
 
+  // Durable-state serde: theta_p^* per protected layer + the obfuscation
+  // RNG, so a crash-recovered client re-personalizes and re-obfuscates
+  // bit-identically to the uninterrupted run.
+  void save_state(BinaryWriter& w) const override;
+  void restore_state(BinaryReader& r) override;
+
   const std::vector<std::size_t>& protected_layers() const { return protected_layers_; }
 
  private:

@@ -46,4 +46,31 @@ ModelUpdateMsg FlClient::train_round() {
   return msg;
 }
 
+void FlClient::save_state(BinaryWriter& w) const {
+  w.write_i64(round_);
+  w.write_f64(last_stats_.mean_loss);
+  w.write_f64(last_stats_.accuracy);
+  w.write_i64(last_stats_.steps);
+  rng_.save_state(w);
+  nn::write_flat_params(w, const_cast<nn::Model&>(model_).parameters());
+  w.write_string(defense_->name());
+  defense_->save_state(w);
+}
+
+void FlClient::restore_state(BinaryReader& r) {
+  round_ = r.read_i64();
+  last_stats_.mean_loss = r.read_f64();
+  last_stats_.accuracy = r.read_f64();
+  last_stats_.steps = r.read_i64();
+  rng_.restore_state(r);
+  model_.set_parameters(nn::read_flat_params(r));
+  const std::string defense_name = r.read_string();
+  DINAR_CHECK(defense_name == defense_->name(),
+              "client " << id_ << " state was saved with defense '" << defense_name
+                        << "' but is restoring into '" << defense_->name()
+                        << "' — reconstruct the simulation with the original "
+                        << "defense bundle");
+  defense_->restore_state(r);
+}
+
 }  // namespace dinar::fl

@@ -51,6 +51,17 @@ class FlClient {
   const CumulativeTimer& train_timer() const { return train_timer_; }
   const CumulativeTimer& defense_timer() const { return defense_timer_; }
 
+  // -- durable-state serde --------------------------------------------------
+  // Everything that carries across rounds: the personalized model, the
+  // sequential training RNG stream, the round counter, the last training
+  // stats, and the defense's private state. Optimizer accumulators are
+  // deliberately absent — Algorithm 1 resets them at every round start, so
+  // they hold no cross-round information. Wall-clock timers are also
+  // excluded (measurement, not state). A restored client continues
+  // bit-identically to the uninterrupted one.
+  void save_state(BinaryWriter& w) const;
+  void restore_state(BinaryReader& r);
+
  private:
   int id_;
   data::Dataset train_data_;

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "nn/model.h"
+#include "util/serde.h"
 
 namespace dinar::fl {
 
@@ -22,6 +23,15 @@ class ClientDefense {
   virtual ~ClientDefense() = default;
 
   virtual std::string name() const = 0;
+
+  // -- durable-state serde --------------------------------------------------
+  // Defenses that carry cross-round state (DINAR's stored private layers
+  // and its obfuscation RNG) persist it here so a crash-recovered client
+  // resumes bit-identically. Stateless defenses inherit the no-ops. The
+  // durable store tags the bytes with name(), so a restore into a
+  // different defense fails loudly instead of misparsing.
+  virtual void save_state(BinaryWriter& /*w*/) const {}
+  virtual void restore_state(BinaryReader& /*r*/) {}
 
   // Invoked once before the first round, after the client's model exists.
   virtual void initialize(nn::Model& /*model*/, int /*client_id*/) {}
@@ -50,6 +60,10 @@ class ServerDefense {
 
   // Aggregation produced `params`; mutate before broadcast (CDP noise).
   virtual void after_aggregate(nn::FlatParams& /*params*/) {}
+
+  // Durable-state serde; see ClientDefense.
+  virtual void save_state(BinaryWriter& /*w*/) const {}
+  virtual void restore_state(BinaryReader& /*r*/) {}
 };
 
 // Pass-through defenses: the paper's "no defense" baseline.

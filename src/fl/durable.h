@@ -1,0 +1,75 @@
+// Durable-state wire formats for the FL simulation.
+//
+// The generic store (store/round_store.h) moves opaque blobs; this header
+// defines what the simulation puts inside them:
+//
+//  - WAL round record (kind kRoundCommit): everything round N changed —
+//    the RoundOutcome event-log entry, an XOR bit-delta of the global
+//    model arena (XOR, not subtraction: float arithmetic does not round-
+//    trip, XOR of bit patterns reconstructs the new arena exactly), the
+//    full post-round state of every client that participated (model,
+//    training-RNG stream, defense state), and the absolute post-round
+//    transport/fault/attack counters. Replaying a record is O(changed
+//    state), not O(run length) — that is the O(delta) resume.
+//
+//  - WAL eval record (kind kEvalRecord): one RoundRecord appended to the
+//    accuracy history at an eval round.
+//
+//  - Full-state snapshot ("DFST"): the complete simulation state the WAL
+//    records patch — server, all clients, both logs, all counters. The
+//    store compacts the WAL onto one of these periodically. A legacy DCKP
+//    checkpoint (global model + round only) is also accepted as a snapshot
+//    payload: recovery detects the magic and falls back to the
+//    server-only restore path.
+//
+// All read_* functions validate lengths against the remaining buffer and
+// throw dinar::Error on malformed input; recovery treats such a throw as
+// a corrupt record and stops replay there (longest-valid-prefix
+// semantics), never crashing.
+#pragma once
+
+#include <cstdint>
+
+#include "fl/simulation.h"
+#include "store/round_store.h"
+
+namespace dinar::fl {
+
+// First byte of every WAL record payload.
+enum class WalRecordKind : std::uint8_t {
+  kRoundCommit = 1,
+  kEvalRecord = 2,
+};
+
+// Magic + version of the full-state snapshot payload.
+inline constexpr std::uint32_t kFullStateMagic = 0x54534644;  // "DFST"
+inline constexpr std::uint32_t kFullStateVersion = 1;
+// Magic of the legacy monolithic checkpoint (simulation.cpp's DCKP),
+// re-declared here so recovery can sniff snapshot payloads.
+inline constexpr std::uint32_t kLegacyCheckpointMagic = 0x44434B50;  // "DCKP"
+
+// -- protocol-struct serde ---------------------------------------------------
+void write_round_outcome(BinaryWriter& w, const RoundOutcome& out);
+RoundOutcome read_round_outcome(BinaryReader& r);
+
+void write_round_record(BinaryWriter& w, const RoundRecord& rec);
+RoundRecord read_round_record(BinaryReader& r);
+
+void write_fault_stats(BinaryWriter& w, const FaultStats& s);
+FaultStats read_fault_stats(BinaryReader& r);
+
+void write_transport_stats(BinaryWriter& w, const TransportStats& s);
+TransportStats read_transport_stats(BinaryReader& r);
+
+void write_attack_stats(BinaryWriter& w, const AttackStats& s);
+AttackStats read_attack_stats(BinaryReader& r);
+
+// -- legacy import -----------------------------------------------------------
+// Installs a monolithic DCKP checkpoint file as the store's snapshot, so a
+// pre-store run can be continued under the durable protocol. Returns the
+// checkpoint's round (used as the snapshot label). Throws dinar::Error if
+// the file is missing or not a DCKP checkpoint.
+std::int64_t import_legacy_checkpoint(store::RoundStore& store,
+                                      const std::string& dckp_path);
+
+}  // namespace dinar::fl

@@ -128,6 +128,9 @@ class FaultInjector {
   const FaultConfig& config() const { return config_; }
   const FaultStats& stats() const { return stats_; }
   void reset_stats() { stats_ = FaultStats{}; }
+  // Crash recovery: installs persisted cumulative counters verbatim so
+  // per-round fault deltas keep subtracting against the right baseline.
+  void restore_stats(const FaultStats& stats) { stats_ = stats; }
 
  private:
   static void corrupt_bytes(std::vector<std::uint8_t>& payload, Rng& rng);
@@ -203,6 +206,8 @@ class AdversaryEngine {
 
   const AdversaryConfig& config() const { return config_; }
   const AttackStats& stats() const { return stats_; }
+  // Crash recovery: installs persisted cumulative attack counters.
+  void restore_stats(const AttackStats& stats) { stats_ = stats; }
 
  private:
   void record(AttackType type);

@@ -1,6 +1,7 @@
 #include "fl/simulation.h"
 
 #include <algorithm>
+#include <bit>
 #include <fstream>
 #include <iterator>
 #include <map>
@@ -8,6 +9,10 @@
 #include <optional>
 #include <unordered_set>
 
+#include "fl/durable.h"
+#include "store/io.h"
+#include "store/round_store.h"
+#include "util/crashpoint.h"
 #include "util/error.h"
 #include "util/logging.h"
 
@@ -148,6 +153,7 @@ void FederatedSimulation::run() {
     if (last || (config_.eval_every > 0 && r % config_.eval_every == 0)) {
       history_.push_back(evaluate_now());
       const RoundRecord& rec = history_.back();
+      if (store_ != nullptr) append_eval_to_store(rec);
       DINAR_INFO << "round " << rec.round << ": global acc "
                  << rec.global_test_accuracy << ", personalized acc "
                  << rec.personalized_test_accuracy;
@@ -193,6 +199,11 @@ const RoundOutcome& FederatedSimulation::run_round() {
   if (adversary_ != nullptr) adversary_->begin_round(round);
   const FaultStats fault_before = faults != nullptr ? faults->stats() : FaultStats{};
 
+  // Durable operation: remember the pre-round global arena (the XOR-delta
+  // base of this round's WAL record).
+  nn::FlatParams prev_global;
+  if (store_ != nullptr) prev_global = server_->global_params();
+
   RoundOutcome out;
   out.round = round;
   out.aggregator = server_->aggregator().name();
@@ -228,6 +239,10 @@ const RoundOutcome& FederatedSimulation::run_round() {
   const std::size_t live = pending.size();
   const std::size_t quorum =
       config_.min_clients == 0 ? live : std::min(config_.min_clients, live);
+  // Clients whose cross-round state (training RNG, personalized model,
+  // defense) this round may advance — every live participant, including
+  // ones later quarantined or lost (their local training still ran).
+  const std::vector<std::size_t> touched = pending;
 
   const GlobalModelMsg broadcast_msg = server_->broadcast();
   const std::vector<std::uint8_t> broadcast_bytes = broadcast_msg.serialize();
@@ -384,6 +399,17 @@ const RoundOutcome& FederatedSimulation::run_round() {
   if (faults != nullptr)
     out.fault_delta = fault_stats_delta(faults->stats(), fault_before);
   round_log_.push_back(std::move(out));
+
+  if (store_ != nullptr) {
+    // In-memory state is committed; a crash before the WAL append loses
+    // the round, and recovery re-runs it bit-identically (all round
+    // randomness is keyed by (seed, round); all sequential streams are in
+    // the previous record).
+    crashpoint("round.commit.mid");
+    append_round_to_store(round_log_.back(), prev_global, touched);
+    crashpoint("round.commit.post_append");
+    maybe_snapshot();
+  }
   return round_log_.back();
 }
 
@@ -397,11 +423,7 @@ void FederatedSimulation::save_checkpoint(BinaryWriter& w) const {
 void FederatedSimulation::save_checkpoint(const std::string& path) const {
   BinaryWriter w;
   save_checkpoint(w);
-  std::ofstream f(path, std::ios::binary | std::ios::trunc);
-  DINAR_CHECK(f.good(), "cannot open checkpoint file " << path);
-  f.write(reinterpret_cast<const char*>(w.buffer().data()),
-          static_cast<std::streamsize>(w.size()));
-  DINAR_CHECK(f.good(), "failed writing checkpoint file " << path);
+  store::atomic_write_file(path, w.buffer(), "checkpoint");
 }
 
 void FederatedSimulation::restore_checkpoint(BinaryReader& r) {
@@ -433,6 +455,261 @@ void FederatedSimulation::restore_checkpoint(const std::string& path) {
                                   std::istreambuf_iterator<char>());
   BinaryReader r(bytes);
   restore_checkpoint(r);
+}
+
+// -- durable round store ------------------------------------------------------
+
+void FederatedSimulation::attach_store(store::RoundStore* store, int snapshot_every) {
+  DINAR_CHECK(snapshot_every >= 1,
+              "attach_store snapshot_every = " << snapshot_every
+                                               << " — need at least 1");
+  store_ = store;
+  snapshot_every_ = snapshot_every;
+  rounds_since_snapshot_ = 0;
+}
+
+void FederatedSimulation::append_round_to_store(
+    const RoundOutcome& out, const nn::FlatParams& prev_global,
+    const std::vector<std::size_t>& touched) {
+  BinaryWriter w;
+  w.write_u8(static_cast<std::uint8_t>(WalRecordKind::kRoundCommit));
+  write_round_outcome(w, out);
+
+  // Global arena as an XOR bit-delta vs the pre-round arena. XOR rather
+  // than float subtraction: applying the delta must reconstruct the new
+  // arena *bit-exactly*, and float arithmetic does not round-trip.
+  const bool global_changed = !out.carried_forward;
+  w.write_u8(global_changed ? 1 : 0);
+  if (global_changed) {
+    const std::span<const float> now = server_->global_params().as_span();
+    const std::span<const float> before = prev_global.as_span();
+    DINAR_CHECK(now.size() == before.size(),
+                "global arena resized within round " << out.round);
+    std::vector<float> delta(now.size());
+    for (std::size_t i = 0; i < now.size(); ++i)
+      delta[i] = std::bit_cast<float>(std::bit_cast<std::uint32_t>(now[i]) ^
+                                      std::bit_cast<std::uint32_t>(before[i]));
+    w.write_f32_span(delta.data(), delta.size());
+  }
+
+  // Post-round state of every client the round touched (their training RNG
+  // streams and personalized models advanced even if the upload was lost).
+  w.write_u64(touched.size());
+  for (const std::size_t i : touched) {
+    w.write_u32(static_cast<std::uint32_t>(i));
+    clients_[i].save_state(w);
+  }
+
+  // Cumulative counters as absolute post-round values — doubles (the
+  // latency clock) do not reconstruct bit-exactly from deltas.
+  write_transport_stats(w, transport_.stats());
+  const FaultInjector* faults = transport_.faults();
+  w.write_u8(faults != nullptr ? 1 : 0);
+  if (faults != nullptr) write_fault_stats(w, faults->stats());
+  w.write_u8(adversary_ != nullptr ? 1 : 0);
+  if (adversary_ != nullptr) write_attack_stats(w, adversary_->stats());
+
+  store_->append(w.buffer());
+}
+
+void FederatedSimulation::append_eval_to_store(const RoundRecord& rec) {
+  BinaryWriter w;
+  w.write_u8(static_cast<std::uint8_t>(WalRecordKind::kEvalRecord));
+  write_round_record(w, rec);
+  store_->append(w.buffer());
+}
+
+void FederatedSimulation::maybe_snapshot() {
+  if (++rounds_since_snapshot_ < snapshot_every_) return;
+  BinaryWriter w;
+  save_full_state(w);
+  store_->install_snapshot(server_->round(), w.buffer());
+  rounds_since_snapshot_ = 0;
+}
+
+void FederatedSimulation::save_full_state(BinaryWriter& w) const {
+  w.write_u32(kFullStateMagic);
+  w.write_u32(kFullStateVersion);
+  // Configuration fingerprint: recovery must run inside an identically
+  // configured simulation or the replayed schedules diverge silently.
+  w.write_u64(config_.seed);
+  w.write_i64(config_.rounds);
+  w.write_u64(clients_.size());
+
+  w.write_i64(server_->round());
+  nn::write_flat_params(w, server_->global_params());
+  for (const FlClient& c : clients_) c.save_state(w);
+
+  w.write_u64(history_.size());
+  for (const RoundRecord& rec : history_) write_round_record(w, rec);
+  w.write_u64(round_log_.size());
+  for (const RoundOutcome& out : round_log_) write_round_outcome(w, out);
+
+  write_transport_stats(w, transport_.stats());
+  const FaultInjector* faults = transport_.faults();
+  w.write_u8(faults != nullptr ? 1 : 0);
+  if (faults != nullptr) write_fault_stats(w, faults->stats());
+  w.write_u8(adversary_ != nullptr ? 1 : 0);
+  if (adversary_ != nullptr) write_attack_stats(w, adversary_->stats());
+}
+
+void FederatedSimulation::restore_full_state(BinaryReader& r) {
+  DINAR_CHECK(r.read_u32() == kFullStateMagic, "not a DFST full-state snapshot");
+  const std::uint32_t version = r.read_u32();
+  DINAR_CHECK(version == kFullStateVersion,
+              "unsupported full-state version " << version);
+  const std::uint64_t seed = r.read_u64();
+  DINAR_CHECK(seed == config_.seed, "snapshot seed " << seed
+                                                     << " != configured seed "
+                                                     << config_.seed);
+  const std::int64_t rounds = r.read_i64();
+  DINAR_CHECK(rounds == config_.rounds,
+              "snapshot configured for " << rounds << " rounds, simulation for "
+                                         << config_.rounds);
+  const std::uint64_t num_clients = r.read_u64();
+  DINAR_CHECK(num_clients == clients_.size(),
+              "snapshot has " << num_clients << " clients, simulation has "
+                              << clients_.size());
+
+  const std::int64_t round = r.read_i64();
+  nn::FlatParams global = nn::read_flat_params(r);
+  server_->restore(round, std::move(global));
+  for (FlClient& c : clients_) c.restore_state(r);
+
+  const std::uint64_t nh = r.read_length(1);
+  history_.clear();
+  history_.reserve(nh);
+  for (std::uint64_t i = 0; i < nh; ++i) history_.push_back(read_round_record(r));
+  const std::uint64_t nl = r.read_length(1);
+  round_log_.clear();
+  round_log_.reserve(nl);
+  for (std::uint64_t i = 0; i < nl; ++i) round_log_.push_back(read_round_outcome(r));
+
+  transport_.restore_stats(read_transport_stats(r));
+  if (r.read_u8() != 0) {
+    const FaultStats fs = read_fault_stats(r);
+    if (transport_.faults() != nullptr) transport_.faults()->restore_stats(fs);
+  }
+  if (r.read_u8() != 0) {
+    const AttackStats as = read_attack_stats(r);
+    if (adversary_ != nullptr) adversary_->restore_stats(as);
+  }
+  last_updates_.clear();
+}
+
+bool FederatedSimulation::apply_wal_record(BinaryReader& r) {
+  const std::uint8_t kind = r.read_u8();
+  if (kind == static_cast<std::uint8_t>(WalRecordKind::kEvalRecord)) {
+    const RoundRecord rec = read_round_record(r);
+    if (!history_.empty() && history_.back().round >= rec.round)
+      return false;  // duplicate (crash between append and compaction)
+    history_.push_back(rec);
+    return true;
+  }
+  DINAR_CHECK(kind == static_cast<std::uint8_t>(WalRecordKind::kRoundCommit),
+              "unknown WAL record kind " << static_cast<int>(kind));
+
+  const RoundOutcome out = read_round_outcome(r);
+  // Records at or below the server round were already absorbed by the
+  // snapshot, or duplicated by a crash between append and acknowledgment.
+  if (out.round < server_->round()) return false;
+  // A gap means a lost record between snapshot and WAL — the remainder of
+  // the log builds on unrecovered state, so replay must stop here.
+  DINAR_CHECK(out.round == server_->round(),
+              "WAL gap: record for round " << out.round << ", server at round "
+                                           << server_->round());
+
+  if (r.read_u8() != 0) {
+    std::vector<float> delta;
+    r.read_f32_span(delta);
+    nn::FlatParams global = server_->global_params();
+    const std::span<float> g = global.as_span();
+    DINAR_CHECK(delta.size() == g.size(),
+                "WAL round " << out.round << " delta has " << delta.size()
+                             << " floats, arena has " << g.size());
+    for (std::size_t i = 0; i < g.size(); ++i)
+      g[i] = std::bit_cast<float>(std::bit_cast<std::uint32_t>(g[i]) ^
+                                  std::bit_cast<std::uint32_t>(delta[i]));
+    server_->restore(out.round + 1, std::move(global));
+  } else {
+    server_->carry_forward();
+  }
+
+  const std::uint64_t n = r.read_length(sizeof(std::uint32_t));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint32_t id = r.read_u32();
+    DINAR_CHECK(id < clients_.size(),
+                "WAL round " << out.round << " patches client " << id
+                             << ", roster has " << clients_.size());
+    clients_[id].restore_state(r);
+  }
+
+  transport_.restore_stats(read_transport_stats(r));
+  if (r.read_u8() != 0) {
+    const FaultStats fs = read_fault_stats(r);
+    if (transport_.faults() != nullptr) transport_.faults()->restore_stats(fs);
+  }
+  if (r.read_u8() != 0) {
+    const AttackStats as = read_attack_stats(r);
+    if (adversary_ != nullptr) adversary_->restore_stats(as);
+  }
+  round_log_.push_back(out);
+  return true;
+}
+
+std::int64_t FederatedSimulation::recover_from_store() {
+  DINAR_CHECK(store_ != nullptr, "recover_from_store() without attach_store()");
+  const store::RoundStore::Recovered rec = store_->recover();
+
+  if (rec.snapshot.has_value()) {
+    // CRC already validated the bytes; sniff the payload magic to pick the
+    // restore path (full DFST state vs a legacy DCKP checkpoint installed
+    // via import_legacy_checkpoint).
+    BinaryReader probe(*rec.snapshot);
+    const std::uint32_t magic = probe.remaining() >= 4 ? probe.read_u32() : 0;
+    BinaryReader body(*rec.snapshot);
+    if (magic == kLegacyCheckpointMagic) {
+      restore_checkpoint(body);
+    } else {
+      restore_full_state(body);
+    }
+  }
+
+  // Replay the longest valid WAL prefix. A malformed record (bit flip that
+  // survived CRC, version skew) or a round gap throws — recovery keeps the
+  // prefix before it rather than crashing.
+  std::int64_t replayed = 0;
+  for (const std::vector<std::uint8_t>& bytes : rec.wal_records) {
+    try {
+      BinaryReader r(bytes);
+      const bool is_round =
+          !bytes.empty() &&
+          bytes[0] == static_cast<std::uint8_t>(WalRecordKind::kRoundCommit);
+      if (apply_wal_record(r) && is_round) ++replayed;
+    } catch (const Error& e) {
+      DINAR_INFO << "WAL replay stopped: " << e.what();
+      break;
+    }
+  }
+  if (rec.wal_tail_discarded) {
+    DINAR_INFO << "WAL torn tail discarded";
+  }
+
+  // A crash between the round commit and its eval append loses the eval
+  // record; the eval is a pure function of the restored state, so
+  // recompute it (and make it durable) before resuming.
+  const std::int64_t round = server_->round();
+  const bool last = round >= config_.rounds;
+  const bool due =
+      round > 0 && (last || (config_.eval_every > 0 && round % config_.eval_every == 0));
+  if (due && (history_.empty() || history_.back().round < round)) {
+    history_.push_back(evaluate_now());
+    append_eval_to_store(history_.back());
+  }
+
+  last_updates_.clear();
+  rounds_since_snapshot_ = replayed;
+  return server_->round();
 }
 
 nn::Model FederatedSimulation::global_model() {

@@ -61,6 +61,10 @@
 #include "opt/optimizers.h"
 #include "util/execution_context.h"
 
+namespace dinar::store {
+class RoundStore;
+}
+
 namespace dinar::fl {
 
 // Factories that equip each participant with its defense; the default
@@ -206,9 +210,42 @@ class FederatedSimulation {
   // returns its event log entry.
   const RoundOutcome& run_round();
 
+  // -- durable round store (crash-consistent operation) --------------------
+  // Attaches a write-ahead round store: every committed round appends one
+  // fsynced WAL record (O(changed state): the RoundOutcome, an XOR
+  // bit-delta of the global arena, the participants' post-round client
+  // state, absolute transport/fault/attack counters), and every
+  // `snapshot_every` rounds the WAL is compacted onto a full-state
+  // snapshot. After kill -9 at ANY instruction, recover_from_store()
+  // rebuilds a state bit-identical to some committed round boundary and
+  // the re-run of any lost round is bit-identical to the uninterrupted
+  // run (all round randomness is keyed by (seed, round); all sequential
+  // streams are part of the persisted state). The store must outlive the
+  // simulation; pass nullptr to detach.
+  void attach_store(store::RoundStore* store, int snapshot_every = 8);
+
+  // Rebuilds this (freshly constructed, identically configured)
+  // simulation from the attached store: newest valid snapshot, then the
+  // longest valid WAL prefix replayed on top. Tolerates torn tails,
+  // truncation, bit flips, duplicate round records and records already
+  // absorbed by the snapshot — corruption only shortens the replay, it
+  // never throws. A legacy DCKP v2 checkpoint installed as the snapshot
+  // (import_legacy_checkpoint) restores through the server-only path.
+  // Returns the recovered round count (server round after replay).
+  std::int64_t recover_from_store();
+
+  // Full simulation state (superset of save_checkpoint: server + every
+  // client's model/RNG/defense state + both logs + counters). This is the
+  // snapshot payload, and also what the crash matrix compares runs by.
+  void save_full_state(BinaryWriter& w) const;
+  void restore_full_state(BinaryReader& r);
+
   // -- checkpoint / resume ------------------------------------------------
   // Persists the global model + round counter (magic + version header).
   void save_checkpoint(BinaryWriter& w) const;
+  // Crash-safe: writes a temp file, fsyncs, then atomically renames over
+  // `path`, so a crash mid-write can never clobber the previous good
+  // checkpoint.
   void save_checkpoint(const std::string& path) const;
   // Restores a checkpoint into a freshly constructed simulation of the
   // same architecture; run() then completes the remaining rounds. The
@@ -260,6 +297,17 @@ class FederatedSimulation {
  private:
   void validate_config() const;
   std::vector<std::size_t> select_participants(std::int64_t round);
+  // Builds and durably appends round N's WAL record. `prev_global` is the
+  // pre-round global arena (XOR-delta base); `touched` the clients whose
+  // state the round may have advanced.
+  void append_round_to_store(const RoundOutcome& out, const nn::FlatParams& prev_global,
+                             const std::vector<std::size_t>& touched);
+  void append_eval_to_store(const RoundRecord& rec);
+  // Compacts the WAL onto a fresh full-state snapshot on cadence.
+  void maybe_snapshot();
+  // Applies one WAL record; returns false when the record is a stale
+  // duplicate (skip) — malformed records throw and the caller stops.
+  bool apply_wal_record(BinaryReader& r);
 
   nn::ModelFactory model_factory_;
   data::FlSplit split_;
@@ -275,6 +323,10 @@ class FederatedSimulation {
   std::vector<RoundRecord> history_;
   std::vector<RoundOutcome> round_log_;
   Rng rng_;
+  // Durable operation (null = volatile, the seed behavior).
+  store::RoundStore* store_ = nullptr;
+  int snapshot_every_ = 8;
+  std::int64_t rounds_since_snapshot_ = 0;
 };
 
 }  // namespace dinar::fl

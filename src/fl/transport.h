@@ -92,6 +92,11 @@ class Transport {
 
   const TransportStats& stats() const { return stats_; }
   void reset_stats() { stats_ = TransportStats{}; }
+  // Crash recovery: installs the persisted post-round counters verbatim
+  // (absolute values, not deltas, so the double-valued latency clock —
+  // which gates retry deadlines — matches the uninterrupted run bit for
+  // bit).
+  void restore_stats(const TransportStats& stats) { stats_ = stats; }
 
  private:
   void account(std::size_t bytes, bool up);

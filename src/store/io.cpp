@@ -1,0 +1,128 @@
+#include "store/io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "util/crashpoint.h"
+#include "util/error.h"
+
+namespace dinar::store {
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+// RAII fd that never throws from its destructor.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+  int release() {
+    const int f = fd;
+    fd = -1;
+    return f;
+  }
+};
+
+void write_all(int fd, const std::uint8_t* data, std::size_t n, const std::string& path) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      DINAR_CHECK(false, "write to " << path << " failed: " << std::strerror(errno));
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < n; ++i) c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::optional<std::vector<std::uint8_t>> read_file(const std::string& path) {
+  Fd f{::open(path.c_str(), O_RDONLY | O_CLOEXEC)};
+  if (f.fd < 0) {
+    if (errno == ENOENT) return std::nullopt;
+    DINAR_CHECK(false, "cannot open " << path << ": " << std::strerror(errno));
+  }
+  std::vector<std::uint8_t> bytes;
+  std::array<std::uint8_t, 1 << 16> buf;
+  for (;;) {
+    const ssize_t r = ::read(f.fd, buf.data(), buf.size());
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      DINAR_CHECK(false, "read from " << path << " failed: " << std::strerror(errno));
+    }
+    if (r == 0) break;
+    bytes.insert(bytes.end(), buf.data(), buf.data() + r);
+  }
+  return bytes;
+}
+
+void fsync_parent_dir(const std::string& path) {
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  Fd d{::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC)};
+  if (d.fd < 0) return;  // some filesystems refuse directory fds; best effort
+  ::fsync(d.fd);         // ditto for the sync itself
+}
+
+void atomic_write_file(const std::string& path, std::span<const std::uint8_t> bytes,
+                       const char* crash_site) {
+  const std::string site = crash_site == nullptr ? std::string() : crash_site;
+  const std::string tmp = path + ".tmp";
+  if (!site.empty()) crashpoint((site + ".pre_write").c_str());
+  {
+    Fd f{::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644)};
+    DINAR_CHECK(f.fd >= 0, "cannot create " << tmp << ": " << std::strerror(errno));
+    write_all(f.fd, bytes.data(), bytes.size(), tmp);
+    if (!site.empty()) crashpoint((site + ".pre_fsync").c_str());
+    DINAR_CHECK(::fsync(f.fd) == 0, "fsync of " << tmp << " failed: "
+                                                << std::strerror(errno));
+  }
+  if (!site.empty()) crashpoint((site + ".rename").c_str());
+  DINAR_CHECK(::rename(tmp.c_str(), path.c_str()) == 0,
+              "rename " << tmp << " -> " << path << " failed: "
+                        << std::strerror(errno));
+  fsync_parent_dir(path);
+}
+
+bool path_exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+void ensure_dir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  DINAR_CHECK(!ec, "cannot create directory " << dir << ": " << ec.message());
+}
+
+void remove_file(const std::string& path) {
+  if (::unlink(path.c_str()) == 0 || errno == ENOENT) return;
+  DINAR_CHECK(false, "cannot remove " << path << ": " << std::strerror(errno));
+}
+
+}  // namespace dinar::store

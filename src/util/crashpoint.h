@@ -1,0 +1,51 @@
+// Crashpoint injection: deterministic kill -9 at named code sites.
+//
+// Crash-consistency can only be tested by actually dying at the worst
+// moments — between a write and its fsync, between a temp file and its
+// rename — and checking that recovery rebuilds the exact pre-crash state.
+// A crashpoint is a named marker compiled into durability-critical code
+// paths (the WAL appender, the snapshot installer, the round commit).
+// When armed, the Nth execution of that marker terminates the process
+// immediately via _exit(): no stack unwinding, no destructors, no stream
+// flushes — the closest userspace approximation of `kill -9`, leaving on
+// disk exactly the bytes the kernel had received so far.
+//
+// Arming:
+//   - environment: DINAR_CRASHPOINT="wal.append.pre_fsync"     (1st hit)
+//                  DINAR_CRASHPOINT="wal.append.pre_fsync:3"   (3rd hit)
+//     parsed once at the first crashpoint() call in the process;
+//   - programmatic: crashpoint_arm(name, hit) / crashpoint_disarm() —
+//     used by in-process death tests (gtest EXPECT_EXIT forks a child,
+//     so the arm call inside the tested statement only affects the child).
+//
+// An unarmed crashpoint is a relaxed atomic load and costs nothing on the
+// hot path. The process exits with kCrashpointExitCode so drivers can
+// distinguish an injected crash from a real failure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dinar {
+
+// Exit code used by an armed crashpoint (mirrors a SIGKILLed process).
+inline constexpr int kCrashpointExitCode = 137;
+
+// Marks a crash site. If `name` is armed and this is the armed hit count,
+// the process dies via _exit(kCrashpointExitCode). Thread-safe.
+void crashpoint(const char* name);
+
+// Programmatic arming (overrides any environment arming). `hit` counts
+// executions of the named site: 1 = die on the first hit.
+void crashpoint_arm(const std::string& name, int hit = 1);
+void crashpoint_disarm();
+
+// True if a crashpoint is currently armed (env or programmatic).
+bool crashpoint_armed();
+
+// Every crashpoint site compiled into the durability paths, for drivers
+// that iterate the full kill matrix. Names are "<component>.<step>";
+// keep this list in sync with the crashpoint() call sites.
+const std::vector<std::string>& crashpoint_registry();
+
+}  // namespace dinar

@@ -129,4 +129,16 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
   return idx;
 }
 
+void Rng::save_state(BinaryWriter& w) const {
+  for (const std::uint64_t s : s_) w.write_u64(s);
+  w.write_f64(cached_gaussian_);
+  w.write_u8(has_cached_gaussian_ ? 1 : 0);
+}
+
+void Rng::restore_state(BinaryReader& r) {
+  for (std::uint64_t& s : s_) s = r.read_u64();
+  cached_gaussian_ = r.read_f64();
+  has_cached_gaussian_ = r.read_u8() != 0;
+}
+
 }  // namespace dinar

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/serde.h"
+
 namespace dinar {
 
 class Rng {
@@ -42,6 +44,14 @@ class Rng {
 
   // Fisher-Yates shuffle of indices [0, n).
   std::vector<std::size_t> permutation(std::size_t n);
+
+  // -- durable-state serde --------------------------------------------------
+  // The four xoshiro words plus the Box-Muller cache are the generator's
+  // entire state, so a restored stream continues bit-exactly where the
+  // saved one stopped (the durable round store persists per-client
+  // training streams this way).
+  void save_state(BinaryWriter& w) const;
+  void restore_state(BinaryReader& r);
 
   template <typename T>
   void shuffle(std::vector<T>& v) {

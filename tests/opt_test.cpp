@@ -54,7 +54,10 @@ TEST_P(OptimizerDescentTest, ParametersStayFinite) {
   data::Dataset d = make_easy_dataset(32, rng);
   auto optimizer = make_optimizer(GetParam(), 0.05);
   for (int i = 0; i < 30; ++i) step_once(model, *optimizer, d.features(), d.labels());
-  for (float v : model.parameters().as_span())
+  // Materialize before iterating: as_span() views the FlatParams arena, and
+  // a range-for keeps only the span alive, not the temporary it views.
+  const nn::FlatParams params = model.parameters();
+  for (float v : params.as_span())
     EXPECT_TRUE(std::isfinite(v)) << GetParam();
 }
 

@@ -1,0 +1,494 @@
+// Durable round store: WAL framing, torn-tail recovery, snapshot
+// fallback, crashpoint injection, and crash-consistent simulation
+// recovery (empty WAL, snapshot-only, duplicate records, legacy DCKP).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "fl/durable.h"
+#include "fl/simulation.h"
+#include "store/io.h"
+#include "store/round_store.h"
+#include "store/wal.h"
+#include "test_helpers.h"
+#include "util/crashpoint.h"
+#include "util/error.h"
+
+namespace dinar {
+namespace {
+
+namespace fs = std::filesystem;
+using dinar::testing::make_easy_dataset;
+using dinar::testing::tiny_mlp_factory;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "dinar_store_test/" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::vector<std::uint8_t> bytes_of(std::initializer_list<int> v) {
+  std::vector<std::uint8_t> out;
+  for (int x : v) out.push_back(static_cast<std::uint8_t>(x));
+  return out;
+}
+
+void write_raw(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(f.good());
+}
+
+// ------------------------------------------------------------------ crc32 --
+
+TEST(Crc32Test, KnownAnswer) {
+  const char* s = "123456789";
+  EXPECT_EQ(store::crc32(s, 9), 0xCBF43926u);
+}
+
+TEST(Crc32Test, SeedChainsBuffers) {
+  const char* s = "123456789";
+  const std::uint32_t part = store::crc32(s, 4);
+  EXPECT_EQ(store::crc32(s + 4, 5, part), store::crc32(s, 9));
+}
+
+// -------------------------------------------------------- atomic_write_file --
+
+TEST(AtomicWriteTest, ReplacesContentAndLeavesNoTemp) {
+  const std::string dir = fresh_dir("atomic");
+  const std::string path = dir + "/file.bin";
+  store::atomic_write_file(path, bytes_of({1, 2, 3}));
+  store::atomic_write_file(path, bytes_of({9, 8}));
+  const auto got = store::read_file(path);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, bytes_of({9, 8}));
+  EXPECT_FALSE(store::path_exists(path + ".tmp"));
+}
+
+TEST(AtomicWriteTest, MissingFileReadsAsNullopt) {
+  EXPECT_FALSE(store::read_file(fresh_dir("missing") + "/nope").has_value());
+}
+
+// ------------------------------------------------------------------- WAL ----
+
+TEST(WalTest, FreshLogScansEmpty) {
+  const std::string path = fresh_dir("wal_fresh") + "/wal.log";
+  store::Wal wal(path);
+  const auto scan = store::Wal::scan(path);
+  EXPECT_FALSE(scan.missing_or_empty);
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_FALSE(scan.tail_discarded);
+}
+
+TEST(WalTest, AppendReopenScanRoundTrips) {
+  const std::string path = fresh_dir("wal_rt") + "/wal.log";
+  const std::vector<std::vector<std::uint8_t>> records = {
+      bytes_of({1, 2, 3, 4, 5}), bytes_of({}), bytes_of({7, 7, 7})};
+  {
+    store::Wal wal(path);
+    for (const auto& r : records) wal.append(r);
+  }
+  store::Wal reopened(path);  // must not disturb the valid prefix
+  const auto scan = store::Wal::scan(path);
+  EXPECT_EQ(scan.records, records);
+  EXPECT_FALSE(scan.tail_discarded);
+}
+
+TEST(WalTest, ResetTruncatesToHeader) {
+  const std::string path = fresh_dir("wal_reset") + "/wal.log";
+  store::Wal wal(path);
+  wal.append(bytes_of({1, 2, 3}));
+  wal.reset();
+  wal.append(bytes_of({4}));
+  const auto scan = store::Wal::scan(path);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0], bytes_of({4}));
+}
+
+// Torn at EVERY byte boundary: truncating the log anywhere must yield
+// exactly the records whose frames fully fit, flag the torn tail, and
+// never throw.
+TEST(WalTest, TruncationAtEveryLengthRecoversLongestValidPrefix) {
+  const std::string dir = fresh_dir("wal_trunc");
+  const std::string path = dir + "/wal.log";
+  const std::vector<std::vector<std::uint8_t>> records = {
+      bytes_of({1, 2, 3, 4, 5}), bytes_of({}), bytes_of({7, 7, 7, 7})};
+  {
+    store::Wal wal(path);
+    for (const auto& r : records) wal.append(r);
+  }
+  const auto full = store::read_file(path);
+  ASSERT_TRUE(full.has_value());
+  // Frame boundaries: header, then header + cumulative frame sizes.
+  std::vector<std::size_t> boundaries = {8};
+  for (const auto& r : records) boundaries.push_back(boundaries.back() + 8 + r.size());
+  ASSERT_EQ(boundaries.back(), full->size());
+
+  for (std::size_t len = 0; len < full->size(); ++len) {
+    const std::string torn = dir + "/torn.log";
+    write_raw(torn, {full->begin(), full->begin() + static_cast<long>(len)});
+    const auto scan = store::Wal::scan(torn);
+    if (len < 8) {
+      EXPECT_TRUE(scan.missing_or_empty) << "len=" << len;
+      continue;
+    }
+    std::size_t expect = 0;
+    while (expect + 1 < boundaries.size() && boundaries[expect + 1] <= len) ++expect;
+    ASSERT_EQ(scan.records.size(), expect) << "len=" << len;
+    for (std::size_t i = 0; i < expect; ++i) EXPECT_EQ(scan.records[i], records[i]);
+    EXPECT_EQ(scan.tail_discarded, len != boundaries[expect]) << "len=" << len;
+    // Re-opening the torn log for append must trim the tail cleanly.
+    store::Wal reopened(torn);
+    reopened.append(bytes_of({42}));
+    const auto rescan = store::Wal::scan(torn);
+    ASSERT_EQ(rescan.records.size(), expect + 1) << "len=" << len;
+    EXPECT_EQ(rescan.records.back(), bytes_of({42}));
+  }
+}
+
+// A single flipped bit anywhere must cost at most the records from the
+// flipped frame onward — never a crash, never a corrupted record accepted.
+TEST(WalTest, BitFlipAtEveryByteStopsAtTheFlippedFrame) {
+  const std::string dir = fresh_dir("wal_flip");
+  const std::string path = dir + "/wal.log";
+  const std::vector<std::vector<std::uint8_t>> records = {
+      bytes_of({1, 2, 3, 4, 5}), bytes_of({}), bytes_of({7, 7, 7, 7})};
+  {
+    store::Wal wal(path);
+    for (const auto& r : records) wal.append(r);
+  }
+  const auto full = store::read_file(path);
+  ASSERT_TRUE(full.has_value());
+  std::vector<std::size_t> boundaries = {8};
+  for (const auto& r : records) boundaries.push_back(boundaries.back() + 8 + r.size());
+
+  for (std::size_t pos = 0; pos < full->size(); ++pos) {
+    std::vector<std::uint8_t> flipped = *full;
+    flipped[pos] ^= 0x40;
+    const std::string mutated = dir + "/flipped.log";
+    write_raw(mutated, flipped);
+    const auto scan = store::Wal::scan(mutated);
+    if (pos < 8) {
+      EXPECT_TRUE(scan.missing_or_empty) << "pos=" << pos;
+      continue;
+    }
+    std::size_t frame = 0;
+    while (frame + 1 < boundaries.size() && boundaries[frame + 1] <= pos) ++frame;
+    ASSERT_EQ(scan.records.size(), frame) << "pos=" << pos;
+    for (std::size_t i = 0; i < frame; ++i) EXPECT_EQ(scan.records[i], records[i]);
+  }
+}
+
+// ------------------------------------------------------------- crashpoints --
+
+using CrashpointDeathTest = ::testing::Test;
+
+TEST(CrashpointDeathTest, ArmedSiteDiesWithTheDedicatedExitCode) {
+  EXPECT_EXIT(
+      {
+        crashpoint_arm("test.site", 1);
+        crashpoint("test.site");
+      },
+      ::testing::ExitedWithCode(kCrashpointExitCode), "dying at test.site");
+}
+
+TEST(CrashpointDeathTest, HitCountDelaysTheKill) {
+  EXPECT_EXIT(
+      {
+        crashpoint_arm("test.site", 2);
+        crashpoint("test.site");  // survives the first hit
+        crashpoint("test.site");
+      },
+      ::testing::ExitedWithCode(kCrashpointExitCode), "dying at test.site");
+}
+
+TEST(CrashpointTest, UnarmedAndMismatchedSitesAreNoOps) {
+  crashpoint("never.armed");
+  crashpoint_arm("some.other.site", 1);
+  crashpoint("never.armed");
+  crashpoint_disarm();
+  EXPECT_FALSE(crashpoint_armed());
+}
+
+TEST(CrashpointTest, RegistryListsTheDurabilitySites) {
+  const auto& reg = crashpoint_registry();
+  EXPECT_GE(reg.size(), 12u);
+  EXPECT_NE(std::find(reg.begin(), reg.end(), "wal.append.pre_fsync"), reg.end());
+  EXPECT_NE(std::find(reg.begin(), reg.end(), "snapshot.rename"), reg.end());
+  EXPECT_NE(std::find(reg.begin(), reg.end(), "round.commit.mid"), reg.end());
+}
+
+// ------------------------------------------------------------- RoundStore --
+
+TEST(RoundStoreTest, FreshStoreIsEmpty) {
+  store::RoundStore s(fresh_dir("rs_empty") + "/store");
+  EXPECT_TRUE(s.empty());
+  const auto rec = s.recover();
+  EXPECT_FALSE(rec.snapshot.has_value());
+  EXPECT_TRUE(rec.wal_records.empty());
+}
+
+TEST(RoundStoreTest, SnapshotOnlyRecovers) {
+  const std::string dir = fresh_dir("rs_snap") + "/store";
+  store::RoundStore s(dir);
+  s.append(bytes_of({1}));
+  s.install_snapshot(5, bytes_of({10, 20, 30}));  // compaction resets the WAL
+  const auto rec = s.recover();
+  ASSERT_TRUE(rec.snapshot.has_value());
+  EXPECT_EQ(*rec.snapshot, bytes_of({10, 20, 30}));
+  EXPECT_EQ(rec.snapshot_round, 5);
+  EXPECT_TRUE(rec.wal_records.empty());
+}
+
+TEST(RoundStoreTest, CorruptNewestSnapshotFallsBackToOlder) {
+  const std::string dir = fresh_dir("rs_fallback") + "/store";
+  std::string newest;
+  {
+    store::RoundStore s(dir);
+    s.install_snapshot(1, bytes_of({1, 1}));
+    s.install_snapshot(2, bytes_of({2, 2}));
+    for (const auto& e : fs::directory_iterator(dir)) {
+      const std::string name = e.path().filename().string();
+      if (name.find("snap") != std::string::npos && name.find("2") != std::string::npos)
+        newest = e.path().string();
+    }
+  }
+  ASSERT_FALSE(newest.empty());
+  auto bytes = store::read_file(newest);
+  ASSERT_TRUE(bytes.has_value());
+  (*bytes)[bytes->size() - 1] ^= 0xFF;  // corrupt the newest payload
+  write_raw(newest, *bytes);
+
+  store::RoundStore s(dir);
+  const auto rec = s.recover();
+  ASSERT_TRUE(rec.snapshot.has_value());
+  EXPECT_EQ(*rec.snapshot, bytes_of({1, 1}));
+  EXPECT_EQ(rec.snapshot_round, 1);
+  EXPECT_EQ(rec.snapshots_rejected, 1u);
+}
+
+TEST(RoundStoreTest, TruncatedSnapshotIsRejectedNotFatal) {
+  const std::string dir = fresh_dir("rs_truncsnap") + "/store";
+  std::string snap;
+  {
+    store::RoundStore s(dir);
+    s.install_snapshot(3, bytes_of({1, 2, 3, 4, 5, 6, 7, 8}));
+    for (const auto& e : fs::directory_iterator(dir))
+      if (e.path().filename().string().find(".snap") != std::string::npos)
+        snap = e.path().string();
+  }
+  ASSERT_FALSE(snap.empty());
+  const auto bytes = store::read_file(snap);
+  ASSERT_TRUE(bytes.has_value());
+  write_raw(snap, {bytes->begin(), bytes->begin() + 10});  // torn mid-header
+
+  store::RoundStore s(dir);
+  const auto rec = s.recover();
+  EXPECT_FALSE(rec.snapshot.has_value());
+  EXPECT_EQ(rec.snapshots_rejected, 1u);
+}
+
+// -------------------------------------------- simulation-level recovery ----
+
+data::FlSplit easy_split(int clients, std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  data::Dataset full = make_easy_dataset(n, rng);
+  data::FlSplitConfig cfg;
+  cfg.num_clients = clients;
+  return data::make_fl_split(full, cfg, rng);
+}
+
+fl::SimulationConfig durable_config(int rounds, int eval_every = 0) {
+  fl::SimulationConfig cfg;
+  cfg.rounds = rounds;
+  cfg.train = fl::TrainConfig{/*epochs=*/1, /*batch_size=*/32};
+  cfg.seed = 321;
+  cfg.eval_every = eval_every;
+  cfg.faults.drop_up = 0.15;  // exercises retries + fault counters
+  cfg.min_clients = 2;
+  cfg.max_retries = 2;
+  return cfg;
+}
+
+fl::FederatedSimulation make_durable_sim(int rounds, int eval_every = 0) {
+  return fl::FederatedSimulation(tiny_mlp_factory(2, 2), easy_split(3, 300, 11),
+                                 durable_config(rounds, eval_every),
+                                 fl::DefenseBundle{});
+}
+
+std::vector<std::uint8_t> full_state(const fl::FederatedSimulation& sim) {
+  BinaryWriter w;
+  sim.save_full_state(w);
+  return w.buffer();
+}
+
+TEST(DurableSimTest, RecoverFromEmptyStoreIsANoOp) {
+  store::RoundStore s(fresh_dir("sim_empty") + "/store");
+  fl::FederatedSimulation sim = make_durable_sim(4);
+  sim.attach_store(&s);
+  EXPECT_EQ(sim.recover_from_store(), 0);
+  EXPECT_TRUE(sim.round_log().empty());
+}
+
+TEST(DurableSimTest, WalOnlyRecoveryIsBitIdentical) {
+  const std::string dir = fresh_dir("sim_wal") + "/store";
+  fl::FederatedSimulation reference = make_durable_sim(4);
+  {
+    store::RoundStore s(dir);
+    fl::FederatedSimulation sim = make_durable_sim(4);
+    sim.attach_store(&s, /*snapshot_every=*/100);  // never compacts: pure WAL
+    for (int i = 0; i < 3; ++i) sim.run_round();
+  }
+  for (int i = 0; i < 3; ++i) reference.run_round();
+
+  store::RoundStore s(dir);
+  fl::FederatedSimulation recovered = make_durable_sim(4);
+  recovered.attach_store(&s, 100);
+  EXPECT_EQ(recovered.recover_from_store(), 3);
+  EXPECT_EQ(full_state(recovered), full_state(reference));
+
+  // The recovered run must continue exactly like the uninterrupted one.
+  recovered.run_round();
+  reference.run_round();
+  EXPECT_EQ(full_state(recovered), full_state(reference));
+}
+
+TEST(DurableSimTest, SnapshotPlusWalWithEvalsRecoversBitIdentical) {
+  const std::string dir = fresh_dir("sim_full") + "/store";
+  fl::FederatedSimulation reference = make_durable_sim(4, /*eval_every=*/2);
+  {
+    store::RoundStore s(dir);
+    fl::FederatedSimulation sim = make_durable_sim(4, 2);
+    sim.attach_store(&s, /*snapshot_every=*/2);
+    sim.run();  // rounds 1..4 with evals at 2 and 4, snapshots at 2 and 4
+  }
+  reference.run();
+
+  store::RoundStore s(dir);
+  fl::FederatedSimulation recovered = make_durable_sim(4, 2);
+  recovered.attach_store(&s, 2);
+  EXPECT_EQ(recovered.recover_from_store(), 4);
+  EXPECT_EQ(full_state(recovered), full_state(reference));
+  EXPECT_EQ(recovered.history().size(), reference.history().size());
+}
+
+// A crash between the WAL append and its acknowledgment makes the writer
+// re-append the same round on restart; replay must dedupe by round.
+TEST(DurableSimTest, DuplicateRoundRecordsAreDeduped) {
+  const std::string dir = fresh_dir("sim_dup") + "/store";
+  fl::FederatedSimulation reference = make_durable_sim(4);
+  {
+    store::RoundStore s(dir);
+    fl::FederatedSimulation sim = make_durable_sim(4);
+    sim.attach_store(&s, 100);
+    for (int i = 0; i < 3; ++i) sim.run_round();
+    // Duplicate the last committed record verbatim.
+    const auto scan = store::Wal::scan(s.wal_path());
+    ASSERT_EQ(scan.records.size(), 3u);
+    s.append(scan.records.back());
+  }
+  for (int i = 0; i < 3; ++i) reference.run_round();
+
+  store::RoundStore s(dir);
+  fl::FederatedSimulation recovered = make_durable_sim(4);
+  recovered.attach_store(&s, 100);
+  EXPECT_EQ(recovered.recover_from_store(), 3);
+  EXPECT_EQ(recovered.round_log().size(), 3u);
+  EXPECT_EQ(full_state(recovered), full_state(reference));
+}
+
+// A corrupt record mid-log must cost only the records from it onward —
+// longest-valid-prefix, never a crash.
+TEST(DurableSimTest, CorruptMiddleRecordStopsReplayAtThePrefix) {
+  const std::string dir = fresh_dir("sim_corrupt") + "/store";
+  {
+    store::RoundStore s(dir);
+    fl::FederatedSimulation sim = make_durable_sim(4);
+    sim.attach_store(&s, 100);
+    for (int i = 0; i < 3; ++i) sim.run_round();
+  }
+  // Re-frame record 2 with valid CRC but garbage payload: serde-level
+  // corruption that the CRC cannot catch.
+  {
+    const auto scan = store::Wal::scan(dir + "/wal.log");
+    ASSERT_EQ(scan.records.size(), 3u);
+    std::vector<std::uint8_t> mangled = scan.records[1];
+    mangled[0] = 0xEE;  // unknown record kind
+    store::Wal wal(dir + "/wal.log");
+    wal.reset();
+    wal.append(scan.records[0]);
+    wal.append(mangled);
+    wal.append(scan.records[2]);
+  }
+  store::RoundStore s(dir);
+  fl::FederatedSimulation recovered = make_durable_sim(4);
+  recovered.attach_store(&s, 100);
+  EXPECT_EQ(recovered.recover_from_store(), 1);  // only round 1 survives
+  EXPECT_EQ(recovered.round_log().size(), 1u);
+}
+
+// Legacy monolithic DCKP v2 checkpoints install as snapshots and restore
+// through the server-only path.
+TEST(DurableSimTest, LegacyCheckpointImportsAsSnapshot) {
+  const std::string base = fresh_dir("sim_legacy");
+  const std::string ckpt = base + "/legacy.ckpt";
+  fl::FederatedSimulation source = make_durable_sim(4);
+  source.run_round();
+  source.run_round();
+  source.save_checkpoint(ckpt);
+
+  store::RoundStore s(base + "/store");
+  EXPECT_EQ(fl::import_legacy_checkpoint(s, ckpt), 2);
+
+  fl::FederatedSimulation recovered = make_durable_sim(4);
+  recovered.attach_store(&s);
+  EXPECT_EQ(recovered.recover_from_store(), 2);
+  const auto a = source.server().global_params().as_span();
+  const auto b = recovered.server().global_params().as_span();
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  // The legacy format carries no client state or logs — but the run
+  // continues (reproducibly, per the restore_checkpoint contract).
+  recovered.run_round();
+  EXPECT_EQ(recovered.server().round(), 3);
+}
+
+TEST(DurableSimTest, FullStateRejectsMismatchedConfig) {
+  fl::FederatedSimulation a = make_durable_sim(4);
+  a.run_round();
+  BinaryWriter w;
+  a.save_full_state(w);
+
+  fl::SimulationConfig other = durable_config(4);
+  other.seed = 999;  // different schedule: replay would silently diverge
+  fl::FederatedSimulation b(tiny_mlp_factory(2, 2), easy_split(3, 300, 11), other,
+                            fl::DefenseBundle{});
+  BinaryReader r(w.buffer());
+  EXPECT_THROW(b.restore_full_state(r), Error);
+}
+
+TEST(DurableSimTest, AtomicCheckpointSurvivesOverwrite) {
+  const std::string dir = fresh_dir("ckpt_atomic");
+  const std::string path = dir + "/sim.ckpt";
+  fl::FederatedSimulation sim = make_durable_sim(4);
+  sim.run_round();
+  sim.save_checkpoint(path);
+  const auto first = store::read_file(path);
+  sim.run_round();
+  sim.save_checkpoint(path);  // atomic replace of an existing checkpoint
+  const auto second = store::read_file(path);
+  ASSERT_TRUE(first.has_value() && second.has_value());
+  EXPECT_NE(*first, *second);
+  EXPECT_FALSE(store::path_exists(path + ".tmp"));
+
+  fl::FederatedSimulation resumed = make_durable_sim(4);
+  resumed.restore_checkpoint(path);
+  EXPECT_EQ(resumed.server().round(), 2);
+}
+
+}  // namespace
+}  // namespace dinar
