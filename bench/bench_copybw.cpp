@@ -1,19 +1,24 @@
 // Copy-bandwidth bench for the parameter data model: counts per-round heap
 // allocations and bulk parameter copies on the exchange+aggregate hot path
 // (snapshot -> serialize -> deserialize -> FedAvg) under the contiguous
-// FlatParams arena versus the deprecated per-tensor ParamList pipeline it
-// replaced. Writes BENCH_COPYBW.json; `--smoke` doubles as the CI
-// allocation-regression gate (fails unless the flat path stays >= 5x
-// cheaper in allocations than the tensor-list baseline).
+// FlatParams arena versus the per-tensor pipeline it replaced. The library
+// shim for that pipeline is gone, so the baseline is reconstructed locally
+// below — the historical code path is the thing being measured. Writes
+// BENCH_COPYBW.json; `--smoke` doubles as the CI allocation-regression gate
+// (fails unless the flat path stays >= 5x cheaper in allocations than the
+// tensor-list baseline).
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "fl/server.h"
 #include "harness/experiment.h"
 #include "nn/model_zoo.h"
+#include "tensor/tensor_serde.h"
 #include "util/memory_tracker.h"
+#include "util/serde.h"
 
 namespace dinar::bench {
 namespace {
@@ -67,31 +72,70 @@ RoundCost run_flat(nn::Model& model, int clients, int rounds) {
   return cost;
 }
 
-// The same round on the pre-flat pipeline, reconstructed from the shim:
-// per-tensor snapshots, per-tensor wire records, per-tensor FedAvg loops.
+// Faithful local reconstruction of the removed per-tensor pipeline: one
+// Tensor per entry, one wire record per tensor, per-tensor FedAvg loops.
+using TensorList = std::vector<Tensor>;
+
+TensorList snapshot_tensors(const nn::FlatParams& flat) {
+  TensorList out;
+  out.reserve(flat.index()->num_entries());
+  for (std::size_t i = 0; i < flat.index()->num_entries(); ++i) {
+    const std::span<const float> vals = flat.entry_span(i);
+    out.emplace_back(flat.index()->entry(i).shape,
+                     std::vector<float>(vals.begin(), vals.end()));
+  }
+  return out;
+}
+
+void write_tensor_list(BinaryWriter& w, const TensorList& list) {
+  w.write_u64(list.size());
+  for (const Tensor& t : list) write_tensor(w, t);
+}
+
+TensorList read_tensor_list(BinaryReader& r) {
+  const std::uint64_t n = r.read_u64();
+  TensorList out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(read_tensor(r));
+  return out;
+}
+
+void tensor_list_scale(TensorList& a, float s) {
+  for (Tensor& t : a)
+    for (float& v : t.values()) v *= s;
+}
+
+void tensor_list_add_scaled(TensorList& a, const TensorList& b, float s) {
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    const std::span<const float> src = b[t].values();
+    std::span<float> dst = a[t].values();
+    for (std::size_t j = 0; j < dst.size(); ++j) dst[j] += s * src[j];
+  }
+}
+
 RoundCost run_param_list(nn::Model& model, int clients, int rounds) {
   RoundCost cost;
   for (int r = 0; r < rounds; ++r) {
     const TrackerMark before = mark();
-    std::vector<nn::ParamList> inbox;
+    std::vector<TensorList> inbox;
     std::vector<std::int64_t> weights;
     double wire = 0.0;
     for (int c = 0; c < clients; ++c) {
-      const nn::ParamList snapshot = model.parameters().to_param_list();
+      const TensorList snapshot = snapshot_tensors(model.parameters());
       BinaryWriter w;
-      nn::write_param_list(w, snapshot);
+      write_tensor_list(w, snapshot);
       wire += static_cast<double>(w.size());
       BinaryReader reader(w.buffer());
-      inbox.push_back(nn::read_param_list(reader));
+      inbox.push_back(read_tensor_list(reader));
       weights.push_back(100 + c);
     }
     std::int64_t total = 0;
     for (const std::int64_t s : weights) total += s;
-    nn::ParamList global = inbox[0];
-    nn::param_list_scale(global, static_cast<float>(weights[0]) / total);
+    TensorList global = inbox[0];
+    tensor_list_scale(global, static_cast<float>(weights[0]) / total);
     for (int c = 1; c < clients; ++c)
-      nn::param_list_add_scaled(global, inbox[static_cast<std::size_t>(c)],
-                                static_cast<float>(weights[static_cast<std::size_t>(c)]) / total);
+      tensor_list_add_scaled(global, inbox[static_cast<std::size_t>(c)],
+                             static_cast<float>(weights[static_cast<std::size_t>(c)]) / total);
     const TrackerMark after = mark();
     cost.allocs_per_round += static_cast<double>(after.events - before.events);
     cost.alloc_bytes_per_round += static_cast<double>(after.bytes - before.bytes);

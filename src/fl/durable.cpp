@@ -55,6 +55,14 @@ void write_transport_stats(BinaryWriter& w, const TransportStats& s) {
   w.write_u64(s.frame_bytes_up);
   w.write_u64(s.frame_bytes_down);
   w.write_f64(s.simulated_latency_seconds);
+  w.write_u64(s.socket_frames_tx);
+  w.write_u64(s.socket_frames_rx);
+  w.write_u64(s.socket_bytes_tx);
+  w.write_u64(s.socket_bytes_rx);
+  w.write_u64(s.socket_reconnects);
+  w.write_u64(s.socket_evictions);
+  w.write_u64(s.socket_queue_drops);
+  w.write_u64(s.socket_protocol_errors);
 }
 
 TransportStats read_transport_stats(BinaryReader& r) {
@@ -66,6 +74,14 @@ TransportStats read_transport_stats(BinaryReader& r) {
   s.frame_bytes_up = r.read_u64();
   s.frame_bytes_down = r.read_u64();
   s.simulated_latency_seconds = r.read_f64();
+  s.socket_frames_tx = r.read_u64();
+  s.socket_frames_rx = r.read_u64();
+  s.socket_bytes_tx = r.read_u64();
+  s.socket_bytes_rx = r.read_u64();
+  s.socket_reconnects = r.read_u64();
+  s.socket_evictions = r.read_u64();
+  s.socket_queue_drops = r.read_u64();
+  s.socket_protocol_errors = r.read_u64();
   return s;
 }
 

@@ -5,7 +5,11 @@
 
 namespace dinar::fl {
 namespace {
-// Legacy v1 per-kind magics (tensor-list payload, pre-FlatParams).
+// Legacy v1 per-kind magics (tensor-list payload, pre-FlatParams). The v1
+// read paths were removed after their one-release deprecation window; the
+// magics survive only to reject such frames by name instead of "not a
+// message". Wire frames never outlive a release — unlike DCKP checkpoints,
+// which keep their legacy read path (nn::read_legacy_tensor_params).
 constexpr std::uint32_t kGlobalMsgMagicV1 = 0x474D4F44;  // "GMOD"
 constexpr std::uint32_t kUpdateMsgMagicV1 = 0x55504454;  // "UPDT"
 // v2 frames share one magic; the kind byte distinguishes the messages.
@@ -61,18 +65,14 @@ GlobalModelMsg GlobalModelMsg::deserialize(const std::vector<std::uint8_t>& byte
   const std::uint32_t magic =
       read_field("GlobalModelMsg", "magic", [&] { return r.read_u32(); });
   GlobalModelMsg msg;
-  if (magic == kGlobalMsgMagicV1) {  // legacy tensor-list frame
-    msg.round = read_field("GlobalModelMsg", "round", [&] { return r.read_i64(); });
-    msg.params = read_field("GlobalModelMsg", "params", [&] {
-      return nn::FlatParams::from_param_list(nn::read_param_list(r));
-    });
-  } else {
-    DINAR_CHECK(magic == kFlatMsgMagic, "not a global-model message");
-    read_flat_header("GlobalModelMsg", r, kKindGlobal);
-    msg.round = read_field("GlobalModelMsg", "round", [&] { return r.read_i64(); });
-    msg.params = read_field("GlobalModelMsg", "params",
-                            [&] { return nn::read_flat_params(r); });
-  }
+  DINAR_CHECK(magic != kGlobalMsgMagicV1,
+              "GlobalModelMsg: v1 tensor-list frames are no longer supported "
+              "(removed after the one-release deprecation window)");
+  DINAR_CHECK(magic == kFlatMsgMagic, "not a global-model message");
+  read_flat_header("GlobalModelMsg", r, kKindGlobal);
+  msg.round = read_field("GlobalModelMsg", "round", [&] { return r.read_i64(); });
+  msg.params = read_field("GlobalModelMsg", "params",
+                          [&] { return nn::read_flat_params(r); });
   check_exhausted("GlobalModelMsg", r);
   return msg;
 }
@@ -95,11 +95,11 @@ ModelUpdateMsg ModelUpdateMsg::deserialize(const std::vector<std::uint8_t>& byte
   const std::uint32_t magic =
       read_field("ModelUpdateMsg", "magic", [&] { return r.read_u32(); });
   ModelUpdateMsg msg;
-  const bool legacy = magic == kUpdateMsgMagicV1;
-  if (!legacy) {
-    DINAR_CHECK(magic == kFlatMsgMagic, "not a model-update message");
-    read_flat_header("ModelUpdateMsg", r, kKindUpdate);
-  }
+  DINAR_CHECK(magic != kUpdateMsgMagicV1,
+              "ModelUpdateMsg: v1 tensor-list frames are no longer supported "
+              "(removed after the one-release deprecation window)");
+  DINAR_CHECK(magic == kFlatMsgMagic, "not a model-update message");
+  read_flat_header("ModelUpdateMsg", r, kKindUpdate);
   const std::uint32_t raw_client =
       read_field("ModelUpdateMsg", "client_id", [&] { return r.read_u32(); });
   DINAR_CHECK(raw_client <= 0x7FFFFFFFu,
@@ -111,10 +111,8 @@ ModelUpdateMsg ModelUpdateMsg::deserialize(const std::vector<std::uint8_t>& byte
       read_field("ModelUpdateMsg", "num_samples", [&] { return r.read_i64(); });
   msg.pre_weighted =
       read_field("ModelUpdateMsg", "pre_weighted", [&] { return r.read_u8(); }) != 0;
-  msg.params = read_field("ModelUpdateMsg", "params", [&] {
-    return legacy ? nn::FlatParams::from_param_list(nn::read_param_list(r))
-                  : nn::read_flat_params(r);
-  });
+  msg.params = read_field("ModelUpdateMsg", "params",
+                          [&] { return nn::read_flat_params(r); });
   check_exhausted("ModelUpdateMsg", r);
   return msg;
 }

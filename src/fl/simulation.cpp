@@ -10,6 +10,7 @@
 #include <unordered_set>
 
 #include "fl/durable.h"
+#include "fl/socket_transport.h"
 #include "store/io.h"
 #include "store/round_store.h"
 #include "util/crashpoint.h"
@@ -43,7 +44,10 @@ FederatedSimulation::FederatedSimulation(nn::ModelFactory model_factory,
       config_(config), exec_(std::make_unique<ExecutionContext>(config.exec)),
       rng_(config.seed) {
   validate_config();
-  if (config_.faults.any()) transport_.enable_faults(config_.faults);
+  transport_ = config_.socket_transport
+                   ? std::make_unique<SocketTransport>()
+                   : std::make_unique<Transport>();
+  if (config_.faults.any()) transport_->enable_faults(config_.faults);
   if (config_.adversaries.any())
     adversary_ = std::make_unique<AdversaryEngine>(config_.adversaries);
 
@@ -194,7 +198,7 @@ std::vector<std::size_t> FederatedSimulation::select_participants(std::int64_t r
 
 const RoundOutcome& FederatedSimulation::run_round() {
   const std::int64_t round = server_->round();
-  FaultInjector* faults = transport_.faults();
+  FaultInjector* faults = transport_->faults();
   if (faults != nullptr) faults->begin_round(round);
   if (adversary_ != nullptr) adversary_->begin_round(round);
   const FaultStats fault_before = faults != nullptr ? faults->stats() : FaultStats{};
@@ -254,12 +258,12 @@ const RoundOutcome& FederatedSimulation::run_round() {
   // 'u' = no upload copy arrived, 'q' = arrived but quarantined.
   std::map<std::size_t, char> fail_mode;
 
-  const double round_start_clock = transport_.stats().simulated_latency_seconds;
+  const double round_start_clock = transport_->stats().simulated_latency_seconds;
   const int max_attempts = 1 + config_.max_retries;
   for (int attempt = 0; attempt < max_attempts && !pending.empty(); ++attempt) {
     if (attempt > 0) {
       out.retries_used = attempt;
-      transport_.add_latency(config_.retry_backoff_seconds * attempt);
+      transport_->add_latency(config_.retry_backoff_seconds * attempt);
     }
     // ---- phase A: every pending client's exchange runs as an isolated
     // task — downlink, local training, attack, uplink. All randomness is
@@ -285,7 +289,7 @@ const RoundOutcome& FederatedSimulation::run_round() {
 
       // ---- downlink: the client needs one intact copy of the broadcast.
       for (const auto& copy :
-           transport_.ship(LinkDir::kDown, id, broadcast_bytes, &ex.receipt)) {
+           transport_->ship(LinkDir::kDown, id, broadcast_bytes, &ex.receipt)) {
         try {
           clients_[i].receive_global(
               GlobalModelMsg::deserialize(Transport::open(copy)));
@@ -309,7 +313,7 @@ const RoundOutcome& FederatedSimulation::run_round() {
         ex.attacked = true;
       }
       for (const auto& copy :
-           transport_.ship(LinkDir::kUp, id, update.serialize(), &ex.receipt)) {
+           transport_->ship(LinkDir::kUp, id, update.serialize(), &ex.receipt)) {
         Arrival arrival;
         try {
           arrival.msg = ModelUpdateMsg::deserialize(Transport::open(copy));
@@ -329,7 +333,7 @@ const RoundOutcome& FederatedSimulation::run_round() {
       const std::size_t i = pending[idx];
       const int id = static_cast<int>(i);
       Exchange& ex = exchanges[idx];
-      transport_.commit(ex.receipt);
+      transport_->commit(ex.receipt);
 
       if (!ex.got_global) {
         fail_mode[i] = 'd';
@@ -368,7 +372,7 @@ const RoundOutcome& FederatedSimulation::run_round() {
     pending = std::move(still_pending);
     if (accepted.size() >= quorum) break;
     if (config_.round_deadline_seconds > 0.0 &&
-        transport_.stats().simulated_latency_seconds - round_start_clock >=
+        transport_->stats().simulated_latency_seconds - round_start_clock >=
             config_.round_deadline_seconds)
       break;
   }
@@ -432,10 +436,9 @@ void FederatedSimulation::restore_checkpoint(BinaryReader& r) {
   DINAR_CHECK(version == kCheckpointVersionLegacy || version == kCheckpointVersion,
               "unsupported checkpoint version " << version);
   const std::int64_t round = r.read_i64();
-  nn::FlatParams params =
-      version == kCheckpointVersionLegacy
-          ? nn::FlatParams::from_param_list(nn::read_param_list(r))
-          : nn::read_flat_params(r);
+  nn::FlatParams params = version == kCheckpointVersionLegacy
+                              ? nn::read_legacy_tensor_params(r)
+                              : nn::read_flat_params(r);
   DINAR_CHECK(r.exhausted(), "trailing bytes in simulation checkpoint");
   DINAR_CHECK(round <= config_.rounds, "checkpoint round " << round
                                                            << " exceeds configured "
@@ -502,8 +505,8 @@ void FederatedSimulation::append_round_to_store(
 
   // Cumulative counters as absolute post-round values — doubles (the
   // latency clock) do not reconstruct bit-exactly from deltas.
-  write_transport_stats(w, transport_.stats());
-  const FaultInjector* faults = transport_.faults();
+  write_transport_stats(w, transport_->stats());
+  const FaultInjector* faults = transport_->faults();
   w.write_u8(faults != nullptr ? 1 : 0);
   if (faults != nullptr) write_fault_stats(w, faults->stats());
   w.write_u8(adversary_ != nullptr ? 1 : 0);
@@ -545,8 +548,8 @@ void FederatedSimulation::save_full_state(BinaryWriter& w) const {
   w.write_u64(round_log_.size());
   for (const RoundOutcome& out : round_log_) write_round_outcome(w, out);
 
-  write_transport_stats(w, transport_.stats());
-  const FaultInjector* faults = transport_.faults();
+  write_transport_stats(w, transport_->stats());
+  const FaultInjector* faults = transport_->faults();
   w.write_u8(faults != nullptr ? 1 : 0);
   if (faults != nullptr) write_fault_stats(w, faults->stats());
   w.write_u8(adversary_ != nullptr ? 1 : 0);
@@ -585,10 +588,10 @@ void FederatedSimulation::restore_full_state(BinaryReader& r) {
   round_log_.reserve(nl);
   for (std::uint64_t i = 0; i < nl; ++i) round_log_.push_back(read_round_outcome(r));
 
-  transport_.restore_stats(read_transport_stats(r));
+  transport_->restore_stats(read_transport_stats(r));
   if (r.read_u8() != 0) {
     const FaultStats fs = read_fault_stats(r);
-    if (transport_.faults() != nullptr) transport_.faults()->restore_stats(fs);
+    if (transport_->faults() != nullptr) transport_->faults()->restore_stats(fs);
   }
   if (r.read_u8() != 0) {
     const AttackStats as = read_attack_stats(r);
@@ -644,10 +647,10 @@ bool FederatedSimulation::apply_wal_record(BinaryReader& r) {
     clients_[id].restore_state(r);
   }
 
-  transport_.restore_stats(read_transport_stats(r));
+  transport_->restore_stats(read_transport_stats(r));
   if (r.read_u8() != 0) {
     const FaultStats fs = read_fault_stats(r);
-    if (transport_.faults() != nullptr) transport_.faults()->restore_stats(fs);
+    if (transport_->faults() != nullptr) transport_->faults()->restore_stats(fs);
   }
   if (r.read_u8() != 0) {
     const AttackStats as = read_attack_stats(r);

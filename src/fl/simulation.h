@@ -151,6 +151,13 @@ struct SimulationConfig {
   // comment). There is no global pool — each simulation owns its context
   // and passes it explicitly to clients, kernels and aggregators.
   ExecConfig exec;
+
+  // -- transport ------------------------------------------------------------
+  // When true, every ship() crosses a real loopback TCP socket through
+  // fl::SocketTransport (server + one connection per client, all inside
+  // this process). Results are bit-identical to the default in-process
+  // transport — only the socket_* counters differ from zero.
+  bool socket_transport = false;
 };
 
 struct RoundRecord {
@@ -260,7 +267,7 @@ class FederatedSimulation {
   // -- results & attacker views ------------------------------------------
   FlServer& server() { return *server_; }
   std::vector<FlClient>& clients() { return clients_; }
-  Transport& transport() { return transport_; }
+  Transport& transport() { return *transport_; }
   // The simulation's execution context (always non-null after construction).
   const ExecutionContext& execution_context() const { return *exec_; }
   const std::vector<RoundRecord>& history() const { return history_; }
@@ -315,7 +322,9 @@ class FederatedSimulation {
   // Owns the thread pool; declared before the clients/server so it
   // outlives every component holding a pointer to it.
   std::unique_ptr<ExecutionContext> exec_;
-  Transport transport_;
+  // The transport seam: the in-process Transport by default, a
+  // SocketTransport when config.socket_transport is set.
+  std::unique_ptr<Transport> transport_;
   std::unique_ptr<FlServer> server_;
   std::unique_ptr<AdversaryEngine> adversary_;
   std::vector<FlClient> clients_;

@@ -1,0 +1,223 @@
+#include "fl/socket_transport.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace dinar::fl {
+namespace {
+
+constexpr std::uint32_t kHelloTag = 0x4F4C4548;  // "HELO"
+constexpr std::uint32_t kDataTag = 0x41544144;   // "DATA"
+constexpr std::size_t kEnvelopeHeadBytes = sizeof(std::uint32_t) + sizeof(std::uint64_t);
+
+std::vector<std::uint8_t> envelope(std::uint32_t tag, int client_id,
+                                   const std::vector<std::uint8_t>& inner) {
+  std::vector<std::uint8_t> env(kEnvelopeHeadBytes + inner.size());
+  const std::uint64_t id = static_cast<std::uint64_t>(client_id);
+  std::memcpy(env.data(), &tag, sizeof tag);
+  std::memcpy(env.data() + sizeof tag, &id, sizeof id);
+  if (!inner.empty())
+    std::memcpy(env.data() + kEnvelopeHeadBytes, inner.data(), inner.size());
+  return env;
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(SocketTransportOptions options)
+    : options_(std::move(options)), server_(options_.server) {
+  server_.set_frame_handler([this](int conn, std::vector<std::uint8_t> payload) {
+    if (payload.size() < kEnvelopeHeadBytes) return false;  // not ours: shed
+    std::uint32_t tag = 0;
+    std::uint64_t id64 = 0;
+    std::memcpy(&tag, payload.data(), sizeof tag);
+    std::memcpy(&id64, payload.data() + sizeof tag, sizeof id64);
+    if (tag != kHelloTag && tag != kDataTag) return false;
+    const int client_id = static_cast<int>(id64);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      // Latest-wins registration: a reconnected client's new conn replaces
+      // the stale mapping even before the old conn's disconnect fires.
+      const auto old = conn_of_client_.find(client_id);
+      if (old != conn_of_client_.end() && old->second != conn)
+        client_of_conn_.erase(old->second);
+      conn_of_client_[client_id] = conn;
+      client_of_conn_[conn] = client_id;
+      if (tag == kDataTag)
+        inbox_[client_id].emplace_back(payload.begin() + kEnvelopeHeadBytes,
+                                       payload.end());
+    }
+    cv_.notify_all();
+    return true;
+  });
+  server_.set_disconnect_handler([this](int conn, net::EvictReason reason) {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = client_of_conn_.find(conn);
+    if (it == client_of_conn_.end()) return;
+    const int client_id = it->second;
+    client_of_conn_.erase(it);
+    if (const auto c = conn_of_client_.find(client_id);
+        c != conn_of_client_.end() && c->second == conn)
+      conn_of_client_.erase(c);
+    if (reason != net::EvictReason::kServerStop &&
+        reason != net::EvictReason::kPeerClosed)
+      ++evictions_of_client_[client_id];
+  });
+  server_.start();
+}
+
+SocketTransport::~SocketTransport() { server_.stop(); }
+
+SocketTransport::Endpoint& SocketTransport::endpoint(int client_id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::unique_ptr<Endpoint>& slot = endpoints_[client_id];
+  if (slot == nullptr) {
+    slot = std::make_unique<Endpoint>();
+    net::ClientConfig cc = options_.client;
+    cc.port = server_.port();
+    // Distinct backoff jitter stream per client, derived deterministically
+    // so a run's reconnect schedule is reproducible.
+    cc.jitter_seed = options_.client.jitter_seed +
+                     0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(client_id) + 1);
+    slot->client = std::make_unique<net::TcpClient>(cc);
+  }
+  return *slot;
+}
+
+bool SocketTransport::ensure_ready(int client_id, Endpoint& ep, double deadline) {
+  if (!ep.client->ensure_connected()) return false;
+  if (ep.client->stats().connects != ep.hello_connects) {
+    if (!ep.client->send_frame(envelope(kHelloTag, client_id, {}))) return false;
+    ep.hello_connects = ep.client->stats().connects;
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  while (conn_of_client_.find(client_id) == conn_of_client_.end()) {
+    const double now = net::monotonic_seconds();
+    if (now >= deadline) return false;
+    cv_.wait_for(lk, std::chrono::duration<double>(
+                         std::min(0.05, deadline - now)));
+  }
+  return true;
+}
+
+std::vector<std::vector<std::uint8_t>> SocketTransport::tunnel_up(
+    int client_id, Endpoint& ep,
+    const std::vector<std::vector<std::uint8_t>>& copies, double deadline,
+    std::uint64_t& wire_tx, std::uint64_t& queue_drops) {
+  std::size_t sent = 0;
+  for (const std::vector<std::uint8_t>& copy : copies) {
+    const std::vector<std::uint8_t> env = envelope(kDataTag, client_id, copy);
+    bool ok = false;
+    for (int attempt = 0; attempt < 2 && !ok; ++attempt) {
+      if (!ensure_ready(client_id, ep, deadline)) break;
+      ok = ep.client->send_frame(env);  // failure closes the socket; retry once
+    }
+    if (ok) {
+      ++sent;
+      wire_tx += net::kFrameHeaderBytes + env.size();
+    } else {
+      ++queue_drops;
+    }
+  }
+
+  std::vector<std::vector<std::uint8_t>> delivered;
+  delivered.reserve(sent);
+  std::unique_lock<std::mutex> lk(mu_);
+  std::deque<std::vector<std::uint8_t>>& box = inbox_[client_id];
+  while (delivered.size() < sent) {
+    if (!box.empty()) {
+      delivered.push_back(std::move(box.front()));
+      box.pop_front();
+      continue;
+    }
+    const double now = net::monotonic_seconds();
+    if (now >= deadline) break;  // stragglers count as lost; protocol retries
+    cv_.wait_for(lk, std::chrono::duration<double>(std::min(0.05, deadline - now)));
+  }
+  return delivered;
+}
+
+std::vector<std::vector<std::uint8_t>> SocketTransport::tunnel_down(
+    int client_id, Endpoint& ep,
+    const std::vector<std::vector<std::uint8_t>>& copies, double deadline,
+    std::uint64_t& wire_tx, std::uint64_t& queue_drops) {
+  std::vector<std::vector<std::uint8_t>> delivered;
+  if (!ensure_ready(client_id, ep, deadline)) return delivered;
+
+  std::size_t sent = 0;
+  for (const std::vector<std::uint8_t>& copy : copies) {
+    int conn = -1;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      const auto it = conn_of_client_.find(client_id);
+      if (it != conn_of_client_.end()) conn = it->second;
+    }
+    if (conn >= 0 && server_.send(conn, copy)) {
+      ++sent;
+      wire_tx += net::kFrameHeaderBytes + copy.size();
+    } else {
+      ++queue_drops;  // full send queue or just-evicted conn: shed the copy
+    }
+  }
+
+  delivered.reserve(sent);
+  while (delivered.size() < sent) {
+    const double now = net::monotonic_seconds();
+    if (now >= deadline) break;
+    auto payload = ep.client->recv_frame(std::min(0.25, deadline - now));
+    if (payload.has_value()) {
+      delivered.push_back(std::move(*payload));
+      continue;
+    }
+    // Timeout keeps the connection usable; a disconnect means the copies
+    // queued on the old conn are gone for good.
+    if (!ep.client->connected()) break;
+  }
+  return delivered;
+}
+
+std::vector<std::vector<std::uint8_t>> SocketTransport::ship(
+    LinkDir dir, int client_id, const std::vector<std::uint8_t>& payload,
+    ShipReceipt* receipt) {
+  // Framing, fault injection and payload/latency accounting are the base
+  // class's job; what it returns is exactly what must cross the wire.
+  std::vector<std::vector<std::uint8_t>> copies =
+      Transport::ship(dir, client_id, payload, receipt);
+
+  Endpoint& ep = endpoint(client_id);
+  const double deadline =
+      net::monotonic_seconds() + options_.exchange_timeout_seconds;
+  std::uint64_t wire_tx = 0, queue_drops = 0;
+  std::vector<std::vector<std::uint8_t>> delivered =
+      dir == LinkDir::kUp
+          ? tunnel_up(client_id, ep, copies, deadline, wire_tx, queue_drops)
+          : tunnel_down(client_id, ep, copies, deadline, wire_tx, queue_drops);
+
+  TransportStats& acc = receipt != nullptr ? receipt->transport : mutable_stats();
+  acc.socket_frames_tx += copies.size() - queue_drops;
+  acc.socket_frames_rx += delivered.size();
+  acc.socket_bytes_tx += wire_tx;
+  for (const std::vector<std::uint8_t>& d : delivered) {
+    acc.socket_bytes_rx += net::kFrameHeaderBytes + d.size() +
+                           (dir == LinkDir::kUp ? kEnvelopeHeadBytes : 0);
+  }
+  acc.socket_queue_drops += queue_drops;
+  const net::ClientStats& cs = ep.client->stats();
+  acc.socket_reconnects += cs.reconnects - ep.harvested_reconnects;
+  ep.harvested_reconnects = cs.reconnects;
+  acc.socket_protocol_errors += cs.protocol_errors - ep.harvested_protocol_errors;
+  ep.harvested_protocol_errors = cs.protocol_errors;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (const auto it = evictions_of_client_.find(client_id);
+        it != evictions_of_client_.end()) {
+      acc.socket_evictions += it->second;
+      evictions_of_client_.erase(it);
+    }
+  }
+  return delivered;
+}
+
+}  // namespace dinar::fl

@@ -1,0 +1,102 @@
+// Loopback TCP implementation of the Transport seam.
+//
+// SocketTransport overrides Transport::ship() so every framed copy the
+// in-process transport would hand over directly instead crosses a real
+// kernel socket: the shipping client endpoint writes it to a TcpClient
+// connection, the TcpServer event loop reads it back, and ship() returns
+// the bytes as they arrived off the wire. The base class still does all
+// framing, fault injection and payload accounting, so a simulation run
+// over sockets is bit-identical to the in-process run — including under
+// injected faults, because a corrupted inner frame is tunneled as the
+// payload of a clean outer envelope (the corruption genuinely crosses the
+// wire, but cannot desync the TCP stream, which would otherwise turn one
+// injected bit flip into a torn connection).
+//
+// Wire protocol (all envelope frames are ordinary DFRM frames):
+//   client -> server: [u32 tag 'HELO' | u64 client_id]             registration
+//                     [u32 tag 'DATA' | u64 client_id | inner...]  uplink copy
+//   server -> client: [inner...]                                   downlink copy
+//
+// Degradation mirrors the round protocol's fault model: a copy that cannot
+// be sent (send-queue cap, dead connection) or does not arrive before the
+// exchange deadline is simply absent from ship()'s return value — the
+// caller treats it exactly like an injected drop and retries. Evictions,
+// reconnects, queue drops and poisoned streams are surfaced through the
+// socket_* counters of TransportStats.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "fl/transport.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace dinar::fl {
+
+struct SocketTransportOptions {
+  // Wall-clock cap on one ship(): sends plus the wait for the copies to
+  // come back off the wire. Copies still in flight at the deadline are
+  // reported as lost (the round protocol retries).
+  double exchange_timeout_seconds = 30.0;
+  net::ServerConfig server;  // port 0 binds an ephemeral loopback port
+  net::ClientConfig client;  // host/port are filled in from the server
+};
+
+class SocketTransport final : public Transport {
+ public:
+  explicit SocketTransport(SocketTransportOptions options = {});
+  ~SocketTransport() override;
+
+  std::vector<std::vector<std::uint8_t>> ship(
+      LinkDir dir, int client_id, const std::vector<std::uint8_t>& payload,
+      ShipReceipt* receipt = nullptr) override;
+
+  // The bound loopback port (for tests and external clients).
+  std::uint16_t port() const { return server_.port(); }
+  // Raw wire-level counters of the embedded server (eviction reasons,
+  // queue drops) — TransportStats carries the per-simulation rollup.
+  net::ServerStats server_stats() const { return server_.stats(); }
+
+ private:
+  struct Endpoint {
+    std::unique_ptr<net::TcpClient> client;
+    // connects() value at the last HELO sent; a difference means the
+    // connection was remade and the server must be re-told who we are.
+    std::uint64_t hello_connects = 0;
+    // High-water marks already folded into TransportStats.
+    std::uint64_t harvested_reconnects = 0;
+    std::uint64_t harvested_protocol_errors = 0;
+  };
+
+  Endpoint& endpoint(int client_id);
+  // Connects (with backoff) and registers the endpoint; true when the
+  // server has acknowledged the mapping before `deadline`.
+  bool ensure_ready(int client_id, Endpoint& ep, double deadline);
+  std::vector<std::vector<std::uint8_t>> tunnel_up(
+      int client_id, Endpoint& ep,
+      const std::vector<std::vector<std::uint8_t>>& copies, double deadline,
+      std::uint64_t& wire_tx, std::uint64_t& queue_drops);
+  std::vector<std::vector<std::uint8_t>> tunnel_down(
+      int client_id, Endpoint& ep,
+      const std::vector<std::vector<std::uint8_t>>& copies, double deadline,
+      std::uint64_t& wire_tx, std::uint64_t& queue_drops);
+
+  SocketTransportOptions options_;
+  net::TcpServer server_;
+
+  std::mutex mu_;  // guards everything below
+  std::condition_variable cv_;
+  std::map<int, std::unique_ptr<Endpoint>> endpoints_;  // by client_id
+  std::map<int, int> conn_of_client_;
+  std::map<int, int> client_of_conn_;
+  std::map<int, std::deque<std::vector<std::uint8_t>>> inbox_;  // uplink copies
+  std::map<int, std::uint64_t> evictions_of_client_;  // pending harvest
+};
+
+}  // namespace dinar::fl

@@ -1,26 +1,9 @@
 #include "fl/transport.h"
 
-#include <cstring>
-
+#include "net/frame.h"
 #include "util/error.h"
 
 namespace dinar::fl {
-namespace {
-
-constexpr std::uint32_t kFrameMagic = 0x4446524D;  // "DFRM"
-constexpr std::size_t kFrameHeaderBytes =
-    sizeof(std::uint32_t) + 2 * sizeof(std::uint64_t);
-
-std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= data[i];
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
-}  // namespace
 
 void TransportStats::merge(const TransportStats& other) {
   messages_up += other.messages_up;
@@ -30,6 +13,14 @@ void TransportStats::merge(const TransportStats& other) {
   frame_bytes_up += other.frame_bytes_up;
   frame_bytes_down += other.frame_bytes_down;
   simulated_latency_seconds += other.simulated_latency_seconds;
+  socket_frames_tx += other.socket_frames_tx;
+  socket_frames_rx += other.socket_frames_rx;
+  socket_bytes_tx += other.socket_bytes_tx;
+  socket_bytes_rx += other.socket_bytes_rx;
+  socket_reconnects += other.socket_reconnects;
+  socket_evictions += other.socket_evictions;
+  socket_queue_drops += other.socket_queue_drops;
+  socket_protocol_errors += other.socket_protocol_errors;
 }
 
 std::vector<std::uint8_t> Transport::uplink(std::vector<std::uint8_t> payload) {
@@ -46,38 +37,15 @@ void Transport::enable_faults(const FaultConfig& config) {
   injector_ = std::make_unique<FaultInjector>(config);
 }
 
+// The DFRM codec lives in net/frame.h so the socket layer and the
+// in-process transport can never drift apart; these statics stay as the
+// fl-facing names the round protocol and its tests use.
 std::vector<std::uint8_t> Transport::frame(const std::vector<std::uint8_t>& payload) {
-  std::vector<std::uint8_t> framed(kFrameHeaderBytes + payload.size());
-  const std::uint64_t length = payload.size();
-  const std::uint64_t checksum = fnv1a64(payload.data(), payload.size());
-  std::memcpy(framed.data(), &kFrameMagic, sizeof kFrameMagic);
-  std::memcpy(framed.data() + sizeof kFrameMagic, &length, sizeof length);
-  std::memcpy(framed.data() + sizeof kFrameMagic + sizeof length, &checksum,
-              sizeof checksum);
-  if (!payload.empty())
-    std::memcpy(framed.data() + kFrameHeaderBytes, payload.data(), payload.size());
-  return framed;
+  return net::frame(payload);
 }
 
 std::vector<std::uint8_t> Transport::open(const std::vector<std::uint8_t>& framed) {
-  DINAR_CHECK(framed.size() >= kFrameHeaderBytes,
-              "transport frame: " << framed.size() << " bytes is shorter than the "
-                                  << kFrameHeaderBytes << "-byte header");
-  std::uint32_t magic = 0;
-  std::uint64_t length = 0, checksum = 0;
-  std::memcpy(&magic, framed.data(), sizeof magic);
-  std::memcpy(&length, framed.data() + sizeof magic, sizeof length);
-  std::memcpy(&checksum, framed.data() + sizeof magic + sizeof length,
-              sizeof checksum);
-  DINAR_CHECK(magic == kFrameMagic, "transport frame: bad magic");
-  DINAR_CHECK(length == framed.size() - kFrameHeaderBytes,
-              "transport frame: length field " << length << " does not match "
-                                               << framed.size() - kFrameHeaderBytes
-                                               << " payload bytes");
-  const std::uint8_t* payload = framed.data() + kFrameHeaderBytes;
-  DINAR_CHECK(fnv1a64(payload, length) == checksum,
-              "transport frame: checksum mismatch (payload corrupted in flight)");
-  return std::vector<std::uint8_t>(payload, payload + length);
+  return net::open_frame(framed);
 }
 
 std::vector<std::vector<std::uint8_t>> Transport::ship(

@@ -32,6 +32,16 @@ struct TransportStats {
   std::uint64_t frame_bytes_down = 0;
   double simulated_latency_seconds = 0.0;
 
+  // -- socket transport (all zero on the in-process transport) -------------
+  std::uint64_t socket_frames_tx = 0;  // envelope frames written to the wire
+  std::uint64_t socket_frames_rx = 0;  // envelope frames read off the wire
+  std::uint64_t socket_bytes_tx = 0;   // wire bytes, envelope framing included
+  std::uint64_t socket_bytes_rx = 0;
+  std::uint64_t socket_reconnects = 0;       // client reconnections
+  std::uint64_t socket_evictions = 0;        // server-side evictions of our peers
+  std::uint64_t socket_queue_drops = 0;      // frames shed by bounded send queues
+  std::uint64_t socket_protocol_errors = 0;  // poisoned streams (either side)
+
   // Counter-wise accumulate (used when folding deferred receipts back in).
   void merge(const TransportStats& other);
 };
@@ -52,6 +62,7 @@ class Transport {
   explicit Transport(double bandwidth_bytes_per_sec = 0.0,
                      double per_message_latency_seconds = 0.0)
       : bandwidth_(bandwidth_bytes_per_sec), per_message_(per_message_latency_seconds) {}
+  virtual ~Transport() = default;
 
   // Ships a payload client -> server; returns the delivered bytes.
   // Fault-free, unframed legacy path (kept for byte-exact cost accounting).
@@ -73,9 +84,14 @@ class Transport {
   // receipt, all accounting is deferred into it and the caller must later
   // commit() it — this is the thread-safe path: concurrent ship() calls
   // for different clients touch no shared mutable state.
-  std::vector<std::vector<std::uint8_t>> ship(LinkDir dir, int client_id,
-                                              const std::vector<std::uint8_t>& payload,
-                                              ShipReceipt* receipt = nullptr);
+  //
+  // Virtual: this is the transport seam. The base class delivers in
+  // process; SocketTransport (fl/socket_transport.h) overrides it to move
+  // the identical framed copies over real loopback TCP, so the simulation
+  // runs unchanged on either.
+  virtual std::vector<std::vector<std::uint8_t>> ship(
+      LinkDir dir, int client_id, const std::vector<std::uint8_t>& payload,
+      ShipReceipt* receipt = nullptr);
 
   // Folds a deferred receipt into stats() (and the injector's fault
   // stats). Call in deterministic order, from one thread.
@@ -97,6 +113,12 @@ class Transport {
   // which gates retry deadlines — matches the uninterrupted run bit for
   // bit).
   void restore_stats(const TransportStats& stats) { stats_ = stats; }
+
+ protected:
+  // Derived transports (socket) fold their wire accounting in here when
+  // shipping without a receipt. Receipt-path accounting must go through the
+  // receipt instead — concurrent ship() calls may not touch shared state.
+  TransportStats& mutable_stats() { return stats_; }
 
  private:
   void account(std::size_t bytes, bool up);

@@ -1,0 +1,90 @@
+#include "net/client.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace dinar::net {
+
+TcpClient::TcpClient(ClientConfig config)
+    : config_(std::move(config)), jitter_rng_(config_.jitter_seed) {}
+
+void TcpClient::disconnect() {
+  sock_.close();
+  reader_ = FrameReader(config_.max_frame_bytes);
+}
+
+bool TcpClient::ensure_connected() {
+  if (sock_.valid()) return true;
+  double backoff = config_.backoff_initial_seconds;
+  for (int attempt = 0; attempt < config_.max_connect_attempts; ++attempt) {
+    if (attempt > 0) {
+      const double jitter =
+          1.0 + config_.backoff_jitter * (2.0 * jitter_rng_.uniform() - 1.0);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(std::max(0.0, backoff * jitter)));
+      backoff = std::min(backoff * 2.0, config_.backoff_max_seconds);
+    }
+    Socket s = tcp_connect(config_.host, config_.port, config_.connect_timeout_seconds);
+    if (s.valid()) {
+      sock_ = std::move(s);
+      reader_ = FrameReader(config_.max_frame_bytes);
+      ++stats_.connects;
+      if (ever_connected_) ++stats_.reconnects;
+      ever_connected_ = true;
+      return true;
+    }
+    ++stats_.connect_failures;
+  }
+  return false;
+}
+
+bool TcpClient::send_raw(const std::vector<std::uint8_t>& bytes) {
+  if (!sock_.valid()) return false;
+  const double deadline = monotonic_seconds() + config_.io_timeout_seconds;
+  if (!send_all(sock_, bytes.data(), bytes.size(), deadline)) {
+    ++stats_.send_failures;
+    disconnect();
+    return false;
+  }
+  stats_.bytes_tx += bytes.size();
+  return true;
+}
+
+bool TcpClient::send_frame(const std::vector<std::uint8_t>& payload) {
+  if (!send_raw(frame(payload))) return false;
+  ++stats_.frames_tx;
+  return true;
+}
+
+std::optional<std::vector<std::uint8_t>> TcpClient::recv_frame(
+    double timeout_seconds) {
+  if (!sock_.valid()) return std::nullopt;
+  const double timeout =
+      timeout_seconds > 0.0 ? timeout_seconds : config_.io_timeout_seconds;
+  const double deadline = monotonic_seconds() + timeout;
+  for (;;) {
+    if (auto payload = reader_.next()) {
+      ++stats_.frames_rx;
+      return payload;
+    }
+    if (reader_.poisoned()) {
+      ++stats_.protocol_errors;
+      disconnect();
+      return std::nullopt;
+    }
+    std::uint8_t chunk[64 << 10];
+    const long rc = recv_some(sock_, chunk, sizeof chunk, deadline);
+    if (rc < 0) {
+      ++stats_.recv_timeouts;
+      return std::nullopt;  // deadline passed; connection stays usable
+    }
+    if (rc == 0) {  // server closed (eviction or restart): reconnect later
+      disconnect();
+      return std::nullopt;
+    }
+    stats_.bytes_rx += static_cast<std::uint64_t>(rc);
+    reader_.feed(chunk, static_cast<std::size_t>(rc));
+  }
+}
+
+}  // namespace dinar::net

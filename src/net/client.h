@@ -1,0 +1,96 @@
+// TCP client speaking DFRM frames, with reconnect and capped backoff.
+//
+// The client is the retrying half of the robustness contract: the server
+// evicts freely (slow peer, framing error, overload shedding, restart
+// after kill -9) and relies on every client treating a lost connection as
+// routine. ensure_connected() retries with capped exponential backoff plus
+// jitter — backoff keeps a restarting server from being trampled by its
+// own reconnect storm, jitter desynchronizes the herd (hundreds of clients
+// evicted by one restart must not come back in lockstep). The jitter
+// stream is an explicitly seeded Rng like every other random draw in the
+// codebase, so a load test's connection schedule is reproducible.
+//
+// send_frame()/recv_frame() move whole checksummed frames with deadlines;
+// any I/O failure or framing violation closes the socket so the next call
+// reconnects from a clean stream (a poisoned FrameReader cannot resync —
+// see net/frame.h).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/socket.h"
+#include "util/rng.h"
+
+namespace dinar::net {
+
+struct ClientConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  double connect_timeout_seconds = 5.0;
+  double io_timeout_seconds = 10.0;
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  // Reconnect policy for one ensure_connected() call.
+  int max_connect_attempts = 10;
+  double backoff_initial_seconds = 0.005;
+  double backoff_max_seconds = 0.5;
+  // Uniform multiplicative jitter in [1 - j, 1 + j] on every backoff step.
+  double backoff_jitter = 0.5;
+  std::uint64_t jitter_seed = 0x7E7E7;
+};
+
+struct ClientStats {
+  std::uint64_t connects = 0;          // successful connections
+  std::uint64_t reconnects = 0;        // successful connections after the first
+  std::uint64_t connect_failures = 0;  // failed attempts (before backoff)
+  std::uint64_t frames_tx = 0;
+  std::uint64_t frames_rx = 0;
+  std::uint64_t bytes_tx = 0;  // wire bytes, frame headers included
+  std::uint64_t bytes_rx = 0;
+  std::uint64_t send_failures = 0;
+  std::uint64_t recv_timeouts = 0;
+  std::uint64_t protocol_errors = 0;  // poisoned inbound stream
+};
+
+class TcpClient {
+ public:
+  explicit TcpClient(ClientConfig config);
+
+  bool connected() const { return sock_.valid(); }
+
+  // Connects if disconnected, retrying up to max_connect_attempts with
+  // capped exponential backoff + jitter. Returns false when every attempt
+  // failed (the caller decides whether to give up or come back later).
+  bool ensure_connected();
+  void disconnect();
+
+  // Frames and sends one payload; on failure the socket is closed (the
+  // next ensure_connected() reconnects) and false is returned.
+  bool send_frame(const std::vector<std::uint8_t>& payload);
+
+  // Sends raw bytes verbatim — no framing. This is the fault-injection
+  // hook: a load test ships deliberately corrupted frames to prove the
+  // server detects and evicts them.
+  bool send_raw(const std::vector<std::uint8_t>& bytes);
+
+  // Receives the next complete frame payload, waiting up to
+  // `timeout_seconds` (<= 0 uses config.io_timeout_seconds). nullopt on
+  // timeout, disconnect, or a poisoned stream (which also disconnects).
+  std::optional<std::vector<std::uint8_t>> recv_frame(double timeout_seconds = 0.0);
+
+  const ClientStats& stats() const { return stats_; }
+  const ClientConfig& config() const { return config_; }
+
+ private:
+  ClientConfig config_;
+  Socket sock_;
+  FrameReader reader_;
+  Rng jitter_rng_;
+  ClientStats stats_;
+  bool ever_connected_ = false;
+};
+
+}  // namespace dinar::net

@@ -1,0 +1,104 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "util/error.h"
+
+namespace dinar::net {
+
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::vector<std::uint8_t> frame(const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> framed(kFrameHeaderBytes + payload.size());
+  const std::uint64_t length = payload.size();
+  const std::uint64_t checksum = fnv1a64(payload.data(), payload.size());
+  std::memcpy(framed.data(), &kFrameMagic, sizeof kFrameMagic);
+  std::memcpy(framed.data() + sizeof kFrameMagic, &length, sizeof length);
+  std::memcpy(framed.data() + sizeof kFrameMagic + sizeof length, &checksum,
+              sizeof checksum);
+  if (!payload.empty())
+    std::memcpy(framed.data() + kFrameHeaderBytes, payload.data(), payload.size());
+  return framed;
+}
+
+std::vector<std::uint8_t> open_frame(const std::vector<std::uint8_t>& framed) {
+  DINAR_CHECK(framed.size() >= kFrameHeaderBytes,
+              "transport frame: " << framed.size() << " bytes is shorter than the "
+                                  << kFrameHeaderBytes << "-byte header");
+  std::uint32_t magic = 0;
+  std::uint64_t length = 0, checksum = 0;
+  std::memcpy(&magic, framed.data(), sizeof magic);
+  std::memcpy(&length, framed.data() + sizeof magic, sizeof length);
+  std::memcpy(&checksum, framed.data() + sizeof magic + sizeof length,
+              sizeof checksum);
+  DINAR_CHECK(magic == kFrameMagic, "transport frame: bad magic");
+  DINAR_CHECK(length == framed.size() - kFrameHeaderBytes,
+              "transport frame: length field " << length << " does not match "
+                                               << framed.size() - kFrameHeaderBytes
+                                               << " payload bytes");
+  const std::uint8_t* payload = framed.data() + kFrameHeaderBytes;
+  DINAR_CHECK(fnv1a64(payload, length) == checksum,
+              "transport frame: checksum mismatch (payload corrupted in flight)");
+  return std::vector<std::uint8_t>(payload, payload + length);
+}
+
+const char* FrameReader::to_string(Error e) {
+  switch (e) {
+    case Error::kNone: return "none";
+    case Error::kBadMagic: return "bad_magic";
+    case Error::kOversize: return "oversize_frame";
+    case Error::kBadChecksum: return "bad_checksum";
+  }
+  return "unknown";
+}
+
+void FrameReader::feed(const std::uint8_t* data, std::size_t n) {
+  if (error_ != Error::kNone || n == 0) return;
+  // Reclaim the consumed prefix before growing: a long-lived connection
+  // must not accumulate every byte it ever received.
+  if (consumed_ > 0 && (consumed_ >= buf_.size() || consumed_ > (64u << 10))) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+std::optional<std::vector<std::uint8_t>> FrameReader::next() {
+  if (error_ != Error::kNone) return std::nullopt;
+  const std::size_t avail = buf_.size() - consumed_;
+  if (avail < kFrameHeaderBytes) return std::nullopt;
+
+  const std::uint8_t* head = buf_.data() + consumed_;
+  std::uint32_t magic = 0;
+  std::uint64_t length = 0, checksum = 0;
+  std::memcpy(&magic, head, sizeof magic);
+  std::memcpy(&length, head + sizeof magic, sizeof length);
+  std::memcpy(&checksum, head + sizeof magic + sizeof length, sizeof checksum);
+  if (magic != kFrameMagic) {
+    error_ = Error::kBadMagic;
+    return std::nullopt;
+  }
+  if (length > max_frame_bytes_) {
+    error_ = Error::kOversize;
+    return std::nullopt;
+  }
+  if (avail - kFrameHeaderBytes < length) return std::nullopt;  // wait for more
+
+  const std::uint8_t* payload = head + kFrameHeaderBytes;
+  if (fnv1a64(payload, length) != checksum) {
+    error_ = Error::kBadChecksum;
+    return std::nullopt;
+  }
+  std::vector<std::uint8_t> out(payload, payload + length);
+  consumed_ += kFrameHeaderBytes + static_cast<std::size_t>(length);
+  return out;
+}
+
+}  // namespace dinar::net

@@ -1,0 +1,84 @@
+// DFRM wire framing and its stream-oriented decoder.
+//
+// A frame is [u32 magic 'DFRM' | u64 payload length | u64 FNV-1a 64
+// checksum | payload bytes]. The format predates this header (PR 1's
+// fault-tolerant round protocol introduced it for the in-process
+// transport); it moves down here so the in-process transport and the TCP
+// socket layer share one definition instead of two drifting copies.
+//
+// FrameReader applies the WAL's longest-valid-prefix discipline to a byte
+// *stream*: bytes arrive in arbitrary fragments (TCP is not
+// message-preserving), the reader buffers them, and next() hands back each
+// complete, checksum-verified payload in order. A frame that is merely
+// incomplete is not an error — it is the expected state between reads.
+// A frame that can never become valid (bad magic, oversize length, failed
+// checksum) poisons the stream: unlike a file of independent records,
+// a TCP stream has no resynchronization point after a framing error, so
+// the reader latches the error and the connection must be torn down (the
+// peer reconnects and retransmits). The error is named so eviction
+// accounting can attribute it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dinar::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x4446524D;  // "DFRM"
+inline constexpr std::size_t kFrameHeaderBytes =
+    sizeof(std::uint32_t) + 2 * sizeof(std::uint64_t);
+
+// Frame size any in-tree endpoint accepts by default: large enough for the
+// biggest model broadcast we ship, small enough that one malicious length
+// field cannot make a peer allocate gigabytes.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 256u << 20;
+
+// FNV-1a 64 over the payload (the frame checksum).
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n);
+
+// Wraps a payload in a DFRM frame.
+std::vector<std::uint8_t> frame(const std::vector<std::uint8_t>& payload);
+
+// Verifies and strips a frame held as one complete buffer; throws
+// dinar::Error naming the defect (short header, bad magic, length
+// mismatch, checksum mismatch).
+std::vector<std::uint8_t> open_frame(const std::vector<std::uint8_t>& framed);
+
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  enum class Error {
+    kNone,
+    kBadMagic,      // stream bytes are not a DFRM header
+    kOversize,      // length field exceeds the configured cap
+    kBadChecksum,   // complete frame whose payload fails FNV-1a
+  };
+  static const char* to_string(Error e);
+
+  // Appends freshly read stream bytes. No-op once the stream is poisoned.
+  void feed(const std::uint8_t* data, std::size_t n);
+
+  // Extracts the next complete payload, or nullopt when more bytes are
+  // needed or the stream is poisoned (check error()).
+  std::optional<std::vector<std::uint8_t>> next();
+
+  // First unrecoverable framing error seen, if any. Latched: once set the
+  // reader stays poisoned and next() yields nothing.
+  Error error() const { return error_; }
+  bool poisoned() const { return error_ != Error::kNone; }
+
+  // Bytes buffered but not yet returned (backpressure accounting).
+  std::size_t buffered_bytes() const { return buf_.size() - consumed_; }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t consumed_ = 0;  // prefix of buf_ already handed out
+  Error error_ = Error::kNone;
+};
+
+}  // namespace dinar::net

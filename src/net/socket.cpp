@@ -1,0 +1,160 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace dinar::net {
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+// Polls `fd` for `events` until `deadline`; true iff the event arrived.
+bool poll_until(int fd, short events, double deadline) {
+  for (;;) {
+    const double remain = deadline - monotonic_seconds();
+    if (remain <= 0.0) return false;
+    struct pollfd p{fd, events, 0};
+    const int timeout_ms = static_cast<int>(remain * 1000.0) + 1;
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc > 0) return true;  // includes POLLERR/POLLHUP: let the I/O call fail
+    if (rc == 0) return false;
+    if (errno != EINTR) return false;
+  }
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+int Socket::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Socket tcp_listen(std::uint16_t port, int backlog) {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) return Socket();
+  int one = 1;
+  ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(s.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
+    return Socket();
+  if (::listen(s.fd(), backlog) != 0) return Socket();
+  if (!set_nonblocking(s.fd())) return Socket();
+  return s;
+}
+
+std::uint16_t local_port(const Socket& s) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(s.fd(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) return 0;
+  return ntohs(addr.sin_port);
+}
+
+Socket tcp_connect(const std::string& host, std::uint16_t port,
+                   double timeout_seconds) {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) return Socket();
+  if (!set_nonblocking(s.fd())) return Socket();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return Socket();
+
+  const double deadline = monotonic_seconds() + timeout_seconds;
+  const int rc = ::connect(s.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (rc != 0) {
+    if (errno != EINPROGRESS) return Socket();
+    if (!poll_until(s.fd(), POLLOUT, deadline)) return Socket();
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(s.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0)
+      return Socket();
+  }
+  set_nodelay(s.fd());
+  return s;
+}
+
+Socket tcp_accept(const Socket& listener) {
+  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+  if (fd < 0) return Socket();
+  Socket s(fd);
+  if (!set_nonblocking(fd)) return Socket();
+  set_nodelay(fd);
+  return s;
+}
+
+bool send_all(const Socket& s, const std::uint8_t* data, std::size_t n,
+              double deadline) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const auto rc = ::send(s.fd(), data + sent, n - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!poll_until(s.fd(), POLLOUT, deadline)) return false;
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    return false;  // peer gone
+  }
+  return true;
+}
+
+long recv_some(const Socket& s, std::uint8_t* out, std::size_t cap, double deadline) {
+  for (;;) {
+    const auto rc = ::recv(s.fd(), out, cap, 0);
+    if (rc >= 0) return static_cast<long>(rc);
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!poll_until(s.fd(), POLLIN, deadline)) return -1;
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+}  // namespace dinar::net

@@ -1,0 +1,71 @@
+// Thin RAII layer over POSIX TCP sockets.
+//
+// Everything here is deliberately boring: an fd owner, loopback-friendly
+// listen/connect with deadlines, and poll()-based send/recv helpers that
+// tolerate partial transfers and EINTR. The interesting robustness
+// machinery (framing, queues, eviction, backoff) lives one layer up in
+// server.h / client.h; keeping the syscall handling in one place means the
+// event loops never touch errno directly.
+//
+// All functions throw dinar::Error only on programmer errors (e.g. invalid
+// arguments); runtime network failures are reported through return values,
+// because a peer resetting a connection is normal operation for a server.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dinar::net {
+
+// Move-only owner of a socket fd (-1 = empty). Closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release();
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+// Monotonic clock in seconds (deadline arithmetic).
+double monotonic_seconds();
+
+// Listens on 127.0.0.1:`port` (0 = kernel-assigned ephemeral port).
+// Returns an invalid Socket on failure; on success the socket is
+// nonblocking with SO_REUSEADDR set.
+Socket tcp_listen(std::uint16_t port, int backlog);
+
+// The local port a bound socket listens on (resolves port 0).
+std::uint16_t local_port(const Socket& s);
+
+// Connects to host:port with a wall-clock deadline; returns an invalid
+// Socket on failure/timeout. The socket comes back nonblocking with
+// TCP_NODELAY set (frames are latency-sensitive request/response units).
+Socket tcp_connect(const std::string& host, std::uint16_t port,
+                   double timeout_seconds);
+
+// Accepts one pending connection (nonblocking listener); invalid Socket if
+// none is ready. The accepted socket is nonblocking with TCP_NODELAY.
+Socket tcp_accept(const Socket& listener);
+
+// Writes all of `data`, polling for writability until `deadline`
+// (monotonic_seconds() timebase). Returns false on timeout or a dead peer.
+bool send_all(const Socket& s, const std::uint8_t* data, std::size_t n,
+              double deadline);
+
+// Reads at most `cap` bytes once the socket is readable, waiting until
+// `deadline`. Returns the byte count; 0 = orderly peer close; -1 = timeout
+// or error.
+long recv_some(const Socket& s, std::uint8_t* out, std::size_t cap, double deadline);
+
+}  // namespace dinar::net

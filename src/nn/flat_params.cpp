@@ -174,46 +174,33 @@ void FlatParams::reset_index(std::shared_ptr<const LayerIndex> index) {
   index_ = std::move(index);
 }
 
-ParamList FlatParams::to_param_list() const {
-  ParamList out;
-  if (index_ == nullptr) return out;
-  out.reserve(index_->num_entries());
-  for (std::size_t i = 0; i < index_->num_entries(); ++i) {
-    const LayerEntry& e = index_->entry(i);
-    std::vector<float> values(data_.begin() + e.offset,
-                              data_.begin() + e.offset + e.numel);
-    out.emplace_back(e.shape, std::move(values));
-  }
-  return out;
-}
-
-FlatParams FlatParams::from_param_list(const ParamList& list) {
+FlatParams FlatParams::from_tensors(const std::vector<Tensor>& tensors) {
   std::vector<LayerEntry> entries;
-  entries.reserve(list.size());
-  for (std::size_t i = 0; i < list.size(); ++i) {
+  entries.reserve(tensors.size());
+  for (std::size_t i = 0; i < tensors.size(); ++i) {
     LayerEntry e;
     e.name = "entry" + std::to_string(i);
     e.layer_id = static_cast<std::uint32_t>(i);
-    e.shape = list[i].shape();
+    e.shape = tensors[i].shape();
     entries.push_back(std::move(e));
   }
-  return from_param_list(LayerIndex::build(std::move(entries)), list);
+  return from_tensors(LayerIndex::build(std::move(entries)), tensors);
 }
 
-FlatParams FlatParams::from_param_list(std::shared_ptr<const LayerIndex> index,
-                                       const ParamList& list) {
-  DINAR_CHECK(index != nullptr, "from_param_list requires a layer index");
-  DINAR_CHECK(list.size() == index->num_entries(),
-              "from_param_list: " << list.size() << " tensors for an index of "
-                                  << index->num_entries() << " entries");
+FlatParams FlatParams::from_tensors(std::shared_ptr<const LayerIndex> index,
+                                    const std::vector<Tensor>& tensors) {
+  DINAR_CHECK(index != nullptr, "from_tensors requires a layer index");
+  DINAR_CHECK(tensors.size() == index->num_entries(),
+              "from_tensors: " << tensors.size() << " tensors for an index of "
+                               << index->num_entries() << " entries");
   std::vector<float> values(static_cast<std::size_t>(index->total_numel()));
-  for (std::size_t i = 0; i < list.size(); ++i) {
+  for (std::size_t i = 0; i < tensors.size(); ++i) {
     const LayerEntry& e = index->entry(i);
-    DINAR_CHECK(list[i].shape() == e.shape,
-                "from_param_list: shape mismatch at entry " << i << " ("
-                    << e.name << "): " << shape_to_string(list[i].shape())
+    DINAR_CHECK(tensors[i].shape() == e.shape,
+                "from_tensors: shape mismatch at entry " << i << " ("
+                    << e.name << "): " << shape_to_string(tensors[i].shape())
                     << " vs " << shape_to_string(e.shape));
-    std::memcpy(values.data() + e.offset, list[i].data(),
+    std::memcpy(values.data() + e.offset, tensors[i].data(),
                 static_cast<std::size_t>(e.numel) * sizeof(float));
   }
   MemoryTracker::instance().record_copy(values.size() * sizeof(float));
@@ -245,9 +232,9 @@ void flat_add_scaled(FlatParams& a, const FlatParams& b, float s) {
 }
 
 double flat_l2_norm(const FlatParams& a) {
-  // Per-entry accumulation preserved from param_list_l2_norm: each tensor's
-  // squared sum is finished before the next is added, so the result is
-  // bit-identical to the ParamList implementation.
+  // Per-entry accumulation preserved from the pre-flat per-tensor loop:
+  // each tensor's squared sum is finished before the next is added, so the
+  // result is bit-identical to the historical implementation.
   double s = 0.0;
   if (a.index() != nullptr)
     for (std::size_t i = 0; i < a.index()->num_entries(); ++i)
@@ -314,68 +301,14 @@ FlatParams read_flat_params(BinaryReader& r) {
   return FlatParams(std::move(index), std::move(values));
 }
 
-// -- ParamList shim ----------------------------------------------------------
-
-void param_list_add(ParamList& a, const ParamList& b) {
-  DINAR_CHECK(a.size() == b.size(), "param_list_add: length mismatch "
-                                        << a.size() << " vs " << b.size());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    DINAR_CHECK(a[i].same_shape(b[i]),
-                "param_list_add: shape mismatch at tensor "
-                    << i << ": " << shape_to_string(a[i].shape()) << " vs "
-                    << shape_to_string(b[i].shape()));
-    a[i] += b[i];
-  }
-}
-
-void param_list_scale(ParamList& a, float s) {
-  for (Tensor& t : a) t *= s;
-}
-
-void param_list_add_scaled(ParamList& a, const ParamList& b, float s) {
-  DINAR_CHECK(a.size() == b.size(), "param_list_add_scaled: length mismatch "
-                                        << a.size() << " vs " << b.size());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    DINAR_CHECK(a[i].same_shape(b[i]),
-                "param_list_add_scaled: shape mismatch at tensor "
-                    << i << ": " << shape_to_string(a[i].shape()) << " vs "
-                    << shape_to_string(b[i].shape()));
-    a[i].add_scaled(b[i], s);
-  }
-}
-
-std::int64_t param_list_numel(const ParamList& a) {
-  std::int64_t n = 0;
-  for (const Tensor& t : a) n += t.numel();
-  return n;
-}
-
-double param_list_l2_norm(const ParamList& a) {
-  double s = 0.0;
-  for (const Tensor& t : a) s += t.squared_l2_norm();
-  return std::sqrt(s);
-}
-
-bool param_list_same_shape(const ParamList& a, const ParamList& b) {
-  if (a.size() != b.size()) return false;
-  for (std::size_t i = 0; i < a.size(); ++i)
-    if (!a[i].same_shape(b[i])) return false;
-  return true;
-}
-
-void write_param_list(BinaryWriter& w, const ParamList& params) {
-  w.write_u64(params.size());
-  for (const Tensor& t : params) write_tensor(w, t);
-}
-
-ParamList read_param_list(BinaryReader& r) {
+FlatParams read_legacy_tensor_params(BinaryReader& r) {
   // Each tensor record is at least 8 bytes (its rank prefix), so bounding
   // the count by remaining/8 rejects corrupted prefixes before reserve().
   const std::uint64_t n = r.read_length(8);
-  ParamList out;
-  out.reserve(n);
-  for (std::uint64_t i = 0; i < n; ++i) out.push_back(read_tensor(r));
-  return out;
+  std::vector<Tensor> tensors;
+  tensors.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) tensors.push_back(read_tensor(r));
+  return FlatParams::from_tensors(tensors);
 }
 
 }  // namespace dinar::nn

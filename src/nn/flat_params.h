@@ -17,9 +17,10 @@
 // shallow for layout. Spans returned by as_span()/entry_span()/layer_span()
 // alias the arena and are invalidated by move/destruction, never by reads.
 //
-// ParamList (std::vector<Tensor>) survives one release as a conversion
-// shim: to_param_list()/from_param_list() bridge out-of-tree callers while
-// they migrate. All in-tree call sites use FlatParams directly.
+// The pre-flat ParamList (std::vector<Tensor>) API was removed after its
+// one-release deprecation window. Tensor-shaped input enters through
+// FlatParams::from_tensors(); the only tensor-list *wire* format still
+// read is the v1 DCKP checkpoint payload (read_legacy_tensor_params).
 #pragma once
 
 #include <cstdint>
@@ -33,10 +34,6 @@
 #include "util/serde.h"
 
 namespace dinar::nn {
-
-// Ordered snapshot of every parameter tensor of a model. Deprecated shim:
-// kept for one release so out-of-tree callers can migrate to FlatParams.
-using ParamList = std::vector<Tensor>;
 
 // One parameter tensor's placement inside the arena.
 struct LayerEntry {
@@ -126,14 +123,13 @@ class FlatParams {
   // layers on an upload). The new index must have the same total numel.
   void reset_index(std::shared_ptr<const LayerIndex> index);
 
-  // --- ParamList conversion shim (one-release deprecation window) -------
-  ParamList to_param_list() const;
-  // Synthesizes a one-entry-per-tensor index (entry i is layer i). Used by
-  // legacy wire/checkpoint payloads and out-of-tree callers.
-  static FlatParams from_param_list(const ParamList& list);
-  // Adopts `index` and shape-checks the list against it entry by entry.
-  static FlatParams from_param_list(std::shared_ptr<const LayerIndex> index,
-                                    const ParamList& list);
+  // Builds a snapshot from ordered tensors, synthesizing a one-entry-per-
+  // tensor index (entry i is layer i). The entry point for tensor-shaped
+  // input: ad-hoc snapshots in tests and the legacy DCKP read path.
+  static FlatParams from_tensors(const std::vector<Tensor>& tensors);
+  // Adopts `index` and shape-checks the tensors against it entry by entry.
+  static FlatParams from_tensors(std::shared_ptr<const LayerIndex> index,
+                                 const std::vector<Tensor>& tensors);
 
  private:
   void track_alloc();
@@ -144,8 +140,8 @@ class FlatParams {
 };
 
 // Whole-arena math (layout-checked, named errors). These preserve the
-// per-coordinate order and float types of the old per-tensor ParamList
-// loops, so results are bit-identical to the pre-flat code.
+// per-coordinate order and float types of the old per-tensor loops, so
+// results are bit-identical to the pre-flat code.
 void flat_add(FlatParams& a, const FlatParams& b);
 void flat_scale(FlatParams& a, float s);
 void flat_add_scaled(FlatParams& a, const FlatParams& b, float s);
@@ -161,22 +157,11 @@ std::size_t flat_first_non_finite_entry(const FlatParams& a);
 void write_flat_params(BinaryWriter& w, const FlatParams& p);
 FlatParams read_flat_params(BinaryReader& r);
 
-// --- ParamList shim operations (deprecated with the alias) --------------
-// a += b, elementwise across the list (shape-checked, named errors).
-void param_list_add(ParamList& a, const ParamList& b);
-// a *= s.
-void param_list_scale(ParamList& a, float s);
-// a += s * b (shape-checked, named errors).
-void param_list_add_scaled(ParamList& a, const ParamList& b, float s);
-// Total element count.
-std::int64_t param_list_numel(const ParamList& a);
-// sqrt(sum of squared entries) across the whole list.
-double param_list_l2_norm(const ParamList& a);
-// Structural equality of shapes (not values).
-bool param_list_same_shape(const ParamList& a, const ParamList& b);
-
-// Legacy tensor-list wire format (v1 messages/checkpoints read path).
-void write_param_list(BinaryWriter& w, const ParamList& params);
-ParamList read_param_list(BinaryReader& r);
+// Reads the v1 tensor-list payload (count + tensors) into a FlatParams
+// with a synthesized index. This is the only surviving tensor-list wire
+// format: legacy DCKP model/simulation checkpoints. v1 *messages* are
+// rejected outright (fl/message.cpp) — checkpoints live on disk for years,
+// wire frames do not outlive a release.
+FlatParams read_legacy_tensor_params(BinaryReader& r);
 
 }  // namespace dinar::nn

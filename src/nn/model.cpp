@@ -205,7 +205,7 @@ void Model::load(BinaryReader& r) {
   DINAR_CHECK(r.read_u32() == kModelMagic, "not a DINAR model checkpoint");
   const std::uint32_t version = r.read_u32();
   if (version == kModelVersionLegacy) {
-    set_parameters(FlatParams::from_param_list(read_param_list(r)));
+    set_parameters(read_legacy_tensor_params(r));
   } else {
     DINAR_CHECK(version == kModelVersion,
                 "unsupported checkpoint version " << version);

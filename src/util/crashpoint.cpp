@@ -3,9 +3,13 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <mutex>
+
+#include "util/error.h"
 
 namespace dinar {
 namespace {
@@ -25,23 +29,35 @@ std::once_flag g_env_once;
 
 void load_from_env() {
   const char* env = std::getenv("DINAR_CRASHPOINT");
-  if (env == nullptr || *env == '\0') return;
-  std::string spec(env);
-  int hit = 1;
-  if (const auto colon = spec.rfind(':'); colon != std::string::npos) {
-    const std::string count = spec.substr(colon + 1);
-    if (!count.empty() && count.find_first_not_of("0123456789") == std::string::npos) {
-      hit = std::atoi(count.c_str());
-      spec.resize(colon);
-    }
-  }
-  if (hit < 1) hit = 1;
+  if (env == nullptr || *env == '\0') return;  // unset/empty = injection off
+  const CrashpointSpec parsed = parse_crashpoint_spec(env);
   std::lock_guard<std::mutex> lock(g_mu);
-  g_armed = ArmedState{spec, hit, 0};
+  g_armed = ArmedState{parsed.site, parsed.hit, 0};
   g_any.store(true, std::memory_order_release);
 }
 
 }  // namespace
+
+CrashpointSpec parse_crashpoint_spec(const std::string& spec) {
+  CrashpointSpec out{spec, 1};
+  if (const auto colon = spec.rfind(':'); colon != std::string::npos) {
+    const std::string count = spec.substr(colon + 1);
+    if (count.empty() || count.find_first_not_of("0123456789") != std::string::npos)
+      throw Error("DINAR_CRASHPOINT: hit count after ':' must be a positive "
+                  "integer in spec '" + spec + "'");
+    errno = 0;
+    const long long hit = std::strtoll(count.c_str(), nullptr, 10);
+    if (errno == ERANGE || hit < 1 ||
+        hit > std::numeric_limits<int>::max())
+      throw Error("DINAR_CRASHPOINT: hit count out of range [1, 2^31) in spec '" +
+                  spec + "'");
+    out.site = spec.substr(0, colon);
+    out.hit = static_cast<int>(hit);
+  }
+  if (out.site.empty())
+    throw Error("DINAR_CRASHPOINT: empty crash site in spec '" + spec + "'");
+  return out;
+}
 
 void crashpoint(const char* name) {
   std::call_once(g_env_once, load_from_env);

@@ -35,6 +35,19 @@ inline constexpr int kCrashpointExitCode = 137;
 // the process dies via _exit(kCrashpointExitCode). Thread-safe.
 void crashpoint(const char* name);
 
+// A parsed "site[:N]" spec. Parsing is strict: a spec with a colon must
+// carry a positive integer hit count after it (digits only — ":x", ":0"
+// and ":-3" are all rejected), and the site name must be non-empty either
+// way. Malformed specs throw dinar::Error rather than silently arming the
+// wrong site (or nothing): a crash-matrix driver that misspells a spec
+// must fail loudly, not report a bogus "recovered cleanly" pass because no
+// crash was ever injected.
+struct CrashpointSpec {
+  std::string site;
+  int hit = 1;
+};
+CrashpointSpec parse_crashpoint_spec(const std::string& spec);
+
 // Programmatic arming (overrides any environment arming). `hit` counts
 // executions of the named site: 1 = die on the first hit.
 void crashpoint_arm(const std::string& name, int hit = 1);

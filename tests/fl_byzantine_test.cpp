@@ -25,9 +25,7 @@ data::FlSplit easy_split(int clients, std::int64_t n, std::uint64_t seed) {
 }
 
 nn::FlatParams one_tensor(float value) {
-  nn::ParamList p;
-  p.push_back(Tensor({2}, {value, value}));
-  return nn::FlatParams::from_param_list(p);
+  return nn::FlatParams::from_tensors({Tensor({2}, {value, value})});
 }
 
 ModelUpdateMsg update_of(int client, float value, std::int64_t samples = 1) {
@@ -187,10 +185,8 @@ TEST(RobustAggregatorTest, RobustMethodsRejectPreWeightedUpdates) {
 // -------------------------------------------------- layer-aware regression --
 
 nn::FlatParams two_tensors(float a, float b0, float b1) {
-  nn::ParamList p;
-  p.push_back(Tensor({2}, {a, a}));
-  p.push_back(Tensor({2}, {b0, b1}));
-  return nn::FlatParams::from_param_list(p);
+  return nn::FlatParams::from_tensors(
+      {Tensor({2}, {a, a}), Tensor({2}, {b0, b1})});
 }
 
 // The DINAR regression: an honest client's obfuscated layer is random by

@@ -181,9 +181,7 @@ TEST(TransportShipTest, StragglerFactorScalesSimulatedLatency) {
 // --------------------------------------------------------- server hardening --
 
 nn::FlatParams unit_params(float value = 0.0f) {
-  nn::ParamList p;
-  p.push_back(Tensor({2}, {value, value}));
-  return nn::FlatParams::from_param_list(p);
+  return nn::FlatParams::from_tensors({Tensor({2}, {value, value})});
 }
 
 ModelUpdateMsg make_update(int client, float value, std::int64_t samples = 1) {
@@ -211,9 +209,7 @@ TEST(ServerValidationTest, RejectsEachFaultClassWithNamedReason) {
 
   ModelUpdateMsg bad_shape = make_update(1, 1.0f);
   {
-    nn::ParamList wrong;
-    wrong.push_back(Tensor({3}));
-    bad_shape.params = nn::FlatParams::from_param_list(wrong);
+    bad_shape.params = nn::FlatParams::from_tensors({Tensor({3})});
   }
   v = server.validate_update(bad_shape, none, std::nullopt);
   EXPECT_EQ(v.reason, RejectReason::kStructureMismatch);
@@ -272,9 +268,7 @@ TEST(ServerValidationTest, RestoreInstallsCheckpointState) {
   server.restore(4, unit_params(3.0f));
   EXPECT_EQ(server.round(), 4);
   EXPECT_EQ(server.global_params().as_span()[0], 3.0f);
-  nn::ParamList wrong;
-  wrong.push_back(Tensor({5}));
-  EXPECT_THROW(server.restore(1, nn::FlatParams::from_param_list(wrong)), Error);
+  EXPECT_THROW(server.restore(1, nn::FlatParams::from_tensors({Tensor({5})})), Error);
   EXPECT_THROW(server.restore(-1, unit_params()), Error);
 }
 

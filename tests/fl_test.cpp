@@ -14,17 +14,15 @@ using dinar::testing::make_tiny_mlp;
 using dinar::testing::tiny_mlp_factory;
 
 nn::FlatParams small_params(Rng& rng) {
-  nn::ParamList p;
+  std::vector<Tensor> p;
   p.push_back(Tensor::gaussian({3, 2}, rng));
   p.push_back(Tensor::gaussian({2}, rng));
-  return nn::FlatParams::from_param_list(p);
+  return nn::FlatParams::from_tensors(p);
 }
 
 // Single-tensor flat parameters for hand-computed server arithmetic.
 nn::FlatParams one_tensor(const Tensor& t) {
-  nn::ParamList p;
-  p.push_back(t);
-  return nn::FlatParams::from_param_list(p);
+  return nn::FlatParams::from_tensors({t});
 }
 
 // --------------------------------------------------------------- messages --

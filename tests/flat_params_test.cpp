@@ -1,12 +1,13 @@
 // FlatParams / LayerIndex unit tests: arena layout, span views, aliasing
 // rules, the whole-arena math helpers, and the named-error negative paths
-// of both the flat ops and the deprecated ParamList shim ops.
+// of the flat ops and the tensor-based construction path.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <limits>
 
 #include "nn/flat_params.h"
+#include "tensor/tensor_serde.h"
 #include "util/error.h"
 
 namespace dinar::nn {
@@ -139,43 +140,46 @@ TEST(FlatParamsTest, ResetIndexRetagsWithoutTouchingData) {
   EXPECT_THROW(p.reset_index(LayerIndex::build(smaller)), Error);
 }
 
-TEST(FlatParamsTest, ParamListShimRoundTrips) {
+TEST(FlatParamsTest, FromTensorsCopiesValuesInEntryOrder) {
   Rng rng(11);
-  ParamList list;
-  list.push_back(Tensor::gaussian({2, 3}, rng));
-  list.push_back(Tensor::gaussian({3}, rng));
+  std::vector<Tensor> tensors;
+  tensors.push_back(Tensor::gaussian({2, 3}, rng));
+  tensors.push_back(Tensor::gaussian({3}, rng));
 
-  FlatParams flat = FlatParams::from_param_list(list);
+  FlatParams flat = FlatParams::from_tensors(tensors);
   ASSERT_EQ(flat.index()->num_entries(), 2u);
-  // from_param_list(list) synthesizes entry i == layer i.
+  // from_tensors(tensors) synthesizes entry i == layer i.
   EXPECT_EQ(flat.index()->entry(1).layer_id, 1u);
 
-  ParamList back = flat.to_param_list();
-  ASSERT_EQ(back.size(), 2u);
-  for (std::size_t t = 0; t < back.size(); ++t) {
-    ASSERT_TRUE(back[t].same_shape(list[t]));
-    for (std::int64_t j = 0; j < back[t].numel(); ++j)
-      EXPECT_EQ(back[t].values()[static_cast<std::size_t>(j)],
-                list[t].values()[static_cast<std::size_t>(j)]);
+  for (std::size_t t = 0; t < tensors.size(); ++t) {
+    const std::span<const float> got = flat.entry_span(t);
+    ASSERT_EQ(got.size(), tensors[t].values().size());
+    for (std::size_t j = 0; j < got.size(); ++j)
+      EXPECT_EQ(got[j], tensors[t].values()[j]);
   }
 }
 
-TEST(FlatParamsTest, FromParamListAgainstIndexShapeChecks) {
+TEST(FlatParamsTest, FromTensorsAgainstIndexShapeChecks) {
   auto index = LayerIndex::build(two_layer_entries());
-  ParamList list;
-  list.push_back(Tensor({2, 3}));
-  list.push_back(Tensor({3}));
-  list.push_back(Tensor({3}));
-  FlatParams ok = FlatParams::from_param_list(index, list);
+  std::vector<Tensor> tensors;
+  tensors.push_back(Tensor({2, 3}));
+  tensors.push_back(Tensor({3}));
+  tensors.push_back(Tensor({3}));
+  FlatParams ok = FlatParams::from_tensors(index, tensors);
   EXPECT_EQ(ok.index().get(), index.get());  // adopts the given index
 
-  ParamList wrong_shape = list;
+  std::vector<Tensor> wrong_shape = tensors;
   wrong_shape[1] = Tensor({4});
-  EXPECT_THROW(FlatParams::from_param_list(index, wrong_shape), Error);
+  try {
+    FlatParams::from_tensors(index, wrong_shape);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("from_tensors"), std::string::npos);
+  }
 
-  ParamList wrong_count = list;
+  std::vector<Tensor> wrong_count = tensors;
   wrong_count.pop_back();
-  EXPECT_THROW(FlatParams::from_param_list(index, wrong_count), Error);
+  EXPECT_THROW(FlatParams::from_tensors(index, wrong_count), Error);
 }
 
 FlatParams filled(float v0) {
@@ -226,60 +230,36 @@ TEST(FlatMathTest, LayoutMismatchThrowsNamedError) {
   EXPECT_THROW(flat_add_scaled(a, b, 1.0f), Error);
 }
 
-// -- ParamList shim ops: the named-error negative paths ----------------------
+// -- legacy tensor-list read path (the only surviving v1 format) -------------
 
-TEST(ParamListShimTest, AddRejectsLengthAndShapeMismatch) {
-  ParamList a, b;
-  a.push_back(Tensor({2, 2}));
-  b.push_back(Tensor({2, 2}));
-  b.push_back(Tensor({2}));
-  try {
-    param_list_add(a, b);
-    FAIL() << "expected Error";
-  } catch (const Error& e) {
-    EXPECT_NE(std::string(e.what()).find("param_list_add"), std::string::npos);
-    EXPECT_NE(std::string(e.what()).find("length mismatch"), std::string::npos);
-  }
-
-  ParamList c;
-  c.push_back(Tensor({2, 3}));
-  try {
-    param_list_add(a, c);
-    FAIL() << "expected Error";
-  } catch (const Error& e) {
-    EXPECT_NE(std::string(e.what()).find("param_list_add"), std::string::npos);
-  }
-}
-
-TEST(ParamListShimTest, AddScaledRejectsShapeMismatch) {
-  ParamList a, b;
-  a.push_back(Tensor({3}));
-  b.push_back(Tensor({4}));
-  try {
-    param_list_add_scaled(a, b, 0.5f);
-    FAIL() << "expected Error";
-  } catch (const Error& e) {
-    EXPECT_NE(std::string(e.what()).find("param_list_add_scaled"),
-              std::string::npos);
-  }
-}
-
-TEST(ParamListShimTest, ScaleAndNormMatchFlatEquivalents) {
+TEST(LegacyTensorParamsTest, ReadsTheV1TensorListPayload) {
   Rng rng(5);
-  ParamList list;
-  list.push_back(Tensor::gaussian({4, 4}, rng));
-  list.push_back(Tensor::gaussian({7}, rng));
-  FlatParams flat = FlatParams::from_param_list(list);
+  std::vector<Tensor> tensors;
+  tensors.push_back(Tensor::gaussian({4, 4}, rng));
+  tensors.push_back(Tensor::gaussian({7}, rng));
 
-  EXPECT_EQ(param_list_numel(list), flat.numel());
-  EXPECT_EQ(param_list_l2_norm(list), flat_l2_norm(flat));  // bit-identical
+  BinaryWriter w;
+  w.write_u64(tensors.size());
+  for (const Tensor& t : tensors) write_tensor(w, t);
 
-  param_list_scale(list, 0.25f);
-  flat_scale(flat, 0.25f);
-  const ParamList back = flat.to_param_list();
-  for (std::size_t t = 0; t < list.size(); ++t)
-    for (std::size_t j = 0; j < list[t].values().size(); ++j)
-      EXPECT_EQ(list[t].values()[j], back[t].values()[j]);
+  BinaryReader r(w.buffer());
+  const FlatParams flat = read_legacy_tensor_params(r);
+  EXPECT_TRUE(r.exhausted());
+  ASSERT_EQ(flat.index()->num_entries(), 2u);
+  EXPECT_EQ(flat.numel(), 23);
+  for (std::size_t t = 0; t < tensors.size(); ++t) {
+    const std::span<const float> got = flat.entry_span(t);
+    ASSERT_EQ(got.size(), tensors[t].values().size());
+    for (std::size_t j = 0; j < got.size(); ++j)
+      EXPECT_EQ(got[j], tensors[t].values()[j]);
+  }
+}
+
+TEST(LegacyTensorParamsTest, CorruptCountPrefixRejected) {
+  BinaryWriter w;
+  w.write_u64(1u << 30);  // claims a billion tensors in an 8-byte buffer
+  BinaryReader r(w.buffer());
+  EXPECT_THROW(read_legacy_tensor_params(r), Error);
 }
 
 }  // namespace

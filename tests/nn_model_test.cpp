@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "gradcheck.h"
 #include "nn/loss.h"
@@ -44,13 +46,21 @@ TEST(ModelTest, ParametersRoundTrip) {
 TEST(ModelTest, SetParametersValidatesStructure) {
   Rng rng(3);
   Model m = make_tiny_mlp(4, 3, rng);
-  ParamList params = m.parameters().to_param_list();
-  params.pop_back();
-  EXPECT_THROW(m.set_parameters(FlatParams::from_param_list(params)), Error);
+  const FlatParams current = m.parameters();
+  std::vector<Tensor> params;
+  for (std::size_t i = 0; i < current.index()->num_entries(); ++i) {
+    const std::span<const float> vals = current.entry_span(i);
+    params.emplace_back(current.index()->entry(i).shape,
+                        std::vector<float>(vals.begin(), vals.end()));
+  }
 
-  ParamList wrong_shape = m.parameters().to_param_list();
+  std::vector<Tensor> missing_entry = params;
+  missing_entry.pop_back();
+  EXPECT_THROW(m.set_parameters(FlatParams::from_tensors(missing_entry)), Error);
+
+  std::vector<Tensor> wrong_shape = params;
   wrong_shape[0] = Tensor({2, 2});
-  EXPECT_THROW(m.set_parameters(FlatParams::from_param_list(wrong_shape)), Error);
+  EXPECT_THROW(m.set_parameters(FlatParams::from_tensors(wrong_shape)), Error);
 }
 
 TEST(ModelTest, LayerParameterAccess) {
@@ -137,46 +147,6 @@ TEST(ModelTest, SummaryMentionsLayers) {
   const std::string s = m.summary();
   EXPECT_NE(s.find("dense"), std::string::npos);
   EXPECT_NE(s.find("3 parameterized"), std::string::npos);
-}
-
-// ------------------------------------------------------------ param lists --
-
-TEST(ParamListTest, Arithmetic) {
-  ParamList a, b;
-  a.emplace_back(Shape{2}, std::vector<float>{1, 2});
-  b.emplace_back(Shape{2}, std::vector<float>{10, 20});
-  param_list_add(a, b);
-  EXPECT_EQ(a[0].at(1), 22.0f);
-  param_list_scale(a, 0.5f);
-  EXPECT_EQ(a[0].at(0), 5.5f);
-  param_list_add_scaled(a, b, 0.1f);
-  EXPECT_NEAR(a[0].at(0), 6.5f, 1e-6);
-  EXPECT_EQ(param_list_numel(a), 2);
-  EXPECT_TRUE(param_list_same_shape(a, b));
-}
-
-TEST(ParamListTest, NormAndShapeChecks) {
-  ParamList a;
-  a.emplace_back(Shape{2}, std::vector<float>{3, 4});
-  EXPECT_DOUBLE_EQ(param_list_l2_norm(a), 5.0);
-  ParamList b;
-  b.emplace_back(Shape{3});
-  EXPECT_FALSE(param_list_same_shape(a, b));
-  EXPECT_THROW(param_list_add(a, b), Error);
-}
-
-TEST(ParamListTest, SerdeRoundTrip) {
-  Rng rng(11);
-  ParamList a;
-  a.push_back(Tensor::gaussian({3, 4}, rng));
-  a.push_back(Tensor::gaussian({7}, rng));
-  BinaryWriter w;
-  write_param_list(w, a);
-  BinaryReader r(w.buffer());
-  ParamList b = read_param_list(r);
-  ASSERT_EQ(b.size(), 2u);
-  EXPECT_TRUE(param_list_same_shape(a, b));
-  EXPECT_EQ(b[0].at(5), a[0].at(5));
 }
 
 // ------------------------------------------------------------------ loss --

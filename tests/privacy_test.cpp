@@ -16,10 +16,10 @@ using dinar::testing::make_tiny_mlp;
 
 nn::FlatParams sample_params(std::uint64_t seed, float scale = 1.0f) {
   Rng rng(seed);
-  nn::ParamList p;
+  std::vector<Tensor> p;
   p.push_back(Tensor::gaussian({8, 4}, rng, scale));
   p.push_back(Tensor::gaussian({4}, rng, scale));
-  return nn::FlatParams::from_param_list(p);
+  return nn::FlatParams::from_tensors(p);
 }
 
 // --------------------------------------------------------------------- dp --
@@ -61,9 +61,9 @@ TEST(ClipTest, NormBelowBoundUntouched) {
 }
 
 TEST(NoiseTest, GaussianNoiseHasRequestedScale) {
-  nn::ParamList raw;
+  std::vector<Tensor> raw;
   raw.push_back(Tensor({20000}));
-  nn::FlatParams p = nn::FlatParams::from_param_list(raw);
+  nn::FlatParams p = nn::FlatParams::from_tensors(raw);
   Rng rng(3);
   add_gaussian_noise(p, 0.5, rng);
   double sq = 0.0;

@@ -23,10 +23,10 @@ class FedAvgPropertyTest : public ::testing::TestWithParam<int> {};
 TEST_P(FedAvgPropertyTest, AggregatingIdenticalModelsIsIdentity) {
   const int clients = GetParam();
   Rng rng(static_cast<std::uint64_t>(clients) * 11);
-  nn::ParamList raw;
+  std::vector<Tensor> raw;
   raw.push_back(Tensor::gaussian({7, 3}, rng));
   raw.push_back(Tensor::gaussian({3}, rng));
-  const nn::FlatParams model = nn::FlatParams::from_param_list(raw);
+  const nn::FlatParams model = nn::FlatParams::from_tensors(raw);
 
   std::vector<fl::ModelUpdateMsg> updates(static_cast<std::size_t>(clients));
   for (int c = 0; c < clients; ++c) {
@@ -50,9 +50,9 @@ TEST_P(FedAvgPropertyTest, AggregateIsWithinClientEnvelope) {
     updates[static_cast<std::size_t>(c)].client_id = c;
     updates[static_cast<std::size_t>(c)].num_samples = 1 + c;
     updates[static_cast<std::size_t>(c)].params =
-        nn::FlatParams::from_param_list({Tensor::gaussian({50}, rng)});
+        nn::FlatParams::from_tensors({Tensor::gaussian({50}, rng)});
   }
-  fl::FlServer server(nn::FlatParams::from_param_list({Tensor({50})}),
+  fl::FlServer server(nn::FlatParams::from_tensors({Tensor({50})}),
                       std::make_unique<fl::NoServerDefense>());
   server.aggregate(updates);
   for (std::size_t j = 0; j < 50; ++j) {

@@ -1,7 +1,8 @@
 // Wire/checkpoint format-version suite: v2 DFRM frames are bit-exact and
-// self-describing, v1 tensor-list payloads (messages, model checkpoints,
-// simulation checkpoints) still read, and truncation/corruption at every
-// interesting offset dies with a named error instead of garbage state.
+// self-describing, v1 tensor-list *messages* are rejected by name (their
+// read path was removed after the one-release deprecation window), v1 DCKP
+// checkpoints still read, and truncation/corruption at every interesting
+// offset dies with a named error instead of garbage state.
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -30,10 +31,23 @@ constexpr std::uint32_t kCkptMagic = 0x44434B50;       // "DCKP"
 constexpr std::uint32_t kModelMagic = 0x444E4152;      // "DNAR"
 
 nn::FlatParams sample_params(Rng& rng) {
-  nn::ParamList p;
+  std::vector<Tensor> p;
   p.push_back(Tensor::gaussian({4, 3}, rng));
   p.push_back(Tensor::gaussian({3}, rng));
-  return nn::FlatParams::from_param_list(p);
+  return nn::FlatParams::from_tensors(p);
+}
+
+// Writes the v1 tensor-list payload (count + tensors) exactly as the old
+// builds did — the production writer is gone, so legacy fixtures are
+// hand-assembled here.
+void write_v1_tensor_list(BinaryWriter& w, const nn::FlatParams& flat) {
+  const std::size_t n = flat.index() ? flat.index()->num_entries() : 0;
+  w.write_u64(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::span<const float> vals = flat.entry_span(i);
+    write_tensor(w, Tensor(flat.index()->entry(i).shape,
+                           std::vector<float>(vals.begin(), vals.end())));
+  }
 }
 
 void expect_bitwise_equal(const nn::FlatParams& a, const nn::FlatParams& b) {
@@ -178,31 +192,23 @@ TEST(FormatV2Test, CorruptEntryFlagsAndShortPayloadRejected) {
 
 // ------------------------------------------------------ v1 read support --
 
-std::vector<std::uint8_t> v1_global_bytes(std::int64_t round,
-                                          const nn::ParamList& params) {
-  BinaryWriter w;
-  w.write_u32(kGlobalMagicV1);
-  w.write_i64(round);
-  nn::write_param_list(w, params);
-  return w.take();
-}
-
-TEST(FormatV1Test, LegacyGlobalFrameStillReads) {
+TEST(FormatV1Test, LegacyGlobalFrameRejectedByName) {
   Rng rng(5);
   nn::FlatParams flat = sample_params(rng);
-  const auto bytes = v1_global_bytes(6, flat.to_param_list());
-
-  fl::GlobalModelMsg back = fl::GlobalModelMsg::deserialize(bytes);
-  EXPECT_EQ(back.round, 6);
-  expect_bitwise_equal(back.params, flat);
-  // Re-serializing a legacy-read message emits the v2 frame.
-  std::uint32_t magic = 0;
-  const auto v2 = back.serialize();
-  std::memcpy(&magic, v2.data(), sizeof magic);
-  EXPECT_EQ(magic, kFlatMsgMagic);
+  BinaryWriter w;
+  w.write_u32(kGlobalMagicV1);
+  w.write_i64(6);
+  write_v1_tensor_list(w, flat);
+  try {
+    fl::GlobalModelMsg::deserialize(w.take());
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("no longer supported"),
+              std::string::npos);
+  }
 }
 
-TEST(FormatV1Test, LegacyUpdateFrameStillReads) {
+TEST(FormatV1Test, LegacyUpdateFrameRejectedByName) {
   Rng rng(6);
   nn::FlatParams flat = sample_params(rng);
   BinaryWriter w;
@@ -211,15 +217,14 @@ TEST(FormatV1Test, LegacyUpdateFrameStillReads) {
   w.write_i64(2);        // round
   w.write_i64(33);       // num_samples
   w.write_u8(0);         // pre_weighted
-  nn::write_param_list(w, flat.to_param_list());
-  const auto bytes = w.take();
-
-  fl::ModelUpdateMsg back = fl::ModelUpdateMsg::deserialize(bytes);
-  EXPECT_EQ(back.client_id, 11);
-  EXPECT_EQ(back.round, 2);
-  EXPECT_EQ(back.num_samples, 33);
-  EXPECT_FALSE(back.pre_weighted);
-  expect_bitwise_equal(back.params, flat);
+  write_v1_tensor_list(w, flat);
+  try {
+    fl::ModelUpdateMsg::deserialize(w.take());
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("no longer supported"),
+              std::string::npos);
+  }
 }
 
 TEST(FormatV1Test, LegacyModelCheckpointLoads) {
@@ -230,7 +235,7 @@ TEST(FormatV1Test, LegacyModelCheckpointLoads) {
   BinaryWriter w;
   w.write_u32(kModelMagic);
   w.write_u32(1);  // legacy version
-  nn::write_param_list(w, trained.to_param_list());
+  write_v1_tensor_list(w, trained);
   const auto bytes = w.take();
 
   Rng rng2(99);
@@ -264,7 +269,7 @@ TEST(FormatV1Test, LegacySimulationCheckpointResumes) {
   w.write_u32(kCkptMagic);
   w.write_u32(1);  // legacy version
   w.write_i64(sim.server().round());
-  nn::write_param_list(w, global.to_param_list());
+  write_v1_tensor_list(w, global);
   const auto legacy = w.take();
 
   fl::FederatedSimulation fresh = make_sim(41);

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <filesystem>
 #include <fstream>
 
@@ -220,6 +221,38 @@ TEST(CrashpointTest, RegistryListsTheDurabilitySites) {
   EXPECT_NE(std::find(reg.begin(), reg.end(), "wal.append.pre_fsync"), reg.end());
   EXPECT_NE(std::find(reg.begin(), reg.end(), "snapshot.rename"), reg.end());
   EXPECT_NE(std::find(reg.begin(), reg.end(), "round.commit.mid"), reg.end());
+}
+
+TEST(CrashpointSpecTest, ParsesBareSiteAndExplicitHitCount) {
+  const CrashpointSpec bare = parse_crashpoint_spec("wal.append.pre_fsync");
+  EXPECT_EQ(bare.site, "wal.append.pre_fsync");
+  EXPECT_EQ(bare.hit, 1);
+
+  const CrashpointSpec counted = parse_crashpoint_spec("snapshot.rename:3");
+  EXPECT_EQ(counted.site, "snapshot.rename");
+  EXPECT_EQ(counted.hit, 3);
+}
+
+TEST(CrashpointSpecTest, RejectsMalformedSpecsWithNamedErrors) {
+  // Empty site, with or without a count.
+  EXPECT_THROW(parse_crashpoint_spec(":3"), dinar::Error);
+  EXPECT_THROW(parse_crashpoint_spec(":"), dinar::Error);
+  // A colon commits the spec to a hit count: non-numeric suffixes must not
+  // be silently folded back into the site name.
+  EXPECT_THROW(parse_crashpoint_spec("wal.append.pre_fsync:"), dinar::Error);
+  EXPECT_THROW(parse_crashpoint_spec("wal.append.pre_fsync:x"), dinar::Error);
+  EXPECT_THROW(parse_crashpoint_spec("wal.append.pre_fsync:3x"), dinar::Error);
+  // Zero, negative and overflowing counts are out of range.
+  EXPECT_THROW(parse_crashpoint_spec("wal.append.pre_fsync:0"), dinar::Error);
+  EXPECT_THROW(parse_crashpoint_spec("wal.append.pre_fsync:-2"), dinar::Error);
+  EXPECT_THROW(parse_crashpoint_spec("wal.append.pre_fsync:99999999999"),
+               dinar::Error);
+  try {
+    parse_crashpoint_spec("site:bogus");
+    FAIL() << "expected dinar::Error";
+  } catch (const dinar::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("DINAR_CRASHPOINT"), std::string::npos);
+  }
 }
 
 // ------------------------------------------------------------- RoundStore --
@@ -469,6 +502,112 @@ TEST(DurableSimTest, FullStateRejectsMismatchedConfig) {
                             fl::DefenseBundle{});
   BinaryReader r(w.buffer());
   EXPECT_THROW(b.restore_full_state(r), Error);
+}
+
+// Every TransportStats counter — the original in-process seven plus the
+// eight socket wire counters — must survive the durable serde verbatim.
+// A field silently dropped here would read back as zero after a restart
+// and the bit-identical recovery contract would quietly rot.
+TEST(DurableSimTest, TransportStatsSerdeRoundTripsEveryCounter) {
+  fl::TransportStats s;
+  s.messages_up = 101;
+  s.messages_down = 102;
+  s.bytes_up = 103;
+  s.bytes_down = 104;
+  s.frame_bytes_up = 105;
+  s.frame_bytes_down = 106;
+  s.simulated_latency_seconds = 0.12345678901234567;
+  s.socket_frames_tx = 107;
+  s.socket_frames_rx = 108;
+  s.socket_bytes_tx = 109;
+  s.socket_bytes_rx = 110;
+  s.socket_reconnects = 111;
+  s.socket_evictions = 112;
+  s.socket_queue_drops = 113;
+  s.socket_protocol_errors = 114;
+
+  BinaryWriter w;
+  fl::write_transport_stats(w, s);
+  BinaryReader r(w.buffer());
+  const fl::TransportStats back = fl::read_transport_stats(r);
+
+  EXPECT_EQ(back.messages_up, s.messages_up);
+  EXPECT_EQ(back.messages_down, s.messages_down);
+  EXPECT_EQ(back.bytes_up, s.bytes_up);
+  EXPECT_EQ(back.bytes_down, s.bytes_down);
+  EXPECT_EQ(back.frame_bytes_up, s.frame_bytes_up);
+  EXPECT_EQ(back.frame_bytes_down, s.frame_bytes_down);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(back.simulated_latency_seconds),
+            std::bit_cast<std::uint64_t>(s.simulated_latency_seconds));
+  EXPECT_EQ(back.socket_frames_tx, s.socket_frames_tx);
+  EXPECT_EQ(back.socket_frames_rx, s.socket_frames_rx);
+  EXPECT_EQ(back.socket_bytes_tx, s.socket_bytes_tx);
+  EXPECT_EQ(back.socket_bytes_rx, s.socket_bytes_rx);
+  EXPECT_EQ(back.socket_reconnects, s.socket_reconnects);
+  EXPECT_EQ(back.socket_evictions, s.socket_evictions);
+  EXPECT_EQ(back.socket_queue_drops, s.socket_queue_drops);
+  EXPECT_EQ(back.socket_protocol_errors, s.socket_protocol_errors);
+
+  // merge() must accumulate the same full set of fields the serde carries.
+  fl::TransportStats doubled = s;
+  doubled.merge(s);
+  EXPECT_EQ(doubled.messages_up, 2 * s.messages_up);
+  EXPECT_EQ(doubled.frame_bytes_down, 2 * s.frame_bytes_down);
+  EXPECT_EQ(doubled.socket_frames_tx, 2 * s.socket_frames_tx);
+  EXPECT_EQ(doubled.socket_bytes_rx, 2 * s.socket_bytes_rx);
+  EXPECT_EQ(doubled.socket_protocol_errors, 2 * s.socket_protocol_errors);
+}
+
+// Mid-run restart over the *socket* transport: recovery must restore the
+// absolute transport counters (wire counters included) so the continued
+// run's accounting is bit-identical to the uninterrupted one.
+TEST(DurableSimTest, MidRunRestartRestoresSocketTransportStatsExactly) {
+  const std::string dir = fresh_dir("sim_sockstats") + "/store";
+  fl::SimulationConfig cfg = durable_config(4);
+  cfg.socket_transport = true;
+  const auto make = [&cfg] {
+    return fl::FederatedSimulation(tiny_mlp_factory(2, 2), easy_split(3, 300, 11),
+                                   cfg, fl::DefenseBundle{});
+  };
+
+  fl::FederatedSimulation reference = make();
+  {
+    store::RoundStore s(dir);
+    fl::FederatedSimulation sim = make();
+    sim.attach_store(&s, /*snapshot_every=*/100);
+    sim.run_round();
+    sim.run_round();
+  }  // "restart": the first process's state dies with this scope
+
+  for (int i = 0; i < 4; ++i) reference.run_round();
+
+  store::RoundStore s(dir);
+  fl::FederatedSimulation recovered = make();
+  recovered.attach_store(&s, 100);
+  EXPECT_EQ(recovered.recover_from_store(), 2);
+  recovered.run_round();
+  recovered.run_round();
+
+  const fl::TransportStats& a = recovered.transport().stats();
+  const fl::TransportStats& b = reference.transport().stats();
+  EXPECT_GT(a.socket_frames_tx, 0u);  // the wire really was exercised
+  EXPECT_EQ(a.messages_up, b.messages_up);
+  EXPECT_EQ(a.messages_down, b.messages_down);
+  EXPECT_EQ(a.bytes_up, b.bytes_up);
+  EXPECT_EQ(a.bytes_down, b.bytes_down);
+  EXPECT_EQ(a.frame_bytes_up, b.frame_bytes_up);
+  EXPECT_EQ(a.frame_bytes_down, b.frame_bytes_down);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.simulated_latency_seconds),
+            std::bit_cast<std::uint64_t>(b.simulated_latency_seconds));
+  EXPECT_EQ(a.socket_frames_tx, b.socket_frames_tx);
+  EXPECT_EQ(a.socket_frames_rx, b.socket_frames_rx);
+  EXPECT_EQ(a.socket_bytes_tx, b.socket_bytes_tx);
+  EXPECT_EQ(a.socket_bytes_rx, b.socket_bytes_rx);
+  EXPECT_EQ(a.socket_reconnects, b.socket_reconnects);
+  EXPECT_EQ(a.socket_evictions, b.socket_evictions);
+  EXPECT_EQ(a.socket_queue_drops, b.socket_queue_drops);
+  EXPECT_EQ(a.socket_protocol_errors, b.socket_protocol_errors);
+  EXPECT_EQ(full_state(recovered), full_state(reference));
 }
 
 TEST(DurableSimTest, AtomicCheckpointSurvivesOverwrite) {
