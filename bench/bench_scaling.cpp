@@ -12,6 +12,15 @@
 // Results land in BENCH_SCALING.json. `--smoke` shrinks the grid for CI;
 // speedup there is meaningless (CI runners are often single-core) but the
 // determinism column still must hold.
+//
+// Second sweep: sharded hierarchical aggregation (DESIGN.md §12) over a
+// synthetic cohort, clients 10^3 -> 10^5 x shards x threads, aggregation
+// only (no training) so the tree itself is what's measured. Every
+// single-shard cell is gated on bit-identity with the flat
+// RobustAggregator::aggregate() path — the exit code reflects the gate, so
+// CI (which runs `--smoke` on every matrix leg, including TSan) fails on
+// any divergence.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -72,6 +81,89 @@ ScalingResult run_scaling(const DatasetCase& spec, unsigned threads) {
   return out;
 }
 
+// Synthetic cohort for the aggregation-tree sweep: every client's params
+// are the global arena plus a small deterministic per-(client, coordinate)
+// delta — no RNG, so any two runs of the bench build identical cohorts.
+std::vector<fl::ModelUpdateMsg> make_synthetic_updates(int clients,
+                                                       const nn::FlatParams& global) {
+  std::vector<fl::ModelUpdateMsg> updates(static_cast<std::size_t>(clients));
+  for (int i = 0; i < clients; ++i) {
+    fl::ModelUpdateMsg& u = updates[static_cast<std::size_t>(i)];
+    u.client_id = i;
+    u.round = 0;
+    u.num_samples = 1 + (i % 4);
+    u.params = global;
+    std::span<float> v = u.params.as_span();
+    for (std::size_t j = 0; j < v.size(); ++j)
+      v[j] += 1e-3f * static_cast<float>((i * 31 + static_cast<int>(j) * 7) % 23 - 11);
+  }
+  return updates;
+}
+
+// One cell of the shard sweep. Returns false iff the single-shard gate
+// (hierarchical num_shards==1 bit-identical to flat aggregate) failed.
+bool run_shard_cell(BenchJson& json, fl::AggregatorKind kind, int clients,
+                    std::size_t num_shards, unsigned threads,
+                    std::vector<fl::ModelUpdateMsg>& updates,
+                    const nn::FlatParams& global) {
+  fl::ShardConfig shard_cfg;
+  shard_cfg.num_shards = num_shards;
+  shard_cfg.assignment_seed = 0xD1AA5ULL;
+  // Pre-sort by shard so plan_shards takes the zero-copy path — what a
+  // million-client deployment would do (edge aggregators already hold
+  // their own shard's updates).
+  std::stable_sort(updates.begin(), updates.end(),
+                   [&](const fl::ModelUpdateMsg& a, const fl::ModelUpdateMsg& b) {
+                     return fl::shard_of(a.client_id, shard_cfg) <
+                            fl::shard_of(b.client_id, shard_cfg);
+                   });
+
+  ExecConfig exec_cfg;
+  exec_cfg.threads = threads;
+  ExecutionContext exec(exec_cfg);
+  auto agg = fl::make_robust_aggregator(kind);
+  agg->set_execution_context(&exec);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const fl::HierarchicalResult hier =
+      fl::hierarchical_aggregate(*agg, updates, global, shard_cfg, &exec);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  double shard_mean = 0.0, shard_max = 0.0;
+  std::size_t live = 0;
+  for (std::size_t s = 0; s < hier.shard_seconds.size(); ++s) {
+    if (hier.shards[s].num_updates == 0) continue;
+    shard_mean += hier.shard_seconds[s];
+    shard_max = std::max(shard_max, hier.shard_seconds[s]);
+    ++live;
+  }
+  if (live > 0) shard_mean /= static_cast<double>(live);
+
+  bool gate_ok = true;
+  std::string flat_match = "n/a";
+  if (num_shards == 1) {
+    const fl::RobustAggregateResult flat = agg->aggregate(updates, global);
+    gate_ok = param_hash(flat.params) == param_hash(hier.result.params);
+    flat_match = gate_ok ? "true" : "false";
+  }
+
+  print_table_row(std::string(fl::to_string(kind)) + "/" + std::to_string(clients),
+                  {static_cast<double>(num_shards), static_cast<double>(threads),
+                   seconds, shard_max, flat_match == "false" ? 0.0 : 1.0});
+  json.begin_row()
+      .field("case", std::string("shard_synthetic"))
+      .field("aggregator", std::string(fl::to_string(kind)))
+      .field("clients_per_round", static_cast<std::int64_t>(clients))
+      .field("num_shards", static_cast<std::int64_t>(num_shards))
+      .field("threads", static_cast<std::int64_t>(threads))
+      .field("seconds_per_aggregate", seconds)
+      .field("shard_seconds_mean", shard_mean)
+      .field("shard_seconds_max", shard_max)
+      .field("flat_bit_identical", flat_match);
+  return gate_ok;
+}
+
 int run(int argc, char** argv) {
   const double scale = parse_scale(argc, argv);
   const bool smoke = parse_flag(argc, argv, "--smoke");
@@ -108,6 +200,7 @@ int run(int argc, char** argv) {
       json.begin_row()
           .field("case", spec.name)
           .field("clients_per_round", static_cast<std::int64_t>(clients))
+          .field("num_shards", static_cast<std::int64_t>(1))
           .field("threads", static_cast<std::int64_t>(threads))
           .field("seconds_per_round", r.seconds_per_round)
           .field("speedup_vs_1_thread", speedup)
@@ -117,12 +210,49 @@ int run(int argc, char** argv) {
                  static_cast<std::int64_t>(r.final_hash >> 1));
     }
   }
+  // -- sharded hierarchical aggregation sweep ------------------------------
+  std::printf("\nSharded aggregation — clients x shards (synthetic cohort, "
+              "aggregation only)\n");
+  print_table_header("agg/clients",
+                     {"shards", "threads", "s/agg", "shard_max_s", "flat=="});
+  const std::vector<int> shard_clients =
+      smoke ? std::vector<int>{512} : std::vector<int>{1000, 10000, 100000};
+  const std::vector<std::size_t> shard_counts =
+      smoke ? std::vector<std::size_t>{1, 4} : std::vector<std::size_t>{1, 4, 16, 64};
+  const std::vector<unsigned> shard_threads =
+      smoke ? std::vector<unsigned>{2} : std::vector<unsigned>{1, 4};
+  const std::vector<fl::AggregatorKind> shard_methods = {
+      fl::AggregatorKind::kFedAvg, fl::AggregatorKind::kMedian};
+
+  // Two entries so the layer-aware run machinery is on the measured path.
+  const nn::FlatParams shard_global = nn::FlatParams::from_tensors(
+      {Tensor({96}, std::vector<float>(96, 0.25f)),
+       Tensor({32}, std::vector<float>(32, -0.5f))});
+  bool gate_ok = true;
+  for (const int clients : shard_clients) {
+    std::vector<fl::ModelUpdateMsg> updates =
+        make_synthetic_updates(clients, shard_global);
+    for (const fl::AggregatorKind kind : shard_methods)
+      for (const std::size_t shards : shard_counts)
+        for (const unsigned threads : shard_threads)
+          gate_ok &= run_shard_cell(json, kind, clients, shards, threads, updates,
+                                    shard_global);
+  }
+
   std::printf("\nexpected: on a machine with >= 8 cores, 16 clients/round at "
               "8 threads reaches >= 2.5x the single-thread round rate while "
               "`determ` stays 1 in every cell (bit-identical final model for "
               "any thread count). On fewer cores speedup saturates at the "
-              "core count; determinism must hold regardless.\n");
+              "core count; determinism must hold regardless. In the shard "
+              "sweep every `flat==` cell must be 1: a single-shard tree is "
+              "bit-identical to flat aggregation (the CI gate); multi-shard "
+              "cells trade exactness for parallel edge aggregation.\n");
   json.write();
+  if (!gate_ok) {
+    std::printf("GATE FAILED: single-shard hierarchical aggregation diverged "
+                "from the flat path\n");
+    return 1;
+  }
   return 0;
 }
 

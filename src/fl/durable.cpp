@@ -130,6 +130,17 @@ void write_round_outcome(BinaryWriter& w, const RoundOutcome& out) {
   write_int_vector(w, out.joined);
   write_int_vector(w, out.departed);
   write_fault_stats(w, out.fault_delta);
+  w.write_u64(out.shards.size());
+  for (const ShardStats& s : out.shards) {
+    w.write_u32(s.shard_id);
+    w.write_u64(s.num_updates);
+    w.write_u64(s.num_accepted);
+    w.write_u64(s.num_flagged);
+    w.write_f64(s.weight);
+    w.write_f64(s.min_norm);
+    w.write_f64(s.median_norm);
+    w.write_f64(s.max_norm);
+  }
 }
 
 RoundOutcome read_round_outcome(BinaryReader& r) {
@@ -166,6 +177,20 @@ RoundOutcome read_round_outcome(BinaryReader& r) {
   out.joined = read_int_vector(r);
   out.departed = read_int_vector(r);
   out.fault_delta = read_fault_stats(r);
+  const std::uint64_t ns = r.read_length(4 + 3 * 8 + 4 * 8);
+  out.shards.reserve(ns);
+  for (std::uint64_t i = 0; i < ns; ++i) {
+    ShardStats s;
+    s.shard_id = r.read_u32();
+    s.num_updates = r.read_u64();
+    s.num_accepted = r.read_u64();
+    s.num_flagged = r.read_u64();
+    s.weight = r.read_f64();
+    s.min_norm = r.read_f64();
+    s.median_norm = r.read_f64();
+    s.max_norm = r.read_f64();
+    out.shards.push_back(s);
+  }
   return out;
 }
 

@@ -42,11 +42,13 @@ enum class WalRecordKind : std::uint8_t {
 };
 
 // Magic + version of the full-state snapshot payload. v2 widened the
-// transport-stats block with the socket transport's wire counters; v1
-// snapshots (and the WAL records written alongside them) are rejected,
-// which recovery treats like any other unreadable state.
+// transport-stats block with the socket transport's wire counters; v3
+// appended the hierarchical-aggregation per-shard stats to every
+// RoundOutcome. Older snapshots (and the WAL records written alongside
+// them) are rejected, which recovery treats like any other unreadable
+// state.
 inline constexpr std::uint32_t kFullStateMagic = 0x54534644;  // "DFST"
-inline constexpr std::uint32_t kFullStateVersion = 2;
+inline constexpr std::uint32_t kFullStateVersion = 3;
 // Magic of the legacy monolithic checkpoint (simulation.cpp's DCKP),
 // re-declared here so recovery can sniff snapshot payloads.
 inline constexpr std::uint32_t kLegacyCheckpointMagic = 0x44434B50;  // "DCKP"

@@ -39,7 +39,7 @@ std::vector<bool> excluded_mask(const RobustConfig& config, std::size_t num_entr
   return mask;
 }
 
-void require_raw_updates(const std::vector<ModelUpdateMsg>& updates, const char* name) {
+void require_raw_updates(std::span<const ModelUpdateMsg> updates, const char* name) {
   for (const ModelUpdateMsg& u : updates)
     DINAR_CHECK(!u.pre_weighted,
                 name << " cannot score pre-weighted (secure-aggregation) updates; "
@@ -101,18 +101,41 @@ double median_of(std::vector<double> v) {
   return m;
 }
 
-double total_weight(const std::vector<ModelUpdateMsg>& updates,
+double total_weight(std::span<const ModelUpdateMsg> updates,
                     const std::vector<std::size_t>& members) {
   double total = 0.0;
   for (const std::size_t i : members) total += static_cast<double>(updates[i].num_samples);
   return total;
 }
 
+// Every member's scored-delta L2 norm vs the pre-round global model —
+// `ShardStats`'s norm distribution, and norm_clip's clip input.
+std::vector<double> scored_delta_norms(std::span<const ModelUpdateMsg> updates,
+                                       const nn::FlatParams& global,
+                                       const std::vector<Run>& scored,
+                                       const ExecutionContext* exec) {
+  std::vector<double> norms(updates.size(), 0.0);
+  run_range(exec, updates.size(), 1, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i)
+      norms[static_cast<std::size_t>(i)] = std::sqrt(scored_sq_distance(
+          updates[static_cast<std::size_t>(i)].params.as_span(), global.as_span(),
+          scored));
+  });
+  return norms;
+}
+
+void set_norm_stats(ShardStats& stats, const std::vector<double>& norms) {
+  if (norms.empty()) return;
+  stats.min_norm = *std::min_element(norms.begin(), norms.end());
+  stats.max_norm = *std::max_element(norms.begin(), norms.end());
+  stats.median_norm = median_of(norms);
+}
+
 // Sample-weighted FedAvg of `members`' raw parameters over one run,
 // accumulated into `out` (caller zeroes the range first). Per coordinate
 // the members accumulate in ascending member order regardless of chunking,
 // so the float sums match the sequential path.
-void weighted_mean_run(const std::vector<ModelUpdateMsg>& updates,
+void weighted_mean_run(std::span<const ModelUpdateMsg> updates,
                        const std::vector<std::size_t>& members, Run run,
                        std::span<float> out, const ExecutionContext* exec) {
   const double total = total_weight(updates, members);
@@ -130,7 +153,7 @@ void weighted_mean_run(const std::vector<ModelUpdateMsg>& updates,
 
 // Plain FedAvg over a member subset, the whole arena (Krum's final average
 // reduces to this).
-nn::FlatParams weighted_mean_params(const std::vector<ModelUpdateMsg>& updates,
+nn::FlatParams weighted_mean_params(std::span<const ModelUpdateMsg> updates,
                                     const std::vector<std::size_t>& members,
                                     const ExecutionContext* exec) {
   nn::FlatParams out(updates.front().params.index());
@@ -148,17 +171,18 @@ std::vector<std::size_t> all_indices(std::size_t n) {
 // strategy that accepts pre-weighted updates (it never scores clients).
 class FedAvgAggregator final : public RobustAggregator {
  public:
+  explicit FedAvgAggregator(RobustConfig config) : config_(std::move(config)) {}
   std::string name() const override { return "fedavg"; }
 
-  RobustAggregateResult aggregate(const std::vector<ModelUpdateMsg>& updates,
-                                  const nn::FlatParams& /*global*/) override {
+  ShardSummary shard_aggregate(std::span<const ModelUpdateMsg> updates,
+                               const nn::FlatParams& global) override {
     const bool pre_weighted = updates.front().pre_weighted;
     double total = 0.0;
     for (const ModelUpdateMsg& u : updates) total += static_cast<double>(u.num_samples);
 
-    RobustAggregateResult result;
-    result.params = nn::FlatParams(updates.front().params.index());
-    std::span<float> acc = result.params.as_span();
+    ShardSummary summary;
+    summary.params = nn::FlatParams(updates.front().params.index());
+    std::span<float> acc = summary.params.as_span();
     // One contiguous pass per client in ascending order; chunking cannot
     // change any coordinate's accumulation sequence.
     run_range(exec_, acc.size(), coord_grain(updates.size()),
@@ -178,8 +202,27 @@ class FedAvgAggregator final : public RobustAggregator {
                 for (std::int64_t j = j0; j < j1; ++j)
                   acc[static_cast<std::size_t>(j)] *= inv;
               });
-    return result;
+
+    summary.stats.num_updates = updates.size();
+    summary.stats.num_accepted = updates.size();
+    summary.stats.weight = total;
+    // Pre-weighted (secure-aggregation) parameters are masked partial sums,
+    // not models — no meaningful distance to the global exists before
+    // unweighting, so the norm distribution stays zero.
+    if (!pre_weighted) {
+      const std::vector<bool> excluded =
+          excluded_mask(config_, global.index()->num_entries());
+      set_norm_stats(summary.stats,
+                     scored_delta_norms(updates, global,
+                                        runs_of(*global.index(), excluded,
+                                                /*excluded=*/false),
+                                        exec_));
+    }
+    return summary;
   }
+
+ private:
+  RobustConfig config_;
 };
 
 // Shared screen for the coordinate-wise strategies: clients far from the
@@ -188,8 +231,8 @@ class CoordinateWiseAggregator : public RobustAggregator {
  public:
   explicit CoordinateWiseAggregator(RobustConfig config) : config_(std::move(config)) {}
 
-  RobustAggregateResult aggregate(const std::vector<ModelUpdateMsg>& updates,
-                                  const nn::FlatParams& /*global*/) override {
+  ShardSummary shard_aggregate(std::span<const ModelUpdateMsg> updates,
+                               const nn::FlatParams& global) override {
     require_raw_updates(updates, name().c_str());
     const std::size_t n = updates.size();
     const auto& index = *updates.front().params.index();
@@ -197,7 +240,7 @@ class CoordinateWiseAggregator : public RobustAggregator {
     const std::vector<Run> scored = runs_of(index, excluded, /*excluded=*/false);
     const std::vector<Run> obfuscated = runs_of(index, excluded, /*excluded=*/true);
 
-    RobustAggregateResult result;
+    ShardSummary summary;
     std::vector<std::size_t> survivors = all_indices(n);
     if (n >= 3) {
       nn::FlatParams center(updates.front().params.index());
@@ -217,7 +260,7 @@ class CoordinateWiseAggregator : public RobustAggregator {
           std::ostringstream os;
           os << name() << "-outlier: distance to coordinate-wise median " << dist[i]
              << " exceeds " << config_.outlier_threshold << " x median distance " << med;
-          result.flags.push_back({updates[i].client_id, os.str(), /*excluded=*/true});
+          summary.flags.push_back({updates[i].client_id, os.str(), /*excluded=*/true});
         } else {
           survivors.push_back(i);
         }
@@ -226,25 +269,31 @@ class CoordinateWiseAggregator : public RobustAggregator {
       // `survivors` is never empty here.
     }
 
-    result.params = nn::FlatParams(updates.front().params.index());
+    summary.params = nn::FlatParams(updates.front().params.index());
     for (const Run& run : scored)
-      robust_statistic_run(updates, survivors, run, result.params.as_span());
+      robust_statistic_run(updates, survivors, run, summary.params.as_span());
     for (const Run& run : obfuscated) {
       // Obfuscation noise: a robust statistic is meaningless, a plain
       // average keeps the broadcast well-formed.
-      weighted_mean_run(updates, survivors, run, result.params.as_span(), exec_);
+      weighted_mean_run(updates, survivors, run, summary.params.as_span(), exec_);
     }
-    return result;
+
+    summary.stats.num_updates = n;
+    summary.stats.num_accepted = survivors.size();
+    summary.stats.num_flagged = summary.flags.size();
+    summary.stats.weight = total_weight(updates, survivors);
+    set_norm_stats(summary.stats, scored_delta_norms(updates, global, scored, exec_));
+    return summary;
   }
 
  protected:
   // Per-coordinate robust statistic over the surviving clients, written
   // into the run's slice of the (zero-initialized) output arena.
-  virtual void robust_statistic_run(const std::vector<ModelUpdateMsg>& updates,
+  virtual void robust_statistic_run(std::span<const ModelUpdateMsg> updates,
                                     const std::vector<std::size_t>& members, Run run,
                                     std::span<float> out) const = 0;
 
-  static void coordinate_median_runs(const std::vector<ModelUpdateMsg>& updates,
+  static void coordinate_median_runs(std::span<const ModelUpdateMsg> updates,
                                      const std::vector<std::size_t>& members,
                                      const std::vector<Run>& runs,
                                      std::span<float> out,
@@ -275,7 +324,7 @@ class MedianAggregator final : public CoordinateWiseAggregator {
   std::string name() const override { return "median"; }
 
  protected:
-  void robust_statistic_run(const std::vector<ModelUpdateMsg>& updates,
+  void robust_statistic_run(std::span<const ModelUpdateMsg> updates,
                             const std::vector<std::size_t>& members, Run run,
                             std::span<float> out) const override {
     coordinate_median_runs(updates, members, {run}, out, exec_);
@@ -288,7 +337,7 @@ class TrimmedMeanAggregator final : public CoordinateWiseAggregator {
   std::string name() const override { return "trimmed_mean"; }
 
  protected:
-  void robust_statistic_run(const std::vector<ModelUpdateMsg>& updates,
+  void robust_statistic_run(std::span<const ModelUpdateMsg> updates,
                             const std::vector<std::size_t>& members, Run run,
                             std::span<float> out) const override {
     const std::size_t m = members.size();
@@ -315,13 +364,14 @@ class TrimmedMeanAggregator final : public CoordinateWiseAggregator {
 // FedAvg over deltas with per-update norm clipping: the clip bound is
 // self-calibrating (clip_multiplier x the median scored-delta norm), so a
 // model-replacement update's influence collapses to an honest client's.
+// Under sharding the bound calibrates per shard (DESIGN.md §12).
 class NormClipAggregator final : public RobustAggregator {
  public:
   explicit NormClipAggregator(RobustConfig config) : config_(std::move(config)) {}
   std::string name() const override { return "norm_clip"; }
 
-  RobustAggregateResult aggregate(const std::vector<ModelUpdateMsg>& updates,
-                                  const nn::FlatParams& global) override {
+  ShardSummary shard_aggregate(std::span<const ModelUpdateMsg> updates,
+                               const nn::FlatParams& global) override {
     require_raw_updates(updates, "norm_clip");
     const std::size_t n = updates.size();
     const auto& index = *global.index();
@@ -329,16 +379,10 @@ class NormClipAggregator final : public RobustAggregator {
     const std::vector<Run> scored = runs_of(index, excluded, /*excluded=*/false);
     const std::vector<Run> obfuscated = runs_of(index, excluded, /*excluded=*/true);
 
-    std::vector<double> norms(n, 0.0);
-    run_range(exec_, n, 1, [&](std::int64_t i0, std::int64_t i1) {
-      for (std::int64_t i = i0; i < i1; ++i)
-        norms[static_cast<std::size_t>(i)] = std::sqrt(scored_sq_distance(
-            updates[static_cast<std::size_t>(i)].params.as_span(), global.as_span(),
-            scored));
-    });
+    const std::vector<double> norms = scored_delta_norms(updates, global, scored, exec_);
     const double bound = config_.clip_multiplier * median_of(norms);
 
-    RobustAggregateResult result;
+    ShardSummary summary;
     double total = 0.0;
     for (const ModelUpdateMsg& u : updates) total += static_cast<double>(u.num_samples);
 
@@ -348,12 +392,12 @@ class NormClipAggregator final : public RobustAggregator {
         scale[i] = bound / norms[i];
         std::ostringstream os;
         os << "norm-clipped: delta norm " << norms[i] << " -> " << bound;
-        result.flags.push_back({updates[i].client_id, os.str(), /*excluded=*/false});
+        summary.flags.push_back({updates[i].client_id, os.str(), /*excluded=*/false});
       }
     }
 
-    result.params = global;  // scored coordinates accumulate clipped deltas
-    std::span<float> vo = result.params.as_span();
+    summary.params = global;  // scored coordinates accumulate clipped deltas
+    std::span<float> vo = summary.params.as_span();
     const std::span<const float> vg = global.as_span();
     const std::vector<std::size_t> everyone = all_indices(n);
     for (const Run& run : scored) {
@@ -378,7 +422,13 @@ class NormClipAggregator final : public RobustAggregator {
         vo[static_cast<std::size_t>(j)] = 0.0f;
       weighted_mean_run(updates, everyone, run, vo, exec_);
     }
-    return result;
+
+    summary.stats.num_updates = n;
+    summary.stats.num_accepted = n;  // clipping down-weights, never excludes
+    summary.stats.num_flagged = summary.flags.size();
+    summary.stats.weight = total;
+    set_norm_stats(summary.stats, norms);
+    return summary;
   }
 
  private:
@@ -394,8 +444,8 @@ class KrumAggregator final : public RobustAggregator {
       : config_(std::move(config)), multi_(multi) {}
   std::string name() const override { return multi_ ? "multi_krum" : "krum"; }
 
-  RobustAggregateResult aggregate(const std::vector<ModelUpdateMsg>& updates,
-                                  const nn::FlatParams& global) override {
+  ShardSummary shard_aggregate(std::span<const ModelUpdateMsg> updates,
+                               const nn::FlatParams& global) override {
     require_raw_updates(updates, name().c_str());
     const std::size_t n = updates.size();
     const auto& index = *global.index();
@@ -439,7 +489,7 @@ class KrumAggregator final : public RobustAggregator {
       m = std::max<std::size_t>(1, std::min(m, n));
     }
 
-    RobustAggregateResult result;
+    ShardSummary summary;
     std::vector<std::size_t> selected;
     for (std::size_t rank = 0; rank < n; ++rank) {
       const auto [score, i] = scored_clients[rank];
@@ -449,12 +499,18 @@ class KrumAggregator final : public RobustAggregator {
         std::ostringstream os;
         os << "krum-rank: " << rank + 1 << "/" << n << " (score " << score
            << ", worst selected " << scored_clients[m - 1].first << ")";
-        result.flags.push_back({updates[i].client_id, os.str(), /*excluded=*/true});
+        summary.flags.push_back({updates[i].client_id, os.str(), /*excluded=*/true});
       }
     }
     std::sort(selected.begin(), selected.end());
-    result.params = weighted_mean_params(updates, selected, exec_);
-    return result;
+    summary.params = weighted_mean_params(updates, selected, exec_);
+
+    summary.stats.num_updates = n;
+    summary.stats.num_accepted = selected.size();
+    summary.stats.num_flagged = summary.flags.size();
+    summary.stats.weight = total_weight(updates, selected);
+    set_norm_stats(summary.stats, scored_delta_norms(updates, global, scored, exec_));
+    return summary;
   }
 
  private:
@@ -464,7 +520,105 @@ class KrumAggregator final : public RobustAggregator {
 
 }  // namespace
 
-std::unique_ptr<RobustAggregator> make_robust_aggregator(const RobustConfig& config) {
+RobustAggregateResult RobustAggregator::combine(std::span<const ShardSummary> summaries,
+                                                const nn::FlatParams& global) {
+  std::vector<const ShardSummary*> live;
+  for (const ShardSummary& s : summaries)
+    if (!s.empty()) live.push_back(&s);
+  DINAR_CHECK(!live.empty(),
+              "combine: all " << summaries.size()
+                              << " shard summaries are empty (every shard's clients "
+                                 "churned away or were quarantined); carry the "
+                                 "previous global model forward instead");
+
+  double total = 0.0;
+  for (const ShardSummary* s : live) {
+    DINAR_CHECK(s->params.same_layout(global),
+                "combine: shard " << s->stats.shard_id
+                                  << " summary layout differs from the global model");
+    DINAR_CHECK(s->stats.weight > 0.0, "combine: shard " << s->stats.shard_id
+                                                         << " has non-positive weight "
+                                                         << s->stats.weight);
+    total += s->stats.weight;
+  }
+
+  RobustAggregateResult result;
+  for (const ShardSummary& s : summaries)
+    for (const AggregatorFlag& f : s.flags) result.flags.push_back(f);
+
+  if (live.size() == 1) {
+    // Copy the arena verbatim rather than accumulating from zero: float
+    // addition would already perturb bits (0.0f + -0.0f == +0.0f), and the
+    // single-shard path must be bit-identical to flat aggregation.
+    result.params = live.front()->params;
+    return result;
+  }
+
+  result.params = nn::FlatParams(global.index());
+  std::span<float> out = result.params.as_span();
+  // Shard-weight-proportional mean, summaries accumulated in ascending
+  // position order per coordinate regardless of chunking — deterministic
+  // for any thread count (same contract as weighted_mean_run).
+  run_range(exec_, out.size(), coord_grain(live.size()),
+            [&](std::int64_t j0, std::int64_t j1) {
+              for (const ShardSummary* s : live) {
+                const double w = s->stats.weight / total;
+                const std::span<const float> vs = s->params.as_span();
+                for (std::int64_t j = j0; j < j1; ++j)
+                  out[static_cast<std::size_t>(j)] += static_cast<float>(
+                      w * static_cast<double>(vs[static_cast<std::size_t>(j)]));
+              }
+            });
+  return result;
+}
+
+RobustAggregateResult RobustAggregator::aggregate(std::span<const ModelUpdateMsg> updates,
+                                                  const nn::FlatParams& global) {
+  DINAR_CHECK(!updates.empty(), "aggregate of an empty cohort");
+  const ShardSummary summary = shard_aggregate(updates, global);
+  return combine(std::span<const ShardSummary>(&summary, 1), global);
+}
+
+RobustAggregateResult RobustAggregator::aggregate(
+    const std::vector<ModelUpdateMsg>& updates, const nn::FlatParams& global) {
+  return aggregate(std::span<const ModelUpdateMsg>(updates), global);
+}
+
+const char* to_string(AggregatorKind kind) {
+  switch (kind) {
+    case AggregatorKind::kFedAvg: return "fedavg";
+    case AggregatorKind::kMedian: return "median";
+    case AggregatorKind::kTrimmedMean: return "trimmed_mean";
+    case AggregatorKind::kNormClip: return "norm_clip";
+    case AggregatorKind::kKrum: return "krum";
+    case AggregatorKind::kMultiKrum: return "multi_krum";
+  }
+  throw Error("unknown AggregatorKind value " +
+              std::to_string(static_cast<int>(kind)));
+}
+
+AggregatorKind aggregator_kind_from_name(const std::string& name) {
+  static constexpr AggregatorKind kKinds[] = {
+      AggregatorKind::kFedAvg,   AggregatorKind::kMedian,
+      AggregatorKind::kTrimmedMean, AggregatorKind::kNormClip,
+      AggregatorKind::kKrum,     AggregatorKind::kMultiKrum,
+  };
+  for (const AggregatorKind kind : kKinds)
+    if (name == to_string(kind)) return kind;
+  std::ostringstream os;
+  os << "unknown robust aggregator kind '" << name << "' (expected ";
+  bool first = true;
+  for (const AggregatorKind kind : kKinds) {
+    if (!first) os << "|";
+    os << to_string(kind);
+    first = false;
+  }
+  os << ")";
+  throw Error(os.str());
+}
+
+std::unique_ptr<RobustAggregator> make_robust_aggregator(AggregatorKind kind,
+                                                         RobustConfig config) {
   DINAR_CHECK(config.trim_fraction >= 0.0 && config.trim_fraction < 0.5,
               "robust.trim_fraction = " << config.trim_fraction
                                         << " outside [0, 0.5)");
@@ -475,15 +629,26 @@ std::unique_ptr<RobustAggregator> make_robust_aggregator(const RobustConfig& con
   DINAR_CHECK(config.clip_multiplier > 0.0,
               "robust.clip_multiplier = " << config.clip_multiplier
                                           << " must be positive");
-  if (config.method == "fedavg") return std::make_unique<FedAvgAggregator>();
-  if (config.method == "median") return std::make_unique<MedianAggregator>(config);
-  if (config.method == "trimmed_mean")
-    return std::make_unique<TrimmedMeanAggregator>(config);
-  if (config.method == "norm_clip") return std::make_unique<NormClipAggregator>(config);
-  if (config.method == "krum") return std::make_unique<KrumAggregator>(config, false);
-  if (config.method == "multi_krum")
-    return std::make_unique<KrumAggregator>(config, true);
-  throw Error("unknown robust aggregation method: " + config.method);
+  switch (kind) {
+    case AggregatorKind::kFedAvg:
+      return std::make_unique<FedAvgAggregator>(std::move(config));
+    case AggregatorKind::kMedian:
+      return std::make_unique<MedianAggregator>(std::move(config));
+    case AggregatorKind::kTrimmedMean:
+      return std::make_unique<TrimmedMeanAggregator>(std::move(config));
+    case AggregatorKind::kNormClip:
+      return std::make_unique<NormClipAggregator>(std::move(config));
+    case AggregatorKind::kKrum:
+      return std::make_unique<KrumAggregator>(std::move(config), false);
+    case AggregatorKind::kMultiKrum:
+      return std::make_unique<KrumAggregator>(std::move(config), true);
+  }
+  throw Error("unknown AggregatorKind value " +
+              std::to_string(static_cast<int>(kind)));
+}
+
+std::unique_ptr<RobustAggregator> make_robust_aggregator(const RobustConfig& config) {
+  return make_robust_aggregator(aggregator_kind_from_name(config.method), config);
 }
 
 std::vector<std::string> robust_aggregator_names() {

@@ -36,6 +36,12 @@ void FlServer::set_execution_context(const ExecutionContext* exec) {
   if (aggregator_ != nullptr) aggregator_->set_execution_context(exec_);
 }
 
+void FlServer::set_shards(const ShardConfig& config) {
+  DINAR_CHECK(config.num_shards >= 1, "shard.num_shards must be >= 1, got "
+                                          << config.num_shards);
+  shard_config_ = config;
+}
+
 GlobalModelMsg FlServer::broadcast() const {
   GlobalModelMsg msg;
   msg.round = round_;
@@ -43,7 +49,7 @@ GlobalModelMsg FlServer::broadcast() const {
   return msg;
 }
 
-void FlServer::aggregate(const std::vector<ModelUpdateMsg>& updates) {
+void FlServer::aggregate(std::span<const ModelUpdateMsg> updates) {
   DINAR_CHECK(!updates.empty(), "aggregate called with no updates");
   ScopedTimer timing(agg_timer_);
 
@@ -57,6 +63,10 @@ void FlServer::aggregate(const std::vector<ModelUpdateMsg>& updates) {
                 "update from client " << u.client_id << " has wrong structure");
   }
   apply_aggregate(updates);
+}
+
+void FlServer::aggregate(const std::vector<ModelUpdateMsg>& updates) {
+  aggregate(std::span<const ModelUpdateMsg>(updates));
 }
 
 UpdateVerdict FlServer::validate_update(const ModelUpdateMsg& update,
@@ -112,7 +122,7 @@ UpdateVerdict FlServer::validate_update(const ModelUpdateMsg& update,
   return UpdateVerdict{};
 }
 
-AggregateOutcome FlServer::try_aggregate(const std::vector<ModelUpdateMsg>& updates,
+AggregateOutcome FlServer::try_aggregate(std::span<const ModelUpdateMsg> updates,
                                          std::size_t min_valid) {
   AggregateOutcome outcome;
   std::vector<ModelUpdateMsg> valid;
@@ -131,13 +141,19 @@ AggregateOutcome FlServer::try_aggregate(const std::vector<ModelUpdateMsg>& upda
   }
   if (valid.size() >= std::max<std::size_t>(1, min_valid)) {
     outcome.aggregator_flags = aggregate_validated(valid);
+    outcome.shards = last_shard_stats_;
     outcome.aggregated = true;
   }
   return outcome;
 }
 
+AggregateOutcome FlServer::try_aggregate(const std::vector<ModelUpdateMsg>& updates,
+                                         std::size_t min_valid) {
+  return try_aggregate(std::span<const ModelUpdateMsg>(updates), min_valid);
+}
+
 std::vector<AggregatorFlag> FlServer::aggregate_validated(
-    const std::vector<ModelUpdateMsg>& updates) {
+    std::span<const ModelUpdateMsg> updates) {
   DINAR_CHECK(!updates.empty(), "aggregate_validated called with no updates");
   ScopedTimer timing(agg_timer_);
   return apply_aggregate(updates);
@@ -152,12 +168,14 @@ void FlServer::restore(std::int64_t round, nn::FlatParams params) {
 }
 
 std::vector<AggregatorFlag> FlServer::apply_aggregate(
-    const std::vector<ModelUpdateMsg>& updates) {
-  RobustAggregateResult result = aggregator_->aggregate(updates, global_);
-  defense_->after_aggregate(result.params);
-  global_ = std::move(result.params);
+    std::span<const ModelUpdateMsg> updates) {
+  HierarchicalResult h =
+      hierarchical_aggregate(*aggregator_, updates, global_, shard_config_, exec_);
+  defense_->after_aggregate(h.result.params);
+  global_ = std::move(h.result.params);
+  last_shard_stats_ = std::move(h.shards);
   ++round_;
-  return std::move(result.flags);
+  return std::move(h.result.flags);
 }
 
 }  // namespace dinar::fl

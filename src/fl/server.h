@@ -17,10 +17,18 @@
 // median, trimmed mean, norm-clipped FedAvg, Krum / Multi-Krum) bound the
 // influence of adversarial but well-formed updates and report per-client
 // flags that the round protocol surfaces in RoundOutcome.
+//
+// Both paths route through the hierarchical aggregation tree
+// (set_shards, DESIGN.md §12): the cohort is partitioned into client
+// shards, each shard runs the robust strategy independently (in parallel
+// under an execution context), and a root combiner merges the shard
+// summaries. The default single-shard tree is bit-identical to flat
+// aggregation.
 #pragma once
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -28,6 +36,7 @@
 #include "fl/defense.h"
 #include "fl/message.h"
 #include "fl/robust_aggregator.h"
+#include "fl/shard.h"
 #include "util/timer.h"
 
 namespace dinar::fl {
@@ -60,6 +69,9 @@ struct AggregateOutcome {
   // Per-client aggregator treatment (Krum exclusion, norm clipping,
   // outlier-screen quarantine) for the updates that passed validation.
   std::vector<AggregatorFlag> aggregator_flags;
+  // Per-shard statistics from the aggregation tree (one entry per shard,
+  // empty shards included); empty when no aggregation ran.
+  std::vector<ShardStats> shards;
   bool aggregated = false;  // quorum met; the global model advanced
 };
 
@@ -78,6 +90,8 @@ class FlServer {
   // where w_i is the client's sample count, and theta_i arrives either raw
   // or pre-weighted (secure aggregation). A round must not mix the two
   // conventions. Runs the server defense afterwards and advances the round.
+  void aggregate(std::span<const ModelUpdateMsg> updates);
+  // Deprecated (kept one release): prefer the span overload above.
   void aggregate(const std::vector<ModelUpdateMsg>& updates);
 
   // -- hardened path -------------------------------------------------------
@@ -91,6 +105,9 @@ class FlServer {
 
   // Validates every update, quarantining invalid ones; aggregates and
   // advances the round iff at least max(1, min_valid) updates survive.
+  AggregateOutcome try_aggregate(std::span<const ModelUpdateMsg> updates,
+                                 std::size_t min_valid);
+  // Deprecated (kept one release): prefer the span overload above.
   AggregateOutcome try_aggregate(const std::vector<ModelUpdateMsg>& updates,
                                  std::size_t min_valid);
 
@@ -98,7 +115,7 @@ class FlServer {
   // pass validate_update against the current round). Advances the round.
   // Returns the aggregator's per-client flags (empty under plain FedAvg).
   std::vector<AggregatorFlag> aggregate_validated(
-      const std::vector<ModelUpdateMsg>& updates);
+      std::span<const ModelUpdateMsg> updates);
 
   // Installs a Byzantine-robust aggregation strategy; the default is the
   // seed's plain FedAvg. Takes effect from the next aggregation. The
@@ -109,6 +126,18 @@ class FlServer {
   // Shares the execution context with the aggregator so its coordinate
   // loops parallelize; must outlive the server. nullptr = sequential.
   void set_execution_context(const ExecutionContext* exec);
+
+  // Shapes the aggregation tree (default: one shard = flat aggregation).
+  // Takes effect from the next aggregation; the roster-size interaction is
+  // validated by the simulation config (a server only sees cohorts).
+  void set_shards(const ShardConfig& config);
+  const ShardConfig& shards() const { return shard_config_; }
+
+  // Per-shard statistics of the most recent aggregation (shard-id order,
+  // empty shards included); empty before the first aggregation.
+  const std::vector<ShardStats>& last_shard_stats() const {
+    return last_shard_stats_;
+  }
 
   // Degraded round: the previous global model survives unchanged and the
   // round counter advances, keeping the federation live.
@@ -124,13 +153,14 @@ class FlServer {
  private:
   // Shared aggregation core; assumes updates are structurally valid.
   // Returns the aggregator's per-client flags.
-  std::vector<AggregatorFlag> apply_aggregate(
-      const std::vector<ModelUpdateMsg>& updates);
+  std::vector<AggregatorFlag> apply_aggregate(std::span<const ModelUpdateMsg> updates);
 
   nn::FlatParams global_;
   std::unique_ptr<ServerDefense> defense_;
   std::unique_ptr<RobustAggregator> aggregator_;
   const ExecutionContext* exec_ = nullptr;
+  ShardConfig shard_config_;
+  std::vector<ShardStats> last_shard_stats_;
   std::int64_t round_ = 0;
   CumulativeTimer agg_timer_;
 };

@@ -1,0 +1,82 @@
+// Sharded hierarchical aggregation (DESIGN.md §12).
+//
+// One flat roster cannot reach millions of clients: a single aggregator
+// would hold every update at once and run one giant robust-statistics
+// pass. The aggregation tree splits the cohort into shards by a pure hash
+// of the client id, runs the full robust strategy per shard on an "edge"
+// aggregator (RobustAggregator::shard_aggregate), and merges the compact
+// ShardSummarys at the root (RobustAggregator::combine). Edge passes are
+// independent, so they run in parallel — one pool task per shard — while
+// the root merge visits summaries in ascending shard-id order, keeping the
+// whole tree bit-identical for any thread count.
+//
+// Shard assignment is a pure function of (assignment_seed, client_id):
+// stable across rounds, churn (a client that leaves and rejoins lands in
+// the same shard), process restarts and durable-store recovery. A shard
+// may be empty in any given round — all its clients churned away or were
+// quarantined — and the root combiner skips the empty summaries.
+//
+// num_shards == 1 routes the whole cohort through one shard_aggregate call
+// and combine()'s copy fast path: bit-identical to flat aggregate().
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fl/robust_aggregator.h"
+
+namespace dinar {
+class ExecutionContext;
+}
+
+namespace dinar::fl {
+
+struct ShardConfig {
+  // Edge aggregators in the tree; 1 = flat aggregation (the default).
+  std::size_t num_shards = 1;
+  // Seeds the client-id hash so distinct deployments get distinct
+  // partitions; the partition is stable for a fixed seed.
+  std::uint64_t assignment_seed = 0;
+};
+
+// The shard owning `client_id`: splitmix64(assignment_seed ^ id) mod
+// num_shards. splitmix64's avalanche keeps shards balanced even for
+// consecutive ids.
+std::uint32_t shard_of(int client_id, const ShardConfig& config);
+
+// Partitions `updates` into one span per shard (index = shard id; empty
+// spans for empty shards). When each shard's members already sit in one
+// contiguous block of the input — e.g. the caller pre-sorted by
+// shard_of — the spans alias the input and nothing is copied. Otherwise
+// the updates are gathered (copied, grouped by shard in ascending shard-id
+// order, original relative order preserved within a shard) into `scratch`
+// and the spans alias that. The returned spans are invalidated by any
+// mutation of `updates` or `scratch`.
+std::vector<std::span<const ModelUpdateMsg>> plan_shards(
+    std::span<const ModelUpdateMsg> updates, const ShardConfig& config,
+    std::vector<ModelUpdateMsg>& scratch);
+
+struct HierarchicalResult {
+  RobustAggregateResult result;
+  // Per-shard statistics in shard-id order, one entry per shard including
+  // empty ones (deterministic; persisted in RoundOutcome).
+  std::vector<ShardStats> shards;
+  // Wall-clock seconds each edge aggregation took, indexed by shard id
+  // (0.0 for empty shards). Timing only — NEVER persisted or compared;
+  // everything bit-reproducible lives in `shards`.
+  std::vector<double> shard_seconds;
+};
+
+// Runs the full tree: plan -> parallel edge shard_aggregate (one pool task
+// per shard via exec->for_each_task; inner aggregator loops degrade to
+// sequential on worker threads) -> root combine in ascending shard-id
+// order. `exec` may be null (sequential edge passes). Throws when
+// `updates` is empty or config.num_shards == 0.
+HierarchicalResult hierarchical_aggregate(RobustAggregator& aggregator,
+                                          std::span<const ModelUpdateMsg> updates,
+                                          const nn::FlatParams& global,
+                                          const ShardConfig& config,
+                                          const ExecutionContext* exec);
+
+}  // namespace dinar::fl

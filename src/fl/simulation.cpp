@@ -68,6 +68,7 @@ FederatedSimulation::FederatedSimulation(nn::ModelFactory model_factory,
     }
   }
   server_->set_aggregator(make_robust_aggregator(robust));
+  server_->set_shards(config_.shard);
 
   clients_.reserve(split_.client_train.size());
   for (std::size_t i = 0; i < split_.client_train.size(); ++i) {
@@ -147,6 +148,21 @@ void FederatedSimulation::validate_config() const {
   }
   for (const auto& entry : config_.adversaries.attackers)
     check_id(entry.first, "adversaries.attackers");
+
+  // Hierarchical aggregation: the tree shape must fit the founding roster.
+  // Churn can still empty a shard mid-run (clients away or quarantined);
+  // the root combiner tolerates that by skipping empty shard summaries,
+  // but a tree with more shards than clients ever existed is a config bug.
+  DINAR_CHECK(config_.shard.num_shards >= 1,
+              "SimulationConfig.shard.num_shards = " << config_.shard.num_shards
+                                                     << " — need at least one shard");
+  DINAR_CHECK(config_.shard.num_shards <= num_clients,
+              "SimulationConfig.shard.num_shards = "
+                  << config_.shard.num_shards << " exceeds the roster of "
+                  << num_clients << " clients");
+  // Resolve the aggregator name through the registry so an unknown
+  // robust.method fails here with the named-kind error.
+  aggregator_kind_from_name(config_.robust.method);
 }
 
 void FederatedSimulation::run() {
@@ -389,6 +405,7 @@ const RoundOutcome& FederatedSimulation::run_round() {
   out.quorum_met = !accepted.empty() && accepted.size() >= quorum;
   if (out.quorum_met) {
     out.aggregator_flags = server_->aggregate_validated(accepted);
+    out.shards = server_->last_shard_stats();
     last_updates_ = std::move(accepted);
   } else {
     // Degraded-but-live round: no quorum of valid updates arrived within

@@ -141,6 +141,14 @@ struct SimulationConfig {
   // Adversarial clients; the empty default is all-honest.
   AdversaryConfig adversaries;
 
+  // -- hierarchical aggregation --------------------------------------------
+  // Shapes the server's aggregation tree (DESIGN.md §12). num_shards must
+  // be >= 1 and <= the founding roster size; under churn a shard may go
+  // empty mid-run (all its clients away or quarantined), which the root
+  // combiner tolerates by skipping the empty summaries. The default single
+  // shard is bit-identical to flat aggregation.
+  ShardConfig shard;
+
   // -- membership churn ----------------------------------------------------
   ChurnConfig churn;
 
@@ -193,6 +201,10 @@ struct RoundOutcome {
   // Aggregator treatment of validated updates: Krum exclusions, outlier
   // quarantines, norm clips — each with a per-client reason.
   std::vector<AggregatorFlag> aggregator_flags;
+  // Per-shard statistics of the aggregation tree, in shard-id order with
+  // empty shards included (empty vector when the round carried forward).
+  // Deterministic — part of the durable round record.
+  std::vector<ShardStats> shards;
 
   // -- membership churn ----------------------------------------------------
   std::size_t roster_size = 0;  // clients in the federation this round

@@ -215,6 +215,11 @@ std::string dump_outcome(const RoundOutcome& o) {
   os << "] flags=[";
   for (const auto& f : o.aggregator_flags)
     os << f.client_id << ":" << f.excluded << ":" << f.reason << ";";
+  os << "] shards=[";
+  for (const auto& s : o.shards)
+    os << s.shard_id << ":" << s.num_updates << ":" << s.num_accepted << ":"
+       << s.num_flagged << ":" << s.weight << ":" << s.min_norm << ":"
+       << s.median_norm << ":" << s.max_norm << ";";
   os << "] faults={" << o.fault_delta.drops_up << "," << o.fault_delta.drops_down
      << "," << o.fault_delta.duplicates_up << "," << o.fault_delta.duplicates_down
      << "," << o.fault_delta.corruptions_up << ","
@@ -236,7 +241,7 @@ void expect_params_bitwise_equal(const nn::FlatParams& a, const nn::FlatParams& 
 // The full gauntlet: drops, duplication, corruption, delays, a crash, a
 // straggler, sign-flip + colluding attackers under multi-Krum, membership
 // churn, quorum aggregation with retries, and periodic evaluation.
-SimulationConfig gauntlet_config(unsigned threads) {
+SimulationConfig gauntlet_config(unsigned threads, std::size_t num_shards = 1) {
   SimulationConfig cfg;
   cfg.rounds = 6;
   cfg.train = TrainConfig{1, 16};
@@ -263,6 +268,8 @@ SimulationConfig gauntlet_config(unsigned threads) {
   cfg.churn.join_at_round[7] = 2;
   cfg.churn.away[4] = {{3, 5}};
   cfg.exec.threads = threads;
+  cfg.shard.num_shards = num_shards;
+  cfg.shard.assignment_seed = 0x5AADull;
   return cfg;
 }
 
@@ -275,7 +282,7 @@ struct GauntletRun {
   FaultStats faults;
 };
 
-GauntletRun run_gauntlet(unsigned threads) {
+GauntletRun run_gauntlet(unsigned threads, std::size_t num_shards = 1) {
   Rng rng(17);
   data::Dataset full = make_easy_dataset(256, rng);
   data::FlSplitConfig split_cfg;
@@ -283,7 +290,7 @@ GauntletRun run_gauntlet(unsigned threads) {
   data::FlSplit split = data::make_fl_split(full, split_cfg, rng);
 
   FederatedSimulation sim(tiny_mlp_factory(2, 2), std::move(split),
-                          gauntlet_config(threads), DefenseBundle{});
+                          gauntlet_config(threads, num_shards), DefenseBundle{});
   sim.run();
 
   GauntletRun out;
@@ -349,6 +356,38 @@ TEST(ParallelDeterminismTest, ThreadCountTwoMatchesToo) {
   for (std::size_t r = 0; r < seq.outcomes.size(); ++r)
     EXPECT_EQ(seq.outcomes[r], par.outcomes[r]) << "round " << r;
   expect_params_bitwise_equal(seq.global, par.global, "global model");
+}
+
+TEST(ParallelDeterminismTest, ShardedGauntletIsThreadCountInvariant) {
+  // The same gauntlet through a 3-shard aggregation tree: edge aggregators
+  // run concurrently under the pool, yet the fixed shard-order root merge
+  // keeps every outcome (incl. the per-shard stats dumped above), history
+  // record and model byte-identical across thread counts.
+  const GauntletRun seq = run_gauntlet(1, /*num_shards=*/3);
+  const GauntletRun par = run_gauntlet(4, /*num_shards=*/3);
+  ASSERT_EQ(seq.outcomes.size(), par.outcomes.size());
+  for (std::size_t r = 0; r < seq.outcomes.size(); ++r)
+    EXPECT_EQ(seq.outcomes[r], par.outcomes[r]) << "round " << r;
+  ASSERT_EQ(seq.history.size(), par.history.size());
+  for (std::size_t i = 0; i < seq.history.size(); ++i)
+    EXPECT_EQ(seq.history[i].global_test_accuracy,
+              par.history[i].global_test_accuracy);
+  expect_params_bitwise_equal(seq.global, par.global, "global model");
+  ASSERT_EQ(seq.client_params.size(), par.client_params.size());
+  for (std::size_t c = 0; c < seq.client_params.size(); ++c)
+    expect_params_bitwise_equal(seq.client_params[c], par.client_params[c],
+                                "client model");
+}
+
+TEST(ParallelDeterminismTest, SingleShardGauntletMatchesUnshardedExactly) {
+  // num_shards == 1 must be the flat path bit-for-bit: same outcomes (the
+  // shard stats ride along but the model math is untouched), same models.
+  const GauntletRun flat = run_gauntlet(4);
+  const GauntletRun one = run_gauntlet(4, /*num_shards=*/1);
+  ASSERT_EQ(flat.outcomes.size(), one.outcomes.size());
+  for (std::size_t r = 0; r < flat.outcomes.size(); ++r)
+    EXPECT_EQ(flat.outcomes[r], one.outcomes[r]) << "round " << r;
+  expect_params_bitwise_equal(flat.global, one.global, "global model");
 }
 
 }  // namespace

@@ -272,7 +272,7 @@ TEST(ServerTest, StructureMismatchRejected) {
 
 TEST(ServerTest, EmptyAggregationRejected) {
   FlServer server(one_tensor(Tensor({1})), std::make_unique<NoServerDefense>());
-  EXPECT_THROW(server.aggregate({}), Error);
+  EXPECT_THROW(server.aggregate(std::span<const ModelUpdateMsg>{}), Error);
 }
 
 TEST(ServerTest, BroadcastCarriesRound) {
