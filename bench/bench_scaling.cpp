@@ -13,13 +13,23 @@
 // speedup there is meaningless (CI runners are often single-core) but the
 // determinism column still must hold.
 //
-// Second sweep: sharded hierarchical aggregation (DESIGN.md §12) over a
+// Second sweep: barriered vs streaming round engine (DESIGN.md §13) on a
+// straggler-laden federation — a real wall-clock sleeper at the tail of
+// each shard. Gated: the streaming schedule's round rate must be >= 0.97x
+// the barriered one (sleeps don't burn CPU, so this holds on single-core
+// CI runners) and both schedules must hash to the bit-identical final
+// model. Every row also carries the RoundPhaseTimings breakdown
+// (downlink / train / uplink / validate / shard / combine / commit).
+// Note the sweep sets cfg.pipeline per cell; a DINAR_PIPELINE env pin
+// would override both cells to the same mode and neuter the comparison.
+//
+// Third sweep: sharded hierarchical aggregation (DESIGN.md §12) over a
 // synthetic cohort, clients 10^3 -> 10^5 x shards x threads, aggregation
 // only (no training) so the tree itself is what's measured. Every
 // single-shard cell is gated on bit-identity with the flat
-// RobustAggregator::aggregate() path — the exit code reflects the gate, so
-// CI (which runs `--smoke` on every matrix leg, including TSan) fails on
-// any divergence.
+// RobustAggregator::aggregate() path — the exit code reflects the gates,
+// so CI (which runs `--smoke` on every matrix leg, including TSan) fails
+// on any divergence.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -47,9 +57,22 @@ std::uint64_t param_hash(const nn::FlatParams& params) {
 struct ScalingResult {
   double seconds_per_round = 0.0;
   std::uint64_t final_hash = 0;
+  // Per-round means of the RoundPhaseTimings breakdown (task-side phases
+  // are summed across concurrent tasks, so they can exceed wall-clock).
+  fl::RoundPhaseTimings phase;
 };
 
-ScalingResult run_scaling(const DatasetCase& spec, unsigned threads) {
+struct ScalingOpts {
+  fl::PipelineMode pipeline = fl::PipelineMode::kStream;
+  std::size_t num_shards = 1;
+  // > 0 parks a real wall-clock sleep of this length on the last (highest
+  // id) client of every shard — the worst case for the streaming engine's
+  // overlap, since each shard's accumulator stays open until its tail.
+  double straggler_wall_seconds = 0.0;
+};
+
+ScalingResult run_scaling(const DatasetCase& spec, unsigned threads,
+                          const ScalingOpts& opts = {}) {
   Rng rng(spec.seed);
   const data::Dataset full = spec.make_data(rng);
   data::FlSplitConfig split_cfg;
@@ -66,6 +89,16 @@ ScalingResult run_scaling(const DatasetCase& spec, unsigned threads) {
   cfg.min_clients = static_cast<std::size_t>(std::max(1, spec.num_clients / 2));
   cfg.max_retries = 1;
   cfg.exec.threads = threads;
+  cfg.pipeline = opts.pipeline;
+  cfg.shard.num_shards = opts.num_shards;
+  cfg.shard.assignment_seed = 0xD1AA5ULL;
+  if (opts.straggler_wall_seconds > 0.0) {
+    std::map<std::uint32_t, int> last_of_shard;
+    for (int id = 0; id < spec.num_clients; ++id)
+      last_of_shard[fl::shard_of(id, cfg.shard)] = id;  // ascending: last wins
+    for (const auto& [shard, id] : last_of_shard)
+      cfg.faults.straggler_wall_seconds[id] = opts.straggler_wall_seconds;
+  }
 
   fl::FederatedSimulation sim(spec.model_factory, std::move(split), cfg,
                               fl::DefenseBundle{});
@@ -78,7 +111,30 @@ ScalingResult run_scaling(const DatasetCase& spec, unsigned threads) {
   ScalingResult out;
   out.seconds_per_round = seconds / spec.rounds;
   out.final_hash = param_hash(sim.server().global_params());
+  const double n = static_cast<double>(sim.round_log().size());
+  for (const fl::RoundOutcome& o : sim.round_log()) {
+    out.phase.downlink_seconds += o.timings.downlink_seconds / n;
+    out.phase.train_seconds += o.timings.train_seconds / n;
+    out.phase.uplink_seconds += o.timings.uplink_seconds / n;
+    out.phase.validate_seconds += o.timings.validate_seconds / n;
+    out.phase.shard_seconds += o.timings.shard_seconds / n;
+    out.phase.combine_seconds += o.timings.combine_seconds / n;
+    out.phase.commit_seconds += o.timings.commit_seconds / n;
+    out.phase.round_seconds += o.timings.round_seconds / n;
+  }
   return out;
+}
+
+// Appends the per-phase breakdown to the row under construction.
+BenchJson& phase_fields(BenchJson& json, const fl::RoundPhaseTimings& p) {
+  return json.field("downlink_seconds_per_round", p.downlink_seconds)
+      .field("train_seconds_per_round", p.train_seconds)
+      .field("uplink_seconds_per_round", p.uplink_seconds)
+      .field("validate_seconds_per_round", p.validate_seconds)
+      .field("shard_seconds_per_round", p.shard_seconds)
+      .field("combine_seconds_per_round", p.combine_seconds)
+      .field("commit_seconds_per_round", p.commit_seconds)
+      .field("measured_round_seconds", p.round_seconds);
 }
 
 // Synthetic cohort for the aggregation-tree sweep: every client's params
@@ -202,12 +258,75 @@ int run(int argc, char** argv) {
           .field("clients_per_round", static_cast<std::int64_t>(clients))
           .field("num_shards", static_cast<std::int64_t>(1))
           .field("threads", static_cast<std::int64_t>(threads))
+          .field("pipeline", std::string(fl::to_string(fl::PipelineMode::kStream)))
           .field("seconds_per_round", r.seconds_per_round)
           .field("speedup_vs_1_thread", speedup)
           .field("parallel_efficiency", efficiency)
           .field("deterministic", std::string(deterministic ? "true" : "false"))
           .field("final_model_hash",
                  static_cast<std::int64_t>(r.final_hash >> 1));
+      phase_fields(json, r.phase);
+    }
+  }
+
+  // -- pipeline overlap sweep ----------------------------------------------
+  // Barriered vs streaming round engine on the same straggler-laden
+  // federation: one real wall-clock sleeper at the tail of each of 4
+  // shards. The streaming engine commits every other exchange (and
+  // prefetches the next broadcast) inside the sleeps, so its round rate
+  // must be at least the barriered one — gated at 0.97x for timer noise.
+  // Sleeps don't burn CPU, so the gate holds on single-core CI runners
+  // too. The cross-mode hash gate is exact: both schedules must produce
+  // the bit-identical final model.
+  std::printf("\nPipeline overlap — barrier vs stream with wall-clock "
+              "stragglers (4 shards, sleeper at each shard tail)\n");
+  print_table_header("mode", {"threads", "s/round", "rounds/s", "commit_s",
+                              "hash=="});
+  const std::vector<unsigned> overlap_threads =
+      smoke ? std::vector<unsigned>{2} : std::vector<unsigned>{2, 4, 8};
+  const double straggler_wall = smoke ? 0.01 : 0.02;
+  bool overlap_gate_ok = true;
+  for (const unsigned threads : overlap_threads) {
+    DatasetCase spec = small_mlp_case(scale);
+    spec.num_clients = 8;
+    ScalingOpts opts;
+    opts.num_shards = 4;
+    opts.straggler_wall_seconds = straggler_wall;
+    opts.pipeline = fl::PipelineMode::kBarrier;
+    const ScalingResult barrier = run_scaling(spec, threads, opts);
+    opts.pipeline = fl::PipelineMode::kStream;
+    const ScalingResult stream = run_scaling(spec, threads, opts);
+
+    const bool hashes_match = barrier.final_hash == stream.final_hash;
+    const double barrier_rps =
+        barrier.seconds_per_round > 0.0 ? 1.0 / barrier.seconds_per_round : 0.0;
+    const double stream_rps =
+        stream.seconds_per_round > 0.0 ? 1.0 / stream.seconds_per_round : 0.0;
+    const bool rate_ok = stream_rps >= 0.97 * barrier_rps;
+    overlap_gate_ok &= hashes_match && rate_ok;
+
+    for (const auto* cell : {&barrier, &stream}) {
+      const bool is_stream = cell == &stream;
+      const double rps = is_stream ? stream_rps : barrier_rps;
+      print_table_row(is_stream ? "stream" : "barrier",
+                      {static_cast<double>(threads), cell->seconds_per_round,
+                       rps, cell->phase.commit_seconds,
+                       hashes_match ? 1.0 : 0.0});
+      json.begin_row()
+          .field("case", std::string("pipeline_overlap"))
+          .field("pipeline",
+                 std::string(fl::to_string(is_stream ? fl::PipelineMode::kStream
+                                                     : fl::PipelineMode::kBarrier)))
+          .field("clients_per_round", static_cast<std::int64_t>(spec.num_clients))
+          .field("num_shards", static_cast<std::int64_t>(4))
+          .field("threads", static_cast<std::int64_t>(threads))
+          .field("straggler_wall_seconds", straggler_wall)
+          .field("seconds_per_round", cell->seconds_per_round)
+          .field("rounds_per_second", rps)
+          .field("cross_mode_bit_identical",
+                 std::string(hashes_match ? "true" : "false"))
+          .field("final_model_hash", static_cast<std::int64_t>(cell->final_hash >> 1));
+      phase_fields(json, cell->phase);
     }
   }
   // -- sharded hierarchical aggregation sweep ------------------------------
@@ -243,17 +362,28 @@ int run(int argc, char** argv) {
               "8 threads reaches >= 2.5x the single-thread round rate while "
               "`determ` stays 1 in every cell (bit-identical final model for "
               "any thread count). On fewer cores speedup saturates at the "
-              "core count; determinism must hold regardless. In the shard "
-              "sweep every `flat==` cell must be 1: a single-shard tree is "
-              "bit-identical to flat aggregation (the CI gate); multi-shard "
-              "cells trade exactness for parallel edge aggregation.\n");
+              "core count; determinism must hold regardless. In the overlap "
+              "sweep `stream` must match or beat `barrier` rounds/s (the "
+              "commits and next-round downlink serialization hide inside the "
+              "straggler sleeps) with `hash==` 1 in every row — both are CI "
+              "gates. In the shard sweep every `flat==` cell must be 1: a "
+              "single-shard tree is bit-identical to flat aggregation (the "
+              "CI gate); multi-shard cells trade exactness for parallel edge "
+              "aggregation.\n");
   json.write();
+  int rc = 0;
   if (!gate_ok) {
     std::printf("GATE FAILED: single-shard hierarchical aggregation diverged "
                 "from the flat path\n");
-    return 1;
+    rc = 1;
   }
-  return 0;
+  if (!overlap_gate_ok) {
+    std::printf("GATE FAILED: streaming pipeline fell below 0.97x the "
+                "barriered round rate with stragglers, or the two schedules "
+                "produced different final models\n");
+    rc = 1;
+  }
+  return rc;
 }
 
 }  // namespace

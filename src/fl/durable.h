@@ -26,6 +26,14 @@
 // throw dinar::Error on malformed input; recovery treats such a throw as
 // a corrupt record and stops replay there (longest-valid-prefix
 // semantics), never crashing.
+//
+// Streaming round engine interaction (DESIGN.md §13): under
+// PipelineMode::kStream the WAL append/fsync of round N overlaps the
+// serialization of round N+1's broadcast on the pool. That prefetch holds
+// no durable state — the record formats here carry nothing about it, a
+// crash at any point discards it harmlessly, and every recovery path
+// drops any in-flight prefetch before restoring. RoundOutcome::timings is
+// measurement-only and is deliberately excluded from write_round_outcome.
 #pragma once
 
 #include <cstdint>

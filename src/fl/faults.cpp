@@ -7,7 +7,8 @@ namespace dinar::fl {
 bool FaultConfig::any() const {
   return drop_up > 0.0 || drop_down > 0.0 || duplicate_up > 0.0 ||
          duplicate_down > 0.0 || corrupt_up > 0.0 || corrupt_down > 0.0 ||
-         delay_prob > 0.0 || !crash_at_round.empty() || !straggler_factor.empty();
+         delay_prob > 0.0 || !crash_at_round.empty() || !straggler_factor.empty() ||
+         !straggler_wall_seconds.empty();
 }
 
 namespace {
@@ -56,6 +57,9 @@ FaultInjector::FaultInjector(FaultConfig config)
   for (const auto& [client, factor] : config_.straggler_factor)
     DINAR_CHECK(factor >= 1.0, "straggler factor for client " << client
                                                               << " must be >= 1");
+  for (const auto& [client, seconds] : config_.straggler_wall_seconds)
+    DINAR_CHECK(seconds >= 0.0, "straggler wall seconds for client "
+                                    << client << " must be >= 0");
   begin_round(0);
 }
 
@@ -79,6 +83,11 @@ bool FaultInjector::is_crashed(int client_id) const {
 double FaultInjector::straggler_factor(int client_id) const {
   const auto it = config_.straggler_factor.find(client_id);
   return it == config_.straggler_factor.end() ? 1.0 : it->second;
+}
+
+double FaultInjector::straggler_wall_seconds(int client_id) const {
+  const auto it = config_.straggler_wall_seconds.find(client_id);
+  return it == config_.straggler_wall_seconds.end() ? 0.0 : it->second;
 }
 
 FaultedDelivery FaultInjector::apply(LinkDir dir, int client_id,

@@ -56,6 +56,15 @@ struct FaultConfig {
   std::map<int, std::int64_t> crash_at_round;
   // client id -> multiplier (> 1) on that client's simulated link latency.
   std::map<int, double> straggler_factor;
+  // client id -> real wall-clock seconds that client's exchange task sleeps
+  // before uploading. Unlike straggler_factor this burns actual time, not
+  // simulated-latency accounting, so it has ZERO effect on any recorded or
+  // compared value — bit-identity across pipeline modes and thread counts
+  // is unaffected. It exists to create a genuine straggler tail for the
+  // streaming round engine to overlap (DESIGN.md §13): under kStream the
+  // fast clients' commits and the next round's broadcast serialization
+  // proceed while these clients sleep; under kBarrier everything waits.
+  std::map<int, double> straggler_wall_seconds;
   std::uint64_t seed = 0xFA017;
 
   // True if any fault can ever fire under this configuration.
@@ -104,6 +113,10 @@ class FaultInjector {
 
   // Latency multiplier for this client's messages (1.0 = no slowdown).
   double straggler_factor(int client_id) const;
+
+  // Real seconds this client's exchange sleeps before its upload (0.0 =
+  // none). Wall-clock only; never enters stats or outcomes.
+  double straggler_wall_seconds(int client_id) const;
 
   // Applies drop / duplicate / corrupt / delay to one outgoing message.
   // All draws come from a stream keyed by (round, client_id, dir, seq)

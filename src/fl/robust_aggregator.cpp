@@ -167,6 +167,92 @@ std::vector<std::size_t> all_indices(std::size_t n) {
   return idx;
 }
 
+// Default streaming adapter: buffers absorbed updates and finalizes through
+// the batch shard_aggregate(). The buffer's order is the absorb order —
+// exactly the per-shard span order plan_shards produces for the same
+// acceptance sequence — so the summary is trivially bit-identical to the
+// barriered edge pass. Strategies whose statistic needs the whole shard at
+// once (median, trimmed mean, Krum) stream through this adapter.
+class BufferingShardAccumulator final : public ShardAccumulator {
+ public:
+  BufferingShardAccumulator(RobustAggregator& owner, const nn::FlatParams& global)
+      : owner_(owner), global_(global) {}
+
+  void absorb(const ModelUpdateMsg& update) override { buffer_.push_back(update); }
+
+  ShardSummary finalize() override {
+    if (buffer_.empty()) return ShardSummary{};
+    return owner_.shard_aggregate(buffer_, global_);
+  }
+
+ private:
+  RobustAggregator& owner_;
+  const nn::FlatParams& global_;
+  std::vector<ModelUpdateMsg> buffer_;
+};
+
+// True constant-memory accumulator for FedAvg. Bit-identity with the batch
+// pass holds term by term: per coordinate the batch loop accumulates
+// `acc[j] += w_i * v_i[j]` over updates in ascending span order (chunking
+// never reorders a coordinate's sequence), absorb applies the identical
+// float multiply-adds in absorb order; `total` is the same double sum in
+// the same order; the final `*= inv` touches each coordinate once; and
+// each scored-delta norm is a pure function of (update, global), taken in
+// the same vector order. Loops run inline — absorb is called on the commit
+// thread while the pool is busy with the straggler tail (see the header).
+class StreamingFedAvgAccumulator final : public ShardAccumulator {
+ public:
+  StreamingFedAvgAccumulator(const RobustConfig& config, const nn::FlatParams& global)
+      : config_(config), global_(global) {}
+
+  void absorb(const ModelUpdateMsg& update) override {
+    if (stats_.num_updates == 0) {
+      pre_weighted_ = update.pre_weighted;
+      acc_ = nn::FlatParams(update.params.index());
+      // Pre-weighted (secure-aggregation) parameters are masked partial
+      // sums; no meaningful distance to the global exists, so the norm
+      // distribution stays zero (matches the batch pass).
+      if (!pre_weighted_)
+        scored_ = runs_of(*global_.index(),
+                          excluded_mask(config_, global_.index()->num_entries()),
+                          /*excluded=*/false);
+    }
+    const float w = pre_weighted_ ? 1.0f : static_cast<float>(update.num_samples);
+    std::span<float> acc = acc_.as_span();
+    const std::span<const float> v = update.params.as_span();
+    for (std::size_t j = 0; j < acc.size(); ++j) acc[j] += w * v[j];
+    total_ += static_cast<double>(update.num_samples);
+    if (!pre_weighted_)
+      norms_.push_back(std::sqrt(
+          scored_sq_distance(update.params.as_span(), global_.as_span(), scored_)));
+    ++stats_.num_updates;
+  }
+
+  ShardSummary finalize() override {
+    ShardSummary summary;
+    if (stats_.num_updates == 0) return summary;
+    const float inv = static_cast<float>(1.0 / total_);
+    std::span<float> acc = acc_.as_span();
+    for (std::size_t j = 0; j < acc.size(); ++j) acc[j] *= inv;
+    summary.params = std::move(acc_);
+    summary.stats = stats_;
+    summary.stats.num_accepted = stats_.num_updates;
+    summary.stats.weight = total_;
+    if (!pre_weighted_) set_norm_stats(summary.stats, norms_);
+    return summary;
+  }
+
+ private:
+  const RobustConfig& config_;
+  const nn::FlatParams& global_;
+  std::vector<Run> scored_;
+  nn::FlatParams acc_;
+  bool pre_weighted_ = false;
+  double total_ = 0.0;
+  std::vector<double> norms_;
+  ShardStats stats_;
+};
+
 // The seed's FedAvg, wrapped in the aggregator interface. The only
 // strategy that accepts pre-weighted updates (it never scores clients).
 class FedAvgAggregator final : public RobustAggregator {
@@ -219,6 +305,10 @@ class FedAvgAggregator final : public RobustAggregator {
                                         exec_));
     }
     return summary;
+  }
+
+  std::unique_ptr<ShardAccumulator> begin_shard(const nn::FlatParams& global) override {
+    return std::make_unique<StreamingFedAvgAccumulator>(config_, global);
   }
 
  private:
@@ -572,16 +662,16 @@ RobustAggregateResult RobustAggregator::combine(std::span<const ShardSummary> su
   return result;
 }
 
+std::unique_ptr<ShardAccumulator> RobustAggregator::begin_shard(
+    const nn::FlatParams& global) {
+  return std::make_unique<BufferingShardAccumulator>(*this, global);
+}
+
 RobustAggregateResult RobustAggregator::aggregate(std::span<const ModelUpdateMsg> updates,
                                                   const nn::FlatParams& global) {
   DINAR_CHECK(!updates.empty(), "aggregate of an empty cohort");
   const ShardSummary summary = shard_aggregate(updates, global);
   return combine(std::span<const ShardSummary>(&summary, 1), global);
-}
-
-RobustAggregateResult RobustAggregator::aggregate(
-    const std::vector<ModelUpdateMsg>& updates, const nn::FlatParams& global) {
-  return aggregate(std::span<const ModelUpdateMsg>(updates), global);
 }
 
 const char* to_string(AggregatorKind kind) {

@@ -24,6 +24,13 @@
 //       verbatim, so the single-shard path is bit-identical to the flat
 //       aggregation it replaced.
 //
+//   begin_shard(global) -> ShardAccumulator
+//       Streaming form of the edge phase (streaming round engine,
+//       DESIGN.md §13): one accumulator per shard absorbs validated
+//       updates as their exchanges complete; finalize() emits the summary
+//       shard_aggregate() would have produced for the same updates in the
+//       same order — bit-for-bit.
+//
 // aggregate() is the flat convenience over the two phases (one shard =
 // the whole cohort) and produces exactly the pre-redesign results.
 //
@@ -147,6 +154,28 @@ struct RobustAggregateResult {
   std::vector<AggregatorFlag> flags;
 };
 
+// Incremental edge aggregation (streaming round pipeline, DESIGN.md §13):
+// one accumulator per shard, opened by RobustAggregator::begin_shard()
+// before any update arrives. absorb() folds one validated update into the
+// in-progress shard state as its exchange completes; finalize() (exactly
+// once) emits the same ShardSummary the batch shard_aggregate() would have
+// produced for the absorbed updates in absorb order — that equivalence is
+// the pipeline's bit-identity contract, enforced by the determinism
+// gauntlet. finalize() after zero absorbs returns the empty summary
+// (mirrors an empty shard in plan_shards, which combine() skips).
+//
+// absorb() is called from the commit path (one thread, ascending client-id
+// order) and must run its loops inline rather than fanning out across the
+// pool: the pool's queue is full of still-running client exchanges, and an
+// absorb that waited on it would serialize the very tail it exists to
+// overlap. finalize() runs after the fan-out drains and may parallelize.
+class ShardAccumulator {
+ public:
+  virtual ~ShardAccumulator() = default;
+  virtual void absorb(const ModelUpdateMsg& update) = 0;
+  virtual ShardSummary finalize() = 0;
+};
+
 class RobustAggregator {
  public:
   virtual ~RobustAggregator() = default;
@@ -167,12 +196,19 @@ class RobustAggregator {
   virtual RobustAggregateResult combine(std::span<const ShardSummary> summaries,
                                         const nn::FlatParams& global);
 
+  // Phase 1, streaming form — opens an incremental accumulator for one
+  // shard (see ShardAccumulator above). `global` is the pre-round model
+  // and must stay alive and unmodified until finalize() returns. The
+  // default implementation buffers absorbed updates and finalizes through
+  // shard_aggregate(), so every strategy is streamable (trivially
+  // bit-identical); strategies whose statistic folds update-by-update
+  // override it with a true constant-memory accumulator (FedAvg does).
+  virtual std::unique_ptr<ShardAccumulator> begin_shard(const nn::FlatParams& global);
+
   // Flat convenience: the whole cohort as one shard. Bit-identical to the
-  // pre-redesign monolithic aggregate().
+  // pre-redesign monolithic aggregate(). Spans only — the PR 8 vector
+  // overload shims are gone; wrap braced lists in a named vector.
   RobustAggregateResult aggregate(std::span<const ModelUpdateMsg> updates,
-                                  const nn::FlatParams& global);
-  // Deprecated (kept one release): prefer the span overload above.
-  RobustAggregateResult aggregate(const std::vector<ModelUpdateMsg>& updates,
                                   const nn::FlatParams& global);
 
   // Shared execution context for the per-coordinate / pairwise-distance

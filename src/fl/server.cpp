@@ -65,10 +65,6 @@ void FlServer::aggregate(std::span<const ModelUpdateMsg> updates) {
   apply_aggregate(updates);
 }
 
-void FlServer::aggregate(const std::vector<ModelUpdateMsg>& updates) {
-  aggregate(std::span<const ModelUpdateMsg>(updates));
-}
-
 UpdateVerdict FlServer::validate_update(const ModelUpdateMsg& update,
                                         const std::unordered_set<int>& accepted_ids,
                                         std::optional<bool> weighting) const {
@@ -147,11 +143,6 @@ AggregateOutcome FlServer::try_aggregate(std::span<const ModelUpdateMsg> updates
   return outcome;
 }
 
-AggregateOutcome FlServer::try_aggregate(const std::vector<ModelUpdateMsg>& updates,
-                                         std::size_t min_valid) {
-  return try_aggregate(std::span<const ModelUpdateMsg>(updates), min_valid);
-}
-
 std::vector<AggregatorFlag> FlServer::aggregate_validated(
     std::span<const ModelUpdateMsg> updates) {
   DINAR_CHECK(!updates.empty(), "aggregate_validated called with no updates");
@@ -159,10 +150,39 @@ std::vector<AggregatorFlag> FlServer::aggregate_validated(
   return apply_aggregate(updates);
 }
 
+void FlServer::begin_aggregation() {
+  DINAR_CHECK(session_ == nullptr,
+              "begin_aggregation with a streaming session already open");
+  session_ = std::make_unique<ShardedAggregationSession>(*aggregator_, global_,
+                                                         shard_config_, exec_);
+}
+
+void FlServer::absorb_validated(const ModelUpdateMsg& update) {
+  DINAR_CHECK(session_ != nullptr, "absorb_validated with no open session");
+  ScopedTimer timing(agg_timer_);
+  session_->absorb(update);
+}
+
+std::vector<AggregatorFlag> FlServer::finalize_aggregation() {
+  DINAR_CHECK(session_ != nullptr, "finalize_aggregation with no open session");
+  DINAR_CHECK(session_->absorbed() > 0,
+              "finalize_aggregation with no absorbed updates; use "
+              "abort_aggregation + carry_forward for an empty round");
+  ScopedTimer timing(agg_timer_);
+  // Close the session before mutating server state: a combine() throw
+  // (every shard empty) must leave the round un-advanced for carry-forward.
+  const std::unique_ptr<ShardedAggregationSession> session = std::move(session_);
+  HierarchicalResult h = session->finalize();
+  return commit_aggregate(std::move(h));
+}
+
+void FlServer::abort_aggregation() { session_.reset(); }
+
 void FlServer::restore(std::int64_t round, nn::FlatParams params) {
   DINAR_CHECK(round >= 0, "checkpoint carries negative round " << round);
   DINAR_CHECK(params.same_layout(global_),
               "checkpoint parameters do not match the server's model structure");
+  session_.reset();
   global_ = std::move(params);
   round_ = round;
 }
@@ -171,9 +191,16 @@ std::vector<AggregatorFlag> FlServer::apply_aggregate(
     std::span<const ModelUpdateMsg> updates) {
   HierarchicalResult h =
       hierarchical_aggregate(*aggregator_, updates, global_, shard_config_, exec_);
+  return commit_aggregate(std::move(h));
+}
+
+std::vector<AggregatorFlag> FlServer::commit_aggregate(HierarchicalResult h) {
   defense_->after_aggregate(h.result.params);
   global_ = std::move(h.result.params);
   last_shard_stats_ = std::move(h.shards);
+  last_timings_ = AggregateTimings{};
+  for (double s : h.shard_seconds) last_timings_.shard_seconds += s;
+  last_timings_.combine_seconds = h.combine_seconds;
   ++round_;
   return std::move(h.result.flags);
 }

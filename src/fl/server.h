@@ -24,6 +24,13 @@
 // under an execution context), and a root combiner merges the shard
 // summaries. The default single-shard tree is bit-identical to flat
 // aggregation.
+//
+// The streaming round engine (DESIGN.md §13) drives the same tree
+// incrementally through the session API — begin_aggregation() /
+// absorb_validated() / finalize_aggregation() — so each validated update
+// folds into its shard the moment its exchange commits instead of waiting
+// for the round barrier. finalize_aggregation() is bit-identical to
+// aggregate_validated() over the same updates in absorb order.
 #pragma once
 
 #include <memory>
@@ -90,9 +97,9 @@ class FlServer {
   // where w_i is the client's sample count, and theta_i arrives either raw
   // or pre-weighted (secure aggregation). A round must not mix the two
   // conventions. Runs the server defense afterwards and advances the round.
+  // Spans only — the PR 8 vector overload shims are gone; wrap braced
+  // lists in a named vector.
   void aggregate(std::span<const ModelUpdateMsg> updates);
-  // Deprecated (kept one release): prefer the span overload above.
-  void aggregate(const std::vector<ModelUpdateMsg>& updates);
 
   // -- hardened path -------------------------------------------------------
   // Checks one update against the current round and global model.
@@ -105,10 +112,8 @@ class FlServer {
 
   // Validates every update, quarantining invalid ones; aggregates and
   // advances the round iff at least max(1, min_valid) updates survive.
+  // Spans only (see aggregate()).
   AggregateOutcome try_aggregate(std::span<const ModelUpdateMsg> updates,
-                                 std::size_t min_valid);
-  // Deprecated (kept one release): prefer the span overload above.
-  AggregateOutcome try_aggregate(const std::vector<ModelUpdateMsg>& updates,
                                  std::size_t min_valid);
 
   // Aggregates updates the caller has already validated (they must all
@@ -116,6 +121,35 @@ class FlServer {
   // Returns the aggregator's per-client flags (empty under plain FedAvg).
   std::vector<AggregatorFlag> aggregate_validated(
       std::span<const ModelUpdateMsg> updates);
+
+  // -- streaming session (event-driven round pipeline, DESIGN.md §13) ------
+  // Opens an incremental aggregation over the current global model and
+  // shard configuration: one ShardAccumulator per shard. At most one
+  // session may be open, and the global model / shards / aggregator /
+  // execution context must not change while it is. validate_update()
+  // still checks against the current round, which only advances at
+  // finalize — so the validate-then-absorb commit sequence sees exactly
+  // the state the barriered validate-then-aggregate sequence would.
+  void begin_aggregation();
+
+  // Folds one update the caller has already validated (validate_update
+  // must have accepted it this round) into its shard. Single-threaded,
+  // ascending-commit-order calls only; runs inline on the caller — see
+  // ShardAccumulator for why it must not touch the pool.
+  void absorb_validated(const ModelUpdateMsg& update);
+
+  // Closes the shard accumulators, runs the root combine, the defense, and
+  // advances the round — bit-identical to aggregate_validated() over the
+  // absorbed updates in absorb order. Throws (leaving the session closed
+  // and the round NOT advanced) when every shard stayed empty; requires at
+  // least one absorb. Returns the aggregator's per-client flags.
+  std::vector<AggregatorFlag> finalize_aggregation();
+
+  // Abandons an open session without advancing the round (the no-quorum /
+  // carry-forward path). Safe to call with no session open.
+  void abort_aggregation();
+
+  bool aggregation_open() const { return session_ != nullptr; }
 
   // Installs a Byzantine-robust aggregation strategy; the default is the
   // seed's plain FedAvg. Takes effect from the next aggregation. The
@@ -139,9 +173,22 @@ class FlServer {
     return last_shard_stats_;
   }
 
+  // Wall-clock breakdown of the most recent aggregation (batch or
+  // streaming). Timing only — never persisted or compared; feeds the
+  // per-phase columns in RoundOutcome::timings.
+  struct AggregateTimings {
+    double shard_seconds = 0.0;    // sum over shards: edge absorb+finalize
+    double combine_seconds = 0.0;  // root merge
+  };
+  const AggregateTimings& last_aggregate_timings() const { return last_timings_; }
+
   // Degraded round: the previous global model survives unchanged and the
-  // round counter advances, keeping the federation live.
-  void carry_forward() { ++round_; }
+  // round counter advances, keeping the federation live. Abandons any open
+  // streaming session (its absorbed updates are discarded).
+  void carry_forward() {
+    session_.reset();
+    ++round_;
+  }
 
   // Checkpoint resume: installs a saved global model and round counter.
   void restore(std::int64_t round, nn::FlatParams params);
@@ -154,6 +201,9 @@ class FlServer {
   // Shared aggregation core; assumes updates are structurally valid.
   // Returns the aggregator's per-client flags.
   std::vector<AggregatorFlag> apply_aggregate(std::span<const ModelUpdateMsg> updates);
+  // Installs an aggregation tree result (batch or streaming): defense,
+  // global model, stats, timings, round advance.
+  std::vector<AggregatorFlag> commit_aggregate(HierarchicalResult h);
 
   nn::FlatParams global_;
   std::unique_ptr<ServerDefense> defense_;
@@ -161,6 +211,8 @@ class FlServer {
   const ExecutionContext* exec_ = nullptr;
   ShardConfig shard_config_;
   std::vector<ShardStats> last_shard_stats_;
+  AggregateTimings last_timings_;
+  std::unique_ptr<ShardedAggregationSession> session_;
   std::int64_t round_ = 0;
   CumulativeTimer agg_timer_;
 };

@@ -122,10 +122,67 @@ HierarchicalResult hierarchical_aggregate(RobustAggregator& aggregator,
 
   // Root phase: merge in ascending shard-id order (fixed reduction order).
   HierarchicalResult out;
+  const auto c0 = std::chrono::steady_clock::now();
   out.result = aggregator.combine(summaries, global);
+  out.combine_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - c0).count();
   out.shards.reserve(num_shards);
   for (const ShardSummary& s : summaries) out.shards.push_back(s.stats);
   out.shard_seconds = std::move(seconds);
+  return out;
+}
+
+ShardedAggregationSession::ShardedAggregationSession(RobustAggregator& aggregator,
+                                                     const nn::FlatParams& global,
+                                                     const ShardConfig& config,
+                                                     const ExecutionContext* exec)
+    : aggregator_(aggregator), global_(global), config_(config), exec_(exec) {
+  DINAR_CHECK(config_.num_shards >= 1, "shard.num_shards must be >= 1, got "
+                                           << config_.num_shards);
+  accumulators_.reserve(config_.num_shards);
+  for (std::size_t s = 0; s < config_.num_shards; ++s)
+    accumulators_.push_back(aggregator_.begin_shard(global_));
+  shard_seconds_.assign(config_.num_shards, 0.0);
+}
+
+void ShardedAggregationSession::absorb(const ModelUpdateMsg& update) {
+  const std::uint32_t s = shard_of(update.client_id, config_);
+  const auto t0 = std::chrono::steady_clock::now();
+  accumulators_[s]->absorb(update);
+  shard_seconds_[s] +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  ++absorbed_;
+}
+
+HierarchicalResult ShardedAggregationSession::finalize() {
+  const std::size_t num_shards = accumulators_.size();
+  // Close the accumulators as one task per shard (race-free slots), like
+  // the barriered edge fan-out: by the time finalize runs the round's
+  // exchange tasks have drained, so buffering strategies get the pool for
+  // their whole-shard pass. Order cannot matter — each finalize is a pure
+  // function of its own shard's absorbed sequence.
+  std::vector<ShardSummary> summaries(num_shards);
+  const auto close = [&](std::size_t s) {
+    const auto t0 = std::chrono::steady_clock::now();
+    ShardSummary summary = accumulators_[s]->finalize();
+    summary.stats.shard_id = static_cast<std::uint32_t>(s);
+    summaries[s] = std::move(summary);
+    shard_seconds_[s] +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  };
+  if (exec_ != nullptr)
+    exec_->for_each_task(num_shards, close);
+  else
+    for (std::size_t s = 0; s < num_shards; ++s) close(s);
+
+  HierarchicalResult out;
+  const auto c0 = std::chrono::steady_clock::now();
+  out.result = aggregator_.combine(summaries, global_);
+  out.combine_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - c0).count();
+  out.shards.reserve(num_shards);
+  for (const ShardSummary& s : summaries) out.shards.push_back(s.stats);
+  out.shard_seconds = std::move(shard_seconds_);
   return out;
 }
 

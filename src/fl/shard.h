@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -63,9 +64,12 @@ struct HierarchicalResult {
   // empty ones (deterministic; persisted in RoundOutcome).
   std::vector<ShardStats> shards;
   // Wall-clock seconds each edge aggregation took, indexed by shard id
-  // (0.0 for empty shards). Timing only — NEVER persisted or compared;
-  // everything bit-reproducible lives in `shards`.
+  // (0.0 for empty shards). Under the streaming session this is the shard's
+  // cumulative absorb + finalize time instead. Timing only — NEVER
+  // persisted or compared; everything bit-reproducible lives in `shards`.
   std::vector<double> shard_seconds;
+  // Wall-clock seconds of the root combine. Timing only, like above.
+  double combine_seconds = 0.0;
 };
 
 // Runs the full tree: plan -> parallel edge shard_aggregate (one pool task
@@ -78,5 +82,43 @@ HierarchicalResult hierarchical_aggregate(RobustAggregator& aggregator,
                                           const nn::FlatParams& global,
                                           const ShardConfig& config,
                                           const ExecutionContext* exec);
+
+// Streaming counterpart of hierarchical_aggregate for the event-driven
+// round pipeline (DESIGN.md §13): the session opens one ShardAccumulator
+// per shard up front, absorb() routes each validated update to its shard
+// (shard_of) the moment its exchange commits, and finalize() closes the
+// accumulators in ascending shard-id order and runs the root combine.
+//
+// Bit-identity with the barriered tree: commits absorb updates in the
+// exact acceptance order hierarchical_aggregate's plan_shards would have
+// gathered them in (relative order within a shard is preserved by both),
+// every accumulator finalizes to the summary shard_aggregate would emit,
+// and the root combine is the same fixed-order merge — so the streaming
+// result is bit-identical to the barriered one, per the gauntlet.
+//
+// absorb() must be called from one thread (the pipeline's commit thread)
+// and runs inline — see ShardAccumulator. `aggregator` and `global` must
+// outlive the session; `global` must not change before finalize() returns.
+// finalize() throws (via combine) when every shard stayed empty: the
+// caller carries the previous model forward, exactly like the batch path.
+class ShardedAggregationSession {
+ public:
+  ShardedAggregationSession(RobustAggregator& aggregator,
+                            const nn::FlatParams& global, const ShardConfig& config,
+                            const ExecutionContext* exec);
+
+  void absorb(const ModelUpdateMsg& update);
+  HierarchicalResult finalize();
+  std::size_t absorbed() const { return absorbed_; }
+
+ private:
+  RobustAggregator& aggregator_;
+  const nn::FlatParams& global_;
+  ShardConfig config_;
+  const ExecutionContext* exec_;
+  std::vector<std::unique_ptr<ShardAccumulator>> accumulators_;
+  std::vector<double> shard_seconds_;
+  std::size_t absorbed_ = 0;
+};
 
 }  // namespace dinar::fl

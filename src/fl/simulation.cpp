@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <fstream>
 #include <iterator>
 #include <map>
 #include <numeric>
 #include <optional>
+#include <thread>
 #include <unordered_set>
 
 #include "fl/durable.h"
@@ -24,6 +26,10 @@ constexpr std::uint32_t kCheckpointMagic = 0x44434B50;  // "DCKP"
 // v1: tensor-list payload (pre-FlatParams). v2: flat index + arena payload.
 constexpr std::uint32_t kCheckpointVersionLegacy = 1;
 constexpr std::uint32_t kCheckpointVersion = 2;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
 
 }  // namespace
 
@@ -44,6 +50,7 @@ FederatedSimulation::FederatedSimulation(nn::ModelFactory model_factory,
       config_(config), exec_(std::make_unique<ExecutionContext>(config.exec)),
       rng_(config.seed) {
   validate_config();
+  pipeline_mode_ = pipeline_mode_env_override().value_or(config_.pipeline);
   transport_ = config_.socket_transport
                    ? std::make_unique<SocketTransport>()
                    : std::make_unique<Transport>();
@@ -83,6 +90,17 @@ FederatedSimulation::FederatedSimulation(nn::ModelFactory model_factory,
   // server's aggregator loops all draw from the same pool.
   server_->set_execution_context(exec_.get());
   for (FlClient& c : clients_) c.set_execution_context(exec_.get());
+}
+
+void FederatedSimulation::join_prefetch() {
+  if (prefetch_ != nullptr && prefetch_->done.valid()) prefetch_->done.get();
+}
+
+void FederatedSimulation::invalidate_prefetch() {
+  // No join needed: the pool task owns a shared_ptr to the block, so
+  // dropping our reference with the task in flight is safe — it finishes
+  // against the still-live block and the last reference frees it.
+  prefetch_.reset();
 }
 
 void FederatedSimulation::validate_config() const {
@@ -213,6 +231,7 @@ std::vector<std::size_t> FederatedSimulation::select_participants(std::int64_t r
 }
 
 const RoundOutcome& FederatedSimulation::run_round() {
+  const auto round_t0 = std::chrono::steady_clock::now();
   const std::int64_t round = server_->round();
   FaultInjector* faults = transport_->faults();
   if (faults != nullptr) faults->begin_round(round);
@@ -264,8 +283,32 @@ const RoundOutcome& FederatedSimulation::run_round() {
   // ones later quarantined or lost (their local training still ran).
   const std::vector<std::size_t> touched = pending;
 
-  const GlobalModelMsg broadcast_msg = server_->broadcast();
-  const std::vector<std::uint8_t> broadcast_bytes = broadcast_msg.serialize();
+  // Downlink payload: reuse the bytes the previous round's prefetch
+  // serialized in the straggler tail's shadow (stream mode), or serialize
+  // now. Either way the content is a pure function of the committed server
+  // state, so the rounds are bit-identical.
+  GlobalModelMsg broadcast_msg;
+  std::vector<std::uint8_t> broadcast_bytes;
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (prefetch_ != nullptr && prefetch_->round == round) {
+      join_prefetch();
+      broadcast_msg = std::move(prefetch_->msg);
+      broadcast_bytes = std::move(prefetch_->bytes);
+      prefetch_.reset();
+    } else {
+      invalidate_prefetch();
+      broadcast_msg = server_->broadcast();
+      broadcast_bytes = broadcast_msg.serialize();
+    }
+    out.timings.downlink_seconds += seconds_since(t0);
+  }
+
+  // Streaming mode opens the shard accumulators up front so every accepted
+  // update can fold in at commit time; validate_update still checks the
+  // current round, which only advances at finalize.
+  const bool streaming = pipeline_mode_ == PipelineMode::kStream;
+  if (streaming) server_->begin_aggregation();
 
   std::vector<ModelUpdateMsg> accepted;
   std::unordered_set<int> accepted_ids;
@@ -281,11 +324,12 @@ const RoundOutcome& FederatedSimulation::run_round() {
       out.retries_used = attempt;
       transport_->add_latency(config_.retry_backoff_seconds * attempt);
     }
-    // ---- phase A: every pending client's exchange runs as an isolated
-    // task — downlink, local training, attack, uplink. All randomness is
-    // keyed by (seed, round, client), and all transport/fault accounting
-    // is deferred into the per-client receipt, so the tasks touch no
-    // shared mutable state and their schedule cannot affect the outcome.
+    // ---- exchange tasks: every pending client's exchange is an isolated
+    // unit of work — downlink, local training, attack, uplink. All
+    // randomness is keyed by (seed, round, client), and all transport /
+    // fault accounting is deferred into the per-client receipt, so the
+    // tasks touch no shared mutable state and their schedule cannot affect
+    // the outcome.
     struct Arrival {
       bool ok = false;
       ModelUpdateMsg msg;          // parsed update when ok
@@ -296,14 +340,18 @@ const RoundOutcome& FederatedSimulation::run_round() {
       bool attacked = false;
       std::vector<Arrival> arrivals;
       ShipReceipt receipt;
+      double downlink_seconds = 0.0;  // timing only, summed at commit
+      double train_seconds = 0.0;
+      double uplink_seconds = 0.0;
     };
     std::vector<Exchange> exchanges(pending.size());
-    exec_->for_each_task(pending.size(), [&](std::size_t idx) {
+    const auto task = [&](std::size_t idx) {
       const std::size_t i = pending[idx];
       const int id = static_cast<int>(i);
       Exchange& ex = exchanges[idx];
 
       // ---- downlink: the client needs one intact copy of the broadcast.
+      const auto d0 = std::chrono::steady_clock::now();
       for (const auto& copy :
            transport_->ship(LinkDir::kDown, id, broadcast_bytes, &ex.receipt)) {
         try {
@@ -316,9 +364,11 @@ const RoundOutcome& FederatedSimulation::run_round() {
           // the next retry.
         }
       }
+      ex.downlink_seconds = seconds_since(d0);
       if (!ex.got_global) return;
 
-      // ---- local training + uplink.
+      // ---- local training.
+      const auto t0 = std::chrono::steady_clock::now();
       ModelUpdateMsg update = clients_[i].train_round();
       // Byzantine clients train honestly, then swap in the attack payload
       // (they know the broadcast model like everyone else). The payload is
@@ -328,6 +378,19 @@ const RoundOutcome& FederatedSimulation::run_round() {
         adversary_->corrupt_update(broadcast_msg.params, update);
         ex.attacked = true;
       }
+      ex.train_seconds = seconds_since(t0);
+
+      // Wall-clock straggler: burn real time before the upload. No
+      // accounting, no randomness — purely the tail the streaming pipeline
+      // overlaps (and the barrier waits out). Excluded from phase timers.
+      if (faults != nullptr) {
+        const double wall = faults->straggler_wall_seconds(id);
+        if (wall > 0.0)
+          std::this_thread::sleep_for(std::chrono::duration<double>(wall));
+      }
+
+      // ---- uplink.
+      const auto u0 = std::chrono::steady_clock::now();
       for (const auto& copy :
            transport_->ship(LinkDir::kUp, id, update.serialize(), &ex.receipt)) {
         Arrival arrival;
@@ -339,26 +402,35 @@ const RoundOutcome& FederatedSimulation::run_round() {
         }
         ex.arrivals.push_back(std::move(arrival));
       }
-    });
+      ex.uplink_seconds = seconds_since(u0);
+    };
 
-    // ---- phase B: replay the deferred receipts and run every
-    // order-sensitive step (stats sums, validation, acceptance) strictly
-    // in ascending client-id order — identical for any thread count.
+    // ---- commits: every order-sensitive step (stats sums, validation,
+    // acceptance, shard absorb) runs strictly in ascending client-id
+    // order on the coordinator — identical for any thread count and for
+    // either pipeline mode; the modes only differ in *when* each commit
+    // runs relative to the remaining tasks.
     std::vector<std::size_t> still_pending;
-    for (std::size_t idx = 0; idx < pending.size(); ++idx) {
+    const auto commit = [&](std::size_t idx) {
       const std::size_t i = pending[idx];
       const int id = static_cast<int>(i);
       Exchange& ex = exchanges[idx];
+      const auto c0 = std::chrono::steady_clock::now();
       transport_->commit(ex.receipt);
+      out.timings.downlink_seconds += ex.downlink_seconds;
+      out.timings.train_seconds += ex.train_seconds;
+      out.timings.uplink_seconds += ex.uplink_seconds;
 
       if (!ex.got_global) {
         fail_mode[i] = 'd';
         still_pending.push_back(i);
-        continue;
+        out.timings.commit_seconds += seconds_since(c0);
+        return;
       }
       if (ex.attacked && std::find(out.attackers.begin(), out.attackers.end(), id) ==
                              out.attackers.end())
         out.attackers.push_back(id);
+      out.timings.commit_seconds += seconds_since(c0);
 
       bool update_accepted = false;
       const bool any_arrived = !ex.arrivals.empty();
@@ -367,11 +439,17 @@ const RoundOutcome& FederatedSimulation::run_round() {
           out.quarantined.push_back({id, arrival.corrupt_reason});
           continue;
         }
+        const auto v0 = std::chrono::steady_clock::now();
         const UpdateVerdict verdict =
             server_->validate_update(arrival.msg, accepted_ids, weighting);
+        out.timings.validate_seconds += seconds_since(v0);
         if (verdict.accepted) {
           weighting = arrival.msg.pre_weighted;
           accepted_ids.insert(arrival.msg.client_id);
+          // Stream mode folds the update into its shard's accumulator now,
+          // while later clients' exchanges are still in flight; the batch
+          // aggregation at round end does the same work after the barrier.
+          if (streaming) server_->absorb_validated(arrival.msg);
           accepted.push_back(std::move(arrival.msg));
           update_accepted = true;
         } else {
@@ -384,7 +462,9 @@ const RoundOutcome& FederatedSimulation::run_round() {
         fail_mode[i] = any_arrived ? 'q' : 'u';
         still_pending.push_back(i);
       }
-    }
+    };
+
+    RoundPipeline(pipeline_mode_, exec_.get()).run(pending.size(), task, commit);
     pending = std::move(still_pending);
     if (accepted.size() >= quorum) break;
     if (config_.round_deadline_seconds > 0.0 &&
@@ -404,12 +484,20 @@ const RoundOutcome& FederatedSimulation::run_round() {
   for (const ModelUpdateMsg& u : accepted) out.accepted.push_back(u.client_id);
   out.quorum_met = !accepted.empty() && accepted.size() >= quorum;
   if (out.quorum_met) {
-    out.aggregator_flags = server_->aggregate_validated(accepted);
+    // Stream mode already absorbed every accepted update at commit time;
+    // finalize closes the shard accumulators and runs the root combine.
+    // Barrier mode aggregates the batch here. Same updates, same order,
+    // bit-identical results (ShardAccumulator's contract).
+    out.aggregator_flags = streaming ? server_->finalize_aggregation()
+                                     : server_->aggregate_validated(accepted);
     out.shards = server_->last_shard_stats();
+    out.timings.shard_seconds = server_->last_aggregate_timings().shard_seconds;
+    out.timings.combine_seconds = server_->last_aggregate_timings().combine_seconds;
     last_updates_ = std::move(accepted);
   } else {
     // Degraded-but-live round: no quorum of valid updates arrived within
     // the retry budget, so the previous global model survives unchanged.
+    // carry_forward also abandons the streaming session's absorbed state.
     server_->carry_forward();
     out.carried_forward = true;
     last_updates_.clear();
@@ -419,6 +507,23 @@ const RoundOutcome& FederatedSimulation::run_round() {
   }
   if (faults != nullptr)
     out.fault_delta = fault_stats_delta(faults->stats(), fault_before);
+
+  // Cross-round overlap: the server state for round N+1 is final, so the
+  // next broadcast's serialization can run on the pool while this thread
+  // fsyncs the WAL record, compacts snapshots, or evaluates. The model
+  // copy happens here on the coordinator (the worker must not touch live
+  // server state); join_prefetch() at the next round start (or any restore
+  // path) synchronizes before the bytes are read.
+  if (streaming) {
+    invalidate_prefetch();
+    prefetch_ = std::make_shared<BroadcastPrefetch>();
+    prefetch_->msg = server_->broadcast();
+    prefetch_->round = server_->round();
+    const std::shared_ptr<BroadcastPrefetch> p = prefetch_;
+    prefetch_->done = exec_->submit([p] { p->bytes = p->msg.serialize(); });
+  }
+
+  const auto w0 = std::chrono::steady_clock::now();
   round_log_.push_back(std::move(out));
 
   if (store_ != nullptr) {
@@ -431,6 +536,8 @@ const RoundOutcome& FederatedSimulation::run_round() {
     crashpoint("round.commit.post_append");
     maybe_snapshot();
   }
+  round_log_.back().timings.commit_seconds += seconds_since(w0);
+  round_log_.back().timings.round_seconds = seconds_since(round_t0);
   return round_log_.back();
 }
 
@@ -448,6 +555,7 @@ void FederatedSimulation::save_checkpoint(const std::string& path) const {
 }
 
 void FederatedSimulation::restore_checkpoint(BinaryReader& r) {
+  invalidate_prefetch();
   DINAR_CHECK(r.read_u32() == kCheckpointMagic, "not a simulation checkpoint");
   const std::uint32_t version = r.read_u32();
   DINAR_CHECK(version == kCheckpointVersionLegacy || version == kCheckpointVersion,
@@ -574,6 +682,7 @@ void FederatedSimulation::save_full_state(BinaryWriter& w) const {
 }
 
 void FederatedSimulation::restore_full_state(BinaryReader& r) {
+  invalidate_prefetch();
   DINAR_CHECK(r.read_u32() == kFullStateMagic, "not a DFST full-state snapshot");
   const std::uint32_t version = r.read_u32();
   DINAR_CHECK(version == kFullStateVersion,
@@ -679,6 +788,7 @@ bool FederatedSimulation::apply_wal_record(BinaryReader& r) {
 
 std::int64_t FederatedSimulation::recover_from_store() {
   DINAR_CHECK(store_ != nullptr, "recover_from_store() without attach_store()");
+  invalidate_prefetch();
   const store::RoundStore::Recovered rec = store_->recover();
 
   if (rec.snapshot.has_value()) {

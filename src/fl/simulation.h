@@ -32,14 +32,23 @@
 // ExecutionContext that the simulation threads through every compute
 // consumer — the selected clients' local training runs concurrently (one
 // task per client), the tensor kernels tile across the same pool, and the
-// robust aggregators parallelize their coordinate loops. The round
-// protocol is phased so results are bit-identical for any thread count:
-// phase A runs each client's exchange (broadcast receipt, training,
-// attack, upload) as an isolated task with all randomness keyed by
-// (seed, round, client) and all stats deferred into per-client receipts;
-// phase B replays the receipts, validations and aggregation sequentially
-// in ascending client-id order, which pins down every order-dependent
-// floating-point sum.
+// robust aggregators parallelize their coordinate loops. Each client's
+// exchange (broadcast receipt, training, attack, upload) is an isolated
+// task with all randomness keyed by (seed, round, client) and all stats
+// deferred into per-client receipts; every order-sensitive step (stats
+// sums, validation, acceptance, aggregation) runs strictly in ascending
+// client-id order on the coordinator, which pins down every
+// order-dependent floating-point sum for any thread count.
+//
+// Round pipelining (SimulationConfig::pipeline, DESIGN.md §13): under the
+// default PipelineMode::kStream the coordinator commits each exchange the
+// moment it completes — validating the update and folding it into its
+// shard's in-progress accumulator while slower clients are still running —
+// and overlaps the next round's broadcast serialization with the WAL
+// commit. kBarrier keeps the legacy phase-A/phase-B schedule (full fan-out
+// barrier before any commit). The two modes are bit-identical — same
+// RoundOutcomes, models, durable records — because commit order, not
+// compute order, fixes every result; the determinism gauntlet enforces it.
 //
 // Membership churn: SimulationConfig::churn lets clients join mid-run
 // (initialized from the current global model via their first broadcast),
@@ -55,6 +64,7 @@
 
 #include "data/splits.h"
 #include "fl/client.h"
+#include "fl/pipeline.h"
 #include "fl/server.h"
 #include "fl/transport.h"
 #include "nn/model_zoo.h"
@@ -166,6 +176,15 @@ struct SimulationConfig {
   // this process). Results are bit-identical to the default in-process
   // transport — only the socket_* counters differ from zero.
   bool socket_transport = false;
+
+  // -- round pipelining ------------------------------------------------------
+  // How the round engine schedules exchanges vs commits (see header
+  // comment). kStream (the default) overlaps commits and next-round
+  // downlink serialization with the straggler tail; kBarrier is the legacy
+  // phase-A/phase-B schedule, kept one release as a triage baseline. The
+  // DINAR_PIPELINE environment variable ("barrier" | "stream"), read at
+  // simulation construction, overrides this field.
+  PipelineMode pipeline = PipelineMode::kStream;
 };
 
 struct RoundRecord {
@@ -174,6 +193,23 @@ struct RoundRecord {
   double global_test_loss = 0.0;
   double personalized_test_accuracy = 0.0;
   double mean_client_train_accuracy = 0.0;
+};
+
+// Wall-clock breakdown of one round, by phase. Measurement ONLY: never
+// serialized into WAL records or snapshots, never dumped or compared by
+// the determinism gauntlet — wall-clock differs run to run by design.
+// Task-side phases (downlink, train, uplink) are summed across the
+// per-client exchange tasks, so under threads they can exceed the round's
+// wall-clock; commit/shard/combine run on the coordinator.
+struct RoundPhaseTimings {
+  double downlink_seconds = 0.0;  // broadcast serialize + ship/deserialize/receive
+  double train_seconds = 0.0;     // local training + attack payload crafting
+  double uplink_seconds = 0.0;    // update serialize + ship + parse (task side)
+  double validate_seconds = 0.0;  // server-side validation of arrivals
+  double shard_seconds = 0.0;     // edge aggregation (absorb + finalize)
+  double combine_seconds = 0.0;   // root merge of the shard summaries
+  double commit_seconds = 0.0;    // transport commit + accounting + WAL + snapshot
+  double round_seconds = 0.0;     // whole-round wall-clock
 };
 
 // Per-round event log of the fault-tolerant protocol: who was selected,
@@ -215,12 +251,21 @@ struct RoundOutcome {
   // What the FaultInjector did *this round* (run-level totals stay
   // available via Transport::faults()->stats()).
   FaultStats fault_delta;
+
+  // -- wall-clock phase breakdown ------------------------------------------
+  // Timing only (see RoundPhaseTimings): excluded from WAL serde, from
+  // save_full_state, and from every determinism comparison.
+  RoundPhaseTimings timings;
 };
 
 class FederatedSimulation {
  public:
   FederatedSimulation(nn::ModelFactory model_factory, data::FlSplit split,
                       SimulationConfig config, DefenseBundle defenses);
+
+  // The round schedule actually in effect (config.pipeline unless
+  // DINAR_PIPELINE overrode it at construction).
+  PipelineMode pipeline_mode() const { return pipeline_mode_; }
 
   // Runs every remaining round (config.rounds minus any already completed,
   // e.g. after restore_checkpoint()).
@@ -327,6 +372,12 @@ class FederatedSimulation {
   // Applies one WAL record; returns false when the record is a stale
   // duplicate (skip) — malformed records throw and the caller stops.
   bool apply_wal_record(BinaryReader& r);
+  // Blocks until the in-flight broadcast-prefetch task (if any) finished
+  // serializing; safe to call with none pending.
+  void join_prefetch();
+  // join_prefetch + drop the prefetched broadcast (state changed under it:
+  // checkpoint restore, full-state restore, store recovery).
+  void invalidate_prefetch();
 
   nn::ModelFactory model_factory_;
   data::FlSplit split_;
@@ -344,6 +395,25 @@ class FederatedSimulation {
   std::vector<RoundRecord> history_;
   std::vector<RoundOutcome> round_log_;
   Rng rng_;
+  // Round schedule (config.pipeline unless DINAR_PIPELINE overrode it).
+  PipelineMode pipeline_mode_ = PipelineMode::kStream;
+  // Next-round broadcast prefetch (stream mode): after a round commits,
+  // the new global model is copied on the coordinator and serialized on
+  // the pool, overlapping the WAL fsync / snapshot / eval that follow.
+  // The block is heap-shared with the pool task (which captures the
+  // shared_ptr, never `this`), so the simulation stays freely movable and
+  // destructible with a task in flight — the worker's reference keeps the
+  // block alive and the pool (owned by exec_, destroyed last) joins its
+  // threads before the process loses the code the task runs. Only the
+  // task touches msg/bytes between submit and join_prefetch(); `round` is
+  // coordinator-only.
+  struct BroadcastPrefetch {
+    GlobalModelMsg msg;
+    std::vector<std::uint8_t> bytes;
+    std::int64_t round = -1;
+    std::future<void> done;
+  };
+  std::shared_ptr<BroadcastPrefetch> prefetch_;
   // Durable operation (null = volatile, the seed behavior).
   store::RoundStore* store_ = nullptr;
   int snapshot_every_ = 8;

@@ -50,7 +50,11 @@ struct TransportStats {
 // protocol ships with a receipt so concurrent exchanges never race on the
 // shared stats, then the coordinator commit()s receipts in deterministic
 // client-id order — double-precision latency sums come out bit-identical
-// for any thread count.
+// for any thread count. Under the streaming round engine (DESIGN.md §13)
+// an exchange task's completion IS the arrival event: ship() stays
+// synchronous within the task, and the receipt commit happens the moment
+// the coordinator reaches that client in ascending order — possibly while
+// later clients' exchanges are still in flight.
 struct ShipReceipt {
   TransportStats transport;
   FaultStats faults;

@@ -36,6 +36,20 @@ void ExecutionContext::parallel_for(
   });
 }
 
+std::future<void> ExecutionContext::submit(std::function<void()> fn) const {
+  if (pool_ == nullptr || ThreadPool::on_worker_thread()) {
+    std::promise<void> done;
+    try {
+      fn();
+      done.set_value();
+    } catch (...) {
+      done.set_exception(std::current_exception());
+    }
+    return done.get_future();
+  }
+  return pool_->submit(std::move(fn));
+}
+
 void ExecutionContext::for_each_task(std::size_t n,
                                      const std::function<void(std::size_t)>& fn) const {
   if (n == 0) return;

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <future>
 #include <memory>
 
 #include "util/thread_pool.h"
@@ -64,6 +65,15 @@ class ExecutionContext {
   // exchange. Same inline/nesting rules as parallel_for; the lowest-index
   // exception is rethrown.
   void for_each_task(std::size_t n, const std::function<void(std::size_t)>& fn) const;
+
+  // Schedules one task on the pool and returns a future for its
+  // completion/exception. Runs fn inline (returning an already-resolved
+  // future) when sequential or when called from a pool worker — same
+  // degradation rule as the fan-out primitives, so a submit can never
+  // deadlock on a saturated queue. This is the seam the streaming round
+  // pipeline uses to treat each client exchange as an independent event
+  // and to overlap next-round downlink serialization with commit work.
+  std::future<void> submit(std::function<void()> fn) const;
 
  private:
   ExecConfig config_;

@@ -79,8 +79,9 @@ TEST(RobustAggregatorFactory, RejectsUnknownMethodAndBadParameters) {
 
 TEST(RobustAggregatorTest, FedAvgMatchesSampleWeightedMean) {
   auto agg = make_robust_aggregator(RobustConfig{});
-  RobustAggregateResult r = agg->aggregate(
-      {update_of(0, 2.0f, 1), update_of(1, 4.0f, 3)}, one_tensor(0.0f));
+  const std::vector<ModelUpdateMsg> updates{update_of(0, 2.0f, 1),
+                                            update_of(1, 4.0f, 3)};
+  RobustAggregateResult r = agg->aggregate(updates, one_tensor(0.0f));
   EXPECT_NEAR(r.params.entry_span(0)[0], 3.5f, 1e-6);  // (2*1 + 4*3) / 4
   EXPECT_TRUE(r.flags.empty());
 }
@@ -89,10 +90,10 @@ TEST(RobustAggregatorTest, MedianOutvotesAndQuarantinesMinorityOutlier) {
   RobustConfig cfg;
   cfg.method = "median";
   auto agg = make_robust_aggregator(cfg);
-  RobustAggregateResult r = agg->aggregate(
-      {update_of(0, 1.0f), update_of(1, 1.0f), update_of(2, 1.0f),
-       update_of(3, 1.0f), update_of(4, 100.0f)},
-      one_tensor(0.0f));
+  const std::vector<ModelUpdateMsg> updates{update_of(0, 1.0f), update_of(1, 1.0f),
+                                            update_of(2, 1.0f), update_of(3, 1.0f),
+                                            update_of(4, 100.0f)};
+  RobustAggregateResult r = agg->aggregate(updates, one_tensor(0.0f));
   EXPECT_NEAR(r.params.entry_span(0)[0], 1.0f, 1e-6);
   ASSERT_EQ(r.flags.size(), 1u);
   EXPECT_EQ(r.flags[0].client_id, 4);
@@ -106,10 +107,10 @@ TEST(RobustAggregatorTest, TrimmedMeanDropsBothExtremes) {
   cfg.trim_fraction = 0.2;
   cfg.outlier_threshold = 1e9;  // disarm the screen: test the statistic alone
   auto agg = make_robust_aggregator(cfg);
-  RobustAggregateResult r = agg->aggregate(
-      {update_of(0, 0.0f), update_of(1, 1.0f), update_of(2, 1.0f),
-       update_of(3, 1.0f), update_of(4, 50.0f)},
-      one_tensor(0.0f));
+  const std::vector<ModelUpdateMsg> updates{update_of(0, 0.0f), update_of(1, 1.0f),
+                                            update_of(2, 1.0f), update_of(3, 1.0f),
+                                            update_of(4, 50.0f)};
+  RobustAggregateResult r = agg->aggregate(updates, one_tensor(0.0f));
   EXPECT_NEAR(r.params.entry_span(0)[0], 1.0f, 1e-6);  // 0 and 50 trimmed per coordinate
 }
 
@@ -120,10 +121,10 @@ TEST(RobustAggregatorTest, NormClipBoundsLargeDeltas) {
   auto agg = make_robust_aggregator(cfg);
   // Three unit deltas and one 100x delta from a zero global: the outlier
   // is scaled down to 2x the median norm instead of dominating the mean.
-  RobustAggregateResult r = agg->aggregate(
-      {update_of(0, 1.0f), update_of(1, 1.0f), update_of(2, 1.0f),
-       update_of(3, 100.0f)},
-      one_tensor(0.0f));
+  const std::vector<ModelUpdateMsg> updates{update_of(0, 1.0f), update_of(1, 1.0f),
+                                            update_of(2, 1.0f),
+                                            update_of(3, 100.0f)};
+  RobustAggregateResult r = agg->aggregate(updates, one_tensor(0.0f));
   EXPECT_NEAR(r.params.entry_span(0)[0], 1.25f, 1e-5);  // (1 + 1 + 1 + 2) / 4
   ASSERT_EQ(r.flags.size(), 1u);
   EXPECT_EQ(r.flags[0].client_id, 3);
@@ -136,10 +137,10 @@ TEST(RobustAggregatorTest, KrumSelectsInsideTheHonestCluster) {
   cfg.method = "krum";
   cfg.assumed_byzantine = 1;
   auto agg = make_robust_aggregator(cfg);
-  RobustAggregateResult r = agg->aggregate(
-      {update_of(0, 1.00f), update_of(1, 1.01f), update_of(2, 1.02f),
-       update_of(3, 0.99f), update_of(4, 50.0f)},
-      one_tensor(0.0f));
+  const std::vector<ModelUpdateMsg> updates{
+      update_of(0, 1.00f), update_of(1, 1.01f), update_of(2, 1.02f),
+      update_of(3, 0.99f), update_of(4, 50.0f)};
+  RobustAggregateResult r = agg->aggregate(updates, one_tensor(0.0f));
   // Krum keeps exactly one update, from inside the cluster.
   EXPECT_GT(r.params.entry_span(0)[0], 0.9f);
   EXPECT_LT(r.params.entry_span(0)[0], 1.1f);
@@ -152,10 +153,10 @@ TEST(RobustAggregatorTest, MultiKrumExcludesExactlyTheAssumedByzantine) {
   cfg.method = "multi_krum";
   cfg.assumed_byzantine = 1;  // select m = n - f = 4
   auto agg = make_robust_aggregator(cfg);
-  RobustAggregateResult r = agg->aggregate(
-      {update_of(0, 1.00f), update_of(1, 1.01f), update_of(2, 1.02f),
-       update_of(3, 0.99f), update_of(4, 50.0f)},
-      one_tensor(0.0f));
+  const std::vector<ModelUpdateMsg> updates{
+      update_of(0, 1.00f), update_of(1, 1.01f), update_of(2, 1.02f),
+      update_of(3, 0.99f), update_of(4, 50.0f)};
+  RobustAggregateResult r = agg->aggregate(updates, one_tensor(0.0f));
   EXPECT_NEAR(r.params.entry_span(0)[0], 1.005f, 1e-3);  // mean of the 4 honest
   ASSERT_EQ(r.flags.size(), 1u);
   EXPECT_EQ(r.flags[0].client_id, 4);
@@ -172,12 +173,12 @@ TEST(RobustAggregatorTest, RobustMethodsRejectPreWeightedUpdates) {
     RobustConfig cfg;
     cfg.method = name;
     auto agg = make_robust_aggregator(cfg);
+    const std::vector<ModelUpdateMsg> solo{masked};
+    const std::vector<ModelUpdateMsg> pair{masked, update_of(1, 1.0f)};
     if (name == "fedavg") {
-      EXPECT_NO_THROW(agg->aggregate({masked}, one_tensor(0.0f)));
+      EXPECT_NO_THROW(agg->aggregate(solo, one_tensor(0.0f)));
     } else {
-      EXPECT_THROW(agg->aggregate({masked, update_of(1, 1.0f)}, one_tensor(0.0f)),
-                   Error)
-          << name;
+      EXPECT_THROW(agg->aggregate(pair, one_tensor(0.0f)), Error) << name;
     }
   }
 }
@@ -577,7 +578,8 @@ TEST(ServerInterplayTest, RestoreThenQuarantineHeavyRoundThenCarryForward) {
   ModelUpdateMsg poisoned = update_of(1, 5.0f);
   poisoned.round = 3;
   poisoned.params.as_span()[0] = std::numeric_limits<float>::quiet_NaN();
-  AggregateOutcome out = server.try_aggregate({stale, poisoned}, /*min_valid=*/1);
+  const std::vector<ModelUpdateMsg> suspect{stale, poisoned};
+  AggregateOutcome out = server.try_aggregate(suspect, /*min_valid=*/1);
   EXPECT_FALSE(out.aggregated);
   EXPECT_EQ(out.quarantined.size(), 2u);
   EXPECT_EQ(server.round(), 3);
@@ -589,7 +591,8 @@ TEST(ServerInterplayTest, RestoreThenQuarantineHeavyRoundThenCarryForward) {
 
   ModelUpdateMsg good = update_of(0, 6.0f);
   good.round = 4;
-  out = server.try_aggregate({good}, /*min_valid=*/1);
+  const std::vector<ModelUpdateMsg> healthy{good};
+  out = server.try_aggregate(healthy, /*min_valid=*/1);
   EXPECT_TRUE(out.aggregated);
   EXPECT_EQ(server.round(), 5);
   EXPECT_NEAR(server.global_params().as_span()[0], 6.0f, 1e-6);

@@ -236,8 +236,9 @@ TEST(ServerValidationTest, TryAggregateQuarantinesAndAveragesTheRest) {
   FlServer server(unit_params(), std::make_unique<NoServerDefense>());
   ModelUpdateMsg nan_update = make_update(2, 1.0f);
   nan_update.params.as_span()[0] = std::numeric_limits<float>::infinity();
-  AggregateOutcome out = server.try_aggregate(
-      {make_update(0, 2.0f), nan_update, make_update(1, 4.0f)}, /*min_valid=*/2);
+  const std::vector<ModelUpdateMsg> cohort{make_update(0, 2.0f), nan_update,
+                                           make_update(1, 4.0f)};
+  AggregateOutcome out = server.try_aggregate(cohort, /*min_valid=*/2);
   EXPECT_TRUE(out.aggregated);
   EXPECT_EQ(out.accepted, (std::vector<int>{0, 1}));
   ASSERT_EQ(out.quarantined.size(), 1u);
@@ -249,8 +250,8 @@ TEST(ServerValidationTest, TryAggregateQuarantinesAndAveragesTheRest) {
 
 TEST(ServerValidationTest, BelowQuorumLeavesGlobalUntouched) {
   FlServer server(unit_params(7.0f), std::make_unique<NoServerDefense>());
-  AggregateOutcome out =
-      server.try_aggregate({make_update(0, 1.0f)}, /*min_valid=*/2);
+  const std::vector<ModelUpdateMsg> lone{make_update(0, 1.0f)};
+  AggregateOutcome out = server.try_aggregate(lone, /*min_valid=*/2);
   EXPECT_FALSE(out.aggregated);
   EXPECT_EQ(server.round(), 0);
   EXPECT_EQ(server.global_params().as_span()[0], 7.0f);

@@ -239,8 +239,13 @@ void expect_params_bitwise_equal(const nn::FlatParams& a, const nn::FlatParams& 
 }
 
 // The full gauntlet: drops, duplication, corruption, delays, a crash, a
-// straggler, sign-flip + colluding attackers under multi-Krum, membership
-// churn, quorum aggregation with retries, and periodic evaluation.
+// straggler (simulated latency AND a real wall-clock sleep, so the
+// streaming pipeline genuinely overlaps a tail), sign-flip + colluding
+// attackers under multi-Krum, membership churn, quorum aggregation with
+// retries, and periodic evaluation. The pipeline mode comes from the
+// config default (kStream) unless DINAR_PIPELINE pins it — the extra
+// ctest legs run exactly this suite under "barrier" to prove the legacy
+// schedule still holds the same property.
 SimulationConfig gauntlet_config(unsigned threads, std::size_t num_shards = 1) {
   SimulationConfig cfg;
   cfg.rounds = 6;
@@ -257,6 +262,11 @@ SimulationConfig gauntlet_config(unsigned threads, std::size_t num_shards = 1) {
   cfg.faults.delay_max_seconds = 0.5;
   cfg.faults.crash_at_round[2] = 4;
   cfg.faults.straggler_factor[3] = 2.0;
+  // Real (tiny) wall-clock stragglers: their exchanges finish last, so in
+  // stream mode every other client's commit overlaps their sleep. Zero
+  // effect on any compared value.
+  cfg.faults.straggler_wall_seconds[3] = 0.002;
+  cfg.faults.straggler_wall_seconds[6] = 0.003;
   cfg.min_clients = 2;
   cfg.max_retries = 2;
   cfg.retry_backoff_seconds = 0.1;

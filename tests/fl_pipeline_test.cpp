@@ -1,0 +1,460 @@
+// Streaming round engine tests (DESIGN.md §13).
+//
+// Three layers:
+//  - mode registry: names, unknown-mode errors, the DINAR_PIPELINE pin;
+//  - RoundPipeline: the scheduling contract itself — barrier = all tasks
+//    before any commit, stream = ascending commits overlapping the
+//    still-running tail, deterministic lowest-index error surfacing and
+//    full drain on abort;
+//  - simulation equivalence: the pipelined round is byte-identical to the
+//    barriered one — RoundOutcomes, histories, final global + client
+//    models, durable store state — at 1/2/4 threads, under faults,
+//    Byzantine attackers, churn, sharding and real wall-clock stragglers
+//    parked at the LAST client of each shard (the worst case for the
+//    overlap: every shard's accumulator stays open until its tail lands).
+//
+// These tests set pipeline modes explicitly, so the DINAR_PIPELINE-pinned
+// ctest legs deliberately exclude this suite (the pin would override the
+// modes under test); plain `ctest` runs it with the env unset.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fl/pipeline.h"
+#include "fl/shard.h"
+#include "fl/simulation.h"
+#include "store/round_store.h"
+#include "test_helpers.h"
+#include "util/error.h"
+#include "util/execution_context.h"
+#include "util/serde.h"
+
+namespace dinar::fl {
+namespace {
+
+using dinar::testing::make_easy_dataset;
+using dinar::testing::tiny_mlp_factory;
+
+// ---------------------------------------------------------- mode registry --
+
+TEST(PipelineModeTest, RegistryRoundTrips) {
+  EXPECT_STREQ(to_string(PipelineMode::kBarrier), "barrier");
+  EXPECT_STREQ(to_string(PipelineMode::kStream), "stream");
+  EXPECT_EQ(pipeline_mode_from_name("barrier"), PipelineMode::kBarrier);
+  EXPECT_EQ(pipeline_mode_from_name("stream"), PipelineMode::kStream);
+}
+
+TEST(PipelineModeTest, UnknownModeNamesTheKnownOnes) {
+  try {
+    pipeline_mode_from_name("warp");
+    FAIL() << "expected an error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("warp"), std::string::npos);
+    EXPECT_NE(what.find("barrier"), std::string::npos);
+    EXPECT_NE(what.find("stream"), std::string::npos);
+  }
+}
+
+TEST(PipelineModeTest, EnvOverrideParsesAndRejects) {
+  ASSERT_EQ(unsetenv("DINAR_PIPELINE"), 0);
+  EXPECT_FALSE(pipeline_mode_env_override().has_value());
+  ASSERT_EQ(setenv("DINAR_PIPELINE", "", 1), 0);
+  EXPECT_FALSE(pipeline_mode_env_override().has_value());
+  ASSERT_EQ(setenv("DINAR_PIPELINE", "barrier", 1), 0);
+  EXPECT_EQ(pipeline_mode_env_override(), PipelineMode::kBarrier);
+  ASSERT_EQ(setenv("DINAR_PIPELINE", "stream", 1), 0);
+  EXPECT_EQ(pipeline_mode_env_override(), PipelineMode::kStream);
+  ASSERT_EQ(setenv("DINAR_PIPELINE", "bogus", 1), 0);
+  EXPECT_THROW(pipeline_mode_env_override(), Error);
+  ASSERT_EQ(unsetenv("DINAR_PIPELINE"), 0);
+}
+
+// ----------------------------------------------------------- RoundPipeline --
+
+ExecutionContext make_exec(unsigned threads) {
+  ExecConfig cfg;
+  cfg.threads = threads;
+  return ExecutionContext(cfg);
+}
+
+TEST(RoundPipelineTest, BarrierRunsEveryTaskBeforeAnyCommit) {
+  ExecutionContext exec = make_exec(4);
+  const std::size_t n = 16;
+  std::atomic<std::size_t> tasks_done{0};
+  std::vector<std::size_t> commit_order;
+  RoundPipeline(PipelineMode::kBarrier, &exec)
+      .run(
+          n, [&](std::size_t) { tasks_done.fetch_add(1); },
+          [&](std::size_t i) {
+            EXPECT_EQ(tasks_done.load(), n) << "commit before the barrier";
+            commit_order.push_back(i);
+          });
+  ASSERT_EQ(commit_order.size(), n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(commit_order[i], i);
+}
+
+TEST(RoundPipelineTest, StreamCommitsAscendAndFollowTheirTask) {
+  ExecutionContext exec = make_exec(4);
+  const std::size_t n = 32;
+  std::vector<std::atomic<bool>> task_done(n);
+  std::vector<std::size_t> commit_order;
+  RoundPipeline(PipelineMode::kStream, &exec)
+      .run(
+          n, [&](std::size_t i) { task_done[i].store(true); },
+          [&](std::size_t i) {
+            EXPECT_TRUE(task_done[i].load()) << "commit " << i << " before its task";
+            commit_order.push_back(i);
+          });
+  ASSERT_EQ(commit_order.size(), n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(commit_order[i], i);
+}
+
+TEST(RoundPipelineTest, StreamOverlapsCommitsWithTheStragglerTail) {
+  // The straggler (last index) blocks until every other index has
+  // committed — only possible if the coordinator commits while the tail
+  // is still running. Under kBarrier this would deadlock, which is the
+  // whole point; a 10 s escape hatch turns a regression into a failure
+  // instead of a hang.
+  ExecutionContext exec = make_exec(2);
+  const std::size_t n = 6;
+  std::atomic<std::size_t> committed{0};
+  std::atomic<bool> overlap_seen{false};
+  RoundPipeline(PipelineMode::kStream, &exec)
+      .run(
+          n,
+          [&](std::size_t i) {
+            if (i != n - 1) return;
+            const auto deadline =
+                std::chrono::steady_clock::now() + std::chrono::seconds(10);
+            while (committed.load() < n - 1 &&
+                   std::chrono::steady_clock::now() < deadline)
+              std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            overlap_seen.store(committed.load() >= n - 1);
+          },
+          [&](std::size_t) { committed.fetch_add(1); });
+  EXPECT_TRUE(overlap_seen.load())
+      << "earlier commits did not overlap the straggler's exchange";
+  EXPECT_EQ(committed.load(), n);
+}
+
+TEST(RoundPipelineTest, StreamWithoutWorkersInterleavesInline) {
+  // Sequential degradation: task(i) immediately followed by commit(i).
+  std::vector<std::string> trace;
+  RoundPipeline(PipelineMode::kStream, nullptr)
+      .run(
+          3, [&](std::size_t i) { trace.push_back("t" + std::to_string(i)); },
+          [&](std::size_t i) { trace.push_back("c" + std::to_string(i)); });
+  EXPECT_EQ(trace, (std::vector<std::string>{"t0", "c0", "t1", "c1", "t2", "c2"}));
+}
+
+TEST(RoundPipelineTest, StreamSurfacesLowestFailedIndexAndStopsCommitting) {
+  ExecutionContext exec = make_exec(4);
+  const std::size_t n = 8;
+  std::vector<std::size_t> commit_order;
+  try {
+    RoundPipeline(PipelineMode::kStream, &exec)
+        .run(
+            n,
+            [&](std::size_t i) {
+              if (i == 2 || i == 5)
+                throw std::runtime_error("task " + std::to_string(i));
+            },
+            [&](std::size_t i) { commit_order.push_back(i); });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 2");
+  }
+  // Commits below the first failed index ran; nothing at or above it did.
+  EXPECT_EQ(commit_order, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(RoundPipelineTest, BarrierTaskFailureCommitsNothing) {
+  ExecutionContext exec = make_exec(4);
+  std::size_t commits = 0;
+  EXPECT_THROW(RoundPipeline(PipelineMode::kBarrier, &exec)
+                   .run(
+                       8,
+                       [&](std::size_t i) {
+                         if (i == 3) throw std::runtime_error("boom");
+                       },
+                       [&](std::size_t) { ++commits; }),
+               std::runtime_error);
+  EXPECT_EQ(commits, 0u);
+}
+
+TEST(RoundPipelineTest, CommitFailurePropagatesAfterDrainingTasks) {
+  ExecutionContext exec = make_exec(2);
+  const std::size_t n = 8;
+  std::atomic<std::size_t> tasks_done{0};
+  EXPECT_THROW(RoundPipeline(PipelineMode::kStream, &exec)
+                   .run(
+                       n,
+                       [&](std::size_t) {
+                         std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                         tasks_done.fetch_add(1);
+                       },
+                       [&](std::size_t i) {
+                         if (i == 1) throw std::runtime_error("commit boom");
+                       }),
+               std::runtime_error);
+  // The throw must not leave tasks running against a dead stack frame.
+  EXPECT_EQ(tasks_done.load(), n);
+}
+
+// ------------------------------------------- simulation-level equivalence --
+
+std::string dump_outcome(const RoundOutcome& o) {
+  std::ostringstream os;
+  os << "round=" << o.round << " agg=" << o.aggregator
+     << " retries=" << o.retries_used << " quorum=" << o.quorum_met
+     << " carried=" << o.carried_forward << " roster=" << o.roster_size;
+  const auto ids = [&os](const char* k, const std::vector<int>& v) {
+    os << " " << k << "=[";
+    for (const int x : v) os << x << ",";
+    os << "]";
+  };
+  ids("selected", o.selected);
+  ids("crashed", o.crashed);
+  ids("missed", o.missed_broadcast);
+  ids("lost", o.lost_update);
+  ids("accepted", o.accepted);
+  ids("attackers", o.attackers);
+  ids("joined", o.joined);
+  ids("departed", o.departed);
+  os << " quarantined=[";
+  for (const auto& q : o.quarantined) os << q.client_id << ":" << q.reason << ";";
+  os << "] flags=[";
+  for (const auto& f : o.aggregator_flags)
+    os << f.client_id << ":" << f.excluded << ":" << f.reason << ";";
+  os << "] shards=[";
+  for (const auto& s : o.shards)
+    os << s.shard_id << ":" << s.num_updates << ":" << s.num_accepted << ":"
+       << s.num_flagged << ":" << s.weight << ":" << s.min_norm << ":"
+       << s.median_norm << ":" << s.max_norm << ";";
+  os << "] faults={" << o.fault_delta.drops_up << "," << o.fault_delta.drops_down
+     << "," << o.fault_delta.duplicates_up << "," << o.fault_delta.duplicates_down
+     << "," << o.fault_delta.corruptions_up << "," << o.fault_delta.corruptions_down
+     << "," << o.fault_delta.crashed_contacts << ","
+     << o.fault_delta.delays_injected << ","
+     << o.fault_delta.injected_delay_seconds << "}";
+  return os.str();
+}
+
+// Faults + a Byzantine attacker + churn + a 3-shard tree, with a real
+// wall-clock straggler parked at the LAST client of every shard: each
+// shard's accumulator stays open until its slowest member lands, the
+// adversarial schedule for the overlap.
+SimulationConfig overlap_config(unsigned threads, PipelineMode mode) {
+  SimulationConfig cfg;
+  cfg.rounds = 4;
+  cfg.train = TrainConfig{1, 16};
+  cfg.learning_rate = 5e-2;
+  cfg.seed = 77;
+  cfg.eval_every = 2;
+  cfg.faults.drop_up = 0.1;
+  cfg.faults.corrupt_up = 0.1;
+  cfg.faults.delay_prob = 0.2;
+  cfg.faults.delay_max_seconds = 0.3;
+  cfg.min_clients = 2;
+  cfg.max_retries = 2;
+  cfg.retry_backoff_seconds = 0.05;
+  cfg.robust.method = "median";
+  cfg.adversaries.attackers[1] = AttackType::kSignFlip;
+  cfg.churn.away[4] = {{2, 3}};
+  cfg.shard.num_shards = 3;
+  cfg.shard.assignment_seed = 0x0F00D;
+  cfg.exec.threads = threads;
+  cfg.pipeline = mode;
+  // Park a sleep on the highest client id of each shard.
+  std::map<std::uint32_t, int> last_of_shard;
+  for (int id = 0; id < 6; ++id)
+    last_of_shard[shard_of(id, cfg.shard)] = id;  // ascending ids: last wins
+  for (const auto& [shard, id] : last_of_shard)
+    cfg.faults.straggler_wall_seconds[id] = 0.002;
+  return cfg;
+}
+
+struct SimRun {
+  std::vector<std::string> outcomes;
+  std::vector<RoundRecord> history;
+  nn::FlatParams global;
+  std::vector<nn::FlatParams> client_params;
+  std::vector<std::uint8_t> full_state;
+};
+
+SimRun run_sim(unsigned threads, PipelineMode mode) {
+  Rng rng(23);
+  data::Dataset full = make_easy_dataset(192, rng);
+  data::FlSplitConfig split_cfg;
+  split_cfg.num_clients = 6;
+  data::FlSplit split = data::make_fl_split(full, split_cfg, rng);
+
+  FederatedSimulation sim(tiny_mlp_factory(2, 2), std::move(split),
+                          overlap_config(threads, mode), DefenseBundle{});
+  EXPECT_EQ(sim.pipeline_mode(), mode);
+  sim.run();
+
+  SimRun out;
+  for (const RoundOutcome& o : sim.round_log()) out.outcomes.push_back(dump_outcome(o));
+  out.history = sim.history();
+  out.global = sim.server().global_params();
+  for (FlClient& c : sim.clients()) out.client_params.push_back(c.model().parameters());
+  BinaryWriter w;
+  sim.save_full_state(w);
+  out.full_state = w.buffer();
+  return out;
+}
+
+void expect_runs_identical(const SimRun& a, const SimRun& b, const char* what) {
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size()) << what;
+  for (std::size_t r = 0; r < a.outcomes.size(); ++r)
+    EXPECT_EQ(a.outcomes[r], b.outcomes[r]) << what << " round " << r;
+  ASSERT_EQ(a.history.size(), b.history.size()) << what;
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].global_test_accuracy, b.history[i].global_test_accuracy)
+        << what;
+    EXPECT_EQ(a.history[i].personalized_test_accuracy,
+              b.history[i].personalized_test_accuracy)
+        << what;
+  }
+  ASSERT_TRUE(a.global.same_layout(b.global)) << what;
+  EXPECT_EQ(std::memcmp(a.global.as_span().data(), b.global.as_span().data(),
+                        a.global.as_span().size() * sizeof(float)),
+            0)
+      << what << ": global model differs bitwise";
+  ASSERT_EQ(a.client_params.size(), b.client_params.size()) << what;
+  for (std::size_t c = 0; c < a.client_params.size(); ++c)
+    EXPECT_EQ(std::memcmp(a.client_params[c].as_span().data(),
+                          b.client_params[c].as_span().data(),
+                          a.client_params[c].as_span().size() * sizeof(float)),
+              0)
+        << what << ": client " << c << " model differs bitwise";
+  // Full serialized state (timings are measurement-only and excluded from
+  // serde by design, so this must hold across modes and thread counts).
+  EXPECT_EQ(a.full_state, b.full_state) << what << ": full state differs";
+}
+
+TEST(PipelineSimTest, StreamMatchesBarrierByteIdenticalAcrossThreadCounts) {
+  const SimRun barrier1 = run_sim(1, PipelineMode::kBarrier);
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    const SimRun stream = run_sim(threads, PipelineMode::kStream);
+    expect_runs_identical(barrier1, stream,
+                          ("stream@" + std::to_string(threads)).c_str());
+  }
+  const SimRun barrier4 = run_sim(4, PipelineMode::kBarrier);
+  expect_runs_identical(barrier1, barrier4, "barrier@4");
+}
+
+FederatedSimulation make_overlap_sim(unsigned threads, PipelineMode mode) {
+  Rng rng(23);
+  data::Dataset full = make_easy_dataset(192, rng);
+  data::FlSplitConfig split_cfg;
+  split_cfg.num_clients = 6;
+  return FederatedSimulation(tiny_mlp_factory(2, 2),
+                             data::make_fl_split(full, split_cfg, rng),
+                             overlap_config(threads, mode), DefenseBundle{});
+}
+
+std::vector<std::uint8_t> state_of(const FederatedSimulation& sim) {
+  BinaryWriter w;
+  sim.save_full_state(w);
+  return w.buffer();
+}
+
+TEST(PipelineSimTest, DurableStoreBytesMatchAcrossModesAndRecoveryCrosses) {
+  namespace fs = std::filesystem;
+  const std::string base = ::testing::TempDir() + "dinar_pipeline_test";
+  fs::remove_all(base);
+  fs::create_directories(base);
+
+  const auto run_with_store = [&](const std::string& name, PipelineMode mode,
+                                  int rounds) {
+    const std::string dir = base + "/" + name;
+    store::RoundStore s(dir);
+    FederatedSimulation sim = make_overlap_sim(2, mode);
+    sim.attach_store(&s, /*snapshot_every=*/2);
+    for (int i = 0; i < rounds; ++i) sim.run_round();
+    return dir;
+  };
+
+  // Same rounds through both pipelines: every durable byte agrees (WAL
+  // records and snapshots serialize no timings and no schedule artifacts).
+  const std::string stream_dir = run_with_store("stream", PipelineMode::kStream, 3);
+  const std::string barrier_dir =
+      run_with_store("barrier", PipelineMode::kBarrier, 3);
+  const auto files_of = [](const std::string& dir) {
+    std::map<std::string, std::vector<char>> files;
+    for (const auto& entry : fs::recursive_directory_iterator(dir))
+      if (entry.is_regular_file()) {
+        std::ifstream f(entry.path(), std::ios::binary);
+        files[entry.path().filename().string()] = {
+            std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>()};
+      }
+    return files;
+  };
+  const auto stream_files = files_of(stream_dir);
+  EXPECT_FALSE(stream_files.empty());
+  EXPECT_EQ(stream_files, files_of(barrier_dir));
+
+  // Cross-mode recovery: a barriered simulation recovers the stream-written
+  // store and continues bit-identically to an uninterrupted stream run.
+  store::RoundStore s(stream_dir);
+  FederatedSimulation recovered = make_overlap_sim(2, PipelineMode::kBarrier);
+  recovered.attach_store(&s, 2);
+  EXPECT_EQ(recovered.recover_from_store(), 3);
+  recovered.run_round();
+
+  FederatedSimulation reference = make_overlap_sim(2, PipelineMode::kStream);
+  for (int i = 0; i < 4; ++i) reference.run_round();
+  EXPECT_EQ(state_of(recovered), state_of(reference));
+}
+
+TEST(PipelineSimTest, FedAvgStreamingAccumulatorMatchesBarrier) {
+  // overlap_config's "median" closes each shard through the buffering
+  // accumulator; fedavg streams per-coordinate as commits land — cover
+  // that accumulator's bit-identity too.
+  const auto run = [](PipelineMode mode) {
+    Rng rng(23);
+    data::Dataset full = make_easy_dataset(192, rng);
+    data::FlSplitConfig split_cfg;
+    split_cfg.num_clients = 6;
+    SimulationConfig cfg = overlap_config(4, mode);
+    cfg.robust.method = "fedavg";
+    FederatedSimulation sim(tiny_mlp_factory(2, 2),
+                            data::make_fl_split(full, split_cfg, rng), cfg,
+                            DefenseBundle{});
+    sim.run();
+    return state_of(sim);
+  };
+  EXPECT_EQ(run(PipelineMode::kStream), run(PipelineMode::kBarrier));
+}
+
+TEST(PipelineSimTest, EnvPinOverridesTheConfig) {
+  ASSERT_EQ(setenv("DINAR_PIPELINE", "barrier", 1), 0);
+  Rng rng(23);
+  data::Dataset full = make_easy_dataset(64, rng);
+  data::FlSplitConfig split_cfg;
+  split_cfg.num_clients = 6;
+  FederatedSimulation sim(tiny_mlp_factory(2, 2),
+                          data::make_fl_split(full, split_cfg, rng),
+                          overlap_config(1, PipelineMode::kStream),
+                          DefenseBundle{});
+  EXPECT_EQ(sim.pipeline_mode(), PipelineMode::kBarrier);
+  ASSERT_EQ(unsetenv("DINAR_PIPELINE"), 0);
+}
+
+}  // namespace
+}  // namespace dinar::fl

@@ -230,7 +230,8 @@ TEST(ServerTest, FedAvgIsWeightedMean) {
   b.num_samples = 3;
   b.params = one_tensor(Tensor({2}, {5.0f, 6.0f}));
 
-  server.aggregate({a, b});
+  const std::vector<ModelUpdateMsg> cohort{a, b};
+  server.aggregate(cohort);
   // (1*1 + 3*5)/4 = 4, (1*2 + 3*6)/4 = 5.
   EXPECT_NEAR(server.global_params().as_span()[0], 4.0f, 1e-6);
   EXPECT_NEAR(server.global_params().as_span()[1], 5.0f, 1e-6);
@@ -248,7 +249,8 @@ TEST(ServerTest, PreWeightedSumDividedByTotalWeight) {
   b.num_samples = 2;
   b.pre_weighted = true;
   b.params = one_tensor(Tensor({1}, {4.0f}));  // = 2 * 2
-  server.aggregate({a, b});
+  const std::vector<ModelUpdateMsg> cohort{a, b};
+  server.aggregate(cohort);
   EXPECT_NEAR(server.global_params().as_span()[0], 3.0f, 1e-6);
 }
 
@@ -259,7 +261,8 @@ TEST(ServerTest, MixedWeightConventionRejected) {
   a.params = one_tensor(Tensor({1}));
   b.params = one_tensor(Tensor({1}));
   b.pre_weighted = true;
-  EXPECT_THROW(server.aggregate({a, b}), Error);
+  const std::vector<ModelUpdateMsg> cohort{a, b};
+  EXPECT_THROW(server.aggregate(cohort), Error);
 }
 
 TEST(ServerTest, StructureMismatchRejected) {
@@ -267,7 +270,8 @@ TEST(ServerTest, StructureMismatchRejected) {
   ModelUpdateMsg a;
   a.num_samples = 1;
   a.params = one_tensor(Tensor({3}));
-  EXPECT_THROW(server.aggregate({a}), Error);
+  const std::vector<ModelUpdateMsg> cohort{a};
+  EXPECT_THROW(server.aggregate(cohort), Error);
 }
 
 TEST(ServerTest, EmptyAggregationRejected) {
@@ -281,7 +285,8 @@ TEST(ServerTest, BroadcastCarriesRound) {
   ModelUpdateMsg a;
   a.num_samples = 1;
   a.params = one_tensor(Tensor({1}));
-  server.aggregate({a});
+  const std::vector<ModelUpdateMsg> cohort{a};
+  server.aggregate(cohort);
   EXPECT_EQ(server.broadcast().round, 1);
 }
 
