@@ -13,15 +13,16 @@
 // speedup there is meaningless (CI runners are often single-core) but the
 // determinism column still must hold.
 //
-// Second sweep: barriered vs streaming round engine (DESIGN.md §13) on a
+// Second sweep: streaming-engine overlap (DESIGN.md §13) on a
 // straggler-laden federation — a real wall-clock sleeper at the tail of
-// each shard. Gated: the streaming schedule's round rate must be >= 0.97x
-// the barriered one (sleeps don't burn CPU, so this holds on single-core
-// CI runners) and both schedules must hash to the bit-identical final
-// model. Every row also carries the RoundPhaseTimings breakdown
-// (downlink / train / uplink / validate / shard / combine / commit).
-// Note the sweep sets cfg.pipeline per cell; a DINAR_PIPELINE env pin
-// would override both cells to the same mode and neuter the comparison.
+// each shard. The sequential cell (1 thread, the engine's inline
+// degradation) serializes every sleep; the threaded cells overlap them.
+// Gated: the threaded round rate must be >= 0.97x the sequential one
+// (sleeps don't burn CPU, so this holds on single-core CI runners) and
+// every cell must hash to the bit-identical final model. Every row also
+// carries the RoundPhaseTimings breakdown (downlink / train / uplink /
+// validate / shard / combine / commit). The legacy barriered engine this
+// sweep used to compare against was removed with its PipelineMode.
 //
 // Third sweep: sharded hierarchical aggregation (DESIGN.md §12) over a
 // synthetic cohort, clients 10^3 -> 10^5 x shards x threads, aggregation
@@ -63,7 +64,6 @@ struct ScalingResult {
 };
 
 struct ScalingOpts {
-  fl::PipelineMode pipeline = fl::PipelineMode::kStream;
   std::size_t num_shards = 1;
   // > 0 parks a real wall-clock sleep of this length on the last (highest
   // id) client of every shard — the worst case for the streaming engine's
@@ -89,7 +89,6 @@ ScalingResult run_scaling(const DatasetCase& spec, unsigned threads,
   cfg.min_clients = static_cast<std::size_t>(std::max(1, spec.num_clients / 2));
   cfg.max_retries = 1;
   cfg.exec.threads = threads;
-  cfg.pipeline = opts.pipeline;
   cfg.shard.num_shards = opts.num_shards;
   cfg.shard.assignment_seed = 0xD1AA5ULL;
   if (opts.straggler_wall_seconds > 0.0) {
@@ -270,15 +269,16 @@ int run(int argc, char** argv) {
   }
 
   // -- pipeline overlap sweep ----------------------------------------------
-  // Barriered vs streaming round engine on the same straggler-laden
-  // federation: one real wall-clock sleeper at the tail of each of 4
-  // shards. The streaming engine commits every other exchange (and
-  // prefetches the next broadcast) inside the sleeps, so its round rate
-  // must be at least the barriered one — gated at 0.97x for timer noise.
+  // Streaming round engine on a straggler-laden federation: one real
+  // wall-clock sleeper at the tail of each of 4 shards. The 1-thread cell
+  // (the engine's inline degradation) serializes every sleep; the threaded
+  // cells run the sleepers concurrently and commit every other exchange
+  // (and prefetch the next broadcast) inside them, so their round rate
+  // must be at least the sequential one — gated at 0.97x for timer noise.
   // Sleeps don't burn CPU, so the gate holds on single-core CI runners
-  // too. The cross-mode hash gate is exact: both schedules must produce
-  // the bit-identical final model.
-  std::printf("\nPipeline overlap — barrier vs stream with wall-clock "
+  // too. The cross-thread hash gate is exact: every cell must produce the
+  // bit-identical final model.
+  std::printf("\nPipeline overlap — streaming engine with wall-clock "
               "stragglers (4 shards, sleeper at each shard tail)\n");
   print_table_header("mode", {"threads", "s/round", "rounds/s", "commit_s",
                               "hash=="});
@@ -286,47 +286,43 @@ int run(int argc, char** argv) {
       smoke ? std::vector<unsigned>{2} : std::vector<unsigned>{2, 4, 8};
   const double straggler_wall = smoke ? 0.01 : 0.02;
   bool overlap_gate_ok = true;
-  for (const unsigned threads : overlap_threads) {
+  {
     DatasetCase spec = small_mlp_case(scale);
     spec.num_clients = 8;
     ScalingOpts opts;
     opts.num_shards = 4;
     opts.straggler_wall_seconds = straggler_wall;
-    opts.pipeline = fl::PipelineMode::kBarrier;
-    const ScalingResult barrier = run_scaling(spec, threads, opts);
-    opts.pipeline = fl::PipelineMode::kStream;
-    const ScalingResult stream = run_scaling(spec, threads, opts);
+    const ScalingResult seq = run_scaling(spec, /*threads=*/1, opts);
+    const double seq_rps =
+        seq.seconds_per_round > 0.0 ? 1.0 / seq.seconds_per_round : 0.0;
 
-    const bool hashes_match = barrier.final_hash == stream.final_hash;
-    const double barrier_rps =
-        barrier.seconds_per_round > 0.0 ? 1.0 / barrier.seconds_per_round : 0.0;
-    const double stream_rps =
-        stream.seconds_per_round > 0.0 ? 1.0 / stream.seconds_per_round : 0.0;
-    const bool rate_ok = stream_rps >= 0.97 * barrier_rps;
-    overlap_gate_ok &= hashes_match && rate_ok;
+    std::vector<std::pair<unsigned, ScalingResult>> cells{{1u, seq}};
+    for (const unsigned threads : overlap_threads)
+      cells.emplace_back(threads, run_scaling(spec, threads, opts));
 
-    for (const auto* cell : {&barrier, &stream}) {
-      const bool is_stream = cell == &stream;
-      const double rps = is_stream ? stream_rps : barrier_rps;
-      print_table_row(is_stream ? "stream" : "barrier",
-                      {static_cast<double>(threads), cell->seconds_per_round,
-                       rps, cell->phase.commit_seconds,
+    for (const auto& [threads, cell] : cells) {
+      const bool hashes_match = cell.final_hash == seq.final_hash;
+      const double rps =
+          cell.seconds_per_round > 0.0 ? 1.0 / cell.seconds_per_round : 0.0;
+      const bool rate_ok = threads == 1 || rps >= 0.97 * seq_rps;
+      overlap_gate_ok &= hashes_match && rate_ok;
+      print_table_row(threads == 1 ? "seq" : "stream",
+                      {static_cast<double>(threads), cell.seconds_per_round,
+                       rps, cell.phase.commit_seconds,
                        hashes_match ? 1.0 : 0.0});
       json.begin_row()
           .field("case", std::string("pipeline_overlap"))
-          .field("pipeline",
-                 std::string(fl::to_string(is_stream ? fl::PipelineMode::kStream
-                                                     : fl::PipelineMode::kBarrier)))
+          .field("pipeline", std::string(fl::to_string(fl::PipelineMode::kStream)))
           .field("clients_per_round", static_cast<std::int64_t>(spec.num_clients))
           .field("num_shards", static_cast<std::int64_t>(4))
           .field("threads", static_cast<std::int64_t>(threads))
           .field("straggler_wall_seconds", straggler_wall)
-          .field("seconds_per_round", cell->seconds_per_round)
+          .field("seconds_per_round", cell.seconds_per_round)
           .field("rounds_per_second", rps)
           .field("cross_mode_bit_identical",
                  std::string(hashes_match ? "true" : "false"))
-          .field("final_model_hash", static_cast<std::int64_t>(cell->final_hash >> 1));
-      phase_fields(json, cell->phase);
+          .field("final_model_hash", static_cast<std::int64_t>(cell.final_hash >> 1));
+      phase_fields(json, cell.phase);
     }
   }
   // -- sharded hierarchical aggregation sweep ------------------------------
@@ -363,8 +359,8 @@ int run(int argc, char** argv) {
               "`determ` stays 1 in every cell (bit-identical final model for "
               "any thread count). On fewer cores speedup saturates at the "
               "core count; determinism must hold regardless. In the overlap "
-              "sweep `stream` must match or beat `barrier` rounds/s (the "
-              "commits and next-round downlink serialization hide inside the "
+              "sweep `stream` must match or beat `seq` rounds/s (the commits "
+              "and next-round downlink serialization hide inside the "
               "straggler sleeps) with `hash==` 1 in every row — both are CI "
               "gates. In the shard sweep every `flat==` cell must be 1: a "
               "single-shard tree is bit-identical to flat aggregation (the "
@@ -378,8 +374,8 @@ int run(int argc, char** argv) {
     rc = 1;
   }
   if (!overlap_gate_ok) {
-    std::printf("GATE FAILED: streaming pipeline fell below 0.97x the "
-                "barriered round rate with stragglers, or the two schedules "
+    std::printf("GATE FAILED: threaded streaming fell below 0.97x the "
+                "sequential round rate with stragglers, or the thread counts "
                 "produced different final models\n");
     rc = 1;
   }

@@ -24,8 +24,22 @@ void FlClient::receive_global(const GlobalModelMsg& msg) {
                                              << msg.round << ", already at round "
                                              << round_);
   round_ = msg.round;
+  // Sparse uploads code deltas against the broadcast AS DECODED — under a
+  // lossy broadcast codec that differs from the server's raw model, but it
+  // is bit-identical to the server's own decode of the same bytes, which
+  // is what keeps both ends of a sparse run in agreement.
+  if (update_codec_.topk_fraction < 1.0) {
+    upload_reference_ = msg.params;
+    has_upload_reference_ = true;
+  }
   ScopedTimer timing(defense_timer_);
   defense_->on_download(model_, msg.params);
+}
+
+std::vector<std::uint8_t> FlClient::serialize_update(
+    const ModelUpdateMsg& update) const {
+  return update.serialize(update_codec_,
+                          has_upload_reference_ ? &upload_reference_ : nullptr);
 }
 
 ModelUpdateMsg FlClient::train_round() {

@@ -41,10 +41,21 @@ class FlClient {
     model_.set_execution_context(exec);
   }
 
+  // Installs the update-kind wire codec (DESIGN.md §14). When it is sparse
+  // the client keeps each round's decoded broadcast as the delta reference
+  // its uploads are coded against. Set once, before the first round.
+  void set_wire_codec(const KindCodec& update_codec) { update_codec_ = update_codec; }
+  const KindCodec& wire_codec() const { return update_codec_; }
+
   void receive_global(const GlobalModelMsg& msg);
 
   // Local training + defense; returns the update to upload.
   ModelUpdateMsg train_round();
+
+  // Serializes an update under the installed codec, supplying the retained
+  // broadcast reference for sparse runs. With the default codec this is
+  // byte-identical to update.serialize().
+  std::vector<std::uint8_t> serialize_update(const ModelUpdateMsg& update) const;
 
   TrainStats last_train_stats() const { return last_stats_; }
   // Table 3 client-side metrics.
@@ -71,6 +82,12 @@ class FlClient {
   TrainConfig train_config_;
   Rng rng_;
   std::int64_t round_ = 0;
+  KindCodec update_codec_;
+  // The decoded broadcast of the current round, kept only when the update
+  // codec is sparse. Within-round state: never persisted (recovery re-runs
+  // the round from its broadcast), refreshed by every receive_global().
+  nn::FlatParams upload_reference_;
+  bool has_upload_reference_ = false;
   TrainStats last_stats_;
   CumulativeTimer train_timer_;
   CumulativeTimer defense_timer_;

@@ -54,6 +54,8 @@ void write_transport_stats(BinaryWriter& w, const TransportStats& s) {
   w.write_u64(s.bytes_down);
   w.write_u64(s.frame_bytes_up);
   w.write_u64(s.frame_bytes_down);
+  w.write_u64(s.bytes_up_uncoded);
+  w.write_u64(s.bytes_down_uncoded);
   w.write_f64(s.simulated_latency_seconds);
   w.write_u64(s.socket_frames_tx);
   w.write_u64(s.socket_frames_rx);
@@ -73,6 +75,8 @@ TransportStats read_transport_stats(BinaryReader& r) {
   s.bytes_down = r.read_u64();
   s.frame_bytes_up = r.read_u64();
   s.frame_bytes_down = r.read_u64();
+  s.bytes_up_uncoded = r.read_u64();
+  s.bytes_down_uncoded = r.read_u64();
   s.simulated_latency_seconds = r.read_f64();
   s.socket_frames_tx = r.read_u64();
   s.socket_frames_rx = r.read_u64();

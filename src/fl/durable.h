@@ -52,11 +52,12 @@ enum class WalRecordKind : std::uint8_t {
 // Magic + version of the full-state snapshot payload. v2 widened the
 // transport-stats block with the socket transport's wire counters; v3
 // appended the hierarchical-aggregation per-shard stats to every
-// RoundOutcome. Older snapshots (and the WAL records written alongside
-// them) are rejected, which recovery treats like any other unreadable
-// state.
+// RoundOutcome; v4 widened the transport-stats block again with the wire
+// codec's uncoded-bytes counters. Older snapshots (and the WAL records
+// written alongside them) are rejected, which recovery treats like any
+// other unreadable state.
 inline constexpr std::uint32_t kFullStateMagic = 0x54534644;  // "DFST"
-inline constexpr std::uint32_t kFullStateVersion = 3;
+inline constexpr std::uint32_t kFullStateVersion = 4;
 // Magic of the legacy monolithic checkpoint (simulation.cpp's DCKP),
 // re-declared here so recovery can sniff snapshot payloads.
 inline constexpr std::uint32_t kLegacyCheckpointMagic = 0x44434B50;  // "DCKP"

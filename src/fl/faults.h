@@ -59,11 +59,10 @@ struct FaultConfig {
   // client id -> real wall-clock seconds that client's exchange task sleeps
   // before uploading. Unlike straggler_factor this burns actual time, not
   // simulated-latency accounting, so it has ZERO effect on any recorded or
-  // compared value — bit-identity across pipeline modes and thread counts
-  // is unaffected. It exists to create a genuine straggler tail for the
-  // streaming round engine to overlap (DESIGN.md §13): under kStream the
-  // fast clients' commits and the next round's broadcast serialization
-  // proceed while these clients sleep; under kBarrier everything waits.
+  // compared value — bit-identity across thread counts is unaffected. It
+  // exists to create a genuine straggler tail for the streaming round
+  // engine to overlap (DESIGN.md §13): the fast clients' commits and the
+  // next round's broadcast serialization proceed while these clients sleep.
   std::map<int, double> straggler_wall_seconds;
   std::uint64_t seed = 0xFA017;
 

@@ -10,14 +10,23 @@
 // Wire format DFRM v2: shared magic + kind + version header, then the
 // message fields, then the parameters as a FlatParams index header plus
 // one contiguous f32 payload — serialization is a single bulk write of the
-// arena. deserialize() also accepts the pre-FlatParams v1 frames (per-kind
-// magic + tensor list); those decode into a snapshot with a synthesized
-// one-entry-per-layer index.
+// arena.
+//
+// Wire format DFRM v3 (compressed, fl/wire_codec.h): the same magic and
+// kind, version 3, then a u64 DECODED payload size (the arena bytes
+// decoding will allocate — at a fixed offset so the net frame layer can
+// bound it without parsing the message), the message fields, and the
+// params as an index header plus per-entry coded runs. A KindCodec decides
+// per message kind whether v3 is emitted at all; readers accept both
+// versions, so v2 peers keep interoperating during a rollout. Sparse v3
+// update runs code deltas against the round's broadcast, which the caller
+// supplies as `reference` on both sides.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "fl/wire_codec.h"
 #include "nn/model.h"
 
 namespace dinar::fl {
@@ -26,7 +35,10 @@ struct GlobalModelMsg {
   std::int64_t round = 0;
   nn::FlatParams params;
 
-  std::vector<std::uint8_t> serialize() const;
+  std::vector<std::uint8_t> serialize() const;  // v2, byte-stable
+  // v3 when `codec.v3()`, else identical to serialize(). Broadcasts are
+  // always dense (validate_codec_config), so no reference is involved.
+  std::vector<std::uint8_t> serialize(const KindCodec& codec) const;
   static GlobalModelMsg deserialize(const std::vector<std::uint8_t>& bytes);
 };
 
@@ -37,8 +49,21 @@ struct ModelUpdateMsg {
   bool pre_weighted = false;
   nn::FlatParams params;
 
-  std::vector<std::uint8_t> serialize() const;
-  static ModelUpdateMsg deserialize(const std::vector<std::uint8_t>& bytes);
+  std::vector<std::uint8_t> serialize() const;  // v2, byte-stable
+  // v3 when `codec.v3()`. `reference` (the round's decoded broadcast) is
+  // required when the codec is sparse; may be null otherwise.
+  std::vector<std::uint8_t> serialize(const KindCodec& codec,
+                                      const nn::FlatParams* reference) const;
+  // `reference` is needed only to decode sparse v3 runs; passing null for
+  // such a payload throws a named dinar::Error (quarantined as corrupt).
+  static ModelUpdateMsg deserialize(const std::vector<std::uint8_t>& bytes,
+                                    const nn::FlatParams* reference = nullptr);
 };
+
+// Exact size of the message's v2 serialization, computed without
+// serializing — the uncoded side of TransportStats' bytes-saved ratio when
+// a compressed codec is active.
+std::uint64_t v2_wire_bytes(const GlobalModelMsg& msg);
+std::uint64_t v2_wire_bytes(const ModelUpdateMsg& msg);
 
 }  // namespace dinar::fl

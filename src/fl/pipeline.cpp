@@ -13,16 +13,14 @@ namespace dinar::fl {
 
 const char* to_string(PipelineMode mode) {
   switch (mode) {
-    case PipelineMode::kBarrier: return "barrier";
     case PipelineMode::kStream: return "stream";
   }
   return "?";
 }
 
 PipelineMode pipeline_mode_from_name(const std::string& name) {
-  if (name == "barrier") return PipelineMode::kBarrier;
   if (name == "stream") return PipelineMode::kStream;
-  throw Error("unknown pipeline mode '" + name + "' (known: barrier, stream)");
+  throw Error("unknown pipeline mode '" + name + "' (known: stream)");
 }
 
 std::optional<PipelineMode> pipeline_mode_env_override() {
@@ -32,7 +30,7 @@ std::optional<PipelineMode> pipeline_mode_env_override() {
     return pipeline_mode_from_name(env);
   } catch (const Error&) {
     throw Error(std::string("DINAR_PIPELINE='") + env +
-                "' is not a pipeline mode (known: barrier, stream; empty/unset "
+                "' is not a pipeline mode (known: stream; empty/unset "
                 "defers to the simulation config)");
   }
 }
@@ -58,23 +56,9 @@ void RoundPipeline::run(std::size_t n, const std::function<void(std::size_t)>& t
                         const std::function<void(std::size_t)>& commit) const {
   if (n == 0) return;
 
-  if (mode_ == PipelineMode::kBarrier) {
-    // The PR 3 protocol verbatim: full fan-out barrier, then the
-    // sequential commit replay.
-    if (exec_ != nullptr)
-      exec_->for_each_task(n, task);
-    else
-      for (std::size_t i = 0; i < n; ++i) task(i);
-    for (std::size_t i = 0; i < n; ++i) commit(i);
-    return;
-  }
-
-  // kStream. Without real workers there is nothing to overlap; the inline
-  // form interleaves task(i); commit(i), which observably matches the
-  // threaded schedule (commit i always runs after task i and commit i-1).
-  // The only divergence from kBarrier is on a throwing task — commits
-  // below it have already run — but a task exception aborts the whole
-  // round, so no committed state survives to expose it (see header).
+  // Without real workers there is nothing to overlap; the inline form
+  // interleaves task(i); commit(i), which observably matches the threaded
+  // schedule (commit i always runs after task i and commit i-1).
   if (exec_ == nullptr || !exec_->parallel() || ThreadPool::on_worker_thread()) {
     for (std::size_t i = 0; i < n; ++i) {
       task(i);

@@ -1,17 +1,17 @@
 // Streaming round engine (DESIGN.md §13).
 //
-// The barriered round protocol (PR 3) runs every client exchange as a
-// phase-A task, waits for ALL of them, then replays validation/commit in a
-// sequential phase B. The barrier means the fastest client's commit work
-// waits on the slowest straggler — exactly the synchronization the paper's
-// personalization loop does not require.
+// The original barriered round protocol (PR 3) ran every client exchange
+// as a phase-A task, waited for ALL of them, then replayed
+// validation/commit in a sequential phase B — so the fastest client's
+// commit work waited on the slowest straggler, synchronization the
+// paper's personalization loop does not require.
 //
-// RoundPipeline removes the barrier by treating each exchange completion
-// as an *event*: the moment client idx's task finishes AND every commit
-// below idx has run, commit(idx) runs on the coordinator thread — folding
-// the update into its shard's in-progress accumulator (ShardAccumulator)
-// while later clients are still training or sleeping on a slow link. The
-// determinism argument splits the schedule in two:
+// RoundPipeline treats each exchange completion as an *event*: the moment
+// client idx's task finishes AND every commit below idx has run,
+// commit(idx) runs on the coordinator thread — folding the update into
+// its shard's in-progress accumulator (ShardAccumulator) while later
+// clients are still training or sleeping on a slow link. The determinism
+// argument splits the schedule in two:
 //
 //   compute order  — tasks run in any order on any thread count; they are
 //                    isolated by construction (randomness keyed by
@@ -21,19 +21,19 @@
 //                    every order-sensitive step (stats sums, validation,
 //                    acceptance, absorb) sees the identical sequence.
 //
-// Hence kStream is bit-identical to kBarrier for any thread count — the
-// pipeline only changes *when* commits run relative to the task fan-out,
-// never their order or inputs. kBarrier remains available for one release
-// as the legacy path and as a single-variable baseline for determinism
-// triage (ctest pins it alongside DINAR_GEMM_KERNEL=scalar).
+// Hence the streaming schedule is bit-identical to the barriered one for
+// any thread count — the pipeline only changes *when* commits run relative
+// to the task fan-out, never their order or inputs. The legacy barrier
+// mode was removed after its one-release bisection window; kStream is the
+// only schedule, and the enum/env seam remains for a future one.
 //
 // Error contract: a task exception aborts the round. The coordinator stops
 // committing at the first failed index, drains every outstanding task
 // (references into the caller's frame stay valid), and rethrows the
 // lowest failed index's exception — the same deterministic surfacing rule
-// as ThreadPool::parallel_for. In kStream mode commits below the failed
-// index have already run; in kBarrier mode none have. Both modes leave the
-// round aborted, so the divergence is unobservable by any committed state.
+// as ThreadPool::parallel_for. Commits below the failed index have already
+// run, but a task exception aborts the whole round, so no committed state
+// survives to expose that.
 #pragma once
 
 #include <functional>
@@ -47,19 +47,18 @@ class ExecutionContext;
 namespace dinar::fl {
 
 enum class PipelineMode {
-  kBarrier,  // phase A fan-out, then phase B commits (PR 3; one release)
-  kStream,   // event-driven: commits overlap the straggler tail (default)
+  kStream,  // event-driven: commits overlap the straggler tail (the only mode)
 };
 const char* to_string(PipelineMode mode);
 // Throws dinar::Error naming the unknown mode and listing the known ones
 // (mirrors aggregator_kind_from_name).
 PipelineMode pipeline_mode_from_name(const std::string& name);
 
-// DINAR_PIPELINE env pin: "barrier" | "stream" force the mode for every
-// simulation in the process (read at simulation construction), "" / unset
-// defers to SimulationConfig::pipeline. Unknown values throw — the same
-// strictness as DINAR_GEMM_KERNEL, so a typo'd CI pin fails loudly instead
-// of silently testing the wrong path.
+// DINAR_PIPELINE env pin: "stream" forces the mode for every simulation in
+// the process (read at simulation construction), "" / unset defers to
+// SimulationConfig::pipeline. Unknown values — including the removed
+// "barrier" — throw, the same strictness as DINAR_GEMM_KERNEL, so a stale
+// CI pin fails loudly instead of silently testing the wrong path.
 std::optional<PipelineMode> pipeline_mode_env_override();
 
 class RoundPipeline {
@@ -71,12 +70,12 @@ class RoundPipeline {
   PipelineMode mode() const { return mode_; }
 
   // Runs task(idx) for idx in [0, n) across the pool and commit(idx) for
-  // every idx strictly in ascending order on the calling thread. kBarrier:
-  // all tasks complete before the first commit. kStream: commit(idx) runs
-  // as soon as task(idx) and commits [0, idx) are done. Returns only after
-  // every task AND every commit finished (or the round aborted — see the
-  // error contract above). Sequential contexts and pool workers degrade to
-  // an inline loop whose observable behavior matches the threaded one.
+  // every idx strictly in ascending order on the calling thread:
+  // commit(idx) runs as soon as task(idx) and commits [0, idx) are done.
+  // Returns only after every task AND every commit finished (or the round
+  // aborted — see the error contract above). Sequential contexts and pool
+  // workers degrade to an inline loop whose observable behavior matches
+  // the threaded one.
   void run(std::size_t n, const std::function<void(std::size_t)>& task,
            const std::function<void(std::size_t)>& commit) const;
 

@@ -42,6 +42,11 @@ void FlServer::set_shards(const ShardConfig& config) {
   shard_config_ = config;
 }
 
+void FlServer::set_wire_codec(const UpdateCodecConfig& codec) {
+  validate_codec_config(codec);
+  codec_ = codec;
+}
+
 GlobalModelMsg FlServer::broadcast() const {
   GlobalModelMsg msg;
   msg.round = round_;

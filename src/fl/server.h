@@ -92,6 +92,17 @@ class FlServer {
   // Builds this round's broadcast message.
   GlobalModelMsg broadcast() const;
 
+  // -- wire codec (DESIGN.md §14) ------------------------------------------
+  // Installs the negotiated codec pair (throws on an unusable config).
+  // Set once, before the first round. serialize_broadcast() reads only the
+  // immutable codec and its argument, so round engines may call it from a
+  // worker task on a coordinator-made message copy.
+  void set_wire_codec(const UpdateCodecConfig& codec);
+  const UpdateCodecConfig& wire_codec() const { return codec_; }
+  std::vector<std::uint8_t> serialize_broadcast(const GlobalModelMsg& msg) const {
+    return msg.serialize(codec_.broadcast);
+  }
+
   // FedAvg over this round's updates:
   //   global = sum_i w_i * theta_i / sum_i w_i
   // where w_i is the client's sample count, and theta_i arrives either raw
@@ -206,6 +217,7 @@ class FlServer {
   std::vector<AggregatorFlag> commit_aggregate(HierarchicalResult h);
 
   nn::FlatParams global_;
+  UpdateCodecConfig codec_;
   std::unique_ptr<ServerDefense> defense_;
   std::unique_ptr<RobustAggregator> aggregator_;
   const ExecutionContext* exec_ = nullptr;

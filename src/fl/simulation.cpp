@@ -76,6 +76,7 @@ FederatedSimulation::FederatedSimulation(nn::ModelFactory model_factory,
   }
   server_->set_aggregator(make_robust_aggregator(robust));
   server_->set_shards(config_.shard);
+  server_->set_wire_codec(config_.codec);
 
   clients_.reserve(split_.client_train.size());
   for (std::size_t i = 0; i < split_.client_train.size(); ++i) {
@@ -89,7 +90,10 @@ FederatedSimulation::FederatedSimulation(nn::ModelFactory model_factory,
   // One shared context for everything compute-bound: client kernels and the
   // server's aggregator loops all draw from the same pool.
   server_->set_execution_context(exec_.get());
-  for (FlClient& c : clients_) c.set_execution_context(exec_.get());
+  for (FlClient& c : clients_) {
+    c.set_execution_context(exec_.get());
+    c.set_wire_codec(config_.codec.update);
+  }
 }
 
 void FederatedSimulation::join_prefetch() {
@@ -181,6 +185,9 @@ void FederatedSimulation::validate_config() const {
   // Resolve the aggregator name through the registry so an unknown
   // robust.method fails here with the named-kind error.
   aggregator_kind_from_name(config_.robust.method);
+  // Unknown encodings, out-of-range top-k fractions and sparse broadcast
+  // codecs fail here with a named error.
+  validate_codec_config(config_.codec);
 }
 
 void FederatedSimulation::run() {
@@ -299,16 +306,33 @@ const RoundOutcome& FederatedSimulation::run_round() {
     } else {
       invalidate_prefetch();
       broadcast_msg = server_->broadcast();
-      broadcast_bytes = broadcast_msg.serialize();
+      broadcast_bytes = server_->serialize_broadcast(broadcast_msg);
     }
     out.timings.downlink_seconds += seconds_since(t0);
   }
 
-  // Streaming mode opens the shard accumulators up front so every accepted
-  // update can fold in at commit time; validate_update still checks the
-  // current round, which only advances at finalize.
-  const bool streaming = pipeline_mode_ == PipelineMode::kStream;
-  if (streaming) server_->begin_aggregation();
+  // Wire codec (DESIGN.md §14): a sparse update codec codes deltas against
+  // the round's broadcast AS DECODED. The server decodes its own broadcast
+  // bytes once here — bit-identical to what every client's receive_global
+  // decoded, even under a lossy broadcast codec — and the exchange tasks
+  // read it concurrently. The uncoded (v2-equivalent) sizes feed the
+  // bytes-saved counters, accounted per delivered copy like bytes_up/down.
+  const bool codec_active = config_.codec.active();
+  nn::FlatParams update_reference;
+  const nn::FlatParams* update_ref = nullptr;
+  if (config_.codec.update.topk_fraction < 1.0) {
+    const auto t0 = std::chrono::steady_clock::now();
+    update_reference = GlobalModelMsg::deserialize(broadcast_bytes).params;
+    update_ref = &update_reference;
+    out.timings.downlink_seconds += seconds_since(t0);
+  }
+  const std::uint64_t broadcast_uncoded_bytes =
+      codec_active ? v2_wire_bytes(broadcast_msg) : 0;
+
+  // The streaming engine opens the shard accumulators up front so every
+  // accepted update can fold in at commit time; validate_update still
+  // checks the current round, which only advances at finalize.
+  server_->begin_aggregation();
 
   std::vector<ModelUpdateMsg> accepted;
   std::unordered_set<int> accepted_ids;
@@ -352,8 +376,12 @@ const RoundOutcome& FederatedSimulation::run_round() {
 
       // ---- downlink: the client needs one intact copy of the broadcast.
       const auto d0 = std::chrono::steady_clock::now();
-      for (const auto& copy :
-           transport_->ship(LinkDir::kDown, id, broadcast_bytes, &ex.receipt)) {
+      const auto down_copies =
+          transport_->ship(LinkDir::kDown, id, broadcast_bytes, &ex.receipt);
+      if (codec_active)
+        ex.receipt.transport.bytes_down_uncoded +=
+            down_copies.size() * broadcast_uncoded_bytes;
+      for (const auto& copy : down_copies) {
         try {
           clients_[i].receive_global(
               GlobalModelMsg::deserialize(Transport::open(copy)));
@@ -382,20 +410,26 @@ const RoundOutcome& FederatedSimulation::run_round() {
 
       // Wall-clock straggler: burn real time before the upload. No
       // accounting, no randomness — purely the tail the streaming pipeline
-      // overlaps (and the barrier waits out). Excluded from phase timers.
+      // overlaps. Excluded from phase timers.
       if (faults != nullptr) {
         const double wall = faults->straggler_wall_seconds(id);
         if (wall > 0.0)
           std::this_thread::sleep_for(std::chrono::duration<double>(wall));
       }
 
-      // ---- uplink.
+      // ---- uplink. The client serializes under the update codec (its
+      // retained broadcast decode supplies the sparse reference); arrivals
+      // decode against the server's own reference computed above.
       const auto u0 = std::chrono::steady_clock::now();
-      for (const auto& copy :
-           transport_->ship(LinkDir::kUp, id, update.serialize(), &ex.receipt)) {
+      const auto up_copies = transport_->ship(
+          LinkDir::kUp, id, clients_[i].serialize_update(update), &ex.receipt);
+      if (codec_active)
+        ex.receipt.transport.bytes_up_uncoded +=
+            up_copies.size() * v2_wire_bytes(update);
+      for (const auto& copy : up_copies) {
         Arrival arrival;
         try {
-          arrival.msg = ModelUpdateMsg::deserialize(Transport::open(copy));
+          arrival.msg = ModelUpdateMsg::deserialize(Transport::open(copy), update_ref);
           arrival.ok = true;
         } catch (const Error& e) {
           arrival.corrupt_reason = std::string("corrupt: ") + e.what();
@@ -407,9 +441,9 @@ const RoundOutcome& FederatedSimulation::run_round() {
 
     // ---- commits: every order-sensitive step (stats sums, validation,
     // acceptance, shard absorb) runs strictly in ascending client-id
-    // order on the coordinator — identical for any thread count and for
-    // either pipeline mode; the modes only differ in *when* each commit
-    // runs relative to the remaining tasks.
+    // order on the coordinator — identical for any thread count, which
+    // only changes *when* each commit runs relative to the remaining
+    // tasks, never its inputs.
     std::vector<std::size_t> still_pending;
     const auto commit = [&](std::size_t idx) {
       const std::size_t i = pending[idx];
@@ -446,10 +480,9 @@ const RoundOutcome& FederatedSimulation::run_round() {
         if (verdict.accepted) {
           weighting = arrival.msg.pre_weighted;
           accepted_ids.insert(arrival.msg.client_id);
-          // Stream mode folds the update into its shard's accumulator now,
-          // while later clients' exchanges are still in flight; the batch
-          // aggregation at round end does the same work after the barrier.
-          if (streaming) server_->absorb_validated(arrival.msg);
+          // The update folds into its shard's accumulator now, while later
+          // clients' exchanges are still in flight.
+          server_->absorb_validated(arrival.msg);
           accepted.push_back(std::move(arrival.msg));
           update_accepted = true;
         } else {
@@ -484,12 +517,11 @@ const RoundOutcome& FederatedSimulation::run_round() {
   for (const ModelUpdateMsg& u : accepted) out.accepted.push_back(u.client_id);
   out.quorum_met = !accepted.empty() && accepted.size() >= quorum;
   if (out.quorum_met) {
-    // Stream mode already absorbed every accepted update at commit time;
-    // finalize closes the shard accumulators and runs the root combine.
-    // Barrier mode aggregates the batch here. Same updates, same order,
-    // bit-identical results (ShardAccumulator's contract).
-    out.aggregator_flags = streaming ? server_->finalize_aggregation()
-                                     : server_->aggregate_validated(accepted);
+    // Every accepted update was absorbed at commit time; finalize closes
+    // the shard accumulators and runs the root combine — bit-identical to
+    // batch aggregation over the same updates in absorb order
+    // (ShardAccumulator's contract).
+    out.aggregator_flags = server_->finalize_aggregation();
     out.shards = server_->last_shard_stats();
     out.timings.shard_seconds = server_->last_aggregate_timings().shard_seconds;
     out.timings.combine_seconds = server_->last_aggregate_timings().combine_seconds;
@@ -514,13 +546,17 @@ const RoundOutcome& FederatedSimulation::run_round() {
   // copy happens here on the coordinator (the worker must not touch live
   // server state); join_prefetch() at the next round start (or any restore
   // path) synchronizes before the bytes are read.
-  if (streaming) {
+  {
     invalidate_prefetch();
     prefetch_ = std::make_shared<BroadcastPrefetch>();
     prefetch_->msg = server_->broadcast();
     prefetch_->round = server_->round();
     const std::shared_ptr<BroadcastPrefetch> p = prefetch_;
-    prefetch_->done = exec_->submit([p] { p->bytes = p->msg.serialize(); });
+    // The codec is captured by value: the worker must not touch live
+    // server state, and the codec never changes after construction.
+    const KindCodec broadcast_codec = config_.codec.broadcast;
+    prefetch_->done = exec_->submit(
+        [p, broadcast_codec] { p->bytes = p->msg.serialize(broadcast_codec); });
   }
 
   const auto w0 = std::chrono::steady_clock::now();

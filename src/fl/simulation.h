@@ -40,15 +40,14 @@
 // client-id order on the coordinator, which pins down every
 // order-dependent floating-point sum for any thread count.
 //
-// Round pipelining (SimulationConfig::pipeline, DESIGN.md §13): under the
-// default PipelineMode::kStream the coordinator commits each exchange the
+// Round pipelining (DESIGN.md §13): the streaming round engine
+// (PipelineMode::kStream, the only schedule since the legacy kBarrier
+// mode's one-release bisection window elapsed) commits each exchange the
 // moment it completes — validating the update and folding it into its
 // shard's in-progress accumulator while slower clients are still running —
 // and overlaps the next round's broadcast serialization with the WAL
-// commit. kBarrier keeps the legacy phase-A/phase-B schedule (full fan-out
-// barrier before any commit). The two modes are bit-identical — same
-// RoundOutcomes, models, durable records — because commit order, not
-// compute order, fixes every result; the determinism gauntlet enforces it.
+// commit. Commit order, not compute order, fixes every result, so runs are
+// bit-identical for any thread count; the determinism gauntlet enforces it.
 //
 // Membership churn: SimulationConfig::churn lets clients join mid-run
 // (initialized from the current global model via their first broadcast),
@@ -178,13 +177,18 @@ struct SimulationConfig {
   bool socket_transport = false;
 
   // -- round pipelining ------------------------------------------------------
-  // How the round engine schedules exchanges vs commits (see header
-  // comment). kStream (the default) overlaps commits and next-round
-  // downlink serialization with the straggler tail; kBarrier is the legacy
-  // phase-A/phase-B schedule, kept one release as a triage baseline. The
-  // DINAR_PIPELINE environment variable ("barrier" | "stream"), read at
-  // simulation construction, overrides this field.
+  // The round engine schedule (see header comment). kStream is the only
+  // mode; the field and the DINAR_PIPELINE environment pin (read at
+  // simulation construction, overriding this field) survive as the seam a
+  // future schedule would slot into.
   PipelineMode pipeline = PipelineMode::kStream;
+
+  // -- wire codec (DESIGN.md §14) -------------------------------------------
+  // DFRM v3 compressed payload codec for both message kinds. The default
+  // (lossless f32, dense) keeps every wire byte identical to v2; any lossy
+  // setting also turns on the bytes_*_uncoded counters in TransportStats so
+  // runs report their wire savings.
+  UpdateCodecConfig codec;
 };
 
 struct RoundRecord {

@@ -12,6 +12,8 @@ void TransportStats::merge(const TransportStats& other) {
   bytes_down += other.bytes_down;
   frame_bytes_up += other.frame_bytes_up;
   frame_bytes_down += other.frame_bytes_down;
+  bytes_up_uncoded += other.bytes_up_uncoded;
+  bytes_down_uncoded += other.bytes_down_uncoded;
   simulated_latency_seconds += other.simulated_latency_seconds;
   socket_frames_tx += other.socket_frames_tx;
   socket_frames_rx += other.socket_frames_rx;

@@ -46,7 +46,25 @@ std::vector<std::uint8_t> open_frame(const std::vector<std::uint8_t>& framed) {
   const std::uint8_t* payload = framed.data() + kFrameHeaderBytes;
   DINAR_CHECK(fnv1a64(payload, length) == checksum,
               "transport frame: checksum mismatch (payload corrupted in flight)");
+  const auto decoded = declared_decoded_bytes(payload, length);
+  DINAR_CHECK(!decoded.has_value() || *decoded <= kDefaultMaxDecodedBytes,
+              "transport frame: v3 payload declares "
+                  << (decoded ? *decoded : 0) << " decoded bytes, over the "
+                  << kDefaultMaxDecodedBytes << "-byte cap");
   return std::vector<std::uint8_t>(payload, payload + length);
+}
+
+std::optional<std::uint64_t> declared_decoded_bytes(const std::uint8_t* payload,
+                                                    std::size_t n) {
+  if (n < kMessageDecodedSizeOffset + sizeof(std::uint64_t)) return std::nullopt;
+  std::uint32_t magic = 0, version = 0;
+  std::memcpy(&magic, payload, sizeof magic);
+  std::memcpy(&version, payload + sizeof magic + 1, sizeof version);
+  if (magic != kMessageMagic || version != kMessageVersionCompressed)
+    return std::nullopt;
+  std::uint64_t decoded = 0;
+  std::memcpy(&decoded, payload + kMessageDecodedSizeOffset, sizeof decoded);
+  return decoded;
 }
 
 const char* FrameReader::to_string(Error e) {
@@ -55,6 +73,7 @@ const char* FrameReader::to_string(Error e) {
     case Error::kBadMagic: return "bad_magic";
     case Error::kOversize: return "oversize_frame";
     case Error::kBadChecksum: return "bad_checksum";
+    case Error::kOversizeDecoded: return "oversize_decoded";
   }
   return "unknown";
 }
@@ -94,6 +113,13 @@ std::optional<std::vector<std::uint8_t>> FrameReader::next() {
   const std::uint8_t* payload = head + kFrameHeaderBytes;
   if (fnv1a64(payload, length) != checksum) {
     error_ = Error::kBadChecksum;
+    return std::nullopt;
+  }
+  // Checksum-valid frames may still be hostile: a v3 message declares the
+  // size decoding will allocate, which the wire length does not bound.
+  if (const auto decoded = declared_decoded_bytes(payload, length);
+      decoded.has_value() && *decoded > max_decoded_bytes_) {
+    error_ = Error::kOversizeDecoded;
     return std::nullopt;
   }
   std::vector<std::uint8_t> out(payload, payload + length);

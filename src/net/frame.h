@@ -35,6 +35,27 @@ inline constexpr std::size_t kFrameHeaderBytes =
 // field cannot make a peer allocate gigabytes.
 inline constexpr std::size_t kDefaultMaxFrameBytes = 256u << 20;
 
+// Compressed (DFRM v3) message payloads additionally declare the size of
+// the DECODED parameter arena in their header, because the wire length no
+// longer bounds what decoding allocates: an int8 + top-k payload can be
+// 30x smaller than its arena, so a tiny frame passing the kOversize check
+// could still declare a multi-GB decompressed arena (a decompression
+// bomb). The net layer cannot include fl/message.h (layering), so the few
+// header fields it sniffs are mirrored here; fl/message.cpp includes this
+// header and static-asserts against drift. Offsets: u32 magic @0, u8 kind
+// @4, u32 version @5, u64 decoded size @9.
+inline constexpr std::uint32_t kMessageMagic = 0x4D524644;  // "DFRM" (message order)
+inline constexpr std::uint32_t kMessageVersionCompressed = 3;
+inline constexpr std::size_t kMessageDecodedSizeOffset =
+    sizeof(std::uint32_t) + sizeof(std::uint8_t) + sizeof(std::uint32_t);
+inline constexpr std::size_t kDefaultMaxDecodedBytes = 1u << 30;
+
+// The decoded size a v3 message payload declares, or nullopt when the
+// payload is not a v3 DFRM message (v2 and foreign payloads decode no
+// larger than their wire size, which kOversize already bounds).
+std::optional<std::uint64_t> declared_decoded_bytes(const std::uint8_t* payload,
+                                                    std::size_t n);
+
 // FNV-1a 64 over the payload (the frame checksum).
 std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n);
 
@@ -48,14 +69,17 @@ std::vector<std::uint8_t> open_frame(const std::vector<std::uint8_t>& framed);
 
 class FrameReader {
  public:
-  explicit FrameReader(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
-      : max_frame_bytes_(max_frame_bytes) {}
+  explicit FrameReader(std::size_t max_frame_bytes = kDefaultMaxFrameBytes,
+                       std::size_t max_decoded_bytes = kDefaultMaxDecodedBytes)
+      : max_frame_bytes_(max_frame_bytes),
+        max_decoded_bytes_(max_decoded_bytes) {}
 
   enum class Error {
     kNone,
-    kBadMagic,      // stream bytes are not a DFRM header
-    kOversize,      // length field exceeds the configured cap
-    kBadChecksum,   // complete frame whose payload fails FNV-1a
+    kBadMagic,         // stream bytes are not a DFRM header
+    kOversize,         // length field exceeds the configured cap
+    kBadChecksum,      // complete frame whose payload fails FNV-1a
+    kOversizeDecoded,  // v3 payload declares a decoded arena over the cap
   };
   static const char* to_string(Error e);
 
@@ -76,6 +100,7 @@ class FrameReader {
 
  private:
   std::size_t max_frame_bytes_;
+  std::size_t max_decoded_bytes_;
   std::vector<std::uint8_t> buf_;
   std::size_t consumed_ = 0;  // prefix of buf_ already handed out
   Error error_ = Error::kNone;

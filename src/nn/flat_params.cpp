@@ -257,21 +257,18 @@ std::size_t flat_first_non_finite_entry(const FlatParams& a) {
 
 // -- serde -------------------------------------------------------------------
 
-void write_flat_params(BinaryWriter& w, const FlatParams& p) {
-  const std::size_t n = p.index() ? p.index()->num_entries() : 0;
-  w.write_u64(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const LayerEntry& e = p.index()->entry(i);
+void write_layer_index(BinaryWriter& w, const LayerIndex& index) {
+  w.write_u64(index.num_entries());
+  for (std::size_t i = 0; i < index.num_entries(); ++i) {
+    const LayerEntry& e = index.entry(i);
     w.write_string(e.name);
     w.write_u32(e.layer_id);
     w.write_u8(e.is_obfuscated ? 1 : 0);
     w.write_i64_vector(e.shape);
   }
-  w.write_f32_span(p.as_span().data(), p.as_span().size());
-  MemoryTracker::instance().record_copy(p.as_span().size() * sizeof(float));
 }
 
-FlatParams read_flat_params(BinaryReader& r) {
+std::shared_ptr<const LayerIndex> read_layer_index(BinaryReader& r) {
   // Each entry header is at least 21 bytes (name length + layer id + flags
   // + rank prefix), so bounding the count rejects corrupt prefixes early.
   const std::uint64_t n = r.read_length(21);
@@ -290,7 +287,21 @@ FlatParams read_flat_params(BinaryReader& r) {
   }
   // build() validates layer-id density and recomputes offsets, so a
   // tampered header cannot produce out-of-bounds spans.
-  auto index = LayerIndex::build(std::move(entries));
+  return LayerIndex::build(std::move(entries));
+}
+
+void write_flat_params(BinaryWriter& w, const FlatParams& p) {
+  if (p.index() != nullptr) {
+    write_layer_index(w, *p.index());
+  } else {
+    w.write_u64(0);
+  }
+  w.write_f32_span(p.as_span().data(), p.as_span().size());
+  MemoryTracker::instance().record_copy(p.as_span().size() * sizeof(float));
+}
+
+FlatParams read_flat_params(BinaryReader& r) {
+  auto index = read_layer_index(r);
   std::vector<float> values;
   r.read_f32_span(values);
   DINAR_CHECK(static_cast<std::int64_t>(values.size()) == index->total_numel(),

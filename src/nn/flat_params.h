@@ -157,6 +157,13 @@ std::size_t flat_first_non_finite_entry(const FlatParams& a);
 void write_flat_params(BinaryWriter& w, const FlatParams& p);
 FlatParams read_flat_params(BinaryReader& r);
 
+// The index-header half of the flat-params format on its own. The DFRM v3
+// compressed payload (fl/wire_codec.*) reuses the exact v2 index header and
+// replaces only the arena payload with per-entry coded runs, so v2 and v3
+// frames stay structurally aligned up to the first coded byte.
+void write_layer_index(BinaryWriter& w, const LayerIndex& index);
+std::shared_ptr<const LayerIndex> read_layer_index(BinaryReader& r);
+
 // Reads the v1 tensor-list payload (count + tensors) into a FlatParams
 // with a synthesized index. This is the only surviving tensor-list wire
 // format: legacy DCKP model/simulation checkpoints. v1 *messages* are

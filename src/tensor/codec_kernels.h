@@ -1,0 +1,111 @@
+// Wire-codec pack/unpack kernels (DFRM v3 compressed payloads).
+//
+// The v3 update format (fl/wire_codec.h) stores each layer entry's floats
+// in one of four element encodings — f32 (raw), f16, bf16, or int8 with a
+// per-entry scale — optionally restricted to a top-k subset. These kernels
+// are the bulk converters: contiguous span in, contiguous span out, no
+// allocation, no index logic. Sparsity selection and framing live in the
+// fl layer; only the per-element conversions are hot enough to vectorize.
+//
+// Numerics contract shared by every tier:
+//
+//   - conversions are ROUND-TO-NEAREST-EVEN, implemented with the same
+//     integer bit algorithms in every tier (the AVX2 tier vectorizes the
+//     scalar algorithm rather than using F16C), so all tiers produce
+//     BYTE-IDENTICAL encoded output for the same input — enforced by
+//     codec_kernel_test and required for cross-tier wire compatibility of
+//     deterministic runs;
+//   - NaN stays NaN (quieted, payload truncated by the narrower format)
+//     and +-Inf stays +-Inf through f16/bf16, so a poisoned update decodes
+//     to a poisoned arena and the server's non-finite scan still rejects
+//     it (the PR 5 numerics policy: propagate per IEEE-754, never launder
+//     a NaN into a number);
+//   - int8 quantization assumes an all-finite span and a positive finite
+//     scale; codec_span_absmax reports non-finite spans so the encoder
+//     can fall back to lossless f32 for them (see fl/wire_codec.cpp).
+//
+// Dispatch follows the gemm seam: tensor/cpu_features.h picks the tier
+// once per process (DINAR_CODEC_KERNEL pin or widest available), and the
+// AVX2 TU is compiled with its ISA flags per-file (DINAR_CODEC_HAVE_AVX2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "tensor/cpu_features.h"
+
+namespace dinar::detail {
+
+// max |v| over the finite elements of the span (0 when none are finite or
+// n == 0), plus whether every element was finite. One pass; the encoder
+// uses it both for the int8 scale and for the lossless-fallback decision.
+struct SpanAbsMax {
+  float max_abs = 0.0f;
+  bool all_finite = true;
+};
+
+// f32 -> IEEE 754 binary16 (RNE, subnormals handled, overflow to Inf).
+// f32 -> bfloat16 (RNE on the dropped 16 bits, NaN quieted).
+// int8: q = clamp(rne(v * inv_scale), -127, 127); decode v = q * scale.
+// Encoders and decoders may not alias their input and output.
+using SpanAbsMaxFn = SpanAbsMax (*)(const float* in, std::size_t n);
+using PackF16Fn = void (*)(const float* in, std::size_t n, std::uint16_t* out);
+using UnpackF16Fn = void (*)(const std::uint16_t* in, std::size_t n, float* out);
+using PackI8Fn = void (*)(const float* in, std::size_t n, float inv_scale,
+                          std::int8_t* out);
+using UnpackI8Fn = void (*)(const std::int8_t* in, std::size_t n, float scale,
+                            float* out);
+
+// One tier's full conversion set (f16 and bf16 share the 16-bit signatures).
+struct CodecKernelFns {
+  SpanAbsMaxFn absmax;
+  PackF16Fn pack_f16;
+  UnpackF16Fn unpack_f16;
+  PackF16Fn pack_bf16;
+  UnpackF16Fn unpack_bf16;
+  PackI8Fn pack_i8;
+  UnpackI8Fn unpack_i8;
+};
+
+// Scalar tier (always compiled; the oracle every other tier must match
+// byte for byte).
+SpanAbsMax codec_absmax_scalar(const float* in, std::size_t n);
+void codec_pack_f16_scalar(const float* in, std::size_t n, std::uint16_t* out);
+void codec_unpack_f16_scalar(const std::uint16_t* in, std::size_t n, float* out);
+void codec_pack_bf16_scalar(const float* in, std::size_t n, std::uint16_t* out);
+void codec_unpack_bf16_scalar(const std::uint16_t* in, std::size_t n, float* out);
+void codec_pack_i8_scalar(const float* in, std::size_t n, float inv_scale,
+                          std::int8_t* out);
+void codec_unpack_i8_scalar(const std::int8_t* in, std::size_t n, float scale,
+                            float* out);
+
+// Single-element converters shared by both tiers (the scalar kernels are
+// loops over these; the AVX2 tier uses them for its tail elements). Kept
+// in the header so tests can probe exact bit patterns directly.
+std::uint16_t f32_bits_to_f16_bits(std::uint32_t x);
+std::uint32_t f16_bits_to_f32_bits(std::uint16_t h);
+std::uint16_t f32_bits_to_bf16_bits(std::uint32_t x);
+
+#if DINAR_CODEC_HAVE_AVX2
+// Compiled with -mavx2 in its own TU; call only when
+// codec_kernel_available(CodecKernel::kAvx2) is true.
+SpanAbsMax codec_absmax_avx2(const float* in, std::size_t n);
+void codec_pack_f16_avx2(const float* in, std::size_t n, std::uint16_t* out);
+void codec_unpack_f16_avx2(const std::uint16_t* in, std::size_t n, float* out);
+void codec_pack_bf16_avx2(const float* in, std::size_t n, std::uint16_t* out);
+void codec_unpack_bf16_avx2(const std::uint16_t* in, std::size_t n, float* out);
+void codec_pack_i8_avx2(const float* in, std::size_t n, float inv_scale,
+                        std::int8_t* out);
+void codec_unpack_i8_avx2(const std::int8_t* in, std::size_t n, float scale,
+                          float* out);
+#endif
+
+// The active tier's function table (tensor/cpu_features.h resolves which).
+const CodecKernelFns& codec_kernel_fns();
+
+// A specific tier's table; throws dinar::Error when that tier is not
+// compiled in or not runnable on this host. Tests use this to compare
+// tiers byte-for-byte without touching DINAR_CODEC_HAVE_AVX2 themselves.
+const CodecKernelFns& codec_kernel_fns(CodecKernel kernel);
+
+}  // namespace dinar::detail

@@ -1,0 +1,266 @@
+// AVX2 tier of the wire-codec pack/unpack kernels.
+//
+// This TU is compiled with -mavx2 (see src/tensor/CMakeLists.txt); callers
+// must consult codec_kernel_available(CodecKernel::kAvx2) first so the
+// binary still runs on pre-AVX2 hosts.
+//
+// Deliberately NOT F16C: the float<->half conversions vectorize the exact
+// integer RNE algorithms of the scalar tier (codec_kernels_scalar.cpp)
+// with per-lane masks instead of branches, so every tier emits
+// byte-identical payloads — hardware vcvtps2ph differs from a portable
+// scalar oracle in NaN payload handling, and cross-tier byte identity is
+// an acceptance gate, not a nice-to-have. Bodies of 8 elements run
+// vectorized; tails fall back to the shared single-element converters,
+// which compute the identical bits.
+#include "tensor/codec_kernels.h"
+
+#if DINAR_CODEC_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cmath>
+
+namespace dinar::detail {
+namespace {
+
+// Packs the low u16 of each epi32 lane into 8 contiguous u16 (values must
+// already fit in 16 bits).
+inline void store_epi32_as_u16(__m256i v, std::uint16_t* out) {
+  __m256i p = _mm256_packus_epi32(v, _mm256_setzero_si256());
+  p = _mm256_permute4x64_epi64(p, 0x08);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), _mm256_castsi256_si128(p));
+}
+
+inline __m256i blend32(__m256i a, __m256i b, __m256i mask) {
+  return _mm256_blendv_epi8(a, b, mask);
+}
+
+}  // namespace
+
+SpanAbsMax codec_absmax_avx2(const float* in, std::size_t n) {
+  SpanAbsMax r;
+  const std::size_t body = n & ~std::size_t{7};
+  const __m256i abs_mask = _mm256_set1_epi32(0x7FFFFFFF);
+  const __m256i max_finite = _mm256_set1_epi32(0x7F7FFFFF);
+  __m256 maxv = _mm256_setzero_ps();
+  __m256i nonfinite = _mm256_setzero_si256();
+  for (std::size_t i = 0; i < body; i += 8) {
+    const __m256i bits =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    const __m256i abs_bits = _mm256_and_si256(bits, abs_mask);
+    // |v| bits > 0x7F7FFFFF <=> Inf or NaN (both operands non-negative, so
+    // the signed compare is exact).
+    const __m256i nf = _mm256_cmpgt_epi32(abs_bits, max_finite);
+    nonfinite = _mm256_or_si256(nonfinite, nf);
+    // Zero non-finite lanes so the max never sees a NaN.
+    const __m256 a = _mm256_andnot_ps(_mm256_castsi256_ps(nf),
+                                      _mm256_castsi256_ps(abs_bits));
+    maxv = _mm256_max_ps(maxv, a);
+  }
+  if (body != 0) {
+    alignas(32) float lanes[8];
+    _mm256_store_ps(lanes, maxv);
+    for (float a : lanes)
+      if (a > r.max_abs) r.max_abs = a;
+    if (_mm256_movemask_epi8(nonfinite) != 0) r.all_finite = false;
+  }
+  for (std::size_t i = body; i < n; ++i) {
+    const float v = in[i];
+    if (!std::isfinite(v)) {
+      r.all_finite = false;
+      continue;
+    }
+    const float a = std::fabs(v);
+    if (a > r.max_abs) r.max_abs = a;
+  }
+  return r;
+}
+
+void codec_pack_f16_avx2(const float* in, std::size_t n, std::uint16_t* out) {
+  const std::size_t body = n & ~std::size_t{7};
+  const __m256i c_one = _mm256_set1_epi32(1);
+  for (std::size_t i = 0; i < body; i += 8) {
+    const __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    const __m256i sign =
+        _mm256_and_si256(_mm256_srli_epi32(x, 16), _mm256_set1_epi32(0x8000));
+    const __m256i absx = _mm256_and_si256(x, _mm256_set1_epi32(0x7FFFFFFF));
+    const __m256i exp = _mm256_sub_epi32(
+        _mm256_and_si256(_mm256_srli_epi32(x, 23), _mm256_set1_epi32(0xFF)),
+        _mm256_set1_epi32(112));
+    const __m256i mant = _mm256_and_si256(x, _mm256_set1_epi32(0x7FFFFF));
+
+    // Normal halves (1 <= exp <= 30) with RNE on the 13 dropped bits; the
+    // rounding carry may roll into the Inf pattern, which is correct.
+    __m256i half_n = _mm256_or_si256(
+        _mm256_or_si256(sign, _mm256_slli_epi32(exp, 10)),
+        _mm256_srli_epi32(mant, 13));
+    {
+      const __m256i rem = _mm256_and_si256(mant, _mm256_set1_epi32(0x1FFF));
+      const __m256i gt = _mm256_cmpgt_epi32(rem, _mm256_set1_epi32(0x1000));
+      const __m256i eq = _mm256_cmpeq_epi32(rem, _mm256_set1_epi32(0x1000));
+      const __m256i odd =
+          _mm256_cmpeq_epi32(_mm256_and_si256(half_n, c_one), c_one);
+      half_n = _mm256_sub_epi32(half_n,
+                                _mm256_or_si256(gt, _mm256_and_si256(eq, odd)));
+    }
+
+    // Subnormal halves (-10 <= exp <= 0): variable-shift the implicit-bit
+    // mantissa with RNE; out-of-range shifts produce garbage that the
+    // underflow blend below discards (srlv/sllv are defined for any count).
+    __m256i half_s;
+    {
+      const __m256i m = _mm256_or_si256(mant, _mm256_set1_epi32(0x800000));
+      const __m256i shift = _mm256_sub_epi32(_mm256_set1_epi32(14), exp);
+      __m256i base = _mm256_srlv_epi32(m, shift);
+      const __m256i low_mask =
+          _mm256_sub_epi32(_mm256_sllv_epi32(c_one, shift), c_one);
+      const __m256i rem = _mm256_and_si256(m, low_mask);
+      const __m256i halfway =
+          _mm256_sllv_epi32(c_one, _mm256_sub_epi32(shift, c_one));
+      const __m256i gt = _mm256_cmpgt_epi32(rem, halfway);
+      const __m256i eq = _mm256_cmpeq_epi32(rem, halfway);
+      const __m256i odd =
+          _mm256_cmpeq_epi32(_mm256_and_si256(base, c_one), c_one);
+      base = _mm256_sub_epi32(base,
+                              _mm256_or_si256(gt, _mm256_and_si256(eq, odd)));
+      half_s = _mm256_or_si256(sign, base);
+    }
+
+    const __m256i nan_v = _mm256_or_si256(
+        _mm256_or_si256(sign, _mm256_set1_epi32(0x7E00)),
+        _mm256_and_si256(_mm256_srli_epi32(absx, 13), _mm256_set1_epi32(0x1FF)));
+
+    __m256i r = half_n;
+    r = blend32(r, half_s, _mm256_cmpgt_epi32(c_one, exp));            // exp <= 0
+    r = blend32(r, sign, _mm256_cmpgt_epi32(_mm256_set1_epi32(-10), exp));  // < -10
+    r = blend32(r, _mm256_or_si256(sign, _mm256_set1_epi32(0x7C00)),
+                _mm256_cmpgt_epi32(exp, _mm256_set1_epi32(30)));  // Inf / overflow
+    r = blend32(r, nan_v,
+                _mm256_cmpgt_epi32(absx, _mm256_set1_epi32(0x7F800000)));  // NaN
+    store_epi32_as_u16(r, out + i);
+  }
+  for (std::size_t i = body; i < n; ++i)
+    out[i] = f32_bits_to_f16_bits(std::bit_cast<std::uint32_t>(in[i]));
+}
+
+void codec_unpack_f16_avx2(const std::uint16_t* in, std::size_t n, float* out) {
+  const std::size_t body = n & ~std::size_t{7};
+  for (std::size_t i = 0; i < body; i += 8) {
+    const __m256i h = _mm256_cvtepu16_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i)));
+    const __m256i sign =
+        _mm256_slli_epi32(_mm256_and_si256(h, _mm256_set1_epi32(0x8000)), 16);
+    const __m256i exp =
+        _mm256_and_si256(_mm256_srli_epi32(h, 10), _mm256_set1_epi32(0x1F));
+    const __m256i mant = _mm256_and_si256(h, _mm256_set1_epi32(0x3FF));
+
+    const __m256i normal = _mm256_or_si256(
+        _mm256_or_si256(
+            sign,
+            _mm256_slli_epi32(_mm256_add_epi32(exp, _mm256_set1_epi32(112)), 23)),
+        _mm256_slli_epi32(mant, 13));
+    const __m256i inf_nan = _mm256_or_si256(
+        _mm256_or_si256(sign, _mm256_set1_epi32(0x7F800000)),
+        _mm256_slli_epi32(mant, 13));
+    // Subnormal half = mant * 2^-24: exact in float arithmetic (mant has at
+    // most 10 significant bits), so the bits match the scalar renormalizer.
+    const __m256i subnormal = _mm256_or_si256(
+        _mm256_castps_si256(_mm256_mul_ps(_mm256_cvtepi32_ps(mant),
+                                          _mm256_set1_ps(0x1p-24f))),
+        sign);
+
+    const __m256i exp_zero = _mm256_cmpeq_epi32(exp, _mm256_setzero_si256());
+    const __m256i mant_zero = _mm256_cmpeq_epi32(mant, _mm256_setzero_si256());
+    __m256i r = normal;
+    r = blend32(r, subnormal, exp_zero);
+    r = blend32(r, sign, _mm256_and_si256(exp_zero, mant_zero));
+    r = blend32(r, inf_nan, _mm256_cmpeq_epi32(exp, _mm256_set1_epi32(0x1F)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), r);
+  }
+  for (std::size_t i = body; i < n; ++i)
+    out[i] = std::bit_cast<float>(f16_bits_to_f32_bits(in[i]));
+}
+
+void codec_pack_bf16_avx2(const float* in, std::size_t n, std::uint16_t* out) {
+  const std::size_t body = n & ~std::size_t{7};
+  for (std::size_t i = 0; i < body; i += 8) {
+    const __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    const __m256i rne = _mm256_srli_epi32(
+        _mm256_add_epi32(
+            x, _mm256_add_epi32(
+                   _mm256_set1_epi32(0x7FFF),
+                   _mm256_and_si256(_mm256_srli_epi32(x, 16),
+                                    _mm256_set1_epi32(1)))),
+        16);
+    const __m256i quiet_nan = _mm256_or_si256(_mm256_srli_epi32(x, 16),
+                                              _mm256_set1_epi32(0x0040));
+    const __m256i absx = _mm256_and_si256(x, _mm256_set1_epi32(0x7FFFFFFF));
+    const __m256i is_nan =
+        _mm256_cmpgt_epi32(absx, _mm256_set1_epi32(0x7F800000));
+    store_epi32_as_u16(blend32(rne, quiet_nan, is_nan), out + i);
+  }
+  for (std::size_t i = body; i < n; ++i)
+    out[i] = f32_bits_to_bf16_bits(std::bit_cast<std::uint32_t>(in[i]));
+}
+
+void codec_unpack_bf16_avx2(const std::uint16_t* in, std::size_t n, float* out) {
+  const std::size_t body = n & ~std::size_t{7};
+  for (std::size_t i = 0; i < body; i += 8) {
+    const __m256i h = _mm256_cvtepu16_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_slli_epi32(h, 16));
+  }
+  for (std::size_t i = body; i < n; ++i)
+    out[i] = std::bit_cast<float>(static_cast<std::uint32_t>(in[i]) << 16);
+}
+
+void codec_pack_i8_avx2(const float* in, std::size_t n, float inv_scale,
+                        std::int8_t* out) {
+  const std::size_t body = n & ~std::size_t{7};
+  const __m256 inv = _mm256_set1_ps(inv_scale);
+  const __m256 hi = _mm256_set1_ps(127.0f);
+  const __m256 lo = _mm256_set1_ps(-127.0f);
+  for (std::size_t i = 0; i < body; i += 8) {
+    const __m256 scaled = _mm256_mul_ps(_mm256_loadu_ps(in + i), inv);
+    // Ordered-compare mask: false only for NaN lanes, which the and below
+    // zeroes — the same NaN -> 0 rule as the scalar tier.
+    const __m256 ord = _mm256_cmp_ps(scaled, scaled, _CMP_ORD_Q);
+    __m256 q = _mm256_round_ps(scaled, _MM_FROUND_TO_NEAREST_INT |
+                                           _MM_FROUND_NO_EXC);
+    q = _mm256_min_ps(q, hi);
+    q = _mm256_max_ps(q, lo);
+    q = _mm256_and_ps(q, ord);
+    const __m256i qi = _mm256_cvtps_epi32(q);
+    __m256i p16 = _mm256_packs_epi32(qi, qi);
+    p16 = _mm256_permute4x64_epi64(p16, 0x08);
+    const __m128i p8 =
+        _mm_packs_epi16(_mm256_castsi256_si128(p16), _mm_setzero_si128());
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(out + i), p8);
+  }
+  for (std::size_t i = body; i < n; ++i) {
+    float q = std::nearbyintf(in[i] * inv_scale);
+    if (q > 127.0f) q = 127.0f;
+    if (q < -127.0f) q = -127.0f;
+    if (q != q) q = 0.0f;
+    out[i] = static_cast<std::int8_t>(q);
+  }
+}
+
+void codec_unpack_i8_avx2(const std::int8_t* in, std::size_t n, float scale,
+                          float* out) {
+  const std::size_t body = n & ~std::size_t{7};
+  const __m256 s = _mm256_set1_ps(scale);
+  for (std::size_t i = 0; i < body; i += 8) {
+    const __m256i qi = _mm256_cvtepi8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(in + i)));
+    _mm256_storeu_ps(out + i, _mm256_mul_ps(_mm256_cvtepi32_ps(qi), s));
+  }
+  for (std::size_t i = body; i < n; ++i)
+    out[i] = static_cast<float>(in[i]) * scale;
+}
+
+}  // namespace dinar::detail
+
+#endif  // DINAR_CODEC_HAVE_AVX2

@@ -1,0 +1,152 @@
+// Scalar tier of the wire-codec pack/unpack kernels — the byte-exact
+// oracle (see codec_kernels.h): every other tier vectorizes exactly these
+// integer algorithms, so encoded payloads are identical across tiers.
+#include "tensor/codec_kernels.h"
+
+#include <bit>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace dinar::detail {
+
+// f32 -> f16, round-to-nearest-even. Handles subnormal outputs, underflow
+// to signed zero, overflow to Inf (including a rounding carry out of the
+// largest finite half), and NaN quieting with the top payload bits kept.
+std::uint16_t f32_bits_to_f16_bits(std::uint32_t x) {
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  const std::uint32_t absx = x & 0x7FFFFFFFu;
+  if (absx > 0x7F800000u)  // NaN: quiet bit + the 9 payload bits that fit
+    return static_cast<std::uint16_t>(sign | 0x7E00u | ((absx >> 13) & 0x1FFu));
+  // Unbiased-for-f16 exponent: f32 bias 127 out, f16 bias 15 in.
+  const std::int32_t exp = static_cast<std::int32_t>((x >> 23) & 0xFFu) - 112;
+  std::uint32_t mant = x & 0x7FFFFFu;
+  if (exp >= 31) return static_cast<std::uint16_t>(sign | 0x7C00u);  // Inf / overflow
+  if (exp <= 0) {
+    if (exp < -10) return static_cast<std::uint16_t>(sign);  // underflow to +-0
+    // Subnormal half: shift the (implicit-bit) mantissa into place with RNE
+    // on the dropped bits; a carry rolls into exponent 1, which is correct.
+    mant |= 0x800000u;
+    const std::uint32_t shift = static_cast<std::uint32_t>(14 - exp);  // 14..24
+    std::uint32_t half = mant >> shift;
+    const std::uint32_t rem = mant & ((1u << shift) - 1u);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half & 1u))) ++half;
+    return static_cast<std::uint16_t>(sign | half);
+  }
+  std::uint32_t half = sign | (static_cast<std::uint32_t>(exp) << 10) | (mant >> 13);
+  const std::uint32_t rem = mant & 0x1FFFu;
+  // RNE on the 13 dropped bits; a carry out of the largest finite half
+  // produces the Inf bit pattern, the correct rounded result.
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) ++half;
+  return static_cast<std::uint16_t>(half);
+}
+
+std::uint32_t f16_bits_to_f32_bits(std::uint16_t h) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1Fu;
+  std::uint32_t mant = h & 0x3FFu;
+  if (exp == 0) {
+    if (mant == 0) return sign;  // +-0
+    // Subnormal half = mant * 2^-24, always a normal f32: renormalize.
+    std::uint32_t e = 113;  // 127 - 15 + 1
+    while ((mant & 0x400u) == 0) {
+      mant <<= 1;
+      --e;
+    }
+    return sign | (e << 23) | ((mant & 0x3FFu) << 13);
+  }
+  if (exp == 0x1Fu) return sign | 0x7F800000u | (mant << 13);  // Inf / NaN
+  return sign | ((exp + 112u) << 23) | (mant << 13);
+}
+
+// f32 -> bf16: RNE on the dropped 16 bits. The carry chain cannot wrap the
+// sign bit (any input that close to the top is a NaN, handled first), and
+// rounding the largest finite value overflows to Inf, the correct result.
+std::uint16_t f32_bits_to_bf16_bits(std::uint32_t x) {
+  if ((x & 0x7FFFFFFFu) > 0x7F800000u)  // NaN: quiet it, keep the top payload
+    return static_cast<std::uint16_t>((x >> 16) | 0x0040u);
+  return static_cast<std::uint16_t>((x + 0x7FFFu + ((x >> 16) & 1u)) >> 16);
+}
+
+SpanAbsMax codec_absmax_scalar(const float* in, std::size_t n) {
+  SpanAbsMax r;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float v = in[i];
+    if (!std::isfinite(v)) {
+      r.all_finite = false;
+      continue;  // non-finite values never contribute to the scale
+    }
+    const float a = std::fabs(v);
+    if (a > r.max_abs) r.max_abs = a;
+  }
+  return r;
+}
+
+void codec_pack_f16_scalar(const float* in, std::size_t n, std::uint16_t* out) {
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = f32_bits_to_f16_bits(std::bit_cast<std::uint32_t>(in[i]));
+}
+
+void codec_unpack_f16_scalar(const std::uint16_t* in, std::size_t n, float* out) {
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = std::bit_cast<float>(f16_bits_to_f32_bits(in[i]));
+}
+
+void codec_pack_bf16_scalar(const float* in, std::size_t n, std::uint16_t* out) {
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = f32_bits_to_bf16_bits(std::bit_cast<std::uint32_t>(in[i]));
+}
+
+void codec_unpack_bf16_scalar(const std::uint16_t* in, std::size_t n, float* out) {
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = std::bit_cast<float>(static_cast<std::uint32_t>(in[i]) << 16);
+}
+
+void codec_pack_i8_scalar(const float* in, std::size_t n, float inv_scale,
+                          std::int8_t* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    // nearbyintf under the default FP environment is round-to-nearest-even,
+    // the same rounding _mm256_round_ps uses in the AVX2 tier. +-Inf clamp
+    // to +-127; NaN maps to 0 (defined in both tiers, though the encoder
+    // never quantizes a NaN span — it falls back to lossless f32).
+    float q = std::nearbyintf(in[i] * inv_scale);
+    if (q > 127.0f) q = 127.0f;
+    if (q < -127.0f) q = -127.0f;
+    if (q != q) q = 0.0f;
+    out[i] = static_cast<std::int8_t>(q);
+  }
+}
+
+void codec_unpack_i8_scalar(const std::int8_t* in, std::size_t n, float scale,
+                            float* out) {
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = static_cast<float>(in[i]) * scale;
+}
+
+const CodecKernelFns& codec_kernel_fns(CodecKernel kernel) {
+  DINAR_CHECK(codec_kernel_available(kernel),
+              "codec kernel '" << codec_kernel_name(kernel)
+                               << "' is not available on this build/host");
+  static const CodecKernelFns scalar{
+      codec_absmax_scalar,      codec_pack_f16_scalar,
+      codec_unpack_f16_scalar,  codec_pack_bf16_scalar,
+      codec_unpack_bf16_scalar, codec_pack_i8_scalar,
+      codec_unpack_i8_scalar};
+#if DINAR_CODEC_HAVE_AVX2
+  static const CodecKernelFns avx2{
+      codec_absmax_avx2,      codec_pack_f16_avx2,
+      codec_unpack_f16_avx2,  codec_pack_bf16_avx2,
+      codec_unpack_bf16_avx2, codec_pack_i8_avx2,
+      codec_unpack_i8_avx2};
+  if (kernel == CodecKernel::kAvx2) return avx2;
+#endif
+  return scalar;
+}
+
+const CodecKernelFns& codec_kernel_fns() {
+  static const CodecKernelFns& fns = codec_kernel_fns(active_codec_kernel());
+  return fns;
+}
+
+}  // namespace dinar::detail

@@ -35,6 +35,25 @@ GemmKernel resolve_active() {
                                                   : GemmKernel::kScalar;
 }
 
+CodecKernel resolve_active_codec() {
+  const char* env = std::getenv("DINAR_CODEC_KERNEL");
+  if (env != nullptr && *env != '\0') {
+    const std::string v(env);
+    if (v == "scalar") return CodecKernel::kScalar;
+    if (v == "avx2") {
+      DINAR_CHECK(codec_kernel_available(CodecKernel::kAvx2),
+                  "DINAR_CODEC_KERNEL=avx2 but the AVX2 codec kernels are "
+                  "unavailable (built with DINAR_SIMD=OFF, or the host lacks "
+                  "AVX2)");
+      return CodecKernel::kAvx2;
+    }
+    throw Error("unknown DINAR_CODEC_KERNEL value '" + v +
+                "' (expected scalar|avx2)");
+  }
+  return codec_kernel_available(CodecKernel::kAvx2) ? CodecKernel::kAvx2
+                                                    : CodecKernel::kScalar;
+}
+
 }  // namespace
 
 const CpuFeatures& cpu_features() {
@@ -67,6 +86,35 @@ const char* gemm_kernel_name(GemmKernel kernel) {
     case GemmKernel::kScalar:
       return "scalar";
     case GemmKernel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool codec_kernel_available(CodecKernel kernel) {
+  switch (kernel) {
+    case CodecKernel::kScalar:
+      return true;
+    case CodecKernel::kAvx2:
+#if DINAR_CODEC_HAVE_AVX2
+      return cpu_features().avx2;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+CodecKernel active_codec_kernel() {
+  static const CodecKernel k = resolve_active_codec();
+  return k;
+}
+
+const char* codec_kernel_name(CodecKernel kernel) {
+  switch (kernel) {
+    case CodecKernel::kScalar:
+      return "scalar";
+    case CodecKernel::kAvx2:
       return "avx2";
   }
   return "unknown";

@@ -45,4 +45,19 @@ GemmKernel active_gemm_kernel();
 
 const char* gemm_kernel_name(GemmKernel kernel);
 
+// Wire-codec pack/unpack kernel tiers (tensor/codec_kernels.h) — the same
+// seam as gemm, resolved independently: `DINAR_CODEC_KERNEL=scalar|avx2`
+// pins a tier (erroring when it is unavailable), otherwise the widest
+// compiled-and-supported tier runs. The codec AVX2 TU needs only the AVX2
+// bit (no FMA), so availability is checked separately from gemm.
+enum class CodecKernel : std::uint8_t { kScalar, kAvx2 };
+
+bool codec_kernel_available(CodecKernel kernel);
+
+// Resolved once per process; throws dinar::Error on an unknown or
+// unavailable DINAR_CODEC_KERNEL value.
+CodecKernel active_codec_kernel();
+
+const char* codec_kernel_name(CodecKernel kernel);
+
 }  // namespace dinar

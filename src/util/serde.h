@@ -92,6 +92,17 @@ class BinaryReader {
     return v;
   }
 
+  // Bounds-checked raw read: returns a pointer to the next `n` bytes inside
+  // the buffer and advances past them. The pointer aliases the input buffer
+  // (valid for its lifetime) and has no alignment guarantee — memcpy out of
+  // it for anything wider than a byte.
+  const std::uint8_t* read_raw(std::uint64_t n) {
+    require(n);
+    const std::uint8_t* p = data_ + pos_;
+    pos_ += n;
+    return p;
+  }
+
   std::size_t remaining() const { return size_ - pos_; }
   bool exhausted() const { return pos_ == size_; }
 

@@ -242,10 +242,10 @@ void expect_params_bitwise_equal(const nn::FlatParams& a, const nn::FlatParams& 
 // straggler (simulated latency AND a real wall-clock sleep, so the
 // streaming pipeline genuinely overlaps a tail), sign-flip + colluding
 // attackers under multi-Krum, membership churn, quorum aggregation with
-// retries, and periodic evaluation. The pipeline mode comes from the
-// config default (kStream) unless DINAR_PIPELINE pins it — the extra
-// ctest legs run exactly this suite under "barrier" to prove the legacy
-// schedule still holds the same property.
+// retries, and periodic evaluation. The streaming engine is the only
+// round schedule; the extra ctest leg re-runs exactly this suite with the
+// gemm and codec kernels pinned to their scalar oracles to prove the
+// property holds on every kernel tier.
 SimulationConfig gauntlet_config(unsigned threads, std::size_t num_shards = 1) {
   SimulationConfig cfg;
   cfg.rounds = 6;

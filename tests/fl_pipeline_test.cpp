@@ -1,21 +1,17 @@
 // Streaming round engine tests (DESIGN.md §13).
 //
 // Three layers:
-//  - mode registry: names, unknown-mode errors, the DINAR_PIPELINE pin;
-//  - RoundPipeline: the scheduling contract itself — barrier = all tasks
-//    before any commit, stream = ascending commits overlapping the
-//    still-running tail, deterministic lowest-index error surfacing and
-//    full drain on abort;
-//  - simulation equivalence: the pipelined round is byte-identical to the
-//    barriered one — RoundOutcomes, histories, final global + client
+//  - mode registry: names, unknown-mode errors (including the removed
+//    legacy "barrier" mode), the DINAR_PIPELINE pin;
+//  - RoundPipeline: the scheduling contract itself — ascending commits
+//    overlapping the still-running tail, deterministic lowest-index error
+//    surfacing and full drain on abort;
+//  - simulation determinism: the streaming round is byte-identical across
+//    thread counts — RoundOutcomes, histories, final global + client
 //    models, durable store state — at 1/2/4 threads, under faults,
 //    Byzantine attackers, churn, sharding and real wall-clock stragglers
 //    parked at the LAST client of each shard (the worst case for the
 //    overlap: every shard's accumulator stays open until its tail lands).
-//
-// These tests set pipeline modes explicitly, so the DINAR_PIPELINE-pinned
-// ctest legs deliberately exclude this suite (the pin would override the
-// modes under test); plain `ctest` runs it with the env unset.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -50,9 +46,7 @@ using dinar::testing::tiny_mlp_factory;
 // ---------------------------------------------------------- mode registry --
 
 TEST(PipelineModeTest, RegistryRoundTrips) {
-  EXPECT_STREQ(to_string(PipelineMode::kBarrier), "barrier");
   EXPECT_STREQ(to_string(PipelineMode::kStream), "stream");
-  EXPECT_EQ(pipeline_mode_from_name("barrier"), PipelineMode::kBarrier);
   EXPECT_EQ(pipeline_mode_from_name("stream"), PipelineMode::kStream);
 }
 
@@ -63,9 +57,18 @@ TEST(PipelineModeTest, UnknownModeNamesTheKnownOnes) {
   } catch (const Error& e) {
     const std::string what = e.what();
     EXPECT_NE(what.find("warp"), std::string::npos);
-    EXPECT_NE(what.find("barrier"), std::string::npos);
     EXPECT_NE(what.find("stream"), std::string::npos);
   }
+}
+
+TEST(PipelineModeTest, RemovedBarrierModeIsRejected) {
+  // The legacy barriered schedule was dropped after its one-release
+  // bisection window; a stale pin must fail loudly, not silently run the
+  // streaming engine while claiming otherwise.
+  EXPECT_THROW(pipeline_mode_from_name("barrier"), Error);
+  ASSERT_EQ(setenv("DINAR_PIPELINE", "barrier", 1), 0);
+  EXPECT_THROW(pipeline_mode_env_override(), Error);
+  ASSERT_EQ(unsetenv("DINAR_PIPELINE"), 0);
 }
 
 TEST(PipelineModeTest, EnvOverrideParsesAndRejects) {
@@ -73,8 +76,6 @@ TEST(PipelineModeTest, EnvOverrideParsesAndRejects) {
   EXPECT_FALSE(pipeline_mode_env_override().has_value());
   ASSERT_EQ(setenv("DINAR_PIPELINE", "", 1), 0);
   EXPECT_FALSE(pipeline_mode_env_override().has_value());
-  ASSERT_EQ(setenv("DINAR_PIPELINE", "barrier", 1), 0);
-  EXPECT_EQ(pipeline_mode_env_override(), PipelineMode::kBarrier);
   ASSERT_EQ(setenv("DINAR_PIPELINE", "stream", 1), 0);
   EXPECT_EQ(pipeline_mode_env_override(), PipelineMode::kStream);
   ASSERT_EQ(setenv("DINAR_PIPELINE", "bogus", 1), 0);
@@ -88,22 +89,6 @@ ExecutionContext make_exec(unsigned threads) {
   ExecConfig cfg;
   cfg.threads = threads;
   return ExecutionContext(cfg);
-}
-
-TEST(RoundPipelineTest, BarrierRunsEveryTaskBeforeAnyCommit) {
-  ExecutionContext exec = make_exec(4);
-  const std::size_t n = 16;
-  std::atomic<std::size_t> tasks_done{0};
-  std::vector<std::size_t> commit_order;
-  RoundPipeline(PipelineMode::kBarrier, &exec)
-      .run(
-          n, [&](std::size_t) { tasks_done.fetch_add(1); },
-          [&](std::size_t i) {
-            EXPECT_EQ(tasks_done.load(), n) << "commit before the barrier";
-            commit_order.push_back(i);
-          });
-  ASSERT_EQ(commit_order.size(), n);
-  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(commit_order[i], i);
 }
 
 TEST(RoundPipelineTest, StreamCommitsAscendAndFollowTheirTask) {
@@ -125,9 +110,9 @@ TEST(RoundPipelineTest, StreamCommitsAscendAndFollowTheirTask) {
 TEST(RoundPipelineTest, StreamOverlapsCommitsWithTheStragglerTail) {
   // The straggler (last index) blocks until every other index has
   // committed — only possible if the coordinator commits while the tail
-  // is still running. Under kBarrier this would deadlock, which is the
-  // whole point; a 10 s escape hatch turns a regression into a failure
-  // instead of a hang.
+  // is still running. A full-barrier schedule would deadlock here, which
+  // is the whole point; a 10 s escape hatch turns a regression into a
+  // failure instead of a hang.
   ExecutionContext exec = make_exec(2);
   const std::size_t n = 6;
   std::atomic<std::size_t> committed{0};
@@ -181,20 +166,6 @@ TEST(RoundPipelineTest, StreamSurfacesLowestFailedIndexAndStopsCommitting) {
   EXPECT_EQ(commit_order, (std::vector<std::size_t>{0, 1}));
 }
 
-TEST(RoundPipelineTest, BarrierTaskFailureCommitsNothing) {
-  ExecutionContext exec = make_exec(4);
-  std::size_t commits = 0;
-  EXPECT_THROW(RoundPipeline(PipelineMode::kBarrier, &exec)
-                   .run(
-                       8,
-                       [&](std::size_t i) {
-                         if (i == 3) throw std::runtime_error("boom");
-                       },
-                       [&](std::size_t) { ++commits; }),
-               std::runtime_error);
-  EXPECT_EQ(commits, 0u);
-}
-
 TEST(RoundPipelineTest, CommitFailurePropagatesAfterDrainingTasks) {
   ExecutionContext exec = make_exec(2);
   const std::size_t n = 8;
@@ -214,7 +185,7 @@ TEST(RoundPipelineTest, CommitFailurePropagatesAfterDrainingTasks) {
   EXPECT_EQ(tasks_done.load(), n);
 }
 
-// ------------------------------------------- simulation-level equivalence --
+// ------------------------------------------- simulation-level determinism --
 
 std::string dump_outcome(const RoundOutcome& o) {
   std::ostringstream os;
@@ -257,7 +228,7 @@ std::string dump_outcome(const RoundOutcome& o) {
 // wall-clock straggler parked at the LAST client of every shard: each
 // shard's accumulator stays open until its slowest member lands, the
 // adversarial schedule for the overlap.
-SimulationConfig overlap_config(unsigned threads, PipelineMode mode) {
+SimulationConfig overlap_config(unsigned threads) {
   SimulationConfig cfg;
   cfg.rounds = 4;
   cfg.train = TrainConfig{1, 16};
@@ -277,7 +248,6 @@ SimulationConfig overlap_config(unsigned threads, PipelineMode mode) {
   cfg.shard.num_shards = 3;
   cfg.shard.assignment_seed = 0x0F00D;
   cfg.exec.threads = threads;
-  cfg.pipeline = mode;
   // Park a sleep on the highest client id of each shard.
   std::map<std::uint32_t, int> last_of_shard;
   for (int id = 0; id < 6; ++id)
@@ -295,7 +265,7 @@ struct SimRun {
   std::vector<std::uint8_t> full_state;
 };
 
-SimRun run_sim(unsigned threads, PipelineMode mode) {
+SimRun run_sim(unsigned threads) {
   Rng rng(23);
   data::Dataset full = make_easy_dataset(192, rng);
   data::FlSplitConfig split_cfg;
@@ -303,8 +273,8 @@ SimRun run_sim(unsigned threads, PipelineMode mode) {
   data::FlSplit split = data::make_fl_split(full, split_cfg, rng);
 
   FederatedSimulation sim(tiny_mlp_factory(2, 2), std::move(split),
-                          overlap_config(threads, mode), DefenseBundle{});
-  EXPECT_EQ(sim.pipeline_mode(), mode);
+                          overlap_config(threads), DefenseBundle{});
+  EXPECT_EQ(sim.pipeline_mode(), PipelineMode::kStream);
   sim.run();
 
   SimRun out;
@@ -343,29 +313,27 @@ void expect_runs_identical(const SimRun& a, const SimRun& b, const char* what) {
               0)
         << what << ": client " << c << " model differs bitwise";
   // Full serialized state (timings are measurement-only and excluded from
-  // serde by design, so this must hold across modes and thread counts).
+  // serde by design, so this must hold across thread counts).
   EXPECT_EQ(a.full_state, b.full_state) << what << ": full state differs";
 }
 
-TEST(PipelineSimTest, StreamMatchesBarrierByteIdenticalAcrossThreadCounts) {
-  const SimRun barrier1 = run_sim(1, PipelineMode::kBarrier);
-  for (const unsigned threads : {1u, 2u, 4u}) {
-    const SimRun stream = run_sim(threads, PipelineMode::kStream);
-    expect_runs_identical(barrier1, stream,
+TEST(PipelineSimTest, StreamByteIdenticalAcrossThreadCounts) {
+  const SimRun sequential = run_sim(1);
+  for (const unsigned threads : {2u, 4u}) {
+    const SimRun stream = run_sim(threads);
+    expect_runs_identical(sequential, stream,
                           ("stream@" + std::to_string(threads)).c_str());
   }
-  const SimRun barrier4 = run_sim(4, PipelineMode::kBarrier);
-  expect_runs_identical(barrier1, barrier4, "barrier@4");
 }
 
-FederatedSimulation make_overlap_sim(unsigned threads, PipelineMode mode) {
+FederatedSimulation make_overlap_sim(unsigned threads) {
   Rng rng(23);
   data::Dataset full = make_easy_dataset(192, rng);
   data::FlSplitConfig split_cfg;
   split_cfg.num_clients = 6;
   return FederatedSimulation(tiny_mlp_factory(2, 2),
                              data::make_fl_split(full, split_cfg, rng),
-                             overlap_config(threads, mode), DefenseBundle{});
+                             overlap_config(threads), DefenseBundle{});
 }
 
 std::vector<std::uint8_t> state_of(const FederatedSimulation& sim) {
@@ -374,27 +342,26 @@ std::vector<std::uint8_t> state_of(const FederatedSimulation& sim) {
   return w.buffer();
 }
 
-TEST(PipelineSimTest, DurableStoreBytesMatchAcrossModesAndRecoveryCrosses) {
+TEST(PipelineSimTest, DurableStoreBytesMatchAcrossThreadCountsAndRecover) {
   namespace fs = std::filesystem;
   const std::string base = ::testing::TempDir() + "dinar_pipeline_test";
   fs::remove_all(base);
   fs::create_directories(base);
 
-  const auto run_with_store = [&](const std::string& name, PipelineMode mode,
+  const auto run_with_store = [&](const std::string& name, unsigned threads,
                                   int rounds) {
     const std::string dir = base + "/" + name;
     store::RoundStore s(dir);
-    FederatedSimulation sim = make_overlap_sim(2, mode);
+    FederatedSimulation sim = make_overlap_sim(threads);
     sim.attach_store(&s, /*snapshot_every=*/2);
     for (int i = 0; i < rounds; ++i) sim.run_round();
     return dir;
   };
 
-  // Same rounds through both pipelines: every durable byte agrees (WAL
+  // Same rounds at different thread counts: every durable byte agrees (WAL
   // records and snapshots serialize no timings and no schedule artifacts).
-  const std::string stream_dir = run_with_store("stream", PipelineMode::kStream, 3);
-  const std::string barrier_dir =
-      run_with_store("barrier", PipelineMode::kBarrier, 3);
+  const std::string seq_dir = run_with_store("seq", 1, 3);
+  const std::string pool_dir = run_with_store("pool", 4, 3);
   const auto files_of = [](const std::string& dir) {
     std::map<std::string, std::vector<char>> files;
     for (const auto& entry : fs::recursive_directory_iterator(dir))
@@ -405,33 +372,34 @@ TEST(PipelineSimTest, DurableStoreBytesMatchAcrossModesAndRecoveryCrosses) {
       }
     return files;
   };
-  const auto stream_files = files_of(stream_dir);
-  EXPECT_FALSE(stream_files.empty());
-  EXPECT_EQ(stream_files, files_of(barrier_dir));
+  const auto seq_files = files_of(seq_dir);
+  EXPECT_FALSE(seq_files.empty());
+  EXPECT_EQ(seq_files, files_of(pool_dir));
 
-  // Cross-mode recovery: a barriered simulation recovers the stream-written
-  // store and continues bit-identically to an uninterrupted stream run.
-  store::RoundStore s(stream_dir);
-  FederatedSimulation recovered = make_overlap_sim(2, PipelineMode::kBarrier);
+  // Cross-thread-count recovery: a sequential simulation recovers the
+  // pool-written store and continues bit-identically to an uninterrupted
+  // threaded run.
+  store::RoundStore s(pool_dir);
+  FederatedSimulation recovered = make_overlap_sim(1);
   recovered.attach_store(&s, 2);
   EXPECT_EQ(recovered.recover_from_store(), 3);
   recovered.run_round();
 
-  FederatedSimulation reference = make_overlap_sim(2, PipelineMode::kStream);
+  FederatedSimulation reference = make_overlap_sim(4);
   for (int i = 0; i < 4; ++i) reference.run_round();
   EXPECT_EQ(state_of(recovered), state_of(reference));
 }
 
-TEST(PipelineSimTest, FedAvgStreamingAccumulatorMatchesBarrier) {
+TEST(PipelineSimTest, FedAvgStreamingAccumulatorMatchesAcrossThreadCounts) {
   // overlap_config's "median" closes each shard through the buffering
   // accumulator; fedavg streams per-coordinate as commits land — cover
   // that accumulator's bit-identity too.
-  const auto run = [](PipelineMode mode) {
+  const auto run = [](unsigned threads) {
     Rng rng(23);
     data::Dataset full = make_easy_dataset(192, rng);
     data::FlSplitConfig split_cfg;
     split_cfg.num_clients = 6;
-    SimulationConfig cfg = overlap_config(4, mode);
+    SimulationConfig cfg = overlap_config(threads);
     cfg.robust.method = "fedavg";
     FederatedSimulation sim(tiny_mlp_factory(2, 2),
                             data::make_fl_split(full, split_cfg, rng), cfg,
@@ -439,20 +407,26 @@ TEST(PipelineSimTest, FedAvgStreamingAccumulatorMatchesBarrier) {
     sim.run();
     return state_of(sim);
   };
-  EXPECT_EQ(run(PipelineMode::kStream), run(PipelineMode::kBarrier));
+  EXPECT_EQ(run(1), run(4));
 }
 
-TEST(PipelineSimTest, EnvPinOverridesTheConfig) {
-  ASSERT_EQ(setenv("DINAR_PIPELINE", "barrier", 1), 0);
+TEST(PipelineSimTest, EnvPinStreamIsAcceptedAndStaleBarrierPinThrows) {
+  ASSERT_EQ(setenv("DINAR_PIPELINE", "stream", 1), 0);
   Rng rng(23);
   data::Dataset full = make_easy_dataset(64, rng);
   data::FlSplitConfig split_cfg;
   split_cfg.num_clients = 6;
   FederatedSimulation sim(tiny_mlp_factory(2, 2),
                           data::make_fl_split(full, split_cfg, rng),
-                          overlap_config(1, PipelineMode::kStream),
-                          DefenseBundle{});
-  EXPECT_EQ(sim.pipeline_mode(), PipelineMode::kBarrier);
+                          overlap_config(1), DefenseBundle{});
+  EXPECT_EQ(sim.pipeline_mode(), PipelineMode::kStream);
+  ASSERT_EQ(setenv("DINAR_PIPELINE", "barrier", 1), 0);
+  Rng rng2(23);
+  data::Dataset full2 = make_easy_dataset(64, rng2);
+  EXPECT_THROW(FederatedSimulation(tiny_mlp_factory(2, 2),
+                                   data::make_fl_split(full2, split_cfg, rng2),
+                                   overlap_config(1), DefenseBundle{}),
+               Error);
   ASSERT_EQ(unsetenv("DINAR_PIPELINE"), 0);
 }
 

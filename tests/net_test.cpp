@@ -127,6 +127,67 @@ TEST(FrameReaderTest, CorruptPayloadPoisonsWithChecksumError) {
   EXPECT_EQ(r.error(), FrameReader::Error::kBadChecksum);
 }
 
+// A minimal v3 DFRM *message* payload header: the frame layer sniffs the
+// declared decoded size at its fixed offset without parsing the message.
+std::vector<std::uint8_t> v3_message_payload(std::uint64_t decoded_bytes) {
+  std::vector<std::uint8_t> p(kMessageDecodedSizeOffset + sizeof(std::uint64_t) + 4,
+                              0x33);
+  std::memcpy(p.data(), &kMessageMagic, sizeof kMessageMagic);
+  p[4] = 1;  // kind
+  std::memcpy(p.data() + 5, &kMessageVersionCompressed,
+              sizeof kMessageVersionCompressed);
+  std::memcpy(p.data() + kMessageDecodedSizeOffset, &decoded_bytes,
+              sizeof decoded_bytes);
+  return p;
+}
+
+TEST(FrameReaderTest, OversizeDecodedDeclarationPoisonsTheStream) {
+  // Decompression-bomb guard: a tiny, checksum-valid frame whose v3 payload
+  // declares a multi-GB decoded arena poisons the stream by name, before
+  // any decode-side allocation could happen.
+  FrameReader r;
+  const auto framed = frame(v3_message_payload(1ull << 40));
+  r.feed(framed.data(), framed.size());
+  EXPECT_FALSE(r.next().has_value());
+  EXPECT_EQ(r.error(), FrameReader::Error::kOversizeDecoded);
+  EXPECT_STREQ(FrameReader::to_string(r.error()), "oversize_decoded");
+  EXPECT_TRUE(r.poisoned());
+
+  // The one-shot open_frame() twin enforces the same cap.
+  EXPECT_THROW(open_frame(framed), dinar::Error);
+
+  // A declaration under the cap passes through untouched...
+  FrameReader ok;
+  const auto payload = v3_message_payload(4096);
+  const auto good = frame(payload);
+  ok.feed(good.data(), good.size());
+  ASSERT_TRUE(ok.next().has_value());
+  EXPECT_FALSE(ok.poisoned());
+  EXPECT_EQ(open_frame(good), payload);
+
+  // ...and non-v3 payloads are never sniffed: the same huge bytes at the
+  // decoded-size offset of a version-2 message mean nothing.
+  FrameReader v2;
+  auto legacy = v3_message_payload(1ull << 40);
+  const std::uint32_t version2 = 2;
+  std::memcpy(legacy.data() + 5, &version2, sizeof version2);
+  const auto legacy_framed = frame(legacy);
+  v2.feed(legacy_framed.data(), legacy_framed.size());
+  ASSERT_TRUE(v2.next().has_value());
+  EXPECT_FALSE(v2.poisoned());
+}
+
+TEST(FrameReaderTest, ChecksumStillWinsOverOversizeDecoded) {
+  // A corrupted frame must report corruption, not trust the (equally
+  // corrupt) decoded-size field: the checksum verdict comes first.
+  FrameReader r;
+  auto framed = frame(v3_message_payload(1ull << 40));
+  framed[framed.size() - 1] ^= 0x01;
+  r.feed(framed.data(), framed.size());
+  EXPECT_FALSE(r.next().has_value());
+  EXPECT_EQ(r.error(), FrameReader::Error::kBadChecksum);
+}
+
 TEST(FrameReaderTest, TornFrameCompletesAcrossFeeds) {
   FrameReader r;
   const auto payload = std::vector<std::uint8_t>(1000, 0x5A);
